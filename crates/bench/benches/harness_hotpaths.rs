@@ -1,0 +1,88 @@
+//! Criterion microbenchmarks of the harness' hot paths: latency recording, queue
+//! handoff, arrival-schedule generation and the discrete-event simulation loop.  These
+//! are the overheads the harness adds on top of application work; they must stay small
+//! relative to even the shortest (masstree-class) requests.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use tailbench_core::app::{EchoApp, InstructionRateModel, ServerApp};
+use tailbench_core::config::BenchmarkConfig;
+use tailbench_core::queue::{Completion, RequestQueue};
+use tailbench_core::request::{Request, RequestId};
+use tailbench_core::sim::run_simulated;
+use tailbench_histogram::HdrHistogram;
+use tailbench_workloads::interarrival::InterarrivalProcess;
+use tailbench_workloads::rng::seeded_rng;
+
+fn configure(c: &mut Criterion) -> criterion::BenchmarkGroup<'_, criterion::measurement::WallTime> {
+    let mut group = c.benchmark_group("harness");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+    group
+}
+
+fn bench_harness(c: &mut Criterion) {
+    let mut group = configure(c);
+
+    group.bench_function("histogram_record", |b| {
+        let mut histogram = HdrHistogram::for_latencies();
+        let mut value = 1u64;
+        b.iter(|| {
+            value = value.wrapping_mul(6364136223846793005).wrapping_add(1) % 1_000_000_000;
+            histogram.record(std::hint::black_box(value));
+        });
+    });
+
+    group.bench_function("histogram_p99_query", |b| {
+        let mut histogram = HdrHistogram::for_latencies();
+        let mut rng = seeded_rng(1, 0);
+        let process = InterarrivalProcess::poisson(1_000.0);
+        for _ in 0..100_000 {
+            histogram.record(process.next_gap_ns(&mut rng));
+        }
+        b.iter(|| std::hint::black_box(histogram.value_at_quantile(0.99)));
+    });
+
+    group.bench_function("queue_push_pop", |b| {
+        let queue = RequestQueue::new();
+        let rx = queue.receiver();
+        let (tx, _keep) = crossbeam::channel::unbounded();
+        let mut id = 0u64;
+        b.iter(|| {
+            id += 1;
+            queue.push(
+                Request {
+                    id: RequestId(id),
+                    payload: Vec::new(),
+                    issued_ns: id,
+                },
+                id,
+                Completion::Collector(tx.clone()),
+            );
+            std::hint::black_box(rx.recv().unwrap());
+        });
+    });
+
+    group.bench_function("poisson_schedule_10k", |b| {
+        let process = InterarrivalProcess::poisson(100_000.0);
+        let mut rng = seeded_rng(2, 0);
+        b.iter(|| std::hint::black_box(process.schedule(&mut rng, 10_000)));
+    });
+
+    group.bench_function("des_run_2k_requests", |b| {
+        let app: std::sync::Arc<dyn ServerApp> = std::sync::Arc::new(EchoApp { spin_iters: 64 });
+        let model = InstructionRateModel::default();
+        b.iter(|| {
+            let mut factory = || vec![0u8; 16];
+            let config = BenchmarkConfig::new(50_000.0, 2_000).with_warmup(0).with_seed(3);
+            std::hint::black_box(run_simulated(&app, &mut factory, &config, &model))
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_harness);
+criterion_main!(benches);

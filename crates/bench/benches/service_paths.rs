@@ -1,0 +1,36 @@
+//! Criterion microbenchmarks of every application's request-service path.
+//!
+//! These are the per-request costs that determine each application's position on the
+//! paper's latency spectrum (Table I): masstree and specjbb in the microsecond range,
+//! xapian/moses/img-dnn in the millisecond range, sphinx far above everything else.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use tailbench_bench::{build_app, AppId, Scale};
+
+fn bench_service_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("service_path");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1));
+
+    for id in AppId::ALL {
+        let bench = build_app(id, Scale::Quick);
+        let mut factory = bench.factory(1);
+        // Pre-generate a pool of request payloads so generation cost is excluded.
+        let payloads: Vec<Vec<u8>> = (0..64).map(|_| factory.next_request()).collect();
+        let mut i = 0usize;
+        group.bench_function(id.name(), |b| {
+            b.iter(|| {
+                let payload = &payloads[i % payloads.len()];
+                i += 1;
+                std::hint::black_box(bench.app.handle(payload))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_service_paths);
+criterion_main!(benches);

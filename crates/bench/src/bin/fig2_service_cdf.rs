@@ -1,0 +1,32 @@
+//! Regenerates Fig. 2: the cumulative distribution of request service times for each
+//! application, measured by timing the request handler directly (no queuing).
+
+use tailbench_bench::{build_app, format_latency, print_table, measure_service_samples, AppId, Scale};
+use tailbench_histogram::LatencySummary;
+
+fn main() {
+    let scale = Scale::from_env();
+    let samples_per_app = scale.requests(200, 5_000);
+    let quantiles = [0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99, 1.00];
+    let mut rows = Vec::new();
+
+    for id in AppId::ALL {
+        let bench = build_app(id, scale);
+        let mut summary = LatencySummary::new();
+        for sample in measure_service_samples(&bench, samples_per_app, 0xF16_2) {
+            summary.record(sample);
+        }
+        let mut row = vec![id.name().to_string()];
+        for q in quantiles {
+            row.push(format_latency(summary.value_at_quantile(q) as f64));
+        }
+        rows.push(row);
+        eprintln!("fig2: finished {}", id.name());
+    }
+
+    print_table(
+        "Fig. 2 — service-time CDF (value at cumulative probability)",
+        &["app", "p10", "p25", "p50", "p75", "p90", "p95", "p99", "max"],
+        &rows,
+    );
+}

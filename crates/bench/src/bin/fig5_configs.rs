@@ -1,0 +1,50 @@
+//! Regenerates Fig. 5: 95th-percentile latency vs offered QPS for every application
+//! under the four measurement setups — networked, loopback, integrated (all real-time)
+//! and simulated (discrete-event with the analytic cost model).  Also reports each
+//! setup's saturation QPS so the networked-vs-integrated gap of the paper (silo, specjbb)
+//! can be read off directly.
+
+use tailbench_bench::{build_app, capacity_qps, format_latency, print_table, sweep_load, AppId, Scale};
+use tailbench_core::config::HarnessMode;
+
+fn main() {
+    let scale = Scale::from_env();
+    let requests = scale.requests(250, 2_500);
+    let fractions = [0.2, 0.5, 0.8];
+    let modes: [(&str, fn() -> HarnessMode); 4] = [
+        ("networked", HarnessMode::networked),
+        ("loopback", HarnessMode::loopback),
+        ("integrated", || HarnessMode::Integrated),
+        ("simulated", || HarnessMode::Simulated),
+    ];
+
+    for id in AppId::ALL {
+        let bench = build_app(id, scale);
+        let capacity = capacity_qps(&bench, 1, requests.min(800));
+        let mut rows = Vec::new();
+        for (mode_name, make_mode) in modes {
+            let points = sweep_load(&bench, make_mode(), capacity, &fractions, 1, requests);
+            // Estimate the saturation point as the highest offered load that still kept up.
+            let sustained = points
+                .iter()
+                .filter(|(_, r)| !r.is_saturated(0.1))
+                .map(|(_, r)| r.achieved_qps)
+                .fold(0.0f64, f64::max);
+            for (fraction, report) in &points {
+                rows.push(vec![
+                    mode_name.to_string(),
+                    format!("{:.0}%", fraction * 100.0),
+                    format!("{:.0}", report.offered_qps.unwrap_or(0.0)),
+                    format_latency(report.sojourn.p95_ns as f64),
+                    format!("{:.0}", sustained),
+                ]);
+            }
+        }
+        print_table(
+            &format!("Fig. 5 — {} (p95 under the four setups)", id.name()),
+            &["setup", "load", "offered QPS", "p95", "sustained QPS"],
+            &rows,
+        );
+        eprintln!("fig5: finished {}", id.name());
+    }
+}

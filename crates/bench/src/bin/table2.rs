@@ -1,0 +1,17 @@
+//! Regenerates Table II: the configuration of the modelled experimental system.
+
+use tailbench_bench::print_table;
+use tailbench_simarch::MachineConfig;
+
+fn main() {
+    let rows: Vec<Vec<String>> = MachineConfig::table_ii()
+        .describe()
+        .into_iter()
+        .map(|(k, v)| vec![k, v])
+        .collect();
+    print_table(
+        "Table II — configuration of the modelled system",
+        &["component", "configuration"],
+        &rows,
+    );
+}

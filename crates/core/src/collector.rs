@@ -1,0 +1,243 @@
+//! The statistics collector.
+//!
+//! The collector aggregates per-request latency records into sojourn, queuing and
+//! service-time distributions (paper Fig. 1, §IV-C).  It can be used inline (the
+//! discrete-event simulation runner calls [`StatsCollector::record`] directly) or behind
+//! a channel with a dedicated thread (the real-time runners), so that statistics
+//! maintenance never executes on application worker threads.
+
+use crate::report::LatencyStats;
+use crate::request::RequestRecord;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::thread::JoinHandle;
+use tailbench_histogram::LatencySummary;
+
+/// Aggregated latency statistics of one measurement run.
+#[derive(Debug, Clone)]
+pub struct StatsCollector {
+    /// Records with `id.0 < warmup_count` are counted as warmup and excluded from the
+    /// reported distributions.
+    warmup_count: u64,
+    sojourn: LatencySummary,
+    service: LatencySummary,
+    queue: LatencySummary,
+    overhead: LatencySummary,
+    measured: u64,
+    warmup_seen: u64,
+    first_issue_ns: u64,
+    last_completion_ns: u64,
+}
+
+impl StatsCollector {
+    /// Creates a collector that treats the first `warmup_count` request ids as warmup.
+    #[must_use]
+    pub fn new(warmup_count: u64) -> Self {
+        StatsCollector {
+            warmup_count,
+            sojourn: LatencySummary::new(),
+            service: LatencySummary::new(),
+            queue: LatencySummary::new(),
+            overhead: LatencySummary::new(),
+            measured: 0,
+            warmup_seen: 0,
+            first_issue_ns: u64::MAX,
+            last_completion_ns: 0,
+        }
+    }
+
+    /// Records one finished request.
+    pub fn record(&mut self, r: &RequestRecord) {
+        if r.id.0 < self.warmup_count {
+            self.warmup_seen += 1;
+            return;
+        }
+        self.sojourn.record(r.sojourn_ns());
+        self.service.record(r.service_ns());
+        self.queue.record(r.queue_ns());
+        self.overhead.record(r.overhead_ns());
+        self.measured += 1;
+        self.first_issue_ns = self.first_issue_ns.min(r.issued_ns);
+        self.last_completion_ns = self.last_completion_ns.max(r.client_received_ns);
+    }
+
+    /// Number of measured (non-warmup) requests recorded.
+    #[must_use]
+    pub fn measured(&self) -> u64 {
+        self.measured
+    }
+
+    /// Number of warmup requests seen.
+    #[must_use]
+    pub fn warmup_seen(&self) -> u64 {
+        self.warmup_seen
+    }
+
+    /// Achieved throughput over the measured interval, in queries per second.
+    #[must_use]
+    pub fn achieved_qps(&self) -> f64 {
+        if self.measured == 0 || self.last_completion_ns <= self.first_issue_ns {
+            return 0.0;
+        }
+        self.measured as f64 * 1e9 / (self.last_completion_ns - self.first_issue_ns) as f64
+    }
+
+    /// Wall-clock span of the measured interval in nanoseconds.
+    #[must_use]
+    pub fn span_ns(&self) -> u64 {
+        self.last_completion_ns.saturating_sub(self.first_issue_ns)
+    }
+
+    /// Sojourn (end-to-end) latency statistics.
+    #[must_use]
+    pub fn sojourn_stats(&self) -> LatencyStats {
+        LatencyStats::from_summary(&self.sojourn)
+    }
+
+    /// Service-time statistics.
+    #[must_use]
+    pub fn service_stats(&self) -> LatencyStats {
+        LatencyStats::from_summary(&self.service)
+    }
+
+    /// Queuing-time statistics.
+    #[must_use]
+    pub fn queue_stats(&self) -> LatencyStats {
+        LatencyStats::from_summary(&self.queue)
+    }
+
+    /// Transport/harness overhead statistics.
+    #[must_use]
+    pub fn overhead_stats(&self) -> LatencyStats {
+        LatencyStats::from_summary(&self.overhead)
+    }
+
+    /// The full sojourn-time distribution (for CDF plots).
+    #[must_use]
+    pub fn sojourn_summary(&self) -> &LatencySummary {
+        &self.sojourn
+    }
+
+    /// The full service-time distribution (for CDF plots, e.g. paper Fig. 2).
+    #[must_use]
+    pub fn service_summary(&self) -> &LatencySummary {
+        &self.service
+    }
+}
+
+/// A collector running on its own thread, fed through a channel.
+///
+/// Worker threads (or client receiver threads) send [`RequestRecord`]s into
+/// [`CollectorHandle::sender`]; when every sender has been dropped the thread finishes
+/// and [`CollectorHandle::join`] returns the populated [`StatsCollector`].
+#[derive(Debug)]
+pub struct CollectorHandle {
+    tx: Sender<RequestRecord>,
+    handle: JoinHandle<StatsCollector>,
+}
+
+impl CollectorHandle {
+    /// Spawns the collector thread.
+    #[must_use]
+    pub fn spawn(warmup_count: u64) -> Self {
+        let (tx, rx): (Sender<RequestRecord>, Receiver<RequestRecord>) = unbounded();
+        let handle = std::thread::Builder::new()
+            .name("tb-collector".into())
+            .spawn(move || {
+                let mut collector = StatsCollector::new(warmup_count);
+                while let Ok(record) = rx.recv() {
+                    collector.record(&record);
+                }
+                collector
+            })
+            .expect("failed to spawn collector thread");
+        CollectorHandle { tx, handle }
+    }
+
+    /// A sender that routes records to the collector thread.
+    #[must_use]
+    pub fn sender(&self) -> Sender<RequestRecord> {
+        self.tx.clone()
+    }
+
+    /// Drops the local sender and waits for the collector thread to drain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the collector thread itself panicked.
+    #[must_use]
+    pub fn join(self) -> StatsCollector {
+        drop(self.tx);
+        self.handle.join().expect("collector thread panicked")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::RequestId;
+
+    fn record(id: u64, issued: u64, service: u64) -> RequestRecord {
+        RequestRecord {
+            id: RequestId(id),
+            issued_ns: issued,
+            enqueued_ns: issued + 10,
+            started_ns: issued + 50,
+            completed_ns: issued + 50 + service,
+            client_received_ns: issued + 60 + service,
+        }
+    }
+
+    #[test]
+    fn warmup_records_are_excluded() {
+        let mut c = StatsCollector::new(5);
+        for i in 0..10u64 {
+            c.record(&record(i, i * 1_000, 500));
+        }
+        assert_eq!(c.measured(), 5);
+        assert_eq!(c.warmup_seen(), 5);
+    }
+
+    #[test]
+    fn stats_reflect_recorded_values() {
+        let mut c = StatsCollector::new(0);
+        c.record(&record(0, 0, 1_000));
+        c.record(&record(1, 10_000, 2_000));
+        let service = c.service_stats();
+        assert_eq!(service.max_ns, 2_000);
+        assert_eq!(service.min_ns, 1_000);
+        let sojourn = c.sojourn_stats();
+        assert!(sojourn.mean_ns > 1_000.0);
+        assert_eq!(c.queue_stats().max_ns, 40);
+    }
+
+    #[test]
+    fn achieved_qps_uses_measured_span() {
+        let mut c = StatsCollector::new(0);
+        // 100 requests spread over ~0.1 s => ~1000 QPS.
+        for i in 0..100u64 {
+            c.record(&record(i, i * 1_000_000, 100_000));
+        }
+        let qps = c.achieved_qps();
+        assert!((qps - 1_000.0).abs() / 1_000.0 < 0.05, "qps = {qps}");
+    }
+
+    #[test]
+    fn empty_collector_reports_zero_qps() {
+        let c = StatsCollector::new(0);
+        assert_eq!(c.achieved_qps(), 0.0);
+        assert_eq!(c.measured(), 0);
+        assert_eq!(c.span_ns(), 0);
+    }
+
+    #[test]
+    fn threaded_collector_drains_and_joins() {
+        let handle = CollectorHandle::spawn(0);
+        let tx = handle.sender();
+        for i in 0..50u64 {
+            tx.send(record(i, i * 100, 10)).unwrap();
+        }
+        drop(tx);
+        let collector = handle.join();
+        assert_eq!(collector.measured(), 50);
+    }
+}

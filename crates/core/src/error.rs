@@ -1,0 +1,51 @@
+//! Harness error types.
+
+use std::fmt;
+
+/// Errors produced by the harness runners.
+#[derive(Debug)]
+pub enum HarnessError {
+    /// An operating-system I/O error (socket setup, connection failures).
+    Io(std::io::Error),
+    /// The requested configuration is inconsistent (e.g. closed-loop load over TCP).
+    Config(String),
+}
+
+impl fmt::Display for HarnessError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HarnessError::Io(e) => write!(f, "harness i/o error: {e}"),
+            HarnessError::Config(msg) => write!(f, "invalid harness configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for HarnessError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            HarnessError::Io(e) => Some(e),
+            HarnessError::Config(_) => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for HarnessError {
+    fn from(e: std::io::Error) -> Self {
+        HarnessError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let io_err = HarnessError::from(std::io::Error::new(std::io::ErrorKind::Other, "boom"));
+        assert!(io_err.to_string().contains("boom"));
+        assert!(std::error::Error::source(&io_err).is_some());
+        let cfg = HarnessError::Config("bad".into());
+        assert!(cfg.to_string().contains("bad"));
+        assert!(std::error::Error::source(&cfg).is_none());
+    }
+}

@@ -1,0 +1,208 @@
+//! The integrated harness configuration.
+//!
+//! Client, harness and application live in a single process and communicate through
+//! shared memory (paper Fig. 1, upper right).  This is the configuration that the paper
+//! recommends for simulation studies; on a real system it measures pure request
+//! processing plus queuing, with no network-stack overhead.
+
+use crate::app::{RequestFactory, ServerApp};
+use crate::collector::{CollectorHandle, StatsCollector};
+use crate::config::BenchmarkConfig;
+use crate::queue::{Completion, RequestQueue};
+use crate::report::RunReport;
+use crate::time::RunClock;
+use crate::traffic::{LoadMode, TrafficShaper};
+use crate::worker::WorkerPool;
+use std::sync::Arc;
+use tailbench_workloads::rng::seeded_rng;
+
+/// Runs one measurement in the integrated configuration and returns its report.
+///
+/// The factory provides request payloads; `config.load` controls their timing.  Warmup
+/// requests are issued at the same rate as measured ones and excluded from statistics.
+pub fn run_integrated(
+    app: &Arc<dyn ServerApp>,
+    factory: &mut dyn RequestFactory,
+    config: &BenchmarkConfig,
+) -> RunReport {
+    app.prepare();
+    let clock = RunClock::new();
+    let queue = RequestQueue::new();
+    let collector = CollectorHandle::spawn(config.warmup_requests as u64);
+    let pool = WorkerPool::spawn(
+        Arc::clone(app),
+        queue.receiver(),
+        clock,
+        config.worker_threads,
+    );
+
+    let collector_stats = match &config.load {
+        LoadMode::Open(process) => {
+            let mut rng = seeded_rng(config.seed, 1);
+            let shaper = TrafficShaper::build(
+                process,
+                &mut rng,
+                config.total_requests(),
+                0,
+                || factory.next_request(),
+            );
+            let record_tx = collector.sender();
+            let max_ns = config.max_duration.as_nanos() as u64;
+            for mut request in shaper.into_requests() {
+                let now = clock.sleep_until_ns(request.issued_ns);
+                if now > max_ns {
+                    break;
+                }
+                // The request is stamped with its *actual* issue time so pacing jitter is
+                // charged to the harness, not hidden.
+                request.issued_ns = now;
+                if !queue.push(request, now, Completion::Collector(record_tx.clone())) {
+                    break;
+                }
+            }
+            drop(record_tx);
+            queue.close();
+            let _ = pool.join();
+            collector.join()
+        }
+        LoadMode::Closed { think_ns } => {
+            run_closed_loop(app, factory, config, *think_ns, clock, queue, pool, collector)
+        }
+    };
+
+    build_report(app.name(), "integrated", config, &collector_stats)
+}
+
+/// Closed-loop driver used only by the coordinated-omission ablation: a single client
+/// issues a request, waits synchronously for its completion, sleeps for the think time
+/// and repeats.  Queuing never builds up, which is precisely the measurement error the
+/// open-loop design avoids.
+#[allow(clippy::too_many_arguments)]
+fn run_closed_loop(
+    _app: &Arc<dyn ServerApp>,
+    factory: &mut dyn RequestFactory,
+    config: &BenchmarkConfig,
+    think_ns: u64,
+    clock: RunClock,
+    queue: RequestQueue,
+    pool: WorkerPool,
+    collector: CollectorHandle,
+) -> StatsCollector {
+    use crate::request::{Request, RequestId};
+    use crossbeam::channel::unbounded;
+
+    let record_tx = collector.sender();
+    let max_ns = config.max_duration.as_nanos() as u64;
+    for i in 0..config.total_requests() as u64 {
+        let issued_ns = clock.now_ns();
+        if issued_ns > max_ns {
+            break;
+        }
+        let (done_tx, done_rx) = unbounded();
+        let request = Request {
+            id: RequestId(i),
+            payload: factory.next_request(),
+            issued_ns,
+        };
+        if !queue.push(request, issued_ns, Completion::Responder(done_tx)) {
+            break;
+        }
+        if let Ok(completion) = done_rx.recv() {
+            let received = clock.now_ns();
+            let _ = record_tx.send(completion.into_record(received));
+        }
+        if think_ns > 0 {
+            clock.sleep_until_ns(clock.now_ns() + think_ns);
+        }
+    }
+    drop(record_tx);
+    queue.close();
+    let _ = pool.join();
+    collector.join()
+}
+
+/// Assembles a [`RunReport`] from a populated collector.
+pub(crate) fn build_report(
+    app: &str,
+    configuration: &str,
+    config: &BenchmarkConfig,
+    stats: &StatsCollector,
+) -> RunReport {
+    RunReport {
+        app: app.to_string(),
+        configuration: configuration.to_string(),
+        offered_qps: config.load.offered_qps(),
+        achieved_qps: stats.achieved_qps(),
+        requests: stats.measured(),
+        worker_threads: config.worker_threads,
+        duration_ns: stats.span_ns(),
+        sojourn: stats.sojourn_stats(),
+        service: stats.service_stats(),
+        queue: stats.queue_stats(),
+        overhead: stats.overhead_stats(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::EchoApp;
+    use std::time::Duration;
+
+    fn echo_app() -> Arc<dyn ServerApp> {
+        Arc::new(EchoApp::with_service_us(20))
+    }
+
+    #[test]
+    fn integrated_run_produces_complete_report() {
+        let app = echo_app();
+        let mut factory = || b"req".to_vec();
+        let config = BenchmarkConfig::new(2_000.0, 400)
+            .with_warmup(50)
+            .with_max_duration(Duration::from_secs(20));
+        let report = run_integrated(&app, &mut factory, &config);
+        assert_eq!(report.app, "echo");
+        assert_eq!(report.configuration, "integrated");
+        assert!(report.requests > 350, "measured {}", report.requests);
+        assert!(report.achieved_qps > 0.0);
+        assert!(report.sojourn.p95_ns >= report.sojourn.p50_ns);
+        assert!(report.sojourn.p99_ns >= report.sojourn.p95_ns);
+        // Sojourn must be at least the service time.
+        assert!(report.sojourn.mean_ns >= report.service.mean_ns * 0.9);
+    }
+
+    #[test]
+    fn higher_load_increases_tail_latency() {
+        let app = echo_app();
+        let mut factory = || b"x".to_vec();
+        // Echo spins ~tens of microseconds; 1k QPS is light, 20k QPS is heavy for one thread.
+        let low = run_integrated(
+            &app,
+            &mut factory,
+            &BenchmarkConfig::new(500.0, 300).with_seed(1),
+        );
+        let high = run_integrated(
+            &app,
+            &mut factory,
+            &BenchmarkConfig::new(15_000.0, 300).with_seed(1),
+        );
+        assert!(
+            high.sojourn.p95_ns > low.sojourn.p95_ns,
+            "high load p95 {} should exceed low load p95 {}",
+            high.sojourn.p95_ns,
+            low.sojourn.p95_ns
+        );
+    }
+
+    #[test]
+    fn closed_loop_mode_completes() {
+        let app = echo_app();
+        let mut factory = || b"x".to_vec();
+        let config = BenchmarkConfig::new(1_000.0, 100)
+            .with_warmup(10)
+            .with_load(LoadMode::Closed { think_ns: 10_000 });
+        let report = run_integrated(&app, &mut factory, &config);
+        assert!(report.requests > 80);
+        assert!(report.offered_qps.is_none());
+    }
+}

@@ -1,0 +1,66 @@
+//! The TailBench-RS load-testing harness.
+//!
+//! This crate reproduces the harness of *TailBench: A Benchmark Suite and Evaluation
+//! Methodology for Latency-Critical Applications* (Kasture & Sanchez, IISWC 2016).  The
+//! harness controls the end-to-end execution of a latency-critical application and
+//! integrates load generation and statistics collection (paper §IV):
+//!
+//! * an **open-loop traffic shaper** issues requests with exponentially distributed
+//!   interarrival times at a configurable rate ([`traffic`]);
+//! * a **request queue** shared by the application's worker threads stamps queuing and
+//!   service times for every request ([`queue`], [`worker`]);
+//! * a **statistics collector** aggregates per-request records into sojourn, service and
+//!   queuing-time distributions with HDR-histogram precision ([`collector`], [`report`]);
+//! * three **measurement configurations** trade fidelity for cost: networked, loopback
+//!   and integrated ([`config::HarnessMode`], [`net`], [`integrated`]), plus a
+//!   **discrete-event simulation** runner that replaces wall-clock service times with a
+//!   microarchitectural cost model ([`sim`]);
+//! * a **repeated-run controller** re-randomizes seeds until 95% confidence intervals are
+//!   within 1% of each reported metric ([`runner::run_repeated`]).
+//!
+//! Applications plug in through the [`ServerApp`] and [`RequestFactory`] traits ([`app`]);
+//! the eight TailBench applications live in their own crates (`tailbench-search`,
+//! `tailbench-kvstore`, …).
+//!
+//! # Quick start
+//!
+//! ```
+//! use std::sync::Arc;
+//! use tailbench_core::app::{EchoApp, ServerApp};
+//! use tailbench_core::config::BenchmarkConfig;
+//! use tailbench_core::runner;
+//!
+//! let app: Arc<dyn ServerApp> = Arc::new(EchoApp::with_service_us(5));
+//! let mut factory = || b"hello".to_vec();
+//! let config = BenchmarkConfig::new(500.0, 200).with_warmup(20);
+//! let report = runner::run(&app, &mut factory, &config)?;
+//! assert!(report.sojourn.p95_ns > 0);
+//! # Ok::<(), tailbench_core::error::HarnessError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod app;
+pub mod collector;
+pub mod config;
+pub mod error;
+pub mod integrated;
+pub mod net;
+pub mod protocol;
+pub mod queue;
+pub mod report;
+pub mod request;
+pub mod runner;
+pub mod sim;
+pub mod time;
+pub mod traffic;
+pub mod worker;
+
+pub use app::{CostModel, RequestFactory, ServerApp};
+pub use config::{BenchmarkConfig, HarnessMode};
+pub use error::HarnessError;
+pub use report::{LatencyStats, MultiRunReport, RunReport};
+pub use request::{Request, RequestRecord, Response, WorkProfile};
+pub use runner::{measure_capacity, run, run_repeated, run_with_cost_model, RepeatPolicy};
+pub use traffic::LoadMode;

@@ -1,0 +1,273 @@
+//! Loopback and networked harness configurations.
+//!
+//! In the loopback configuration the client and the application run on the same machine
+//! and exchange requests over TCP through the loopback interface, which exercises the
+//! kernel network stack but no physical network (paper Fig. 1, lower right).  The
+//! networked configuration adds the propagation delay of NICs, links and switches; since
+//! this reproduction has a single machine, that extra delay is added analytically as a
+//! constant per direction (see DESIGN.md) while the socket and network-stack work is
+//! still performed for real.
+//!
+//! The client side uses several connections, each with its own sender and receiver
+//! thread, mirroring the paper's use of multiple client processes to avoid client-side
+//! queuing.
+
+use crate::app::{RequestFactory, ServerApp};
+use crate::collector::CollectorHandle;
+use crate::config::BenchmarkConfig;
+use crate::error::HarnessError;
+use crate::integrated::build_report;
+use crate::protocol;
+use crate::queue::{Completion, RequestQueue};
+use crate::report::RunReport;
+use crate::request::Request;
+use crate::time::RunClock;
+use crate::traffic::{LoadMode, TrafficShaper};
+use crate::worker::WorkerPool;
+use crossbeam::channel::unbounded;
+use std::io::{BufReader, BufWriter};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Runs one measurement over TCP (loopback or networked) and returns its report.
+///
+/// `one_way_delay_ns` is the analytic propagation delay added per direction;
+/// pass 0 for the loopback configuration.
+///
+/// # Errors
+///
+/// Returns [`HarnessError::Io`] if the server socket cannot be created or a client
+/// connection fails; [`HarnessError::Config`] if called with a closed-loop load mode
+/// (the TCP runners only support the open-loop methodology).
+pub fn run_tcp(
+    app: &Arc<dyn ServerApp>,
+    factory: &mut dyn RequestFactory,
+    config: &BenchmarkConfig,
+    connections: usize,
+    one_way_delay_ns: u64,
+    configuration_name: &str,
+) -> Result<RunReport, HarnessError> {
+    let LoadMode::Open(process) = &config.load else {
+        return Err(HarnessError::Config(
+            "TCP configurations require an open-loop load mode".into(),
+        ));
+    };
+    let connections = connections.max(1);
+    app.prepare();
+
+    let clock = RunClock::new();
+    let queue = RequestQueue::new();
+    let collector = CollectorHandle::spawn(config.warmup_requests as u64);
+    let pool = WorkerPool::spawn(
+        Arc::clone(app),
+        queue.receiver(),
+        clock,
+        config.worker_threads,
+    );
+
+    // --- server side -------------------------------------------------------------------
+    let listener = TcpListener::bind("127.0.0.1:0").map_err(HarnessError::Io)?;
+    let addr = listener.local_addr().map_err(HarnessError::Io)?;
+    let accept_handle = spawn_server(listener, connections, &queue, clock);
+
+    // --- build the global open-loop schedule and split it across connections -----------
+    let mut rng = tailbench_workloads::rng::seeded_rng(config.seed, 1);
+    let shaper = TrafficShaper::build(process, &mut rng, config.total_requests(), 0, || {
+        factory.next_request()
+    });
+    let schedule = shaper.into_requests();
+    let mut per_connection: Vec<Vec<Request>> = (0..connections).map(|_| Vec::new()).collect();
+    for (i, request) in schedule.into_iter().enumerate() {
+        per_connection[i % connections].push(request);
+    }
+
+    // --- client side ---------------------------------------------------------------------
+    let mut client_handles = Vec::new();
+    let max_ns = config.max_duration.as_nanos() as u64;
+    for requests in per_connection {
+        let stream = TcpStream::connect(addr).map_err(HarnessError::Io)?;
+        stream.set_nodelay(true).map_err(HarnessError::Io)?;
+        let record_tx = collector.sender();
+        let reader_stream = stream.try_clone().map_err(HarnessError::Io)?;
+
+        // Receiver thread: decodes responses and forwards complete records.
+        let receiver: JoinHandle<()> = std::thread::Builder::new()
+            .name("tb-client-recv".into())
+            .spawn(move || {
+                let mut reader = BufReader::new(reader_stream);
+                while let Ok(Some(frame)) = protocol::read_response(&mut reader) {
+                    // The analytic propagation delay is added once per direction: the
+                    // request and the response each cross the "wire".
+                    let client_received_ns = clock.now_ns() + 2 * one_way_delay_ns;
+                    let record = crate::request::RequestRecord {
+                        id: frame.id,
+                        issued_ns: frame.issued_ns,
+                        enqueued_ns: frame.enqueued_ns,
+                        started_ns: frame.started_ns,
+                        completed_ns: frame.completed_ns,
+                        client_received_ns,
+                    };
+                    let _ = record_tx.send(record);
+                }
+            })
+            .expect("failed to spawn client receiver");
+
+        // Sender thread: paces its share of the schedule.
+        let sender: JoinHandle<()> = std::thread::Builder::new()
+            .name("tb-client-send".into())
+            .spawn(move || {
+                let mut writer = BufWriter::new(&stream);
+                for mut request in requests {
+                    let now = clock.sleep_until_ns(request.issued_ns);
+                    if now > max_ns {
+                        break;
+                    }
+                    request.issued_ns = now;
+                    if protocol::write_request(&mut writer, &request).is_err() {
+                        break;
+                    }
+                }
+                drop(writer);
+                // Signal end-of-requests so the server-side reader can wind down.
+                let _ = stream.shutdown(Shutdown::Write);
+            })
+            .expect("failed to spawn client sender");
+
+        client_handles.push((sender, receiver));
+    }
+
+    // Wait for all clients to finish sending and receiving.
+    for (sender, receiver) in client_handles {
+        let _ = sender.join();
+        let _ = receiver.join();
+    }
+    // All server readers have observed EOF by now (the receivers only exit once the
+    // server writers shut down their side); dropping our queue handle lets workers exit.
+    queue.close();
+    let _ = pool.join();
+    let _ = accept_handle.join();
+    let stats = collector.join();
+
+    Ok(build_report(app.name(), configuration_name, config, &stats))
+}
+
+/// Accepts `connections` connections and spawns a reader and a writer thread per
+/// connection.  Returns a handle that joins all per-connection threads.
+fn spawn_server(
+    listener: TcpListener,
+    connections: usize,
+    queue: &RequestQueue,
+    clock: RunClock,
+) -> JoinHandle<()> {
+    let queue_tx = queue.sender();
+    std::thread::Builder::new()
+        .name("tb-server-accept".into())
+        .spawn(move || {
+            let mut conn_handles = Vec::new();
+            for _ in 0..connections {
+                let Ok((stream, _)) = listener.accept() else {
+                    break;
+                };
+                let _ = stream.set_nodelay(true);
+                let (resp_tx, resp_rx) = unbounded();
+                let reader_stream = stream.try_clone().expect("clone server stream");
+                let queue_tx = queue_tx.clone();
+
+                let reader = std::thread::Builder::new()
+                    .name("tb-server-recv".into())
+                    .spawn(move || {
+                        let mut reader = BufReader::new(reader_stream);
+                        while let Ok(Some(request)) = protocol::read_request(&mut reader) {
+                            let enqueued_ns = clock.now_ns();
+                            let item = crate::queue::QueuedRequest {
+                                request,
+                                enqueued_ns,
+                                completion: Completion::Responder(resp_tx.clone()),
+                            };
+                            if queue_tx.send(item).is_err() {
+                                break;
+                            }
+                        }
+                        // Dropping resp_tx here lets the writer exit once in-flight
+                        // requests drain.
+                    })
+                    .expect("failed to spawn server reader");
+
+                let writer = std::thread::Builder::new()
+                    .name("tb-server-send".into())
+                    .spawn(move || {
+                        let mut writer = BufWriter::new(&stream);
+                        while let Ok(completion) = resp_rx.recv() {
+                            if protocol::write_response(&mut writer, &completion).is_err() {
+                                break;
+                            }
+                        }
+                        drop(writer);
+                        let _ = stream.shutdown(Shutdown::Write);
+                    })
+                    .expect("failed to spawn server writer");
+
+                conn_handles.push((reader, writer));
+            }
+            drop(queue_tx);
+            for (reader, writer) in conn_handles {
+                let _ = reader.join();
+                let _ = writer.join();
+            }
+        })
+        .expect("failed to spawn accept thread")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::EchoApp;
+    use crate::config::BenchmarkConfig;
+    use std::time::Duration;
+
+    fn echo_app() -> Arc<dyn ServerApp> {
+        Arc::new(EchoApp::with_service_us(10))
+    }
+
+    #[test]
+    fn loopback_run_completes_and_measures() {
+        let app = echo_app();
+        let mut factory = || b"net".to_vec();
+        let config = BenchmarkConfig::new(1_000.0, 300)
+            .with_warmup(30)
+            .with_max_duration(Duration::from_secs(30));
+        let report = run_tcp(&app, &mut factory, &config, 4, 0, "loopback").unwrap();
+        assert_eq!(report.configuration, "loopback");
+        assert!(report.requests > 250, "measured {}", report.requests);
+        assert!(report.sojourn.mean_ns > 0.0);
+        // Loopback adds real socket overhead on top of service time.
+        assert!(report.sojourn.mean_ns >= report.service.mean_ns);
+    }
+
+    #[test]
+    fn networked_delay_increases_sojourn() {
+        let app = echo_app();
+        let mut factory = || b"net".to_vec();
+        let base = BenchmarkConfig::new(800.0, 200).with_warmup(20).with_seed(9);
+        let loopback = run_tcp(&app, &mut factory, &base, 4, 0, "loopback").unwrap();
+        let networked = run_tcp(&app, &mut factory, &base, 4, 50_000, "networked").unwrap();
+        // 100 us of added round-trip must be visible in the median sojourn.
+        assert!(
+            networked.sojourn.p50_ns >= loopback.sojourn.p50_ns + 50_000,
+            "networked p50 {} vs loopback p50 {}",
+            networked.sojourn.p50_ns,
+            loopback.sojourn.p50_ns
+        );
+    }
+
+    #[test]
+    fn closed_loop_mode_is_rejected() {
+        let app = echo_app();
+        let mut factory = || b"x".to_vec();
+        let config = BenchmarkConfig::new(100.0, 10)
+            .with_load(crate::traffic::LoadMode::Closed { think_ns: 0 });
+        let err = run_tcp(&app, &mut factory, &config, 2, 0, "loopback").unwrap_err();
+        assert!(matches!(err, HarnessError::Config(_)));
+    }
+}

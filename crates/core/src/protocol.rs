@@ -1,0 +1,209 @@
+//! Wire protocol used by the loopback and networked configurations.
+//!
+//! Requests and responses are length-prefixed binary frames carrying the request id, the
+//! client's issue timestamp, and (on the response path) the server-side queue and service
+//! timestamps, so the client can assemble a complete
+//! [`RequestRecord`](crate::request::RequestRecord) without clock synchronization issues
+//! (both ends share the run clock because they live on the same machine, exactly as in
+//! the paper's loopback configuration).
+
+use crate::queue::ServerCompletion;
+use crate::request::{Request, RequestId};
+use std::io::{self, Read, Write};
+
+/// A decoded response frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResponseFrame {
+    /// Request identifier being answered.
+    pub id: RequestId,
+    /// Client issue timestamp echoed back by the server.
+    pub issued_ns: u64,
+    /// Server-side enqueue timestamp.
+    pub enqueued_ns: u64,
+    /// Server-side service start timestamp.
+    pub started_ns: u64,
+    /// Server-side completion timestamp.
+    pub completed_ns: u64,
+    /// Response payload.
+    pub payload: Vec<u8>,
+}
+
+fn write_u32(w: &mut impl Write, v: u32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn write_u64(w: &mut impl Write, v: u64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn read_u32(r: &mut impl Read) -> io::Result<Option<u32>> {
+    let mut buf = [0u8; 4];
+    match r.read_exact(&mut buf) {
+        Ok(()) => Ok(Some(u32::from_le_bytes(buf))),
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => Ok(None),
+        Err(e) => Err(e),
+    }
+}
+
+fn read_u64(r: &mut impl Read) -> io::Result<u64> {
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf)?;
+    Ok(u64::from_le_bytes(buf))
+}
+
+/// Writes a request frame.
+///
+/// # Errors
+///
+/// Propagates any I/O error from the underlying stream.
+pub fn write_request(w: &mut impl Write, request: &Request) -> io::Result<()> {
+    write_u32(w, request.payload.len() as u32)?;
+    write_u64(w, request.id.0)?;
+    write_u64(w, request.issued_ns)?;
+    w.write_all(&request.payload)?;
+    w.flush()
+}
+
+/// Reads a request frame; returns `Ok(None)` on a clean end-of-stream.
+///
+/// # Errors
+///
+/// Propagates any I/O error from the underlying stream.
+pub fn read_request(r: &mut impl Read) -> io::Result<Option<Request>> {
+    let Some(len) = read_u32(r)? else {
+        return Ok(None);
+    };
+    let id = read_u64(r)?;
+    let issued_ns = read_u64(r)?;
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok(Some(Request {
+        id: RequestId(id),
+        payload,
+        issued_ns,
+    }))
+}
+
+/// Writes a response frame from a server-side completion.
+///
+/// # Errors
+///
+/// Propagates any I/O error from the underlying stream.
+pub fn write_response(w: &mut impl Write, completion: &ServerCompletion) -> io::Result<()> {
+    write_u32(w, completion.response_payload.len() as u32)?;
+    write_u64(w, completion.id.0)?;
+    write_u64(w, completion.issued_ns)?;
+    write_u64(w, completion.enqueued_ns)?;
+    write_u64(w, completion.started_ns)?;
+    write_u64(w, completion.completed_ns)?;
+    w.write_all(&completion.response_payload)?;
+    w.flush()
+}
+
+/// Reads a response frame; returns `Ok(None)` on a clean end-of-stream.
+///
+/// # Errors
+///
+/// Propagates any I/O error from the underlying stream.
+pub fn read_response(r: &mut impl Read) -> io::Result<Option<ResponseFrame>> {
+    let Some(len) = read_u32(r)? else {
+        return Ok(None);
+    };
+    let id = read_u64(r)?;
+    let issued_ns = read_u64(r)?;
+    let enqueued_ns = read_u64(r)?;
+    let started_ns = read_u64(r)?;
+    let completed_ns = read_u64(r)?;
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok(Some(ResponseFrame {
+        id: RequestId(id),
+        issued_ns,
+        enqueued_ns,
+        started_ns,
+        completed_ns,
+        payload,
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::WorkProfile;
+    use std::io::Cursor;
+
+    #[test]
+    fn request_round_trip() {
+        let req = Request {
+            id: RequestId(42),
+            payload: b"hello world".to_vec(),
+            issued_ns: 123_456,
+        };
+        let mut buf = Vec::new();
+        write_request(&mut buf, &req).unwrap();
+        let decoded = read_request(&mut Cursor::new(buf)).unwrap().unwrap();
+        assert_eq!(decoded, req);
+    }
+
+    #[test]
+    fn response_round_trip() {
+        let completion = ServerCompletion {
+            id: RequestId(9),
+            issued_ns: 10,
+            enqueued_ns: 20,
+            started_ns: 30,
+            completed_ns: 40,
+            work: WorkProfile::default(),
+            response_payload: vec![1, 2, 3, 4, 5],
+        };
+        let mut buf = Vec::new();
+        write_response(&mut buf, &completion).unwrap();
+        let frame = read_response(&mut Cursor::new(buf)).unwrap().unwrap();
+        assert_eq!(frame.id, RequestId(9));
+        assert_eq!(frame.issued_ns, 10);
+        assert_eq!(frame.enqueued_ns, 20);
+        assert_eq!(frame.started_ns, 30);
+        assert_eq!(frame.completed_ns, 40);
+        assert_eq!(frame.payload, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn empty_stream_is_clean_eof() {
+        let empty: Vec<u8> = Vec::new();
+        assert!(read_request(&mut Cursor::new(empty.clone())).unwrap().is_none());
+        assert!(read_response(&mut Cursor::new(empty)).unwrap().is_none());
+    }
+
+    #[test]
+    fn truncated_frame_is_an_error() {
+        let req = Request {
+            id: RequestId(1),
+            payload: vec![0u8; 100],
+            issued_ns: 5,
+        };
+        let mut buf = Vec::new();
+        write_request(&mut buf, &req).unwrap();
+        buf.truncate(buf.len() - 10);
+        assert!(read_request(&mut Cursor::new(buf)).is_err());
+    }
+
+    #[test]
+    fn multiple_frames_in_sequence() {
+        let mut buf = Vec::new();
+        for i in 0..5u64 {
+            let req = Request {
+                id: RequestId(i),
+                payload: vec![i as u8; i as usize],
+                issued_ns: i * 100,
+            };
+            write_request(&mut buf, &req).unwrap();
+        }
+        let mut cursor = Cursor::new(buf);
+        for i in 0..5u64 {
+            let r = read_request(&mut cursor).unwrap().unwrap();
+            assert_eq!(r.id, RequestId(i));
+            assert_eq!(r.payload.len(), i as usize);
+        }
+        assert!(read_request(&mut cursor).unwrap().is_none());
+    }
+}

@@ -1,0 +1,187 @@
+//! The shared request queue.
+//!
+//! The request queue sits between the traffic shaper / network front-end and the
+//! application worker threads (paper Fig. 1).  It stores incoming requests, stamps their
+//! enqueue time (from which queuing time is derived) and routes each request's completion
+//! to the right place: directly to the statistics collector in the integrated
+//! configuration, or back to the originating connection in the TCP configurations.
+
+use crate::request::{Request, RequestId, RequestRecord, WorkProfile};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+/// Server-side completion information for one request, produced by a worker thread.
+#[derive(Debug, Clone)]
+pub struct ServerCompletion {
+    /// Request identifier.
+    pub id: RequestId,
+    /// Client issue time (copied from the request).
+    pub issued_ns: u64,
+    /// Time the request entered the queue.
+    pub enqueued_ns: u64,
+    /// Time a worker started processing.
+    pub started_ns: u64,
+    /// Time processing finished.
+    pub completed_ns: u64,
+    /// Work profile reported by the application.
+    pub work: WorkProfile,
+    /// Response payload to return to the client.
+    pub response_payload: Vec<u8>,
+}
+
+impl ServerCompletion {
+    /// Converts this completion into a full [`RequestRecord`], given the time the client
+    /// received the response.
+    #[must_use]
+    pub fn into_record(self, client_received_ns: u64) -> RequestRecord {
+        RequestRecord {
+            id: self.id,
+            issued_ns: self.issued_ns,
+            enqueued_ns: self.enqueued_ns,
+            started_ns: self.started_ns,
+            completed_ns: self.completed_ns,
+            client_received_ns,
+        }
+    }
+}
+
+/// Where a worker should send a finished request.
+#[derive(Debug, Clone)]
+pub enum Completion {
+    /// Integrated configuration: the client and server share the process, so the
+    /// response is considered delivered the moment processing completes.  The record is
+    /// forwarded straight to the statistics collector.
+    Collector(Sender<RequestRecord>),
+    /// TCP configurations: the completion is handed to the originating connection's
+    /// writer, which serializes the response back to the client.
+    Responder(Sender<ServerCompletion>),
+}
+
+/// A request sitting in the queue, together with its enqueue timestamp and completion
+/// route.
+#[derive(Debug)]
+pub struct QueuedRequest {
+    /// The request itself.
+    pub request: Request,
+    /// When it entered the queue (ns since the run epoch).
+    pub enqueued_ns: u64,
+    /// Where to deliver the completion.
+    pub completion: Completion,
+}
+
+/// The shared request queue: an unbounded MPMC channel with enqueue-time stamping.
+///
+/// Cloning the handle is cheap; producers push with [`RequestQueue::push`], workers pull
+/// via the receiver returned by [`RequestQueue::receiver`].
+#[derive(Debug, Clone)]
+pub struct RequestQueue {
+    tx: Sender<QueuedRequest>,
+    rx: Receiver<QueuedRequest>,
+}
+
+impl Default for RequestQueue {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RequestQueue {
+    /// Creates an empty queue.
+    #[must_use]
+    pub fn new() -> Self {
+        let (tx, rx) = unbounded();
+        RequestQueue { tx, rx }
+    }
+
+    /// Pushes a request into the queue with the given enqueue timestamp.
+    ///
+    /// Returns `false` if all workers have already shut down (the run is being torn
+    /// down), in which case the request is dropped.
+    pub fn push(&self, request: Request, enqueued_ns: u64, completion: Completion) -> bool {
+        self.tx
+            .send(QueuedRequest {
+                request,
+                enqueued_ns,
+                completion,
+            })
+            .is_ok()
+    }
+
+    /// The worker-side receiver.
+    #[must_use]
+    pub fn receiver(&self) -> Receiver<QueuedRequest> {
+        self.rx.clone()
+    }
+
+    /// A producer-side sender handle (used by network front-ends).
+    #[must_use]
+    pub fn sender(&self) -> Sender<QueuedRequest> {
+        self.tx.clone()
+    }
+
+    /// Current queue depth (requests waiting for a worker).
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.rx.len()
+    }
+
+    /// Drops the producer handle held by this instance so workers can observe shutdown
+    /// once every other producer has also been dropped.
+    pub fn close(self) {
+        drop(self.tx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::Request;
+
+    fn request(id: u64) -> Request {
+        Request {
+            id: RequestId(id),
+            payload: vec![id as u8],
+            issued_ns: id * 10,
+        }
+    }
+
+    #[test]
+    fn push_and_receive_preserves_order_and_depth() {
+        let q = RequestQueue::new();
+        let (tx, _rx) = unbounded();
+        assert!(q.push(request(1), 100, Completion::Collector(tx.clone())));
+        assert!(q.push(request(2), 200, Completion::Collector(tx)));
+        assert_eq!(q.depth(), 2);
+        let rx = q.receiver();
+        let a = rx.recv().unwrap();
+        let b = rx.recv().unwrap();
+        assert_eq!(a.request.id, RequestId(1));
+        assert_eq!(a.enqueued_ns, 100);
+        assert_eq!(b.request.id, RequestId(2));
+        assert_eq!(q.depth(), 0);
+    }
+
+    #[test]
+    fn completion_converts_to_record() {
+        let c = ServerCompletion {
+            id: RequestId(5),
+            issued_ns: 10,
+            enqueued_ns: 20,
+            started_ns: 30,
+            completed_ns: 50,
+            work: WorkProfile::default(),
+            response_payload: vec![1, 2, 3],
+        };
+        let r = c.into_record(60);
+        assert_eq!(r.queue_ns(), 10);
+        assert_eq!(r.service_ns(), 20);
+        assert_eq!(r.sojourn_ns(), 50);
+    }
+
+    #[test]
+    fn receivers_see_channel_close() {
+        let q = RequestQueue::new();
+        let rx = q.receiver();
+        q.close();
+        assert!(rx.recv().is_err());
+    }
+}

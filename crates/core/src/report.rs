@@ -1,0 +1,297 @@
+//! Run reports.
+//!
+//! A [`RunReport`] captures everything the paper reports about a single measurement run:
+//! offered and achieved load, and the mean / tail latencies of the sojourn, service and
+//! queuing time distributions.  [`MultiRunReport`] aggregates repeated runs and carries
+//! the confidence intervals mandated by the methodology (§IV-C).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use tailbench_histogram::{ConfidenceInterval, LatencySummary, RunSeries};
+
+/// Summary statistics of one latency distribution, in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct LatencyStats {
+    /// Number of samples.
+    pub count: u64,
+    /// Arithmetic mean.
+    pub mean_ns: f64,
+    /// Median (50th percentile).
+    pub p50_ns: u64,
+    /// 90th percentile.
+    pub p90_ns: u64,
+    /// 95th percentile — the headline metric of most of the paper's figures.
+    pub p95_ns: u64,
+    /// 99th percentile.
+    pub p99_ns: u64,
+    /// 99.9th percentile.
+    pub p999_ns: u64,
+    /// Minimum.
+    pub min_ns: u64,
+    /// Maximum.
+    pub max_ns: u64,
+}
+
+impl LatencyStats {
+    /// Extracts summary statistics from a latency summary.
+    #[must_use]
+    pub fn from_summary(summary: &LatencySummary) -> Self {
+        LatencyStats {
+            count: summary.len(),
+            mean_ns: summary.mean(),
+            p50_ns: summary.value_at_quantile(0.50),
+            p90_ns: summary.value_at_quantile(0.90),
+            p95_ns: summary.value_at_quantile(0.95),
+            p99_ns: summary.value_at_quantile(0.99),
+            p999_ns: summary.value_at_quantile(0.999),
+            min_ns: summary.min(),
+            max_ns: summary.max(),
+        }
+    }
+
+    /// Mean in milliseconds.
+    #[must_use]
+    pub fn mean_ms(&self) -> f64 {
+        self.mean_ns / 1e6
+    }
+
+    /// 95th percentile in milliseconds.
+    #[must_use]
+    pub fn p95_ms(&self) -> f64 {
+        self.p95_ns as f64 / 1e6
+    }
+
+    /// 99th percentile in milliseconds.
+    #[must_use]
+    pub fn p99_ms(&self) -> f64 {
+        self.p99_ns as f64 / 1e6
+    }
+}
+
+/// The result of one measurement run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Application name.
+    pub app: String,
+    /// Harness configuration name (`integrated`, `loopback`, `networked`, `simulated`).
+    pub configuration: String,
+    /// Offered load in QPS (absent for closed-loop runs).
+    pub offered_qps: Option<f64>,
+    /// Achieved throughput over the measured interval in QPS.
+    pub achieved_qps: f64,
+    /// Number of measured (non-warmup) requests.
+    pub requests: u64,
+    /// Number of application worker threads.
+    pub worker_threads: usize,
+    /// Wall-clock (or virtual-clock) span of the measured interval, ns.
+    pub duration_ns: u64,
+    /// End-to-end latency distribution.
+    pub sojourn: LatencyStats,
+    /// Service-time distribution.
+    pub service: LatencyStats,
+    /// Queuing-time distribution.
+    pub queue: LatencyStats,
+    /// Transport/harness overhead distribution.
+    pub overhead: LatencyStats,
+}
+
+impl RunReport {
+    /// Returns `true` if the run failed to keep up with the offered load (achieved
+    /// throughput more than `tolerance` below offered), i.e. the system was saturated.
+    #[must_use]
+    pub fn is_saturated(&self, tolerance: f64) -> bool {
+        match self.offered_qps {
+            Some(offered) if offered > 0.0 => self.achieved_qps < offered * (1.0 - tolerance),
+            _ => false,
+        }
+    }
+
+    /// System load: achieved QPS divided by the provided capacity (saturation QPS).
+    #[must_use]
+    pub fn load(&self, capacity_qps: f64) -> f64 {
+        if capacity_qps <= 0.0 {
+            0.0
+        } else {
+            self.offered_qps.unwrap_or(self.achieved_qps) / capacity_qps
+        }
+    }
+}
+
+impl fmt::Display for RunReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<10} {:<11} {:>7} thr={} offered={:>10.1} achieved={:>10.1}  p50={:>9.3}ms p95={:>9.3}ms p99={:>9.3}ms mean={:>9.3}ms",
+            self.app,
+            self.configuration,
+            self.requests,
+            self.worker_threads,
+            self.offered_qps.unwrap_or(f64::NAN),
+            self.achieved_qps,
+            self.sojourn.p50_ns as f64 / 1e6,
+            self.sojourn.p95_ms(),
+            self.sojourn.p99_ms(),
+            self.sojourn.mean_ms(),
+        )
+    }
+}
+
+/// Aggregate of several repeated runs of the same configuration, with the
+/// confidence-interval bookkeeping from the paper's methodology.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MultiRunReport {
+    /// The individual runs.
+    pub runs: Vec<RunReport>,
+    /// 95% confidence interval of mean sojourn latency across runs.
+    pub mean_ci: ConfidenceInterval,
+    /// 95% confidence interval of the 95th-percentile sojourn latency across runs.
+    pub p95_ci: ConfidenceInterval,
+    /// 95% confidence interval of the 99th-percentile sojourn latency across runs.
+    pub p99_ci: ConfidenceInterval,
+    /// Whether all tracked metrics converged to the target relative CI width.
+    pub converged: bool,
+}
+
+impl MultiRunReport {
+    /// Builds the aggregate from individual runs and a convergence target (e.g. 0.01 for
+    /// the paper's 1% rule).
+    #[must_use]
+    pub fn from_runs(runs: Vec<RunReport>, target_fraction: f64, min_runs: usize) -> Self {
+        let mut mean_series = RunSeries::new("mean_sojourn_ns", target_fraction);
+        let mut p95_series = RunSeries::new("p95_sojourn_ns", target_fraction);
+        let mut p99_series = RunSeries::new("p99_sojourn_ns", target_fraction);
+        for r in &runs {
+            mean_series.push(r.sojourn.mean_ns);
+            p95_series.push(r.sojourn.p95_ns as f64);
+            p99_series.push(r.sojourn.p99_ns as f64);
+        }
+        let converged = mean_series.converged(min_runs)
+            && p95_series.converged(min_runs)
+            && p99_series.converged(min_runs);
+        MultiRunReport {
+            runs,
+            mean_ci: mean_series.interval(),
+            p95_ci: p95_series.interval(),
+            p99_ci: p99_series.interval(),
+            converged,
+        }
+    }
+
+    /// Mean 95th-percentile sojourn latency across runs, in nanoseconds.
+    #[must_use]
+    pub fn p95_ns(&self) -> f64 {
+        self.p95_ci.mean
+    }
+
+    /// Mean achieved throughput across runs, in QPS.
+    #[must_use]
+    pub fn achieved_qps(&self) -> f64 {
+        if self.runs.is_empty() {
+            0.0
+        } else {
+            self.runs.iter().map(|r| r.achieved_qps).sum::<f64>() / self.runs.len() as f64
+        }
+    }
+
+    /// The most representative single run (the one whose p95 is closest to the mean p95).
+    #[must_use]
+    pub fn representative_run(&self) -> Option<&RunReport> {
+        let target = self.p95_ci.mean;
+        self.runs.iter().min_by(|a, b| {
+            let da = (a.sojourn.p95_ns as f64 - target).abs();
+            let db = (b.sojourn.p95_ns as f64 - target).abs();
+            da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(p95_ms: f64, offered: f64, achieved: f64) -> RunReport {
+        RunReport {
+            app: "echo".into(),
+            configuration: "integrated".into(),
+            offered_qps: Some(offered),
+            achieved_qps: achieved,
+            requests: 1000,
+            worker_threads: 1,
+            duration_ns: 1_000_000_000,
+            sojourn: LatencyStats {
+                count: 1000,
+                mean_ns: p95_ms * 0.6e6,
+                p50_ns: (p95_ms * 0.5e6) as u64,
+                p90_ns: (p95_ms * 0.9e6) as u64,
+                p95_ns: (p95_ms * 1e6) as u64,
+                p99_ns: (p95_ms * 1.3e6) as u64,
+                p999_ns: (p95_ms * 1.8e6) as u64,
+                min_ns: 1_000,
+                max_ns: (p95_ms * 2e6) as u64,
+            },
+            service: LatencyStats::default(),
+            queue: LatencyStats::default(),
+            overhead: LatencyStats::default(),
+        }
+    }
+
+    #[test]
+    fn latency_stats_from_summary() {
+        let mut s = LatencySummary::new();
+        for i in 1..=100u64 {
+            s.record(i * 1_000_000);
+        }
+        let stats = LatencyStats::from_summary(&s);
+        assert_eq!(stats.count, 100);
+        assert_eq!(stats.p95_ns, 95_000_000);
+        assert!((stats.p95_ms() - 95.0).abs() < 1e-9);
+        assert_eq!(stats.min_ns, 1_000_000);
+        assert_eq!(stats.max_ns, 100_000_000);
+    }
+
+    #[test]
+    fn saturation_detection() {
+        assert!(!report(2.0, 1000.0, 995.0).is_saturated(0.05));
+        assert!(report(50.0, 1000.0, 700.0).is_saturated(0.05));
+        let mut closed = report(2.0, 1000.0, 700.0);
+        closed.offered_qps = None;
+        assert!(!closed.is_saturated(0.05));
+    }
+
+    #[test]
+    fn load_is_relative_to_capacity() {
+        let r = report(2.0, 500.0, 498.0);
+        assert!((r.load(1000.0) - 0.5).abs() < 1e-9);
+        assert_eq!(r.load(0.0), 0.0);
+    }
+
+    #[test]
+    fn multi_run_report_aggregates_and_converges() {
+        let runs = vec![
+            report(2.00, 1000.0, 998.0),
+            report(2.01, 1000.0, 997.0),
+            report(1.99, 1000.0, 999.0),
+            report(2.00, 1000.0, 998.0),
+        ];
+        let multi = MultiRunReport::from_runs(runs, 0.01, 2);
+        assert!(multi.converged);
+        assert!((multi.p95_ns() - 2.0e6).abs() < 2e4);
+        assert!((multi.achieved_qps() - 998.0).abs() < 1.0);
+        assert!(multi.representative_run().is_some());
+    }
+
+    #[test]
+    fn multi_run_report_detects_non_convergence() {
+        let runs = vec![report(2.0, 1000.0, 998.0), report(4.0, 1000.0, 998.0)];
+        let multi = MultiRunReport::from_runs(runs, 0.01, 2);
+        assert!(!multi.converged);
+    }
+
+    #[test]
+    fn display_contains_key_fields() {
+        let s = format!("{}", report(2.0, 1000.0, 998.0));
+        assert!(s.contains("echo"));
+        assert!(s.contains("integrated"));
+        assert!(s.contains("p95"));
+    }
+}

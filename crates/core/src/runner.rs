@@ -1,0 +1,268 @@
+//! The top-level benchmark runner.
+//!
+//! [`run`] executes a single measurement run in whichever harness configuration the
+//! [`BenchmarkConfig`] selects.  [`run_repeated`] implements the paper's repeated-run
+//! methodology: it re-runs the measurement with fresh seeds (re-randomizing both request
+//! payloads and interarrival times) until the 95% confidence intervals of the reported
+//! latency metrics are within the target fraction of their means, or a run budget is
+//! exhausted.  [`measure_capacity`] estimates an application's saturation throughput,
+//! which the experiments use to express offered load as a fraction of capacity
+//! (paper Table I reports latencies "at 20% / 50% / 70% load").
+
+use crate::app::{CostModel, RequestFactory, ServerApp};
+use crate::config::{BenchmarkConfig, HarnessMode};
+use crate::error::HarnessError;
+use crate::integrated::run_integrated;
+use crate::net::run_tcp;
+use crate::report::{MultiRunReport, RunReport};
+use crate::sim::run_simulated;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Policy for repeated runs.
+#[derive(Debug, Clone, Copy)]
+pub struct RepeatPolicy {
+    /// Minimum number of runs (the paper always performs several).
+    pub min_runs: usize,
+    /// Maximum number of runs (budget cap).
+    pub max_runs: usize,
+    /// Target relative half-width of the 95% confidence interval (0.01 = 1%).
+    pub target_fraction: f64,
+}
+
+impl Default for RepeatPolicy {
+    fn default() -> Self {
+        RepeatPolicy {
+            min_runs: 3,
+            max_runs: 10,
+            target_fraction: 0.01,
+        }
+    }
+}
+
+impl RepeatPolicy {
+    /// A cheap policy for tests and quick sweeps: exactly `runs` runs, no convergence
+    /// requirement beyond what those runs provide.
+    #[must_use]
+    pub fn fixed(runs: usize) -> Self {
+        RepeatPolicy {
+            min_runs: runs,
+            max_runs: runs,
+            target_fraction: 0.05,
+        }
+    }
+}
+
+/// Runs one measurement with the configured harness mode.
+///
+/// Simulated mode requires a cost model; use [`run_with_cost_model`] for that.
+///
+/// # Errors
+///
+/// Returns [`HarnessError::Config`] if the configuration selects simulated mode (no cost
+/// model is available here) or is otherwise inconsistent, and [`HarnessError::Io`] if a
+/// TCP configuration fails to set up its sockets.
+pub fn run(
+    app: &Arc<dyn ServerApp>,
+    factory: &mut dyn RequestFactory,
+    config: &BenchmarkConfig,
+) -> Result<RunReport, HarnessError> {
+    match &config.mode {
+        HarnessMode::Integrated => Ok(run_integrated(app, factory, config)),
+        HarnessMode::Loopback { connections } => {
+            run_tcp(app, factory, config, *connections, 0, "loopback")
+        }
+        HarnessMode::Networked {
+            connections,
+            one_way_delay_ns,
+        } => run_tcp(
+            app,
+            factory,
+            config,
+            *connections,
+            *one_way_delay_ns,
+            "networked",
+        ),
+        HarnessMode::Simulated => Err(HarnessError::Config(
+            "simulated mode requires a cost model; call run_with_cost_model".into(),
+        )),
+    }
+}
+
+/// Runs one measurement, supplying the cost model needed by simulated mode.  Real-time
+/// modes ignore the cost model.
+///
+/// # Errors
+///
+/// Same as [`run`].
+pub fn run_with_cost_model(
+    app: &Arc<dyn ServerApp>,
+    factory: &mut dyn RequestFactory,
+    config: &BenchmarkConfig,
+    cost_model: &dyn CostModel,
+) -> Result<RunReport, HarnessError> {
+    match &config.mode {
+        HarnessMode::Simulated => Ok(run_simulated(app, factory, config, cost_model)),
+        _ => run(app, factory, config),
+    }
+}
+
+/// Runs the measurement repeatedly with fresh seeds until the latency metrics converge
+/// (95% CI within `policy.target_fraction` of the mean) or `policy.max_runs` is reached.
+///
+/// `make_factory` is called once per run with that run's seed so request streams are
+/// re-randomized, as the methodology requires.
+///
+/// # Errors
+///
+/// Propagates the first error encountered by an individual run.
+pub fn run_repeated<F>(
+    app: &Arc<dyn ServerApp>,
+    mut make_factory: F,
+    config: &BenchmarkConfig,
+    policy: RepeatPolicy,
+    cost_model: Option<&dyn CostModel>,
+) -> Result<MultiRunReport, HarnessError>
+where
+    F: FnMut(u64) -> Box<dyn RequestFactory>,
+{
+    let mut runs = Vec::new();
+    for run_idx in 0..policy.max_runs.max(1) {
+        let seed = tailbench_workloads::rng::derive_seed(config.seed, run_idx as u64);
+        let run_config = config.clone().with_seed(seed);
+        let mut factory = make_factory(seed);
+        let report = match cost_model {
+            Some(model) => run_with_cost_model(app, factory.as_mut(), &run_config, model)?,
+            None => run(app, factory.as_mut(), &run_config)?,
+        };
+        runs.push(report);
+        if runs.len() >= policy.min_runs.max(2) {
+            let interim =
+                MultiRunReport::from_runs(runs.clone(), policy.target_fraction, policy.min_runs);
+            if interim.converged {
+                return Ok(interim);
+            }
+        }
+    }
+    Ok(MultiRunReport::from_runs(
+        runs,
+        policy.target_fraction,
+        policy.min_runs,
+    ))
+}
+
+/// Estimates the application's saturation throughput (requests per second) with the
+/// given number of worker threads by executing `sample_requests` back-to-back across the
+/// workers and measuring the completion rate.
+///
+/// This is the denominator used to express offered load as a fraction of capacity.
+#[must_use]
+pub fn measure_capacity(
+    app: &Arc<dyn ServerApp>,
+    factory: &mut dyn RequestFactory,
+    threads: usize,
+    sample_requests: usize,
+) -> f64 {
+    app.prepare();
+    let threads = threads.max(1);
+    let sample_requests = sample_requests.max(threads);
+    let payloads: Vec<Vec<u8>> = (0..sample_requests).map(|_| factory.next_request()).collect();
+    let payloads = Arc::new(payloads);
+    let next = Arc::new(AtomicU64::new(0));
+
+    let start = Instant::now();
+    let handles: Vec<_> = (0..threads)
+        .map(|_| {
+            let app = Arc::clone(app);
+            let payloads = Arc::clone(&payloads);
+            let next = Arc::clone(&next);
+            std::thread::spawn(move || {
+                let mut served = 0u64;
+                loop {
+                    let idx = next.fetch_add(1, Ordering::Relaxed) as usize;
+                    if idx >= payloads.len() {
+                        break;
+                    }
+                    let _ = app.handle(&payloads[idx]);
+                    served += 1;
+                }
+                served
+            })
+        })
+        .collect();
+    let total: u64 = handles
+        .into_iter()
+        .map(|h| h.join().expect("capacity worker panicked"))
+        .sum();
+    let elapsed = start.elapsed().as_secs_f64();
+    if elapsed <= 0.0 {
+        return 0.0;
+    }
+    total as f64 / elapsed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::{EchoApp, InstructionRateModel};
+    use crate::config::{BenchmarkConfig, HarnessMode};
+
+    fn echo() -> Arc<dyn ServerApp> {
+        Arc::new(EchoApp::with_service_us(10))
+    }
+
+    #[test]
+    fn run_dispatches_to_integrated() {
+        let app = echo();
+        let mut factory = || vec![1u8];
+        let report = run(&app, &mut factory, &BenchmarkConfig::new(1_000.0, 200)).unwrap();
+        assert_eq!(report.configuration, "integrated");
+    }
+
+    #[test]
+    fn run_simulated_requires_cost_model() {
+        let app = echo();
+        let mut factory = || vec![1u8];
+        let config = BenchmarkConfig::new(1_000.0, 50).with_mode(HarnessMode::Simulated);
+        assert!(run(&app, &mut factory, &config).is_err());
+        let model = InstructionRateModel::default();
+        let report = run_with_cost_model(&app, &mut factory, &config, &model).unwrap();
+        assert_eq!(report.configuration, "simulated");
+    }
+
+    #[test]
+    fn repeated_runs_aggregate() {
+        let app = echo();
+        let config = BenchmarkConfig::new(1_000.0, 150).with_warmup(20);
+        let multi = run_repeated(
+            &app,
+            |_seed| Box::new(|| vec![7u8]) as Box<dyn RequestFactory>,
+            &config,
+            RepeatPolicy {
+                min_runs: 2,
+                max_runs: 3,
+                target_fraction: 0.5,
+            },
+            None,
+        )
+        .unwrap();
+        assert!(multi.runs.len() >= 2);
+        assert!(multi.p95_ns() > 0.0);
+    }
+
+    #[test]
+    fn capacity_measurement_is_positive_and_scales_down_with_work() {
+        let light = Arc::new(EchoApp::with_service_us(1)) as Arc<dyn ServerApp>;
+        let heavy = Arc::new(EchoApp::with_service_us(100)) as Arc<dyn ServerApp>;
+        let mut factory = || vec![0u8];
+        let light_cap = measure_capacity(&light, &mut factory, 1, 2_000);
+        let mut factory = || vec![0u8];
+        let heavy_cap = measure_capacity(&heavy, &mut factory, 1, 200);
+        assert!(light_cap > 0.0 && heavy_cap > 0.0);
+        assert!(
+            light_cap > heavy_cap,
+            "light {light_cap} should exceed heavy {heavy_cap}"
+        );
+    }
+}

@@ -1,0 +1,271 @@
+//! Discrete-event simulation of the integrated configuration.
+//!
+//! The paper's key enabler for architecture studies is that the integrated configuration
+//! can be driven by a simulator instead of wall-clock execution (§VI).  This runner plays
+//! that role: it executes the application functionally (so data structures behave exactly
+//! as in a real run) but derives *service times* from a [`CostModel`] fed with the
+//! per-request [`WorkProfile`](crate::request::WorkProfile), and advances a virtual clock
+//! through a standard discrete-event loop with `worker_threads` servers and a FIFO
+//! request queue.  Queuing behaviour — the dominant component of tail latency at load —
+//! emerges from the same open-loop arrival process used by the real-time runners.
+
+use crate::app::{CostModel, RequestFactory, ServerApp};
+use crate::collector::StatsCollector;
+use crate::config::BenchmarkConfig;
+use crate::integrated::build_report;
+use crate::report::RunReport;
+use crate::request::{Request, RequestRecord};
+use crate::traffic::{LoadMode, TrafficShaper};
+use std::collections::{BinaryHeap, VecDeque};
+use std::sync::Arc;
+use tailbench_workloads::rng::seeded_rng;
+
+/// A pending service completion in the event heap (min-heap by completion time).
+#[derive(Debug, PartialEq, Eq)]
+struct Completion {
+    time_ns: u64,
+    seq: u64,
+}
+
+impl Ord for Completion {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reverse ordering: BinaryHeap is a max-heap, we want the earliest completion.
+        other
+            .time_ns
+            .cmp(&self.time_ns)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for Completion {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Runs one measurement under discrete-event simulation and returns its report.
+///
+/// The simulated system has `config.worker_threads` servers; arrivals follow
+/// `config.load` (which must be open-loop); service times come from `cost_model`.
+///
+/// # Panics
+///
+/// Panics if `config.load` is closed-loop; the simulated runner implements only the
+/// open-loop methodology.
+pub fn run_simulated(
+    app: &Arc<dyn ServerApp>,
+    factory: &mut dyn RequestFactory,
+    config: &BenchmarkConfig,
+    cost_model: &dyn CostModel,
+) -> RunReport {
+    let LoadMode::Open(process) = &config.load else {
+        panic!("the simulated runner requires an open-loop load mode");
+    };
+    app.prepare();
+
+    let mut rng = seeded_rng(config.seed, 1);
+    let shaper = TrafficShaper::build(process, &mut rng, config.total_requests(), 0, || {
+        factory.next_request()
+    });
+    let arrivals = shaper.into_requests();
+
+    let servers = config.worker_threads.max(1);
+    let mut collector = StatsCollector::new(config.warmup_requests as u64);
+    let mut waiting: VecDeque<(Request, u64)> = VecDeque::new();
+    let mut completions: BinaryHeap<Completion> = BinaryHeap::new();
+    // Records of requests currently in service, indexed by completion seq.
+    let mut in_service: std::collections::HashMap<u64, RequestRecord> =
+        std::collections::HashMap::new();
+    let mut busy = 0usize;
+    let mut seq = 0u64;
+    let mut next_arrival = 0usize;
+
+    // Helper to start service for a request at virtual time `now`.
+    let start_service = |request: Request,
+                             enqueued_ns: u64,
+                             now: u64,
+                             busy: &mut usize,
+                             seq: &mut u64,
+                             completions: &mut BinaryHeap<Completion>,
+                             in_service: &mut std::collections::HashMap<u64, RequestRecord>| {
+        *busy += 1;
+        let response = app.handle(&request.payload);
+        let service_ns = cost_model.service_time_ns(&response.work, *busy).max(1);
+        let record = RequestRecord {
+            id: request.id,
+            issued_ns: request.issued_ns,
+            enqueued_ns,
+            started_ns: now,
+            completed_ns: now + service_ns,
+            client_received_ns: now + service_ns,
+        };
+        *seq += 1;
+        in_service.insert(*seq, record);
+        completions.push(Completion {
+            time_ns: now + service_ns,
+            seq: *seq,
+        });
+    };
+
+    loop {
+        let next_arrival_time = arrivals.get(next_arrival).map(|r| r.issued_ns);
+        let next_completion_time = completions.peek().map(|c| c.time_ns);
+
+        // Pick the earlier of the next arrival and the next completion; arrivals win ties
+        // so that a request arriving exactly when a worker frees up still observes the
+        // queue state before the completion is processed (a conservative FIFO choice).
+        let take_arrival = match (next_arrival_time, next_completion_time) {
+            (None, None) => break,
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (Some(at), Some(ct)) => at <= ct,
+        };
+
+        if take_arrival {
+            // Arrival event.
+            let request = arrivals[next_arrival].clone();
+            next_arrival += 1;
+            let now = request.issued_ns;
+            if busy < servers {
+                start_service(
+                    request,
+                    now,
+                    now,
+                    &mut busy,
+                    &mut seq,
+                    &mut completions,
+                    &mut in_service,
+                );
+            } else {
+                waiting.push_back((request, now));
+            }
+        } else {
+            // Completion event.
+            let completion = completions.pop().expect("peeked above");
+            let ct = completion.time_ns;
+            let record = in_service
+                .remove(&completion.seq)
+                .expect("completion for unknown request");
+            collector.record(&record);
+            busy -= 1;
+            if let Some((request, enqueued_ns)) = waiting.pop_front() {
+                start_service(
+                    request,
+                    enqueued_ns,
+                    ct,
+                    &mut busy,
+                    &mut seq,
+                    &mut completions,
+                    &mut in_service,
+                );
+            }
+        }
+    }
+
+    build_report(app.name(), "simulated", config, &collector)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::{EchoApp, InstructionRateModel};
+    use crate::config::BenchmarkConfig;
+
+    fn app() -> Arc<dyn ServerApp> {
+        Arc::new(EchoApp {
+            spin_iters: 100_000, // ~100k "instructions" per request
+        })
+    }
+
+    #[test]
+    fn simulated_run_is_deterministic() {
+        let app = app();
+        let model = InstructionRateModel {
+            ns_per_instruction: 1.0,
+        };
+        let config = BenchmarkConfig::new(2_000.0, 500).with_warmup(50).with_seed(3);
+        let mut factory = || b"sim".to_vec();
+        let a = run_simulated(&app, &mut factory, &config, &model);
+        let mut factory = || b"sim".to_vec();
+        let b = run_simulated(&app, &mut factory, &config, &model);
+        assert_eq!(a.sojourn.p95_ns, b.sojourn.p95_ns);
+        assert_eq!(a.requests, b.requests);
+        assert_eq!(a.requests, 500);
+    }
+
+    #[test]
+    fn latency_grows_with_load_in_simulation() {
+        let app = app();
+        // 100k instructions x 1 ns = 100 us service => saturation ~10k QPS.
+        let model = InstructionRateModel {
+            ns_per_instruction: 1.0,
+        };
+        let mut factory = || b"x".to_vec();
+        let low = run_simulated(
+            &app,
+            &mut factory,
+            &BenchmarkConfig::new(1_000.0, 2_000).with_seed(7),
+            &model,
+        );
+        let mut factory = || b"x".to_vec();
+        let high = run_simulated(
+            &app,
+            &mut factory,
+            &BenchmarkConfig::new(9_000.0, 2_000).with_seed(7),
+            &model,
+        );
+        assert!(
+            high.sojourn.p95_ns > 2 * low.sojourn.p95_ns,
+            "p95 at 90% load ({}) should far exceed p95 at 10% load ({})",
+            high.sojourn.p95_ns,
+            low.sojourn.p95_ns
+        );
+    }
+
+    #[test]
+    fn more_servers_reduce_queueing_at_same_total_load() {
+        let app = app();
+        let model = InstructionRateModel {
+            ns_per_instruction: 1.0,
+        };
+        let mut factory = || b"x".to_vec();
+        let one = run_simulated(
+            &app,
+            &mut factory,
+            &BenchmarkConfig::new(8_000.0, 2_000).with_threads(1).with_seed(5),
+            &model,
+        );
+        let mut factory = || b"x".to_vec();
+        let four = run_simulated(
+            &app,
+            &mut factory,
+            &BenchmarkConfig::new(8_000.0, 2_000).with_threads(4).with_seed(5),
+            &model,
+        );
+        assert!(
+            four.sojourn.p95_ns < one.sojourn.p95_ns,
+            "4 servers p95 {} should be below 1 server p95 {}",
+            four.sojourn.p95_ns,
+            one.sojourn.p95_ns
+        );
+    }
+
+    #[test]
+    fn virtual_time_spans_do_not_depend_on_host_speed() {
+        // At 1000 QPS, 1000 requests span ~1 virtual second regardless of how fast the
+        // host executes the handler functionally.
+        let app = app();
+        let model = InstructionRateModel {
+            ns_per_instruction: 0.5,
+        };
+        let mut factory = || b"x".to_vec();
+        let report = run_simulated(
+            &app,
+            &mut factory,
+            &BenchmarkConfig::new(1_000.0, 1_000).with_warmup(0).with_seed(11),
+            &model,
+        );
+        let span_s = report.duration_ns as f64 / 1e9;
+        assert!((span_s - 1.0).abs() < 0.15, "span = {span_s} s");
+    }
+}

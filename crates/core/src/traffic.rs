@@ -1,0 +1,175 @@
+//! The traffic shaper.
+//!
+//! The traffic shaper controls the timing characteristics of the request stream (paper
+//! §IV, Fig. 1).  TailBench uses an *open-loop* design: requests are released at times
+//! drawn from a Poisson process with the configured rate, independently of whether
+//! earlier responses have arrived.  A *closed-loop* mode is also provided so the
+//! coordinated-omission pitfall of conventional load testers (§II-B) can be reproduced
+//! and quantified — it must never be used for reported results.
+
+use crate::request::{Request, RequestId};
+use tailbench_workloads::interarrival::InterarrivalProcess;
+use tailbench_workloads::rng::SuiteRng;
+
+/// How request issue times are generated.
+#[derive(Debug, Clone)]
+pub enum LoadMode {
+    /// Open-loop arrivals (the TailBench methodology): requests are issued on a schedule
+    /// independent of response times.
+    Open(InterarrivalProcess),
+    /// Closed-loop arrivals: each client thread waits for the previous response plus an
+    /// optional think time before issuing the next request.  Provided only to reproduce
+    /// the coordinated-omission measurement error.
+    Closed {
+        /// Think time inserted between receiving a response and issuing the next
+        /// request, in nanoseconds.
+        think_ns: u64,
+    },
+}
+
+impl LoadMode {
+    /// Open-loop Poisson arrivals at `qps` queries per second.
+    #[must_use]
+    pub fn open_poisson(qps: f64) -> Self {
+        LoadMode::Open(InterarrivalProcess::poisson(qps))
+    }
+
+    /// Returns the configured offered load in QPS, if the mode defines one (closed-loop
+    /// load depends on response times, so it has no fixed offered rate).
+    #[must_use]
+    pub fn offered_qps(&self) -> Option<f64> {
+        match self {
+            LoadMode::Open(p) => Some(p.qps()),
+            LoadMode::Closed { .. } => None,
+        }
+    }
+
+    /// Returns `true` for open-loop modes.
+    #[must_use]
+    pub fn is_open(&self) -> bool {
+        matches!(self, LoadMode::Open(_))
+    }
+}
+
+/// Produces the issue schedule for an open-loop run: a list of `(issue_ns, request)`
+/// pairs with issue times strictly increasing from the run epoch.
+///
+/// The traffic shaper pre-draws both the interarrival gaps and the request payloads so
+/// that the issuing thread does no generation work on the critical path — generation cost
+/// must not perturb the measured arrival process.
+#[derive(Debug)]
+pub struct TrafficShaper {
+    schedule: Vec<Request>,
+}
+
+impl TrafficShaper {
+    /// Builds a schedule of `count` requests using the given arrival process and request
+    /// payload source.
+    pub fn build<F>(
+        process: &InterarrivalProcess,
+        rng: &mut SuiteRng,
+        count: usize,
+        first_id: u64,
+        mut next_payload: F,
+    ) -> Self
+    where
+        F: FnMut() -> Vec<u8>,
+    {
+        let times = process.schedule(rng, count);
+        let schedule = times
+            .into_iter()
+            .enumerate()
+            .map(|(i, issued_ns)| Request {
+                id: RequestId(first_id + i as u64),
+                payload: next_payload(),
+                issued_ns,
+            })
+            .collect();
+        TrafficShaper { schedule }
+    }
+
+    /// The scheduled requests, ordered by issue time.
+    #[must_use]
+    pub fn requests(&self) -> &[Request] {
+        &self.schedule
+    }
+
+    /// Consumes the shaper, returning the schedule.
+    #[must_use]
+    pub fn into_requests(self) -> Vec<Request> {
+        self.schedule
+    }
+
+    /// Number of scheduled requests.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.schedule.len()
+    }
+
+    /// Returns `true` if the schedule is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.schedule.is_empty()
+    }
+
+    /// The total span of the schedule in nanoseconds (issue time of the last request).
+    #[must_use]
+    pub fn span_ns(&self) -> u64 {
+        self.schedule.last().map_or(0, |r| r.issued_ns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tailbench_workloads::rng::seeded_rng;
+
+    #[test]
+    fn open_mode_reports_offered_qps() {
+        let m = LoadMode::open_poisson(1234.0);
+        assert!(m.is_open());
+        assert!((m.offered_qps().unwrap() - 1234.0).abs() < 1e-6);
+        let c = LoadMode::Closed { think_ns: 0 };
+        assert!(!c.is_open());
+        assert!(c.offered_qps().is_none());
+    }
+
+    #[test]
+    fn shaper_builds_monotonic_schedule_with_unique_ids() {
+        let process = InterarrivalProcess::poisson(10_000.0);
+        let mut rng = seeded_rng(1, 0);
+        let mut n = 0u8;
+        let shaper = TrafficShaper::build(&process, &mut rng, 500, 100, || {
+            n = n.wrapping_add(1);
+            vec![n]
+        });
+        assert_eq!(shaper.len(), 500);
+        assert!(!shaper.is_empty());
+        let reqs = shaper.requests();
+        assert!(reqs.windows(2).all(|w| w[0].issued_ns <= w[1].issued_ns));
+        assert_eq!(reqs[0].id, RequestId(100));
+        assert_eq!(reqs[499].id, RequestId(599));
+        assert!(shaper.span_ns() > 0);
+    }
+
+    #[test]
+    fn schedule_span_tracks_rate() {
+        let mut rng = seeded_rng(2, 0);
+        let fast = TrafficShaper::build(
+            &InterarrivalProcess::poisson(100_000.0),
+            &mut rng,
+            1000,
+            0,
+            Vec::new,
+        );
+        let mut rng = seeded_rng(2, 0);
+        let slow = TrafficShaper::build(
+            &InterarrivalProcess::poisson(1_000.0),
+            &mut rng,
+            1000,
+            0,
+            Vec::new,
+        );
+        assert!(slow.span_ns() > fast.span_ns() * 10);
+    }
+}

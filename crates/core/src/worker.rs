@@ -1,0 +1,169 @@
+//! Application worker threads.
+//!
+//! Worker threads pull requests off the shared [`RequestQueue`](crate::queue::RequestQueue),
+//! invoke the application, and route the completion either straight to the statistics
+//! collector (integrated configuration) or back to the originating connection (TCP
+//! configurations).  The number of worker threads is the "threads" axis of the paper's
+//! multithreaded experiments (Fig. 4, Fig. 7).
+
+use crate::app::ServerApp;
+use crate::queue::{Completion, QueuedRequest, ServerCompletion};
+use crate::time::RunClock;
+use crossbeam::channel::Receiver;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A pool of application worker threads.
+#[derive(Debug)]
+pub struct WorkerPool {
+    handles: Vec<JoinHandle<u64>>,
+}
+
+impl WorkerPool {
+    /// Spawns `threads` workers that serve requests from `queue_rx` using `app`.
+    ///
+    /// Workers exit when the queue channel is closed (all producers dropped).
+    #[must_use]
+    pub fn spawn(
+        app: Arc<dyn ServerApp>,
+        queue_rx: Receiver<QueuedRequest>,
+        clock: RunClock,
+        threads: usize,
+    ) -> Self {
+        let handles = (0..threads.max(1))
+            .map(|i| {
+                let app = Arc::clone(&app);
+                let rx = queue_rx.clone();
+                std::thread::Builder::new()
+                    .name(format!("tb-worker-{i}"))
+                    .spawn(move || worker_loop(&*app, &rx, clock))
+                    .expect("failed to spawn worker thread")
+            })
+            .collect();
+        WorkerPool { handles }
+    }
+
+    /// Number of worker threads in the pool.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Returns `true` if the pool has no workers (never the case for spawned pools).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.handles.is_empty()
+    }
+
+    /// Waits for every worker to exit and returns the total number of requests served.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker thread panicked.
+    #[must_use]
+    pub fn join(self) -> u64 {
+        self.handles
+            .into_iter()
+            .map(|h| h.join().expect("worker thread panicked"))
+            .sum()
+    }
+}
+
+/// The body of one worker thread. Returns the number of requests it served.
+fn worker_loop(app: &dyn ServerApp, rx: &Receiver<QueuedRequest>, clock: RunClock) -> u64 {
+    let mut served = 0u64;
+    while let Ok(item) = rx.recv() {
+        let started_ns = clock.now_ns();
+        let response = app.handle(&item.request.payload);
+        let completed_ns = clock.now_ns();
+        served += 1;
+        let completion = ServerCompletion {
+            id: item.request.id,
+            issued_ns: item.request.issued_ns,
+            enqueued_ns: item.enqueued_ns,
+            started_ns,
+            completed_ns,
+            work: response.work,
+            response_payload: response.payload,
+        };
+        match item.completion {
+            Completion::Collector(tx) => {
+                // Integrated configuration: the response is "delivered" at completion.
+                let record = completion.into_record(completed_ns);
+                // The collector may already be gone during teardown; that's fine.
+                let _ = tx.send(record);
+            }
+            Completion::Responder(tx) => {
+                let _ = tx.send(completion);
+            }
+        }
+    }
+    served
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::EchoApp;
+    use crate::queue::RequestQueue;
+    use crate::request::{Request, RequestId};
+    use crossbeam::channel::unbounded;
+
+    #[test]
+    fn workers_process_requests_and_report_to_collector() {
+        let clock = RunClock::new();
+        let queue = RequestQueue::new();
+        let app: Arc<dyn ServerApp> = Arc::new(EchoApp::default());
+        let pool = WorkerPool::spawn(app, queue.receiver(), clock, 2);
+        assert_eq!(pool.len(), 2);
+
+        let (record_tx, record_rx) = unbounded();
+        for i in 0..20u64 {
+            let ok = queue.push(
+                Request {
+                    id: RequestId(i),
+                    payload: vec![i as u8],
+                    issued_ns: clock.now_ns(),
+                },
+                clock.now_ns(),
+                Completion::Collector(record_tx.clone()),
+            );
+            assert!(ok);
+        }
+        queue.close();
+        drop(record_tx);
+
+        let served = pool.join();
+        assert_eq!(served, 20);
+        let records: Vec<_> = record_rx.iter().collect();
+        assert_eq!(records.len(), 20);
+        for r in &records {
+            assert!(r.completed_ns >= r.started_ns);
+            assert!(r.started_ns >= r.enqueued_ns);
+        }
+    }
+
+    #[test]
+    fn workers_route_to_responder() {
+        let clock = RunClock::new();
+        let queue = RequestQueue::new();
+        let app: Arc<dyn ServerApp> = Arc::new(EchoApp::default());
+        let pool = WorkerPool::spawn(app, queue.receiver(), clock, 1);
+
+        let (resp_tx, resp_rx) = unbounded();
+        queue.push(
+            Request {
+                id: RequestId(7),
+                payload: b"ping".to_vec(),
+                issued_ns: 1,
+            },
+            2,
+            Completion::Responder(resp_tx),
+        );
+        queue.close();
+        let _ = pool.join();
+        let completion = resp_rx.recv().unwrap();
+        assert_eq!(completion.id, RequestId(7));
+        assert_eq!(&completion.response_payload[..4], b"ping");
+    }
+}

@@ -1,0 +1,20 @@
+//! The img-dnn substitute: dense-network handwriting recognition.
+//!
+//! TailBench's img-dnn classifies MNIST digits with an autoencoder + softmax network
+//! (paper §III).  This crate implements the same fixed-topology pipeline from scratch:
+//!
+//! * [`network`] — dense layers, sigmoid/softmax activations, a forward pass and a small
+//!   SGD trainer fitted against the synthetic digit generator;
+//! * [`service`] — the harness adapter ([`ImgDnnApp`]) and image request factory.
+//!
+//! Because the forward pass is input-independent, img-dnn has nearly constant service
+//! times — the role it plays in the paper's service-time-distribution comparison (Fig. 2).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod network;
+pub mod service;
+
+pub use network::{Activation, DenseLayer, ImgDnnNetwork, Prediction};
+pub use service::{ImageRequestFactory, ImgDnnApp};

@@ -1,0 +1,302 @@
+//! Dense neural network: layers, forward pass and a small SGD trainer.
+//!
+//! img-dnn couples an autoencoder with softmax regression to classify handwritten
+//! characters (paper §III).  This module implements the same topology from scratch:
+//! fully connected layers with sigmoid activations (the encoder), a softmax output layer,
+//! and a simple SGD trainer used once at startup to fit the synthetic digit generator.
+//! Per-request work is a fixed-size forward pass, which is why img-dnn's service times
+//! are nearly constant (paper Fig. 2).
+
+use tailbench_workloads::mnist::{DigitGenerator, IMAGE_PIXELS, NUM_CLASSES};
+use tailbench_workloads::rng::{seeded_rng, SuiteRng};
+use rand::Rng;
+
+/// A fully connected layer `y = act(W x + b)`.
+#[derive(Debug, Clone)]
+pub struct DenseLayer {
+    weights: Vec<f32>,
+    biases: Vec<f32>,
+    inputs: usize,
+    outputs: usize,
+}
+
+/// Activation applied by a layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Activation {
+    /// Logistic sigmoid.
+    Sigmoid,
+    /// Softmax (used by the output layer).
+    Softmax,
+}
+
+impl DenseLayer {
+    /// Creates a layer with small random weights.
+    #[must_use]
+    pub fn new(inputs: usize, outputs: usize, rng: &mut SuiteRng) -> Self {
+        let scale = (1.0 / inputs as f32).sqrt();
+        DenseLayer {
+            weights: (0..inputs * outputs)
+                .map(|_| rng.gen_range(-scale..scale))
+                .collect(),
+            biases: vec![0.0; outputs],
+            inputs,
+            outputs,
+        }
+    }
+
+    /// Number of input features.
+    #[must_use]
+    pub fn inputs(&self) -> usize {
+        self.inputs
+    }
+
+    /// Number of output features.
+    #[must_use]
+    pub fn outputs(&self) -> usize {
+        self.outputs
+    }
+
+    /// Number of multiply-accumulate operations per forward pass.
+    #[must_use]
+    pub fn macs(&self) -> u64 {
+        (self.inputs * self.outputs) as u64
+    }
+
+    /// Computes the pre-activation `W x + b`.
+    #[must_use]
+    pub fn affine(&self, input: &[f32]) -> Vec<f32> {
+        debug_assert_eq!(input.len(), self.inputs);
+        let mut out = self.biases.clone();
+        for (o, out_val) in out.iter_mut().enumerate() {
+            let row = &self.weights[o * self.inputs..(o + 1) * self.inputs];
+            let mut acc = 0.0f32;
+            for (w, x) in row.iter().zip(input.iter()) {
+                acc += w * x;
+            }
+            *out_val += acc;
+        }
+        out
+    }
+
+    /// Forward pass with the given activation.
+    #[must_use]
+    pub fn forward(&self, input: &[f32], activation: Activation) -> Vec<f32> {
+        let mut z = self.affine(input);
+        match activation {
+            Activation::Sigmoid => {
+                for v in &mut z {
+                    *v = 1.0 / (1.0 + (-*v).exp());
+                }
+            }
+            Activation::Softmax => {
+                let max = z.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+                let mut sum = 0.0;
+                for v in &mut z {
+                    *v = (*v - max).exp();
+                    sum += *v;
+                }
+                for v in &mut z {
+                    *v /= sum;
+                }
+            }
+        }
+        z
+    }
+}
+
+/// The img-dnn classifier: encoder (sigmoid) layers followed by a softmax output layer.
+#[derive(Debug, Clone)]
+pub struct ImgDnnNetwork {
+    encoder: Vec<DenseLayer>,
+    output: DenseLayer,
+}
+
+/// Classification result.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Prediction {
+    /// Predicted digit class.
+    pub label: u8,
+    /// Softmax probability of the predicted class.
+    pub confidence: f32,
+}
+
+impl ImgDnnNetwork {
+    /// Creates an untrained network with the given hidden-layer sizes.
+    #[must_use]
+    pub fn new(hidden: &[usize], seed: u64) -> Self {
+        let mut rng = seeded_rng(seed, 50);
+        let mut encoder = Vec::new();
+        let mut prev = IMAGE_PIXELS;
+        for &h in hidden {
+            encoder.push(DenseLayer::new(prev, h, &mut rng));
+            prev = h;
+        }
+        let output = DenseLayer::new(prev, NUM_CLASSES, &mut rng);
+        ImgDnnNetwork { encoder, output }
+    }
+
+    /// The standard topology used by the benchmark (784-256-64-10).
+    #[must_use]
+    pub fn standard(seed: u64) -> Self {
+        Self::new(&[256, 64], seed)
+    }
+
+    /// A tiny topology for unit tests.
+    #[must_use]
+    pub fn small(seed: u64) -> Self {
+        Self::new(&[32], seed)
+    }
+
+    /// Total multiply-accumulate operations per forward pass.
+    #[must_use]
+    pub fn macs(&self) -> u64 {
+        self.encoder.iter().map(DenseLayer::macs).sum::<u64>() + self.output.macs()
+    }
+
+    /// Full forward pass returning softmax class probabilities.
+    #[must_use]
+    pub fn probabilities(&self, pixels: &[f32]) -> Vec<f32> {
+        let mut x = pixels.to_vec();
+        for layer in &self.encoder {
+            x = layer.forward(&x, Activation::Sigmoid);
+        }
+        self.output.forward(&x, Activation::Softmax)
+    }
+
+    /// Classifies one image.
+    #[must_use]
+    pub fn classify(&self, pixels: &[f32]) -> Prediction {
+        let probs = self.probabilities(pixels);
+        let (label, &confidence) = probs
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .expect("softmax output is non-empty");
+        Prediction {
+            label: label as u8,
+            confidence,
+        }
+    }
+
+    /// Trains the network with plain SGD on `samples` images from the synthetic digit
+    /// generator.  Returns the final training accuracy.
+    pub fn train(&mut self, samples: usize, learning_rate: f32, seed: u64) -> f64 {
+        let generator = DigitGenerator::default();
+        let mut rng = seeded_rng(seed, 51);
+        let mut correct = 0usize;
+        let mut seen = 0usize;
+        for _ in 0..samples {
+            let img = generator.generate(&mut rng);
+            // Forward pass, keeping intermediate activations for backprop.
+            let mut activations: Vec<Vec<f32>> = vec![img.pixels.clone()];
+            for layer in &self.encoder {
+                let a = layer.forward(activations.last().expect("non-empty"), Activation::Sigmoid);
+                activations.push(a);
+            }
+            let probs = self
+                .output
+                .forward(activations.last().expect("non-empty"), Activation::Softmax);
+            if probs
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .map(|(i, _)| i as u8)
+                == Some(img.label)
+            {
+                correct += 1;
+            }
+            seen += 1;
+
+            // Backward pass: softmax + cross-entropy gives delta = probs - onehot.
+            let mut delta: Vec<f32> = probs;
+            delta[img.label as usize] -= 1.0;
+            // Output layer gradient step (and propagate delta to the last hidden layer).
+            let mut prev_delta = vec![0.0f32; self.output.inputs];
+            {
+                let input = activations.last().expect("non-empty").clone();
+                for o in 0..self.output.outputs {
+                    for i in 0..self.output.inputs {
+                        prev_delta[i] += delta[o] * self.output.weights[o * self.output.inputs + i];
+                        self.output.weights[o * self.output.inputs + i] -=
+                            learning_rate * delta[o] * input[i];
+                    }
+                    self.output.biases[o] -= learning_rate * delta[o];
+                }
+            }
+            // Hidden layers (sigmoid derivative = a * (1 - a)).
+            let mut delta = prev_delta;
+            for l in (0..self.encoder.len()).rev() {
+                let a = &activations[l + 1];
+                for (d, &act) in delta.iter_mut().zip(a.iter()) {
+                    *d *= act * (1.0 - act);
+                }
+                let input = activations[l].clone();
+                let layer = &mut self.encoder[l];
+                let mut next_delta = vec![0.0f32; layer.inputs];
+                for o in 0..layer.outputs {
+                    for i in 0..layer.inputs {
+                        next_delta[i] += delta[o] * layer.weights[o * layer.inputs + i];
+                        layer.weights[o * layer.inputs + i] -= learning_rate * delta[o] * input[i];
+                    }
+                    layer.biases[o] -= learning_rate * delta[o];
+                }
+                delta = next_delta;
+            }
+        }
+        correct as f64 / seen.max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_pass_produces_a_distribution() {
+        let net = ImgDnnNetwork::small(1);
+        let pixels = vec![0.5f32; IMAGE_PIXELS];
+        let probs = net.probabilities(&pixels);
+        assert_eq!(probs.len(), NUM_CLASSES);
+        let sum: f32 = probs.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-4);
+        assert!(probs.iter().all(|&p| (0.0..=1.0).contains(&p)));
+    }
+
+    #[test]
+    fn classify_is_deterministic_and_in_range() {
+        let net = ImgDnnNetwork::small(2);
+        let pixels = vec![0.1f32; IMAGE_PIXELS];
+        let a = net.classify(&pixels);
+        let b = net.classify(&pixels);
+        assert_eq!(a, b);
+        assert!(a.label < 10);
+        assert!(a.confidence > 0.0);
+    }
+
+    #[test]
+    fn macs_reflect_topology() {
+        let small = ImgDnnNetwork::small(3);
+        let standard = ImgDnnNetwork::standard(3);
+        assert!(standard.macs() > small.macs());
+        assert_eq!(small.macs(), (784 * 32 + 32 * 10) as u64);
+    }
+
+    #[test]
+    fn training_improves_over_chance() {
+        let mut net = ImgDnnNetwork::small(4);
+        let accuracy = net.train(1_500, 0.05, 99);
+        // Chance is 10%; even a short SGD run on clean synthetic digits does much better.
+        assert!(accuracy > 0.4, "training accuracy = {accuracy}");
+        // And the trained network classifies a fresh clean digit correctly most of the time.
+        let generator = DigitGenerator::default();
+        let mut rng = seeded_rng(123, 0);
+        let mut correct = 0;
+        for _ in 0..50 {
+            let img = generator.generate(&mut rng);
+            if net.classify(&img.pixels).label == img.label {
+                correct += 1;
+            }
+        }
+        assert!(correct > 20, "held-out correct = {correct}/50");
+    }
+}

@@ -1,0 +1,178 @@
+//! img-dnn as a TailBench application.
+
+use crate::network::ImgDnnNetwork;
+use tailbench_core::app::{RequestFactory, ServerApp};
+use tailbench_core::request::{Response, WorkProfile};
+use tailbench_workloads::mnist::{DigitGenerator, IMAGE_PIXELS};
+use tailbench_workloads::rng::{seeded_rng, SuiteRng};
+
+/// Wire encoding of image requests: 784 little-endian `f32` pixel intensities.
+pub mod codec {
+    use super::IMAGE_PIXELS;
+
+    /// Encodes an image.
+    #[must_use]
+    pub fn encode_image(pixels: &[f32]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(IMAGE_PIXELS * 4);
+        for p in pixels.iter().take(IMAGE_PIXELS) {
+            out.extend_from_slice(&p.to_le_bytes());
+        }
+        out
+    }
+
+    /// Decodes an image; `None` if the payload is not exactly 784 floats.
+    #[must_use]
+    pub fn decode_image(payload: &[u8]) -> Option<Vec<f32>> {
+        if payload.len() != IMAGE_PIXELS * 4 {
+            return None;
+        }
+        Some(
+            payload
+                .chunks_exact(4)
+                .map(|c| f32::from_le_bytes(c.try_into().expect("chunk of 4")))
+                .collect(),
+        )
+    }
+}
+
+/// The img-dnn server application.
+#[derive(Debug)]
+pub struct ImgDnnApp {
+    network: ImgDnnNetwork,
+}
+
+impl ImgDnnApp {
+    /// Builds the standard 784-256-64-10 network and trains it briefly on the synthetic
+    /// digit generator so classifications are meaningful.
+    #[must_use]
+    pub fn standard() -> Self {
+        let mut network = ImgDnnNetwork::standard(0xD16);
+        let _ = network.train(2_000, 0.05, 0xD16);
+        ImgDnnApp { network }
+    }
+
+    /// A small untrained network for fast tests.
+    #[must_use]
+    pub fn small() -> Self {
+        ImgDnnApp {
+            network: ImgDnnNetwork::small(0xD16),
+        }
+    }
+
+    /// The underlying network.
+    #[must_use]
+    pub fn network(&self) -> &ImgDnnNetwork {
+        &self.network
+    }
+}
+
+impl ServerApp for ImgDnnApp {
+    fn name(&self) -> &str {
+        "img-dnn"
+    }
+
+    fn handle(&self, payload: &[u8]) -> Response {
+        let Some(pixels) = codec::decode_image(payload) else {
+            return Response::new(vec![0xFF]);
+        };
+        let prediction = self.network.classify(&pixels);
+        let macs = self.network.macs();
+        // One MAC ≈ 2 instructions (multiply + add) plus streaming weight reads; the
+        // weight matrices dominate the footprint and are re-read every request, which is
+        // why img-dnn has the highest L1D miss rate in Table I.
+        let work = WorkProfile {
+            instructions: 2 * macs + 5_000,
+            mem_reads: macs + 1_000,
+            mem_writes: macs / 64 + 200,
+            footprint_bytes: 4 * macs,
+            locality: 0.35,
+            critical_fraction: 0.0,
+        };
+        Response::with_work(
+            vec![prediction.label, (prediction.confidence * 255.0) as u8],
+            work,
+        )
+    }
+}
+
+/// Generates synthetic digit-image requests.
+#[derive(Debug)]
+pub struct ImageRequestFactory {
+    generator: DigitGenerator,
+    rng: SuiteRng,
+}
+
+impl ImageRequestFactory {
+    /// Creates a factory with the given seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        ImageRequestFactory {
+            generator: DigitGenerator::default(),
+            rng: seeded_rng(seed, 500),
+        }
+    }
+}
+
+impl RequestFactory for ImageRequestFactory {
+    fn next_request(&mut self) -> Vec<u8> {
+        codec::encode_image(&self.generator.generate(&mut self.rng).pixels)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codec_round_trips() {
+        let pixels: Vec<f32> = (0..IMAGE_PIXELS).map(|i| i as f32 / 784.0).collect();
+        let decoded = codec::decode_image(&codec::encode_image(&pixels)).unwrap();
+        assert_eq!(decoded.len(), IMAGE_PIXELS);
+        assert!((decoded[100] - pixels[100]).abs() < 1e-7);
+        assert_eq!(codec::decode_image(&[0u8; 10]), None);
+    }
+
+    #[test]
+    fn app_classifies_images() {
+        let app = ImgDnnApp::small();
+        let mut factory = ImageRequestFactory::new(1);
+        let resp = app.handle(&factory.next_request());
+        assert_eq!(resp.payload.len(), 2);
+        assert!(resp.payload[0] < 10);
+        assert!(resp.work.instructions > 10_000);
+    }
+
+    #[test]
+    fn service_work_is_constant_across_requests() {
+        // img-dnn's forward pass is input-independent: every request reports identical work.
+        let app = ImgDnnApp::small();
+        let mut factory = ImageRequestFactory::new(2);
+        let a = app.handle(&factory.next_request()).work;
+        let b = app.handle(&factory.next_request()).work;
+        assert_eq!(a.instructions, b.instructions);
+        assert_eq!(a.mem_reads, b.mem_reads);
+    }
+
+    #[test]
+    fn malformed_request_is_rejected() {
+        let app = ImgDnnApp::small();
+        assert_eq!(app.handle(&[1, 2, 3]).payload, vec![0xFF]);
+    }
+
+    #[test]
+    fn end_to_end_through_harness() {
+        use std::sync::Arc;
+        use tailbench_core::config::BenchmarkConfig;
+
+        let app: Arc<dyn ServerApp> = Arc::new(ImgDnnApp::small());
+        let mut factory = ImageRequestFactory::new(3);
+        let report = tailbench_core::runner::run(
+            &app,
+            &mut factory,
+            &BenchmarkConfig::new(500.0, 150).with_warmup(15),
+        )
+        .unwrap();
+        assert_eq!(report.app, "img-dnn");
+        assert!(report.requests > 120);
+    }
+}

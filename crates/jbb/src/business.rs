@@ -1,0 +1,442 @@
+//! The wholesale-company business model.
+//!
+//! SPECjbb models a three-tier system for a wholesale company handling customer requests
+//! such as processing payments and deliveries (paper §III).  This module implements the
+//! backend tier from scratch: an in-memory inventory of warehouses, customers, items and
+//! orders, plus the five business transactions of the SPECjbb/TPC-C lineage (new order,
+//! payment, order status, delivery, stock level).  The middle "middleware" tier is
+//! modelled by the request marshalling in [`crate::service`].
+
+use parking_lot::Mutex;
+use rand::Rng;
+use tailbench_workloads::rng::{seeded_rng, SuiteRng};
+
+/// Number of districts per warehouse.
+pub const DISTRICTS: usize = 10;
+
+/// An item in the company catalogue.
+#[derive(Debug, Clone)]
+pub struct Item {
+    /// Unit price in cents.
+    pub price: u32,
+    /// Display name.
+    pub name: String,
+}
+
+/// A customer account.
+#[derive(Debug, Clone)]
+pub struct Customer {
+    /// Account balance in cents (may go negative).
+    pub balance: i64,
+    /// Year-to-date payments in cents.
+    pub ytd_payment: u64,
+    /// Number of orders placed.
+    pub order_count: u32,
+}
+
+/// One order line.
+#[derive(Debug, Clone, Copy)]
+pub struct OrderLine {
+    /// Ordered item.
+    pub item: u32,
+    /// Quantity.
+    pub quantity: u32,
+    /// Line price in cents.
+    pub amount: u64,
+}
+
+/// A customer order.
+#[derive(Debug, Clone)]
+pub struct Order {
+    /// Ordering customer.
+    pub customer: u32,
+    /// Lines of the order.
+    pub lines: Vec<OrderLine>,
+    /// Whether the order has been delivered.
+    pub delivered: bool,
+}
+
+/// Per-district state (orders are striped by district to bound lock contention, as in
+/// SPECjbb's per-warehouse parallelism).
+#[derive(Debug, Default)]
+struct District {
+    orders: Vec<Order>,
+    next_undelivered: usize,
+    ytd: u64,
+}
+
+/// One warehouse of the company.
+#[derive(Debug)]
+pub struct Warehouse {
+    customers: Mutex<Vec<Customer>>,
+    stock: Mutex<Vec<u32>>,
+    districts: Vec<Mutex<District>>,
+}
+
+/// The whole company: items are shared and read-only, warehouses hold mutable state.
+#[derive(Debug)]
+pub struct Company {
+    items: Vec<Item>,
+    warehouses: Vec<Warehouse>,
+    customers_per_warehouse: usize,
+}
+
+/// Outcome of one business transaction (summarized for the response payload).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TxnOutcome {
+    /// Whether the transaction committed (SPECjbb transactions never abort, but invalid
+    /// inputs are rejected).
+    pub committed: bool,
+    /// Rows/objects touched, a proxy for work.
+    pub rows_touched: u32,
+    /// Monetary amount involved, in cents.
+    pub amount: u64,
+}
+
+impl Company {
+    /// Builds a company with the given number of warehouses, customers per warehouse and
+    /// catalogue items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    #[must_use]
+    pub fn new(warehouses: usize, customers_per_warehouse: usize, items: usize, seed: u64) -> Self {
+        assert!(warehouses > 0 && customers_per_warehouse > 0 && items > 0);
+        let mut rng = seeded_rng(seed, 60);
+        let items: Vec<Item> = (0..items)
+            .map(|i| Item {
+                price: rng.gen_range(100..100_000),
+                name: format!("item-{i}"),
+            })
+            .collect();
+        let warehouses = (0..warehouses)
+            .map(|_| Warehouse {
+                customers: Mutex::new(
+                    (0..customers_per_warehouse)
+                        .map(|_| Customer {
+                            balance: 0,
+                            ytd_payment: 0,
+                            order_count: 0,
+                        })
+                        .collect(),
+                ),
+                stock: Mutex::new((0..items.len()).map(|_| rng.gen_range(50..200)).collect()),
+                districts: (0..DISTRICTS).map(|_| Mutex::new(District::default())).collect(),
+            })
+            .collect();
+        Company {
+            items,
+            warehouses,
+            customers_per_warehouse,
+        }
+    }
+
+    /// A standard SPECjbb-like configuration: 1 warehouse, 3000 customers, 20000 items.
+    #[must_use]
+    pub fn standard() -> Self {
+        Self::new(1, 3_000, 20_000, 0x1BB)
+    }
+
+    /// A reduced configuration for tests.
+    #[must_use]
+    pub fn small() -> Self {
+        Self::new(2, 50, 200, 7)
+    }
+
+    /// Number of warehouses.
+    #[must_use]
+    pub fn warehouses(&self) -> usize {
+        self.warehouses.len()
+    }
+
+    /// Number of catalogue items.
+    #[must_use]
+    pub fn items(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Number of customers per warehouse.
+    #[must_use]
+    pub fn customers_per_warehouse(&self) -> usize {
+        self.customers_per_warehouse
+    }
+
+    fn warehouse(&self, w: usize) -> Option<&Warehouse> {
+        self.warehouses.get(w)
+    }
+
+    /// New-order transaction: reserve stock for each line, price it, and append the
+    /// order to the customer's district.
+    pub fn new_order(
+        &self,
+        warehouse: usize,
+        district: usize,
+        customer: u32,
+        lines: &[(u32, u32)],
+    ) -> TxnOutcome {
+        let Some(wh) = self.warehouse(warehouse) else {
+            return TxnOutcome { committed: false, rows_touched: 0, amount: 0 };
+        };
+        if district >= DISTRICTS || customer as usize >= self.customers_per_warehouse || lines.is_empty() {
+            return TxnOutcome { committed: false, rows_touched: 0, amount: 0 };
+        }
+        let mut amount = 0u64;
+        let mut order_lines = Vec::with_capacity(lines.len());
+        let mut rows = 1u32;
+        {
+            let mut stock = wh.stock.lock();
+            for &(item, quantity) in lines {
+                let Some(item_meta) = self.items.get(item as usize) else {
+                    return TxnOutcome { committed: false, rows_touched: rows, amount: 0 };
+                };
+                let entry = &mut stock[item as usize];
+                if *entry < quantity {
+                    *entry += 100; // restock, as TPC-C does
+                }
+                *entry -= quantity;
+                let line_amount = u64::from(item_meta.price) * u64::from(quantity);
+                amount += line_amount;
+                order_lines.push(OrderLine {
+                    item,
+                    quantity,
+                    amount: line_amount,
+                });
+                rows += 2; // stock row + order line
+            }
+        }
+        {
+            let mut customers = wh.customers.lock();
+            customers[customer as usize].order_count += 1;
+            customers[customer as usize].balance -= amount as i64;
+            rows += 1;
+        }
+        {
+            let mut district_state = wh.districts[district].lock();
+            district_state.orders.push(Order {
+                customer,
+                lines: order_lines,
+                delivered: false,
+            });
+            rows += 1;
+        }
+        TxnOutcome {
+            committed: true,
+            rows_touched: rows,
+            amount,
+        }
+    }
+
+    /// Payment transaction: credit the customer's balance and the district's YTD total.
+    pub fn payment(
+        &self,
+        warehouse: usize,
+        district: usize,
+        customer: u32,
+        amount: u64,
+    ) -> TxnOutcome {
+        let Some(wh) = self.warehouse(warehouse) else {
+            return TxnOutcome { committed: false, rows_touched: 0, amount: 0 };
+        };
+        if district >= DISTRICTS || customer as usize >= self.customers_per_warehouse {
+            return TxnOutcome { committed: false, rows_touched: 0, amount: 0 };
+        }
+        {
+            let mut customers = wh.customers.lock();
+            let c = &mut customers[customer as usize];
+            c.balance += amount as i64;
+            c.ytd_payment += amount;
+        }
+        {
+            let mut district_state = wh.districts[district].lock();
+            district_state.ytd += amount;
+        }
+        TxnOutcome {
+            committed: true,
+            rows_touched: 3,
+            amount,
+        }
+    }
+
+    /// Order-status transaction: read the customer's most recent order.
+    pub fn order_status(&self, warehouse: usize, district: usize, customer: u32) -> TxnOutcome {
+        let Some(wh) = self.warehouse(warehouse) else {
+            return TxnOutcome { committed: false, rows_touched: 0, amount: 0 };
+        };
+        if district >= DISTRICTS {
+            return TxnOutcome { committed: false, rows_touched: 0, amount: 0 };
+        }
+        let district_state = wh.districts[district].lock();
+        let last = district_state
+            .orders
+            .iter()
+            .rev()
+            .find(|o| o.customer == customer);
+        match last {
+            Some(order) => TxnOutcome {
+                committed: true,
+                rows_touched: 1 + order.lines.len() as u32,
+                amount: order.lines.iter().map(|l| l.amount).sum(),
+            },
+            None => TxnOutcome {
+                committed: true,
+                rows_touched: 1,
+                amount: 0,
+            },
+        }
+    }
+
+    /// Delivery transaction: mark the oldest undelivered order in every district of the
+    /// warehouse as delivered.
+    pub fn delivery(&self, warehouse: usize) -> TxnOutcome {
+        let Some(wh) = self.warehouse(warehouse) else {
+            return TxnOutcome { committed: false, rows_touched: 0, amount: 0 };
+        };
+        let mut rows = 0u32;
+        let mut amount = 0u64;
+        for district in &wh.districts {
+            let mut d = district.lock();
+            let idx = d.next_undelivered;
+            if let Some(order) = d.orders.get_mut(idx) {
+                order.delivered = true;
+                amount += order.lines.iter().map(|l| l.amount).sum::<u64>();
+                rows += 1 + order.lines.len() as u32;
+                d.next_undelivered += 1;
+            }
+        }
+        TxnOutcome {
+            committed: true,
+            rows_touched: rows,
+            amount,
+        }
+    }
+
+    /// Stock-level transaction: count items below a threshold among those referenced by
+    /// the district's recent orders.
+    pub fn stock_level(&self, warehouse: usize, district: usize, threshold: u32) -> TxnOutcome {
+        let Some(wh) = self.warehouse(warehouse) else {
+            return TxnOutcome { committed: false, rows_touched: 0, amount: 0 };
+        };
+        if district >= DISTRICTS {
+            return TxnOutcome { committed: false, rows_touched: 0, amount: 0 };
+        }
+        let recent_items: Vec<u32> = {
+            let d = wh.districts[district].lock();
+            d.orders
+                .iter()
+                .rev()
+                .take(20)
+                .flat_map(|o| o.lines.iter().map(|l| l.item))
+                .collect()
+        };
+        let stock = wh.stock.lock();
+        let low = recent_items
+            .iter()
+            .filter(|&&item| stock.get(item as usize).copied().unwrap_or(0) < threshold)
+            .count();
+        TxnOutcome {
+            committed: true,
+            rows_touched: recent_items.len() as u32 + 1,
+            amount: low as u64,
+        }
+    }
+
+    /// Generates a plausible random new-order line list.
+    pub fn random_lines(&self, rng: &mut SuiteRng) -> Vec<(u32, u32)> {
+        let n = rng.gen_range(5..=15);
+        (0..n)
+            .map(|_| {
+                (
+                    rng.gen_range(0..self.items.len() as u32),
+                    rng.gen_range(1..=10),
+                )
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_order_updates_customer_and_stock() {
+        let company = Company::small();
+        let outcome = company.new_order(0, 0, 5, &[(1, 2), (3, 1)]);
+        assert!(outcome.committed);
+        assert!(outcome.amount > 0);
+        assert!(outcome.rows_touched >= 6);
+        // The customer now has an order to query.
+        let status = company.order_status(0, 0, 5);
+        assert!(status.committed);
+        assert_eq!(status.amount, outcome.amount);
+    }
+
+    #[test]
+    fn payment_accumulates_balance() {
+        let company = Company::small();
+        let a = company.payment(0, 1, 7, 1_000);
+        let b = company.payment(0, 1, 7, 500);
+        assert!(a.committed && b.committed);
+        let customers = company.warehouses[0].customers.lock();
+        assert_eq!(customers[7].balance, 1_500);
+        assert_eq!(customers[7].ytd_payment, 1_500);
+    }
+
+    #[test]
+    fn delivery_marks_orders_delivered_once() {
+        let company = Company::small();
+        company.new_order(0, 2, 1, &[(0, 1)]);
+        company.new_order(0, 2, 2, &[(0, 1)]);
+        let first = company.delivery(0);
+        assert!(first.committed);
+        assert!(first.rows_touched >= 2);
+        let second = company.delivery(0);
+        // Only district 2 had orders; the second delivery picks up the second order.
+        assert!(second.rows_touched >= 2);
+        let third = company.delivery(0);
+        assert_eq!(third.rows_touched, 0);
+    }
+
+    #[test]
+    fn stock_level_counts_low_items() {
+        let company = Company::small();
+        company.new_order(1, 0, 0, &[(2, 5), (4, 5)]);
+        let outcome = company.stock_level(1, 0, 1_000);
+        assert!(outcome.committed);
+        assert_eq!(outcome.amount, 2, "all referenced items are below a huge threshold");
+    }
+
+    #[test]
+    fn invalid_inputs_are_rejected() {
+        let company = Company::small();
+        assert!(!company.new_order(99, 0, 0, &[(0, 1)]).committed);
+        assert!(!company.new_order(0, 99, 0, &[(0, 1)]).committed);
+        assert!(!company.new_order(0, 0, 9_999, &[(0, 1)]).committed);
+        assert!(!company.new_order(0, 0, 0, &[]).committed);
+        assert!(!company.payment(0, 0, 9_999, 10).committed);
+        assert!(!company.order_status(0, 99, 0).committed);
+        assert!(!company.stock_level(42, 0, 10).committed);
+    }
+
+    #[test]
+    fn concurrent_payments_do_not_lose_updates() {
+        use std::sync::Arc;
+        let company = Arc::new(Company::small());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let company = Arc::clone(&company);
+                std::thread::spawn(move || {
+                    for _ in 0..1_000 {
+                        company.payment(0, 0, 3, 1);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let customers = company.warehouses[0].customers.lock();
+        assert_eq!(customers[3].ytd_payment, 4_000);
+    }
+}

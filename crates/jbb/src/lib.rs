@@ -1,0 +1,19 @@
+//! The SPECjbb substitute: three-tier Java-middleware-style business transactions.
+//!
+//! TailBench's specjbb emulates a wholesale company handling client requests such as
+//! processing payments and deliveries (paper §III).  This crate implements the backend
+//! and middleware tiers from scratch:
+//!
+//! * [`business`] — the in-memory company model (warehouses, districts, customers,
+//!   catalogue, orders) and the five business transactions;
+//! * [`service`] — request marshalling, the harness adapter ([`SpecJbbApp`]) and the
+//!   SPECjbb-style request-mix factory.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod business;
+pub mod service;
+
+pub use business::{Company, TxnOutcome};
+pub use service::{JbbRequest, JbbRequestFactory, SpecJbbApp};

@@ -1,0 +1,443 @@
+//! specjbb as a TailBench application.
+//!
+//! The middleware tier: decodes client requests, dispatches them to the
+//! [`Company`](crate::business::Company) backend, and marshals the outcome back.  The
+//! request mix mirrors SPECjbb's (dominated by new orders and payments, with occasional
+//! read-only and batch transactions).
+
+use crate::business::{Company, TxnOutcome, DISTRICTS};
+use tailbench_core::app::{RequestFactory, ServerApp};
+use tailbench_core::request::{Response, WorkProfile};
+use tailbench_workloads::rng::{seeded_rng, SuiteRng};
+use rand::Rng;
+
+/// A decoded middleware request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JbbRequest {
+    /// Place a new order.
+    NewOrder {
+        /// Target warehouse.
+        warehouse: u16,
+        /// Target district.
+        district: u8,
+        /// Ordering customer.
+        customer: u32,
+        /// Order lines: (item, quantity).
+        lines: Vec<(u32, u32)>,
+    },
+    /// Process a customer payment.
+    Payment {
+        /// Target warehouse.
+        warehouse: u16,
+        /// Target district.
+        district: u8,
+        /// Paying customer.
+        customer: u32,
+        /// Amount in cents.
+        amount: u64,
+    },
+    /// Query a customer's last order.
+    OrderStatus {
+        /// Target warehouse.
+        warehouse: u16,
+        /// Target district.
+        district: u8,
+        /// Customer to query.
+        customer: u32,
+    },
+    /// Deliver pending orders of a warehouse.
+    Delivery {
+        /// Target warehouse.
+        warehouse: u16,
+    },
+    /// Count low-stock items for a district.
+    StockLevel {
+        /// Target warehouse.
+        warehouse: u16,
+        /// Target district.
+        district: u8,
+        /// Stock threshold.
+        threshold: u32,
+    },
+}
+
+/// Wire encoding of middleware requests.
+pub mod codec {
+    use super::JbbRequest;
+
+    /// Encodes a request.
+    #[must_use]
+    pub fn encode(request: &JbbRequest) -> Vec<u8> {
+        let mut out = Vec::with_capacity(32);
+        match request {
+            JbbRequest::NewOrder {
+                warehouse,
+                district,
+                customer,
+                lines,
+            } => {
+                out.push(0);
+                out.extend_from_slice(&warehouse.to_le_bytes());
+                out.push(*district);
+                out.extend_from_slice(&customer.to_le_bytes());
+                out.push(lines.len() as u8);
+                for (item, qty) in lines {
+                    out.extend_from_slice(&item.to_le_bytes());
+                    out.extend_from_slice(&qty.to_le_bytes());
+                }
+            }
+            JbbRequest::Payment {
+                warehouse,
+                district,
+                customer,
+                amount,
+            } => {
+                out.push(1);
+                out.extend_from_slice(&warehouse.to_le_bytes());
+                out.push(*district);
+                out.extend_from_slice(&customer.to_le_bytes());
+                out.extend_from_slice(&amount.to_le_bytes());
+            }
+            JbbRequest::OrderStatus {
+                warehouse,
+                district,
+                customer,
+            } => {
+                out.push(2);
+                out.extend_from_slice(&warehouse.to_le_bytes());
+                out.push(*district);
+                out.extend_from_slice(&customer.to_le_bytes());
+            }
+            JbbRequest::Delivery { warehouse } => {
+                out.push(3);
+                out.extend_from_slice(&warehouse.to_le_bytes());
+            }
+            JbbRequest::StockLevel {
+                warehouse,
+                district,
+                threshold,
+            } => {
+                out.push(4);
+                out.extend_from_slice(&warehouse.to_le_bytes());
+                out.push(*district);
+                out.extend_from_slice(&threshold.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Decodes a request; `None` if malformed.
+    #[must_use]
+    pub fn decode(payload: &[u8]) -> Option<JbbRequest> {
+        let (&tag, rest) = payload.split_first()?;
+        let warehouse = u16::from_le_bytes(rest.get(..2)?.try_into().ok()?);
+        let rest = &rest[2..];
+        match tag {
+            0 => {
+                let district = *rest.first()?;
+                let customer = u32::from_le_bytes(rest.get(1..5)?.try_into().ok()?);
+                let n = *rest.get(5)? as usize;
+                let body = rest.get(6..6 + n * 8)?;
+                let lines = (0..n)
+                    .map(|i| {
+                        (
+                            u32::from_le_bytes(body[i * 8..i * 8 + 4].try_into().expect("4 bytes")),
+                            u32::from_le_bytes(body[i * 8 + 4..i * 8 + 8].try_into().expect("4 bytes")),
+                        )
+                    })
+                    .collect();
+                Some(JbbRequest::NewOrder {
+                    warehouse,
+                    district,
+                    customer,
+                    lines,
+                })
+            }
+            1 => Some(JbbRequest::Payment {
+                warehouse,
+                district: *rest.first()?,
+                customer: u32::from_le_bytes(rest.get(1..5)?.try_into().ok()?),
+                amount: u64::from_le_bytes(rest.get(5..13)?.try_into().ok()?),
+            }),
+            2 => Some(JbbRequest::OrderStatus {
+                warehouse,
+                district: *rest.first()?,
+                customer: u32::from_le_bytes(rest.get(1..5)?.try_into().ok()?),
+            }),
+            3 => Some(JbbRequest::Delivery { warehouse }),
+            4 => Some(JbbRequest::StockLevel {
+                warehouse,
+                district: *rest.first()?,
+                threshold: u32::from_le_bytes(rest.get(1..5)?.try_into().ok()?),
+            }),
+            _ => None,
+        }
+    }
+}
+
+/// The specjbb-substitute middleware application.
+#[derive(Debug)]
+pub struct SpecJbbApp {
+    company: Company,
+}
+
+impl SpecJbbApp {
+    /// Wraps a company backend.
+    #[must_use]
+    pub fn new(company: Company) -> Self {
+        SpecJbbApp { company }
+    }
+
+    /// Standard configuration.
+    #[must_use]
+    pub fn standard() -> Self {
+        Self::new(Company::standard())
+    }
+
+    /// Reduced configuration for tests.
+    #[must_use]
+    pub fn small() -> Self {
+        Self::new(Company::small())
+    }
+
+    /// The backend company.
+    #[must_use]
+    pub fn company(&self) -> &Company {
+        &self.company
+    }
+
+    fn work_profile(request: &JbbRequest, outcome: &TxnOutcome) -> WorkProfile {
+        let rows = u64::from(outcome.rows_touched);
+        // Java middleware burns a lot of instructions per row (object churn, dispatch),
+        // which is why specjbb has the highest L1I MPKI of the suite short of shore.
+        let base = match request {
+            JbbRequest::NewOrder { .. } => 9_000,
+            JbbRequest::Payment { .. } => 4_000,
+            JbbRequest::OrderStatus { .. } => 3_000,
+            JbbRequest::Delivery { .. } => 7_000,
+            JbbRequest::StockLevel { .. } => 6_000,
+        };
+        WorkProfile {
+            instructions: base + 900 * rows,
+            mem_reads: 40 + 25 * rows,
+            mem_writes: 15 + 10 * rows,
+            footprint_bytes: 4_096 + 256 * rows,
+            locality: 0.6,
+            critical_fraction: 0.06,
+        }
+    }
+}
+
+impl ServerApp for SpecJbbApp {
+    fn name(&self) -> &str {
+        "specjbb"
+    }
+
+    fn handle(&self, payload: &[u8]) -> Response {
+        let Some(request) = codec::decode(payload) else {
+            return Response::new(vec![0xFF]);
+        };
+        let outcome = match &request {
+            JbbRequest::NewOrder {
+                warehouse,
+                district,
+                customer,
+                lines,
+            } => self
+                .company
+                .new_order(*warehouse as usize, *district as usize, *customer, lines),
+            JbbRequest::Payment {
+                warehouse,
+                district,
+                customer,
+                amount,
+            } => self
+                .company
+                .payment(*warehouse as usize, *district as usize, *customer, *amount),
+            JbbRequest::OrderStatus {
+                warehouse,
+                district,
+                customer,
+            } => self
+                .company
+                .order_status(*warehouse as usize, *district as usize, *customer),
+            JbbRequest::Delivery { warehouse } => self.company.delivery(*warehouse as usize),
+            JbbRequest::StockLevel {
+                warehouse,
+                district,
+                threshold,
+            } => self
+                .company
+                .stock_level(*warehouse as usize, *district as usize, *threshold),
+        };
+        let mut out = Vec::with_capacity(13);
+        out.push(u8::from(outcome.committed));
+        out.extend_from_slice(&outcome.rows_touched.to_le_bytes());
+        out.extend_from_slice(&outcome.amount.to_le_bytes());
+        Response::with_work(out, Self::work_profile(&request, &outcome))
+    }
+}
+
+/// Generates the SPECjbb request mix.
+#[derive(Debug)]
+pub struct JbbRequestFactory {
+    warehouses: u16,
+    customers: u32,
+    items: u32,
+    rng: SuiteRng,
+}
+
+impl JbbRequestFactory {
+    /// Creates a factory matching a company's dimensions.
+    #[must_use]
+    pub fn new(company: &Company, seed: u64) -> Self {
+        JbbRequestFactory {
+            warehouses: company.warehouses() as u16,
+            customers: company.customers_per_warehouse() as u32,
+            items: company.items() as u32,
+            rng: seeded_rng(seed, 600),
+        }
+    }
+
+    fn next(&mut self) -> JbbRequest {
+        let warehouse = self.rng.gen_range(0..self.warehouses);
+        let district = self.rng.gen_range(0..DISTRICTS as u8);
+        let customer = self.rng.gen_range(0..self.customers);
+        let roll: f64 = self.rng.gen();
+        if roll < 0.45 {
+            let n = self.rng.gen_range(5..=15);
+            let lines = (0..n)
+                .map(|_| (self.rng.gen_range(0..self.items), self.rng.gen_range(1..=10u32)))
+                .collect();
+            JbbRequest::NewOrder {
+                warehouse,
+                district,
+                customer,
+                lines,
+            }
+        } else if roll < 0.88 {
+            JbbRequest::Payment {
+                warehouse,
+                district,
+                customer,
+                amount: self.rng.gen_range(100..500_000),
+            }
+        } else if roll < 0.92 {
+            JbbRequest::OrderStatus {
+                warehouse,
+                district,
+                customer,
+            }
+        } else if roll < 0.96 {
+            JbbRequest::Delivery { warehouse }
+        } else {
+            JbbRequest::StockLevel {
+                warehouse,
+                district,
+                threshold: self.rng.gen_range(10..=20),
+            }
+        }
+    }
+}
+
+impl RequestFactory for JbbRequestFactory {
+    fn next_request(&mut self) -> Vec<u8> {
+        codec::encode(&self.next())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codec_round_trips_all_variants() {
+        let requests = vec![
+            JbbRequest::NewOrder {
+                warehouse: 1,
+                district: 3,
+                customer: 42,
+                lines: vec![(1, 2), (7, 3)],
+            },
+            JbbRequest::Payment {
+                warehouse: 0,
+                district: 9,
+                customer: 7,
+                amount: 123_456,
+            },
+            JbbRequest::OrderStatus {
+                warehouse: 0,
+                district: 1,
+                customer: 3,
+            },
+            JbbRequest::Delivery { warehouse: 1 },
+            JbbRequest::StockLevel {
+                warehouse: 0,
+                district: 5,
+                threshold: 15,
+            },
+        ];
+        for r in requests {
+            assert_eq!(codec::decode(&codec::encode(&r)), Some(r));
+        }
+        assert_eq!(codec::decode(&[]), None);
+        assert_eq!(codec::decode(&[9, 0, 0]), None);
+    }
+
+    #[test]
+    fn app_executes_the_request_mix() {
+        let app = SpecJbbApp::small();
+        let mut factory = JbbRequestFactory::new(app.company(), 1);
+        let mut committed = 0;
+        for _ in 0..500 {
+            let resp = app.handle(&factory.next_request());
+            assert!(resp.payload.len() == 13);
+            if resp.payload[0] == 1 {
+                committed += 1;
+            }
+            assert!(resp.work.instructions > 0);
+        }
+        assert!(committed > 490, "committed = {committed}");
+    }
+
+    #[test]
+    fn new_orders_report_more_work_than_order_status() {
+        let app = SpecJbbApp::small();
+        let new_order = codec::encode(&JbbRequest::NewOrder {
+            warehouse: 0,
+            district: 0,
+            customer: 1,
+            lines: vec![(1, 1), (2, 2), (3, 3), (4, 4), (5, 5)],
+        });
+        let status = codec::encode(&JbbRequest::OrderStatus {
+            warehouse: 0,
+            district: 0,
+            customer: 1,
+        });
+        assert!(app.handle(&new_order).work.instructions > app.handle(&status).work.instructions);
+    }
+
+    #[test]
+    fn malformed_request_is_rejected() {
+        let app = SpecJbbApp::small();
+        assert_eq!(app.handle(&[0, 1]).payload, vec![0xFF]);
+    }
+
+    #[test]
+    fn end_to_end_through_harness() {
+        use std::sync::Arc;
+        use tailbench_core::config::BenchmarkConfig;
+
+        let app = SpecJbbApp::small();
+        let mut factory = JbbRequestFactory::new(app.company(), 2);
+        let app: Arc<dyn ServerApp> = Arc::new(app);
+        let report = tailbench_core::runner::run(
+            &app,
+            &mut factory,
+            &BenchmarkConfig::new(2_000.0, 300).with_warmup(30),
+        )
+        .unwrap();
+        assert_eq!(report.app, "specjbb");
+        assert!(report.requests > 250);
+    }
+}

@@ -1,0 +1,416 @@
+//! An in-memory B+-tree.
+//!
+//! masstree's core is a cache-optimized ordered index; this module provides the ordered
+//! index underlying our substitute store: a B+-tree with wide nodes (to keep the tree
+//! shallow and cache-friendly) and ordered range scans.  Deletions are *lazy*: keys are
+//! removed from their leaf without rebalancing, which keeps the implementation simple at
+//! the cost of occasionally under-full leaves — a deliberate trade-off documented in
+//! DESIGN.md (YCSB-style workloads never shrink the tree).
+
+use std::fmt::Debug;
+
+/// Maximum number of keys a node holds before it splits.
+const MAX_KEYS: usize = 31;
+
+#[derive(Debug, Clone)]
+enum Node<K, V> {
+    Leaf {
+        keys: Vec<K>,
+        values: Vec<V>,
+    },
+    Internal {
+        keys: Vec<K>,
+        children: Vec<Node<K, V>>,
+    },
+}
+
+impl<K: Ord + Clone, V> Node<K, V> {
+    fn new_leaf() -> Self {
+        Node::Leaf {
+            keys: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// Inserts `key`/`value`; returns the previous value if the key existed, and a split
+    /// (separator key + new right sibling) if this node overflowed.
+    #[allow(clippy::type_complexity)]
+    fn insert(&mut self, key: K, value: V) -> (Option<V>, Option<(K, Node<K, V>)>) {
+        match self {
+            Node::Leaf { keys, values } => match keys.binary_search(&key) {
+                Ok(i) => {
+                    let old = std::mem::replace(&mut values[i], value);
+                    (Some(old), None)
+                }
+                Err(i) => {
+                    keys.insert(i, key);
+                    values.insert(i, value);
+                    if keys.len() > MAX_KEYS {
+                        let mid = keys.len() / 2;
+                        let right_keys = keys.split_off(mid);
+                        let right_values = values.split_off(mid);
+                        let sep = right_keys[0].clone();
+                        (
+                            None,
+                            Some((
+                                sep,
+                                Node::Leaf {
+                                    keys: right_keys,
+                                    values: right_values,
+                                },
+                            )),
+                        )
+                    } else {
+                        (None, None)
+                    }
+                }
+            },
+            Node::Internal { keys, children } => {
+                let idx = match keys.binary_search(&key) {
+                    Ok(i) => i + 1,
+                    Err(i) => i,
+                };
+                let (old, split) = children[idx].insert(key, value);
+                if let Some((sep, right)) = split {
+                    keys.insert(idx, sep);
+                    children.insert(idx + 1, right);
+                    if keys.len() > MAX_KEYS {
+                        let mid = keys.len() / 2;
+                        let sep_up = keys[mid].clone();
+                        let right_keys = keys.split_off(mid + 1);
+                        keys.pop(); // the separator moves up, it does not stay in either node
+                        let right_children = children.split_off(mid + 1);
+                        return (
+                            old,
+                            Some((
+                                sep_up,
+                                Node::Internal {
+                                    keys: right_keys,
+                                    children: right_children,
+                                },
+                            )),
+                        );
+                    }
+                }
+                (old, None)
+            }
+        }
+    }
+
+    fn get(&self, key: &K) -> Option<&V> {
+        match self {
+            Node::Leaf { keys, values } => keys.binary_search(key).ok().map(|i| &values[i]),
+            Node::Internal { keys, children } => {
+                let idx = match keys.binary_search(key) {
+                    Ok(i) => i + 1,
+                    Err(i) => i,
+                };
+                children[idx].get(key)
+            }
+        }
+    }
+
+    fn remove(&mut self, key: &K) -> Option<V> {
+        match self {
+            Node::Leaf { keys, values } => keys.binary_search(key).ok().map(|i| {
+                keys.remove(i);
+                values.remove(i)
+            }),
+            Node::Internal { keys, children } => {
+                let idx = match keys.binary_search(key) {
+                    Ok(i) => i + 1,
+                    Err(i) => i,
+                };
+                children[idx].remove(key)
+            }
+        }
+    }
+
+    /// Appends up to `limit - out.len()` entries with key >= `start` in key order.
+    fn scan_into(&self, start: &K, limit: usize, out: &mut Vec<(K, V)>)
+    where
+        V: Clone,
+    {
+        if out.len() >= limit {
+            return;
+        }
+        match self {
+            Node::Leaf { keys, values } => {
+                let begin = match keys.binary_search(start) {
+                    Ok(i) | Err(i) => i,
+                };
+                for i in begin..keys.len() {
+                    if out.len() >= limit {
+                        return;
+                    }
+                    out.push((keys[i].clone(), values[i].clone()));
+                }
+            }
+            Node::Internal { keys, children } => {
+                let begin = match keys.binary_search(start) {
+                    Ok(i) => i + 1,
+                    Err(i) => i,
+                };
+                for child in &children[begin..] {
+                    if out.len() >= limit {
+                        return;
+                    }
+                    child.scan_into(start, limit, out);
+                }
+            }
+        }
+    }
+
+    fn depth(&self) -> usize {
+        match self {
+            Node::Leaf { .. } => 1,
+            Node::Internal { children, .. } => 1 + children[0].depth(),
+        }
+    }
+}
+
+/// An ordered map implemented as a B+-tree.
+///
+/// # Example
+///
+/// ```
+/// use tailbench_kvstore::bptree::BPlusTree;
+///
+/// let mut tree = BPlusTree::new();
+/// tree.insert(3u64, "three");
+/// tree.insert(1, "one");
+/// assert_eq!(tree.get(&1), Some(&"one"));
+/// assert_eq!(tree.len(), 2);
+/// let entries = tree.scan(&0, 10);
+/// assert_eq!(entries[0].0, 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BPlusTree<K, V> {
+    root: Node<K, V>,
+    len: usize,
+}
+
+impl<K: Ord + Clone, V> Default for BPlusTree<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Ord + Clone, V> BPlusTree<K, V> {
+    /// Creates an empty tree.
+    #[must_use]
+    pub fn new() -> Self {
+        BPlusTree {
+            root: Node::new_leaf(),
+            len: 0,
+        }
+    }
+
+    /// Number of entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if the tree holds no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Height of the tree (1 for a single leaf).
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.root.depth()
+    }
+
+    /// Inserts a key/value pair, returning the previous value for the key if any.
+    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        let (old, split) = self.root.insert(key, value);
+        if old.is_none() {
+            self.len += 1;
+        }
+        if let Some((sep, right)) = split {
+            let old_root = std::mem::replace(&mut self.root, Node::new_leaf());
+            self.root = Node::Internal {
+                keys: vec![sep],
+                children: vec![old_root, right],
+            };
+        }
+        old
+    }
+
+    /// Looks up a key.
+    #[must_use]
+    pub fn get(&self, key: &K) -> Option<&V> {
+        self.root.get(key)
+    }
+
+    /// Returns `true` if the key is present.
+    #[must_use]
+    pub fn contains_key(&self, key: &K) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Removes a key, returning its value if it was present.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        let removed = self.root.remove(key);
+        if removed.is_some() {
+            self.len -= 1;
+        }
+        removed
+    }
+
+    /// Returns up to `limit` entries with keys `>= start`, in ascending key order.
+    #[must_use]
+    pub fn scan(&self, start: &K, limit: usize) -> Vec<(K, V)>
+    where
+        V: Clone,
+    {
+        let mut out = Vec::with_capacity(limit.min(128));
+        self.root.scan_into(start, limit, &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let mut t = BPlusTree::new();
+        assert!(t.is_empty());
+        // 7 and 1000 are coprime, so i*7 mod 1000 enumerates every key exactly once.
+        for i in 0..1000u64 {
+            assert!(t.insert(i * 7 % 1000, i).is_none());
+        }
+        assert_eq!(t.len(), 1000);
+        for i in 0..1000u64 {
+            let key = i * 7 % 1000;
+            assert_eq!(t.get(&key), Some(&i));
+        }
+        assert!(t.contains_key(&500));
+        assert!(!t.contains_key(&1000));
+    }
+
+    #[test]
+    fn overwrites_return_previous_value() {
+        let mut t = BPlusTree::new();
+        assert_eq!(t.insert(1u64, "a"), None);
+        assert_eq!(t.insert(1, "b"), Some("a"));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(&1), Some(&"b"));
+    }
+
+    #[test]
+    fn large_insert_keeps_tree_shallow() {
+        let mut t = BPlusTree::new();
+        for i in 0..100_000u64 {
+            t.insert(i, i * 2);
+        }
+        assert_eq!(t.len(), 100_000);
+        // With 31-key nodes, 100k entries needs only a handful of levels.
+        assert!(t.depth() <= 5, "depth = {}", t.depth());
+        assert_eq!(t.get(&99_999), Some(&199_998));
+    }
+
+    #[test]
+    fn scan_returns_sorted_prefix() {
+        let mut t = BPlusTree::new();
+        for i in (0..500u64).rev() {
+            t.insert(i, i);
+        }
+        let s = t.scan(&100, 10);
+        assert_eq!(s.len(), 10);
+        assert_eq!(s[0].0, 100);
+        assert_eq!(s[9].0, 109);
+        assert!(s.windows(2).all(|w| w[0].0 < w[1].0));
+        // Scan past the end.
+        let tail = t.scan(&495, 100);
+        assert_eq!(tail.len(), 5);
+    }
+
+    #[test]
+    fn remove_deletes_entries() {
+        let mut t = BPlusTree::new();
+        for i in 0..2_000u64 {
+            t.insert(i, i);
+        }
+        for i in (0..2_000u64).step_by(2) {
+            assert_eq!(t.remove(&i), Some(i));
+        }
+        assert_eq!(t.len(), 1_000);
+        assert_eq!(t.remove(&0), None);
+        assert_eq!(t.get(&1), Some(&1));
+        assert_eq!(t.get(&2), None);
+    }
+
+    #[test]
+    fn reverse_and_random_order_inserts_agree_with_btreemap() {
+        use std::collections::BTreeMap;
+        let mut model = BTreeMap::new();
+        let mut t = BPlusTree::new();
+        let mut x: u64 = 0x12345;
+        for _ in 0..10_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let k = x >> 40;
+            model.insert(k, x);
+            t.insert(k, x);
+        }
+        assert_eq!(t.len(), model.len());
+        for (k, v) in &model {
+            assert_eq!(t.get(k), Some(v));
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::BTreeMap;
+
+    #[derive(Debug, Clone)]
+    enum Op {
+        Insert(u16, u32),
+        Remove(u16),
+        Scan(u16, u8),
+    }
+
+    fn op_strategy() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            (any::<u16>(), any::<u32>()).prop_map(|(k, v)| Op::Insert(k, v)),
+            any::<u16>().prop_map(Op::Remove),
+            (any::<u16>(), 1u8..50).prop_map(|(k, n)| Op::Scan(k, n)),
+        ]
+    }
+
+    proptest! {
+        #[test]
+        fn behaves_like_btreemap(ops in prop::collection::vec(op_strategy(), 1..400)) {
+            let mut tree = BPlusTree::new();
+            let mut model: BTreeMap<u16, u32> = BTreeMap::new();
+            for op in ops {
+                match op {
+                    Op::Insert(k, v) => {
+                        prop_assert_eq!(tree.insert(k, v), model.insert(k, v));
+                    }
+                    Op::Remove(k) => {
+                        prop_assert_eq!(tree.remove(&k), model.remove(&k));
+                    }
+                    Op::Scan(k, n) => {
+                        let got = tree.scan(&k, n as usize);
+                        let want: Vec<(u16, u32)> = model
+                            .range(k..)
+                            .take(n as usize)
+                            .map(|(a, b)| (*a, *b))
+                            .collect();
+                        prop_assert_eq!(got, want);
+                    }
+                }
+                prop_assert_eq!(tree.len(), model.len());
+            }
+        }
+    }
+}

@@ -1,0 +1,220 @@
+//! A Masstree-style layered index for byte-string keys.
+//!
+//! Masstree's key organization is a *trie of B+-trees*: each layer indexes an 8-byte
+//! slice of the key, and keys longer than 8 bytes descend into a child tree for the next
+//! slice.  This keeps comparisons cheap (fixed-width integer compares) regardless of key
+//! length.  [`LayeredTree`] reproduces that structure on top of
+//! [`BPlusTree`](crate::bptree::BPlusTree).
+
+use crate::bptree::BPlusTree;
+
+/// One entry of a layer: either a value whose key ends at this layer, or a child layer
+/// for keys that continue, or both (a key can be a strict prefix of another).
+#[derive(Debug, Clone)]
+struct LayerEntry<V> {
+    value: Option<V>,
+    child: Option<Box<LayeredTree<V>>>,
+}
+
+impl<V> Default for LayerEntry<V> {
+    fn default() -> Self {
+        LayerEntry {
+            value: None,
+            child: None,
+        }
+    }
+}
+
+/// A trie of B+-trees keyed by 8-byte key slices, as in Masstree.
+///
+/// Each layer is keyed by `(slice, slice_len)` so that keys which are zero-padded
+/// prefixes of each other (e.g. `""`, `"\0"`, `"\0\0"`) remain distinct, mirroring
+/// Masstree's per-slice key-length tracking.
+#[derive(Debug, Clone, Default)]
+pub struct LayeredTree<V> {
+    layer: BPlusTree<(u64, u8), LayerEntry<V>>,
+    len: usize,
+}
+
+/// Splits a byte key into its first 8-byte slice (big-endian padded with zeros, tagged
+/// with the number of meaningful bytes) and the remaining suffix.
+fn split_key(key: &[u8]) -> ((u64, u8), &[u8]) {
+    let mut slice = [0u8; 8];
+    let take = key.len().min(8);
+    slice[..take].copy_from_slice(&key[..take]);
+    ((u64::from_be_bytes(slice), take as u8), &key[take..])
+}
+
+impl<V: Clone> LayeredTree<V> {
+    /// Creates an empty layered tree.
+    #[must_use]
+    pub fn new() -> Self {
+        LayeredTree {
+            layer: BPlusTree::new(),
+            len: 0,
+        }
+    }
+
+    /// Number of keys stored.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if no keys are stored.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts a key/value pair, returning the previous value for the key if any.
+    pub fn insert(&mut self, key: &[u8], value: V) -> Option<V> {
+        let (slice, rest) = split_key(key);
+        // Fetch-or-create the entry for this slice.
+        let mut entry = self.layer.get(&slice).cloned().unwrap_or_default();
+        let old = if rest.is_empty() && key.len() <= 8 {
+            entry.value.replace(value)
+        } else {
+            let child = entry.child.get_or_insert_with(|| Box::new(LayeredTree::new()));
+            child.insert(rest, value)
+        };
+        self.layer.insert(slice, entry);
+        if old.is_none() {
+            self.len += 1;
+        }
+        old
+    }
+
+    /// Looks up a key.
+    #[must_use]
+    pub fn get(&self, key: &[u8]) -> Option<V> {
+        let (slice, rest) = split_key(key);
+        let entry = self.layer.get(&slice)?;
+        if rest.is_empty() && key.len() <= 8 {
+            entry.value.clone()
+        } else {
+            entry.child.as_ref()?.get(rest)
+        }
+    }
+
+    /// Removes a key, returning its value if it was present.
+    pub fn remove(&mut self, key: &[u8]) -> Option<V> {
+        let (slice, rest) = split_key(key);
+        let mut entry = self.layer.get(&slice)?.clone();
+        let old = if rest.is_empty() && key.len() <= 8 {
+            entry.value.take()
+        } else {
+            entry.child.as_mut()?.remove(rest)
+        };
+        if old.is_some() {
+            self.len -= 1;
+            self.layer.insert(slice, entry);
+        }
+        old
+    }
+
+    /// Number of trie layers along the path of `key` (1 for short keys).
+    #[must_use]
+    pub fn layers_for(&self, key: &[u8]) -> usize {
+        1 + key.len().saturating_sub(1) / 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn short_keys_round_trip() {
+        let mut t = LayeredTree::new();
+        assert!(t.insert(b"alpha", 1).is_none());
+        assert!(t.insert(b"beta", 2).is_none());
+        assert_eq!(t.get(b"alpha"), Some(1));
+        assert_eq!(t.get(b"beta"), Some(2));
+        assert_eq!(t.get(b"gamma"), None);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn long_keys_descend_into_child_layers() {
+        let mut t = LayeredTree::new();
+        let key = b"0123456789abcdefXYZ"; // 19 bytes -> 3 layers of 8 bytes
+        assert_eq!(t.layers_for(key), 3);
+        assert!(t.insert(key, 99).is_none());
+        assert_eq!(t.get(key), Some(99));
+        // A key sharing the first 8 bytes but diverging later is distinct.
+        let other = b"a-very-lXng-key";
+        assert!(t.insert(other, 7).is_none());
+        assert_eq!(t.get(other), Some(7));
+        assert_eq!(t.get(key), Some(99));
+        assert_eq!(t.len(), 2);
+        // Zero-padded prefixes stay distinct thanks to per-slice length tagging.
+        let mut p = LayeredTree::new();
+        p.insert(b"", 0);
+        p.insert(&[0u8], 1);
+        p.insert(&[0u8, 0u8], 2);
+        assert_eq!(p.get(b""), Some(0));
+        assert_eq!(p.get(&[0u8]), Some(1));
+        assert_eq!(p.get(&[0u8, 0u8]), Some(2));
+        assert_eq!(p.len(), 3);
+    }
+
+    #[test]
+    fn prefix_keys_coexist() {
+        let mut t = LayeredTree::new();
+        t.insert(b"12345678", 1); // exactly one slice
+        t.insert(b"1234567890", 2); // same first slice, continues
+        assert_eq!(t.get(b"12345678"), Some(1));
+        assert_eq!(t.get(b"1234567890"), Some(2));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn overwrite_and_remove() {
+        let mut t = LayeredTree::new();
+        assert_eq!(t.insert(b"key-number-one", 1), None);
+        assert_eq!(t.insert(b"key-number-one", 2), Some(1));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.remove(b"key-number-one"), Some(2));
+        assert_eq!(t.remove(b"key-number-one"), None);
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.get(b"key-number-one"), None);
+    }
+
+    #[test]
+    fn empty_key_is_storable() {
+        let mut t = LayeredTree::new();
+        t.insert(b"", 42);
+        assert_eq!(t.get(b""), Some(42));
+        assert_eq!(t.len(), 1);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::HashMap;
+
+    proptest! {
+        #[test]
+        fn behaves_like_hashmap(
+            ops in prop::collection::vec(
+                (prop::collection::vec(any::<u8>(), 0..24), any::<u32>(), any::<bool>()),
+                1..200
+            )
+        ) {
+            let mut tree = LayeredTree::new();
+            let mut model: HashMap<Vec<u8>, u32> = HashMap::new();
+            for (key, value, is_insert) in ops {
+                if is_insert {
+                    prop_assert_eq!(tree.insert(&key, value), model.insert(key.clone(), value));
+                } else {
+                    prop_assert_eq!(tree.remove(&key), model.remove(&key));
+                }
+                prop_assert_eq!(tree.get(&key), model.get(&key).copied());
+                prop_assert_eq!(tree.len(), model.len());
+            }
+        }
+    }
+}

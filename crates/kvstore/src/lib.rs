@@ -1,0 +1,34 @@
+//! The masstree substitute: a fast in-memory ordered key-value store.
+//!
+//! TailBench's `masstree` benchmark is a highly optimized in-memory key-value store
+//! driven by a 50% GET / 50% PUT YCSB mix (paper §III, Table I).  This crate provides a
+//! from-scratch Rust substitute with the same architectural ingredients:
+//!
+//! * [`bptree`] — a wide-node B+-tree, the ordered index at the heart of the store;
+//! * [`layered`] — a Masstree-style trie-of-B+-trees for byte-string keys;
+//! * [`store`] — a range-sharded, reader-writer-locked concurrent store;
+//! * [`service`] — the [`ServerApp`](tailbench_core::app::ServerApp) adapter and the
+//!   mycsb-a request factory that plug the store into the TailBench harness.
+//!
+//! # Example
+//!
+//! ```
+//! use tailbench_kvstore::store::KvStore;
+//!
+//! let store = KvStore::new(4, 1_000);
+//! store.put(17, b"value".to_vec());
+//! assert_eq!(store.get(17), Some(b"value".to_vec()));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bptree;
+pub mod layered;
+pub mod service;
+pub mod store;
+
+pub use bptree::BPlusTree;
+pub use layered::LayeredTree;
+pub use service::{MasstreeApp, YcsbRequestFactory};
+pub use store::KvStore;

@@ -1,0 +1,170 @@
+//! The concurrent key-value store.
+//!
+//! masstree serves GET/PUT/SCAN operations from many cores concurrently.  Our substitute
+//! partitions the key space into range shards, each protected by a reader-writer lock
+//! over a [`BPlusTree`](crate::bptree::BPlusTree): reads proceed concurrently within and
+//! across shards, writes serialize only within their shard.  Range partitioning (rather
+//! than hash partitioning) keeps scans ordered and mostly shard-local.
+
+use crate::bptree::BPlusTree;
+use parking_lot::RwLock;
+
+/// A sharded, ordered, concurrent key-value store mapping `u64` keys to byte values.
+#[derive(Debug)]
+pub struct KvStore {
+    shards: Vec<RwLock<BPlusTree<u64, Vec<u8>>>>,
+    /// Size of each contiguous key range assigned to one shard.
+    range_per_shard: u64,
+}
+
+impl KvStore {
+    /// Creates a store with `shards` range-partitions covering keys `0..capacity_hint`.
+    /// Keys at or beyond `capacity_hint` all land in the last shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == 0`.
+    #[must_use]
+    pub fn new(shards: usize, capacity_hint: u64) -> Self {
+        assert!(shards > 0, "need at least one shard");
+        let range_per_shard = (capacity_hint / shards as u64).max(1);
+        KvStore {
+            shards: (0..shards).map(|_| RwLock::new(BPlusTree::new())).collect(),
+            range_per_shard,
+        }
+    }
+
+    /// Number of shards.
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard_for(&self, key: u64) -> usize {
+        ((key / self.range_per_shard) as usize).min(self.shards.len() - 1)
+    }
+
+    /// Inserts or overwrites a key. Returns `true` if the key already existed.
+    pub fn put(&self, key: u64, value: Vec<u8>) -> bool {
+        self.shards[self.shard_for(key)]
+            .write()
+            .insert(key, value)
+            .is_some()
+    }
+
+    /// Reads a key.
+    #[must_use]
+    pub fn get(&self, key: u64) -> Option<Vec<u8>> {
+        self.shards[self.shard_for(key)].read().get(&key).cloned()
+    }
+
+    /// Removes a key, returning its value if present.
+    pub fn remove(&self, key: u64) -> Option<Vec<u8>> {
+        self.shards[self.shard_for(key)].write().remove(&key)
+    }
+
+    /// Returns up to `limit` entries with keys `>= start` in ascending order, possibly
+    /// spanning multiple shards.
+    #[must_use]
+    pub fn scan(&self, start: u64, limit: usize) -> Vec<(u64, Vec<u8>)> {
+        let mut out = Vec::with_capacity(limit.min(128));
+        let mut shard = self.shard_for(start);
+        let mut cursor = start;
+        while out.len() < limit && shard < self.shards.len() {
+            let chunk = self.shards[shard].read().scan(&cursor, limit - out.len());
+            out.extend(chunk);
+            shard += 1;
+            cursor = (shard as u64) * self.range_per_shard;
+        }
+        out
+    }
+
+    /// Total number of entries across all shards.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().len()).sum()
+    }
+
+    /// Returns `true` if the store holds no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Maximum B+-tree depth across shards (a proxy for per-request pointer chases).
+    #[must_use]
+    pub fn max_depth(&self) -> usize {
+        self.shards.iter().map(|s| s.read().depth()).max().unwrap_or(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn put_get_remove_across_shards() {
+        let store = KvStore::new(8, 1_000);
+        for k in 0..1_000u64 {
+            assert!(!store.put(k, vec![k as u8]));
+        }
+        assert_eq!(store.len(), 1_000);
+        assert_eq!(store.get(999), Some(vec![231]));
+        assert!(store.put(999, vec![1, 2, 3]));
+        assert_eq!(store.get(999), Some(vec![1, 2, 3]));
+        assert_eq!(store.remove(500), Some(vec![244]));
+        assert_eq!(store.get(500), None);
+        assert_eq!(store.len(), 999);
+    }
+
+    #[test]
+    fn scan_crosses_shard_boundaries_in_order() {
+        let store = KvStore::new(4, 400);
+        for k in 0..400u64 {
+            store.put(k, vec![(k % 251) as u8]);
+        }
+        // A scan starting near the end of shard 0 (keys 0..100) must continue into shard 1.
+        let result = store.scan(95, 20);
+        assert_eq!(result.len(), 20);
+        let keys: Vec<u64> = result.iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, (95..115).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn keys_beyond_capacity_hint_land_in_last_shard() {
+        let store = KvStore::new(4, 100);
+        store.put(1_000_000, vec![9]);
+        assert_eq!(store.get(1_000_000), Some(vec![9]));
+        assert_eq!(store.shard_for(1_000_000), 3);
+    }
+
+    #[test]
+    fn concurrent_access_is_consistent() {
+        let store = Arc::new(KvStore::new(16, 10_000));
+        let writers: Vec<_> = (0..4)
+            .map(|t| {
+                let store = Arc::clone(&store);
+                std::thread::spawn(move || {
+                    for i in 0..2_500u64 {
+                        let key = t * 2_500 + i;
+                        store.put(key, key.to_le_bytes().to_vec());
+                    }
+                })
+            })
+            .collect();
+        for w in writers {
+            w.join().unwrap();
+        }
+        assert_eq!(store.len(), 10_000);
+        for key in [0u64, 2_499, 2_500, 9_999] {
+            assert_eq!(store.get(key), Some(key.to_le_bytes().to_vec()));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_panics() {
+        let _ = KvStore::new(0, 100);
+    }
+}

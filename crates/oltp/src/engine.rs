@@ -1,0 +1,188 @@
+//! The storage-engine abstraction shared by silo and shore.
+//!
+//! Both OLTP applications run the same TPC-C transaction logic
+//! ([`crate::executor`]); what differs is the storage engine underneath: silo is an
+//! in-memory engine with optimistic concurrency control, shore is an on-disk engine with
+//! a buffer pool, write-ahead log and two-phase locking.  The [`Engine`] and
+//! [`Transaction`] traits capture the interface the executor needs, so the transaction
+//! logic is written exactly once.
+
+use std::fmt;
+
+/// Identifies one of the TPC-C tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Table {
+    /// WAREHOUSE.
+    Warehouse,
+    /// DISTRICT.
+    District,
+    /// CUSTOMER.
+    Customer,
+    /// ITEM (read-only).
+    Item,
+    /// STOCK.
+    Stock,
+    /// ORDERS.
+    Orders,
+    /// ORDER-LINE.
+    OrderLine,
+    /// NEW-ORDER.
+    NewOrder,
+    /// HISTORY.
+    History,
+}
+
+impl Table {
+    /// All tables, in a fixed order (used for table-indexed storage arrays).
+    pub const ALL: [Table; 9] = [
+        Table::Warehouse,
+        Table::District,
+        Table::Customer,
+        Table::Item,
+        Table::Stock,
+        Table::Orders,
+        Table::OrderLine,
+        Table::NewOrder,
+        Table::History,
+    ];
+
+    /// Dense index of the table.
+    #[must_use]
+    pub fn index(self) -> usize {
+        Table::ALL.iter().position(|&t| t == self).expect("table listed in ALL")
+    }
+}
+
+/// Why a transaction failed to commit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TxnError {
+    /// Optimistic validation failed (silo) — the caller should retry.
+    Conflict,
+    /// The transaction was explicitly rolled back (e.g. TPC-C's 1% invalid new-orders).
+    Aborted,
+    /// A row that must exist was not found.
+    NotFound {
+        /// Table of the missing row.
+        table: Table,
+        /// Key of the missing row.
+        key: u64,
+    },
+    /// An I/O error from the on-disk engine.
+    Io(String),
+}
+
+impl fmt::Display for TxnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TxnError::Conflict => write!(f, "optimistic validation conflict"),
+            TxnError::Aborted => write!(f, "transaction rolled back"),
+            TxnError::NotFound { table, key } => write!(f, "row not found: {table:?}/{key}"),
+            TxnError::Io(msg) => write!(f, "storage i/o error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TxnError {}
+
+/// Summary of a committed (or aborted) transaction, used for latency/work accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TxnStats {
+    /// Rows read.
+    pub reads: u64,
+    /// Rows written.
+    pub writes: u64,
+    /// Number of optimistic retries needed (silo only).
+    pub retries: u64,
+    /// Bytes appended to the write-ahead log (shore only).
+    pub log_bytes: u64,
+    /// Buffer-pool misses incurred (shore only).
+    pub page_misses: u64,
+}
+
+/// One transaction against an engine.
+pub trait Transaction {
+    /// Reads a row; `Ok(None)` if the key does not exist.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TxnError`] on storage errors or (for OCC engines) conflicts detected
+    /// eagerly.
+    fn read(&mut self, table: Table, key: u64) -> Result<Option<Vec<u8>>, TxnError>;
+
+    /// Buffers a write of a row (visible to subsequent reads of this transaction,
+    /// installed atomically at commit).
+    fn write(&mut self, table: Table, key: u64, value: Vec<u8>);
+
+    /// Attempts to commit; consumes the transaction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TxnError::Conflict`] if optimistic validation failed (the caller may
+    /// retry the whole transaction) or another [`TxnError`] on storage failure.
+    fn commit(self: Box<Self>) -> Result<TxnStats, TxnError>;
+
+    /// Abandons the transaction without installing any write.
+    fn abort(self: Box<Self>);
+}
+
+/// A storage engine that can run transactions.
+pub trait Engine: Send + Sync {
+    /// Engine name for reports (`"silo"`, `"shore"`).
+    fn name(&self) -> &str;
+
+    /// Begins a new transaction.
+    fn begin(&self) -> Box<dyn Transaction + '_>;
+
+    /// Non-transactional bulk insert used by the initial TPC-C load.
+    fn load(&self, table: Table, key: u64, value: Vec<u8>);
+
+    /// Approximate number of rows in a table (diagnostics and tests).
+    fn table_len(&self, table: Table) -> usize;
+}
+
+/// Packs a multi-part TPC-C key (warehouse, district, id, …) into a single `u64`.
+///
+/// Layout: `[w: 12 bits][d: 8 bits][a: 22 bits][b: 22 bits]`, enough for the paper's
+/// scale factors with room to spare.
+#[must_use]
+pub fn pack_key(warehouse: u32, district: u32, a: u32, b: u32) -> u64 {
+    debug_assert!(warehouse < (1 << 12));
+    debug_assert!(district < (1 << 8));
+    debug_assert!(a < (1 << 22));
+    debug_assert!(b < (1 << 22));
+    (u64::from(warehouse) << 52) | (u64::from(district) << 44) | (u64::from(a) << 22) | u64::from(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_indices_are_dense_and_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for t in Table::ALL {
+            assert!(t.index() < Table::ALL.len());
+            assert!(seen.insert(t.index()));
+        }
+    }
+
+    #[test]
+    fn pack_key_is_injective_for_distinct_components() {
+        let a = pack_key(1, 2, 3, 4);
+        assert_ne!(a, pack_key(2, 2, 3, 4));
+        assert_ne!(a, pack_key(1, 3, 3, 4));
+        assert_ne!(a, pack_key(1, 2, 4, 4));
+        assert_ne!(a, pack_key(1, 2, 3, 5));
+        assert_eq!(a, pack_key(1, 2, 3, 4));
+    }
+
+    #[test]
+    fn txn_error_display_is_informative() {
+        let e = TxnError::NotFound {
+            table: Table::Stock,
+            key: 42,
+        };
+        assert!(e.to_string().contains("Stock"));
+        assert!(TxnError::Conflict.to_string().contains("conflict"));
+    }
+}

@@ -1,0 +1,528 @@
+//! TPC-C schema rows, initial load, and transaction logic.
+//!
+//! Both OLTP engines run the same TPC-C implementation; the engine only provides
+//! transactional `(table, key) -> bytes` storage.  Rows use compact fixed layouts
+//! (little-endian integers) rather than a generic serializer so that per-row work stays
+//! representative of a tuned OLTP system.
+
+use crate::engine::{pack_key, Engine, Table, TxnError, TxnStats};
+use crate::silo::run_with_retries;
+use tailbench_workloads::tpcc::{
+    CustomerSelector, DeliveryInput, NewOrderInput, OrderStatusInput, PaymentInput,
+    StockLevelInput, TpccConfig, TpccTransaction, DISTRICTS_PER_WAREHOUSE,
+};
+
+/// Fixed-point helpers for the row encodings.
+mod row {
+    /// Encodes a list of `u64` fields.
+    #[must_use]
+    pub fn encode(fields: &[u64]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(fields.len() * 8);
+        for f in fields {
+            out.extend_from_slice(&f.to_le_bytes());
+        }
+        out
+    }
+
+    /// Decodes field `idx` from an encoded row.
+    #[must_use]
+    pub fn field(data: &[u8], idx: usize) -> u64 {
+        data.get(idx * 8..idx * 8 + 8)
+            .map(|b| u64::from_le_bytes(b.try_into().expect("8 bytes")))
+            .unwrap_or(0)
+    }
+
+    /// Replaces field `idx` in an encoded row.
+    pub fn set_field(data: &mut [u8], idx: usize, value: u64) {
+        if let Some(slice) = data.get_mut(idx * 8..idx * 8 + 8) {
+            slice.copy_from_slice(&value.to_le_bytes());
+        }
+    }
+}
+
+/// Result of executing one TPC-C transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TpccOutcome {
+    /// Whether the transaction committed (TPC-C's 1% forced rollbacks report `false`).
+    pub committed: bool,
+    /// Engine-level statistics of the final (committed or aborted) attempt.
+    pub stats: TxnStats,
+}
+
+/// Loads the initial TPC-C database into an engine.
+pub fn load_database(engine: &dyn Engine, config: &TpccConfig) {
+    for item in 1..=config.items {
+        // ITEM: price (cents), popularity counter.
+        engine.load(
+            Table::Item,
+            u64::from(item),
+            row::encode(&[u64::from(item % 9_900 + 100), 0]),
+        );
+    }
+    for w in 1..=config.warehouses {
+        // WAREHOUSE: ytd.
+        engine.load(Table::Warehouse, u64::from(w), row::encode(&[0]));
+        for item in 1..=config.items {
+            // STOCK: quantity, ytd, order_count.
+            engine.load(
+                Table::Stock,
+                pack_key(w, 0, item, 0),
+                row::encode(&[u64::from(91 + (item * 7 + w) % 10), 0, 0]),
+            );
+        }
+        for d in 1..=DISTRICTS_PER_WAREHOUSE {
+            // DISTRICT: next order id, ytd.
+            engine.load(Table::District, pack_key(w, d, 0, 0), row::encode(&[1, 0]));
+            for c in 1..=config.customers_per_district {
+                // CUSTOMER: balance (cents, offset by 1<<40 to stay unsigned), ytd_payment,
+                // payment_count, last_order_id, name_hash.
+                engine.load(
+                    Table::Customer,
+                    pack_key(w, d, c, 0),
+                    row::encode(&[1 << 40, 0, 0, 0, u64::from(c % 1_000)]),
+                );
+            }
+        }
+    }
+}
+
+/// Executes TPC-C transactions against an engine.
+pub struct TpccExecutor<E> {
+    engine: E,
+    config: TpccConfig,
+    max_retries: usize,
+}
+
+impl<E: std::ops::Deref<Target = dyn Engine> + Send + Sync> TpccExecutor<E> {
+    /// Wraps an engine that has already been loaded with [`load_database`].
+    #[must_use]
+    pub fn new(engine: E, config: TpccConfig) -> Self {
+        TpccExecutor {
+            engine,
+            config,
+            max_retries: 100_000,
+        }
+    }
+
+    /// The workload configuration.
+    #[must_use]
+    pub fn config(&self) -> &TpccConfig {
+        &self.config
+    }
+
+    /// The underlying engine.
+    #[must_use]
+    pub fn engine(&self) -> &dyn Engine {
+        &*self.engine
+    }
+
+    /// Executes one transaction, retrying on concurrency conflicts.
+    pub fn execute(&self, txn: &TpccTransaction) -> TpccOutcome {
+        let result = match txn {
+            TpccTransaction::NewOrder(input) => self.new_order(input),
+            TpccTransaction::Payment(input) => self.payment(input),
+            TpccTransaction::OrderStatus(input) => self.order_status(input),
+            TpccTransaction::Delivery(input) => self.delivery(input),
+            TpccTransaction::StockLevel(input) => self.stock_level(input),
+        };
+        match result {
+            Ok(stats) => TpccOutcome {
+                committed: true,
+                stats,
+            },
+            Err(TxnError::Aborted) => TpccOutcome {
+                committed: false,
+                stats: TxnStats::default(),
+            },
+            Err(_) => TpccOutcome {
+                committed: false,
+                stats: TxnStats::default(),
+            },
+        }
+    }
+
+    fn customer_key(&self, warehouse: u32, district: u32, selector: &CustomerSelector) -> u64 {
+        let id = match selector {
+            CustomerSelector::ById(id) => *id,
+            // Last-name lookups hash the name onto the id space (a real system scans a
+            // secondary index; the work profile accounts for the extra reads).
+            CustomerSelector::ByLastName(name) => {
+                let h: u64 = name.bytes().fold(5_381u64, |a, b| a.wrapping_mul(33) ^ u64::from(b));
+                (h % u64::from(self.config.customers_per_district)) as u32 + 1
+            }
+        };
+        pack_key(warehouse, district, id.min(self.config.customers_per_district), 0)
+    }
+
+    fn new_order(&self, input: &NewOrderInput) -> Result<TxnStats, TxnError> {
+        let (_, stats) = run_with_retries(&*self.engine, self.max_retries, |txn| {
+            let district_key = pack_key(input.warehouse, input.district, 0, 0);
+            let mut district = txn
+                .read(Table::District, district_key)?
+                .ok_or(TxnError::NotFound {
+                    table: Table::District,
+                    key: district_key,
+                })?;
+            let order_id = row::field(&district, 0);
+            row::set_field(&mut district, 0, order_id + 1);
+            txn.write(Table::District, district_key, district);
+
+            let mut total = 0u64;
+            for (line_no, line) in input.lines.iter().enumerate() {
+                let item_key = u64::from(line.item_id);
+                let item = txn.read(Table::Item, item_key)?.ok_or(TxnError::NotFound {
+                    table: Table::Item,
+                    key: item_key,
+                })?;
+                let price = row::field(&item, 0);
+
+                let stock_key = pack_key(line.supply_warehouse, 0, line.item_id, 0);
+                let mut stock = txn.read(Table::Stock, stock_key)?.ok_or(TxnError::NotFound {
+                    table: Table::Stock,
+                    key: stock_key,
+                })?;
+                let mut quantity = row::field(&stock, 0);
+                if quantity < u64::from(line.quantity) + 10 {
+                    quantity += 91;
+                }
+                quantity -= u64::from(line.quantity);
+                let ytd = row::field(&stock, 1) + u64::from(line.quantity);
+                let order_count = row::field(&stock, 2) + 1;
+                row::set_field(&mut stock, 0, quantity);
+                row::set_field(&mut stock, 1, ytd);
+                row::set_field(&mut stock, 2, order_count);
+                txn.write(Table::Stock, stock_key, stock);
+
+                let amount = price * u64::from(line.quantity);
+                total += amount;
+                txn.write(
+                    Table::OrderLine,
+                    pack_key(input.warehouse, input.district, order_id as u32, line_no as u32),
+                    row::encode(&[u64::from(line.item_id), u64::from(line.quantity), amount]),
+                );
+            }
+
+            // TPC-C forces ~1% of new-order transactions to roll back after doing the work.
+            if input.rollback {
+                return Err(TxnError::Aborted);
+            }
+
+            let customer_key = pack_key(input.warehouse, input.district, input.customer, 0);
+            let mut customer = txn
+                .read(Table::Customer, customer_key)?
+                .ok_or(TxnError::NotFound {
+                    table: Table::Customer,
+                    key: customer_key,
+                })?;
+            row::set_field(&mut customer, 3, order_id);
+            txn.write(Table::Customer, customer_key, customer);
+
+            txn.write(
+                Table::Orders,
+                pack_key(input.warehouse, input.district, order_id as u32, 0),
+                row::encode(&[u64::from(input.customer), input.lines.len() as u64, total, 0]),
+            );
+            txn.write(
+                Table::NewOrder,
+                pack_key(input.warehouse, input.district, order_id as u32, 0),
+                row::encode(&[1]),
+            );
+            Ok(())
+        })?;
+        Ok(stats)
+    }
+
+    fn payment(&self, input: &PaymentInput) -> Result<TxnStats, TxnError> {
+        let (_, stats) = run_with_retries(&*self.engine, self.max_retries, |txn| {
+            let warehouse_key = u64::from(input.warehouse);
+            let mut warehouse = txn
+                .read(Table::Warehouse, warehouse_key)?
+                .ok_or(TxnError::NotFound {
+                    table: Table::Warehouse,
+                    key: warehouse_key,
+                })?;
+            let warehouse_ytd = row::field(&warehouse, 0) + u64::from(input.amount);
+            row::set_field(&mut warehouse, 0, warehouse_ytd);
+            txn.write(Table::Warehouse, warehouse_key, warehouse);
+
+            let district_key = pack_key(input.warehouse, input.district, 0, 0);
+            let mut district = txn
+                .read(Table::District, district_key)?
+                .ok_or(TxnError::NotFound {
+                    table: Table::District,
+                    key: district_key,
+                })?;
+            let district_ytd = row::field(&district, 1) + u64::from(input.amount);
+            row::set_field(&mut district, 1, district_ytd);
+            txn.write(Table::District, district_key, district);
+
+            let customer_key = self.customer_key(
+                input.customer_warehouse,
+                input.customer_district,
+                &input.customer,
+            );
+            let mut customer = txn
+                .read(Table::Customer, customer_key)?
+                .ok_or(TxnError::NotFound {
+                    table: Table::Customer,
+                    key: customer_key,
+                })?;
+            let balance = row::field(&customer, 0) - u64::from(input.amount);
+            let ytd_payment = row::field(&customer, 1) + u64::from(input.amount);
+            let payment_count = row::field(&customer, 2) + 1;
+            row::set_field(&mut customer, 0, balance);
+            row::set_field(&mut customer, 1, ytd_payment);
+            row::set_field(&mut customer, 2, payment_count);
+            txn.write(Table::Customer, customer_key, customer);
+
+            txn.write(
+                Table::History,
+                pack_key(
+                    input.warehouse,
+                    input.district,
+                    (district_ytd % (1 << 22)) as u32,
+                    0,
+                ),
+                row::encode(&[u64::from(input.amount)]),
+            );
+            Ok(())
+        })?;
+        Ok(stats)
+    }
+
+    fn order_status(&self, input: &OrderStatusInput) -> Result<TxnStats, TxnError> {
+        let (_, stats) = run_with_retries(&*self.engine, self.max_retries, |txn| {
+            let customer_key = self.customer_key(input.warehouse, input.district, &input.customer);
+            let customer = txn
+                .read(Table::Customer, customer_key)?
+                .ok_or(TxnError::NotFound {
+                    table: Table::Customer,
+                    key: customer_key,
+                })?;
+            let last_order = row::field(&customer, 3);
+            if last_order > 0 {
+                let order = txn.read(
+                    Table::Orders,
+                    pack_key(input.warehouse, input.district, last_order as u32, 0),
+                )?;
+                if let Some(order) = order {
+                    let lines = row::field(&order, 1);
+                    for line_no in 0..lines {
+                        let _ = txn.read(
+                            Table::OrderLine,
+                            pack_key(input.warehouse, input.district, last_order as u32, line_no as u32),
+                        )?;
+                    }
+                }
+            }
+            Ok(())
+        })?;
+        Ok(stats)
+    }
+
+    fn delivery(&self, input: &DeliveryInput) -> Result<TxnStats, TxnError> {
+        let (_, stats) = run_with_retries(&*self.engine, self.max_retries, |txn| {
+            for district in 1..=DISTRICTS_PER_WAREHOUSE {
+                let district_key = pack_key(input.warehouse, district, 0, 0);
+                let Some(district_row) = txn.read(Table::District, district_key)? else {
+                    continue;
+                };
+                let next_order = row::field(&district_row, 0);
+                // Deliver the most recent order that still has a NEW-ORDER entry,
+                // scanning back a bounded window.
+                for order_id in (next_order.saturating_sub(20)..next_order).rev() {
+                    let new_order_key =
+                        pack_key(input.warehouse, district, order_id as u32, 0);
+                    if let Some(pending) = txn.read(Table::NewOrder, new_order_key)? {
+                        if row::field(&pending, 0) == 1 {
+                            txn.write(Table::NewOrder, new_order_key, row::encode(&[0]));
+                            let order_key =
+                                pack_key(input.warehouse, district, order_id as u32, 0);
+                            if let Some(mut order) = txn.read(Table::Orders, order_key)? {
+                                row::set_field(&mut order, 3, u64::from(input.carrier));
+                                txn.write(Table::Orders, order_key, order);
+                            }
+                            break;
+                        }
+                    }
+                }
+            }
+            Ok(())
+        })?;
+        Ok(stats)
+    }
+
+    fn stock_level(&self, input: &StockLevelInput) -> Result<TxnStats, TxnError> {
+        let (_, stats) = run_with_retries(&*self.engine, self.max_retries, |txn| {
+            let district_key = pack_key(input.warehouse, input.district, 0, 0);
+            let Some(district_row) = txn.read(Table::District, district_key)? else {
+                return Ok(());
+            };
+            let next_order = row::field(&district_row, 0);
+            let mut low = 0u64;
+            for order_id in next_order.saturating_sub(20)..next_order {
+                let order_key = pack_key(input.warehouse, input.district, order_id as u32, 0);
+                let Some(order) = txn.read(Table::Orders, order_key)? else {
+                    continue;
+                };
+                let lines = row::field(&order, 1);
+                for line_no in 0..lines {
+                    let line_key =
+                        pack_key(input.warehouse, input.district, order_id as u32, line_no as u32);
+                    let Some(line) = txn.read(Table::OrderLine, line_key)? else {
+                        continue;
+                    };
+                    let item = row::field(&line, 0);
+                    let stock_key = pack_key(input.warehouse, 0, item as u32, 0);
+                    if let Some(stock) = txn.read(Table::Stock, stock_key)? {
+                        if row::field(&stock, 0) < u64::from(input.threshold) {
+                            low += 1;
+                        }
+                    }
+                }
+            }
+            let _ = low;
+            Ok(())
+        })?;
+        Ok(stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::silo::SiloEngine;
+    use std::sync::Arc;
+    use tailbench_workloads::rng::seeded_rng;
+    use tailbench_workloads::tpcc::TpccGenerator;
+
+    fn executor() -> TpccExecutor<Arc<dyn Engine>> {
+        let config = TpccConfig::small();
+        let engine: Arc<dyn Engine> = Arc::new(SiloEngine::new());
+        load_database(&*engine, &config);
+        TpccExecutor::new(engine, config)
+    }
+
+    #[test]
+    fn load_populates_all_tables() {
+        let exec = executor();
+        let cfg = exec.config().clone();
+        assert_eq!(exec.engine().table_len(Table::Item), cfg.items as usize);
+        assert_eq!(exec.engine().table_len(Table::Warehouse), cfg.warehouses as usize);
+        assert_eq!(
+            exec.engine().table_len(Table::District),
+            (cfg.warehouses * DISTRICTS_PER_WAREHOUSE) as usize
+        );
+        assert_eq!(
+            exec.engine().table_len(Table::Customer),
+            (cfg.warehouses * DISTRICTS_PER_WAREHOUSE * cfg.customers_per_district) as usize
+        );
+    }
+
+    #[test]
+    fn standard_mix_mostly_commits() {
+        let exec = executor();
+        let mut rng = seeded_rng(1, 0);
+        let generator = TpccGenerator::new(exec.config().clone(), &mut rng);
+        let mut committed = 0usize;
+        let mut aborted = 0usize;
+        for _ in 0..500 {
+            let txn = generator.next_transaction(&mut rng);
+            let outcome = exec.execute(&txn);
+            if outcome.committed {
+                committed += 1;
+            } else {
+                aborted += 1;
+            }
+        }
+        // Only the ~1% forced rollbacks of new-order (45% of the mix) should abort.
+        assert!(committed > 480, "committed = {committed}, aborted = {aborted}");
+    }
+
+    #[test]
+    fn new_order_increments_district_counter_and_writes_lines() {
+        let exec = executor();
+        let mut rng = seeded_rng(2, 0);
+        let generator = TpccGenerator::new(exec.config().clone(), &mut rng);
+        let mut input = generator.new_order(&mut rng, 1);
+        input.rollback = false;
+        let before_lines = exec.engine().table_len(Table::OrderLine);
+        let outcome = exec.execute(&TpccTransaction::NewOrder(input.clone()));
+        assert!(outcome.committed);
+        assert!(outcome.stats.writes >= input.lines.len() as u64 + 3);
+        assert_eq!(
+            exec.engine().table_len(Table::OrderLine),
+            before_lines + input.lines.len()
+        );
+    }
+
+    #[test]
+    fn forced_rollbacks_do_not_commit() {
+        let exec = executor();
+        let mut rng = seeded_rng(3, 0);
+        let generator = TpccGenerator::new(exec.config().clone(), &mut rng);
+        let mut input = generator.new_order(&mut rng, 1);
+        input.rollback = true;
+        let before = exec.engine().table_len(Table::Orders);
+        let outcome = exec.execute(&TpccTransaction::NewOrder(input));
+        assert!(!outcome.committed);
+        assert_eq!(exec.engine().table_len(Table::Orders), before);
+    }
+
+    #[test]
+    fn payment_accumulates_warehouse_ytd() {
+        let exec = executor();
+        let input = PaymentInput {
+            warehouse: 1,
+            district: 1,
+            customer_warehouse: 1,
+            customer_district: 1,
+            customer: CustomerSelector::ById(1),
+            amount: 1_000,
+        };
+        assert!(exec.execute(&TpccTransaction::Payment(input.clone())).committed);
+        assert!(exec.execute(&TpccTransaction::Payment(input)).committed);
+        // Read the warehouse ytd back through a fresh transaction.
+        let mut txn = exec.engine().begin();
+        let wh = txn.read(Table::Warehouse, 1).unwrap().unwrap();
+        assert_eq!(row::field(&wh, 0), 2_000);
+        txn.abort();
+    }
+
+    #[test]
+    fn order_status_and_stock_level_are_read_only() {
+        let exec = executor();
+        let before = exec.engine().table_len(Table::Orders);
+        let status = exec.execute(&TpccTransaction::OrderStatus(OrderStatusInput {
+            warehouse: 1,
+            district: 1,
+            customer: CustomerSelector::ById(1),
+        }));
+        let stock = exec.execute(&TpccTransaction::StockLevel(StockLevelInput {
+            warehouse: 1,
+            district: 1,
+            threshold: 15,
+        }));
+        assert!(status.committed && stock.committed);
+        assert_eq!(status.stats.writes, 0);
+        assert_eq!(stock.stats.writes, 0);
+        assert_eq!(exec.engine().table_len(Table::Orders), before);
+    }
+
+    #[test]
+    fn works_on_shore_engine_too() {
+        let config = TpccConfig::small();
+        let engine: Arc<dyn Engine> = Arc::new(crate::shore::ShoreEngine::temp(256).unwrap());
+        load_database(&*engine, &config);
+        let exec = TpccExecutor::new(engine, config);
+        let mut rng = seeded_rng(4, 0);
+        let generator = TpccGenerator::new(exec.config().clone(), &mut rng);
+        let mut committed = 0;
+        for _ in 0..100 {
+            if exec.execute(&generator.next_transaction(&mut rng)).committed {
+                committed += 1;
+            }
+        }
+        assert!(committed > 95);
+    }
+}

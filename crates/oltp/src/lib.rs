@@ -1,0 +1,29 @@
+//! The silo and shore substitutes: OLTP engines running TPC-C.
+//!
+//! TailBench includes two transactional databases driven by TPC-C: silo, a fast
+//! in-memory database built around optimistic concurrency control, and shore, a
+//! traditional on-disk storage manager (paper §III).  This crate implements both from
+//! scratch behind a common storage abstraction:
+//!
+//! * [`engine`] — the `Engine` / `Transaction` traits and TPC-C key packing;
+//! * [`silo`] — the in-memory OCC engine (per-record TIDs, read/write sets, validation);
+//! * [`shore`] — the on-disk engine (fixed-size pages, bounded buffer pool with LRU
+//!   eviction, write-ahead log, strict two-phase locking with no-wait restarts);
+//! * [`executor`] — the TPC-C schema, initial load and the five transactions, written
+//!   once against the engine abstraction;
+//! * [`service`] — the harness adapters ([`OltpApp`]) and the TPC-C request factory.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod executor;
+pub mod service;
+pub mod shore;
+pub mod silo;
+
+pub use engine::{Engine, Table, Transaction, TxnError, TxnStats};
+pub use executor::{load_database, TpccExecutor, TpccOutcome};
+pub use service::{OltpApp, OltpEngineKind, TpccRequestFactory};
+pub use shore::ShoreEngine;
+pub use silo::SiloEngine;

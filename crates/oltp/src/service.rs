@@ -1,0 +1,382 @@
+//! silo and shore as TailBench applications.
+//!
+//! Both applications execute the same TPC-C workload; they differ only in the storage
+//! engine underneath ([`SiloEngine`](crate::silo::SiloEngine) vs
+//! [`ShoreEngine`](crate::shore::ShoreEngine)) and consequently in their work profiles:
+//! silo transactions are short with a noticeable synchronization component (the paper's
+//! §VII case study attributes silo's poor scaling to synchronization), shore transactions
+//! are longer and touch the buffer pool and the log.
+
+use crate::engine::Engine;
+use crate::executor::{load_database, TpccExecutor, TpccOutcome};
+use crate::shore::ShoreEngine;
+use crate::silo::SiloEngine;
+use std::sync::Arc;
+use tailbench_core::app::{RequestFactory, ServerApp};
+use tailbench_core::request::{Response, WorkProfile};
+use tailbench_workloads::rng::{seeded_rng, SuiteRng};
+use tailbench_workloads::tpcc::{
+    CustomerSelector, DeliveryInput, NewOrderInput, OrderLineInput, OrderStatusInput, PaymentInput,
+    StockLevelInput, TpccConfig, TpccGenerator, TpccTransaction,
+};
+
+/// Wire encoding of TPC-C transaction requests.
+pub mod codec {
+    use super::*;
+
+    fn push_selector(out: &mut Vec<u8>, selector: &CustomerSelector) {
+        match selector {
+            CustomerSelector::ById(id) => {
+                out.push(0);
+                out.extend_from_slice(&id.to_le_bytes());
+            }
+            CustomerSelector::ByLastName(name) => {
+                out.push(1);
+                out.push(name.len() as u8);
+                out.extend_from_slice(name.as_bytes());
+            }
+        }
+    }
+
+    fn read_selector(data: &[u8]) -> Option<(CustomerSelector, usize)> {
+        match *data.first()? {
+            0 => Some((
+                CustomerSelector::ById(u32::from_le_bytes(data.get(1..5)?.try_into().ok()?)),
+                5,
+            )),
+            1 => {
+                let len = *data.get(1)? as usize;
+                let name = std::str::from_utf8(data.get(2..2 + len)?).ok()?;
+                Some((CustomerSelector::ByLastName(name.to_string()), 2 + len))
+            }
+            _ => None,
+        }
+    }
+
+    /// Encodes a transaction request.
+    #[must_use]
+    pub fn encode(txn: &TpccTransaction) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64);
+        match txn {
+            TpccTransaction::NewOrder(input) => {
+                out.push(0);
+                out.extend_from_slice(&input.warehouse.to_le_bytes());
+                out.extend_from_slice(&input.district.to_le_bytes());
+                out.extend_from_slice(&input.customer.to_le_bytes());
+                out.push(u8::from(input.rollback));
+                out.push(input.lines.len() as u8);
+                for line in &input.lines {
+                    out.extend_from_slice(&line.item_id.to_le_bytes());
+                    out.extend_from_slice(&line.supply_warehouse.to_le_bytes());
+                    out.extend_from_slice(&line.quantity.to_le_bytes());
+                }
+            }
+            TpccTransaction::Payment(input) => {
+                out.push(1);
+                out.extend_from_slice(&input.warehouse.to_le_bytes());
+                out.extend_from_slice(&input.district.to_le_bytes());
+                out.extend_from_slice(&input.customer_warehouse.to_le_bytes());
+                out.extend_from_slice(&input.customer_district.to_le_bytes());
+                out.extend_from_slice(&input.amount.to_le_bytes());
+                push_selector(&mut out, &input.customer);
+            }
+            TpccTransaction::OrderStatus(input) => {
+                out.push(2);
+                out.extend_from_slice(&input.warehouse.to_le_bytes());
+                out.extend_from_slice(&input.district.to_le_bytes());
+                push_selector(&mut out, &input.customer);
+            }
+            TpccTransaction::Delivery(input) => {
+                out.push(3);
+                out.extend_from_slice(&input.warehouse.to_le_bytes());
+                out.extend_from_slice(&input.carrier.to_le_bytes());
+            }
+            TpccTransaction::StockLevel(input) => {
+                out.push(4);
+                out.extend_from_slice(&input.warehouse.to_le_bytes());
+                out.extend_from_slice(&input.district.to_le_bytes());
+                out.extend_from_slice(&input.threshold.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    fn u32_at(data: &[u8], off: usize) -> Option<u32> {
+        Some(u32::from_le_bytes(data.get(off..off + 4)?.try_into().ok()?))
+    }
+
+    /// Decodes a transaction request; `None` if malformed.
+    #[must_use]
+    pub fn decode(payload: &[u8]) -> Option<TpccTransaction> {
+        let (&tag, rest) = payload.split_first()?;
+        match tag {
+            0 => {
+                let warehouse = u32_at(rest, 0)?;
+                let district = u32_at(rest, 4)?;
+                let customer = u32_at(rest, 8)?;
+                let rollback = *rest.get(12)? == 1;
+                let n = *rest.get(13)? as usize;
+                let body = rest.get(14..14 + n * 12)?;
+                let lines = (0..n)
+                    .map(|i| OrderLineInput {
+                        item_id: u32_at(body, i * 12).expect("bounds checked"),
+                        supply_warehouse: u32_at(body, i * 12 + 4).expect("bounds checked"),
+                        quantity: u32_at(body, i * 12 + 8).expect("bounds checked"),
+                    })
+                    .collect();
+                Some(TpccTransaction::NewOrder(NewOrderInput {
+                    warehouse,
+                    district,
+                    customer,
+                    lines,
+                    rollback,
+                }))
+            }
+            1 => {
+                let (customer, _) = read_selector(rest.get(20..)?)?;
+                Some(TpccTransaction::Payment(PaymentInput {
+                    warehouse: u32_at(rest, 0)?,
+                    district: u32_at(rest, 4)?,
+                    customer_warehouse: u32_at(rest, 8)?,
+                    customer_district: u32_at(rest, 12)?,
+                    amount: u32_at(rest, 16)?,
+                    customer,
+                }))
+            }
+            2 => {
+                let (customer, _) = read_selector(rest.get(8..)?)?;
+                Some(TpccTransaction::OrderStatus(OrderStatusInput {
+                    warehouse: u32_at(rest, 0)?,
+                    district: u32_at(rest, 4)?,
+                    customer,
+                }))
+            }
+            3 => Some(TpccTransaction::Delivery(DeliveryInput {
+                warehouse: u32_at(rest, 0)?,
+                carrier: u32_at(rest, 4)?,
+            })),
+            4 => Some(TpccTransaction::StockLevel(StockLevelInput {
+                warehouse: u32_at(rest, 0)?,
+                district: u32_at(rest, 4)?,
+                threshold: u32_at(rest, 8)?,
+            })),
+            _ => None,
+        }
+    }
+}
+
+/// Which engine backs the OLTP application.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OltpEngineKind {
+    /// In-memory OCC (silo).
+    Silo,
+    /// On-disk buffer pool + WAL (shore).
+    Shore,
+}
+
+/// The silo / shore server application.
+pub struct OltpApp {
+    executor: TpccExecutor<Arc<dyn Engine>>,
+    kind: OltpEngineKind,
+    name: &'static str,
+}
+
+impl OltpApp {
+    /// Builds a silo application with the given TPC-C scale.
+    #[must_use]
+    pub fn silo(config: TpccConfig) -> Self {
+        let engine: Arc<dyn Engine> = Arc::new(SiloEngine::new());
+        load_database(&*engine, &config);
+        OltpApp {
+            executor: TpccExecutor::new(engine, config),
+            kind: OltpEngineKind::Silo,
+            name: "silo",
+        }
+    }
+
+    /// Builds a shore application with the given TPC-C scale and buffer-pool size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the backing files cannot be created.
+    #[must_use]
+    pub fn shore(config: TpccConfig, pool_pages: usize) -> Self {
+        let engine: Arc<dyn Engine> =
+            Arc::new(ShoreEngine::temp(pool_pages).expect("create shore database files"));
+        load_database(&*engine, &config);
+        OltpApp {
+            executor: TpccExecutor::new(engine, config),
+            kind: OltpEngineKind::Shore,
+            name: "shore",
+        }
+    }
+
+    /// The TPC-C configuration in use.
+    #[must_use]
+    pub fn config(&self) -> &TpccConfig {
+        self.executor.config()
+    }
+
+    /// Which engine backs this application.
+    #[must_use]
+    pub fn kind(&self) -> OltpEngineKind {
+        self.kind
+    }
+
+    fn work_profile(&self, txn: &TpccTransaction, outcome: &TpccOutcome) -> WorkProfile {
+        let rows = outcome.stats.reads + outcome.stats.writes;
+        let base = match txn {
+            TpccTransaction::NewOrder(_) => 6_000,
+            TpccTransaction::Payment(_) => 3_000,
+            TpccTransaction::OrderStatus(_) => 2_000,
+            TpccTransaction::Delivery(_) => 5_000,
+            TpccTransaction::StockLevel(_) => 4_000,
+        };
+        match self.kind {
+            OltpEngineKind::Silo => WorkProfile {
+                instructions: base + 450 * rows + 2_000 * outcome.stats.retries,
+                mem_reads: 20 + 12 * rows,
+                mem_writes: 8 + 6 * rows,
+                footprint_bytes: 2_048 + 192 * rows,
+                locality: 0.8,
+                // Silo's commit protocol (lock, validate, install) is the serializing
+                // component the paper's case study identifies.
+                critical_fraction: 0.30,
+            },
+            OltpEngineKind::Shore => WorkProfile {
+                instructions: 4 * base
+                    + 2_500 * rows
+                    + 600 * outcome.stats.log_bytes / 64
+                    + 8_000 * outcome.stats.page_misses,
+                mem_reads: 100 + 80 * rows + 64 * outcome.stats.page_misses,
+                mem_writes: 40 + 30 * rows + 16 * outcome.stats.page_misses,
+                footprint_bytes: 16_384 + 4_096 * outcome.stats.page_misses + 512 * rows,
+                locality: 0.5,
+                critical_fraction: 0.20,
+            },
+        }
+    }
+}
+
+impl ServerApp for OltpApp {
+    fn name(&self) -> &str {
+        self.name
+    }
+
+    fn handle(&self, payload: &[u8]) -> Response {
+        let Some(txn) = codec::decode(payload) else {
+            return Response::new(vec![0xFF]);
+        };
+        let outcome = self.executor.execute(&txn);
+        let work = self.work_profile(&txn, &outcome);
+        let mut out = Vec::with_capacity(10);
+        out.push(u8::from(outcome.committed));
+        out.extend_from_slice(&(outcome.stats.reads as u32).to_le_bytes());
+        out.extend_from_slice(&(outcome.stats.writes as u32).to_le_bytes());
+        Response::with_work(out, work)
+    }
+}
+
+/// Generates the TPC-C transaction mix as request payloads.
+#[derive(Debug)]
+pub struct TpccRequestFactory {
+    generator: TpccGenerator,
+    rng: SuiteRng,
+}
+
+impl TpccRequestFactory {
+    /// Creates a factory for the given scale and seed.
+    #[must_use]
+    pub fn new(config: &TpccConfig, seed: u64) -> Self {
+        let mut rng = seeded_rng(seed, 700);
+        TpccRequestFactory {
+            generator: TpccGenerator::new(config.clone(), &mut rng),
+            rng,
+        }
+    }
+}
+
+impl RequestFactory for TpccRequestFactory {
+    fn next_request(&mut self) -> Vec<u8> {
+        codec::encode(&self.generator.next_transaction(&mut self.rng))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codec_round_trips_every_transaction_type() {
+        let config = TpccConfig::small();
+        let mut rng = seeded_rng(1, 0);
+        let generator = TpccGenerator::new(config, &mut rng);
+        for _ in 0..200 {
+            let txn = generator.next_transaction(&mut rng);
+            let decoded = codec::decode(&codec::encode(&txn));
+            assert_eq!(decoded, Some(txn));
+        }
+        assert_eq!(codec::decode(&[]), None);
+        assert_eq!(codec::decode(&[7, 0]), None);
+    }
+
+    #[test]
+    fn silo_app_executes_the_mix() {
+        let app = OltpApp::silo(TpccConfig::small());
+        assert_eq!(app.name(), "silo");
+        assert_eq!(app.kind(), OltpEngineKind::Silo);
+        let mut factory = TpccRequestFactory::new(app.config(), 2);
+        let mut committed = 0;
+        for _ in 0..300 {
+            let resp = app.handle(&factory.next_request());
+            if resp.payload[0] == 1 {
+                committed += 1;
+            }
+            assert!(resp.work.instructions > 0);
+            assert!(resp.work.critical_fraction > 0.2, "silo is sync-limited");
+        }
+        assert!(committed > 280);
+    }
+
+    #[test]
+    fn shore_app_executes_the_mix_and_reports_heavier_work() {
+        let silo = OltpApp::silo(TpccConfig::small());
+        let shore = OltpApp::shore(TpccConfig::small(), 128);
+        assert_eq!(shore.name(), "shore");
+        let mut factory = TpccRequestFactory::new(silo.config(), 3);
+        let mut silo_work = 0u64;
+        let mut shore_work = 0u64;
+        for _ in 0..100 {
+            let payload = factory.next_request();
+            silo_work += silo.handle(&payload).work.instructions;
+            shore_work += shore.handle(&payload).work.instructions;
+        }
+        assert!(
+            shore_work > silo_work,
+            "shore ({shore_work}) must report more work than silo ({silo_work})"
+        );
+    }
+
+    #[test]
+    fn malformed_request_is_rejected() {
+        let app = OltpApp::silo(TpccConfig::small());
+        assert_eq!(app.handle(&[0, 1, 2]).payload, vec![0xFF]);
+    }
+
+    #[test]
+    fn end_to_end_through_harness() {
+        use tailbench_core::config::BenchmarkConfig;
+
+        let app = OltpApp::silo(TpccConfig::small());
+        let mut factory = TpccRequestFactory::new(app.config(), 4);
+        let app: Arc<dyn ServerApp> = Arc::new(app);
+        let report = tailbench_core::runner::run(
+            &app,
+            &mut factory,
+            &BenchmarkConfig::new(2_000.0, 300).with_warmup(30).with_threads(2),
+        )
+        .unwrap();
+        assert_eq!(report.app, "silo");
+        assert!(report.requests > 250);
+    }
+}

@@ -1,0 +1,513 @@
+//! The shore engine: on-disk storage with a buffer pool, write-ahead log and locking.
+//!
+//! shore is a traditional disk-based storage manager: rows live in fixed-size pages on
+//! stable storage, a bounded buffer pool caches pages in memory (evicting
+//! least-recently-used dirty pages back to disk), every commit appends its writes to a
+//! write-ahead log before the pages are updated, and concurrency control is pessimistic
+//! (strict two-phase locking with a no-wait deadlock-avoidance policy).  This gives shore
+//! the longer, more variable service times and the heavier instruction footprint the
+//! paper reports (Table I), even when the backing file sits on fast storage.
+
+use crate::engine::{Engine, Table, Transaction, TxnError, TxnStats};
+use parking_lot::{Mutex, MutexGuard, RwLock};
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Page size in bytes.
+pub const PAGE_SIZE: usize = 4_096;
+/// Number of lock stripes in the lock manager.
+const LOCK_STRIPES: usize = 1_024;
+
+/// Location of a row inside the data file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Slot {
+    page: u64,
+    offset: u32,
+    len: u32,
+}
+
+/// A cached page frame.
+#[derive(Debug, Clone)]
+struct Frame {
+    data: Vec<u8>,
+    dirty: bool,
+    last_used: u64,
+}
+
+/// The page store: data file plus bounded in-memory buffer pool.
+#[derive(Debug)]
+struct BufferPool {
+    file: Mutex<File>,
+    frames: Mutex<HashMap<u64, Frame>>,
+    capacity: usize,
+    clock: AtomicU64,
+    misses: AtomicU64,
+    allocated_pages: AtomicU64,
+}
+
+impl BufferPool {
+    fn new(path: &Path, capacity: usize) -> std::io::Result<Self> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        Ok(BufferPool {
+            file: Mutex::new(file),
+            frames: Mutex::new(HashMap::new()),
+            capacity: capacity.max(8),
+            clock: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            allocated_pages: AtomicU64::new(0),
+        })
+    }
+
+    fn allocate_page(&self) -> u64 {
+        self.allocated_pages.fetch_add(1, Ordering::Relaxed)
+    }
+
+    fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Runs `f` with mutable access to the page's bytes, faulting it in (and possibly
+    /// evicting another page) as needed.
+    fn with_page<R>(&self, page: u64, mark_dirty: bool, f: impl FnOnce(&mut [u8]) -> R) -> std::io::Result<R> {
+        let mut frames = self.frames.lock();
+        let tick = self.clock.fetch_add(1, Ordering::Relaxed);
+        if !frames.contains_key(&page) {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            // Evict the least recently used frame if the pool is full.
+            if frames.len() >= self.capacity {
+                if let Some((&victim, _)) = frames.iter().min_by_key(|(_, f)| f.last_used) {
+                    let frame = frames.remove(&victim).expect("victim present");
+                    if frame.dirty {
+                        let mut file = self.file.lock();
+                        file.seek(SeekFrom::Start(victim * PAGE_SIZE as u64))?;
+                        file.write_all(&frame.data)?;
+                    }
+                }
+            }
+            // Fault the page in from disk (or zero-fill a fresh page).
+            let mut data = vec![0u8; PAGE_SIZE];
+            {
+                let mut file = self.file.lock();
+                let file_len = file.metadata()?.len();
+                if (page + 1) * PAGE_SIZE as u64 <= file_len {
+                    file.seek(SeekFrom::Start(page * PAGE_SIZE as u64))?;
+                    file.read_exact(&mut data)?;
+                } else {
+                    // Extend the file so eviction writes always succeed.
+                    file.seek(SeekFrom::Start((page + 1) * PAGE_SIZE as u64 - 1))?;
+                    file.write_all(&[0u8])?;
+                }
+            }
+            frames.insert(
+                page,
+                Frame {
+                    data,
+                    dirty: false,
+                    last_used: tick,
+                },
+            );
+        }
+        let frame = frames.get_mut(&page).expect("inserted above");
+        frame.last_used = tick;
+        if mark_dirty {
+            frame.dirty = true;
+        }
+        Ok(f(&mut frame.data))
+    }
+}
+
+/// Write-ahead log: length-prefixed (table, key, value) records appended per commit.
+#[derive(Debug)]
+struct WriteAheadLog {
+    file: Mutex<File>,
+    bytes: AtomicU64,
+}
+
+impl WriteAheadLog {
+    fn new(path: &Path) -> std::io::Result<Self> {
+        let file = OpenOptions::new()
+            .append(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        Ok(WriteAheadLog {
+            file: Mutex::new(file),
+            bytes: AtomicU64::new(0),
+        })
+    }
+
+    fn append(&self, writes: &[(Table, u64, Vec<u8>)]) -> std::io::Result<u64> {
+        let mut buf = Vec::with_capacity(writes.iter().map(|(_, _, v)| v.len() + 17).sum());
+        for (table, key, value) in writes {
+            buf.push(table.index() as u8);
+            buf.extend_from_slice(&key.to_le_bytes());
+            buf.extend_from_slice(&(value.len() as u32).to_le_bytes());
+            buf.extend_from_slice(value);
+        }
+        let mut file = self.file.lock();
+        file.write_all(&buf)?;
+        file.flush()?;
+        self.bytes.fetch_add(buf.len() as u64, Ordering::Relaxed);
+        Ok(buf.len() as u64)
+    }
+
+    fn bytes_written(&self) -> u64 {
+        self.bytes.load(Ordering::Relaxed)
+    }
+}
+
+/// The on-disk storage engine.
+#[derive(Debug)]
+pub struct ShoreEngine {
+    pool: BufferPool,
+    wal: WriteAheadLog,
+    directory: RwLock<HashMap<(usize, u64), Slot>>,
+    allocator: Mutex<(u64, u32)>,
+    locks: Vec<Mutex<()>>,
+    #[allow(dead_code)]
+    data_dir: PathBuf,
+}
+
+impl ShoreEngine {
+    /// Opens (creating) a shore database in `dir` with a buffer pool of `pool_pages`
+    /// pages.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from creating the data or log files.
+    pub fn open(dir: &Path, pool_pages: usize) -> std::io::Result<Self> {
+        std::fs::create_dir_all(dir)?;
+        let pool = BufferPool::new(&dir.join("shore.data"), pool_pages)?;
+        let wal = WriteAheadLog::new(&dir.join("shore.wal"))?;
+        Ok(ShoreEngine {
+            pool,
+            wal,
+            directory: RwLock::new(HashMap::new()),
+            allocator: Mutex::new((0, PAGE_SIZE as u32)), // force allocation of page 0 lazily
+            locks: (0..LOCK_STRIPES).map(|_| Mutex::new(())).collect(),
+            data_dir: dir.to_path_buf(),
+        })
+    }
+
+    /// Opens a shore database in a fresh unique directory under the system temp dir.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from creating the directory or files.
+    pub fn temp(pool_pages: usize) -> std::io::Result<Self> {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "tailbench-shore-{}-{}",
+            std::process::id(),
+            COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        Self::open(&dir, pool_pages)
+    }
+
+    /// Total bytes appended to the write-ahead log so far.
+    #[must_use]
+    pub fn wal_bytes(&self) -> u64 {
+        self.wal.bytes_written()
+    }
+
+    /// Total buffer-pool misses so far.
+    #[must_use]
+    pub fn pool_misses(&self) -> u64 {
+        self.pool.misses()
+    }
+
+    fn stripe(table: Table, key: u64) -> usize {
+        let mut h = key ^ ((table.index() as u64) << 56);
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+        h ^= h >> 33;
+        (h as usize) % LOCK_STRIPES
+    }
+
+    fn allocate_slot(&self, len: u32) -> Slot {
+        let mut alloc = self.allocator.lock();
+        let (ref mut page, ref mut offset) = *alloc;
+        if *offset as usize + len as usize > PAGE_SIZE {
+            *page = self.pool.allocate_page();
+            *offset = 0;
+        }
+        let slot = Slot {
+            page: *page,
+            offset: *offset,
+            len,
+        };
+        *offset += len;
+        slot
+    }
+
+    fn read_slot(&self, slot: Slot) -> std::io::Result<Vec<u8>> {
+        self.pool.with_page(slot.page, false, |data| {
+            data[slot.offset as usize..(slot.offset + slot.len) as usize].to_vec()
+        })
+    }
+
+    fn write_slot(&self, slot: Slot, value: &[u8]) -> std::io::Result<()> {
+        self.pool.with_page(slot.page, true, |data| {
+            data[slot.offset as usize..slot.offset as usize + value.len()]
+                .copy_from_slice(value);
+        })
+    }
+
+    fn store(&self, table: Table, key: u64, value: &[u8]) -> std::io::Result<()> {
+        let existing = self.directory.read().get(&(table.index(), key)).copied();
+        match existing {
+            Some(slot) if value.len() as u32 <= slot.len => {
+                let new_slot = Slot {
+                    len: value.len() as u32,
+                    ..slot
+                };
+                self.write_slot(new_slot, value)?;
+                self.directory.write().insert((table.index(), key), new_slot);
+            }
+            _ => {
+                let slot = self.allocate_slot(value.len() as u32);
+                self.write_slot(slot, value)?;
+                self.directory.write().insert((table.index(), key), slot);
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Engine for ShoreEngine {
+    fn name(&self) -> &str {
+        "shore"
+    }
+
+    fn begin(&self) -> Box<dyn Transaction + '_> {
+        Box::new(ShoreTransaction {
+            engine: self,
+            held: HashMap::new(),
+            writes: Vec::new(),
+            stats: TxnStats::default(),
+        })
+    }
+
+    fn load(&self, table: Table, key: u64, value: Vec<u8>) {
+        self.store(table, key, &value).expect("bulk load i/o failure");
+    }
+
+    fn table_len(&self, table: Table) -> usize {
+        self.directory
+            .read()
+            .keys()
+            .filter(|(t, _)| *t == table.index())
+            .count()
+    }
+}
+
+/// An in-flight pessimistic (strict 2PL, no-wait) transaction.
+struct ShoreTransaction<'a> {
+    engine: &'a ShoreEngine,
+    /// Stripe locks held until commit/abort, keyed by stripe index.
+    held: HashMap<usize, MutexGuard<'a, ()>>,
+    writes: Vec<(Table, u64, Vec<u8>)>,
+    stats: TxnStats,
+}
+
+impl<'a> ShoreTransaction<'a> {
+    /// Acquires the lock stripe covering (table, key); no-wait policy: if the stripe is
+    /// held by another transaction, fail with [`TxnError::Conflict`] so the caller
+    /// retries the whole transaction (immediate-restart deadlock avoidance).
+    fn lock(&mut self, table: Table, key: u64) -> Result<(), TxnError> {
+        let stripe = ShoreEngine::stripe(table, key);
+        if self.held.contains_key(&stripe) {
+            return Ok(());
+        }
+        match self.engine.locks[stripe].try_lock() {
+            Some(guard) => {
+                self.held.insert(stripe, guard);
+                Ok(())
+            }
+            None => Err(TxnError::Conflict),
+        }
+    }
+}
+
+impl Transaction for ShoreTransaction<'_> {
+    fn read(&mut self, table: Table, key: u64) -> Result<Option<Vec<u8>>, TxnError> {
+        // Read-your-writes.
+        if let Some((_, _, value)) = self
+            .writes
+            .iter()
+            .rev()
+            .find(|(t, k, _)| *t == table && *k == key)
+        {
+            return Ok(Some(value.clone()));
+        }
+        self.lock(table, key)?;
+        self.stats.reads += 1;
+        let misses_before = self.engine.pool.misses();
+        let slot = self.engine.directory.read().get(&(table.index(), key)).copied();
+        let result = match slot {
+            Some(slot) => Some(
+                self.engine
+                    .read_slot(slot)
+                    .map_err(|e| TxnError::Io(e.to_string()))?,
+            ),
+            None => None,
+        };
+        self.stats.page_misses += self.engine.pool.misses() - misses_before;
+        Ok(result)
+    }
+
+    fn write(&mut self, table: Table, key: u64, value: Vec<u8>) {
+        self.stats.writes += 1;
+        self.writes.push((table, key, value));
+    }
+
+    fn commit(self: Box<Self>) -> Result<TxnStats, TxnError> {
+        let mut this = *self;
+        // Acquire locks for any written key not yet locked (writes may target new rows).
+        let targets: Vec<(Table, u64)> = this.writes.iter().map(|(t, k, _)| (*t, *k)).collect();
+        for (table, key) in targets {
+            this.lock(table, key)?;
+        }
+        // Write-ahead logging, then in-place page updates.
+        if !this.writes.is_empty() {
+            this.stats.log_bytes = this
+                .engine
+                .wal
+                .append(&this.writes)
+                .map_err(|e| TxnError::Io(e.to_string()))?;
+            let misses_before = this.engine.pool.misses();
+            for (table, key, value) in &this.writes {
+                this.engine
+                    .store(*table, *key, value)
+                    .map_err(|e| TxnError::Io(e.to_string()))?;
+            }
+            this.stats.page_misses += this.engine.pool.misses() - misses_before;
+        }
+        // Dropping `held` releases all stripe locks (strict 2PL release at commit).
+        Ok(this.stats)
+    }
+
+    fn abort(self: Box<Self>) {
+        // Buffered writes were never applied; locks release on drop.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::silo::run_with_retries;
+
+    fn temp_engine() -> ShoreEngine {
+        ShoreEngine::temp(32).expect("temp engine")
+    }
+
+    #[test]
+    fn load_read_write_round_trip() {
+        let engine = temp_engine();
+        engine.load(Table::Customer, 5, vec![1, 2, 3]);
+        let mut txn = engine.begin();
+        assert_eq!(txn.read(Table::Customer, 5).unwrap(), Some(vec![1, 2, 3]));
+        txn.write(Table::Customer, 5, vec![9, 9, 9, 9]);
+        assert_eq!(txn.read(Table::Customer, 5).unwrap(), Some(vec![9, 9, 9, 9]));
+        let stats = txn.commit().unwrap();
+        assert!(stats.log_bytes > 0);
+        let mut check = engine.begin();
+        assert_eq!(check.read(Table::Customer, 5).unwrap(), Some(vec![9, 9, 9, 9]));
+        check.abort();
+    }
+
+    #[test]
+    fn data_survives_buffer_pool_eviction() {
+        // A pool of only 8 pages with >8 pages of data forces evictions and re-reads.
+        let engine = temp_engine();
+        let rows = 2_000u64;
+        for k in 0..rows {
+            engine.load(Table::Stock, k, vec![(k % 251) as u8; 64]);
+        }
+        assert!(engine.pool_misses() > 0 || rows * 64 < (32 * PAGE_SIZE) as u64);
+        for k in (0..rows).step_by(97) {
+            let mut txn = engine.begin();
+            assert_eq!(
+                txn.read(Table::Stock, k).unwrap(),
+                Some(vec![(k % 251) as u8; 64])
+            );
+            txn.abort();
+        }
+    }
+
+    #[test]
+    fn wal_grows_with_commits() {
+        let engine = temp_engine();
+        let before = engine.wal_bytes();
+        let mut txn = engine.begin();
+        txn.write(Table::History, 1, vec![0u8; 100]);
+        txn.commit().unwrap();
+        assert!(engine.wal_bytes() > before + 100);
+    }
+
+    #[test]
+    fn conflicting_transactions_get_no_wait_conflicts() {
+        let engine = temp_engine();
+        engine.load(Table::District, 3, vec![0]);
+        let mut t1 = engine.begin();
+        let _ = t1.read(Table::District, 3).unwrap(); // t1 now holds the stripe lock
+        let mut t2 = engine.begin();
+        assert_eq!(t2.read(Table::District, 3).unwrap_err(), TxnError::Conflict);
+        t2.abort();
+        t1.abort();
+        // After t1 releases, the row is readable again.
+        let mut t3 = engine.begin();
+        assert_eq!(t3.read(Table::District, 3).unwrap(), Some(vec![0]));
+        t3.abort();
+    }
+
+    #[test]
+    fn concurrent_increments_are_serializable() {
+        use std::sync::Arc;
+        let engine = Arc::new(temp_engine());
+        engine.load(Table::Warehouse, 1, 0u64.to_le_bytes().to_vec());
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let engine = Arc::clone(&engine);
+                std::thread::spawn(move || {
+                    for _ in 0..200 {
+                        run_with_retries(engine.as_ref(), 1_000_000, |txn| {
+                            let v = txn.read(Table::Warehouse, 1)?.expect("loaded");
+                            let n = u64::from_le_bytes(v[..8].try_into().expect("8 bytes"));
+                            txn.write(Table::Warehouse, 1, (n + 1).to_le_bytes().to_vec());
+                            Ok(())
+                        })
+                        .expect("increment commits");
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let mut check = engine.begin();
+        let v = check.read(Table::Warehouse, 1).unwrap().unwrap();
+        assert_eq!(u64::from_le_bytes(v[..8].try_into().unwrap()), 800);
+        check.abort();
+    }
+
+    #[test]
+    fn table_len_counts_rows_per_table() {
+        let engine = temp_engine();
+        for k in 0..10 {
+            engine.load(Table::Item, k, vec![0]);
+        }
+        engine.load(Table::Stock, 0, vec![0]);
+        assert_eq!(engine.table_len(Table::Item), 10);
+        assert_eq!(engine.table_len(Table::Stock), 1);
+        assert_eq!(engine.table_len(Table::Orders), 0);
+    }
+}

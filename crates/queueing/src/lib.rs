@@ -1,0 +1,22 @@
+//! Queueing models for the TailBench case study.
+//!
+//! The paper's §VII case study compares measured 95th-percentile latencies against the
+//! prediction of an M/G/n queueing model: Poisson arrivals, an empirical ("general")
+//! service-time distribution, and `n` servers.  The model predicts the latency the
+//! system *would* achieve if adding threads had no overhead; the gap between the model
+//! and measurements is then attributed to memory contention or synchronization.
+//!
+//! * [`mg1`] — the exact Pollaczek–Khinchine formula for the M/G/1 *mean* waiting time
+//!   (used for sanity checks and unit tests).
+//! * [`mgk`] — a discrete-event simulation of an M/G/k queue fed by an empirical
+//!   service-time distribution, which yields full sojourn-time distributions and hence
+//!   tail percentiles.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod mg1;
+pub mod mgk;
+
+pub use mg1::Mg1Model;
+pub use mgk::{EmpiricalDistribution, MgkSimulation};

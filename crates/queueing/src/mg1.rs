@@ -1,0 +1,118 @@
+//! The analytic M/G/1 model (Pollaczek–Khinchine).
+
+/// An M/G/1 queue characterized by the first two moments of its service-time
+/// distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Mg1Model {
+    /// Mean service time in seconds.
+    pub mean_service_s: f64,
+    /// Second moment of the service time (E[S²]) in seconds².
+    pub service_second_moment: f64,
+}
+
+impl Mg1Model {
+    /// Builds the model from raw service-time samples (in nanoseconds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty.
+    #[must_use]
+    pub fn from_samples_ns(samples: &[u64]) -> Self {
+        assert!(!samples.is_empty(), "need at least one service-time sample");
+        let n = samples.len() as f64;
+        let mean = samples.iter().map(|&s| s as f64 * 1e-9).sum::<f64>() / n;
+        let second = samples.iter().map(|&s| (s as f64 * 1e-9).powi(2)).sum::<f64>() / n;
+        Mg1Model {
+            mean_service_s: mean,
+            service_second_moment: second,
+        }
+    }
+
+    /// Server utilization at arrival rate `lambda` (per second).
+    #[must_use]
+    pub fn utilization(&self, lambda: f64) -> f64 {
+        lambda * self.mean_service_s
+    }
+
+    /// Mean waiting (queuing) time in seconds at arrival rate `lambda`, by
+    /// Pollaczek–Khinchine.  Returns `f64::INFINITY` at or beyond saturation.
+    #[must_use]
+    pub fn mean_wait_s(&self, lambda: f64) -> f64 {
+        let rho = self.utilization(lambda);
+        if rho >= 1.0 {
+            return f64::INFINITY;
+        }
+        lambda * self.service_second_moment / (2.0 * (1.0 - rho))
+    }
+
+    /// Mean sojourn time (waiting + service) in seconds at arrival rate `lambda`.
+    #[must_use]
+    pub fn mean_sojourn_s(&self, lambda: f64) -> f64 {
+        self.mean_wait_s(lambda) + self.mean_service_s
+    }
+
+    /// The saturation arrival rate (requests per second).
+    #[must_use]
+    pub fn saturation_rate(&self) -> f64 {
+        1.0 / self.mean_service_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_service_matches_md1() {
+        // M/D/1: W = rho * s / (2 (1 - rho)).
+        let model = Mg1Model {
+            mean_service_s: 0.001,
+            service_second_moment: 0.001f64.powi(2),
+        };
+        let lambda = 500.0; // rho = 0.5
+        let expected = 0.5 * 0.001 / (2.0 * 0.5);
+        assert!((model.mean_wait_s(lambda) - expected).abs() < 1e-9);
+        assert!((model.mean_sojourn_s(lambda) - (expected + 0.001)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exponential_service_matches_mm1() {
+        // M/M/1: W = rho / (mu - lambda). E[S^2] = 2 / mu^2 for exponential service.
+        let mu = 1_000.0f64;
+        let model = Mg1Model {
+            mean_service_s: 1.0 / mu,
+            service_second_moment: 2.0 / (mu * mu),
+        };
+        let lambda = 700.0;
+        let expected = (lambda / mu) / (mu - lambda);
+        assert!((model.mean_wait_s(lambda) - expected).abs() / expected < 1e-9);
+    }
+
+    #[test]
+    fn saturation_gives_infinite_wait() {
+        let model = Mg1Model {
+            mean_service_s: 0.01,
+            service_second_moment: 2e-4,
+        };
+        assert_eq!(model.mean_wait_s(100.0), f64::INFINITY);
+        assert_eq!(model.mean_wait_s(150.0), f64::INFINITY);
+        assert!((model.saturation_rate() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn from_samples_computes_moments() {
+        let samples = vec![1_000_000u64, 3_000_000]; // 1 ms and 3 ms
+        let model = Mg1Model::from_samples_ns(&samples);
+        assert!((model.mean_service_s - 0.002).abs() < 1e-12);
+        assert!((model.service_second_moment - (0.001f64.powi(2) + 0.003f64.powi(2)) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wait_increases_with_load() {
+        let model = Mg1Model {
+            mean_service_s: 0.001,
+            service_second_moment: 2e-6,
+        };
+        assert!(model.mean_wait_s(800.0) > model.mean_wait_s(200.0));
+    }
+}

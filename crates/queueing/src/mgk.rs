@@ -1,0 +1,231 @@
+//! Discrete-event simulation of an M/G/k queue.
+//!
+//! Percentiles of an M/G/k queue have no convenient closed form, so the case study's
+//! model predictions (Fig. 8) are obtained by simulating the queue directly: Poisson
+//! arrivals at rate λ, k servers, and service times resampled from an empirical
+//! distribution of measured per-request service times.  Because the model reuses the
+//! *measured single-threaded* service times, it predicts what an n-thread system would
+//! achieve if threads added no overhead — the comparison baseline the paper uses.
+
+use std::collections::{BinaryHeap, VecDeque};
+use tailbench_histogram::LatencySummary;
+use tailbench_workloads::interarrival::InterarrivalProcess;
+use tailbench_workloads::rng::{seeded_rng, SuiteRng};
+use rand::Rng;
+
+/// An empirical distribution resampled uniformly from observed values.
+#[derive(Debug, Clone)]
+pub struct EmpiricalDistribution {
+    samples: Vec<u64>,
+}
+
+impl EmpiricalDistribution {
+    /// Creates a distribution from observed samples (nanoseconds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty.
+    #[must_use]
+    pub fn new(samples: Vec<u64>) -> Self {
+        assert!(!samples.is_empty(), "empirical distribution needs samples");
+        EmpiricalDistribution { samples }
+    }
+
+    /// Mean of the observed samples in nanoseconds.
+    #[must_use]
+    pub fn mean_ns(&self) -> f64 {
+        self.samples.iter().map(|&s| s as f64).sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// Draws one value.
+    pub fn sample(&self, rng: &mut SuiteRng) -> u64 {
+        self.samples[rng.gen_range(0..self.samples.len())]
+    }
+}
+
+/// Result of one M/G/k simulation.
+#[derive(Debug, Clone)]
+pub struct MgkResult {
+    /// Sojourn-time distribution (nanoseconds).
+    pub sojourn: LatencySummary,
+    /// Offered utilization λ·E[S]/k.
+    pub utilization: f64,
+}
+
+impl MgkResult {
+    /// 95th-percentile sojourn time in nanoseconds.
+    #[must_use]
+    pub fn p95_ns(&self) -> u64 {
+        self.sojourn.value_at_quantile(0.95)
+    }
+
+    /// Mean sojourn time in nanoseconds.
+    #[must_use]
+    pub fn mean_ns(&self) -> f64 {
+        self.sojourn.mean()
+    }
+}
+
+/// An M/G/k queueing simulation.
+#[derive(Debug, Clone)]
+pub struct MgkSimulation {
+    service: EmpiricalDistribution,
+    servers: usize,
+}
+
+impl MgkSimulation {
+    /// Creates a simulation with `servers` servers and the given service distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `servers == 0`.
+    #[must_use]
+    pub fn new(service: EmpiricalDistribution, servers: usize) -> Self {
+        assert!(servers > 0, "need at least one server");
+        MgkSimulation { service, servers }
+    }
+
+    /// Simulates `requests` arrivals at `qps` queries per second and returns the sojourn
+    /// distribution.  The first 10% of requests are discarded as warmup.
+    #[must_use]
+    pub fn run(&self, qps: f64, requests: usize, seed: u64) -> MgkResult {
+        let mut rng = seeded_rng(seed, 900);
+        let arrivals = InterarrivalProcess::poisson(qps).schedule(&mut rng, requests);
+        let warmup = requests / 10;
+
+        let mut sojourn = LatencySummary::new();
+        // Completion-time min-heap.
+        let mut completions: BinaryHeap<std::cmp::Reverse<u64>> = BinaryHeap::new();
+        let mut waiting: VecDeque<u64> = VecDeque::new();
+        let mut busy = 0usize;
+
+        let serve = |arrival: u64,
+                         start: u64,
+                         idx: usize,
+                         rng: &mut SuiteRng,
+                         sojourn: &mut LatencySummary,
+                         completions: &mut BinaryHeap<std::cmp::Reverse<u64>>| {
+            let service = self.service.sample(rng).max(1);
+            let done = start + service;
+            if idx >= warmup {
+                sojourn.record(done - arrival);
+            }
+            completions.push(std::cmp::Reverse(done));
+        };
+
+        // Indices of waiting requests follow arrival order, so we track (arrival, idx).
+        let mut waiting_idx: VecDeque<usize> = VecDeque::new();
+        for (idx, &arrival) in arrivals.iter().enumerate() {
+            // Drain completions that happen before this arrival.
+            while let Some(&std::cmp::Reverse(done)) = completions.peek() {
+                if done > arrival {
+                    break;
+                }
+                completions.pop();
+                busy -= 1;
+                if let (Some(queued_arrival), Some(queued_idx)) =
+                    (waiting.pop_front(), waiting_idx.pop_front())
+                {
+                    busy += 1;
+                    serve(queued_arrival, done, queued_idx, &mut rng, &mut sojourn, &mut completions);
+                }
+            }
+            if busy < self.servers {
+                busy += 1;
+                serve(arrival, arrival, idx, &mut rng, &mut sojourn, &mut completions);
+            } else {
+                waiting.push_back(arrival);
+                waiting_idx.push_back(idx);
+            }
+        }
+        // Drain the remaining queue (no new arrivals, so the busy count no longer matters).
+        while let Some(std::cmp::Reverse(done)) = completions.pop() {
+            if let (Some(queued_arrival), Some(queued_idx)) =
+                (waiting.pop_front(), waiting_idx.pop_front())
+            {
+                serve(queued_arrival, done, queued_idx, &mut rng, &mut sojourn, &mut completions);
+            }
+        }
+
+        MgkResult {
+            utilization: qps * self.service.mean_ns() * 1e-9 / self.servers as f64,
+            sojourn,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mg1::Mg1Model;
+
+    fn exponential_samples(mean_ns: f64, n: usize) -> Vec<u64> {
+        let mut rng = seeded_rng(42, 0);
+        (0..n)
+            .map(|_| {
+                let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                (-u.ln() * mean_ns) as u64
+            })
+            .collect()
+    }
+
+    #[test]
+    fn empirical_distribution_resamples_observed_values() {
+        let dist = EmpiricalDistribution::new(vec![100, 200, 300]);
+        let mut rng = seeded_rng(1, 0);
+        for _ in 0..100 {
+            assert!([100, 200, 300].contains(&dist.sample(&mut rng)));
+        }
+        assert!((dist.mean_ns() - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn low_load_sojourn_is_close_to_service_time() {
+        let dist = EmpiricalDistribution::new(vec![1_000_000; 100]); // 1 ms deterministic
+        let sim = MgkSimulation::new(dist, 1);
+        let result = sim.run(10.0, 20_000, 1); // 1% utilization
+        assert!(result.utilization < 0.02);
+        let mean = result.mean_ns();
+        assert!((mean - 1_000_000.0).abs() / 1_000_000.0 < 0.05, "mean = {mean}");
+    }
+
+    #[test]
+    fn matches_mm1_mean_at_moderate_load() {
+        let mean_service = 100_000.0; // 100 us
+        let samples = exponential_samples(mean_service, 20_000);
+        let analytic = Mg1Model::from_samples_ns(&samples);
+        let sim = MgkSimulation::new(EmpiricalDistribution::new(samples), 1);
+        let qps = 5_000.0; // rho = 0.5
+        let result = sim.run(qps, 200_000, 7);
+        let simulated_mean_s = result.mean_ns() * 1e-9;
+        let analytic_mean_s = analytic.mean_sojourn_s(qps);
+        let err = (simulated_mean_s - analytic_mean_s).abs() / analytic_mean_s;
+        assert!(err < 0.1, "simulated {simulated_mean_s}, analytic {analytic_mean_s}, err {err}");
+    }
+
+    #[test]
+    fn more_servers_cut_tail_latency_at_fixed_total_load() {
+        let samples = exponential_samples(1_000_000.0, 5_000);
+        let dist = EmpiricalDistribution::new(samples);
+        let one = MgkSimulation::new(dist.clone(), 1).run(800.0, 50_000, 3);
+        let four = MgkSimulation::new(dist, 4).run(3_200.0, 50_000, 3);
+        // Same per-server load (0.8) but pooling lowers the tail (standard M/G/k result).
+        assert!(four.p95_ns() < one.p95_ns());
+    }
+
+    #[test]
+    fn tail_grows_sharply_near_saturation() {
+        let samples = exponential_samples(1_000_000.0, 5_000);
+        let dist = EmpiricalDistribution::new(samples);
+        let sim = MgkSimulation::new(dist, 1);
+        let low = sim.run(200.0, 30_000, 5);
+        let high = sim.run(900.0, 30_000, 5);
+        assert!(high.p95_ns() > 3 * low.p95_ns());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one server")]
+    fn zero_servers_panics() {
+        let _ = MgkSimulation::new(EmpiricalDistribution::new(vec![1]), 0);
+    }
+}

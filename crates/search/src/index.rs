@@ -1,0 +1,282 @@
+//! Inverted index and BM25 ranking.
+//!
+//! xapian is a probabilistic search engine; a leaf node's work per query is dominated by
+//! walking the postings lists of the query terms and scoring candidate documents.  This
+//! module implements that core: an inverted index with per-term postings (document id +
+//! term frequency), BM25 scoring, and top-k retrieval with a bounded heap.  Query cost is
+//! proportional to the summed postings length of the query terms, which — with Zipfian
+//! term popularity — produces the wide, heavy-tailed service-time distribution the paper
+//! reports for xapian (Fig. 2).
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use tailbench_workloads::text::SyntheticCorpus;
+
+/// One posting: a document that contains a term.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Posting {
+    /// Document identifier.
+    pub doc_id: u32,
+    /// Number of occurrences of the term in that document.
+    pub term_freq: u32,
+}
+
+/// A scored search hit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SearchHit {
+    /// Document identifier.
+    pub doc_id: u32,
+    /// BM25 relevance score.
+    pub score: f32,
+}
+
+impl Eq for SearchHit {}
+
+impl Ord for SearchHit {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Order by score; ties broken by doc id for determinism.  NaN never occurs
+        // because BM25 scores are finite.
+        other
+            .score
+            .partial_cmp(&self.score)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| self.doc_id.cmp(&other.doc_id))
+    }
+}
+
+impl PartialOrd for SearchHit {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// BM25 parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct Bm25Params {
+    /// Term-frequency saturation parameter (typically 1.2).
+    pub k1: f32,
+    /// Length-normalization parameter (typically 0.75).
+    pub b: f32,
+}
+
+impl Default for Bm25Params {
+    fn default() -> Self {
+        Bm25Params { k1: 1.2, b: 0.75 }
+    }
+}
+
+/// An inverted index over a term-id corpus.
+#[derive(Debug)]
+pub struct InvertedIndex {
+    postings: Vec<Vec<Posting>>,
+    doc_lengths: Vec<u32>,
+    avg_doc_length: f32,
+    params: Bm25Params,
+}
+
+impl InvertedIndex {
+    /// Builds the index from a synthetic corpus.
+    #[must_use]
+    pub fn build(corpus: &SyntheticCorpus) -> Self {
+        Self::build_with_params(corpus, Bm25Params::default())
+    }
+
+    /// Builds the index with explicit BM25 parameters.
+    #[must_use]
+    pub fn build_with_params(corpus: &SyntheticCorpus, params: Bm25Params) -> Self {
+        let vocab = corpus.config().vocabulary;
+        let mut postings: Vec<Vec<Posting>> = vec![Vec::new(); vocab];
+        let mut doc_lengths = Vec::with_capacity(corpus.documents().len());
+        for doc in corpus.documents() {
+            doc_lengths.push(doc.terms.len() as u32);
+            // Count term frequencies within the document.
+            let mut sorted = doc.terms.clone();
+            sorted.sort_unstable();
+            let mut i = 0;
+            while i < sorted.len() {
+                let term = sorted[i];
+                let mut j = i;
+                while j < sorted.len() && sorted[j] == term {
+                    j += 1;
+                }
+                postings[term as usize].push(Posting {
+                    doc_id: doc.id,
+                    term_freq: (j - i) as u32,
+                });
+                i = j;
+            }
+        }
+        let total_len: u64 = doc_lengths.iter().map(|&l| u64::from(l)).sum();
+        let avg_doc_length = if doc_lengths.is_empty() {
+            1.0
+        } else {
+            total_len as f32 / doc_lengths.len() as f32
+        };
+        InvertedIndex {
+            postings,
+            doc_lengths,
+            avg_doc_length,
+            params,
+        }
+    }
+
+    /// Number of indexed documents.
+    #[must_use]
+    pub fn num_documents(&self) -> usize {
+        self.doc_lengths.len()
+    }
+
+    /// Number of distinct terms with at least one posting.
+    #[must_use]
+    pub fn num_terms(&self) -> usize {
+        self.postings.iter().filter(|p| !p.is_empty()).count()
+    }
+
+    /// Length of a term's postings list (0 for unknown terms).
+    #[must_use]
+    pub fn postings_len(&self, term: u32) -> usize {
+        self.postings.get(term as usize).map_or(0, Vec::len)
+    }
+
+    /// BM25 inverse document frequency of a term.
+    #[must_use]
+    pub fn idf(&self, term: u32) -> f32 {
+        let n = self.num_documents() as f32;
+        let df = self.postings_len(term) as f32;
+        ((n - df + 0.5) / (df + 0.5) + 1.0).ln()
+    }
+
+    /// Evaluates a disjunctive (OR) query and returns the top `k` documents by BM25
+    /// score, in descending score order.  Also returns the number of postings scanned,
+    /// which the service layer uses for its work profile.
+    #[must_use]
+    pub fn search(&self, terms: &[u32], k: usize) -> (Vec<SearchHit>, usize) {
+        use std::collections::HashMap;
+        // No query can return more hits than there are documents.
+        let k = k.min(self.num_documents());
+        let mut scores: HashMap<u32, f32> = HashMap::new();
+        let mut scanned = 0usize;
+        for &term in terms {
+            let Some(postings) = self.postings.get(term as usize) else {
+                continue;
+            };
+            let idf = self.idf(term);
+            for posting in postings {
+                scanned += 1;
+                let dl = self.doc_lengths[posting.doc_id as usize] as f32;
+                let tf = posting.term_freq as f32;
+                let denom = tf
+                    + self.params.k1
+                        * (1.0 - self.params.b + self.params.b * dl / self.avg_doc_length);
+                let score = idf * tf * (self.params.k1 + 1.0) / denom;
+                *scores.entry(posting.doc_id).or_insert(0.0) += score;
+            }
+        }
+        // Bounded top-k selection with a max-heap over `SearchHit`'s reverse ordering.
+        let mut heap: BinaryHeap<SearchHit> = BinaryHeap::with_capacity((k + 1).min(4_096));
+        for (doc_id, score) in scores {
+            heap.push(SearchHit { doc_id, score });
+            if heap.len() > k {
+                heap.pop();
+            }
+        }
+        let mut hits: Vec<SearchHit> = heap.into_vec();
+        hits.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(Ordering::Equal));
+        (hits, scanned)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tailbench_workloads::text::{CorpusConfig, SyntheticCorpus};
+
+    fn index() -> (SyntheticCorpus, InvertedIndex) {
+        let corpus = SyntheticCorpus::generate(CorpusConfig::small());
+        let index = InvertedIndex::build(&corpus);
+        (corpus, index)
+    }
+
+    #[test]
+    fn index_covers_all_documents() {
+        let (corpus, index) = index();
+        assert_eq!(index.num_documents(), corpus.documents().len());
+        assert!(index.num_terms() > 100);
+    }
+
+    #[test]
+    fn popular_terms_have_long_postings() {
+        let (_, index) = index();
+        // Term 0 is the most popular under the Zipfian vocabulary.
+        assert!(index.postings_len(0) > index.postings_len(1_500));
+        assert_eq!(index.postings_len(u32::MAX), 0);
+    }
+
+    #[test]
+    fn idf_decreases_with_document_frequency() {
+        let (_, index) = index();
+        assert!(index.idf(0) < index.idf(1_500));
+    }
+
+    #[test]
+    fn search_returns_sorted_top_k() {
+        let (_, index) = index();
+        let (hits, scanned) = index.search(&[0, 1, 2], 10);
+        assert!(hits.len() <= 10);
+        assert!(!hits.is_empty());
+        assert!(scanned > 0);
+        assert!(hits.windows(2).all(|w| w[0].score >= w[1].score));
+    }
+
+    #[test]
+    fn search_for_unknown_terms_is_empty() {
+        let (_, index) = index();
+        let (hits, scanned) = index.search(&[4_000_000], 10);
+        assert!(hits.is_empty());
+        assert_eq!(scanned, 0);
+    }
+
+    #[test]
+    fn documents_containing_query_terms_rank_above_random_ones() {
+        let (corpus, index) = index();
+        // Pick a moderately rare term and verify the top hit actually contains it.
+        let term = (corpus.config().vocabulary / 2) as u32;
+        if index.postings_len(term) == 0 {
+            return; // extremely rare in the small corpus; nothing to verify
+        }
+        let (hits, _) = index.search(&[term], 5);
+        let top = hits[0].doc_id;
+        assert!(corpus.documents()[top as usize].terms.contains(&term));
+    }
+
+    #[test]
+    fn query_cost_scales_with_term_popularity() {
+        let (_, index) = index();
+        let (_, scanned_popular) = index.search(&[0], 10);
+        let (_, scanned_rare) = index.search(&[1_900], 10);
+        assert!(scanned_popular > scanned_rare);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use tailbench_workloads::text::{CorpusConfig, SyntheticCorpus};
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn top_k_is_a_prefix_of_full_ranking(terms in prop::collection::vec(0u32..2000, 1..4), k in 1usize..20) {
+            let corpus = SyntheticCorpus::generate(CorpusConfig::small());
+            let index = InvertedIndex::build(&corpus);
+            let (top_k, _) = index.search(&terms, k);
+            let (full, _) = index.search(&terms, usize::MAX / 2);
+            prop_assert!(top_k.len() <= k);
+            // The scores of the top-k must equal the first k scores of the full ranking.
+            for (a, b) in top_k.iter().zip(full.iter()) {
+                prop_assert!((a.score - b.score).abs() < 1e-4);
+            }
+        }
+    }
+}

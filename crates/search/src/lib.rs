@@ -1,0 +1,29 @@
+//! The xapian substitute: a full-text search engine leaf node.
+//!
+//! TailBench configures xapian as a web-search leaf node over an English Wikipedia index
+//! with Zipfian query popularity (paper §III).  This crate implements the equivalent
+//! pipeline from scratch:
+//!
+//! * [`index`] — an inverted index with BM25 ranking and bounded top-k retrieval;
+//! * [`service`] — the harness adapter ([`XapianApp`]) and the Zipfian query factory.
+//!
+//! # Example
+//!
+//! ```
+//! use tailbench_search::index::InvertedIndex;
+//! use tailbench_workloads::text::{CorpusConfig, SyntheticCorpus};
+//!
+//! let corpus = SyntheticCorpus::generate(CorpusConfig::small());
+//! let index = InvertedIndex::build(&corpus);
+//! let (hits, _scanned) = index.search(&[0, 1], 10);
+//! assert!(!hits.is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod index;
+pub mod service;
+
+pub use index::{Bm25Params, InvertedIndex, SearchHit};
+pub use service::{SearchRequestFactory, XapianApp, DEFAULT_TOP_K};

@@ -1,0 +1,209 @@
+//! xapian as a TailBench application.
+//!
+//! [`XapianApp`] models a web-search leaf node: it owns an inverted index over a
+//! synthetic Wikipedia-like corpus and answers top-k queries.  [`SearchRequestFactory`]
+//! draws query terms from the corpus' Zipfian popularity distribution, as the paper does.
+
+use crate::index::InvertedIndex;
+use tailbench_core::app::{RequestFactory, ServerApp};
+use tailbench_core::request::{Response, WorkProfile};
+use tailbench_workloads::rng::{seeded_rng, SuiteRng};
+use tailbench_workloads::text::{CorpusConfig, QueryGenerator, SyntheticCorpus};
+
+/// Wire encoding of search queries and results.
+pub mod codec {
+    /// Encodes a query (term ids + result count) into a request payload.
+    #[must_use]
+    pub fn encode_query(terms: &[u32], k: u16) -> Vec<u8> {
+        let mut out = Vec::with_capacity(4 + terms.len() * 4);
+        out.extend_from_slice(&k.to_le_bytes());
+        out.extend_from_slice(&(terms.len() as u16).to_le_bytes());
+        for t in terms {
+            out.extend_from_slice(&t.to_le_bytes());
+        }
+        out
+    }
+
+    /// Decodes a query payload; returns `None` if malformed.
+    #[must_use]
+    pub fn decode_query(payload: &[u8]) -> Option<(Vec<u32>, u16)> {
+        if payload.len() < 4 {
+            return None;
+        }
+        let k = u16::from_le_bytes(payload[..2].try_into().ok()?);
+        let n = u16::from_le_bytes(payload[2..4].try_into().ok()?) as usize;
+        let mut terms = Vec::with_capacity(n);
+        let body = &payload[4..];
+        if body.len() < n * 4 {
+            return None;
+        }
+        for i in 0..n {
+            terms.push(u32::from_le_bytes(body[i * 4..i * 4 + 4].try_into().ok()?));
+        }
+        Some((terms, k))
+    }
+}
+
+/// Default number of results returned per query.
+pub const DEFAULT_TOP_K: u16 = 10;
+
+/// The xapian-substitute search application.
+#[derive(Debug)]
+pub struct XapianApp {
+    index: InvertedIndex,
+}
+
+impl XapianApp {
+    /// Builds the index from the given corpus configuration.
+    #[must_use]
+    pub fn new(config: CorpusConfig) -> Self {
+        let corpus = SyntheticCorpus::generate(config);
+        XapianApp {
+            index: InvertedIndex::build(&corpus),
+        }
+    }
+
+    /// Builds the application from an already-generated corpus (avoids regenerating the
+    /// corpus when the factory also needs it).
+    #[must_use]
+    pub fn from_corpus(corpus: &SyntheticCorpus) -> Self {
+        XapianApp {
+            index: InvertedIndex::build(corpus),
+        }
+    }
+
+    /// The underlying index.
+    #[must_use]
+    pub fn index(&self) -> &InvertedIndex {
+        &self.index
+    }
+}
+
+impl ServerApp for XapianApp {
+    fn name(&self) -> &str {
+        "xapian"
+    }
+
+    fn handle(&self, payload: &[u8]) -> Response {
+        let Some((terms, k)) = codec::decode_query(payload) else {
+            return Response::new(vec![0xFF]);
+        };
+        let (hits, scanned) = self.index.search(&terms, k as usize);
+        let mut out = Vec::with_capacity(2 + hits.len() * 8);
+        out.extend_from_slice(&(hits.len() as u16).to_le_bytes());
+        for hit in &hits {
+            out.extend_from_slice(&hit.doc_id.to_le_bytes());
+            out.extend_from_slice(&hit.score.to_le_bytes());
+        }
+        // Query cost is dominated by postings traversal + scoring: ~60 instructions and
+        // ~1.5 memory reads per posting (posting entry, doc length, score accumulator).
+        let scanned = scanned as u64;
+        let work = WorkProfile {
+            instructions: 2_000 + 60 * scanned,
+            mem_reads: 20 + scanned * 3 / 2,
+            mem_writes: 10 + scanned / 4,
+            footprint_bytes: 512 + scanned * 12,
+            locality: 0.55,
+            critical_fraction: 0.0,
+        };
+        Response::with_work(out, work)
+    }
+}
+
+/// Generates Zipfian-popularity search queries.
+#[derive(Debug)]
+pub struct SearchRequestFactory {
+    generator: QueryGenerator,
+    rng: SuiteRng,
+    top_k: u16,
+}
+
+impl SearchRequestFactory {
+    /// Creates a factory for queries against the given corpus.
+    #[must_use]
+    pub fn new(corpus: &SyntheticCorpus, seed: u64) -> Self {
+        SearchRequestFactory {
+            generator: QueryGenerator::web_search(corpus),
+            rng: seeded_rng(seed, 200),
+            top_k: DEFAULT_TOP_K,
+        }
+    }
+}
+
+impl RequestFactory for SearchRequestFactory {
+    fn next_request(&mut self) -> Vec<u8> {
+        let terms = self.generator.next_query(&mut self.rng);
+        codec::encode_query(&terms, self.top_k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (SyntheticCorpus, XapianApp) {
+        let corpus = SyntheticCorpus::generate(CorpusConfig::small());
+        let app = XapianApp::from_corpus(&corpus);
+        (corpus, app)
+    }
+
+    #[test]
+    fn codec_round_trips() {
+        let payload = codec::encode_query(&[1, 2, 99_999], 25);
+        assert_eq!(codec::decode_query(&payload), Some((vec![1, 2, 99_999], 25)));
+        assert_eq!(codec::decode_query(&[1]), None);
+    }
+
+    #[test]
+    fn app_answers_queries_with_ranked_hits() {
+        let (_, app) = setup();
+        let resp = app.handle(&codec::encode_query(&[0, 1], 5));
+        let n = u16::from_le_bytes(resp.payload[..2].try_into().unwrap());
+        assert!(n > 0 && n <= 5);
+        assert!(resp.work.instructions > 2_000);
+    }
+
+    #[test]
+    fn popular_queries_cost_more_than_rare_ones() {
+        let (_, app) = setup();
+        let popular = app.handle(&codec::encode_query(&[0], 10));
+        let rare = app.handle(&codec::encode_query(&[1_900], 10));
+        assert!(popular.work.instructions > rare.work.instructions);
+    }
+
+    #[test]
+    fn malformed_query_is_rejected() {
+        let (_, app) = setup();
+        assert_eq!(app.handle(&[1, 2]).payload, vec![0xFF]);
+    }
+
+    #[test]
+    fn factory_queries_are_decodable_and_well_sized() {
+        let corpus = SyntheticCorpus::generate(CorpusConfig::small());
+        let mut factory = SearchRequestFactory::new(&corpus, 5);
+        for _ in 0..100 {
+            let payload = factory.next_request();
+            let (terms, k) = codec::decode_query(&payload).unwrap();
+            assert!((1..=4).contains(&terms.len()));
+            assert_eq!(k, DEFAULT_TOP_K);
+        }
+    }
+
+    #[test]
+    fn end_to_end_through_harness() {
+        use std::sync::Arc;
+        use tailbench_core::config::BenchmarkConfig;
+
+        let corpus = SyntheticCorpus::generate(CorpusConfig::small());
+        let app: Arc<dyn ServerApp> = Arc::new(XapianApp::from_corpus(&corpus));
+        let mut factory = SearchRequestFactory::new(&corpus, 17);
+        let report = tailbench_core::runner::run(
+            &app,
+            &mut factory,
+            &BenchmarkConfig::new(500.0, 200).with_warmup(20),
+        )
+        .unwrap();
+        assert_eq!(report.app, "xapian");
+        assert!(report.requests > 150);
+    }
+}

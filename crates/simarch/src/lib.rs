@@ -1,0 +1,30 @@
+//! Analytic microarchitectural cost model for simulated TailBench runs.
+//!
+//! The paper measures tail latency *in simulation* with zsim, an execution-driven x86
+//! simulator, and uses an idealized-memory configuration to attribute multithreaded
+//! scaling losses to either memory contention or synchronization (§VI–§VII).  Shipping a
+//! binary-translation simulator is out of scope for this reproduction, so this crate
+//! provides the piece the methodology actually relies on: a *consistent cost model* that
+//! turns each request's [`WorkProfile`](tailbench_core::request::WorkProfile) into a
+//! simulated service time, with
+//!
+//! * a core model (frequency × base IPC),
+//! * a cache-hierarchy model that estimates per-level miss rates from the request's
+//!   footprint and locality (also used to reproduce the MPKI columns of Table I),
+//! * a memory-contention model that inflates miss penalties as more worker threads are
+//!   concurrently active,
+//! * a synchronization model driven by the profile's critical-section fraction, and
+//! * an **idealized memory** switch (zero-latency, infinite-bandwidth DRAM) that turns
+//!   off the memory terms, as used by the Fig. 8 case study.
+//!
+//! The [`SystemModel`] implements [`CostModel`](tailbench_core::app::CostModel), so it
+//! plugs directly into the harness' discrete-event simulation runner.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod system;
+
+pub use cache::{CacheHierarchy, CacheLevelConfig, MissRates};
+pub use system::{MachineConfig, SystemModel};

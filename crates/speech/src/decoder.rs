@@ -1,0 +1,304 @@
+//! Token-passing Viterbi decoder with beam pruning.
+//!
+//! The recognizer builds a flat decoding graph: every word's phone HMM states laid out
+//! left-to-right, with word-exit transitions looping back to every word's entry state
+//! (plus a word-insertion penalty).  Each frame, tokens are propagated along self-loops
+//! and forward transitions, scored against the acoustic model, and pruned to a beam
+//! around the best token — exactly the shape of sphinx's search, whose cost per frame is
+//! proportional to the number of active states.
+
+use crate::model::{AcousticModel, Frame, Lexicon, STATES_PER_PHONE};
+
+/// Decoder tuning parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct DecoderConfig {
+    /// Beam width in log-likelihood units: states scoring below `best - beam` are pruned.
+    pub beam: f32,
+    /// Log-score penalty for starting a new word.
+    pub word_insertion_penalty: f32,
+}
+
+impl Default for DecoderConfig {
+    fn default() -> Self {
+        DecoderConfig {
+            beam: 60.0,
+            word_insertion_penalty: -2.0,
+        }
+    }
+}
+
+/// The result of decoding one utterance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Recognition {
+    /// Recognized word sequence.
+    pub words: Vec<u32>,
+    /// Viterbi score of the best path.
+    pub score: f32,
+    /// Total number of (frame, state) evaluations performed — the decoder's work measure.
+    pub state_evaluations: u64,
+}
+
+/// Flattened decoding-graph state.
+#[derive(Debug, Clone, Copy)]
+struct GraphState {
+    phone: usize,
+    /// Sub-state within the phone HMM.
+    state: usize,
+    /// Whether this is the last state of its word.
+    is_word_end: bool,
+}
+
+/// The speech recognizer.
+#[derive(Debug)]
+pub struct Recognizer {
+    acoustic: AcousticModel,
+    states: Vec<GraphState>,
+    /// First state index of each word.
+    word_entry: Vec<usize>,
+    config: DecoderConfig,
+}
+
+impl Recognizer {
+    /// Builds the decoding graph for a lexicon.
+    #[must_use]
+    pub fn new(acoustic: AcousticModel, lexicon: &Lexicon, config: DecoderConfig) -> Self {
+        let mut states = Vec::with_capacity(lexicon.total_states());
+        let mut word_entry = Vec::with_capacity(lexicon.len());
+        for word in 0..lexicon.len() {
+            word_entry.push(states.len());
+            let phones = lexicon.pronunciation(word);
+            for (pi, &phone) in phones.iter().enumerate() {
+                for s in 0..STATES_PER_PHONE {
+                    states.push(GraphState {
+                        phone,
+                        state: s,
+                        is_word_end: pi == phones.len() - 1 && s == STATES_PER_PHONE - 1,
+                    });
+                }
+            }
+        }
+        Recognizer {
+            acoustic,
+            states,
+            word_entry,
+            config,
+        }
+    }
+
+    /// Number of states in the decoding graph.
+    #[must_use]
+    pub fn num_states(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Decodes an utterance into its most likely word sequence.
+    #[must_use]
+    pub fn recognize(&self, frames: &[Frame]) -> Recognition {
+        if frames.is_empty() {
+            return Recognition {
+                words: Vec::new(),
+                score: 0.0,
+                state_evaluations: 0,
+            };
+        }
+        let n = self.states.len();
+        const NEG: f32 = f32::NEG_INFINITY;
+        // History arena: (parent history, word emitted).
+        let mut histories: Vec<(usize, u32)> = vec![(0, u32::MAX)];
+        let mut scores = vec![NEG; n];
+        let mut hist = vec![0usize; n];
+        let mut evaluations = 0u64;
+
+        // Initialize: a token may start at the entry state of any word.
+        for (word, &entry) in self.word_entry.iter().enumerate() {
+            let s = &self.states[entry];
+            scores[entry] = self.config.word_insertion_penalty
+                + self.acoustic.log_likelihood(s.phone, s.state, &frames[0]);
+            histories[0].1 = u32::MAX;
+            hist[entry] = push_history(&mut histories, 0, word as u32);
+            evaluations += 1;
+        }
+
+        for frame in &frames[1..] {
+            let best = scores.iter().copied().fold(NEG, f32::max);
+            let threshold = best - self.config.beam;
+            let mut next_scores = vec![NEG; n];
+            let mut next_hist = vec![0usize; n];
+            // Best word-end token this frame (for cross-word transitions).
+            let mut best_exit: Option<(f32, usize)> = None;
+
+            for idx in 0..n {
+                let score = scores[idx];
+                if score < threshold {
+                    continue;
+                }
+                let state = self.states[idx];
+                // Self-loop.
+                relax(&mut next_scores, &mut next_hist, idx, score, hist[idx]);
+                // Forward transition within the word.
+                if !state.is_word_end {
+                    relax(&mut next_scores, &mut next_hist, idx + 1, score, hist[idx]);
+                } else if best_exit.is_none_or(|(s, _)| score > s) {
+                    best_exit = Some((score, hist[idx]));
+                }
+            }
+
+            // Cross-word transitions from the best exiting token.
+            if let Some((exit_score, exit_hist)) = best_exit {
+                let entry_score = exit_score + self.config.word_insertion_penalty;
+                for (word, &entry) in self.word_entry.iter().enumerate() {
+                    if entry_score > next_scores[entry] {
+                        next_scores[entry] = entry_score;
+                        next_hist[entry] = push_history(&mut histories, exit_hist, word as u32);
+                    }
+                }
+            }
+
+            // Apply acoustic scores.
+            for idx in 0..n {
+                if next_scores[idx] > NEG {
+                    let s = self.states[idx];
+                    next_scores[idx] += self.acoustic.log_likelihood(s.phone, s.state, frame);
+                    evaluations += 1;
+                }
+            }
+            scores = next_scores;
+            hist = next_hist;
+        }
+
+        // Pick the best word-end state (falling back to the global best).
+        let mut best_idx = 0;
+        let mut best_score = NEG;
+        for idx in 0..n {
+            let bonus_ok = self.states[idx].is_word_end;
+            if scores[idx] > best_score && (bonus_ok || best_score == NEG) {
+                best_score = scores[idx];
+                best_idx = idx;
+            }
+        }
+        let words = unwind_history(&histories, hist[best_idx]);
+        Recognition {
+            words,
+            score: best_score,
+            state_evaluations: evaluations,
+        }
+    }
+}
+
+fn push_history(histories: &mut Vec<(usize, u32)>, parent: usize, word: u32) -> usize {
+    histories.push((parent, word));
+    histories.len() - 1
+}
+
+fn unwind_history(histories: &[(usize, u32)], mut id: usize) -> Vec<u32> {
+    let mut words = Vec::new();
+    while id != 0 {
+        let (parent, word) = histories[id];
+        if word != u32::MAX {
+            words.push(word);
+        }
+        id = parent;
+    }
+    words.reverse();
+    words
+}
+
+fn relax(scores: &mut [f32], hist: &mut [usize], idx: usize, score: f32, history: usize) {
+    if score > scores[idx] {
+        scores[idx] = score;
+        hist[idx] = history;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{AcousticModel, Lexicon, UtteranceGenerator};
+    use tailbench_workloads::rng::seeded_rng;
+
+    fn recognizer(vocab: usize) -> Recognizer {
+        Recognizer::new(
+            AcousticModel::new(),
+            &Lexicon::synthetic(vocab),
+            DecoderConfig::default(),
+        )
+    }
+
+    #[test]
+    fn graph_has_expected_state_count() {
+        let lex = Lexicon::synthetic(30);
+        let rec = Recognizer::new(AcousticModel::new(), &lex, DecoderConfig::default());
+        assert_eq!(rec.num_states(), lex.total_states());
+    }
+
+    #[test]
+    fn empty_utterance_decodes_to_nothing() {
+        let rec = recognizer(10);
+        let r = rec.recognize(&[]);
+        assert!(r.words.is_empty());
+        assert_eq!(r.state_evaluations, 0);
+    }
+
+    #[test]
+    fn recognizes_clean_synthetic_utterances_reasonably() {
+        let vocab = 15;
+        let gen = UtteranceGenerator::an4_like(vocab);
+        let rec = recognizer(vocab);
+        let mut rng = seeded_rng(5, 0);
+        let mut correct = 0usize;
+        let mut total = 0usize;
+        for _ in 0..10 {
+            let u = gen.next_utterance(&mut rng);
+            let r = rec.recognize(&u.frames);
+            assert!(!r.words.is_empty());
+            assert!(r.score.is_finite());
+            // Count word overlap (order-insensitive) as a weak accuracy signal — the
+            // decoder has no trained language model, so we only require that it is far
+            // better than chance.
+            let truth: std::collections::HashSet<u32> = u.transcript.iter().copied().collect();
+            correct += r.words.iter().filter(|w| truth.contains(w)).count();
+            total += r.words.len().max(u.transcript.len());
+        }
+        let accuracy = correct as f64 / total as f64;
+        assert!(accuracy > 0.3, "word overlap accuracy = {accuracy}");
+    }
+
+    #[test]
+    fn work_scales_with_utterance_length() {
+        let rec = recognizer(20);
+        let gen = UtteranceGenerator::an4_like(20);
+        let mut rng = seeded_rng(6, 0);
+        let u = gen.next_utterance(&mut rng);
+        let half = rec.recognize(&u.frames[..u.frames.len() / 2]);
+        let full = rec.recognize(&u.frames);
+        assert!(full.state_evaluations > half.state_evaluations);
+    }
+
+    #[test]
+    fn tighter_beam_does_less_work() {
+        let lex = Lexicon::synthetic(20);
+        let narrow = Recognizer::new(
+            AcousticModel::new(),
+            &lex,
+            DecoderConfig {
+                beam: 5.0,
+                ..DecoderConfig::default()
+            },
+        );
+        let wide = Recognizer::new(
+            AcousticModel::new(),
+            &lex,
+            DecoderConfig {
+                beam: 200.0,
+                ..DecoderConfig::default()
+            },
+        );
+        let gen = UtteranceGenerator::an4_like(20);
+        let mut rng = seeded_rng(7, 0);
+        let u = gen.next_utterance(&mut rng);
+        assert!(
+            narrow.recognize(&u.frames).state_evaluations
+                <= wide.recognize(&u.frames).state_evaluations
+        );
+    }
+}

@@ -1,0 +1,26 @@
+//! The sphinx substitute: GMM-HMM speech recognition.
+//!
+//! TailBench drives sphinx with utterances from the CMU AN4 corpus; recognition is a
+//! compute-intensive beam search over a large HMM state space (paper §III).  This crate
+//! implements the equivalent pipeline from scratch:
+//!
+//! * [`model`] — a synthetic phone set, diagonal-Gaussian acoustic model, lexicon, and an
+//!   utterance generator that emits frames from the same model;
+//! * [`decoder`] — a token-passing Viterbi decoder with beam pruning and cross-word
+//!   transitions;
+//! * [`service`] — the harness adapter ([`SphinxApp`]) and request factory.
+//!
+//! sphinx is the slowest application of the suite — its per-request work is several
+//! orders of magnitude larger than masstree's — which is exactly the role it plays in the
+//! paper's latency-spectrum argument.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod decoder;
+pub mod model;
+pub mod service;
+
+pub use decoder::{DecoderConfig, Recognition, Recognizer};
+pub use model::{AcousticModel, Frame, Lexicon, Utterance, UtteranceGenerator, FEATURE_DIM};
+pub use service::{SpeechRequestFactory, SphinxApp, DEFAULT_VOCABULARY};

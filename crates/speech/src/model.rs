@@ -1,0 +1,279 @@
+//! Acoustic and lexical models, plus synthetic utterance generation.
+//!
+//! sphinx decodes speech by scoring acoustic feature frames (MFCC vectors) against
+//! Gaussian-mixture observation densities attached to the states of phone HMMs, strung
+//! together by a lexicon into word models (paper §III).  We cannot ship the CMU AN4
+//! corpus, so this module defines a synthetic phone set, a lexicon over it, a diagonal-
+//! Gaussian acoustic model, and an utterance generator that emits frames from the same
+//! model (plus noise) — which makes the recognition task well-posed and the decoder's
+//! work profile realistic: cost scales with frames × active HMM states.
+
+use rand::Rng;
+use tailbench_workloads::rng::SuiteRng;
+
+/// Dimensionality of the acoustic feature vectors (MFCC-like).
+pub const FEATURE_DIM: usize = 13;
+/// Number of HMM states per phone (standard 3-state left-to-right topology).
+pub const STATES_PER_PHONE: usize = 3;
+/// Number of phones in the synthetic phone set.
+pub const NUM_PHONES: usize = 32;
+
+/// One acoustic feature frame.
+pub type Frame = [f32; FEATURE_DIM];
+
+/// The acoustic model: a diagonal Gaussian per (phone, state).
+#[derive(Debug, Clone)]
+pub struct AcousticModel {
+    /// Mean vectors indexed by `phone * STATES_PER_PHONE + state`.
+    means: Vec<Frame>,
+    /// Shared diagonal variance.
+    variance: f32,
+}
+
+impl Default for AcousticModel {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AcousticModel {
+    /// Builds the deterministic synthetic acoustic model.
+    #[must_use]
+    pub fn new() -> Self {
+        let mut means = Vec::with_capacity(NUM_PHONES * STATES_PER_PHONE);
+        for phone in 0..NUM_PHONES {
+            for state in 0..STATES_PER_PHONE {
+                let mut mean = [0.0f32; FEATURE_DIM];
+                for (d, m) in mean.iter_mut().enumerate() {
+                    // A deterministic, well-separated constellation of means.
+                    let x = (phone * 31 + state * 7 + d * 13) as f32;
+                    *m = (x * 0.37).sin() * 3.0 + (x * 0.11).cos() * 2.0;
+                }
+                means.push(mean);
+            }
+        }
+        AcousticModel {
+            means,
+            variance: 0.35,
+        }
+    }
+
+    /// Number of distinct emission densities.
+    #[must_use]
+    pub fn num_densities(&self) -> usize {
+        self.means.len()
+    }
+
+    /// Mean vector of a (phone, state) density.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phone` or `state` is out of range.
+    #[must_use]
+    pub fn mean(&self, phone: usize, state: usize) -> &Frame {
+        assert!(phone < NUM_PHONES && state < STATES_PER_PHONE);
+        &self.means[phone * STATES_PER_PHONE + state]
+    }
+
+    /// Log-likelihood (up to a constant) of a frame under a (phone, state) density.
+    #[must_use]
+    pub fn log_likelihood(&self, phone: usize, state: usize, frame: &Frame) -> f32 {
+        let mean = self.mean(phone, state);
+        let mut acc = 0.0f32;
+        for d in 0..FEATURE_DIM {
+            let diff = frame[d] - mean[d];
+            acc += diff * diff;
+        }
+        -acc / (2.0 * self.variance)
+    }
+}
+
+/// The lexicon: each word is a phone sequence.
+#[derive(Debug, Clone)]
+pub struct Lexicon {
+    pronunciations: Vec<Vec<usize>>,
+}
+
+impl Lexicon {
+    /// Builds a deterministic synthetic lexicon of `vocabulary` words, each 2–5 phones.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vocabulary == 0`.
+    #[must_use]
+    pub fn synthetic(vocabulary: usize) -> Self {
+        assert!(vocabulary > 0, "lexicon needs at least one word");
+        let pronunciations = (0..vocabulary)
+            .map(|w| {
+                let len = 2 + (w * 2_654_435_761) % 4; // 2..=5 phones
+                (0..len)
+                    .map(|i| (w * 31 + i * 17 + (w >> 3)) % NUM_PHONES)
+                    .collect()
+            })
+            .collect();
+        Lexicon { pronunciations }
+    }
+
+    /// Number of words.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.pronunciations.len()
+    }
+
+    /// Returns `true` if the lexicon is empty (never for synthetic lexicons).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.pronunciations.is_empty()
+    }
+
+    /// Phone sequence of a word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `word` is out of range.
+    #[must_use]
+    pub fn pronunciation(&self, word: usize) -> &[usize] {
+        &self.pronunciations[word]
+    }
+
+    /// Total number of HMM states across all words.
+    #[must_use]
+    pub fn total_states(&self) -> usize {
+        self.pronunciations.iter().map(|p| p.len() * STATES_PER_PHONE).sum()
+    }
+}
+
+/// A synthetic utterance: its frames and the ground-truth word sequence.
+#[derive(Debug, Clone)]
+pub struct Utterance {
+    /// Acoustic frames.
+    pub frames: Vec<Frame>,
+    /// Ground-truth transcript (word ids).
+    pub transcript: Vec<u32>,
+}
+
+/// Generates synthetic utterances consistent with an acoustic model and lexicon.
+#[derive(Debug, Clone)]
+pub struct UtteranceGenerator {
+    model: AcousticModel,
+    lexicon: Lexicon,
+    min_words: usize,
+    max_words: usize,
+    noise: f32,
+}
+
+impl UtteranceGenerator {
+    /// Creates a generator of utterances of `min_words..=max_words` words with the given
+    /// per-dimension noise amplitude.
+    #[must_use]
+    pub fn new(model: AcousticModel, lexicon: Lexicon, min_words: usize, max_words: usize) -> Self {
+        UtteranceGenerator {
+            model,
+            lexicon,
+            min_words: min_words.max(1),
+            max_words: max_words.max(min_words.max(1)),
+            noise: 0.3,
+        }
+    }
+
+    /// AN4-like defaults: short alphanumeric-style utterances of 2–8 words.
+    #[must_use]
+    pub fn an4_like(vocabulary: usize) -> Self {
+        Self::new(AcousticModel::new(), Lexicon::synthetic(vocabulary), 2, 8)
+    }
+
+    /// The lexicon used by this generator.
+    #[must_use]
+    pub fn lexicon(&self) -> &Lexicon {
+        &self.lexicon
+    }
+
+    /// Draws one utterance.
+    pub fn next_utterance(&self, rng: &mut SuiteRng) -> Utterance {
+        let n_words = rng.gen_range(self.min_words..=self.max_words);
+        let mut transcript = Vec::with_capacity(n_words);
+        let mut frames = Vec::new();
+        for _ in 0..n_words {
+            let word = rng.gen_range(0..self.lexicon.len());
+            transcript.push(word as u32);
+            for &phone in self.lexicon.pronunciation(word) {
+                for state in 0..STATES_PER_PHONE {
+                    let dwell = rng.gen_range(2..=5);
+                    for _ in 0..dwell {
+                        let mut frame = *self.model.mean(phone, state);
+                        for value in &mut frame {
+                            *value += rng.gen_range(-self.noise..=self.noise);
+                        }
+                        frames.push(frame);
+                    }
+                }
+            }
+        }
+        Utterance { frames, transcript }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tailbench_workloads::rng::seeded_rng;
+
+    #[test]
+    fn acoustic_model_prefers_its_own_mean() {
+        let am = AcousticModel::new();
+        assert_eq!(am.num_densities(), NUM_PHONES * STATES_PER_PHONE);
+        let frame = *am.mean(5, 1);
+        let own = am.log_likelihood(5, 1, &frame);
+        let other = am.log_likelihood(20, 0, &frame);
+        assert!(own > other);
+        assert_eq!(own, 0.0);
+    }
+
+    #[test]
+    fn lexicon_pronunciations_are_valid() {
+        let lex = Lexicon::synthetic(100);
+        assert_eq!(lex.len(), 100);
+        assert!(!lex.is_empty());
+        for w in 0..100 {
+            let p = lex.pronunciation(w);
+            assert!((2..=5).contains(&p.len()));
+            assert!(p.iter().all(|&ph| ph < NUM_PHONES));
+        }
+        assert!(lex.total_states() >= 100 * 2 * STATES_PER_PHONE);
+    }
+
+    #[test]
+    fn utterances_have_frames_matching_transcript_length() {
+        let gen = UtteranceGenerator::an4_like(50);
+        let mut rng = seeded_rng(1, 0);
+        for _ in 0..20 {
+            let u = gen.next_utterance(&mut rng);
+            assert!((2..=8).contains(&u.transcript.len()));
+            // Each word contributes at least 2 phones x 3 states x 2 frames = 12 frames.
+            assert!(u.frames.len() >= u.transcript.len() * 12);
+            assert!(u.transcript.iter().all(|&w| (w as usize) < 50));
+        }
+    }
+
+    #[test]
+    fn utterance_frames_are_recognizably_close_to_their_densities() {
+        let gen = UtteranceGenerator::an4_like(20);
+        let mut rng = seeded_rng(2, 0);
+        let u = gen.next_utterance(&mut rng);
+        let am = AcousticModel::new();
+        let lex = Lexicon::synthetic(20);
+        // The first frame belongs to the first phone/state of the first word; its
+        // likelihood under that density must beat a random other density.
+        let first_word = u.transcript[0] as usize;
+        let first_phone = lex.pronunciation(first_word)[0];
+        let own = am.log_likelihood(first_phone, 0, &u.frames[0]);
+        let other = am.log_likelihood((first_phone + 11) % NUM_PHONES, 2, &u.frames[0]);
+        assert!(own > other);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one word")]
+    fn empty_lexicon_panics() {
+        let _ = Lexicon::synthetic(0);
+    }
+}

@@ -1,0 +1,194 @@
+//! sphinx as a TailBench application.
+
+use crate::decoder::{DecoderConfig, Recognition, Recognizer};
+use crate::model::{AcousticModel, Frame, Lexicon, UtteranceGenerator, FEATURE_DIM};
+use tailbench_core::app::{RequestFactory, ServerApp};
+use tailbench_core::request::{Response, WorkProfile};
+use tailbench_workloads::rng::{seeded_rng, SuiteRng};
+
+/// Wire encoding of utterances (frame count + packed little-endian `f32`s).
+pub mod codec {
+    use super::{Frame, FEATURE_DIM};
+
+    /// Encodes an utterance's frames.
+    #[must_use]
+    pub fn encode_frames(frames: &[Frame]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(4 + frames.len() * FEATURE_DIM * 4);
+        out.extend_from_slice(&(frames.len() as u32).to_le_bytes());
+        for frame in frames {
+            for value in frame {
+                out.extend_from_slice(&value.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Decodes an utterance's frames; `None` if malformed.
+    #[must_use]
+    pub fn decode_frames(payload: &[u8]) -> Option<Vec<Frame>> {
+        if payload.len() < 4 {
+            return None;
+        }
+        let n = u32::from_le_bytes(payload[..4].try_into().ok()?) as usize;
+        let body = payload.get(4..4 + n * FEATURE_DIM * 4)?;
+        let mut frames = Vec::with_capacity(n);
+        for f in 0..n {
+            let mut frame = [0.0f32; FEATURE_DIM];
+            for (d, value) in frame.iter_mut().enumerate() {
+                let off = (f * FEATURE_DIM + d) * 4;
+                *value = f32::from_le_bytes(body[off..off + 4].try_into().ok()?);
+            }
+            frames.push(frame);
+        }
+        Some(frames)
+    }
+}
+
+/// Default vocabulary size of the standard configuration.
+pub const DEFAULT_VOCABULARY: usize = 300;
+
+/// The sphinx-substitute speech recognition application.
+#[derive(Debug)]
+pub struct SphinxApp {
+    recognizer: Recognizer,
+}
+
+impl SphinxApp {
+    /// Builds the recognizer for a vocabulary of the given size.
+    #[must_use]
+    pub fn new(vocabulary: usize) -> Self {
+        let lexicon = Lexicon::synthetic(vocabulary.max(1));
+        SphinxApp {
+            recognizer: Recognizer::new(AcousticModel::new(), &lexicon, DecoderConfig::default()),
+        }
+    }
+
+    /// Standard configuration (300-word vocabulary, AN4-like).
+    #[must_use]
+    pub fn standard() -> Self {
+        Self::new(DEFAULT_VOCABULARY)
+    }
+
+    /// Reduced configuration for tests.
+    #[must_use]
+    pub fn small() -> Self {
+        Self::new(20)
+    }
+
+    fn work_profile(&self, recognition: &Recognition) -> WorkProfile {
+        // Each state evaluation is a 13-dimensional Gaussian score (a real recognizer
+        // evaluates a mixture of such Gaussians, ~100+ instructions) plus token
+        // bookkeeping; the search sweeps large score arrays every frame.
+        let e = recognition.state_evaluations;
+        WorkProfile {
+            instructions: 20_000 + 120 * e,
+            mem_reads: 500 + 6 * e,
+            mem_writes: 200 + e,
+            footprint_bytes: 256 * 1024 + 8 * e,
+            locality: 0.45,
+            critical_fraction: 0.0,
+        }
+    }
+}
+
+impl ServerApp for SphinxApp {
+    fn name(&self) -> &str {
+        "sphinx"
+    }
+
+    fn handle(&self, payload: &[u8]) -> Response {
+        let Some(frames) = codec::decode_frames(payload) else {
+            return Response::new(vec![0xFF]);
+        };
+        let recognition = self.recognizer.recognize(&frames);
+        let mut out = Vec::with_capacity(2 + recognition.words.len() * 4);
+        out.extend_from_slice(&(recognition.words.len() as u16).to_le_bytes());
+        for w in &recognition.words {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+        let work = self.work_profile(&recognition);
+        Response::with_work(out, work)
+    }
+}
+
+/// Generates synthetic utterance requests.
+#[derive(Debug)]
+pub struct SpeechRequestFactory {
+    generator: UtteranceGenerator,
+    rng: SuiteRng,
+}
+
+impl SpeechRequestFactory {
+    /// Creates a factory matching the application's vocabulary size.
+    #[must_use]
+    pub fn new(vocabulary: usize, seed: u64) -> Self {
+        SpeechRequestFactory {
+            generator: UtteranceGenerator::an4_like(vocabulary.max(1)),
+            rng: seeded_rng(seed, 400),
+        }
+    }
+}
+
+impl RequestFactory for SpeechRequestFactory {
+    fn next_request(&mut self) -> Vec<u8> {
+        codec::encode_frames(&self.generator.next_utterance(&mut self.rng).frames)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codec_round_trips() {
+        let frames = vec![[1.5f32; FEATURE_DIM], [-2.25f32; FEATURE_DIM]];
+        assert_eq!(codec::decode_frames(&codec::encode_frames(&frames)), Some(frames));
+        assert_eq!(codec::decode_frames(&[0, 0]), None);
+    }
+
+    #[test]
+    fn app_recognizes_utterances() {
+        let app = SphinxApp::small();
+        let mut factory = SpeechRequestFactory::new(20, 1);
+        let payload = factory.next_request();
+        let resp = app.handle(&payload);
+        let n = u16::from_le_bytes(resp.payload[..2].try_into().unwrap());
+        assert!(n > 0);
+        assert!(resp.work.instructions > 50_000);
+    }
+
+    #[test]
+    fn sphinx_is_much_heavier_than_a_kv_lookup() {
+        // Compared against a masstree GET (a few thousand instructions), even the
+        // reduced-vocabulary sphinx request must report well over an order of magnitude
+        // more work — the paper's Table I shows a spread of several orders of magnitude
+        // at full scale.
+        let app = SphinxApp::small();
+        let mut factory = SpeechRequestFactory::new(20, 2);
+        let resp = app.handle(&factory.next_request());
+        assert!(resp.work.instructions > 20 * 3_000, "work = {}", resp.work.instructions);
+    }
+
+    #[test]
+    fn malformed_request_is_rejected() {
+        let app = SphinxApp::small();
+        assert_eq!(app.handle(&[1]).payload, vec![0xFF]);
+    }
+
+    #[test]
+    fn end_to_end_through_harness() {
+        use std::sync::Arc;
+        use tailbench_core::config::BenchmarkConfig;
+
+        let app: Arc<dyn ServerApp> = Arc::new(SphinxApp::small());
+        let mut factory = SpeechRequestFactory::new(20, 3);
+        let report = tailbench_core::runner::run(
+            &app,
+            &mut factory,
+            &BenchmarkConfig::new(30.0, 60).with_warmup(5),
+        )
+        .unwrap();
+        assert_eq!(report.app, "sphinx");
+        assert!(report.requests > 40);
+    }
+}

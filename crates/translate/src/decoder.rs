@@ -1,0 +1,282 @@
+//! The phrase-based stack decoder.
+//!
+//! moses' phrase-based decoder performs a beam search over partial translations
+//! ("hypotheses"): hypotheses are organized into stacks by the number of source words
+//! covered, each expansion applies one phrase-table option to an uncovered source span,
+//! and stacks are pruned to a fixed beam width (histogram pruning).  Decoding cost grows
+//! with sentence length × beam width × phrase options, which gives moses its
+//! moderate-variance, millisecond-scale service times (paper Fig. 2).
+
+use crate::model::{LanguageModel, PhraseTable};
+
+/// Decoder tuning parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct DecoderConfig {
+    /// Maximum hypotheses kept per stack (beam width).
+    pub beam_width: usize,
+    /// Maximum reordering distance (distortion limit), in source words.
+    pub distortion_limit: usize,
+    /// Weight of the language-model score.
+    pub lm_weight: f32,
+    /// Weight of the translation-model score.
+    pub tm_weight: f32,
+    /// Per-word distortion penalty.
+    pub distortion_penalty: f32,
+}
+
+impl Default for DecoderConfig {
+    fn default() -> Self {
+        DecoderConfig {
+            beam_width: 40,
+            distortion_limit: 4,
+            lm_weight: 0.5,
+            tm_weight: 1.0,
+            distortion_penalty: 0.1,
+        }
+    }
+}
+
+/// A partial translation hypothesis.
+#[derive(Debug, Clone)]
+struct Hypothesis {
+    /// Bitmap of covered source positions.
+    coverage: u64,
+    /// Last target word emitted (LM context).
+    last_word: Option<u32>,
+    /// End position of the last translated source phrase (for distortion).
+    last_end: usize,
+    /// Accumulated model score (higher is better).
+    score: f32,
+    /// Emitted target words.
+    target: Vec<u32>,
+}
+
+/// The result of decoding one sentence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Translation {
+    /// Target-language word ids.
+    pub target: Vec<u32>,
+    /// Final model score of the chosen hypothesis.
+    pub score: f32,
+    /// Number of hypothesis expansions performed (a proxy for decoding work).
+    pub expansions: u64,
+}
+
+/// A phrase-based beam-search decoder.
+#[derive(Debug)]
+pub struct Decoder {
+    table: PhraseTable,
+    lm: LanguageModel,
+    config: DecoderConfig,
+}
+
+impl Decoder {
+    /// Creates a decoder from its models and configuration.
+    #[must_use]
+    pub fn new(table: PhraseTable, lm: LanguageModel, config: DecoderConfig) -> Self {
+        Decoder { table, lm, config }
+    }
+
+    /// The decoder configuration.
+    #[must_use]
+    pub fn config(&self) -> &DecoderConfig {
+        &self.config
+    }
+
+    /// Translates a source sentence (word ids).  Sentences longer than 63 words are
+    /// truncated (the coverage bitmap is a `u64`), which comfortably covers the dialogue
+    /// workload.
+    #[must_use]
+    pub fn translate(&self, source: &[u32]) -> Translation {
+        let source = &source[..source.len().min(63)];
+        let n = source.len();
+        if n == 0 {
+            return Translation {
+                target: Vec::new(),
+                score: 0.0,
+                expansions: 0,
+            };
+        }
+        let max_phrase = self.table.config().max_phrase_len;
+        let mut stacks: Vec<Vec<Hypothesis>> = vec![Vec::new(); n + 1];
+        stacks[0].push(Hypothesis {
+            coverage: 0,
+            last_word: None,
+            last_end: 0,
+            score: 0.0,
+            target: Vec::new(),
+        });
+        let mut expansions = 0u64;
+
+        for covered in 0..n {
+            // Histogram pruning: keep only the best `beam_width` hypotheses per stack.
+            stacks[covered].sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+            stacks[covered].truncate(self.config.beam_width);
+            // Recombination: keep the best hypothesis per (coverage, last_word) state.
+            dedup_states(&mut stacks[covered]);
+
+            for h_idx in 0..stacks[covered].len() {
+                let hyp = stacks[covered][h_idx].clone();
+                for start in 0..n {
+                    // Distortion limit relative to the end of the previous phrase.
+                    if start.abs_diff(hyp.last_end) > self.config.distortion_limit {
+                        continue;
+                    }
+                    for len in 1..=max_phrase.min(n - start) {
+                        let span_mask = ((1u64 << len) - 1) << start;
+                        if hyp.coverage & span_mask != 0 {
+                            continue;
+                        }
+                        let options = self.table.lookup(&source[start..start + len]);
+                        for option in &options {
+                            expansions += 1;
+                            let mut lm_score = 0.0;
+                            let mut prev = hyp.last_word;
+                            for &w in &option.target {
+                                lm_score += self.lm.log_prob(prev, w);
+                                prev = Some(w);
+                            }
+                            let distortion =
+                                -(start.abs_diff(hyp.last_end) as f32) * self.config.distortion_penalty;
+                            let score = hyp.score
+                                + self.config.tm_weight * option.log_prob
+                                + self.config.lm_weight * lm_score
+                                + distortion;
+                            let mut target = hyp.target.clone();
+                            target.extend_from_slice(&option.target);
+                            stacks[covered + len].push(Hypothesis {
+                                coverage: hyp.coverage | span_mask,
+                                last_word: prev,
+                                last_end: start + len,
+                                score,
+                                target,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+
+        let best = stacks[n]
+            .iter()
+            .max_by(|a, b| a.score.partial_cmp(&b.score).unwrap_or(std::cmp::Ordering::Equal));
+        match best {
+            Some(h) => Translation {
+                target: h.target.clone(),
+                score: h.score,
+                expansions,
+            },
+            None => Translation {
+                // No full-coverage hypothesis survived pruning (possible for degenerate
+                // inputs); fall back to an empty translation.
+                target: Vec::new(),
+                score: f32::NEG_INFINITY,
+                expansions,
+            },
+        }
+    }
+}
+
+/// Keeps only the best-scoring hypothesis for each (coverage, last_word) pair.
+fn dedup_states(stack: &mut Vec<Hypothesis>) {
+    use std::collections::HashMap;
+    let mut best: HashMap<(u64, Option<u32>), usize> = HashMap::new();
+    let mut keep = vec![false; stack.len()];
+    for (i, h) in stack.iter().enumerate() {
+        match best.entry((h.coverage, h.last_word)) {
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(i);
+                keep[i] = true;
+            }
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                if stack[*e.get()].score < h.score {
+                    keep[*e.get()] = false;
+                    keep[i] = true;
+                    e.insert(i);
+                }
+            }
+        }
+    }
+    let mut idx = 0;
+    stack.retain(|_| {
+        let k = keep[idx];
+        idx += 1;
+        k
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ModelConfig;
+
+    fn decoder() -> Decoder {
+        let config = ModelConfig::small();
+        Decoder::new(
+            PhraseTable::new(config.clone()),
+            LanguageModel::train_synthetic(&config, 1_000),
+            DecoderConfig {
+                beam_width: 12,
+                ..DecoderConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn empty_sentence_translates_to_empty() {
+        let d = decoder();
+        let t = d.translate(&[]);
+        assert!(t.target.is_empty());
+        assert_eq!(t.expansions, 0);
+    }
+
+    #[test]
+    fn translation_covers_the_sentence() {
+        let d = decoder();
+        let t = d.translate(&[1, 2, 3, 4, 5]);
+        assert!(!t.target.is_empty());
+        assert!(t.score.is_finite());
+        assert!(t.expansions > 10);
+        // Target length is within a reasonable factor of the source length.
+        assert!(t.target.len() >= 3 && t.target.len() <= 20);
+    }
+
+    #[test]
+    fn decoding_is_deterministic() {
+        let d = decoder();
+        let a = d.translate(&[7, 8, 9, 10]);
+        let b = d.translate(&[7, 8, 9, 10]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn longer_sentences_cost_more() {
+        let d = decoder();
+        let short = d.translate(&[1, 2, 3]);
+        let long = d.translate(&[1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12]);
+        assert!(long.expansions > short.expansions * 2);
+    }
+
+    #[test]
+    fn wider_beam_scores_at_least_as_well() {
+        let config = ModelConfig::small();
+        let narrow = Decoder::new(
+            PhraseTable::new(config.clone()),
+            LanguageModel::train_synthetic(&config, 1_000),
+            DecoderConfig {
+                beam_width: 2,
+                ..DecoderConfig::default()
+            },
+        );
+        let wide = Decoder::new(
+            PhraseTable::new(config.clone()),
+            LanguageModel::train_synthetic(&config, 1_000),
+            DecoderConfig {
+                beam_width: 64,
+                ..DecoderConfig::default()
+            },
+        );
+        let sentence = [3u32, 14, 15, 92, 6, 53];
+        assert!(wide.translate(&sentence).score >= narrow.translate(&sentence).score - 1e-3);
+    }
+}

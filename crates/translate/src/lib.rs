@@ -1,0 +1,37 @@
+//! The moses substitute: phrase-based statistical machine translation.
+//!
+//! TailBench drives moses' phrase-based decoder with dialogue snippets (paper §III).
+//! This crate implements the same decoding pipeline from scratch:
+//!
+//! * [`model`] — a synthetic phrase table, a bigram language model with backoff trained
+//!   on a synthetic target corpus, and a dialogue-sentence generator;
+//! * [`decoder`] — the stack-based beam-search decoder with histogram pruning, hypothesis
+//!   recombination and a distortion limit;
+//! * [`service`] — the harness adapter ([`MosesApp`]) and request factory.
+//!
+//! # Example
+//!
+//! ```
+//! use tailbench_translate::decoder::{Decoder, DecoderConfig};
+//! use tailbench_translate::model::{LanguageModel, ModelConfig, PhraseTable};
+//!
+//! let config = ModelConfig::small();
+//! let decoder = Decoder::new(
+//!     PhraseTable::new(config.clone()),
+//!     LanguageModel::train_synthetic(&config, 500),
+//!     DecoderConfig::default(),
+//! );
+//! let translation = decoder.translate(&[1, 2, 3]);
+//! assert!(!translation.target.is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod decoder;
+pub mod model;
+pub mod service;
+
+pub use decoder::{Decoder, DecoderConfig, Translation};
+pub use model::{LanguageModel, ModelConfig, PhraseTable, SentenceGenerator};
+pub use service::{MosesApp, TranslateRequestFactory};

@@ -1,0 +1,299 @@
+//! Translation models: phrase table and n-gram language model.
+//!
+//! moses is a phrase-based statistical machine translation decoder: it segments the
+//! source sentence into phrases, looks up translation options in a *phrase table*, and
+//! scores candidate target sentences with a *language model* plus translation and
+//! distortion scores.  This module provides synthetic but structurally faithful versions
+//! of both models: a phrase table over a synthetic bilingual vocabulary with several
+//! translation options per phrase, and a bigram language model with backoff, trained on a
+//! synthetic target-language corpus generated from the same vocabulary.
+
+use std::collections::HashMap;
+use tailbench_workloads::rng::{seeded_rng, SuiteRng};
+use tailbench_workloads::zipf::Zipfian;
+use rand::Rng;
+
+/// A translation option for a source phrase.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TranslationOption {
+    /// Target-language word ids.
+    pub target: Vec<u32>,
+    /// Log translation probability (negative).
+    pub log_prob: f32,
+}
+
+/// Configuration of the synthetic translation model.
+#[derive(Debug, Clone)]
+pub struct ModelConfig {
+    /// Source vocabulary size.
+    pub source_vocab: u32,
+    /// Target vocabulary size.
+    pub target_vocab: u32,
+    /// Maximum source phrase length covered by the phrase table.
+    pub max_phrase_len: usize,
+    /// Translation options generated per source phrase.
+    pub options_per_phrase: usize,
+    /// Seed for model synthesis.
+    pub seed: u64,
+}
+
+impl Default for ModelConfig {
+    fn default() -> Self {
+        ModelConfig {
+            source_vocab: 20_000,
+            target_vocab: 20_000,
+            max_phrase_len: 3,
+            options_per_phrase: 8,
+            seed: 0x5E7,
+        }
+    }
+}
+
+impl ModelConfig {
+    /// A small configuration for unit tests.
+    #[must_use]
+    pub fn small() -> Self {
+        ModelConfig {
+            source_vocab: 500,
+            target_vocab: 500,
+            max_phrase_len: 2,
+            options_per_phrase: 4,
+            seed: 3,
+        }
+    }
+}
+
+/// Phrase table: maps source word sequences to translation options.
+///
+/// Options are synthesized on demand from a deterministic hash of the source phrase, so
+/// the table covers the whole (exponentially large) phrase space without materializing
+/// it, while remaining reproducible — the same source phrase always yields the same
+/// options and probabilities.  This mirrors how a real phrase table behaves from the
+/// decoder's perspective (a lookup returning a handful of scored options).
+#[derive(Debug, Clone)]
+pub struct PhraseTable {
+    config: ModelConfig,
+}
+
+impl PhraseTable {
+    /// Creates a phrase table for the given configuration.
+    #[must_use]
+    pub fn new(config: ModelConfig) -> Self {
+        PhraseTable { config }
+    }
+
+    /// The model configuration.
+    #[must_use]
+    pub fn config(&self) -> &ModelConfig {
+        &self.config
+    }
+
+    fn phrase_hash(phrase: &[u32]) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for &w in phrase {
+            h ^= u64::from(w);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+
+    /// Looks up the translation options for a source phrase.  Phrases longer than the
+    /// configured maximum have no entry.
+    #[must_use]
+    pub fn lookup(&self, phrase: &[u32]) -> Vec<TranslationOption> {
+        if phrase.is_empty() || phrase.len() > self.config.max_phrase_len {
+            return Vec::new();
+        }
+        let h = Self::phrase_hash(phrase);
+        let n = self.config.options_per_phrase;
+        (0..n)
+            .map(|i| {
+                let mut x = h.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i as u64 + 1));
+                x ^= x >> 29;
+                x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                x ^= x >> 32;
+                // Target phrase length: same as source +-1.
+                let len = (phrase.len() as i64 + (x % 3) as i64 - 1).clamp(1, 4) as usize;
+                let target = (0..len)
+                    .map(|j| ((x >> (j * 8)) as u32) % self.config.target_vocab)
+                    .collect();
+                // More likely options come first; log-probs spread over about 4 nats with
+                // a small per-option perturbation that never reorders options.
+                let log_prob = -0.5 - 0.5 * i as f32 - 0.4 * ((x >> 48) as f32 / 65_536.0);
+                TranslationOption { target, log_prob }
+            })
+            .collect()
+    }
+}
+
+/// A bigram language model with stupid-backoff smoothing over the target vocabulary.
+#[derive(Debug, Clone)]
+pub struct LanguageModel {
+    unigram_log_prob: Vec<f32>,
+    bigram_log_prob: HashMap<(u32, u32), f32>,
+    backoff_log: f32,
+    vocab: u32,
+}
+
+impl LanguageModel {
+    /// Trains the model on a synthetic target-language corpus of `sentences` sentences
+    /// drawn from a Zipfian vocabulary (natural-language-like frequencies).
+    #[must_use]
+    pub fn train_synthetic(config: &ModelConfig, sentences: usize) -> Self {
+        let mut rng = seeded_rng(config.seed, 7);
+        let dist = Zipfian::new(u64::from(config.target_vocab), 0.9);
+        let mut unigram_counts = vec![1u64; config.target_vocab as usize]; // add-one smoothing
+        let mut bigram_counts: HashMap<(u32, u32), u64> = HashMap::new();
+        let mut total = config.target_vocab as u64;
+        for _ in 0..sentences {
+            let len = rng.gen_range(4..=18);
+            let mut prev: Option<u32> = None;
+            for _ in 0..len {
+                let w = dist.sample(&mut rng) as u32;
+                unigram_counts[w as usize] += 1;
+                total += 1;
+                if let Some(p) = prev {
+                    *bigram_counts.entry((p, w)).or_insert(0) += 1;
+                }
+                prev = Some(w);
+            }
+        }
+        let unigram_log_prob = unigram_counts
+            .iter()
+            .map(|&c| ((c as f64 / total as f64) as f32).ln())
+            .collect::<Vec<_>>();
+        let bigram_log_prob = bigram_counts
+            .into_iter()
+            .map(|((a, b), c)| {
+                let denom = unigram_counts[a as usize];
+                ((a, b), ((c as f64 / denom as f64) as f32).ln())
+            })
+            .collect();
+        LanguageModel {
+            unigram_log_prob,
+            bigram_log_prob,
+            backoff_log: (0.4f32).ln(),
+            vocab: config.target_vocab,
+        }
+    }
+
+    /// Vocabulary size.
+    #[must_use]
+    pub fn vocab(&self) -> u32 {
+        self.vocab
+    }
+
+    /// Log probability of `word` following `prev` (unigram with backoff when the bigram
+    /// was never observed).
+    #[must_use]
+    pub fn log_prob(&self, prev: Option<u32>, word: u32) -> f32 {
+        if word >= self.vocab {
+            return -20.0;
+        }
+        match prev {
+            Some(p) => match self.bigram_log_prob.get(&(p, word)) {
+                Some(&lp) => lp,
+                None => self.backoff_log + self.unigram_log_prob[word as usize],
+            },
+            None => self.unigram_log_prob[word as usize],
+        }
+    }
+
+    /// Scores a whole target word sequence.
+    #[must_use]
+    pub fn score_sequence(&self, words: &[u32]) -> f32 {
+        let mut prev = None;
+        let mut total = 0.0;
+        for &w in words {
+            total += self.log_prob(prev, w);
+            prev = Some(w);
+        }
+        total
+    }
+}
+
+/// Generates synthetic source-language sentences (the request stream for moses).
+#[derive(Debug)]
+pub struct SentenceGenerator {
+    dist: Zipfian,
+    min_len: usize,
+    max_len: usize,
+}
+
+impl SentenceGenerator {
+    /// Creates a generator of source sentences of `min_len..=max_len` words.
+    #[must_use]
+    pub fn new(config: &ModelConfig, min_len: usize, max_len: usize) -> Self {
+        SentenceGenerator {
+            dist: Zipfian::new(u64::from(config.source_vocab), 0.9),
+            min_len: min_len.max(1),
+            max_len: max_len.max(min_len.max(1)),
+        }
+    }
+
+    /// Dialogue-like defaults (3–20 words), matching the opensubtitles snippets the paper
+    /// uses.
+    #[must_use]
+    pub fn dialogue(config: &ModelConfig) -> Self {
+        Self::new(config, 3, 20)
+    }
+
+    /// Draws the next source sentence.
+    pub fn next_sentence(&self, rng: &mut SuiteRng) -> Vec<u32> {
+        let len = rng.gen_range(self.min_len..=self.max_len);
+        (0..len).map(|_| self.dist.sample(rng) as u32).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phrase_table_lookup_is_deterministic_and_bounded() {
+        let table = PhraseTable::new(ModelConfig::small());
+        let a = table.lookup(&[1, 2]);
+        let b = table.lookup(&[1, 2]);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 4);
+        assert!(a.iter().all(|o| !o.target.is_empty() && o.target.len() <= 4));
+        assert!(a.iter().all(|o| o.log_prob < 0.0));
+        // Options are ordered from most to least probable.
+        assert!(a.windows(2).all(|w| w[0].log_prob >= w[1].log_prob));
+        assert!(table.lookup(&[]).is_empty());
+        assert!(table.lookup(&[1, 2, 3, 4]).is_empty());
+    }
+
+    #[test]
+    fn different_phrases_get_different_options() {
+        let table = PhraseTable::new(ModelConfig::small());
+        assert_ne!(table.lookup(&[1]), table.lookup(&[2]));
+    }
+
+    #[test]
+    fn language_model_probabilities_are_sane() {
+        let config = ModelConfig::small();
+        let lm = LanguageModel::train_synthetic(&config, 2_000);
+        assert_eq!(lm.vocab(), 500);
+        // All log probs are negative; frequent words are more likely than rare ones.
+        assert!(lm.log_prob(None, 0) < 0.0);
+        assert!(lm.log_prob(None, 0) > lm.log_prob(None, 499));
+        // Out-of-vocabulary words get a floor.
+        assert_eq!(lm.log_prob(None, 10_000), -20.0);
+        // Sequence scores add up.
+        let s = lm.score_sequence(&[0, 1, 2]);
+        assert!(s < 0.0 && s.is_finite());
+    }
+
+    #[test]
+    fn sentence_generator_respects_length_bounds() {
+        let config = ModelConfig::small();
+        let gen = SentenceGenerator::dialogue(&config);
+        let mut rng = seeded_rng(1, 0);
+        for _ in 0..200 {
+            let s = gen.next_sentence(&mut rng);
+            assert!((3..=20).contains(&s.len()));
+            assert!(s.iter().all(|&w| w < config.source_vocab));
+        }
+    }
+}

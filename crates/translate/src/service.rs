@@ -1,0 +1,190 @@
+//! moses as a TailBench application.
+
+use crate::decoder::{Decoder, DecoderConfig, Translation};
+use crate::model::{LanguageModel, ModelConfig, PhraseTable, SentenceGenerator};
+use tailbench_core::app::{RequestFactory, ServerApp};
+use tailbench_core::request::{Response, WorkProfile};
+use tailbench_workloads::rng::{seeded_rng, SuiteRng};
+
+/// Wire encoding of translation requests/responses (plain `u32` word-id sequences).
+pub mod codec {
+    /// Encodes a word-id sequence.
+    #[must_use]
+    pub fn encode_words(words: &[u32]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(2 + words.len() * 4);
+        out.extend_from_slice(&(words.len() as u16).to_le_bytes());
+        for w in words {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+        out
+    }
+
+    /// Decodes a word-id sequence; `None` if malformed.
+    #[must_use]
+    pub fn decode_words(payload: &[u8]) -> Option<Vec<u32>> {
+        if payload.len() < 2 {
+            return None;
+        }
+        let n = u16::from_le_bytes(payload[..2].try_into().ok()?) as usize;
+        let body = payload.get(2..2 + n * 4)?;
+        Some(
+            (0..n)
+                .map(|i| u32::from_le_bytes(body[i * 4..i * 4 + 4].try_into().unwrap()))
+                .collect(),
+        )
+    }
+}
+
+/// The moses-substitute machine translation application.
+#[derive(Debug)]
+pub struct MosesApp {
+    decoder: Decoder,
+}
+
+impl MosesApp {
+    /// Builds the phrase table and language model and wraps them in a decoder.
+    #[must_use]
+    pub fn new(model_config: ModelConfig, decoder_config: DecoderConfig) -> Self {
+        let table = PhraseTable::new(model_config.clone());
+        let lm = LanguageModel::train_synthetic(&model_config, 5_000);
+        MosesApp {
+            decoder: Decoder::new(table, lm, decoder_config),
+        }
+    }
+
+    /// Default full-scale configuration.
+    #[must_use]
+    pub fn standard() -> Self {
+        Self::new(ModelConfig::default(), DecoderConfig::default())
+    }
+
+    /// Reduced configuration for tests.
+    #[must_use]
+    pub fn small() -> Self {
+        Self::new(
+            ModelConfig::small(),
+            DecoderConfig {
+                beam_width: 8,
+                ..DecoderConfig::default()
+            },
+        )
+    }
+
+    fn work_profile(&self, translation: &Translation) -> WorkProfile {
+        // Each hypothesis expansion touches the phrase-table entry, the LM hash table and
+        // the hypothesis stack: ~150 instructions and ~6 memory reads, with a large and
+        // poorly cached footprint (moses is the most memory-intensive app in Table I).
+        let e = translation.expansions;
+        WorkProfile {
+            instructions: 5_000 + 150 * e,
+            mem_reads: 100 + 6 * e,
+            mem_writes: 50 + 2 * e,
+            footprint_bytes: 64 * 1024 + 96 * e,
+            locality: 0.25,
+            critical_fraction: 0.02,
+        }
+    }
+}
+
+impl ServerApp for MosesApp {
+    fn name(&self) -> &str {
+        "moses"
+    }
+
+    fn handle(&self, payload: &[u8]) -> Response {
+        let Some(source) = codec::decode_words(payload) else {
+            return Response::new(vec![0xFF]);
+        };
+        let translation = self.decoder.translate(&source);
+        let work = self.work_profile(&translation);
+        Response::with_work(codec::encode_words(&translation.target), work)
+    }
+}
+
+/// Generates dialogue-snippet translation requests.
+#[derive(Debug)]
+pub struct TranslateRequestFactory {
+    generator: SentenceGenerator,
+    rng: SuiteRng,
+}
+
+impl TranslateRequestFactory {
+    /// Creates a factory matching the given model configuration.
+    #[must_use]
+    pub fn new(model_config: &ModelConfig, seed: u64) -> Self {
+        TranslateRequestFactory {
+            generator: SentenceGenerator::dialogue(model_config),
+            rng: seeded_rng(seed, 300),
+        }
+    }
+}
+
+impl RequestFactory for TranslateRequestFactory {
+    fn next_request(&mut self) -> Vec<u8> {
+        codec::encode_words(&self.generator.next_sentence(&mut self.rng))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codec_round_trips() {
+        let words = vec![1u32, 500, 19_999];
+        assert_eq!(codec::decode_words(&codec::encode_words(&words)), Some(words));
+        assert_eq!(codec::decode_words(&[5]), None);
+    }
+
+    #[test]
+    fn app_translates_requests() {
+        let app = MosesApp::small();
+        let resp = app.handle(&codec::encode_words(&[1, 2, 3, 4, 5, 6]));
+        let target = codec::decode_words(&resp.payload).unwrap();
+        assert!(!target.is_empty());
+        assert!(resp.work.instructions > 5_000);
+        assert!(resp.work.locality < 0.5, "moses is memory-intensive");
+    }
+
+    #[test]
+    fn malformed_request_is_rejected() {
+        let app = MosesApp::small();
+        assert_eq!(app.handle(&[9]).payload, vec![0xFF]);
+    }
+
+    #[test]
+    fn longer_sentences_report_more_work() {
+        let app = MosesApp::small();
+        let short = app.handle(&codec::encode_words(&[1, 2, 3]));
+        let long = app.handle(&codec::encode_words(&(0u32..14).collect::<Vec<_>>()));
+        assert!(long.work.instructions > short.work.instructions);
+    }
+
+    #[test]
+    fn factory_produces_valid_sentences() {
+        let config = ModelConfig::small();
+        let mut factory = TranslateRequestFactory::new(&config, 4);
+        for _ in 0..50 {
+            let words = codec::decode_words(&factory.next_request()).unwrap();
+            assert!((3..=20).contains(&words.len()));
+        }
+    }
+
+    #[test]
+    fn end_to_end_through_harness() {
+        use std::sync::Arc;
+        use tailbench_core::config::BenchmarkConfig;
+
+        let app: Arc<dyn ServerApp> = Arc::new(MosesApp::small());
+        let config = ModelConfig::small();
+        let mut factory = TranslateRequestFactory::new(&config, 8);
+        let report = tailbench_core::runner::run(
+            &app,
+            &mut factory,
+            &BenchmarkConfig::new(200.0, 120).with_warmup(10),
+        )
+        .unwrap();
+        assert_eq!(report.app, "moses");
+        assert!(report.requests > 100);
+    }
+}

@@ -1,0 +1,149 @@
+//! Request interarrival-time generators.
+//!
+//! The TailBench traffic shaper is open-loop: it emits requests at times drawn from a
+//! Poisson process (exponentially distributed interarrival gaps) with a configurable rate,
+//! which prior work showed models datacenter traffic well (paper §IV-A).  A deterministic
+//! (uniformly spaced) generator is also provided for debugging and for ablations that
+//! isolate queueing randomness.
+
+use crate::rng::SuiteRng;
+use rand::Rng;
+use std::time::Duration;
+
+/// A source of interarrival gaps between consecutive requests.
+#[derive(Debug, Clone)]
+pub enum InterarrivalProcess {
+    /// Poisson arrivals: exponentially distributed gaps with the given mean.
+    Exponential {
+        /// Mean gap between requests, in nanoseconds.
+        mean_ns: f64,
+    },
+    /// Uniformly spaced arrivals (every gap identical).
+    Deterministic {
+        /// Fixed gap between requests, in nanoseconds.
+        gap_ns: u64,
+    },
+}
+
+impl InterarrivalProcess {
+    /// Creates a Poisson arrival process with the given request rate in queries/second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `qps` is not finite and positive.
+    #[must_use]
+    pub fn poisson(qps: f64) -> Self {
+        assert!(qps.is_finite() && qps > 0.0, "qps must be positive, got {qps}");
+        InterarrivalProcess::Exponential {
+            mean_ns: 1e9 / qps,
+        }
+    }
+
+    /// Creates a deterministic arrival process with the given request rate in
+    /// queries/second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `qps` is not finite and positive.
+    #[must_use]
+    pub fn uniform(qps: f64) -> Self {
+        assert!(qps.is_finite() && qps > 0.0, "qps must be positive, got {qps}");
+        InterarrivalProcess::Deterministic {
+            gap_ns: (1e9 / qps).round().max(1.0) as u64,
+        }
+    }
+
+    /// The configured mean request rate in queries per second.
+    #[must_use]
+    pub fn qps(&self) -> f64 {
+        match self {
+            InterarrivalProcess::Exponential { mean_ns } => 1e9 / mean_ns,
+            InterarrivalProcess::Deterministic { gap_ns } => 1e9 / *gap_ns as f64,
+        }
+    }
+
+    /// Draws the next interarrival gap in nanoseconds.
+    pub fn next_gap_ns(&self, rng: &mut SuiteRng) -> u64 {
+        match self {
+            InterarrivalProcess::Exponential { mean_ns } => {
+                // Inverse-CDF sampling; guard against u == 0 which would give infinity.
+                let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                (-u.ln() * mean_ns).round() as u64
+            }
+            InterarrivalProcess::Deterministic { gap_ns } => *gap_ns,
+        }
+    }
+
+    /// Draws the next interarrival gap as a [`Duration`].
+    pub fn next_gap(&self, rng: &mut SuiteRng) -> Duration {
+        Duration::from_nanos(self.next_gap_ns(rng))
+    }
+
+    /// Generates the absolute issue times (in nanoseconds from 0) for `n` requests.
+    pub fn schedule(&self, rng: &mut SuiteRng, n: usize) -> Vec<u64> {
+        let mut t = 0u64;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            t = t.saturating_add(self.next_gap_ns(rng));
+            out.push(t);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded_rng;
+
+    #[test]
+    fn poisson_mean_matches_rate() {
+        let p = InterarrivalProcess::poisson(10_000.0); // 100 us mean gap
+        let mut rng = seeded_rng(7, 0);
+        let n = 200_000;
+        let total: f64 = (0..n).map(|_| p.next_gap_ns(&mut rng) as f64).sum();
+        let mean = total / n as f64;
+        assert!((mean - 100_000.0).abs() / 100_000.0 < 0.02, "mean = {mean}");
+    }
+
+    #[test]
+    fn poisson_coefficient_of_variation_near_one() {
+        let p = InterarrivalProcess::poisson(1_000.0);
+        let mut rng = seeded_rng(11, 0);
+        let samples: Vec<f64> = (0..100_000).map(|_| p.next_gap_ns(&mut rng) as f64).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>()
+            / (samples.len() as f64 - 1.0);
+        let cv = var.sqrt() / mean;
+        assert!((cv - 1.0).abs() < 0.05, "cv = {cv}");
+    }
+
+    #[test]
+    fn deterministic_gaps_are_constant() {
+        let p = InterarrivalProcess::uniform(2_000.0);
+        let mut rng = seeded_rng(3, 0);
+        let gaps: Vec<u64> = (0..10).map(|_| p.next_gap_ns(&mut rng)).collect();
+        assert!(gaps.iter().all(|&g| g == 500_000));
+    }
+
+    #[test]
+    fn qps_round_trips() {
+        assert!((InterarrivalProcess::poisson(1234.0).qps() - 1234.0).abs() < 1e-6);
+        assert!((InterarrivalProcess::uniform(1000.0).qps() - 1000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn schedule_is_monotonic() {
+        let p = InterarrivalProcess::poisson(50_000.0);
+        let mut rng = seeded_rng(5, 1);
+        let sched = p.schedule(&mut rng, 1000);
+        assert_eq!(sched.len(), 1000);
+        assert!(sched.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "qps must be positive")]
+    fn zero_qps_panics() {
+        let _ = InterarrivalProcess::poisson(0.0);
+    }
+}

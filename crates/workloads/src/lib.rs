@@ -1,0 +1,45 @@
+//! Synthetic workload and input generation for TailBench-RS.
+//!
+//! Each TailBench application is driven by an input set with a specific statistical
+//! structure (paper Table I): Zipfian query popularity for search, a 50/50 YCSB mix for
+//! the key-value store, TPC-C for the OLTP engines, MNIST digits for image recognition,
+//! and so on.  This crate provides from-scratch generators for all the *generic* pieces:
+//!
+//! * [`rng`] — deterministic seed derivation shared by every generator.
+//! * [`interarrival`] — open-loop Poisson (and deterministic) request arrival processes.
+//! * [`zipf`] — Zipfian and scrambled-Zipfian popularity distributions.
+//! * [`text`] — a synthetic Wikipedia-like corpus and Zipfian query generator (xapian).
+//! * [`ycsb`] — the mycsb-a key-value operation mix (masstree).
+//! * [`tpcc`] — TPC-C transaction input generation (silo, shore).
+//! * [`mnist`] — synthetic MNIST-like digit images (img-dnn).
+//!
+//! Domain-specific synthesis that must stay consistent with an application's internal
+//! model (speech utterances, translation sentences, SPECjbb business requests) lives in
+//! the respective application crate.
+//!
+//! # Example
+//!
+//! ```
+//! use tailbench_workloads::interarrival::InterarrivalProcess;
+//! use tailbench_workloads::rng::seeded_rng;
+//!
+//! let arrivals = InterarrivalProcess::poisson(1_000.0); // 1000 QPS
+//! let mut rng = seeded_rng(42, 0);
+//! let schedule = arrivals.schedule(&mut rng, 100);
+//! assert_eq!(schedule.len(), 100);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod interarrival;
+pub mod mnist;
+pub mod rng;
+pub mod text;
+pub mod tpcc;
+pub mod ycsb;
+pub mod zipf;
+
+pub use interarrival::InterarrivalProcess;
+pub use rng::{seeded_rng, SuiteRng};
+pub use zipf::{ScrambledZipfian, Zipfian};

@@ -1,0 +1,232 @@
+//! Synthetic MNIST-like handwritten digits.
+//!
+//! img-dnn is driven by the MNIST database (paper Table I).  We cannot ship MNIST, so this
+//! module synthesizes 28×28 grayscale digit images from per-digit stroke templates with
+//! random jitter, translation and noise.  The resulting classification task has the same
+//! input dimensionality and a comparable difficulty profile, which is all the benchmark
+//! needs: img-dnn's service time is dominated by the fixed-topology forward pass, not by
+//! which pixels are lit.
+
+use crate::rng::SuiteRng;
+use rand::Rng;
+
+/// Image side length (MNIST format).
+pub const IMAGE_SIDE: usize = 28;
+/// Number of pixels per image.
+pub const IMAGE_PIXELS: usize = IMAGE_SIDE * IMAGE_SIDE;
+/// Number of digit classes.
+pub const NUM_CLASSES: usize = 10;
+
+/// A synthetic digit image with its ground-truth label.
+#[derive(Debug, Clone)]
+pub struct DigitImage {
+    /// Pixel intensities in `[0, 1]`, row-major, 28×28.
+    pub pixels: Vec<f32>,
+    /// Ground-truth digit, `0..=9`.
+    pub label: u8,
+}
+
+/// Per-digit stroke templates: each digit is a polyline list in the unit square.
+fn strokes(digit: u8) -> Vec<[(f32, f32); 2]> {
+    // Hand-crafted seven-segment-style skeletons; enough structure for a classifier to
+    // separate classes after training on the same generator.
+    let seg = |a: (f32, f32), b: (f32, f32)| [a, b];
+    match digit {
+        0 => vec![
+            seg((0.3, 0.2), (0.7, 0.2)),
+            seg((0.7, 0.2), (0.7, 0.8)),
+            seg((0.7, 0.8), (0.3, 0.8)),
+            seg((0.3, 0.8), (0.3, 0.2)),
+        ],
+        1 => vec![seg((0.5, 0.2), (0.5, 0.8)), seg((0.4, 0.3), (0.5, 0.2))],
+        2 => vec![
+            seg((0.3, 0.3), (0.7, 0.2)),
+            seg((0.7, 0.2), (0.7, 0.5)),
+            seg((0.7, 0.5), (0.3, 0.8)),
+            seg((0.3, 0.8), (0.7, 0.8)),
+        ],
+        3 => vec![
+            seg((0.3, 0.2), (0.7, 0.2)),
+            seg((0.7, 0.2), (0.7, 0.8)),
+            seg((0.3, 0.5), (0.7, 0.5)),
+            seg((0.3, 0.8), (0.7, 0.8)),
+        ],
+        4 => vec![
+            seg((0.3, 0.2), (0.3, 0.5)),
+            seg((0.3, 0.5), (0.7, 0.5)),
+            seg((0.7, 0.2), (0.7, 0.8)),
+        ],
+        5 => vec![
+            seg((0.7, 0.2), (0.3, 0.2)),
+            seg((0.3, 0.2), (0.3, 0.5)),
+            seg((0.3, 0.5), (0.7, 0.5)),
+            seg((0.7, 0.5), (0.7, 0.8)),
+            seg((0.7, 0.8), (0.3, 0.8)),
+        ],
+        6 => vec![
+            seg((0.7, 0.2), (0.3, 0.3)),
+            seg((0.3, 0.3), (0.3, 0.8)),
+            seg((0.3, 0.8), (0.7, 0.8)),
+            seg((0.7, 0.8), (0.7, 0.5)),
+            seg((0.7, 0.5), (0.3, 0.5)),
+        ],
+        7 => vec![seg((0.3, 0.2), (0.7, 0.2)), seg((0.7, 0.2), (0.4, 0.8))],
+        8 => vec![
+            seg((0.3, 0.2), (0.7, 0.2)),
+            seg((0.7, 0.2), (0.7, 0.8)),
+            seg((0.7, 0.8), (0.3, 0.8)),
+            seg((0.3, 0.8), (0.3, 0.2)),
+            seg((0.3, 0.5), (0.7, 0.5)),
+        ],
+        _ => vec![
+            seg((0.3, 0.2), (0.7, 0.2)),
+            seg((0.7, 0.2), (0.7, 0.8)),
+            seg((0.3, 0.2), (0.3, 0.5)),
+            seg((0.3, 0.5), (0.7, 0.5)),
+        ],
+    }
+}
+
+/// Generator of synthetic digit images.
+#[derive(Debug, Clone)]
+pub struct DigitGenerator {
+    noise: f32,
+    jitter: f32,
+}
+
+impl Default for DigitGenerator {
+    fn default() -> Self {
+        DigitGenerator {
+            noise: 0.08,
+            jitter: 0.06,
+        }
+    }
+}
+
+impl DigitGenerator {
+    /// Creates a generator with the given pixel-noise amplitude and stroke jitter (both
+    /// as fractions of the image size).
+    #[must_use]
+    pub fn new(noise: f32, jitter: f32) -> Self {
+        DigitGenerator { noise, jitter }
+    }
+
+    /// Generates one image of the requested digit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `digit > 9`.
+    pub fn generate_digit(&self, rng: &mut SuiteRng, digit: u8) -> DigitImage {
+        assert!(digit < 10, "digit must be 0..=9");
+        let mut pixels = vec![0.0f32; IMAGE_PIXELS];
+        let dx: f32 = rng.gen_range(-self.jitter..=self.jitter);
+        let dy: f32 = rng.gen_range(-self.jitter..=self.jitter);
+        let scale: f32 = rng.gen_range(0.85..=1.1);
+        for [a, b] in strokes(digit) {
+            let a = (0.5 + (a.0 - 0.5) * scale + dx, 0.5 + (a.1 - 0.5) * scale + dy);
+            let b = (0.5 + (b.0 - 0.5) * scale + dx, 0.5 + (b.1 - 0.5) * scale + dy);
+            rasterize_segment(&mut pixels, a, b);
+        }
+        if self.noise > 0.0 {
+            for p in &mut pixels {
+                let n: f32 = rng.gen_range(0.0..self.noise);
+                *p = (*p + n).clamp(0.0, 1.0);
+            }
+        }
+        DigitImage {
+            pixels,
+            label: digit,
+        }
+    }
+
+    /// Generates one image of a uniformly random digit.
+    pub fn generate(&self, rng: &mut SuiteRng) -> DigitImage {
+        let digit = rng.gen_range(0..NUM_CLASSES as u8);
+        self.generate_digit(rng, digit)
+    }
+
+    /// Generates a labelled dataset of `n` images.
+    pub fn dataset(&self, rng: &mut SuiteRng, n: usize) -> Vec<DigitImage> {
+        (0..n).map(|_| self.generate(rng)).collect()
+    }
+}
+
+/// Draws an anti-aliased thick line segment into the pixel buffer.
+fn rasterize_segment(pixels: &mut [f32], a: (f32, f32), b: (f32, f32)) {
+    let steps = 48;
+    let thickness = 1.4f32;
+    for s in 0..=steps {
+        let t = s as f32 / steps as f32;
+        let x = (a.0 + (b.0 - a.0) * t) * IMAGE_SIDE as f32;
+        let y = (a.1 + (b.1 - a.1) * t) * IMAGE_SIDE as f32;
+        let x0 = (x - thickness).floor().max(0.0) as usize;
+        let x1 = (x + thickness).ceil().min(IMAGE_SIDE as f32 - 1.0) as usize;
+        let y0 = (y - thickness).floor().max(0.0) as usize;
+        let y1 = (y + thickness).ceil().min(IMAGE_SIDE as f32 - 1.0) as usize;
+        for py in y0..=y1 {
+            for px in x0..=x1 {
+                let d2 = (px as f32 + 0.5 - x).powi(2) + (py as f32 + 0.5 - y).powi(2);
+                let intensity = (1.0 - d2 / (thickness * thickness)).max(0.0);
+                let idx = py * IMAGE_SIDE + px;
+                pixels[idx] = pixels[idx].max(intensity);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded_rng;
+
+    #[test]
+    fn images_have_correct_shape_and_range() {
+        let gen = DigitGenerator::default();
+        let mut rng = seeded_rng(1, 0);
+        for d in 0..10u8 {
+            let img = gen.generate_digit(&mut rng, d);
+            assert_eq!(img.pixels.len(), IMAGE_PIXELS);
+            assert_eq!(img.label, d);
+            assert!(img.pixels.iter().all(|&p| (0.0..=1.0).contains(&p)));
+            // The digit must actually light up a meaningful number of pixels.
+            let lit = img.pixels.iter().filter(|&&p| p > 0.5).count();
+            assert!(lit > 20, "digit {d} has only {lit} lit pixels");
+        }
+    }
+
+    #[test]
+    fn different_digits_have_different_shapes() {
+        let gen = DigitGenerator::new(0.0, 0.0);
+        let mut rng = seeded_rng(2, 0);
+        let zero = gen.generate_digit(&mut rng, 0);
+        let one = gen.generate_digit(&mut rng, 1);
+        let diff: f32 = zero
+            .pixels
+            .iter()
+            .zip(one.pixels.iter())
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        assert!(diff > 20.0, "digit 0 and 1 are nearly identical (diff = {diff})");
+    }
+
+    #[test]
+    fn dataset_covers_all_classes() {
+        let gen = DigitGenerator::default();
+        let mut rng = seeded_rng(3, 0);
+        let data = gen.dataset(&mut rng, 500);
+        assert_eq!(data.len(), 500);
+        let mut seen = [false; 10];
+        for img in &data {
+            seen[img.label as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    #[should_panic(expected = "digit must be")]
+    fn invalid_digit_panics() {
+        let gen = DigitGenerator::default();
+        let mut rng = seeded_rng(4, 0);
+        let _ = gen.generate_digit(&mut rng, 10);
+    }
+}

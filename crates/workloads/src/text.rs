@@ -1,0 +1,212 @@
+//! Synthetic text corpora and search queries.
+//!
+//! The paper drives xapian with an index built from an English Wikipedia dump and queries
+//! whose term popularity is Zipfian.  We cannot ship Wikipedia, so this module generates a
+//! corpus with the same statistical structure: a vocabulary whose word frequencies follow
+//! Zipf's law (as natural language does), documents of log-normally distributed length,
+//! and queries whose terms are drawn from the same Zipfian popularity distribution.  The
+//! resulting postings-list length distribution — which is what determines xapian's
+//! service-time distribution — is therefore shaped like the real workload's.
+
+use crate::rng::SuiteRng;
+use crate::zipf::Zipfian;
+use rand::Rng;
+
+/// Configuration for the synthetic corpus.
+#[derive(Debug, Clone)]
+pub struct CorpusConfig {
+    /// Number of documents to generate.
+    pub documents: usize,
+    /// Vocabulary size (distinct terms).
+    pub vocabulary: usize,
+    /// Mean document length in terms.
+    pub mean_doc_len: usize,
+    /// Zipf skew of term popularity (natural language is close to 1; we use 0.9).
+    pub term_skew: f64,
+    /// Seed for corpus generation.
+    pub seed: u64,
+}
+
+impl Default for CorpusConfig {
+    fn default() -> Self {
+        CorpusConfig {
+            documents: 20_000,
+            vocabulary: 40_000,
+            mean_doc_len: 180,
+            term_skew: 0.9,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+impl CorpusConfig {
+    /// A small configuration suitable for unit tests.
+    #[must_use]
+    pub fn small() -> Self {
+        CorpusConfig {
+            documents: 300,
+            vocabulary: 2_000,
+            mean_doc_len: 60,
+            term_skew: 0.9,
+            seed: 7,
+        }
+    }
+}
+
+/// A generated document: an identifier plus its term sequence.
+#[derive(Debug, Clone)]
+pub struct Document {
+    /// Document identifier, dense from 0.
+    pub id: u32,
+    /// Term identifiers making up the document body.
+    pub terms: Vec<u32>,
+}
+
+/// A synthetic corpus plus the machinery to draw realistic queries from it.
+#[derive(Debug, Clone)]
+pub struct SyntheticCorpus {
+    config: CorpusConfig,
+    documents: Vec<Document>,
+    term_popularity: Zipfian,
+}
+
+impl SyntheticCorpus {
+    /// Generates a corpus according to `config`.
+    #[must_use]
+    pub fn generate(config: CorpusConfig) -> Self {
+        let mut rng = crate::rng::seeded_rng(config.seed, 0);
+        let term_dist = Zipfian::new(config.vocabulary as u64, config.term_skew);
+        let mut documents = Vec::with_capacity(config.documents);
+        for id in 0..config.documents {
+            // Log-normal-ish length: mean_doc_len scaled by exp of a small gaussian,
+            // approximated from uniforms to avoid a heavyweight distribution dependency.
+            let g: f64 = (0..6).map(|_| rng.gen::<f64>()).sum::<f64>() / 6.0 - 0.5; // ~N(0, 0.08)
+            let len = ((config.mean_doc_len as f64) * (1.0 + 1.6 * g)).max(8.0) as usize;
+            let terms = (0..len).map(|_| term_dist.sample(&mut rng) as u32).collect();
+            documents.push(Document { id: id as u32, terms });
+        }
+        SyntheticCorpus {
+            term_popularity: term_dist,
+            config,
+            documents,
+        }
+    }
+
+    /// The documents of the corpus.
+    #[must_use]
+    pub fn documents(&self) -> &[Document] {
+        &self.documents
+    }
+
+    /// The generation configuration.
+    #[must_use]
+    pub fn config(&self) -> &CorpusConfig {
+        &self.config
+    }
+
+    /// Total number of term occurrences across all documents.
+    #[must_use]
+    pub fn total_terms(&self) -> usize {
+        self.documents.iter().map(|d| d.terms.len()).sum()
+    }
+}
+
+/// Generates search queries whose term popularity follows the corpus' Zipfian
+/// distribution (paper: "Query terms are chosen randomly, following a Zipfian
+/// distribution").
+#[derive(Debug, Clone)]
+pub struct QueryGenerator {
+    term_popularity: Zipfian,
+    min_terms: usize,
+    max_terms: usize,
+}
+
+impl QueryGenerator {
+    /// Creates a query generator matching the given corpus, producing queries of
+    /// `min_terms..=max_terms` terms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min_terms == 0` or `min_terms > max_terms`.
+    #[must_use]
+    pub fn new(corpus: &SyntheticCorpus, min_terms: usize, max_terms: usize) -> Self {
+        assert!(min_terms >= 1 && min_terms <= max_terms);
+        QueryGenerator {
+            term_popularity: corpus.term_popularity.clone(),
+            min_terms,
+            max_terms,
+        }
+    }
+
+    /// Web-search-like defaults (1–4 terms per query).
+    #[must_use]
+    pub fn web_search(corpus: &SyntheticCorpus) -> Self {
+        Self::new(corpus, 1, 4)
+    }
+
+    /// Draws one query as a list of term identifiers.
+    pub fn next_query(&self, rng: &mut SuiteRng) -> Vec<u32> {
+        let n = rng.gen_range(self.min_terms..=self.max_terms);
+        (0..n).map(|_| self.term_popularity.sample(rng) as u32).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded_rng;
+
+    #[test]
+    fn corpus_has_requested_shape() {
+        let cfg = CorpusConfig::small();
+        let corpus = SyntheticCorpus::generate(cfg.clone());
+        assert_eq!(corpus.documents().len(), cfg.documents);
+        assert!(corpus.total_terms() > cfg.documents * 8);
+        for d in corpus.documents() {
+            assert!(!d.terms.is_empty());
+            assert!(d.terms.iter().all(|&t| (t as usize) < cfg.vocabulary));
+        }
+    }
+
+    #[test]
+    fn corpus_generation_is_deterministic() {
+        let a = SyntheticCorpus::generate(CorpusConfig::small());
+        let b = SyntheticCorpus::generate(CorpusConfig::small());
+        assert_eq!(a.documents().len(), b.documents().len());
+        assert_eq!(a.documents()[0].terms, b.documents()[0].terms);
+        assert_eq!(a.documents()[99].terms, b.documents()[99].terms);
+    }
+
+    #[test]
+    fn term_frequencies_are_skewed() {
+        let corpus = SyntheticCorpus::generate(CorpusConfig::small());
+        let mut freq = vec![0u64; corpus.config().vocabulary];
+        for d in corpus.documents() {
+            for &t in &d.terms {
+                freq[t as usize] += 1;
+            }
+        }
+        let total: u64 = freq.iter().sum();
+        let head: u64 = freq[..corpus.config().vocabulary / 10].iter().sum();
+        assert!(head as f64 / total as f64 > 0.5, "head share = {}", head as f64 / total as f64);
+    }
+
+    #[test]
+    fn queries_have_valid_terms_and_lengths() {
+        let corpus = SyntheticCorpus::generate(CorpusConfig::small());
+        let qg = QueryGenerator::web_search(&corpus);
+        let mut rng = seeded_rng(1, 0);
+        for _ in 0..100 {
+            let q = qg.next_query(&mut rng);
+            assert!((1..=4).contains(&q.len()));
+            assert!(q.iter().all(|&t| (t as usize) < corpus.config().vocabulary));
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_term_queries_rejected() {
+        let corpus = SyntheticCorpus::generate(CorpusConfig::small());
+        let _ = QueryGenerator::new(&corpus, 0, 3);
+    }
+}

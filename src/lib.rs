@@ -1,0 +1,68 @@
+//! TailBench-RS: a benchmark suite and evaluation methodology for latency-critical
+//! applications, reproduced in Rust.
+//!
+//! This facade crate re-exports the whole suite so downstream users can depend on a
+//! single crate:
+//!
+//! * [`core`] — the load-testing harness (traffic shaper, request queue, statistics
+//!   collector, the integrated / loopback / networked configurations and the
+//!   discrete-event simulation runner).
+//! * [`apps`] — the eight latency-critical applications: xapian (search), masstree
+//!   (key-value store), moses (machine translation), sphinx (speech recognition),
+//!   img-dnn (image recognition), specjbb (business middleware), silo and shore (OLTP).
+//! * [`simarch`] — the analytic microarchitecture cost model used by simulated runs.
+//! * [`queueing`] — the M/G/1 and M/G/k models used by the paper's case study.
+//! * [`histogram`] / [`workloads`] — the statistical and workload-generation substrates.
+//!
+//! # Quick start
+//!
+//! ```
+//! use std::sync::Arc;
+//! use tailbench::core::config::BenchmarkConfig;
+//! use tailbench::core::{runner, ServerApp};
+//! use tailbench::apps::kvstore::{MasstreeApp, YcsbRequestFactory};
+//! use tailbench::workloads::ycsb::YcsbConfig;
+//!
+//! let workload = YcsbConfig::small();
+//! let app: Arc<dyn ServerApp> = Arc::new(MasstreeApp::new(&workload));
+//! let mut clients = YcsbRequestFactory::new(&workload, 42);
+//! let report = runner::run(
+//!     &app,
+//!     &mut clients,
+//!     &BenchmarkConfig::new(1_000.0, 200).with_warmup(20),
+//! )?;
+//! println!("{report}");
+//! # Ok::<(), tailbench::core::HarnessError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// The load-testing harness (re-export of [`tailbench_core`]).
+pub use tailbench_core as core;
+/// HDR histograms and confidence intervals (re-export of [`tailbench_histogram`]).
+pub use tailbench_histogram as histogram;
+/// The M/G/1 and M/G/k queueing models (re-export of [`tailbench_queueing`]).
+pub use tailbench_queueing as queueing;
+/// The analytic microarchitecture model (re-export of [`tailbench_simarch`]).
+pub use tailbench_simarch as simarch;
+/// Synthetic workload generators (re-export of [`tailbench_workloads`]).
+pub use tailbench_workloads as workloads;
+
+/// The eight TailBench applications.
+pub mod apps {
+    /// img-dnn: dense-network handwriting recognition.
+    pub use tailbench_imgdnn as imgdnn;
+    /// specjbb: three-tier business middleware.
+    pub use tailbench_jbb as jbb;
+    /// masstree: in-memory ordered key-value store.
+    pub use tailbench_kvstore as kvstore;
+    /// silo and shore: OLTP engines running TPC-C.
+    pub use tailbench_oltp as oltp;
+    /// xapian: full-text web-search leaf node.
+    pub use tailbench_search as search;
+    /// sphinx: GMM-HMM speech recognition.
+    pub use tailbench_speech as speech;
+    /// moses: phrase-based statistical machine translation.
+    pub use tailbench_translate as translate;
+}

@@ -1,0 +1,123 @@
+//! Cross-crate integration tests: every application runs end-to-end through the harness
+//! in the integrated configuration, and the latency accounting is internally consistent.
+
+use std::sync::Arc;
+use tailbench::core::config::BenchmarkConfig;
+use tailbench::core::report::RunReport;
+use tailbench::core::{runner, RequestFactory, ServerApp};
+
+fn check_report_sanity(report: &RunReport, min_requests: u64) {
+    assert!(
+        report.requests >= min_requests,
+        "{}: only {} requests measured",
+        report.app,
+        report.requests
+    );
+    assert!(report.achieved_qps > 0.0);
+    assert!(report.sojourn.p50_ns <= report.sojourn.p95_ns);
+    assert!(report.sojourn.p95_ns <= report.sojourn.p99_ns);
+    assert!(report.sojourn.min_ns <= report.sojourn.p50_ns);
+    assert!(report.sojourn.p999_ns <= report.sojourn.max_ns);
+    // Sojourn includes queuing and service.
+    assert!(report.sojourn.mean_ns + 1.0 >= report.service.mean_ns);
+}
+
+fn run_integrated(
+    app: Arc<dyn ServerApp>,
+    factory: &mut dyn RequestFactory,
+    qps: f64,
+    requests: usize,
+) -> RunReport {
+    runner::run(
+        &app,
+        factory,
+        &BenchmarkConfig::new(qps, requests).with_warmup(requests / 10),
+    )
+    .expect("integrated run")
+}
+
+#[test]
+fn masstree_and_specjbb_run_through_the_harness() {
+    use tailbench::apps::jbb::{JbbRequestFactory, SpecJbbApp};
+    use tailbench::apps::kvstore::{MasstreeApp, YcsbRequestFactory};
+    use tailbench::workloads::ycsb::YcsbConfig;
+
+    let workload = YcsbConfig::small();
+    let app: Arc<dyn ServerApp> = Arc::new(MasstreeApp::new(&workload));
+    let mut factory = YcsbRequestFactory::new(&workload, 5);
+    check_report_sanity(&run_integrated(app, &mut factory, 3_000.0, 400), 300);
+
+    let jbb = SpecJbbApp::small();
+    let mut factory = JbbRequestFactory::new(jbb.company(), 5);
+    let app: Arc<dyn ServerApp> = Arc::new(jbb);
+    check_report_sanity(&run_integrated(app, &mut factory, 2_000.0, 400), 300);
+}
+
+#[test]
+fn search_translation_and_vision_run_through_the_harness() {
+    use tailbench::apps::imgdnn::{ImageRequestFactory, ImgDnnApp};
+    use tailbench::apps::search::{SearchRequestFactory, XapianApp};
+    use tailbench::apps::translate::{MosesApp, TranslateRequestFactory};
+    use tailbench::workloads::text::{CorpusConfig, SyntheticCorpus};
+
+    let corpus = SyntheticCorpus::generate(CorpusConfig::small());
+    let app: Arc<dyn ServerApp> = Arc::new(XapianApp::from_corpus(&corpus));
+    let mut factory = SearchRequestFactory::new(&corpus, 6);
+    check_report_sanity(&run_integrated(app, &mut factory, 600.0, 250), 200);
+
+    let app: Arc<dyn ServerApp> = Arc::new(MosesApp::small());
+    let model = tailbench::apps::translate::ModelConfig::small();
+    let mut factory = TranslateRequestFactory::new(&model, 6);
+    check_report_sanity(&run_integrated(app, &mut factory, 300.0, 150), 120);
+
+    let app: Arc<dyn ServerApp> = Arc::new(ImgDnnApp::small());
+    let mut factory = ImageRequestFactory::new(6);
+    check_report_sanity(&run_integrated(app, &mut factory, 500.0, 200), 160);
+}
+
+#[test]
+fn oltp_engines_run_through_the_harness() {
+    use tailbench::apps::oltp::{OltpApp, TpccRequestFactory};
+    use tailbench::workloads::tpcc::TpccConfig;
+
+    let workload = TpccConfig::small();
+    let silo: Arc<dyn ServerApp> = Arc::new(OltpApp::silo(workload.clone()));
+    let mut factory = TpccRequestFactory::new(&workload, 7);
+    check_report_sanity(&run_integrated(silo, &mut factory, 2_000.0, 400), 300);
+
+    let shore: Arc<dyn ServerApp> = Arc::new(OltpApp::shore(workload.clone(), 256));
+    let mut factory = TpccRequestFactory::new(&workload, 7);
+    check_report_sanity(&run_integrated(shore, &mut factory, 1_000.0, 300), 240);
+}
+
+#[test]
+fn speech_runs_through_the_harness() {
+    use tailbench::apps::speech::{SpeechRequestFactory, SphinxApp};
+
+    let app: Arc<dyn ServerApp> = Arc::new(SphinxApp::small());
+    let mut factory = SpeechRequestFactory::new(20, 8);
+    check_report_sanity(&run_integrated(app, &mut factory, 40.0, 60), 45);
+}
+
+#[test]
+fn loopback_configuration_measures_the_same_application() {
+    use tailbench::apps::kvstore::{MasstreeApp, YcsbRequestFactory};
+    use tailbench::core::config::HarnessMode;
+    use tailbench::workloads::ycsb::YcsbConfig;
+
+    let workload = YcsbConfig::small();
+    let app: Arc<dyn ServerApp> = Arc::new(MasstreeApp::new(&workload));
+    let mut factory = YcsbRequestFactory::new(&workload, 9);
+    let report = runner::run(
+        &app,
+        &mut factory,
+        &BenchmarkConfig::new(1_500.0, 300)
+            .with_warmup(30)
+            .with_mode(HarnessMode::loopback()),
+    )
+    .expect("loopback run");
+    check_report_sanity(&report, 250);
+    assert_eq!(report.configuration, "loopback");
+    // At this light load the loopback run must keep up with the offered rate.
+    assert!(!report.is_saturated(0.2));
+}
