@@ -76,7 +76,9 @@ fn bench_harness(c: &mut Criterion) {
         let model = InstructionRateModel::default();
         b.iter(|| {
             let mut factory = || vec![0u8; 16];
-            let config = BenchmarkConfig::new(50_000.0, 2_000).with_warmup(0).with_seed(3);
+            let config = BenchmarkConfig::new(50_000.0, 2_000)
+                .with_warmup(0)
+                .with_seed(3);
             std::hint::black_box(run_simulated(&app, &mut factory, &config, &model))
         });
     });

@@ -6,13 +6,13 @@
 //! 2. **HDR-histogram precision** — the histogram used for long runs reports percentiles
 //!    within its configured relative-error bound of the exact values.
 
+use rand::Rng;
 use tailbench_bench::{build_app, capacity_qps, format_latency, print_table, AppId, Scale};
 use tailbench_core::config::BenchmarkConfig;
 use tailbench_core::runner;
 use tailbench_core::traffic::LoadMode;
 use tailbench_histogram::HdrHistogram;
 use tailbench_workloads::rng::seeded_rng;
-use rand::Rng;
 
 fn main() {
     coordinated_omission();

@@ -1,7 +1,9 @@
 //! Regenerates Fig. 2: the cumulative distribution of request service times for each
 //! application, measured by timing the request handler directly (no queuing).
 
-use tailbench_bench::{build_app, format_latency, print_table, measure_service_samples, AppId, Scale};
+use tailbench_bench::{
+    build_app, format_latency, measure_service_samples, print_table, AppId, Scale,
+};
 use tailbench_histogram::LatencySummary;
 
 fn main() {
@@ -13,7 +15,7 @@ fn main() {
     for id in AppId::ALL {
         let bench = build_app(id, scale);
         let mut summary = LatencySummary::new();
-        for sample in measure_service_samples(&bench, samples_per_app, 0xF16_2) {
+        for sample in measure_service_samples(&bench, samples_per_app, 0xF162) {
             summary.record(sample);
         }
         let mut row = vec![id.name().to_string()];
@@ -26,7 +28,9 @@ fn main() {
 
     print_table(
         "Fig. 2 — service-time CDF (value at cumulative probability)",
-        &["app", "p10", "p25", "p50", "p75", "p90", "p95", "p99", "max"],
+        &[
+            "app", "p10", "p25", "p50", "p75", "p90", "p95", "p99", "max",
+        ],
         &rows,
     );
 }

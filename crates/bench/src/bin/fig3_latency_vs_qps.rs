@@ -1,7 +1,9 @@
 //! Regenerates Fig. 3: mean, 95th- and 99th-percentile sojourn latency as a function of
 //! the offered request rate, with a single worker thread, for every application.
 
-use tailbench_bench::{build_app, capacity_qps, format_latency, print_table, sweep_load, AppId, Scale};
+use tailbench_bench::{
+    build_app, capacity_qps, format_latency, print_table, sweep_load, AppId, Scale,
+};
 use tailbench_core::config::HarnessMode;
 
 fn main() {
@@ -12,7 +14,14 @@ fn main() {
     for id in AppId::ALL {
         let bench = build_app(id, scale);
         let capacity = capacity_qps(&bench, 1, requests.min(800));
-        let points = sweep_load(&bench, HarnessMode::Integrated, capacity, &fractions, 1, requests);
+        let points = sweep_load(
+            &bench,
+            HarnessMode::Integrated,
+            capacity,
+            &fractions,
+            1,
+            requests,
+        );
         let rows: Vec<Vec<String>> = points
             .iter()
             .map(|(fraction, report)| {
@@ -27,7 +36,11 @@ fn main() {
             })
             .collect();
         print_table(
-            &format!("Fig. 3 — {} (1 thread, capacity ~{:.0} QPS)", id.name(), capacity),
+            &format!(
+                "Fig. 3 — {} (1 thread, capacity ~{:.0} QPS)",
+                id.name(),
+                capacity
+            ),
             &["load", "offered QPS", "achieved QPS", "mean", "p95", "p99"],
             &rows,
         );

@@ -1,7 +1,9 @@
 //! Regenerates Fig. 4: 95th-percentile latency vs per-thread request rate as the number
 //! of worker threads grows from 1 to 4, for silo, masstree, xapian and moses.
 
-use tailbench_bench::{build_app, capacity_qps, format_latency, print_table, sweep_load, AppId, Scale};
+use tailbench_bench::{
+    build_app, capacity_qps, format_latency, print_table, sweep_load, AppId, Scale,
+};
 use tailbench_core::config::HarnessMode;
 
 fn main() {
@@ -31,7 +33,11 @@ fn main() {
                     format!("{:.0}", report.offered_qps.unwrap_or(0.0) / threads as f64),
                     format!("{:.0}%", fraction * 100.0),
                     format_latency(report.sojourn.p95_ns as f64),
-                    if report.is_saturated(0.1) { "saturated".into() } else { String::new() },
+                    if report.is_saturated(0.1) {
+                        "saturated".into()
+                    } else {
+                        String::new()
+                    },
                 ]);
             }
         }

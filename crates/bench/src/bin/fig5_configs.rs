@@ -4,14 +4,19 @@
 //! setup's saturation QPS so the networked-vs-integrated gap of the paper (silo, specjbb)
 //! can be read off directly.
 
-use tailbench_bench::{build_app, capacity_qps, format_latency, print_table, sweep_load, AppId, Scale};
+use tailbench_bench::{
+    build_app, capacity_qps, format_latency, print_table, sweep_load, AppId, Scale,
+};
 use tailbench_core::config::HarnessMode;
+
+/// Constructor for one harness configuration.
+type ModeCtor = fn() -> HarnessMode;
 
 fn main() {
     let scale = Scale::from_env();
     let requests = scale.requests(250, 2_500);
     let fractions = [0.2, 0.5, 0.8];
-    let modes: [(&str, fn() -> HarnessMode); 4] = [
+    let modes: [(&str, ModeCtor); 4] = [
         ("networked", HarnessMode::networked),
         ("loopback", HarnessMode::loopback),
         ("integrated", || HarnessMode::Integrated),

@@ -3,7 +3,9 @@
 //! img-dnn — the two applications with the largest simulation speed error.  Plotted
 //! against load, the real and simulated latency profiles nearly coincide.
 
-use tailbench_bench::{build_app, capacity_qps, format_latency, print_table, sweep_load, AppId, Scale};
+use tailbench_bench::{
+    build_app, capacity_qps, format_latency, print_table, sweep_load, AppId, Scale,
+};
 use tailbench_core::config::HarnessMode;
 
 fn main() {

@@ -1,16 +1,26 @@
 //! Regenerates Fig. 7: 95th-percentile latency vs per-thread QPS with four worker
 //! threads, for specjbb, masstree, xapian and img-dnn, under all four measurement setups.
 
-use tailbench_bench::{build_app, capacity_qps, format_latency, print_table, sweep_load, AppId, Scale};
+use tailbench_bench::{
+    build_app, capacity_qps, format_latency, print_table, sweep_load, AppId, Scale,
+};
 use tailbench_core::config::HarnessMode;
+
+/// Constructor for one harness configuration.
+type ModeCtor = fn() -> HarnessMode;
 
 fn main() {
     let scale = Scale::from_env();
     let requests = scale.requests(300, 3_000);
     let fractions = [0.3, 0.6, 0.85];
     let threads = 4usize;
-    let apps = [AppId::SpecJbb, AppId::Masstree, AppId::Xapian, AppId::ImgDnn];
-    let modes: [(&str, fn() -> HarnessMode); 4] = [
+    let apps = [
+        AppId::SpecJbb,
+        AppId::Masstree,
+        AppId::Xapian,
+        AppId::ImgDnn,
+    ];
+    let modes: [(&str, ModeCtor); 4] = [
         ("networked", HarnessMode::networked),
         ("loopback", HarnessMode::loopback),
         ("integrated", || HarnessMode::Integrated),

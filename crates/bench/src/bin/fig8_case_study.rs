@@ -10,7 +10,9 @@
 //! the idealized-memory simulation blows up well before the M/G/4 model does (its
 //! degradation is synchronization, which an ideal memory system cannot fix).
 
-use tailbench_bench::{build_app, capacity_qps, measure_service_samples, print_table, AppId, Scale};
+use tailbench_bench::{
+    build_app, capacity_qps, measure_service_samples, print_table, AppId, Scale,
+};
 use tailbench_core::config::{BenchmarkConfig, HarnessMode};
 use tailbench_core::runner;
 use tailbench_queueing::{EmpiricalDistribution, MgkSimulation};
@@ -27,7 +29,7 @@ fn main() {
 
         // --- Queueing-model series (time base: measured wall-clock service times) -----
         let measured_capacity = capacity_qps(&bench, 1, requests.min(800));
-        let service_samples = measure_service_samples(&bench, requests.min(800), 0xF16_8);
+        let service_samples = measure_service_samples(&bench, requests.min(800), 0xF168);
         let service = EmpiricalDistribution::new(service_samples);
         let model_norm = MgkSimulation::new(service.clone(), 1)
             .run(measured_capacity * fractions[0], 50_000, 1)
@@ -53,9 +55,9 @@ fn main() {
         for threads in [1usize, 4] {
             let model = MgkSimulation::new(service.clone(), threads);
             for &fraction in &fractions {
-                let model_p95 =
-                    model.run(measured_capacity * fraction * threads as f64, 50_000, 7).p95_ns()
-                        as f64;
+                let model_p95 = model
+                    .run(measured_capacity * fraction * threads as f64, 50_000, 7)
+                    .p95_ns() as f64;
                 let sim_p95 = sim_run(threads, sim_capacity * fraction).sojourn.p95_ns as f64;
                 rows.push(vec![
                     format!("{:.0}%", fraction * 100.0),

@@ -38,14 +38,24 @@ fn main() {
             format_latency(points[1].1.sojourn.p95_ns as f64),
             format_latency(points[2].1.sojourn.p95_ns as f64),
         ]);
-        eprintln!("table1: finished {} (capacity ~{:.0} QPS)", id.name(), capacity);
+        eprintln!(
+            "table1: finished {} (capacity ~{:.0} QPS)",
+            id.name(),
+            capacity
+        );
     }
 
     print_table(
         "Table I — application characteristics (modelled MPKI, measured 95th-percentile latency)",
         &[
-            "app", "L1I MPKI", "L1D MPKI", "L2 MPKI", "L3 MPKI", "p95 @ 20% load",
-            "p95 @ 50% load", "p95 @ 70% load",
+            "app",
+            "L1I MPKI",
+            "L1D MPKI",
+            "L2 MPKI",
+            "L3 MPKI",
+            "p95 @ 20% load",
+            "p95 @ 50% load",
+            "p95 @ 70% load",
         ],
         &rows,
     );

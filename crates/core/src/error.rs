@@ -41,7 +41,7 @@ mod tests {
 
     #[test]
     fn display_and_source() {
-        let io_err = HarnessError::from(std::io::Error::new(std::io::ErrorKind::Other, "boom"));
+        let io_err = HarnessError::from(std::io::Error::other("boom"));
         assert!(io_err.to_string().contains("boom"));
         assert!(std::error::Error::source(&io_err).is_some());
         let cfg = HarnessError::Config("bad".into());

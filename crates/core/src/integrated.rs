@@ -39,13 +39,10 @@ pub fn run_integrated(
     let collector_stats = match &config.load {
         LoadMode::Open(process) => {
             let mut rng = seeded_rng(config.seed, 1);
-            let shaper = TrafficShaper::build(
-                process,
-                &mut rng,
-                config.total_requests(),
-                0,
-                || factory.next_request(),
-            );
+            let shaper =
+                TrafficShaper::build(process, &mut rng, config.total_requests(), 0, || {
+                    factory.next_request()
+                });
             let record_tx = collector.sender();
             let max_ns = config.max_duration.as_nanos() as u64;
             for mut request in shaper.into_requests() {
@@ -65,9 +62,9 @@ pub fn run_integrated(
             let _ = pool.join();
             collector.join()
         }
-        LoadMode::Closed { think_ns } => {
-            run_closed_loop(app, factory, config, *think_ns, clock, queue, pool, collector)
-        }
+        LoadMode::Closed { think_ns } => run_closed_loop(
+            app, factory, config, *think_ns, clock, queue, pool, collector,
+        ),
     };
 
     build_report(app.name(), "integrated", config, &collector_stats)

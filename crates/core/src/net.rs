@@ -249,7 +249,9 @@ mod tests {
     fn networked_delay_increases_sojourn() {
         let app = echo_app();
         let mut factory = || b"net".to_vec();
-        let base = BenchmarkConfig::new(800.0, 200).with_warmup(20).with_seed(9);
+        let base = BenchmarkConfig::new(800.0, 200)
+            .with_warmup(20)
+            .with_seed(9);
         let loopback = run_tcp(&app, &mut factory, &base, 4, 0, "loopback").unwrap();
         let networked = run_tcp(&app, &mut factory, &base, 4, 50_000, "networked").unwrap();
         // 100 us of added round-trip must be visible in the median sojourn.

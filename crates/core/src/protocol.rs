@@ -170,7 +170,9 @@ mod tests {
     #[test]
     fn empty_stream_is_clean_eof() {
         let empty: Vec<u8> = Vec::new();
-        assert!(read_request(&mut Cursor::new(empty.clone())).unwrap().is_none());
+        assert!(read_request(&mut Cursor::new(empty.clone()))
+            .unwrap()
+            .is_none());
         assert!(read_response(&mut Cursor::new(empty)).unwrap().is_none());
     }
 

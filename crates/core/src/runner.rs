@@ -167,7 +167,9 @@ pub fn measure_capacity(
     app.prepare();
     let threads = threads.max(1);
     let sample_requests = sample_requests.max(threads);
-    let payloads: Vec<Vec<u8>> = (0..sample_requests).map(|_| factory.next_request()).collect();
+    let payloads: Vec<Vec<u8>> = (0..sample_requests)
+        .map(|_| factory.next_request())
+        .collect();
     let payloads = Arc::new(payloads);
     let next = Arc::new(AtomicU64::new(0));
 

@@ -81,31 +81,32 @@ pub fn run_simulated(
     let mut next_arrival = 0usize;
 
     // Helper to start service for a request at virtual time `now`.
-    let start_service = |request: Request,
-                             enqueued_ns: u64,
-                             now: u64,
-                             busy: &mut usize,
-                             seq: &mut u64,
-                             completions: &mut BinaryHeap<Completion>,
-                             in_service: &mut std::collections::HashMap<u64, RequestRecord>| {
-        *busy += 1;
-        let response = app.handle(&request.payload);
-        let service_ns = cost_model.service_time_ns(&response.work, *busy).max(1);
-        let record = RequestRecord {
-            id: request.id,
-            issued_ns: request.issued_ns,
-            enqueued_ns,
-            started_ns: now,
-            completed_ns: now + service_ns,
-            client_received_ns: now + service_ns,
+    let start_service =
+        |request: Request,
+         enqueued_ns: u64,
+         now: u64,
+         busy: &mut usize,
+         seq: &mut u64,
+         completions: &mut BinaryHeap<Completion>,
+         in_service: &mut std::collections::HashMap<u64, RequestRecord>| {
+            *busy += 1;
+            let response = app.handle(&request.payload);
+            let service_ns = cost_model.service_time_ns(&response.work, *busy).max(1);
+            let record = RequestRecord {
+                id: request.id,
+                issued_ns: request.issued_ns,
+                enqueued_ns,
+                started_ns: now,
+                completed_ns: now + service_ns,
+                client_received_ns: now + service_ns,
+            };
+            *seq += 1;
+            in_service.insert(*seq, record);
+            completions.push(Completion {
+                time_ns: now + service_ns,
+                seq: *seq,
+            });
         };
-        *seq += 1;
-        in_service.insert(*seq, record);
-        completions.push(Completion {
-            time_ns: now + service_ns,
-            seq: *seq,
-        });
-    };
 
     loop {
         let next_arrival_time = arrivals.get(next_arrival).map(|r| r.issued_ns);
@@ -183,7 +184,9 @@ mod tests {
         let model = InstructionRateModel {
             ns_per_instruction: 1.0,
         };
-        let config = BenchmarkConfig::new(2_000.0, 500).with_warmup(50).with_seed(3);
+        let config = BenchmarkConfig::new(2_000.0, 500)
+            .with_warmup(50)
+            .with_seed(3);
         let mut factory = || b"sim".to_vec();
         let a = run_simulated(&app, &mut factory, &config, &model);
         let mut factory = || b"sim".to_vec();
@@ -232,14 +235,18 @@ mod tests {
         let one = run_simulated(
             &app,
             &mut factory,
-            &BenchmarkConfig::new(8_000.0, 2_000).with_threads(1).with_seed(5),
+            &BenchmarkConfig::new(8_000.0, 2_000)
+                .with_threads(1)
+                .with_seed(5),
             &model,
         );
         let mut factory = || b"x".to_vec();
         let four = run_simulated(
             &app,
             &mut factory,
-            &BenchmarkConfig::new(8_000.0, 2_000).with_threads(4).with_seed(5),
+            &BenchmarkConfig::new(8_000.0, 2_000)
+                .with_threads(4)
+                .with_seed(5),
             &model,
         );
         assert!(
@@ -262,7 +269,9 @@ mod tests {
         let report = run_simulated(
             &app,
             &mut factory,
-            &BenchmarkConfig::new(1_000.0, 1_000).with_warmup(0).with_seed(11),
+            &BenchmarkConfig::new(1_000.0, 1_000)
+                .with_warmup(0)
+                .with_seed(11),
             &model,
         );
         let span_s = report.duration_ns as f64 / 1e9;

@@ -104,9 +104,11 @@ impl HdrHistogram {
             });
         }
 
-        let largest_value_with_single_unit_resolution = 2 * 10u64.pow(u32::from(significant_digits));
-        let sub_bucket_count_magnitude =
-            (largest_value_with_single_unit_resolution as f64).log2().ceil() as u32;
+        let largest_value_with_single_unit_resolution =
+            2 * 10u64.pow(u32::from(significant_digits));
+        let sub_bucket_count_magnitude = (largest_value_with_single_unit_resolution as f64)
+            .log2()
+            .ceil() as u32;
         let sub_bucket_half_count_magnitude = sub_bucket_count_magnitude.max(1) - 1;
         let unit_magnitude = (lowest_discernible as f64).log2().floor() as u32;
         let sub_bucket_count = 1u32 << (sub_bucket_half_count_magnitude + 1);
@@ -491,7 +493,10 @@ mod tests {
             let exact = values[rank - 1];
             let approx = h.value_at_quantile(q);
             let err = (approx as f64 - exact as f64).abs() / exact as f64;
-            assert!(err <= 0.002, "q={q} exact={exact} approx={approx} err={err}");
+            assert!(
+                err <= 0.002,
+                "q={q} exact={exact} approx={approx} err={err}"
+            );
         }
     }
 

@@ -7,9 +7,9 @@
 //! Per-request work is a fixed-size forward pass, which is why img-dnn's service times
 //! are nearly constant (paper Fig. 2).
 
+use rand::Rng;
 use tailbench_workloads::mnist::{DigitGenerator, IMAGE_PIXELS, NUM_CLASSES};
 use tailbench_workloads::rng::{seeded_rng, SuiteRng};
-use rand::Rng;
 
 /// A fully connected layer `y = act(W x + b)`.
 #[derive(Debug, Clone)]
@@ -214,13 +214,13 @@ impl ImgDnnNetwork {
             let mut prev_delta = vec![0.0f32; self.output.inputs];
             {
                 let input = activations.last().expect("non-empty").clone();
-                for o in 0..self.output.outputs {
+                for (o, &d) in delta.iter().enumerate().take(self.output.outputs) {
                     for i in 0..self.output.inputs {
-                        prev_delta[i] += delta[o] * self.output.weights[o * self.output.inputs + i];
+                        prev_delta[i] += d * self.output.weights[o * self.output.inputs + i];
                         self.output.weights[o * self.output.inputs + i] -=
-                            learning_rate * delta[o] * input[i];
+                            learning_rate * d * input[i];
                     }
-                    self.output.biases[o] -= learning_rate * delta[o];
+                    self.output.biases[o] -= learning_rate * d;
                 }
             }
             // Hidden layers (sigmoid derivative = a * (1 - a)).
@@ -233,12 +233,12 @@ impl ImgDnnNetwork {
                 let input = activations[l].clone();
                 let layer = &mut self.encoder[l];
                 let mut next_delta = vec![0.0f32; layer.inputs];
-                for o in 0..layer.outputs {
+                for (o, &d) in delta.iter().enumerate().take(layer.outputs) {
                     for i in 0..layer.inputs {
-                        next_delta[i] += delta[o] * layer.weights[o * layer.inputs + i];
-                        layer.weights[o * layer.inputs + i] -= learning_rate * delta[o] * input[i];
+                        next_delta[i] += d * layer.weights[o * layer.inputs + i];
+                        layer.weights[o * layer.inputs + i] -= learning_rate * d * input[i];
                     }
-                    layer.biases[o] -= learning_rate * delta[o];
+                    layer.biases[o] -= learning_rate * d;
                 }
                 delta = next_delta;
             }

@@ -122,7 +122,9 @@ impl Company {
                         .collect(),
                 ),
                 stock: Mutex::new((0..items.len()).map(|_| rng.gen_range(50..200)).collect()),
-                districts: (0..DISTRICTS).map(|_| Mutex::new(District::default())).collect(),
+                districts: (0..DISTRICTS)
+                    .map(|_| Mutex::new(District::default()))
+                    .collect(),
             })
             .collect();
         Company {
@@ -176,10 +178,21 @@ impl Company {
         lines: &[(u32, u32)],
     ) -> TxnOutcome {
         let Some(wh) = self.warehouse(warehouse) else {
-            return TxnOutcome { committed: false, rows_touched: 0, amount: 0 };
+            return TxnOutcome {
+                committed: false,
+                rows_touched: 0,
+                amount: 0,
+            };
         };
-        if district >= DISTRICTS || customer as usize >= self.customers_per_warehouse || lines.is_empty() {
-            return TxnOutcome { committed: false, rows_touched: 0, amount: 0 };
+        if district >= DISTRICTS
+            || customer as usize >= self.customers_per_warehouse
+            || lines.is_empty()
+        {
+            return TxnOutcome {
+                committed: false,
+                rows_touched: 0,
+                amount: 0,
+            };
         }
         let mut amount = 0u64;
         let mut order_lines = Vec::with_capacity(lines.len());
@@ -188,7 +201,11 @@ impl Company {
             let mut stock = wh.stock.lock();
             for &(item, quantity) in lines {
                 let Some(item_meta) = self.items.get(item as usize) else {
-                    return TxnOutcome { committed: false, rows_touched: rows, amount: 0 };
+                    return TxnOutcome {
+                        committed: false,
+                        rows_touched: rows,
+                        amount: 0,
+                    };
                 };
                 let entry = &mut stock[item as usize];
                 if *entry < quantity {
@@ -236,10 +253,18 @@ impl Company {
         amount: u64,
     ) -> TxnOutcome {
         let Some(wh) = self.warehouse(warehouse) else {
-            return TxnOutcome { committed: false, rows_touched: 0, amount: 0 };
+            return TxnOutcome {
+                committed: false,
+                rows_touched: 0,
+                amount: 0,
+            };
         };
         if district >= DISTRICTS || customer as usize >= self.customers_per_warehouse {
-            return TxnOutcome { committed: false, rows_touched: 0, amount: 0 };
+            return TxnOutcome {
+                committed: false,
+                rows_touched: 0,
+                amount: 0,
+            };
         }
         {
             let mut customers = wh.customers.lock();
@@ -261,10 +286,18 @@ impl Company {
     /// Order-status transaction: read the customer's most recent order.
     pub fn order_status(&self, warehouse: usize, district: usize, customer: u32) -> TxnOutcome {
         let Some(wh) = self.warehouse(warehouse) else {
-            return TxnOutcome { committed: false, rows_touched: 0, amount: 0 };
+            return TxnOutcome {
+                committed: false,
+                rows_touched: 0,
+                amount: 0,
+            };
         };
         if district >= DISTRICTS {
-            return TxnOutcome { committed: false, rows_touched: 0, amount: 0 };
+            return TxnOutcome {
+                committed: false,
+                rows_touched: 0,
+                amount: 0,
+            };
         }
         let district_state = wh.districts[district].lock();
         let last = district_state
@@ -290,7 +323,11 @@ impl Company {
     /// warehouse as delivered.
     pub fn delivery(&self, warehouse: usize) -> TxnOutcome {
         let Some(wh) = self.warehouse(warehouse) else {
-            return TxnOutcome { committed: false, rows_touched: 0, amount: 0 };
+            return TxnOutcome {
+                committed: false,
+                rows_touched: 0,
+                amount: 0,
+            };
         };
         let mut rows = 0u32;
         let mut amount = 0u64;
@@ -315,10 +352,18 @@ impl Company {
     /// the district's recent orders.
     pub fn stock_level(&self, warehouse: usize, district: usize, threshold: u32) -> TxnOutcome {
         let Some(wh) = self.warehouse(warehouse) else {
-            return TxnOutcome { committed: false, rows_touched: 0, amount: 0 };
+            return TxnOutcome {
+                committed: false,
+                rows_touched: 0,
+                amount: 0,
+            };
         };
         if district >= DISTRICTS {
-            return TxnOutcome { committed: false, rows_touched: 0, amount: 0 };
+            return TxnOutcome {
+                committed: false,
+                rows_touched: 0,
+                amount: 0,
+            };
         }
         let recent_items: Vec<u32> = {
             let d = wh.districts[district].lock();
@@ -404,7 +449,10 @@ mod tests {
         company.new_order(1, 0, 0, &[(2, 5), (4, 5)]);
         let outcome = company.stock_level(1, 0, 1_000);
         assert!(outcome.committed);
-        assert_eq!(outcome.amount, 2, "all referenced items are below a huge threshold");
+        assert_eq!(
+            outcome.amount, 2,
+            "all referenced items are below a huge threshold"
+        );
     }
 
     #[test]

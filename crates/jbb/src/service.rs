@@ -6,10 +6,10 @@
 //! read-only and batch transactions).
 
 use crate::business::{Company, TxnOutcome, DISTRICTS};
+use rand::Rng;
 use tailbench_core::app::{RequestFactory, ServerApp};
 use tailbench_core::request::{Response, WorkProfile};
 use tailbench_workloads::rng::{seeded_rng, SuiteRng};
-use rand::Rng;
 
 /// A decoded middleware request.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -142,7 +142,9 @@ pub mod codec {
                     .map(|i| {
                         (
                             u32::from_le_bytes(body[i * 8..i * 8 + 4].try_into().expect("4 bytes")),
-                            u32::from_le_bytes(body[i * 8 + 4..i * 8 + 8].try_into().expect("4 bytes")),
+                            u32::from_le_bytes(
+                                body[i * 8 + 4..i * 8 + 8].try_into().expect("4 bytes"),
+                            ),
                         )
                     })
                     .collect();
@@ -307,7 +309,12 @@ impl JbbRequestFactory {
         if roll < 0.45 {
             let n = self.rng.gen_range(5..=15);
             let lines = (0..n)
-                .map(|_| (self.rng.gen_range(0..self.items), self.rng.gen_range(1..=10u32)))
+                .map(|_| {
+                    (
+                        self.rng.gen_range(0..self.items),
+                        self.rng.gen_range(1..=10u32),
+                    )
+                })
                 .collect();
             JbbRequest::NewOrder {
                 warehouse,

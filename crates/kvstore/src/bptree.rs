@@ -353,7 +353,9 @@ mod tests {
         let mut t = BPlusTree::new();
         let mut x: u64 = 0x12345;
         for _ in 0..10_000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let k = x >> 40;
             model.insert(k, x);
             t.insert(k, x);

@@ -75,7 +75,9 @@ impl<V: Clone> LayeredTree<V> {
         let old = if rest.is_empty() && key.len() <= 8 {
             entry.value.replace(value)
         } else {
-            let child = entry.child.get_or_insert_with(|| Box::new(LayeredTree::new()));
+            let child = entry
+                .child
+                .get_or_insert_with(|| Box::new(LayeredTree::new()));
             child.insert(rest, value)
         };
         self.layer.insert(slice, entry);

@@ -132,7 +132,11 @@ impl MasstreeApp {
             locality: 0.75,
             // masstree scales near-linearly: only the brief per-shard write lock is a
             // critical section.
-            critical_fraction: if matches!(op, KvOp::Put { .. }) { 0.04 } else { 0.01 },
+            critical_fraction: if matches!(op, KvOp::Put { .. }) {
+                0.04
+            } else {
+                0.01
+            },
         }
     }
 }
@@ -215,7 +219,10 @@ mod tests {
                 key: 7,
                 value: vec![1, 2, 3],
             },
-            KvOp::Scan { key: 100, count: 25 },
+            KvOp::Scan {
+                key: 100,
+                count: 25,
+            },
         ];
         for op in ops {
             assert_eq!(codec::decode(&codec::encode(&op)), Some(op));
@@ -241,7 +248,11 @@ mod tests {
             value: vec![9, 9, 9],
         };
         let resp = app.handle(&codec::encode(&put));
-        assert_eq!(resp.payload, vec![1], "key 3 was preloaded, so put overwrites");
+        assert_eq!(
+            resp.payload,
+            vec![1],
+            "key 3 was preloaded, so put overwrites"
+        );
         let get = app.handle(&codec::encode(&KvOp::Get { key: 3 }));
         assert_eq!(&get.payload[1..], &[9, 9, 9]);
     }

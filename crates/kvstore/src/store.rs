@@ -94,7 +94,11 @@ impl KvStore {
     /// Maximum B+-tree depth across shards (a proxy for per-request pointer chases).
     #[must_use]
     pub fn max_depth(&self) -> usize {
-        self.shards.iter().map(|s| s.read().depth()).max().unwrap_or(1)
+        self.shards
+            .iter()
+            .map(|s| s.read().depth())
+            .max()
+            .unwrap_or(1)
     }
 }
 

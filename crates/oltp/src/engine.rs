@@ -49,7 +49,10 @@ impl Table {
     /// Dense index of the table.
     #[must_use]
     pub fn index(self) -> usize {
-        Table::ALL.iter().position(|&t| t == self).expect("table listed in ALL")
+        Table::ALL
+            .iter()
+            .position(|&t| t == self)
+            .expect("table listed in ALL")
     }
 }
 

@@ -147,22 +147,29 @@ impl<E: std::ops::Deref<Target = dyn Engine> + Send + Sync> TpccExecutor<E> {
             // Last-name lookups hash the name onto the id space (a real system scans a
             // secondary index; the work profile accounts for the extra reads).
             CustomerSelector::ByLastName(name) => {
-                let h: u64 = name.bytes().fold(5_381u64, |a, b| a.wrapping_mul(33) ^ u64::from(b));
+                let h: u64 = name
+                    .bytes()
+                    .fold(5_381u64, |a, b| a.wrapping_mul(33) ^ u64::from(b));
                 (h % u64::from(self.config.customers_per_district)) as u32 + 1
             }
         };
-        pack_key(warehouse, district, id.min(self.config.customers_per_district), 0)
+        pack_key(
+            warehouse,
+            district,
+            id.min(self.config.customers_per_district),
+            0,
+        )
     }
 
     fn new_order(&self, input: &NewOrderInput) -> Result<TxnStats, TxnError> {
         let (_, stats) = run_with_retries(&*self.engine, self.max_retries, |txn| {
             let district_key = pack_key(input.warehouse, input.district, 0, 0);
-            let mut district = txn
-                .read(Table::District, district_key)?
-                .ok_or(TxnError::NotFound {
-                    table: Table::District,
-                    key: district_key,
-                })?;
+            let mut district =
+                txn.read(Table::District, district_key)?
+                    .ok_or(TxnError::NotFound {
+                        table: Table::District,
+                        key: district_key,
+                    })?;
             let order_id = row::field(&district, 0);
             row::set_field(&mut district, 0, order_id + 1);
             txn.write(Table::District, district_key, district);
@@ -177,10 +184,12 @@ impl<E: std::ops::Deref<Target = dyn Engine> + Send + Sync> TpccExecutor<E> {
                 let price = row::field(&item, 0);
 
                 let stock_key = pack_key(line.supply_warehouse, 0, line.item_id, 0);
-                let mut stock = txn.read(Table::Stock, stock_key)?.ok_or(TxnError::NotFound {
-                    table: Table::Stock,
-                    key: stock_key,
-                })?;
+                let mut stock = txn
+                    .read(Table::Stock, stock_key)?
+                    .ok_or(TxnError::NotFound {
+                        table: Table::Stock,
+                        key: stock_key,
+                    })?;
                 let mut quantity = row::field(&stock, 0);
                 if quantity < u64::from(line.quantity) + 10 {
                     quantity += 91;
@@ -197,7 +206,12 @@ impl<E: std::ops::Deref<Target = dyn Engine> + Send + Sync> TpccExecutor<E> {
                 total += amount;
                 txn.write(
                     Table::OrderLine,
-                    pack_key(input.warehouse, input.district, order_id as u32, line_no as u32),
+                    pack_key(
+                        input.warehouse,
+                        input.district,
+                        order_id as u32,
+                        line_no as u32,
+                    ),
                     row::encode(&[u64::from(line.item_id), u64::from(line.quantity), amount]),
                 );
             }
@@ -208,19 +222,24 @@ impl<E: std::ops::Deref<Target = dyn Engine> + Send + Sync> TpccExecutor<E> {
             }
 
             let customer_key = pack_key(input.warehouse, input.district, input.customer, 0);
-            let mut customer = txn
-                .read(Table::Customer, customer_key)?
-                .ok_or(TxnError::NotFound {
-                    table: Table::Customer,
-                    key: customer_key,
-                })?;
+            let mut customer =
+                txn.read(Table::Customer, customer_key)?
+                    .ok_or(TxnError::NotFound {
+                        table: Table::Customer,
+                        key: customer_key,
+                    })?;
             row::set_field(&mut customer, 3, order_id);
             txn.write(Table::Customer, customer_key, customer);
 
             txn.write(
                 Table::Orders,
                 pack_key(input.warehouse, input.district, order_id as u32, 0),
-                row::encode(&[u64::from(input.customer), input.lines.len() as u64, total, 0]),
+                row::encode(&[
+                    u64::from(input.customer),
+                    input.lines.len() as u64,
+                    total,
+                    0,
+                ]),
             );
             txn.write(
                 Table::NewOrder,
@@ -235,23 +254,23 @@ impl<E: std::ops::Deref<Target = dyn Engine> + Send + Sync> TpccExecutor<E> {
     fn payment(&self, input: &PaymentInput) -> Result<TxnStats, TxnError> {
         let (_, stats) = run_with_retries(&*self.engine, self.max_retries, |txn| {
             let warehouse_key = u64::from(input.warehouse);
-            let mut warehouse = txn
-                .read(Table::Warehouse, warehouse_key)?
-                .ok_or(TxnError::NotFound {
-                    table: Table::Warehouse,
-                    key: warehouse_key,
-                })?;
+            let mut warehouse =
+                txn.read(Table::Warehouse, warehouse_key)?
+                    .ok_or(TxnError::NotFound {
+                        table: Table::Warehouse,
+                        key: warehouse_key,
+                    })?;
             let warehouse_ytd = row::field(&warehouse, 0) + u64::from(input.amount);
             row::set_field(&mut warehouse, 0, warehouse_ytd);
             txn.write(Table::Warehouse, warehouse_key, warehouse);
 
             let district_key = pack_key(input.warehouse, input.district, 0, 0);
-            let mut district = txn
-                .read(Table::District, district_key)?
-                .ok_or(TxnError::NotFound {
-                    table: Table::District,
-                    key: district_key,
-                })?;
+            let mut district =
+                txn.read(Table::District, district_key)?
+                    .ok_or(TxnError::NotFound {
+                        table: Table::District,
+                        key: district_key,
+                    })?;
             let district_ytd = row::field(&district, 1) + u64::from(input.amount);
             row::set_field(&mut district, 1, district_ytd);
             txn.write(Table::District, district_key, district);
@@ -261,12 +280,12 @@ impl<E: std::ops::Deref<Target = dyn Engine> + Send + Sync> TpccExecutor<E> {
                 input.customer_district,
                 &input.customer,
             );
-            let mut customer = txn
-                .read(Table::Customer, customer_key)?
-                .ok_or(TxnError::NotFound {
-                    table: Table::Customer,
-                    key: customer_key,
-                })?;
+            let mut customer =
+                txn.read(Table::Customer, customer_key)?
+                    .ok_or(TxnError::NotFound {
+                        table: Table::Customer,
+                        key: customer_key,
+                    })?;
             let balance = row::field(&customer, 0) - u64::from(input.amount);
             let ytd_payment = row::field(&customer, 1) + u64::from(input.amount);
             let payment_count = row::field(&customer, 2) + 1;
@@ -310,7 +329,12 @@ impl<E: std::ops::Deref<Target = dyn Engine> + Send + Sync> TpccExecutor<E> {
                     for line_no in 0..lines {
                         let _ = txn.read(
                             Table::OrderLine,
-                            pack_key(input.warehouse, input.district, last_order as u32, line_no as u32),
+                            pack_key(
+                                input.warehouse,
+                                input.district,
+                                last_order as u32,
+                                line_no as u32,
+                            ),
                         )?;
                     }
                 }
@@ -331,13 +355,11 @@ impl<E: std::ops::Deref<Target = dyn Engine> + Send + Sync> TpccExecutor<E> {
                 // Deliver the most recent order that still has a NEW-ORDER entry,
                 // scanning back a bounded window.
                 for order_id in (next_order.saturating_sub(20)..next_order).rev() {
-                    let new_order_key =
-                        pack_key(input.warehouse, district, order_id as u32, 0);
+                    let new_order_key = pack_key(input.warehouse, district, order_id as u32, 0);
                     if let Some(pending) = txn.read(Table::NewOrder, new_order_key)? {
                         if row::field(&pending, 0) == 1 {
                             txn.write(Table::NewOrder, new_order_key, row::encode(&[0]));
-                            let order_key =
-                                pack_key(input.warehouse, district, order_id as u32, 0);
+                            let order_key = pack_key(input.warehouse, district, order_id as u32, 0);
                             if let Some(mut order) = txn.read(Table::Orders, order_key)? {
                                 row::set_field(&mut order, 3, u64::from(input.carrier));
                                 txn.write(Table::Orders, order_key, order);
@@ -367,8 +389,12 @@ impl<E: std::ops::Deref<Target = dyn Engine> + Send + Sync> TpccExecutor<E> {
                 };
                 let lines = row::field(&order, 1);
                 for line_no in 0..lines {
-                    let line_key =
-                        pack_key(input.warehouse, input.district, order_id as u32, line_no as u32);
+                    let line_key = pack_key(
+                        input.warehouse,
+                        input.district,
+                        order_id as u32,
+                        line_no as u32,
+                    );
                     let Some(line) = txn.read(Table::OrderLine, line_key)? else {
                         continue;
                     };
@@ -408,7 +434,10 @@ mod tests {
         let exec = executor();
         let cfg = exec.config().clone();
         assert_eq!(exec.engine().table_len(Table::Item), cfg.items as usize);
-        assert_eq!(exec.engine().table_len(Table::Warehouse), cfg.warehouses as usize);
+        assert_eq!(
+            exec.engine().table_len(Table::Warehouse),
+            cfg.warehouses as usize
+        );
         assert_eq!(
             exec.engine().table_len(Table::District),
             (cfg.warehouses * DISTRICTS_PER_WAREHOUSE) as usize
@@ -436,7 +465,10 @@ mod tests {
             }
         }
         // Only the ~1% forced rollbacks of new-order (45% of the mix) should abort.
-        assert!(committed > 480, "committed = {committed}, aborted = {aborted}");
+        assert!(
+            committed > 480,
+            "committed = {committed}, aborted = {aborted}"
+        );
     }
 
     #[test]
@@ -480,7 +512,10 @@ mod tests {
             customer: CustomerSelector::ById(1),
             amount: 1_000,
         };
-        assert!(exec.execute(&TpccTransaction::Payment(input.clone())).committed);
+        assert!(
+            exec.execute(&TpccTransaction::Payment(input.clone()))
+                .committed
+        );
         assert!(exec.execute(&TpccTransaction::Payment(input)).committed);
         // Read the warehouse ytd back through a fresh transaction.
         let mut txn = exec.engine().begin();
@@ -517,12 +552,18 @@ mod tests {
         let exec = TpccExecutor::new(engine, config);
         let mut rng = seeded_rng(4, 0);
         let generator = TpccGenerator::new(exec.config().clone(), &mut rng);
-        let mut committed = 0;
+        let mut committed = 0u32;
         for _ in 0..100 {
-            if exec.execute(&generator.next_transaction(&mut rng)).committed {
+            let txn = generator.next_transaction(&mut rng);
+            let outcome = exec.execute(&txn);
+            // Only TPC-C's forced ~1% new-order rollbacks may abort; everything else
+            // must commit on the shore engine, exactly as on silo.
+            let forced = matches!(&txn, TpccTransaction::NewOrder(input) if input.rollback);
+            assert_eq!(outcome.committed, !forced, "unexpected outcome for {txn:?}");
+            if outcome.committed {
                 committed += 1;
             }
         }
-        assert!(committed > 95);
+        assert!(committed >= 90, "committed = {committed}");
     }
 }

@@ -373,7 +373,9 @@ mod tests {
         let report = tailbench_core::runner::run(
             &app,
             &mut factory,
-            &BenchmarkConfig::new(2_000.0, 300).with_warmup(30).with_threads(2),
+            &BenchmarkConfig::new(2_000.0, 300)
+                .with_warmup(30)
+                .with_threads(2),
         )
         .unwrap();
         assert_eq!(report.app, "silo");

@@ -76,7 +76,12 @@ impl BufferPool {
 
     /// Runs `f` with mutable access to the page's bytes, faulting it in (and possibly
     /// evicting another page) as needed.
-    fn with_page<R>(&self, page: u64, mark_dirty: bool, f: impl FnOnce(&mut [u8]) -> R) -> std::io::Result<R> {
+    fn with_page<R>(
+        &self,
+        page: u64,
+        mark_dirty: bool,
+        f: impl FnOnce(&mut [u8]) -> R,
+    ) -> std::io::Result<R> {
         let mut frames = self.frames.lock();
         let tick = self.clock.fetch_add(1, Ordering::Relaxed);
         if !frames.contains_key(&page) {
@@ -256,8 +261,7 @@ impl ShoreEngine {
 
     fn write_slot(&self, slot: Slot, value: &[u8]) -> std::io::Result<()> {
         self.pool.with_page(slot.page, true, |data| {
-            data[slot.offset as usize..slot.offset as usize + value.len()]
-                .copy_from_slice(value);
+            data[slot.offset as usize..slot.offset as usize + value.len()].copy_from_slice(value);
         })
     }
 
@@ -270,7 +274,9 @@ impl ShoreEngine {
                     ..slot
                 };
                 self.write_slot(new_slot, value)?;
-                self.directory.write().insert((table.index(), key), new_slot);
+                self.directory
+                    .write()
+                    .insert((table.index(), key), new_slot);
             }
             _ => {
                 let slot = self.allocate_slot(value.len() as u32);
@@ -297,7 +303,8 @@ impl Engine for ShoreEngine {
     }
 
     fn load(&self, table: Table, key: u64, value: Vec<u8>) {
-        self.store(table, key, &value).expect("bulk load i/o failure");
+        self.store(table, key, &value)
+            .expect("bulk load i/o failure");
     }
 
     fn table_len(&self, table: Table) -> usize {
@@ -351,7 +358,12 @@ impl Transaction for ShoreTransaction<'_> {
         self.lock(table, key)?;
         self.stats.reads += 1;
         let misses_before = self.engine.pool.misses();
-        let slot = self.engine.directory.read().get(&(table.index(), key)).copied();
+        let slot = self
+            .engine
+            .directory
+            .read()
+            .get(&(table.index(), key))
+            .copied();
         let result = match slot {
             Some(slot) => Some(
                 self.engine
@@ -416,11 +428,17 @@ mod tests {
         let mut txn = engine.begin();
         assert_eq!(txn.read(Table::Customer, 5).unwrap(), Some(vec![1, 2, 3]));
         txn.write(Table::Customer, 5, vec![9, 9, 9, 9]);
-        assert_eq!(txn.read(Table::Customer, 5).unwrap(), Some(vec![9, 9, 9, 9]));
+        assert_eq!(
+            txn.read(Table::Customer, 5).unwrap(),
+            Some(vec![9, 9, 9, 9])
+        );
         let stats = txn.commit().unwrap();
         assert!(stats.log_bytes > 0);
         let mut check = engine.begin();
-        assert_eq!(check.read(Table::Customer, 5).unwrap(), Some(vec![9, 9, 9, 9]));
+        assert_eq!(
+            check.read(Table::Customer, 5).unwrap(),
+            Some(vec![9, 9, 9, 9])
+        );
         check.abort();
     }
 

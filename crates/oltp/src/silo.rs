@@ -61,7 +61,13 @@ impl SiloEngine {
         self.tables[table.index()].rows.read().get(&key).cloned()
     }
 
-    fn insert_record(&self, table: Table, key: u64, data: Vec<u8>, tid: u64) -> Arc<VersionedRecord> {
+    fn insert_record(
+        &self,
+        table: Table,
+        key: u64,
+        data: Vec<u8>,
+        tid: u64,
+    ) -> Arc<VersionedRecord> {
         let record = Arc::new(VersionedRecord {
             tid: AtomicU64::new(tid),
             data: RwLock::new(data),
@@ -158,7 +164,12 @@ impl Transaction for SiloTransaction<'_> {
                     if current & 1 == 0
                         && record
                             .tid
-                            .compare_exchange(current, current | 1, Ordering::AcqRel, Ordering::Acquire)
+                            .compare_exchange(
+                                current,
+                                current | 1,
+                                Ordering::AcqRel,
+                                Ordering::Acquire,
+                            )
                             .is_ok()
                     {
                         break;
@@ -318,13 +329,13 @@ mod tests {
                 std::thread::spawn(move || {
                     for _ in 0..500 {
                         let (_, _stats) = run_with_retries(engine.as_ref(), 10_000, |txn| {
-                            let current = txn
-                                .read(Table::Warehouse, 1)?
-                                .ok_or(TxnError::NotFound {
+                            let current =
+                                txn.read(Table::Warehouse, 1)?.ok_or(TxnError::NotFound {
                                     table: Table::Warehouse,
                                     key: 1,
                                 })?;
-                            let value = u64::from_le_bytes(current[..8].try_into().expect("8 bytes"));
+                            let value =
+                                u64::from_le_bytes(current[..8].try_into().expect("8 bytes"));
                             txn.write(Table::Warehouse, 1, (value + 1).to_le_bytes().to_vec());
                             Ok(())
                         })

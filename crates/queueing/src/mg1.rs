@@ -21,7 +21,11 @@ impl Mg1Model {
         assert!(!samples.is_empty(), "need at least one service-time sample");
         let n = samples.len() as f64;
         let mean = samples.iter().map(|&s| s as f64 * 1e-9).sum::<f64>() / n;
-        let second = samples.iter().map(|&s| (s as f64 * 1e-9).powi(2)).sum::<f64>() / n;
+        let second = samples
+            .iter()
+            .map(|&s| (s as f64 * 1e-9).powi(2))
+            .sum::<f64>()
+            / n;
         Mg1Model {
             mean_service_s: mean,
             service_second_moment: second,
@@ -104,7 +108,10 @@ mod tests {
         let samples = vec![1_000_000u64, 3_000_000]; // 1 ms and 3 ms
         let model = Mg1Model::from_samples_ns(&samples);
         assert!((model.mean_service_s - 0.002).abs() < 1e-12);
-        assert!((model.service_second_moment - (0.001f64.powi(2) + 0.003f64.powi(2)) / 2.0).abs() < 1e-12);
+        assert!(
+            (model.service_second_moment - (0.001f64.powi(2) + 0.003f64.powi(2)) / 2.0).abs()
+                < 1e-12
+        );
     }
 
     #[test]

@@ -7,11 +7,11 @@
 //! *measured single-threaded* service times, it predicts what an n-thread system would
 //! achieve if threads added no overhead — the comparison baseline the paper uses.
 
+use rand::Rng;
 use std::collections::{BinaryHeap, VecDeque};
 use tailbench_histogram::LatencySummary;
 use tailbench_workloads::interarrival::InterarrivalProcess;
 use tailbench_workloads::rng::{seeded_rng, SuiteRng};
-use rand::Rng;
 
 /// An empirical distribution resampled uniformly from observed values.
 #[derive(Debug, Clone)]
@@ -100,11 +100,11 @@ impl MgkSimulation {
         let mut busy = 0usize;
 
         let serve = |arrival: u64,
-                         start: u64,
-                         idx: usize,
-                         rng: &mut SuiteRng,
-                         sojourn: &mut LatencySummary,
-                         completions: &mut BinaryHeap<std::cmp::Reverse<u64>>| {
+                     start: u64,
+                     idx: usize,
+                     rng: &mut SuiteRng,
+                     sojourn: &mut LatencySummary,
+                     completions: &mut BinaryHeap<std::cmp::Reverse<u64>>| {
             let service = self.service.sample(rng).max(1);
             let done = start + service;
             if idx >= warmup {
@@ -127,12 +127,26 @@ impl MgkSimulation {
                     (waiting.pop_front(), waiting_idx.pop_front())
                 {
                     busy += 1;
-                    serve(queued_arrival, done, queued_idx, &mut rng, &mut sojourn, &mut completions);
+                    serve(
+                        queued_arrival,
+                        done,
+                        queued_idx,
+                        &mut rng,
+                        &mut sojourn,
+                        &mut completions,
+                    );
                 }
             }
             if busy < self.servers {
                 busy += 1;
-                serve(arrival, arrival, idx, &mut rng, &mut sojourn, &mut completions);
+                serve(
+                    arrival,
+                    arrival,
+                    idx,
+                    &mut rng,
+                    &mut sojourn,
+                    &mut completions,
+                );
             } else {
                 waiting.push_back(arrival);
                 waiting_idx.push_back(idx);
@@ -143,7 +157,14 @@ impl MgkSimulation {
             if let (Some(queued_arrival), Some(queued_idx)) =
                 (waiting.pop_front(), waiting_idx.pop_front())
             {
-                serve(queued_arrival, done, queued_idx, &mut rng, &mut sojourn, &mut completions);
+                serve(
+                    queued_arrival,
+                    done,
+                    queued_idx,
+                    &mut rng,
+                    &mut sojourn,
+                    &mut completions,
+                );
             }
         }
 
@@ -186,7 +207,10 @@ mod tests {
         let result = sim.run(10.0, 20_000, 1); // 1% utilization
         assert!(result.utilization < 0.02);
         let mean = result.mean_ns();
-        assert!((mean - 1_000_000.0).abs() / 1_000_000.0 < 0.05, "mean = {mean}");
+        assert!(
+            (mean - 1_000_000.0).abs() / 1_000_000.0 < 0.05,
+            "mean = {mean}"
+        );
     }
 
     #[test]
@@ -200,7 +224,10 @@ mod tests {
         let simulated_mean_s = result.mean_ns() * 1e-9;
         let analytic_mean_s = analytic.mean_sojourn_s(qps);
         let err = (simulated_mean_s - analytic_mean_s).abs() / analytic_mean_s;
-        assert!(err < 0.1, "simulated {simulated_mean_s}, analytic {analytic_mean_s}, err {err}");
+        assert!(
+            err < 0.1,
+            "simulated {simulated_mean_s}, analytic {analytic_mean_s}, err {err}"
+        );
     }
 
     #[test]

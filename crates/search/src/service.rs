@@ -150,7 +150,10 @@ mod tests {
     #[test]
     fn codec_round_trips() {
         let payload = codec::encode_query(&[1, 2, 99_999], 25);
-        assert_eq!(codec::decode_query(&payload), Some((vec![1, 2, 99_999], 25)));
+        assert_eq!(
+            codec::decode_query(&payload),
+            Some((vec![1, 2, 99_999], 25))
+        );
         assert_eq!(codec::decode_query(&[1]), None);
     }
 

@@ -94,8 +94,11 @@ impl CacheHierarchy {
         }
         let accesses = profile.mem_accesses() as f64;
         let kilo_instr = profile.instructions as f64 / 1_000.0;
-        let p_l1 =
-            Self::miss_probability(profile.footprint_bytes, profile.locality, self.l1d.capacity_bytes);
+        let p_l1 = Self::miss_probability(
+            profile.footprint_bytes,
+            profile.locality,
+            self.l1d.capacity_bytes,
+        );
         // Misses filter through the hierarchy: an access can only miss L2 if it missed
         // L1, and locality of the surviving stream is lower.
         let p_l2 = p_l1
@@ -103,8 +106,14 @@ impl CacheHierarchy {
                 profile.footprint_bytes,
                 profile.locality * 0.5,
                 self.l2.capacity_bytes,
-            ).min(1.0)
-            / Self::miss_probability(profile.footprint_bytes, profile.locality, self.l1d.capacity_bytes).max(1e-12);
+            )
+            .min(1.0)
+            / Self::miss_probability(
+                profile.footprint_bytes,
+                profile.locality,
+                self.l1d.capacity_bytes,
+            )
+            .max(1e-12);
         let p_l2 = p_l2.min(p_l1);
         let p_l3 = p_l2
             * Self::miss_probability(profile.footprint_bytes, 0.0, self.l3.capacity_bytes).min(1.0);
@@ -132,11 +141,19 @@ impl CacheHierarchy {
         if accesses == 0.0 {
             return 0.0;
         }
-        let p_l1 =
-            Self::miss_probability(profile.footprint_bytes, profile.locality, self.l1d.capacity_bytes);
+        let p_l1 = Self::miss_probability(
+            profile.footprint_bytes,
+            profile.locality,
+            self.l1d.capacity_bytes,
+        );
         let p_l2 = p_l1
-            * Self::miss_probability(profile.footprint_bytes, profile.locality * 0.5, self.l2.capacity_bytes);
-        let p_l3 = p_l2 * Self::miss_probability(profile.footprint_bytes, 0.0, self.l3.capacity_bytes);
+            * Self::miss_probability(
+                profile.footprint_bytes,
+                profile.locality * 0.5,
+                self.l2.capacity_bytes,
+            );
+        let p_l3 =
+            p_l2 * Self::miss_probability(profile.footprint_bytes, 0.0, self.l3.capacity_bytes);
         accesses
             * (p_l1 * self.l2.hit_latency_cycles
                 + p_l2 * self.l3.hit_latency_cycles
@@ -165,7 +182,10 @@ mod tests {
         assert!(CacheHierarchy::miss_probability(1_024, 0.5, 32 * 1024) < 0.02);
         assert!(CacheHierarchy::miss_probability(64 * 1024 * 1024, 0.0, 32 * 1024) > 0.9);
         // Perfect locality never misses; zero footprint never misses.
-        assert_eq!(CacheHierarchy::miss_probability(1 << 30, 1.0, 32 * 1024), 0.0);
+        assert_eq!(
+            CacheHierarchy::miss_probability(1 << 30, 1.0, 32 * 1024),
+            0.0
+        );
         assert_eq!(CacheHierarchy::miss_probability(0, 0.0, 32 * 1024), 0.0);
     }
 

@@ -57,7 +57,10 @@ impl MachineConfig {
         vec![
             (
                 "Cores".to_string(),
-                format!("{} modeled Sandy Bridge-class cores, {:.1} GHz", self.cores, self.frequency_ghz),
+                format!(
+                    "{} modeled Sandy Bridge-class cores, {:.1} GHz",
+                    self.cores, self.frequency_ghz
+                ),
             ),
             (
                 "L1 caches".to_string(),
@@ -65,7 +68,10 @@ impl MachineConfig {
             ),
             (
                 "L2 caches".to_string(),
-                format!("{} KB private per-core", self.caches.l2.capacity_bytes / 1024),
+                format!(
+                    "{} KB private per-core",
+                    self.caches.l2.capacity_bytes / 1024
+                ),
             ),
             (
                 "L3 cache".to_string(),
@@ -245,7 +251,10 @@ mod tests {
         let p = memory_bound_profile();
         let one = model.service_time_ns(&p, 1);
         let four = model.service_time_ns(&p, 4);
-        assert!(four > one, "contention must inflate service time ({one} -> {four})");
+        assert!(
+            four > one,
+            "contention must inflate service time ({one} -> {four})"
+        );
     }
 
     #[test]
@@ -257,8 +266,10 @@ mod tests {
 
     #[test]
     fn speed_error_scales_everything() {
-        let mut config = MachineConfig::default();
-        config.speed_error = 2.0;
+        let config = MachineConfig {
+            speed_error: 2.0,
+            ..MachineConfig::default()
+        };
         let slow = SystemModel::new(config);
         let fast = SystemModel::default();
         let p = memory_bound_profile();

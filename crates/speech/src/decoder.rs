@@ -155,10 +155,9 @@ impl Recognizer {
             }
 
             // Apply acoustic scores.
-            for idx in 0..n {
-                if next_scores[idx] > NEG {
-                    let s = self.states[idx];
-                    next_scores[idx] += self.acoustic.log_likelihood(s.phone, s.state, frame);
+            for (score, s) in next_scores.iter_mut().zip(self.states.iter()) {
+                if *score > NEG {
+                    *score += self.acoustic.log_likelihood(s.phone, s.state, frame);
                     evaluations += 1;
                 }
             }
@@ -169,10 +168,10 @@ impl Recognizer {
         // Pick the best word-end state (falling back to the global best).
         let mut best_idx = 0;
         let mut best_score = NEG;
-        for idx in 0..n {
-            let bonus_ok = self.states[idx].is_word_end;
-            if scores[idx] > best_score && (bonus_ok || best_score == NEG) {
-                best_score = scores[idx];
+        for (idx, (&score, state)) in scores.iter().zip(self.states.iter()).enumerate() {
+            let bonus_ok = state.is_word_end;
+            if score > best_score && (bonus_ok || best_score == NEG) {
+                best_score = score;
                 best_idx = idx;
             }
         }

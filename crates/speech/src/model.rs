@@ -139,7 +139,10 @@ impl Lexicon {
     /// Total number of HMM states across all words.
     #[must_use]
     pub fn total_states(&self) -> usize {
-        self.pronunciations.iter().map(|p| p.len() * STATES_PER_PHONE).sum()
+        self.pronunciations
+            .iter()
+            .map(|p| p.len() * STATES_PER_PHONE)
+            .sum()
     }
 }
 

@@ -142,7 +142,10 @@ mod tests {
     #[test]
     fn codec_round_trips() {
         let frames = vec![[1.5f32; FEATURE_DIM], [-2.25f32; FEATURE_DIM]];
-        assert_eq!(codec::decode_frames(&codec::encode_frames(&frames)), Some(frames));
+        assert_eq!(
+            codec::decode_frames(&codec::encode_frames(&frames)),
+            Some(frames)
+        );
         assert_eq!(codec::decode_frames(&[0, 0]), None);
     }
 
@@ -166,7 +169,11 @@ mod tests {
         let app = SphinxApp::small();
         let mut factory = SpeechRequestFactory::new(20, 2);
         let resp = app.handle(&factory.next_request());
-        assert!(resp.work.instructions > 20 * 3_000, "work = {}", resp.work.instructions);
+        assert!(
+            resp.work.instructions > 20 * 3_000,
+            "work = {}",
+            resp.work.instructions
+        );
     }
 
     #[test]

@@ -110,7 +110,11 @@ impl Decoder {
 
         for covered in 0..n {
             // Histogram pruning: keep only the best `beam_width` hypotheses per stack.
-            stacks[covered].sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+            stacks[covered].sort_by(|a, b| {
+                b.score
+                    .partial_cmp(&a.score)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
             stacks[covered].truncate(self.config.beam_width);
             // Recombination: keep the best hypothesis per (coverage, last_word) state.
             dedup_states(&mut stacks[covered]);
@@ -136,8 +140,8 @@ impl Decoder {
                                 lm_score += self.lm.log_prob(prev, w);
                                 prev = Some(w);
                             }
-                            let distortion =
-                                -(start.abs_diff(hyp.last_end) as f32) * self.config.distortion_penalty;
+                            let distortion = -(start.abs_diff(hyp.last_end) as f32)
+                                * self.config.distortion_penalty;
                             let score = hyp.score
                                 + self.config.tm_weight * option.log_prob
                                 + self.config.lm_weight * lm_score
@@ -157,9 +161,11 @@ impl Decoder {
             }
         }
 
-        let best = stacks[n]
-            .iter()
-            .max_by(|a, b| a.score.partial_cmp(&b.score).unwrap_or(std::cmp::Ordering::Equal));
+        let best = stacks[n].iter().max_by(|a, b| {
+            a.score
+                .partial_cmp(&b.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
         match best {
             Some(h) => Translation {
                 target: h.target.clone(),

@@ -8,10 +8,10 @@
 //! translation options per phrase, and a bigram language model with backoff, trained on a
 //! synthetic target-language corpus generated from the same vocabulary.
 
+use rand::Rng;
 use std::collections::HashMap;
 use tailbench_workloads::rng::{seeded_rng, SuiteRng};
 use tailbench_workloads::zipf::Zipfian;
-use rand::Rng;
 
 /// A translation option for a source phrase.
 #[derive(Debug, Clone, PartialEq)]
@@ -256,7 +256,9 @@ mod tests {
         let b = table.lookup(&[1, 2]);
         assert_eq!(a, b);
         assert_eq!(a.len(), 4);
-        assert!(a.iter().all(|o| !o.target.is_empty() && o.target.len() <= 4));
+        assert!(a
+            .iter()
+            .all(|o| !o.target.is_empty() && o.target.len() <= 4));
         assert!(a.iter().all(|o| o.log_prob < 0.0));
         // Options are ordered from most to least probable.
         assert!(a.windows(2).all(|w| w[0].log_prob >= w[1].log_prob));

@@ -132,7 +132,10 @@ mod tests {
     #[test]
     fn codec_round_trips() {
         let words = vec![1u32, 500, 19_999];
-        assert_eq!(codec::decode_words(&codec::encode_words(&words)), Some(words));
+        assert_eq!(
+            codec::decode_words(&codec::encode_words(&words)),
+            Some(words)
+        );
         assert_eq!(codec::decode_words(&[5]), None);
     }
 

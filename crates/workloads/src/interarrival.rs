@@ -33,10 +33,11 @@ impl InterarrivalProcess {
     /// Panics if `qps` is not finite and positive.
     #[must_use]
     pub fn poisson(qps: f64) -> Self {
-        assert!(qps.is_finite() && qps > 0.0, "qps must be positive, got {qps}");
-        InterarrivalProcess::Exponential {
-            mean_ns: 1e9 / qps,
-        }
+        assert!(
+            qps.is_finite() && qps > 0.0,
+            "qps must be positive, got {qps}"
+        );
+        InterarrivalProcess::Exponential { mean_ns: 1e9 / qps }
     }
 
     /// Creates a deterministic arrival process with the given request rate in
@@ -47,7 +48,10 @@ impl InterarrivalProcess {
     /// Panics if `qps` is not finite and positive.
     #[must_use]
     pub fn uniform(qps: f64) -> Self {
-        assert!(qps.is_finite() && qps > 0.0, "qps must be positive, got {qps}");
+        assert!(
+            qps.is_finite() && qps > 0.0,
+            "qps must be positive, got {qps}"
+        );
         InterarrivalProcess::Deterministic {
             gap_ns: (1e9 / qps).round().max(1.0) as u64,
         }
@@ -110,7 +114,9 @@ mod tests {
     fn poisson_coefficient_of_variation_near_one() {
         let p = InterarrivalProcess::poisson(1_000.0);
         let mut rng = seeded_rng(11, 0);
-        let samples: Vec<f64> = (0..100_000).map(|_| p.next_gap_ns(&mut rng) as f64).collect();
+        let samples: Vec<f64> = (0..100_000)
+            .map(|_| p.next_gap_ns(&mut rng) as f64)
+            .collect();
         let mean = samples.iter().sum::<f64>() / samples.len() as f64;
         let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>()
             / (samples.len() as f64 - 1.0);

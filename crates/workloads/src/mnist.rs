@@ -123,8 +123,14 @@ impl DigitGenerator {
         let dy: f32 = rng.gen_range(-self.jitter..=self.jitter);
         let scale: f32 = rng.gen_range(0.85..=1.1);
         for [a, b] in strokes(digit) {
-            let a = (0.5 + (a.0 - 0.5) * scale + dx, 0.5 + (a.1 - 0.5) * scale + dy);
-            let b = (0.5 + (b.0 - 0.5) * scale + dx, 0.5 + (b.1 - 0.5) * scale + dy);
+            let a = (
+                0.5 + (a.0 - 0.5) * scale + dx,
+                0.5 + (a.1 - 0.5) * scale + dy,
+            );
+            let b = (
+                0.5 + (b.0 - 0.5) * scale + dx,
+                0.5 + (b.1 - 0.5) * scale + dy,
+            );
             rasterize_segment(&mut pixels, a, b);
         }
         if self.noise > 0.0 {
@@ -206,7 +212,10 @@ mod tests {
             .zip(one.pixels.iter())
             .map(|(a, b)| (a - b).abs())
             .sum();
-        assert!(diff > 20.0, "digit 0 and 1 are nearly identical (diff = {diff})");
+        assert!(
+            diff > 20.0,
+            "digit 0 and 1 are nearly identical (diff = {diff})"
+        );
     }
 
     #[test]

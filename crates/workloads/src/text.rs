@@ -82,8 +82,13 @@ impl SyntheticCorpus {
             // approximated from uniforms to avoid a heavyweight distribution dependency.
             let g: f64 = (0..6).map(|_| rng.gen::<f64>()).sum::<f64>() / 6.0 - 0.5; // ~N(0, 0.08)
             let len = ((config.mean_doc_len as f64) * (1.0 + 1.6 * g)).max(8.0) as usize;
-            let terms = (0..len).map(|_| term_dist.sample(&mut rng) as u32).collect();
-            documents.push(Document { id: id as u32, terms });
+            let terms = (0..len)
+                .map(|_| term_dist.sample(&mut rng) as u32)
+                .collect();
+            documents.push(Document {
+                id: id as u32,
+                terms,
+            });
         }
         SyntheticCorpus {
             term_popularity: term_dist,
@@ -147,7 +152,9 @@ impl QueryGenerator {
     /// Draws one query as a list of term identifiers.
     pub fn next_query(&self, rng: &mut SuiteRng) -> Vec<u32> {
         let n = rng.gen_range(self.min_terms..=self.max_terms);
-        (0..n).map(|_| self.term_popularity.sample(rng) as u32).collect()
+        (0..n)
+            .map(|_| self.term_popularity.sample(rng) as u32)
+            .collect()
     }
 }
 
@@ -188,7 +195,11 @@ mod tests {
         }
         let total: u64 = freq.iter().sum();
         let head: u64 = freq[..corpus.config().vocabulary / 10].iter().sum();
-        assert!(head as f64 / total as f64 > 0.5, "head share = {}", head as f64 / total as f64);
+        assert!(
+            head as f64 / total as f64 > 0.5,
+            "head share = {}",
+            head as f64 / total as f64
+        );
     }
 
     #[test]

@@ -305,8 +305,8 @@ impl TpccGenerator {
         let rollback = rng.gen_bool(0.01);
         let lines = (0..n_lines)
             .map(|_| {
-                let remote = self.config.warehouses > 1
-                    && rng.gen_bool(self.config.remote_line_fraction);
+                let remote =
+                    self.config.warehouses > 1 && rng.gen_bool(self.config.remote_line_fraction);
                 let supply_warehouse = if remote {
                     let mut w = rng.gen_range(1..=self.config.warehouses);
                     if w == warehouse {

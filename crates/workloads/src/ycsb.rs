@@ -199,8 +199,18 @@ mod tests {
         assert!(OpMix::MYCSB_A.is_valid());
         assert!(OpMix::YCSB_B.is_valid());
         assert!(OpMix::YCSB_E.is_valid());
-        assert!(!OpMix { get: 0.5, put: 0.6, scan: 0.0 }.is_valid());
-        assert!(!OpMix { get: -0.1, put: 1.1, scan: 0.0 }.is_valid());
+        assert!(!OpMix {
+            get: 0.5,
+            put: 0.6,
+            scan: 0.0
+        }
+        .is_valid());
+        assert!(!OpMix {
+            get: -0.1,
+            put: 1.1,
+            scan: 0.0
+        }
+        .is_valid());
     }
 
     #[test]
@@ -274,7 +284,11 @@ mod tests {
     #[should_panic(expected = "operation mix")]
     fn invalid_mix_panics() {
         let cfg = YcsbConfig {
-            mix: OpMix { get: 0.9, put: 0.9, scan: 0.0 },
+            mix: OpMix {
+                get: 0.9,
+                put: 0.9,
+                scan: 0.0,
+            },
             ..YcsbConfig::small()
         };
         let _ = YcsbGenerator::new(cfg);

@@ -44,7 +44,10 @@ impl Zipfian {
     #[must_use]
     pub fn new(n: u64, theta: f64) -> Self {
         assert!(n > 0, "zipfian over an empty domain");
-        assert!((0.0..1.0).contains(&theta), "theta must be in [0,1), got {theta}");
+        assert!(
+            (0.0..1.0).contains(&theta),
+            "theta must be in [0,1), got {theta}"
+        );
         let zetan = Self::zeta(n, theta);
         let zeta2theta = Self::zeta(2, theta);
         let alpha = 1.0 / (1.0 - theta);
@@ -189,7 +192,11 @@ mod tests {
         // Head heaviness: the top 10% of ranks should hold well over half the mass.
         let head: u64 = counts[..100].iter().sum();
         let total: u64 = counts.iter().sum();
-        assert!(head as f64 / total as f64 > 0.55, "head share = {}", head as f64 / total as f64);
+        assert!(
+            head as f64 / total as f64 > 0.55,
+            "head share = {}",
+            head as f64 / total as f64
+        );
     }
 
     #[test]

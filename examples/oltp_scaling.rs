@@ -38,7 +38,10 @@ fn main() -> Result<(), HarnessError> {
         "\n{:>22} {:>10} {:>14} {:>14}",
         "memory system", "threads", "offered QPS", "p95"
     );
-    for (label, model) in [("realistic", &realistic), ("idealized (0-cycle DRAM)", &idealized)] {
+    for (label, model) in [
+        ("realistic", &realistic),
+        ("idealized (0-cycle DRAM)", &idealized),
+    ] {
         for threads in [1usize, 4] {
             // Keep the per-thread load at 70% of single-thread capacity.
             let qps = capacity * 0.7 * threads as f64;

@@ -1,0 +1,18 @@
+//! Offline shim of the `serde` names used by TailBench-RS.
+//!
+//! The suite derives `Serialize`/`Deserialize` on its report and configuration structs;
+//! nothing in-tree performs serialization yet.  This crate supplies marker traits and
+//! re-exports the shim derives so `use serde::{Deserialize, Serialize}` plus
+//! `#[derive(Serialize, Deserialize)]` compile unchanged, and the real `serde` can be
+//! swapped back in (it is API-compatible for everything the suite uses) the moment the
+//! build environment regains registry access.
+
+#![deny(missing_docs)]
+
+/// Marker for types that would be serializable with upstream serde.
+pub trait Serialize {}
+
+/// Marker for types that would be deserializable with upstream serde.
+pub trait Deserialize {}
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,67 @@
+//! Derive-macro half of the in-tree serde shim.
+//!
+//! The suite derives `Serialize`/`Deserialize` on plain data structs so that reports can
+//! one day be exported; nothing in-tree serializes yet, so these derives expand to empty
+//! marker impls of the shim traits in `stubs/serde`.  No `syn`/`quote` — the environment
+//! is offline, so the type name is recovered with a small hand-rolled token scan.
+
+#![deny(missing_docs)]
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the name of the `struct`/`enum`/`union` a derive was applied to.
+///
+/// Returns `None` (derive expands to nothing) when the item is generic — the suite only
+/// derives on concrete types, and a marker impl for a generic item would need the full
+/// generics machinery.
+fn item_name(input: TokenStream) -> Option<String> {
+    let mut tokens = input.into_iter().peekable();
+    while let Some(token) = tokens.next() {
+        match token {
+            // Skip outer attributes (`#[...]`, including doc comments).
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                let _bracket_group = tokens.next();
+            }
+            TokenTree::Ident(ident) => {
+                let kw = ident.to_string();
+                if kw == "struct" || kw == "enum" || kw == "union" {
+                    if let Some(TokenTree::Ident(name)) = tokens.next() {
+                        let generic = matches!(
+                            tokens.peek(),
+                            Some(TokenTree::Punct(p)) if p.as_char() == '<'
+                        );
+                        if generic {
+                            return None;
+                        }
+                        return Some(name.to_string());
+                    }
+                    return None;
+                }
+                // `pub`, `pub(crate)`-style visibility idents fall through.
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+fn marker_impl(trait_path: &str, input: TokenStream) -> TokenStream {
+    match item_name(input) {
+        Some(name) => format!("impl {trait_path} for {name} {{}}")
+            .parse()
+            .expect("marker impl must parse"),
+        None => TokenStream::new(),
+    }
+}
+
+/// Shim `#[derive(Serialize)]`: expands to `impl ::serde::Serialize for T {}`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    marker_impl("::serde::Serialize", input)
+}
+
+/// Shim `#[derive(Deserialize)]`: expands to `impl ::serde::Deserialize for T {}`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    marker_impl("::serde::Deserialize", input)
+}

@@ -7,10 +7,7 @@ use tailbench::core::config::{BenchmarkConfig, HarnessMode};
 use tailbench::core::{runner, RepeatPolicy, RequestFactory, ServerApp};
 use tailbench::simarch::{MachineConfig, SystemModel};
 
-fn masstree() -> (
-    Arc<dyn ServerApp>,
-    impl Fn(u64) -> Box<dyn RequestFactory>,
-) {
+fn masstree() -> (Arc<dyn ServerApp>, impl Fn(u64) -> Box<dyn RequestFactory>) {
     use tailbench::apps::kvstore::{MasstreeApp, YcsbRequestFactory};
     use tailbench::workloads::ycsb::YcsbConfig;
     let workload = YcsbConfig::small();
@@ -30,7 +27,10 @@ fn simulated_latency_grows_with_load_like_the_real_system() {
         runner::run_with_cost_model(
             &app,
             factory.as_mut(),
-            &BenchmarkConfig::new(qps, 1_500).with_warmup(150).with_mode(mode).with_seed(11),
+            &BenchmarkConfig::new(qps, 1_500)
+                .with_warmup(150)
+                .with_mode(mode)
+                .with_seed(11),
             &model,
         )
         .expect("run")
@@ -98,8 +98,12 @@ fn queueing_model_matches_the_simulated_harness_for_constant_service() {
     use tailbench::core::app::{EchoApp, InstructionRateModel};
     use tailbench::queueing::{EmpiricalDistribution, MgkSimulation};
 
-    let app: Arc<dyn ServerApp> = Arc::new(EchoApp { spin_iters: 100_000 });
-    let model = InstructionRateModel { ns_per_instruction: 1.0 }; // ~100 us per request
+    let app: Arc<dyn ServerApp> = Arc::new(EchoApp {
+        spin_iters: 100_000,
+    });
+    let model = InstructionRateModel {
+        ns_per_instruction: 1.0,
+    }; // ~100 us per request
     let mut factory = || vec![0u8];
     let report = runner::run_with_cost_model(
         &app,
@@ -138,7 +142,9 @@ fn closed_loop_underestimates_tail_latency() {
     let open = runner::run(
         &app,
         factory.as_mut(),
-        &BenchmarkConfig::new(qps, 2_000).with_warmup(200).with_seed(5),
+        &BenchmarkConfig::new(qps, 2_000)
+            .with_warmup(200)
+            .with_seed(5),
     )
     .unwrap();
     let mut factory = make_factory(4);
