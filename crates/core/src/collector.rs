@@ -124,6 +124,164 @@ impl StatsCollector {
     }
 }
 
+/// A merge in progress for one fanned-out request.
+#[derive(Debug, Clone, Copy)]
+struct PendingFanout {
+    remaining: usize,
+    slowest: RequestRecord,
+}
+
+/// The cross-shard statistics collector of a cluster run.
+///
+/// Every completed request *leg* (one request × one shard) is recorded into its shard's
+/// own [`StatsCollector`]; when the last leg of a request lands, the record of the
+/// slowest leg is additionally recorded end-to-end (last-response-wins — the root of a
+/// partition-aggregate query can only answer once its slowest leaf has responded).
+/// Reporting both distributions makes the fan-out tail amplification
+/// (`p99_cluster / p99_shard`) a first-class result.
+#[derive(Debug, Clone)]
+pub struct ClusterCollector {
+    cluster: StatsCollector,
+    per_shard: Vec<StatsCollector>,
+    pending: std::collections::HashMap<u64, PendingFanout>,
+}
+
+impl ClusterCollector {
+    /// Creates a collector for `shards` shards with the given warmup request count.
+    #[must_use]
+    pub fn new(shards: usize, warmup_count: u64) -> Self {
+        ClusterCollector {
+            cluster: StatsCollector::new(warmup_count),
+            per_shard: (0..shards.max(1))
+                .map(|_| StatsCollector::new(warmup_count))
+                .collect(),
+            pending: std::collections::HashMap::new(),
+        }
+    }
+
+    /// Records one finished leg of a request.
+    ///
+    /// `expected_legs` is the request's fan-out width (1 for single-shard requests, the
+    /// shard count for broadcast requests).  When the final leg lands, the slowest leg's
+    /// record is recorded into the end-to-end distribution and returned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    pub fn record_leg(
+        &mut self,
+        shard: usize,
+        record: RequestRecord,
+        expected_legs: usize,
+    ) -> Option<RequestRecord> {
+        self.per_shard[shard].record(&record);
+        if expected_legs <= 1 {
+            self.cluster.record(&record);
+            return Some(record);
+        }
+        let entry = self.pending.entry(record.id.0).or_insert(PendingFanout {
+            remaining: expected_legs,
+            slowest: record,
+        });
+        if record.client_received_ns > entry.slowest.client_received_ns {
+            entry.slowest = record;
+        }
+        entry.remaining -= 1;
+        if entry.remaining == 0 {
+            let slowest = entry.slowest;
+            self.pending.remove(&record.id.0);
+            self.cluster.record(&slowest);
+            Some(slowest)
+        } else {
+            None
+        }
+    }
+
+    /// The end-to-end (cluster) statistics.
+    #[must_use]
+    pub fn cluster_stats(&self) -> &StatsCollector {
+        &self.cluster
+    }
+
+    /// Per-shard statistics, indexed by shard.
+    #[must_use]
+    pub fn shard_stats(&self) -> &[StatsCollector] {
+        &self.per_shard
+    }
+
+    /// Number of requests whose fan-out merge is still incomplete (non-zero only if a
+    /// run was cut short).
+    #[must_use]
+    pub fn unmerged(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// The union of all shards' sojourn distributions (every leg, regardless of which
+    /// shard served it).  This is the "per-shard" view used for tail-amplification
+    /// comparisons, built through the histogram merge path.
+    #[must_use]
+    pub fn merged_shard_sojourn(&self) -> LatencySummary {
+        let mut merged = LatencySummary::new();
+        for shard in &self.per_shard {
+            merged.merge(shard.sojourn_summary());
+        }
+        merged
+    }
+}
+
+/// One finished request leg on its way to the cluster collector thread:
+/// `(shard, expected_legs, record)`.
+pub type ClusterLeg = (usize, usize, RequestRecord);
+
+/// A [`ClusterCollector`] running on its own thread, fed through a channel.
+///
+/// Receiver/forwarder threads send [`ClusterLeg`] triples; when every sender has been
+/// dropped the thread finishes and [`ClusterCollectorHandle::join`] returns the
+/// populated collector.
+#[derive(Debug)]
+pub struct ClusterCollectorHandle {
+    tx: Sender<ClusterLeg>,
+    handle: JoinHandle<ClusterCollector>,
+}
+
+impl ClusterCollectorHandle {
+    /// Spawns the collector thread.
+    #[must_use]
+    pub fn spawn(shards: usize, warmup_count: u64) -> Self {
+        let (tx, rx): (Sender<ClusterLeg>, Receiver<ClusterLeg>) = unbounded();
+        let handle = std::thread::Builder::new()
+            .name("tb-cluster-collector".into())
+            .spawn(move || {
+                let mut collector = ClusterCollector::new(shards, warmup_count);
+                while let Ok((shard, expected_legs, record)) = rx.recv() {
+                    let _ = collector.record_leg(shard, record, expected_legs);
+                }
+                collector
+            })
+            .expect("failed to spawn cluster collector thread");
+        ClusterCollectorHandle { tx, handle }
+    }
+
+    /// A sender that routes leg records to the collector thread.
+    #[must_use]
+    pub fn sender(&self) -> Sender<ClusterLeg> {
+        self.tx.clone()
+    }
+
+    /// Drops the local sender and waits for the collector thread to drain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the collector thread itself panicked.
+    #[must_use]
+    pub fn join(self) -> ClusterCollector {
+        drop(self.tx);
+        self.handle
+            .join()
+            .expect("cluster collector thread panicked")
+    }
+}
+
 /// A collector running on its own thread, fed through a channel.
 ///
 /// Worker threads (or client receiver threads) send [`RequestRecord`]s into
@@ -227,6 +385,73 @@ mod tests {
         assert_eq!(c.achieved_qps(), 0.0);
         assert_eq!(c.measured(), 0);
         assert_eq!(c.span_ns(), 0);
+    }
+
+    fn record_at(id: u64, issued: u64, received: u64) -> RequestRecord {
+        RequestRecord {
+            id: RequestId(id),
+            issued_ns: issued,
+            enqueued_ns: issued,
+            started_ns: issued,
+            completed_ns: received,
+            client_received_ns: received,
+        }
+    }
+
+    #[test]
+    fn cluster_collector_merges_on_last_response() {
+        let mut c = ClusterCollector::new(4, 0);
+        // One broadcast request: three legs complete at 100/300/200 — the merge must
+        // yield the slowest leg (300) once, not three cluster records.
+        assert!(c.record_leg(0, record_at(0, 0, 100), 3).is_none());
+        assert!(c.record_leg(1, record_at(0, 0, 300), 3).is_none());
+        let merged = c.record_leg(2, record_at(0, 0, 200), 3).unwrap();
+        assert_eq!(merged.client_received_ns, 300);
+        assert_eq!(c.cluster_stats().measured(), 1);
+        assert_eq!(c.cluster_stats().sojourn_stats().max_ns, 300);
+        assert_eq!(c.shard_stats()[0].measured(), 1);
+        assert_eq!(c.shard_stats()[3].measured(), 0);
+        assert_eq!(c.unmerged(), 0);
+    }
+
+    #[test]
+    fn cluster_collector_single_shard_records_directly() {
+        let mut c = ClusterCollector::new(2, 0);
+        let merged = c.record_leg(1, record_at(7, 10, 60), 1).unwrap();
+        assert_eq!(merged.sojourn_ns(), 50);
+        assert_eq!(c.cluster_stats().measured(), 1);
+        assert_eq!(c.shard_stats()[1].measured(), 1);
+    }
+
+    #[test]
+    fn merged_shard_sojourn_covers_every_leg() {
+        let mut c = ClusterCollector::new(2, 0);
+        let _ = c.record_leg(0, record_at(0, 0, 100), 2);
+        let _ = c.record_leg(1, record_at(0, 0, 400), 2);
+        let _ = c.record_leg(0, record_at(1, 0, 200), 2);
+        let _ = c.record_leg(1, record_at(1, 0, 300), 2);
+        let merged = c.merged_shard_sojourn();
+        assert_eq!(merged.len(), 4);
+        assert_eq!(merged.max(), 400);
+        // The cluster distribution keeps only the slowest leg per request.
+        assert_eq!(c.cluster_stats().measured(), 2);
+        assert_eq!(c.cluster_stats().sojourn_stats().min_ns, 300);
+    }
+
+    #[test]
+    fn threaded_cluster_collector_drains_and_joins() {
+        let handle = ClusterCollectorHandle::spawn(2, 0);
+        let tx = handle.sender();
+        for i in 0..10u64 {
+            tx.send((0, 2, record_at(i, 0, 100))).unwrap();
+            tx.send((1, 2, record_at(i, 0, 200))).unwrap();
+        }
+        drop(tx);
+        let collector = handle.join();
+        assert_eq!(collector.cluster_stats().measured(), 10);
+        assert_eq!(collector.shard_stats()[0].measured(), 10);
+        assert_eq!(collector.shard_stats()[1].measured(), 10);
+        assert_eq!(collector.unmerged(), 0);
     }
 
     #[test]

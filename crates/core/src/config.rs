@@ -65,6 +65,187 @@ impl HarnessMode {
     }
 }
 
+/// Where the client-side router sends one request in a cluster run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Route {
+    /// The request is served by a single shard.
+    Shard(usize),
+    /// The request fans out to every shard and completes when the last response arrives
+    /// (partition-aggregate).
+    AllShards,
+}
+
+/// How the client-side router maps request payloads onto shards.
+///
+/// TailBench payloads are opaque bytes, so the sharding policies address key material by
+/// byte range instead of by decoding application types — the same payload bytes flow
+/// unchanged through every harness configuration.
+#[derive(Debug, Clone)]
+pub enum FanoutPolicy {
+    /// Hash `len` payload bytes starting at `offset` (FNV-1a) and route to
+    /// `hash % shards`.  The policy for single-key workloads with unstructured key
+    /// spaces (YCSB gets/puts against masstree).
+    HashKey {
+        /// Byte offset of the key within the payload.
+        offset: usize,
+        /// Key length in bytes.
+        len: usize,
+    },
+    /// Interpret up to 8 little-endian payload bytes at `offset` as a partition id and
+    /// route to `id % shards`.  The policy for pre-partitioned workloads (TPC-C, where
+    /// the warehouse id is the partition key).
+    Partition {
+        /// Byte offset of the partition id within the payload.
+        offset: usize,
+        /// Partition-id length in bytes (at most 8).
+        len: usize,
+    },
+    /// Fan every request out to all shards and merge on last-response-wins
+    /// (partition-aggregate, the web-search leaf/root pattern).
+    Broadcast,
+}
+
+impl FanoutPolicy {
+    /// The sharding policy for the YCSB/masstree wire format: the 8-byte key follows the
+    /// 1-byte operation tag.
+    #[must_use]
+    pub fn ycsb() -> Self {
+        FanoutPolicy::HashKey { offset: 1, len: 8 }
+    }
+
+    /// The sharding policy for the TPC-C wire format: the 4-byte warehouse id follows
+    /// the 1-byte transaction tag, so each shard owns `warehouses / shards` warehouses.
+    #[must_use]
+    pub fn tpcc() -> Self {
+        FanoutPolicy::Partition { offset: 1, len: 4 }
+    }
+
+    /// A short name used in reports.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            FanoutPolicy::HashKey { .. } => "hash-key",
+            FanoutPolicy::Partition { .. } => "partition",
+            FanoutPolicy::Broadcast => "broadcast",
+        }
+    }
+
+    /// Routes one request payload to its destination shard(s).
+    ///
+    /// Out-of-range byte addresses fall back to hashing whatever payload bytes exist, so
+    /// malformed requests still route deterministically instead of panicking.
+    #[must_use]
+    pub fn route(&self, payload: &[u8], shards: usize) -> Route {
+        if shards <= 1 {
+            return match self {
+                FanoutPolicy::Broadcast => Route::AllShards,
+                _ => Route::Shard(0),
+            };
+        }
+        match self {
+            FanoutPolicy::Broadcast => Route::AllShards,
+            FanoutPolicy::HashKey { offset, len } => {
+                let key = slice_or_fallback(payload, *offset, *len);
+                Route::Shard((fnv1a(key) % shards as u64) as usize)
+            }
+            FanoutPolicy::Partition { offset, len } => {
+                let bytes = slice_or_fallback(payload, *offset, (*len).min(8));
+                let mut id = 0u64;
+                for (i, &b) in bytes.iter().take(8).enumerate() {
+                    id |= u64::from(b) << (8 * i);
+                }
+                Route::Shard((id % shards as u64) as usize)
+            }
+        }
+    }
+}
+
+fn slice_or_fallback(payload: &[u8], offset: usize, len: usize) -> &[u8] {
+    payload.get(offset..offset + len).unwrap_or(payload)
+}
+
+/// FNV-1a, the classic cheap byte-string hash; stable across platforms so cluster
+/// routing is deterministic everywhere.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// A cluster of server instances layered on top of a [`BenchmarkConfig`].
+///
+/// A cluster run starts `shards * replication` independent server instances — each with
+/// its own request queue and worker pool (or its own simulated station) — and a
+/// client-side router that distributes the open-loop request schedule according to
+/// `fanout`.  Replicas of a shard serve the same data; single-shard requests are
+/// balanced across a shard's replicas by request id.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of data shards.
+    pub shards: usize,
+    /// Replicas per shard (1 = no replication).
+    pub replication: usize,
+    /// How requests map onto shards.
+    pub fanout: FanoutPolicy,
+}
+
+impl ClusterConfig {
+    /// Creates a cluster configuration with no replication.
+    #[must_use]
+    pub fn new(shards: usize, fanout: FanoutPolicy) -> Self {
+        ClusterConfig {
+            shards: shards.max(1),
+            replication: 1,
+            fanout,
+        }
+    }
+
+    /// Sets the replication factor.
+    #[must_use]
+    pub fn with_replication(mut self, replication: usize) -> Self {
+        self.replication = replication.max(1);
+        self
+    }
+
+    /// Total number of server instances (`shards * replication`).
+    #[must_use]
+    pub fn instances(&self) -> usize {
+        self.shards * self.replication
+    }
+
+    /// Number of legs a fanned-out request produces (`shards` under broadcast, 1
+    /// otherwise).  Constant per policy, which lets the merge path know how many
+    /// responses to wait for without per-request bookkeeping.
+    #[must_use]
+    pub fn fanout_width(&self) -> usize {
+        match self.fanout {
+            FanoutPolicy::Broadcast => self.shards,
+            _ => 1,
+        }
+    }
+
+    /// The server instance that serves `shard` for the request with id `request_id`
+    /// (replicas are selected round-robin by request id).
+    #[must_use]
+    pub fn instance(&self, shard: usize, request_id: u64) -> usize {
+        shard * self.replication + (request_id % self.replication as u64) as usize
+    }
+
+    /// A short name for reports, e.g. `cluster4x2-broadcast`.
+    #[must_use]
+    pub fn name(&self) -> String {
+        format!(
+            "cluster{}x{}-{}",
+            self.shards,
+            self.replication,
+            self.fanout.name()
+        )
+    }
+}
+
 /// Full description of one benchmark run.
 #[derive(Debug, Clone)]
 pub struct BenchmarkConfig {
@@ -182,6 +363,80 @@ mod tests {
     fn zero_threads_clamps_to_one() {
         let c = BenchmarkConfig::new(100.0, 100).with_threads(0);
         assert_eq!(c.worker_threads, 1);
+    }
+
+    #[test]
+    fn hash_key_routing_is_deterministic_and_in_range() {
+        let policy = FanoutPolicy::ycsb();
+        let mut payload = vec![0u8; 9];
+        for key in 0u64..200 {
+            payload[1..9].copy_from_slice(&key.to_le_bytes());
+            let a = policy.route(&payload, 4);
+            let b = policy.route(&payload, 4);
+            assert_eq!(a, b);
+            let Route::Shard(s) = a else {
+                panic!("hash-key must route to one shard")
+            };
+            assert!(s < 4);
+        }
+    }
+
+    #[test]
+    fn hash_key_spreads_keys_across_shards() {
+        let policy = FanoutPolicy::ycsb();
+        let mut seen = [false; 4];
+        let mut payload = vec![0u8; 9];
+        for key in 0u64..64 {
+            payload[1..9].copy_from_slice(&key.to_le_bytes());
+            if let Route::Shard(s) = policy.route(&payload, 4) {
+                seen[s] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "64 keys must touch all 4 shards");
+    }
+
+    #[test]
+    fn partition_routing_uses_the_id_modulo_shards() {
+        let policy = FanoutPolicy::tpcc();
+        let mut payload = vec![0u8; 5];
+        for warehouse in 1u32..=16 {
+            payload[1..5].copy_from_slice(&warehouse.to_le_bytes());
+            assert_eq!(
+                policy.route(&payload, 4),
+                Route::Shard((warehouse % 4) as usize)
+            );
+        }
+    }
+
+    #[test]
+    fn broadcast_routes_to_all_shards() {
+        assert_eq!(FanoutPolicy::Broadcast.route(b"any", 8), Route::AllShards);
+        assert_eq!(FanoutPolicy::Broadcast.route(b"any", 1), Route::AllShards);
+    }
+
+    #[test]
+    fn short_payloads_still_route() {
+        // A payload shorter than the addressed key range must not panic.
+        let policy = FanoutPolicy::HashKey { offset: 1, len: 8 };
+        let Route::Shard(s) = policy.route(&[7], 4) else {
+            panic!("must degrade to a single shard")
+        };
+        assert!(s < 4);
+    }
+
+    #[test]
+    fn cluster_config_derives_instances_and_width() {
+        let c = ClusterConfig::new(4, FanoutPolicy::Broadcast).with_replication(2);
+        assert_eq!(c.instances(), 8);
+        assert_eq!(c.fanout_width(), 4);
+        assert_eq!(c.instance(3, 0), 6);
+        assert_eq!(c.instance(3, 1), 7);
+        assert_eq!(c.name(), "cluster4x2-broadcast");
+
+        let single = ClusterConfig::new(0, FanoutPolicy::ycsb());
+        assert_eq!(single.shards, 1, "shard count clamps to one");
+        assert_eq!(single.fanout_width(), 1);
+        assert_eq!(single.name(), "cluster1x1-hash-key");
     }
 
     #[test]

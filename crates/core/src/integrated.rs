@@ -6,10 +6,11 @@
 //! processing plus queuing, with no network-stack overhead.
 
 use crate::app::{RequestFactory, ServerApp};
-use crate::collector::{CollectorHandle, StatsCollector};
-use crate::config::BenchmarkConfig;
+use crate::collector::{ClusterCollector, ClusterCollectorHandle, CollectorHandle, StatsCollector};
+use crate::config::{BenchmarkConfig, ClusterConfig, Route};
+use crate::error::HarnessError;
 use crate::queue::{Completion, RequestQueue};
-use crate::report::RunReport;
+use crate::report::{ClusterReport, LatencyStats, RunReport};
 use crate::time::RunClock;
 use crate::traffic::{LoadMode, TrafficShaper};
 use crate::worker::WorkerPool;
@@ -118,6 +119,158 @@ fn run_closed_loop(
     collector.join()
 }
 
+/// Runs one cluster measurement in the integrated configuration.
+///
+/// Each of the `cluster.instances()` server instances gets its own request queue and
+/// worker pool (all sharing one run clock); the calling thread is the client-side
+/// router, pacing the global open-loop schedule and distributing requests according to
+/// `cluster.fanout`.  Fan-out legs are merged last-response-wins by the cross-shard
+/// collector.
+///
+/// # Errors
+///
+/// Returns [`HarnessError::Config`] if the load mode is closed-loop or `apps` does not
+/// hold exactly one application per instance.
+pub fn run_cluster_integrated(
+    apps: &[Arc<dyn ServerApp>],
+    factory: &mut dyn RequestFactory,
+    config: &BenchmarkConfig,
+    cluster: &ClusterConfig,
+) -> Result<ClusterReport, HarnessError> {
+    let LoadMode::Open(process) = &config.load else {
+        return Err(HarnessError::Config(
+            "cluster runs require an open-loop load mode".into(),
+        ));
+    };
+    check_instances(apps, cluster)?;
+    for app in apps {
+        app.prepare();
+    }
+
+    let clock = RunClock::new();
+    let width = cluster.fanout_width();
+    let collector = ClusterCollectorHandle::spawn(cluster.shards, config.warmup_requests as u64);
+    let queues: Vec<RequestQueue> = (0..apps.len()).map(|_| RequestQueue::new()).collect();
+    let mut pools = Vec::with_capacity(apps.len());
+    let mut forwarders = Vec::with_capacity(apps.len());
+    let mut leg_txs: Vec<crossbeam::channel::Sender<crate::queue::ServerCompletion>> =
+        Vec::with_capacity(apps.len());
+    for (i, app) in apps.iter().enumerate() {
+        pools.push(WorkerPool::spawn(
+            Arc::clone(app),
+            queues[i].receiver(),
+            clock,
+            config.worker_threads,
+        ));
+        let (resp_tx, resp_rx) = crossbeam::channel::unbounded();
+        leg_txs.push(resp_tx);
+        let record_tx = collector.sender();
+        let shard = i / cluster.replication;
+        forwarders.push(
+            std::thread::Builder::new()
+                .name(format!("tb-cluster-fwd-{i}"))
+                .spawn(move || {
+                    while let Ok(completion) = resp_rx.recv() {
+                        // Integrated configuration: the response is delivered the moment
+                        // processing completes (shared memory, no transport).
+                        let received = completion.completed_ns;
+                        let _ = record_tx.send((shard, width, completion.into_record(received)));
+                    }
+                })
+                .expect("failed to spawn cluster forwarder"),
+        );
+    }
+
+    let mut rng = seeded_rng(config.seed, 1);
+    let shaper = TrafficShaper::build(process, &mut rng, config.total_requests(), 0, || {
+        factory.next_request()
+    });
+    let max_ns = config.max_duration.as_nanos() as u64;
+    'pacing: for mut request in shaper.into_requests() {
+        let now = clock.sleep_until_ns(request.issued_ns);
+        if now > max_ns {
+            break;
+        }
+        request.issued_ns = now;
+        match cluster.fanout.route(&request.payload, cluster.shards) {
+            Route::Shard(shard) => {
+                let i = cluster.instance(shard, request.id.0);
+                if !queues[i].push(request, now, Completion::Responder(leg_txs[i].clone())) {
+                    break 'pacing;
+                }
+            }
+            Route::AllShards => {
+                for shard in 0..cluster.shards {
+                    let i = cluster.instance(shard, request.id.0);
+                    let leg = request.clone();
+                    if !queues[i].push(leg, now, Completion::Responder(leg_txs[i].clone())) {
+                        break 'pacing;
+                    }
+                }
+            }
+        }
+    }
+
+    drop(leg_txs);
+    for queue in queues {
+        queue.close();
+    }
+    for pool in pools {
+        let _ = pool.join();
+    }
+    for forwarder in forwarders {
+        let _ = forwarder.join();
+    }
+    let stats = collector.join();
+    Ok(build_cluster_report(
+        apps[0].name(),
+        "integrated",
+        config,
+        cluster,
+        &stats,
+    ))
+}
+
+/// Validates that `apps` provides exactly one application per cluster instance.
+pub(crate) fn check_instances(
+    apps: &[Arc<dyn ServerApp>],
+    cluster: &ClusterConfig,
+) -> Result<(), HarnessError> {
+    if apps.len() == cluster.instances() {
+        Ok(())
+    } else {
+        Err(HarnessError::Config(format!(
+            "cluster of {} shards x {} replicas needs {} apps, got {}",
+            cluster.shards,
+            cluster.replication,
+            cluster.instances(),
+            apps.len()
+        )))
+    }
+}
+
+/// Assembles a [`ClusterReport`] from a populated cross-shard collector.
+pub(crate) fn build_cluster_report(
+    app: &str,
+    mode_name: &str,
+    config: &BenchmarkConfig,
+    cluster: &ClusterConfig,
+    stats: &ClusterCollector,
+) -> ClusterReport {
+    let configuration = format!("{mode_name}+{}", cluster.name());
+    ClusterReport {
+        cluster: build_report(app, &configuration, config, stats.cluster_stats()),
+        per_shard: stats
+            .shard_stats()
+            .iter()
+            .map(|shard| build_report(app, &configuration, config, shard))
+            .collect(),
+        shards: cluster.shards,
+        replication: cluster.replication,
+        shard_union_sojourn: LatencyStats::from_summary(&stats.merged_shard_sojourn()),
+    }
+}
+
 /// Assembles a [`RunReport`] from a populated collector.
 pub(crate) fn build_report(
     app: &str,
@@ -189,6 +342,66 @@ mod tests {
             high.sojourn.p95_ns,
             low.sojourn.p95_ns
         );
+    }
+
+    #[test]
+    fn integrated_cluster_broadcast_waits_for_the_slowest_shard() {
+        use crate::config::{ClusterConfig, FanoutPolicy};
+        let apps: Vec<Arc<dyn ServerApp>> = (0..3)
+            .map(|_| Arc::new(EchoApp::with_service_us(20)) as Arc<dyn ServerApp>)
+            .collect();
+        let cluster = ClusterConfig::new(3, FanoutPolicy::Broadcast);
+        let mut factory = || b"fan".to_vec();
+        let config = BenchmarkConfig::new(1_000.0, 300)
+            .with_warmup(30)
+            .with_max_duration(Duration::from_secs(20));
+        let report = run_cluster_integrated(&apps, &mut factory, &config, &cluster).unwrap();
+        assert_eq!(report.shards, 3);
+        assert_eq!(report.per_shard.len(), 3);
+        // Every shard serves every request under broadcast.
+        assert!(report.cluster.requests > 250, "{}", report.cluster.requests);
+        for shard in &report.per_shard {
+            assert_eq!(shard.requests, report.cluster.requests);
+        }
+        // The end-to-end tail waits for the slowest shard, so it can never be below a
+        // single shard's tail.
+        assert!(report.cluster.sojourn.p99_ns >= report.max_shard_p99_ns());
+        assert!(report.p99_amplification() >= 1.0);
+    }
+
+    #[test]
+    fn integrated_cluster_hash_routing_partitions_requests() {
+        use crate::config::{ClusterConfig, FanoutPolicy};
+        let apps: Vec<Arc<dyn ServerApp>> = (0..4)
+            .map(|_| Arc::new(EchoApp::default()) as Arc<dyn ServerApp>)
+            .collect();
+        let cluster = ClusterConfig::new(4, FanoutPolicy::HashKey { offset: 0, len: 8 });
+        let mut n = 0u64;
+        let mut factory = move || {
+            n += 1;
+            n.to_le_bytes().to_vec()
+        };
+        let config = BenchmarkConfig::new(2_000.0, 400).with_warmup(0);
+        let report = run_cluster_integrated(&apps, &mut factory, &config, &cluster).unwrap();
+        // Routed mode: each request is served exactly once, split across the shards.
+        let shard_total: u64 = report.per_shard.iter().map(|r| r.requests).sum();
+        assert_eq!(shard_total, report.cluster.requests);
+        let busiest = report.per_shard.iter().map(|r| r.requests).max().unwrap();
+        assert!(
+            busiest < report.cluster.requests,
+            "hashing must not send every request to one shard"
+        );
+    }
+
+    #[test]
+    fn cluster_rejects_wrong_instance_count() {
+        use crate::config::{ClusterConfig, FanoutPolicy};
+        let apps: Vec<Arc<dyn ServerApp>> =
+            vec![Arc::new(EchoApp::default()) as Arc<dyn ServerApp>];
+        let cluster = ClusterConfig::new(2, FanoutPolicy::Broadcast);
+        let mut factory = || vec![0u8];
+        let config = BenchmarkConfig::new(100.0, 10);
+        assert!(run_cluster_integrated(&apps, &mut factory, &config, &cluster).is_err());
     }
 
     #[test]

@@ -16,7 +16,12 @@
 //!   **discrete-event simulation** runner that replaces wall-clock service times with a
 //!   microarchitectural cost model ([`sim`]);
 //! * a **repeated-run controller** re-randomizes seeds until 95% confidence intervals are
-//!   within 1% of each reported metric ([`runner::run_repeated`]).
+//!   within 1% of each reported metric ([`runner::run_repeated`]);
+//! * a **cluster harness** runs N independent server instances behind a client-side
+//!   router that shards single-key requests or fans partition-aggregate requests out to
+//!   every shard and merges last-response-wins, reporting per-shard and end-to-end
+//!   distributions so the fan-out tail amplification is a first-class result
+//!   ([`config::ClusterConfig`], [`runner::run_cluster`]).
 //!
 //! Applications plug in through the [`ServerApp`] and [`RequestFactory`] traits ([`app`]);
 //! the eight TailBench applications live in their own crates (`tailbench-search`,
@@ -58,9 +63,12 @@ pub mod traffic;
 pub mod worker;
 
 pub use app::{CostModel, RequestFactory, ServerApp};
-pub use config::{BenchmarkConfig, HarnessMode};
+pub use collector::ClusterCollector;
+pub use config::{BenchmarkConfig, ClusterConfig, FanoutPolicy, HarnessMode, Route};
 pub use error::HarnessError;
-pub use report::{LatencyStats, MultiRunReport, RunReport};
+pub use report::{ClusterReport, LatencyStats, MultiRunReport, RunReport};
 pub use request::{Request, RequestRecord, Response, WorkProfile};
-pub use runner::{measure_capacity, run, run_repeated, run_with_cost_model, RepeatPolicy};
+pub use runner::{
+    measure_capacity, run, run_cluster, run_repeated, run_with_cost_model, RepeatPolicy,
+};
 pub use traffic::LoadMode;

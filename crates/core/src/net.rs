@@ -13,14 +13,13 @@
 //! queuing.
 
 use crate::app::{RequestFactory, ServerApp};
-use crate::collector::CollectorHandle;
-use crate::config::BenchmarkConfig;
+use crate::collector::{ClusterCollectorHandle, CollectorHandle};
+use crate::config::{BenchmarkConfig, ClusterConfig, Route};
 use crate::error::HarnessError;
-use crate::integrated::build_report;
+use crate::integrated::{build_cluster_report, build_report, check_instances};
 use crate::protocol;
 use crate::queue::{Completion, RequestQueue};
-use crate::report::RunReport;
-use crate::request::Request;
+use crate::report::{ClusterReport, RunReport};
 use crate::time::RunClock;
 use crate::traffic::{LoadMode, TrafficShaper};
 use crate::worker::WorkerPool;
@@ -76,11 +75,7 @@ pub fn run_tcp(
     let shaper = TrafficShaper::build(process, &mut rng, config.total_requests(), 0, || {
         factory.next_request()
     });
-    let schedule = shaper.into_requests();
-    let mut per_connection: Vec<Vec<Request>> = (0..connections).map(|_| Vec::new()).collect();
-    for (i, request) in schedule.into_iter().enumerate() {
-        per_connection[i % connections].push(request);
-    }
+    let per_connection = shaper.split_round_robin(connections);
 
     // --- client side ---------------------------------------------------------------------
     let mut client_handles = Vec::new();
@@ -97,17 +92,7 @@ pub fn run_tcp(
             .spawn(move || {
                 let mut reader = BufReader::new(reader_stream);
                 while let Ok(Some(frame)) = protocol::read_response(&mut reader) {
-                    // The analytic propagation delay is added once per direction: the
-                    // request and the response each cross the "wire".
-                    let client_received_ns = clock.now_ns() + 2 * one_way_delay_ns;
-                    let record = crate::request::RequestRecord {
-                        id: frame.id,
-                        issued_ns: frame.issued_ns,
-                        enqueued_ns: frame.enqueued_ns,
-                        started_ns: frame.started_ns,
-                        completed_ns: frame.completed_ns,
-                        client_received_ns,
-                    };
+                    let record = record_from_frame(&frame, clock.now_ns(), one_way_delay_ns);
                     let _ = record_tx.send(record);
                 }
             })
@@ -150,6 +135,171 @@ pub fn run_tcp(
     let stats = collector.join();
 
     Ok(build_report(app.name(), configuration_name, config, &stats))
+}
+
+/// Builds the client-side [`RequestRecord`](crate::request::RequestRecord) for a decoded
+/// response frame.  The analytic propagation delay is added once per direction: the
+/// request and the response each cross the "wire".
+fn record_from_frame(
+    frame: &protocol::ResponseFrame,
+    now_ns: u64,
+    one_way_delay_ns: u64,
+) -> crate::request::RequestRecord {
+    crate::request::RequestRecord {
+        id: frame.id,
+        issued_ns: frame.issued_ns,
+        enqueued_ns: frame.enqueued_ns,
+        started_ns: frame.started_ns,
+        completed_ns: frame.completed_ns,
+        client_received_ns: now_ns + 2 * one_way_delay_ns,
+    }
+}
+
+/// Runs one cluster measurement over TCP (loopback or networked).
+///
+/// Each of the `cluster.instances()` server instances gets its own listener, request
+/// queue and worker pool; the client opens one connection per instance.  The calling
+/// thread is the client-side router: it paces the global open-loop schedule and hands
+/// each request's leg(s) to per-connection sender threads chosen by `cluster.fanout` —
+/// the socket writes happen off the router thread, so a wide fan-out does not serialize
+/// write syscalls into later shards' measured latency.  Per-connection receiver threads
+/// decode responses and feed the cross-shard collector, which merges broadcast legs
+/// last-response-wins.  `one_way_delay_ns` is the analytic propagation delay added per
+/// direction (0 for loopback).
+///
+/// # Errors
+///
+/// Returns [`HarnessError::Io`] if sockets cannot be set up, and
+/// [`HarnessError::Config`] for closed-loop load or a wrong `apps` count.
+pub fn run_cluster_tcp(
+    apps: &[Arc<dyn ServerApp>],
+    factory: &mut dyn RequestFactory,
+    config: &BenchmarkConfig,
+    cluster: &ClusterConfig,
+    one_way_delay_ns: u64,
+    configuration_name: &str,
+) -> Result<ClusterReport, HarnessError> {
+    let LoadMode::Open(process) = &config.load else {
+        return Err(HarnessError::Config(
+            "TCP configurations require an open-loop load mode".into(),
+        ));
+    };
+    check_instances(apps, cluster)?;
+    for app in apps {
+        app.prepare();
+    }
+
+    let clock = RunClock::new();
+    let width = cluster.fanout_width();
+    let collector = ClusterCollectorHandle::spawn(cluster.shards, config.warmup_requests as u64);
+
+    let mut queues = Vec::with_capacity(apps.len());
+    let mut pools = Vec::with_capacity(apps.len());
+    let mut server_handles = Vec::with_capacity(apps.len());
+    let mut receiver_handles = Vec::with_capacity(apps.len());
+    let mut sender_handles = Vec::with_capacity(apps.len());
+    let mut leg_txs: Vec<crossbeam::channel::Sender<crate::request::Request>> =
+        Vec::with_capacity(apps.len());
+    for (i, app) in apps.iter().enumerate() {
+        let queue = RequestQueue::new();
+        pools.push(WorkerPool::spawn(
+            Arc::clone(app),
+            queue.receiver(),
+            clock,
+            config.worker_threads,
+        ));
+        let listener = TcpListener::bind("127.0.0.1:0").map_err(HarnessError::Io)?;
+        let addr = listener.local_addr().map_err(HarnessError::Io)?;
+        server_handles.push(spawn_server(listener, 1, &queue, clock));
+        queues.push(queue);
+
+        let stream = TcpStream::connect(addr).map_err(HarnessError::Io)?;
+        stream.set_nodelay(true).map_err(HarnessError::Io)?;
+        let reader_stream = stream.try_clone().map_err(HarnessError::Io)?;
+        let record_tx = collector.sender();
+        let shard = i / cluster.replication;
+        receiver_handles.push(
+            std::thread::Builder::new()
+                .name(format!("tb-cluster-recv-{i}"))
+                .spawn(move || {
+                    let mut reader = BufReader::new(reader_stream);
+                    while let Ok(Some(frame)) = protocol::read_response(&mut reader) {
+                        let record = record_from_frame(&frame, clock.now_ns(), one_way_delay_ns);
+                        let _ = record_tx.send((shard, width, record));
+                    }
+                })
+                .expect("failed to spawn cluster receiver"),
+        );
+        // Sender thread: serializes this connection's legs off the router thread.
+        let (leg_tx, leg_rx) = unbounded::<crate::request::Request>();
+        leg_txs.push(leg_tx);
+        sender_handles.push(
+            std::thread::Builder::new()
+                .name(format!("tb-cluster-send-{i}"))
+                .spawn(move || {
+                    let mut writer = BufWriter::new(&stream);
+                    while let Ok(request) = leg_rx.recv() {
+                        if protocol::write_request(&mut writer, &request).is_err() {
+                            break;
+                        }
+                    }
+                    drop(writer);
+                    // End-of-requests: the server reader unwinds, then its writer, then
+                    // our receiver.
+                    let _ = stream.shutdown(Shutdown::Write);
+                })
+                .expect("failed to spawn cluster sender"),
+        );
+    }
+
+    // --- client-side router: pace the global schedule onto the shard connections ------
+    let mut rng = tailbench_workloads::rng::seeded_rng(config.seed, 1);
+    let shaper = TrafficShaper::build(process, &mut rng, config.total_requests(), 0, || {
+        factory.next_request()
+    });
+    let max_ns = config.max_duration.as_nanos() as u64;
+    'pacing: for mut request in shaper.into_requests() {
+        let now = clock.sleep_until_ns(request.issued_ns);
+        if now > max_ns {
+            break;
+        }
+        request.issued_ns = now;
+        let legs = match cluster.fanout.route(&request.payload, cluster.shards) {
+            Route::Shard(shard) => shard..shard + 1,
+            Route::AllShards => 0..cluster.shards,
+        };
+        for shard in legs {
+            let i = cluster.instance(shard, request.id.0);
+            if leg_txs[i].send(request.clone()).is_err() {
+                break 'pacing;
+            }
+        }
+    }
+    drop(leg_txs);
+
+    for sender in sender_handles {
+        let _ = sender.join();
+    }
+    for receiver in receiver_handles {
+        let _ = receiver.join();
+    }
+    for queue in queues {
+        queue.close();
+    }
+    for pool in pools {
+        let _ = pool.join();
+    }
+    for server in server_handles {
+        let _ = server.join();
+    }
+    let stats = collector.join();
+    Ok(build_cluster_report(
+        apps[0].name(),
+        configuration_name,
+        config,
+        cluster,
+        &stats,
+    ))
 }
 
 /// Accepts `connections` connections and spawns a reader and a writer thread per
@@ -260,6 +410,53 @@ mod tests {
             "networked p50 {} vs loopback p50 {}",
             networked.sojourn.p50_ns,
             loopback.sojourn.p50_ns
+        );
+    }
+
+    #[test]
+    fn loopback_cluster_broadcast_merges_on_last_response() {
+        use crate::config::{ClusterConfig, FanoutPolicy};
+        let apps: Vec<Arc<dyn ServerApp>> = (0..2)
+            .map(|_| Arc::new(EchoApp::with_service_us(10)) as Arc<dyn ServerApp>)
+            .collect();
+        let cluster = ClusterConfig::new(2, FanoutPolicy::Broadcast);
+        let mut factory = || b"net".to_vec();
+        let config = BenchmarkConfig::new(800.0, 250)
+            .with_warmup(25)
+            .with_max_duration(Duration::from_secs(30));
+        let report =
+            run_cluster_tcp(&apps, &mut factory, &config, &cluster, 0, "loopback").unwrap();
+        assert_eq!(report.shards, 2);
+        assert!(report.cluster.requests > 200, "{}", report.cluster.requests);
+        for shard in &report.per_shard {
+            assert_eq!(shard.requests, report.cluster.requests);
+        }
+        assert!(report.cluster.sojourn.p50_ns > 0);
+        // Waiting for both shards can never beat the slower shard's tail.
+        assert!(report.cluster.sojourn.p99_ns >= report.max_shard_p99_ns());
+    }
+
+    #[test]
+    fn networked_cluster_delay_shifts_the_distribution() {
+        use crate::config::{ClusterConfig, FanoutPolicy};
+        let apps: Vec<Arc<dyn ServerApp>> = (0..2)
+            .map(|_| Arc::new(EchoApp::with_service_us(10)) as Arc<dyn ServerApp>)
+            .collect();
+        let cluster = ClusterConfig::new(2, FanoutPolicy::Broadcast);
+        let config = BenchmarkConfig::new(500.0, 150)
+            .with_warmup(15)
+            .with_seed(2);
+        let mut factory = || b"net".to_vec();
+        let loopback =
+            run_cluster_tcp(&apps, &mut factory, &config, &cluster, 0, "loopback").unwrap();
+        let mut factory = || b"net".to_vec();
+        let networked =
+            run_cluster_tcp(&apps, &mut factory, &config, &cluster, 50_000, "networked").unwrap();
+        assert!(
+            networked.cluster.sojourn.p50_ns >= loopback.cluster.sojourn.p50_ns + 50_000,
+            "networked cluster p50 {} vs loopback {}",
+            networked.cluster.sojourn.p50_ns,
+            loopback.cluster.sojourn.p50_ns
         );
     }
 

@@ -136,6 +136,79 @@ impl fmt::Display for RunReport {
     }
 }
 
+/// The result of one cluster measurement run: the end-to-end (client-observed)
+/// distribution plus each shard's own distribution, so the fan-out tail amplification
+/// is directly readable.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClusterReport {
+    /// End-to-end report: a request completes when its last leg completes.
+    pub cluster: RunReport,
+    /// Per-shard reports, indexed by shard.
+    pub per_shard: Vec<RunReport>,
+    /// Number of shards.
+    pub shards: usize,
+    /// Replicas per shard.
+    pub replication: usize,
+    /// Statistics of the union of all shards' legs (the "typical shard" view).
+    pub shard_union_sojourn: LatencyStats,
+}
+
+impl ClusterReport {
+    /// The largest per-shard p99 sojourn, ns.
+    #[must_use]
+    pub fn max_shard_p99_ns(&self) -> u64 {
+        self.per_shard
+            .iter()
+            .map(|r| r.sojourn.p99_ns)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Mean of the per-shard p99 sojourns, ns.
+    #[must_use]
+    pub fn mean_shard_p99_ns(&self) -> f64 {
+        if self.per_shard.is_empty() {
+            return 0.0;
+        }
+        self.per_shard
+            .iter()
+            .map(|r| r.sojourn.p99_ns as f64)
+            .sum::<f64>()
+            / self.per_shard.len() as f64
+    }
+
+    /// Tail amplification: the cluster p99 divided by the mean per-shard p99.  Waiting
+    /// for the slowest of N shards pushes the cluster's p99 toward the shards' p99.9+,
+    /// so this ratio grows with fan-out (the tail-at-scale effect).
+    #[must_use]
+    pub fn p99_amplification(&self) -> f64 {
+        let shard = self.mean_shard_p99_ns();
+        if shard <= 0.0 {
+            0.0
+        } else {
+            self.cluster.sojourn.p99_ns as f64 / shard
+        }
+    }
+}
+
+impl fmt::Display for ClusterReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "cluster {}x{}: p99 = {:.3} ms (shard mean p99 = {:.3} ms, amplification {:.2}x)",
+            self.shards,
+            self.replication,
+            self.cluster.sojourn.p99_ms(),
+            self.mean_shard_p99_ns() / 1e6,
+            self.p99_amplification(),
+        )?;
+        for (i, shard) in self.per_shard.iter().enumerate() {
+            writeln!(f, "  shard {i}: {shard}")?;
+        }
+        write!(f, "  end-to-end: {}", self.cluster)
+    }
+}
+
 /// Aggregate of several repeated runs of the same configuration, with the
 /// confidence-interval bookkeeping from the paper's methodology.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -285,6 +358,37 @@ mod tests {
         let runs = vec![report(2.0, 1000.0, 998.0), report(4.0, 1000.0, 998.0)];
         let multi = MultiRunReport::from_runs(runs, 0.01, 2);
         assert!(!multi.converged);
+    }
+
+    #[test]
+    fn cluster_report_amplification_is_cluster_over_mean_shard() {
+        let cluster = ClusterReport {
+            cluster: report(4.0, 1000.0, 998.0),
+            per_shard: vec![report(2.0, 1000.0, 998.0), report(2.0, 1000.0, 998.0)],
+            shards: 2,
+            replication: 1,
+            shard_union_sojourn: LatencyStats::default(),
+        };
+        assert_eq!(cluster.max_shard_p99_ns(), (2.0 * 1.3e6) as u64);
+        assert!((cluster.mean_shard_p99_ns() - 2.0 * 1.3e6).abs() < 1.0);
+        assert!((cluster.p99_amplification() - 2.0).abs() < 1e-9);
+        let s = format!("{cluster}");
+        assert!(s.contains("amplification"));
+        assert!(s.contains("shard 0"));
+    }
+
+    #[test]
+    fn empty_cluster_report_is_well_behaved() {
+        let cluster = ClusterReport {
+            cluster: report(1.0, 100.0, 100.0),
+            per_shard: Vec::new(),
+            shards: 0,
+            replication: 1,
+            shard_union_sojourn: LatencyStats::default(),
+        };
+        assert_eq!(cluster.max_shard_p99_ns(), 0);
+        assert_eq!(cluster.mean_shard_p99_ns(), 0.0);
+        assert_eq!(cluster.p99_amplification(), 0.0);
     }
 
     #[test]

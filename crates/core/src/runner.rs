@@ -10,12 +10,12 @@
 //! (paper Table I reports latencies "at 20% / 50% / 70% load").
 
 use crate::app::{CostModel, RequestFactory, ServerApp};
-use crate::config::{BenchmarkConfig, HarnessMode};
+use crate::config::{BenchmarkConfig, ClusterConfig, HarnessMode};
 use crate::error::HarnessError;
-use crate::integrated::run_integrated;
-use crate::net::run_tcp;
-use crate::report::{MultiRunReport, RunReport};
-use crate::sim::run_simulated;
+use crate::integrated::{run_cluster_integrated, run_integrated};
+use crate::net::{run_cluster_tcp, run_tcp};
+use crate::report::{ClusterReport, MultiRunReport, RunReport};
+use crate::sim::{run_cluster_simulated, run_simulated};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
@@ -105,6 +105,51 @@ pub fn run_with_cost_model(
     match &config.mode {
         HarnessMode::Simulated => Ok(run_simulated(app, factory, config, cost_model)),
         _ => run(app, factory, config),
+    }
+}
+
+/// Runs one cluster measurement with the configured harness mode.
+///
+/// `apps` holds one server application per cluster instance
+/// (`cluster.instances() = shards * replication`, shard-major order); each instance
+/// runs with its own queue and worker pool (or simulated station).  Simulated mode
+/// requires `cost_model`; the real-time modes ignore it.  In the TCP modes the client
+/// opens one connection per instance, so the `connections` field of the mode is not
+/// used.
+///
+/// # Errors
+///
+/// Returns [`HarnessError::Config`] for closed-loop load, a wrong `apps` count, or
+/// simulated mode without a cost model, and [`HarnessError::Io`] if a TCP configuration
+/// fails to set up its sockets.
+pub fn run_cluster(
+    apps: &[Arc<dyn ServerApp>],
+    factory: &mut dyn RequestFactory,
+    config: &BenchmarkConfig,
+    cluster: &ClusterConfig,
+    cost_model: Option<&dyn CostModel>,
+) -> Result<ClusterReport, HarnessError> {
+    match &config.mode {
+        HarnessMode::Integrated => run_cluster_integrated(apps, factory, config, cluster),
+        HarnessMode::Loopback { .. } => {
+            run_cluster_tcp(apps, factory, config, cluster, 0, "loopback")
+        }
+        HarnessMode::Networked {
+            one_way_delay_ns, ..
+        } => run_cluster_tcp(
+            apps,
+            factory,
+            config,
+            cluster,
+            *one_way_delay_ns,
+            "networked",
+        ),
+        HarnessMode::Simulated => match cost_model {
+            Some(model) => run_cluster_simulated(apps, factory, config, cluster, model),
+            None => Err(HarnessError::Config(
+                "simulated cluster runs require a cost model; pass Some(cost_model)".into(),
+            )),
+        },
     }
 }
 
@@ -231,6 +276,41 @@ mod tests {
         let model = InstructionRateModel::default();
         let report = run_with_cost_model(&app, &mut factory, &config, &model).unwrap();
         assert_eq!(report.configuration, "simulated");
+    }
+
+    #[test]
+    fn run_cluster_dispatches_every_mode() {
+        use crate::config::{ClusterConfig, FanoutPolicy};
+        let apps: Vec<Arc<dyn ServerApp>> = (0..2)
+            .map(|_| Arc::new(EchoApp::with_service_us(5)) as Arc<dyn ServerApp>)
+            .collect();
+        let cluster = ClusterConfig::new(2, FanoutPolicy::Broadcast);
+        let model = InstructionRateModel::default();
+        for (mode, expect_prefix) in [
+            (HarnessMode::Integrated, "integrated"),
+            (HarnessMode::Loopback { connections: 1 }, "loopback"),
+            (HarnessMode::Simulated, "simulated"),
+        ] {
+            let mut factory = || vec![3u8];
+            let config = BenchmarkConfig::new(500.0, 100)
+                .with_warmup(10)
+                .with_mode(mode);
+            let report = run_cluster(&apps, &mut factory, &config, &cluster, Some(&model)).unwrap();
+            assert!(
+                report.cluster.configuration.starts_with(expect_prefix),
+                "configuration {} should start with {expect_prefix}",
+                report.cluster.configuration
+            );
+            assert!(report
+                .cluster
+                .configuration
+                .contains("cluster2x1-broadcast"));
+            assert!(report.cluster.requests > 0);
+        }
+        // Simulated mode without a cost model is a configuration error.
+        let mut factory = || vec![3u8];
+        let config = BenchmarkConfig::new(500.0, 50).with_mode(HarnessMode::Simulated);
+        assert!(run_cluster(&apps, &mut factory, &config, &cluster, None).is_err());
     }
 
     #[test]

@@ -10,10 +10,11 @@
 //! emerges from the same open-loop arrival process used by the real-time runners.
 
 use crate::app::{CostModel, RequestFactory, ServerApp};
-use crate::collector::StatsCollector;
-use crate::config::BenchmarkConfig;
-use crate::integrated::build_report;
-use crate::report::RunReport;
+use crate::collector::{ClusterCollector, StatsCollector};
+use crate::config::{BenchmarkConfig, ClusterConfig, Route};
+use crate::error::HarnessError;
+use crate::integrated::{build_cluster_report, build_report, check_instances};
+use crate::report::{ClusterReport, RunReport};
 use crate::request::{Request, RequestRecord};
 use crate::traffic::{LoadMode, TrafficShaper};
 use std::collections::{BinaryHeap, VecDeque};
@@ -166,6 +167,161 @@ pub fn run_simulated(
     build_report(app.name(), "simulated", config, &collector)
 }
 
+/// One simulated server instance: its busy-server count and FIFO wait queue.
+#[derive(Debug, Default)]
+struct Station {
+    busy: usize,
+    waiting: VecDeque<(Request, u64)>,
+}
+
+/// Runs one cluster measurement under discrete-event simulation.
+///
+/// All `cluster.instances()` server stations share a single virtual clock and event
+/// heap, so a cluster run is exactly as deterministic and host-independent as a
+/// single-server simulated run: same seed, same report, on any machine.  Each station
+/// has `config.worker_threads` servers and its own FIFO queue; the client-side router
+/// distributes the open-loop schedule per `cluster.fanout`, and broadcast legs merge
+/// last-response-wins in the cross-shard collector.
+///
+/// # Errors
+///
+/// Returns [`HarnessError::Config`] if the load mode is closed-loop or `apps` does not
+/// hold exactly one application per instance.
+pub fn run_cluster_simulated(
+    apps: &[Arc<dyn ServerApp>],
+    factory: &mut dyn RequestFactory,
+    config: &BenchmarkConfig,
+    cluster: &ClusterConfig,
+    cost_model: &dyn CostModel,
+) -> Result<ClusterReport, HarnessError> {
+    let LoadMode::Open(process) = &config.load else {
+        return Err(HarnessError::Config(
+            "the simulated runner requires an open-loop load mode".into(),
+        ));
+    };
+    check_instances(apps, cluster)?;
+    for app in apps {
+        app.prepare();
+    }
+
+    let mut rng = seeded_rng(config.seed, 1);
+    let shaper = TrafficShaper::build(process, &mut rng, config.total_requests(), 0, || {
+        factory.next_request()
+    });
+    let arrivals = shaper.into_requests();
+
+    let servers = config.worker_threads.max(1);
+    let width = cluster.fanout_width();
+    let mut collector = ClusterCollector::new(cluster.shards, config.warmup_requests as u64);
+    let mut stations: Vec<Station> = (0..apps.len()).map(|_| Station::default()).collect();
+    let mut completions: BinaryHeap<Completion> = BinaryHeap::new();
+    // Requests in service, by completion seq: (instance, record).  Only keyed lookups —
+    // never iterated — so the map cannot perturb event ordering.
+    let mut in_service: std::collections::HashMap<u64, (usize, RequestRecord)> =
+        std::collections::HashMap::new();
+    let mut seq = 0u64;
+    let mut next_arrival = 0usize;
+
+    // Starts service for one leg on `instance` at virtual time `now`.
+    let start_service =
+        |instance: usize,
+         request: Request,
+         enqueued_ns: u64,
+         now: u64,
+         stations: &mut Vec<Station>,
+         seq: &mut u64,
+         completions: &mut BinaryHeap<Completion>,
+         in_service: &mut std::collections::HashMap<u64, (usize, RequestRecord)>| {
+            stations[instance].busy += 1;
+            let response = apps[instance].handle(&request.payload);
+            let service_ns = cost_model
+                .service_time_ns(&response.work, stations[instance].busy)
+                .max(1);
+            let record = RequestRecord {
+                id: request.id,
+                issued_ns: request.issued_ns,
+                enqueued_ns,
+                started_ns: now,
+                completed_ns: now + service_ns,
+                client_received_ns: now + service_ns,
+            };
+            *seq += 1;
+            in_service.insert(*seq, (instance, record));
+            completions.push(Completion {
+                time_ns: now + service_ns,
+                seq: *seq,
+            });
+        };
+
+    loop {
+        let next_arrival_time = arrivals.get(next_arrival).map(|r| r.issued_ns);
+        let next_completion_time = completions.peek().map(|c| c.time_ns);
+        // Arrivals win ties, matching the single-server loop.
+        let take_arrival = match (next_arrival_time, next_completion_time) {
+            (None, None) => break,
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (Some(at), Some(ct)) => at <= ct,
+        };
+
+        if take_arrival {
+            let request = arrivals[next_arrival].clone();
+            next_arrival += 1;
+            let now = request.issued_ns;
+            let legs = match cluster.fanout.route(&request.payload, cluster.shards) {
+                Route::Shard(shard) => shard..shard + 1,
+                Route::AllShards => 0..cluster.shards,
+            };
+            for shard in legs {
+                let instance = cluster.instance(shard, request.id.0);
+                let leg = request.clone();
+                if stations[instance].busy < servers {
+                    start_service(
+                        instance,
+                        leg,
+                        now,
+                        now,
+                        &mut stations,
+                        &mut seq,
+                        &mut completions,
+                        &mut in_service,
+                    );
+                } else {
+                    stations[instance].waiting.push_back((leg, now));
+                }
+            }
+        } else {
+            let completion = completions.pop().expect("peeked above");
+            let ct = completion.time_ns;
+            let (instance, record) = in_service
+                .remove(&completion.seq)
+                .expect("completion for unknown request");
+            let _ = collector.record_leg(instance / cluster.replication, record, width);
+            stations[instance].busy -= 1;
+            if let Some((request, enqueued_ns)) = stations[instance].waiting.pop_front() {
+                start_service(
+                    instance,
+                    request,
+                    enqueued_ns,
+                    ct,
+                    &mut stations,
+                    &mut seq,
+                    &mut completions,
+                    &mut in_service,
+                );
+            }
+        }
+    }
+
+    Ok(build_cluster_report(
+        apps[0].name(),
+        "simulated",
+        config,
+        cluster,
+        &collector,
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -254,6 +410,141 @@ mod tests {
             "4 servers p95 {} should be below 1 server p95 {}",
             four.sojourn.p95_ns,
             one.sojourn.p95_ns
+        );
+    }
+
+    #[test]
+    fn simulated_cluster_is_deterministic_and_amplifies_the_tail() {
+        use crate::config::{ClusterConfig, FanoutPolicy};
+        let model = InstructionRateModel {
+            ns_per_instruction: 1.0,
+        };
+        let run = |shards: usize| {
+            let apps: Vec<Arc<dyn ServerApp>> = (0..shards)
+                .map(|_| {
+                    Arc::new(EchoApp {
+                        spin_iters: 100_000,
+                    }) as Arc<dyn ServerApp>
+                })
+                .collect();
+            let cluster = ClusterConfig::new(shards, FanoutPolicy::Broadcast);
+            let mut factory = || b"c".to_vec();
+            let config = BenchmarkConfig::new(5_000.0, 1_000)
+                .with_warmup(100)
+                .with_seed(21);
+            run_cluster_simulated(&apps, &mut factory, &config, &cluster, &model).unwrap()
+        };
+        let a = run(4);
+        let b = run(4);
+        assert_eq!(a.cluster.sojourn.p99_ns, b.cluster.sojourn.p99_ns);
+        assert_eq!(a.per_shard[2].sojourn.p95_ns, b.per_shard[2].sojourn.p95_ns);
+        assert_eq!(a.cluster.requests, 1_000);
+
+        // Broadcast fan-out: the cluster tail waits for the slowest of the shards, so it
+        // is at least any single shard's tail and amplification never drops below 1.
+        assert!(a.cluster.sojourn.p99_ns >= a.max_shard_p99_ns());
+        assert!(a.p99_amplification() >= 1.0);
+
+        // One "shard" fanned out is just a single server: no amplification.
+        let single = run(1);
+        assert_eq!(
+            single.cluster.sojourn.p99_ns,
+            single.per_shard[0].sojourn.p99_ns
+        );
+    }
+
+    #[test]
+    fn simulated_cluster_routed_load_splits_across_shards() {
+        use crate::config::{ClusterConfig, FanoutPolicy};
+        let model = InstructionRateModel {
+            ns_per_instruction: 1.0,
+        };
+        let apps: Vec<Arc<dyn ServerApp>> = (0..4)
+            .map(|_| {
+                Arc::new(EchoApp {
+                    spin_iters: 100_000,
+                }) as Arc<dyn ServerApp>
+            })
+            .collect();
+        let cluster = ClusterConfig::new(4, FanoutPolicy::HashKey { offset: 0, len: 8 });
+        let mut n = 0u64;
+        let mut factory = move || {
+            n += 1;
+            n.to_le_bytes().to_vec()
+        };
+        let config = BenchmarkConfig::new(8_000.0, 2_000)
+            .with_warmup(0)
+            .with_seed(9);
+        let report = run_cluster_simulated(&apps, &mut factory, &config, &cluster, &model).unwrap();
+        let shard_total: u64 = report.per_shard.iter().map(|r| r.requests).sum();
+        assert_eq!(shard_total, report.cluster.requests);
+        assert_eq!(report.cluster.requests, 2_000);
+        for shard in &report.per_shard {
+            assert!(
+                shard.requests > 300,
+                "hash routing should spread load, shard got {}",
+                shard.requests
+            );
+        }
+        // Sharding a single-key workload 4 ways quarters each server's load, so the
+        // cluster tail sits far below a single server handling the full rate.
+        let mut single_factory = {
+            let mut n = 0u64;
+            move || {
+                n += 1;
+                n.to_le_bytes().to_vec()
+            }
+        };
+        let one: Arc<dyn ServerApp> = Arc::new(EchoApp {
+            spin_iters: 100_000,
+        });
+        let single = run_simulated(&one, &mut single_factory, &config, &model);
+        assert!(report.cluster.sojourn.p99_ns < single.sojourn.p99_ns);
+    }
+
+    #[test]
+    fn simulated_cluster_replication_spreads_single_key_load() {
+        use crate::config::{ClusterConfig, FanoutPolicy};
+        let model = InstructionRateModel {
+            ns_per_instruction: 1.0,
+        };
+        let make_apps = |n: usize| -> Vec<Arc<dyn ServerApp>> {
+            (0..n)
+                .map(|_| {
+                    Arc::new(EchoApp {
+                        spin_iters: 100_000,
+                    }) as Arc<dyn ServerApp>
+                })
+                .collect()
+        };
+        let config = BenchmarkConfig::new(8_000.0, 1_500)
+            .with_warmup(0)
+            .with_seed(4);
+        let mut factory = || vec![0u8; 9]; // constant key: everything routes to one shard
+        let unreplicated = run_cluster_simulated(
+            &make_apps(2),
+            &mut factory,
+            &config,
+            &ClusterConfig::new(2, FanoutPolicy::ycsb()),
+            &model,
+        )
+        .unwrap();
+        let mut factory = || vec![0u8; 9];
+        let replicated = run_cluster_simulated(
+            &make_apps(4),
+            &mut factory,
+            &config,
+            &ClusterConfig::new(2, FanoutPolicy::ycsb()).with_replication(2),
+            &model,
+        )
+        .unwrap();
+        assert_eq!(replicated.replication, 2);
+        // Two replicas split the hot shard's load, so the tail must improve.
+        assert!(
+            replicated.cluster.sojourn.p99_ns < unreplicated.cluster.sojourn.p99_ns,
+            "replicated p99 {} vs unreplicated p99 {}",
+            replicated.cluster.sojourn.p99_ns,
+            unreplicated.cluster.sojourn.p99_ns
         );
     }
 

@@ -100,6 +100,19 @@ impl TrafficShaper {
         self.schedule
     }
 
+    /// Consumes the shaper and deals the schedule round-robin across `ways` client
+    /// connections.  Each sub-schedule stays ordered by issue time, so per-connection
+    /// pacing preserves the global open-loop arrival process.
+    #[must_use]
+    pub fn split_round_robin(self, ways: usize) -> Vec<Vec<Request>> {
+        let ways = ways.max(1);
+        let mut split: Vec<Vec<Request>> = (0..ways).map(|_| Vec::new()).collect();
+        for (i, request) in self.schedule.into_iter().enumerate() {
+            split[i % ways].push(request);
+        }
+        split
+    }
+
     /// Number of scheduled requests.
     #[must_use]
     pub fn len(&self) -> usize {
@@ -150,6 +163,22 @@ mod tests {
         assert_eq!(reqs[0].id, RequestId(100));
         assert_eq!(reqs[499].id, RequestId(599));
         assert!(shaper.span_ns() > 0);
+    }
+
+    #[test]
+    fn split_round_robin_preserves_order_and_coverage() {
+        let process = InterarrivalProcess::poisson(10_000.0);
+        let mut rng = seeded_rng(3, 0);
+        let shaper = TrafficShaper::build(&process, &mut rng, 100, 0, Vec::new);
+        let split = shaper.split_round_robin(3);
+        assert_eq!(split.len(), 3);
+        assert_eq!(split.iter().map(Vec::len).sum::<usize>(), 100);
+        for (c, sub) in split.iter().enumerate() {
+            assert!(sub.windows(2).all(|w| w[0].issued_ns <= w[1].issued_ns));
+            for (i, r) in sub.iter().enumerate() {
+                assert_eq!(r.id.0 as usize, i * 3 + c);
+            }
+        }
     }
 
     #[test]

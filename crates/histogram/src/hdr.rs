@@ -611,6 +611,47 @@ mod proptests {
             );
         }
 
+        /// The HDR contract, checked at *every* percentile from p1 to p99.9: the value
+        /// the histogram returns for quantile q is equivalent (within the configured
+        /// relative error) to some recorded sample at rank >= the exact rank — i.e. the
+        /// reported tail is never optimistic by more than the precision bound.
+        #[test]
+        fn every_queried_percentile_is_within_the_relative_error_bound(
+            values in prop::collection::vec(1u64..1_000_000_000, 1..400),
+        ) {
+            let mut h = HdrHistogram::new(1, 2_000_000_000, 3).unwrap();
+            for &v in &values {
+                h.record(v);
+            }
+            let mut sorted = values.clone();
+            sorted.sort_unstable();
+            let bound = h.max_relative_error();
+            for p in (1..=999).map(|i| i as f64 / 1000.0) {
+                let exact = exact_quantile(&sorted, p);
+                let approx = h.value_at_quantile(p);
+                // The bucket containing the exact sample reports its highest equivalent
+                // value; one unit of slack absorbs integer bucket boundaries.
+                let tol = exact as f64 * bound + 1.0;
+                prop_assert!(
+                    approx as f64 <= exact as f64 + tol,
+                    "p={p}: approx {approx} overshoots exact {exact} beyond {tol}"
+                );
+                prop_assert!(
+                    approx as f64 >= sorted[0] as f64 * (1.0 - bound) - 1.0,
+                    "p={p}: approx {approx} below the smallest sample {}",
+                    sorted[0]
+                );
+                // The returned value must be equivalent to an actually recorded sample.
+                prop_assert!(
+                    sorted.iter().any(|&s| {
+                        let t = s as f64 * bound + 1.0;
+                        (approx as f64 - s as f64).abs() <= t
+                    }),
+                    "p={p}: approx {approx} is not near any recorded sample"
+                );
+            }
+        }
+
         #[test]
         fn total_count_matches(values in prop::collection::vec(1u64..10_000_000, 0..300)) {
             let mut h = HdrHistogram::new(1, 20_000_000, 3).unwrap();

@@ -299,3 +299,89 @@ mod tests {
         assert_eq!(h.len(), 50);
     }
 }
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// The worst-case relative error of a degraded summary (the `for_latencies` HDR
+    /// configuration) plus one unit of integer-boundary slack.
+    fn tolerance(value: u64) -> f64 {
+        value as f64 * 1e-3 + 1.0
+    }
+
+    fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        sorted[rank - 1]
+    }
+
+    proptest! {
+        /// Merging shard summaries must equal recording every sample into one summary —
+        /// the invariant the cross-shard cluster collector's union view relies on.
+        /// Small random capacities force every mode combination (exact+exact,
+        /// exact+degraded, degraded+exact, degraded+degraded).
+        #[test]
+        fn merge_equals_recording_into_one(
+            a in prop::collection::vec(1u64..1_000_000_000, 0..200),
+            b in prop::collection::vec(1u64..1_000_000_000, 0..200),
+            cap_a in 1usize..300,
+            cap_b in 1usize..300,
+        ) {
+            let mut sa = LatencySummary::with_capacity(cap_a);
+            let mut sb = LatencySummary::with_capacity(cap_b);
+            // The reference records everything exactly.
+            let mut all = LatencySummary::with_capacity(usize::MAX / 2);
+            for &v in &a { sa.record(v); all.record(v); }
+            for &v in &b { sb.record(v); all.record(v); }
+            sa.merge(&sb);
+
+            prop_assert_eq!(sa.len(), all.len());
+            prop_assert_eq!(sa.min(), all.min());
+            prop_assert_eq!(sa.max(), all.max());
+            if !a.is_empty() || !b.is_empty() {
+                prop_assert!((sa.mean() - all.mean()).abs() <= tolerance(all.mean() as u64));
+                for q in [0.1, 0.5, 0.9, 0.95, 0.99, 0.999] {
+                    let merged = sa.value_at_quantile(q);
+                    let reference = all.value_at_quantile(q);
+                    prop_assert!(
+                        (merged as f64 - reference as f64).abs() <= tolerance(reference),
+                        "q={q}: merged {merged} vs reference {reference} (caps {cap_a}/{cap_b})"
+                    );
+                }
+            }
+        }
+
+        /// In both exact and degraded mode, every queried percentile stays within the
+        /// HDR precision bound of the true sample quantile.
+        #[test]
+        fn quantiles_within_precision_in_both_modes(
+            values in prop::collection::vec(1u64..1_000_000_000, 1..300),
+            cap in 1usize..400,
+        ) {
+            let mut s = LatencySummary::with_capacity(cap);
+            for &v in &values {
+                s.record(v);
+            }
+            let mut sorted = values.clone();
+            sorted.sort_unstable();
+            for p in (1..=99).map(|i| i as f64 / 100.0) {
+                let exact = exact_quantile(&sorted, p);
+                let approx = s.value_at_quantile(p);
+                if s.is_degraded() {
+                    prop_assert!(
+                        approx as f64 <= exact as f64 + tolerance(exact),
+                        "p={p}: degraded approx {approx} vs exact {exact}"
+                    );
+                    prop_assert!(
+                        sorted.iter().any(|&v| (approx as f64 - v as f64).abs() <= tolerance(v)),
+                        "p={p}: approx {approx} near no recorded sample"
+                    );
+                } else {
+                    // Exact mode must be exact at every percentile.
+                    prop_assert_eq!(approx, exact);
+                }
+            }
+        }
+    }
+}

@@ -66,10 +66,15 @@ impl Default for Bm25Params {
 }
 
 /// An inverted index over a term-id corpus.
+///
+/// An index can cover the whole corpus or a document partition of it (a *leaf* in the
+/// partition-aggregate pattern, built with [`InvertedIndex::build_partition`]): leaves
+/// keep global document ids, so the root can merge per-leaf top-k lists directly.
 #[derive(Debug)]
 pub struct InvertedIndex {
     postings: Vec<Vec<Posting>>,
     doc_lengths: Vec<u32>,
+    owned_documents: usize,
     avg_doc_length: f32,
     params: Bm25Params,
 }
@@ -84,11 +89,42 @@ impl InvertedIndex {
     /// Builds the index with explicit BM25 parameters.
     #[must_use]
     pub fn build_with_params(corpus: &SyntheticCorpus, params: Bm25Params) -> Self {
+        Self::build_filtered(corpus, params, |_| true)
+    }
+
+    /// Builds a leaf index over the documents of partition `shard` of `shards`
+    /// (documents are assigned round-robin by id: `doc_id % shards == shard`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard >= shards` or `shards == 0`.
+    #[must_use]
+    pub fn build_partition(corpus: &SyntheticCorpus, shard: usize, shards: usize) -> Self {
+        assert!(shards > 0 && shard < shards, "shard {shard} of {shards}");
+        Self::build_filtered(corpus, Bm25Params::default(), |doc_id| {
+            doc_id as usize % shards == shard
+        })
+    }
+
+    fn build_filtered(
+        corpus: &SyntheticCorpus,
+        params: Bm25Params,
+        owns: impl Fn(u32) -> bool,
+    ) -> Self {
         let vocab = corpus.config().vocabulary;
         let mut postings: Vec<Vec<Posting>> = vec![Vec::new(); vocab];
+        // Lengths are kept for every document (indexed by global id) so owned postings
+        // can be scored without remapping ids; only owned documents get postings.
         let mut doc_lengths = Vec::with_capacity(corpus.documents().len());
+        let mut owned_documents = 0usize;
+        let mut owned_len = 0u64;
         for doc in corpus.documents() {
             doc_lengths.push(doc.terms.len() as u32);
+            if !owns(doc.id) {
+                continue;
+            }
+            owned_documents += 1;
+            owned_len += doc.terms.len() as u64;
             // Count term frequencies within the document.
             let mut sorted = doc.terms.clone();
             sorted.sort_unstable();
@@ -106,24 +142,24 @@ impl InvertedIndex {
                 i = j;
             }
         }
-        let total_len: u64 = doc_lengths.iter().map(|&l| u64::from(l)).sum();
-        let avg_doc_length = if doc_lengths.is_empty() {
+        let avg_doc_length = if owned_documents == 0 {
             1.0
         } else {
-            total_len as f32 / doc_lengths.len() as f32
+            owned_len as f32 / owned_documents as f32
         };
         InvertedIndex {
             postings,
             doc_lengths,
+            owned_documents,
             avg_doc_length,
             params,
         }
     }
 
-    /// Number of indexed documents.
+    /// Number of indexed (owned) documents.
     #[must_use]
     pub fn num_documents(&self) -> usize {
-        self.doc_lengths.len()
+        self.owned_documents
     }
 
     /// Number of distinct terms with at least one posting.
@@ -184,6 +220,28 @@ impl InvertedIndex {
         hits.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(Ordering::Equal));
         (hits, scanned)
     }
+}
+
+/// Root-side aggregation of the partition-aggregate pattern: merges per-leaf top-k
+/// lists into the global top `k`, ordered by descending score (ties broken by document
+/// id for determinism).
+///
+/// Document partitions are disjoint, so each document appears in at most one leaf list
+/// and the merge is exact *with respect to the per-leaf scores*.  As in real
+/// distributed search, each leaf scores with its own collection statistics (local idf
+/// and average document length), so cross-leaf score comparisons — and therefore the
+/// merged ranking — can deviate slightly from a single index over the whole corpus.
+#[must_use]
+pub fn merge_top_k(leaf_hits: &[Vec<SearchHit>], k: usize) -> Vec<SearchHit> {
+    let mut all: Vec<SearchHit> = leaf_hits.iter().flatten().copied().collect();
+    all.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| a.doc_id.cmp(&b.doc_id))
+    });
+    all.truncate(k);
+    all
 }
 
 #[cfg(test)]
@@ -247,6 +305,60 @@ mod tests {
         let (hits, _) = index.search(&[term], 5);
         let top = hits[0].doc_id;
         assert!(corpus.documents()[top as usize].terms.contains(&term));
+    }
+
+    #[test]
+    fn partitions_are_disjoint_and_cover_the_corpus() {
+        let (corpus, full) = index();
+        let shards = 4;
+        let leaves: Vec<InvertedIndex> = (0..shards)
+            .map(|s| InvertedIndex::build_partition(&corpus, s, shards))
+            .collect();
+        let total: usize = leaves.iter().map(InvertedIndex::num_documents).sum();
+        assert_eq!(total, full.num_documents());
+        // Every leaf owns a strict subset, and a popular term's postings split across
+        // leaves without loss.
+        let full_postings = full.postings_len(0);
+        let leaf_postings: usize = leaves.iter().map(|l| l.postings_len(0)).sum();
+        assert_eq!(leaf_postings, full_postings);
+        for (s, leaf) in leaves.iter().enumerate() {
+            assert!(leaf.num_documents() < full.num_documents());
+            // Leaves keep global document ids from their own partition only.
+            let (hits, _) = leaf.search(&[0, 1, 2], 50);
+            for hit in hits {
+                assert_eq!(hit.doc_id as usize % shards, s);
+            }
+        }
+    }
+
+    #[test]
+    fn merged_leaf_topk_matches_document_coverage() {
+        let (corpus, full) = index();
+        let shards = 4;
+        let leaves: Vec<InvertedIndex> = (0..shards)
+            .map(|s| InvertedIndex::build_partition(&corpus, s, shards))
+            .collect();
+        let terms = [0u32, 1, 2];
+        let k = 10;
+        let per_leaf: Vec<Vec<SearchHit>> = leaves.iter().map(|l| l.search(&terms, k).0).collect();
+        let merged = merge_top_k(&per_leaf, k);
+        assert_eq!(merged.len(), k.min(per_leaf.iter().map(Vec::len).sum()));
+        // Sorted by descending score with deterministic ties.
+        assert!(merged
+            .windows(2)
+            .all(|w| w[0].score > w[1].score
+                || (w[0].score == w[1].score && w[0].doc_id < w[1].doc_id)));
+        // Each merged hit exists in the full index's candidate set for those terms.
+        let (full_hits, _) = full.search(&terms, full.num_documents());
+        for hit in &merged {
+            assert!(full_hits.iter().any(|f| f.doc_id == hit.doc_id));
+        }
+    }
+
+    #[test]
+    fn merge_top_k_of_empty_input_is_empty() {
+        assert!(merge_top_k(&[], 10).is_empty());
+        assert!(merge_top_k(&[Vec::new(), Vec::new()], 10).is_empty());
     }
 
     #[test]

@@ -25,5 +25,5 @@
 pub mod index;
 pub mod service;
 
-pub use index::{Bm25Params, InvertedIndex, SearchHit};
+pub use index::{merge_top_k, Bm25Params, InvertedIndex, SearchHit};
 pub use service::{SearchRequestFactory, XapianApp, DEFAULT_TOP_K};

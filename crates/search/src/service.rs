@@ -12,6 +12,39 @@ use tailbench_workloads::text::{CorpusConfig, QueryGenerator, SyntheticCorpus};
 
 /// Wire encoding of search queries and results.
 pub mod codec {
+    use crate::index::SearchHit;
+
+    /// Encodes a ranked result list into a response payload.
+    #[must_use]
+    pub fn encode_results(hits: &[SearchHit]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(2 + hits.len() * 8);
+        out.extend_from_slice(&(hits.len() as u16).to_le_bytes());
+        for hit in hits {
+            out.extend_from_slice(&hit.doc_id.to_le_bytes());
+            out.extend_from_slice(&hit.score.to_le_bytes());
+        }
+        out
+    }
+
+    /// Decodes a result list from a response payload; `None` if malformed.  The root of
+    /// a partition-aggregate query uses this to merge its leaves' responses.
+    #[must_use]
+    pub fn decode_results(payload: &[u8]) -> Option<Vec<SearchHit>> {
+        let n = u16::from_le_bytes(payload.get(..2)?.try_into().ok()?) as usize;
+        let body = payload.get(2..)?;
+        if body.len() < n * 8 {
+            return None;
+        }
+        let mut hits = Vec::with_capacity(n);
+        for i in 0..n {
+            hits.push(SearchHit {
+                doc_id: u32::from_le_bytes(body[i * 8..i * 8 + 4].try_into().ok()?),
+                score: f32::from_le_bytes(body[i * 8 + 4..i * 8 + 8].try_into().ok()?),
+            });
+        }
+        Some(hits)
+    }
+
     /// Encodes a query (term ids + result count) into a request payload.
     #[must_use]
     pub fn encode_query(terms: &[u32], k: u16) -> Vec<u8> {
@@ -72,6 +105,21 @@ impl XapianApp {
         }
     }
 
+    /// Builds a *leaf* application owning document partition `shard` of `shards`
+    /// (the partition-aggregate pattern: a root fans each query out to every leaf and
+    /// merges the per-leaf top-k lists with
+    /// [`merge_top_k`](crate::index::merge_top_k)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard >= shards` or `shards == 0`.
+    #[must_use]
+    pub fn leaf(corpus: &SyntheticCorpus, shard: usize, shards: usize) -> Self {
+        XapianApp {
+            index: InvertedIndex::build_partition(corpus, shard, shards),
+        }
+    }
+
     /// The underlying index.
     #[must_use]
     pub fn index(&self) -> &InvertedIndex {
@@ -89,12 +137,7 @@ impl ServerApp for XapianApp {
             return Response::new(vec![0xFF]);
         };
         let (hits, scanned) = self.index.search(&terms, k as usize);
-        let mut out = Vec::with_capacity(2 + hits.len() * 8);
-        out.extend_from_slice(&(hits.len() as u16).to_le_bytes());
-        for hit in &hits {
-            out.extend_from_slice(&hit.doc_id.to_le_bytes());
-            out.extend_from_slice(&hit.score.to_le_bytes());
-        }
+        let out = codec::encode_results(&hits);
         // Query cost is dominated by postings traversal + scoring: ~60 instructions and
         // ~1.5 memory reads per posting (posting entry, doc length, score accumulator).
         let scanned = scanned as u64;
@@ -190,6 +233,79 @@ mod tests {
             assert!((1..=4).contains(&terms.len()));
             assert_eq!(k, DEFAULT_TOP_K);
         }
+    }
+
+    #[test]
+    fn result_codec_round_trips() {
+        use crate::index::SearchHit;
+        let hits = vec![
+            SearchHit {
+                doc_id: 3,
+                score: 1.5,
+            },
+            SearchHit {
+                doc_id: 99,
+                score: 0.25,
+            },
+        ];
+        assert_eq!(
+            codec::decode_results(&codec::encode_results(&hits)),
+            Some(hits)
+        );
+        assert_eq!(codec::decode_results(&[0xFF]), None);
+        assert_eq!(codec::decode_results(&[2, 0, 1]), None, "truncated body");
+    }
+
+    #[test]
+    fn leaf_responses_merge_into_a_global_top_k() {
+        use crate::index::merge_top_k;
+        let corpus = SyntheticCorpus::generate(CorpusConfig::small());
+        let shards = 3;
+        let leaves: Vec<XapianApp> = (0..shards)
+            .map(|s| XapianApp::leaf(&corpus, s, shards))
+            .collect();
+        let query = codec::encode_query(&[0, 1], 5);
+        let per_leaf: Vec<Vec<crate::index::SearchHit>> = leaves
+            .iter()
+            .map(|leaf| codec::decode_results(&leaf.handle(&query).payload).unwrap())
+            .collect();
+        let merged = merge_top_k(&per_leaf, 5);
+        assert!(!merged.is_empty() && merged.len() <= 5);
+        assert!(merged.windows(2).all(|w| w[0].score >= w[1].score));
+        // Leaves own disjoint partitions, so merged hits never repeat a document.
+        let mut ids: Vec<u32> = merged.iter().map(|h| h.doc_id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), merged.len());
+    }
+
+    #[test]
+    fn leaf_cluster_through_harness_fans_out() {
+        use std::sync::Arc;
+        use tailbench_core::config::BenchmarkConfig;
+        use tailbench_core::{ClusterConfig, FanoutPolicy};
+
+        let corpus = SyntheticCorpus::generate(CorpusConfig::small());
+        let shards = 3;
+        let apps: Vec<Arc<dyn ServerApp>> = (0..shards)
+            .map(|s| Arc::new(XapianApp::leaf(&corpus, s, shards)) as Arc<dyn ServerApp>)
+            .collect();
+        let mut factory = SearchRequestFactory::new(&corpus, 23);
+        let report = tailbench_core::runner::run_cluster(
+            &apps,
+            &mut factory,
+            &BenchmarkConfig::new(500.0, 200).with_warmup(20),
+            &ClusterConfig::new(shards, FanoutPolicy::Broadcast),
+            None,
+        )
+        .unwrap();
+        assert_eq!(report.shards, shards);
+        assert!(report.cluster.requests > 150);
+        // Broadcast: every leaf served every measured query.
+        for shard in &report.per_shard {
+            assert_eq!(shard.requests, report.cluster.requests);
+        }
+        assert!(report.cluster.sojourn.p99_ns >= report.max_shard_p99_ns());
     }
 
     #[test]

@@ -1,0 +1,86 @@
+//! Partition-aggregate fan-out and the tail-at-scale effect.
+//!
+//! A web-search query does not hit one server: the index is document-partitioned across
+//! N leaves, the root broadcasts the query to every leaf and can only answer once the
+//! *slowest* leaf responds.  Even if every leaf keeps an excellent p99, the end-to-end
+//! p99 of an N-way fan-out tracks the leaves' p99.9 and beyond — which is why
+//! cluster-level tail SLOs force per-leaf tails orders of magnitude tighter.
+//!
+//! This example sweeps the shard count from 1 to 16 under the discrete-event simulated
+//! harness (deterministic and host-independent) and prints how the cluster p99 pulls
+//! away from the per-shard p99.
+//!
+//! ```text
+//! cargo run --release --example cluster_fanout
+//! ```
+
+use std::sync::Arc;
+use tailbench::apps::search::{SearchRequestFactory, XapianApp};
+use tailbench::core::config::{BenchmarkConfig, ClusterConfig, FanoutPolicy, HarnessMode};
+use tailbench::core::{runner, HarnessError, ServerApp};
+use tailbench::simarch::SystemModel;
+use tailbench::workloads::text::{CorpusConfig, SyntheticCorpus};
+
+fn main() -> Result<(), HarnessError> {
+    let corpus = SyntheticCorpus::generate(CorpusConfig {
+        documents: 4_000,
+        vocabulary: 12_000,
+        ..CorpusConfig::default()
+    });
+    let model = SystemModel::default();
+
+    println!(
+        "{:>6} {:>14} {:>14} {:>14} {:>8}",
+        "shards", "shard p99", "cluster p99", "cluster p50", "amp"
+    );
+    for shards in [1usize, 2, 4, 8, 16] {
+        let leaves: Vec<Arc<dyn ServerApp>> = (0..shards)
+            .map(|s| Arc::new(XapianApp::leaf(&corpus, s, shards)) as Arc<dyn ServerApp>)
+            .collect();
+
+        // Probe the per-leaf simulated capacity, then offer 50% of it.  Every leaf sees
+        // the full broadcast rate, so one leaf's capacity bounds the cluster sweep.
+        let cluster = ClusterConfig::new(shards, FanoutPolicy::Broadcast);
+        let probe_config = BenchmarkConfig::new(200.0, 300)
+            .with_mode(HarnessMode::Simulated)
+            .with_warmup(30);
+        let mut factory = SearchRequestFactory::new(&corpus, 7);
+        let probe =
+            runner::run_cluster(&leaves, &mut factory, &probe_config, &cluster, Some(&model))?;
+        // Per-leaf capacity from the mean of the *per-shard* service means — the
+        // cluster-level service time is the slowest leg's, which would understate
+        // capacity more and more as the fan-out grows.
+        let shard_service_mean = probe
+            .per_shard
+            .iter()
+            .map(|s| s.service.mean_ns)
+            .sum::<f64>()
+            / probe.per_shard.len().max(1) as f64;
+        let capacity = 1e9 / shard_service_mean.max(1.0);
+
+        let config = BenchmarkConfig::new(capacity * 0.5, 2_000)
+            .with_mode(HarnessMode::Simulated)
+            .with_warmup(200)
+            .with_seed(17);
+        let mut factory = SearchRequestFactory::new(&corpus, 7);
+        let report = runner::run_cluster(&leaves, &mut factory, &config, &cluster, Some(&model))?;
+        println!(
+            "{:>6} {:>11.3} ms {:>11.3} ms {:>11.3} ms {:>7.2}x",
+            shards,
+            report.mean_shard_p99_ns() / 1e6,
+            report.cluster.sojourn.p99_ms(),
+            report.cluster.sojourn.p50_ns as f64 / 1e6,
+            report.p99_amplification(),
+        );
+    }
+
+    println!(
+        "\nThe cluster p99 waits for the slowest of N shards, so it can only sit above\n\
+         the per-shard p99.  In this noise-free simulation the legs decorrelate only\n\
+         through partition skew and queue divergence, so the amplification shown is a\n\
+         lower bound that grows with load and fan-out; on real hosts independent\n\
+         per-leaf noise amplifies the effect (compare fig9_fanout_tail's integrated\n\
+         rows, which reach 1.5x and beyond)."
+    );
+    Ok(())
+}

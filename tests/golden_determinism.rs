@@ -1,0 +1,131 @@
+//! Golden determinism regression tests.
+//!
+//! A `Simulated` run advances a virtual clock through a discrete-event loop, so for a
+//! fixed seed its percentiles are *exact* constants — independent of host speed, core
+//! count and OS scheduling.  These tests pin those constants for a single-server run
+//! and for two 4-shard cluster runs (broadcast and hash-routed): any accidental change
+//! to the virtual-clock event ordering (tie-breaking, queue discipline, routing, the
+//! fan-out merge) fails loudly here instead of silently shifting every simulated
+//! result.
+//!
+//! If you change the event ordering *on purpose*, re-derive the constants by printing
+//! the asserted fields from a release run and update them together with a DESIGN.md
+//! note.
+
+use std::sync::Arc;
+use tailbench::core::app::{EchoApp, InstructionRateModel};
+use tailbench::core::config::{BenchmarkConfig, ClusterConfig, FanoutPolicy, HarnessMode};
+use tailbench::core::{runner, ServerApp};
+
+/// The shared fixed-seed configuration: 5k QPS Poisson arrivals, 1000 measured
+/// requests after 100 warmup, seed 0x601D.
+fn golden_config() -> BenchmarkConfig {
+    BenchmarkConfig::new(5_000.0, 1_000)
+        .with_warmup(100)
+        .with_seed(0x601D)
+        .with_mode(HarnessMode::Simulated)
+}
+
+/// EchoApp reports `10 + spin_iters` instructions, so at 1 ns/instruction the service
+/// time is exactly `spin_iters + 10` ns — all remaining variation comes from the
+/// seeded Poisson arrival process.
+fn cost_model() -> InstructionRateModel {
+    InstructionRateModel {
+        ns_per_instruction: 1.0,
+    }
+}
+
+#[test]
+fn single_server_simulated_percentiles_are_exact() {
+    let app: Arc<dyn ServerApp> = Arc::new(EchoApp {
+        spin_iters: 100_000,
+    });
+    let mut factory = || b"golden".to_vec();
+    let report =
+        runner::run_with_cost_model(&app, &mut factory, &golden_config(), &cost_model()).unwrap();
+    assert_eq!(report.requests, 1_000);
+    assert_eq!(report.sojourn.p50_ns, 100_010);
+    assert_eq!(report.sojourn.p95_ns, 294_185);
+    assert_eq!(report.sojourn.p99_ns, 451_793);
+}
+
+/// Four heterogeneous shards (shard `i` costs `100_000 + 15_000 * i` ns) under
+/// broadcast fan-out: per-shard and end-to-end percentiles are all pinned, and the
+/// end-to-end distribution must equal the slowest-leg merge.
+#[test]
+fn four_shard_broadcast_cluster_percentiles_are_exact() {
+    let apps: Vec<Arc<dyn ServerApp>> = (0..4)
+        .map(|i| {
+            Arc::new(EchoApp {
+                spin_iters: 100_000 + 15_000 * i,
+            }) as Arc<dyn ServerApp>
+        })
+        .collect();
+    let cluster = ClusterConfig::new(4, FanoutPolicy::Broadcast);
+    let mut factory = || b"golden".to_vec();
+    let report = runner::run_cluster(
+        &apps,
+        &mut factory,
+        &golden_config(),
+        &cluster,
+        Some(&cost_model()),
+    )
+    .unwrap();
+
+    assert_eq!(report.cluster.requests, 1_000);
+    assert_eq!(report.cluster.sojourn.p50_ns, 252_115);
+    assert_eq!(report.cluster.sojourn.p95_ns, 757_913);
+    assert_eq!(report.cluster.sojourn.p99_ns, 1_150_870);
+
+    let shard_p99 = [451_793u64, 606_360, 766_184, 1_150_870];
+    for (shard, &expected) in report.per_shard.iter().zip(shard_p99.iter()) {
+        assert_eq!(shard.requests, 1_000);
+        assert_eq!(shard.sojourn.p99_ns, expected);
+    }
+    // The union-of-legs view flows through the histogram merge path.
+    assert_eq!(report.shard_union_sojourn.p99_ns, 851_492);
+    // With the slowest shard dominating, the end-to-end p99 equals shard 3's p99.
+    assert_eq!(report.cluster.sojourn.p99_ns, report.max_shard_p99_ns());
+}
+
+/// The same four shards behind hash-by-key routing: the FNV-1a router must keep
+/// splitting a sequential key stream into the same per-shard loads, and the routed
+/// percentiles stay exact.
+#[test]
+fn four_shard_hash_routed_cluster_percentiles_are_exact() {
+    let apps: Vec<Arc<dyn ServerApp>> = (0..4)
+        .map(|i| {
+            Arc::new(EchoApp {
+                spin_iters: 100_000 + 15_000 * i,
+            }) as Arc<dyn ServerApp>
+        })
+        .collect();
+    let cluster = ClusterConfig::new(4, FanoutPolicy::HashKey { offset: 0, len: 8 });
+    let mut key = 0u64;
+    let mut factory = move || {
+        key += 1;
+        key.to_le_bytes().to_vec()
+    };
+    let report = runner::run_cluster(
+        &apps,
+        &mut factory,
+        &golden_config(),
+        &cluster,
+        Some(&cost_model()),
+    )
+    .unwrap();
+
+    assert_eq!(report.cluster.requests, 1_000);
+    assert_eq!(
+        report
+            .per_shard
+            .iter()
+            .map(|s| s.requests)
+            .collect::<Vec<_>>(),
+        vec![250, 250, 250, 250],
+        "FNV-1a routing of sequential keys must stay stable"
+    );
+    assert_eq!(report.cluster.sojourn.p50_ns, 130_010);
+    assert_eq!(report.cluster.sojourn.p95_ns, 145_010);
+    assert_eq!(report.cluster.sojourn.p99_ns, 145_010);
+}
