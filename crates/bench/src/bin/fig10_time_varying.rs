@@ -1,0 +1,147 @@
+//! Fig. 10 (extension): tail latency under time-varying, multi-tenant load.
+//!
+//! TailBench's client is a stationary Poisson process; real services face bursts —
+//! and it is during bursts that the tail blows up, long before mean load looks
+//! dangerous.  This binary drives the masstree key-value store with a three-phase
+//! scenario (steady → square-wave bursts → steady) shared by two client classes — an
+//! interactive tenant issuing YCSB-B point reads (80% of the rate) and a batch tenant
+//! issuing YCSB-E scans (20%) — and sweeps the burst amplitude.  Per-phase and
+//! per-class p99s come straight out of the scenario engine's tagged collector, so the
+//! burst-phase amplification and the batch tenant's impact on the interactive tenant
+//! are read directly off the report.  Runs under the discrete-event simulated harness:
+//! deterministic, host-independent, and fast enough to sweep.
+
+use std::sync::Arc;
+use std::time::Duration;
+use tailbench_bench::{format_latency, print_table, Scale};
+use tailbench_core::app::{RequestFactory, ServerApp};
+use tailbench_core::config::HarnessMode;
+use tailbench_kvstore::{MasstreeApp, YcsbRequestFactory};
+use tailbench_scenario::{run_scenario, ClientClass, LoadPhase, Scenario};
+use tailbench_simarch::SystemModel;
+use tailbench_workloads::ycsb::{OpMix, YcsbConfig};
+
+fn class_factories(
+    interactive: &YcsbConfig,
+    batch: &YcsbConfig,
+    seed: u64,
+) -> Vec<Box<dyn RequestFactory>> {
+    vec![
+        Box::new(YcsbRequestFactory::new(interactive, seed)),
+        Box::new(YcsbRequestFactory::new(batch, seed ^ 0xBA7C4)) as Box<dyn RequestFactory>,
+    ]
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let budget = scale.requests(3_000, 30_000);
+
+    let records = match scale {
+        Scale::Quick | Scale::Smoke => 100_000,
+        Scale::Full => 1_000_000,
+    };
+    let interactive = YcsbConfig {
+        records,
+        mix: OpMix::YCSB_B,
+        ..YcsbConfig::default()
+    };
+    let batch = YcsbConfig {
+        records,
+        mix: OpMix::YCSB_E,
+        ..YcsbConfig::default()
+    };
+    let app: Arc<dyn ServerApp> = Arc::new(MasstreeApp::new(&interactive));
+    let model = SystemModel::default();
+    let classes = vec![
+        ClientClass::new("interactive", 0.8),
+        ClientClass::new("batch", 0.2),
+    ];
+
+    // Probe the simulated capacity with a light constant scenario: at trivial load the
+    // sojourn is pure service time, and 1/service_mean bounds the sustainable rate.
+    let probe = Scenario::new(
+        "fig10-probe",
+        vec![LoadPhase::constant(1_000.0, Duration::from_millis(300))],
+    )
+    .with_classes(classes.clone());
+    let probe_report = run_scenario(
+        &app,
+        class_factories(&interactive, &batch, 0xF10),
+        &probe,
+        HarnessMode::Simulated,
+        1,
+        0xF10,
+        Some(&model),
+    )
+    .expect("probe run failed");
+    let capacity = 1e9 / probe_report.service.mean_ns.max(1.0);
+    let steady = (capacity * 0.4).max(100.0);
+    // Total span sized so the steady baseline alone offers ~`budget` requests.
+    let span_s = budget as f64 / steady;
+    let steady_len = Duration::from_secs_f64(span_s * 0.3);
+    let burst_len = Duration::from_secs_f64(span_s * 0.4);
+    let period = Duration::from_secs_f64(span_s * 0.05); // 8 bursts per run
+
+    let mut rows = Vec::new();
+    let mut worst_report = None;
+    for amplitude in [1u32, 2, 4, 8] {
+        let scenario = Scenario::new(
+            format!("fig10-x{amplitude}"),
+            vec![
+                LoadPhase::constant(steady, steady_len),
+                LoadPhase::burst(
+                    steady,
+                    steady * f64::from(amplitude),
+                    period,
+                    0.5,
+                    burst_len,
+                ),
+                LoadPhase::constant(steady, steady_len),
+            ],
+        )
+        .with_classes(classes.clone());
+        let report = run_scenario(
+            &app,
+            class_factories(&interactive, &batch, 0x5EED),
+            &scenario,
+            HarnessMode::Simulated,
+            1,
+            0x5EED,
+            Some(&model),
+        )
+        .expect("scenario run failed");
+        assert_eq!(report.per_phase.len(), 3);
+        assert_eq!(report.per_class.len(), 2);
+        rows.push(vec![
+            format!("{amplitude}x"),
+            format_latency(report.per_phase[0].sojourn.p99_ns as f64),
+            format_latency(report.per_phase[1].sojourn.p99_ns as f64),
+            format_latency(report.per_phase[2].sojourn.p99_ns as f64),
+            format_latency(report.per_class[0].sojourn.p99_ns as f64),
+            format_latency(report.per_class[1].sojourn.p99_ns as f64),
+        ]);
+        worst_report = Some(report);
+    }
+
+    print_table(
+        "Fig. 10 — time-varying load: burst-amplitude sweep (masstree, 2 tenant classes)",
+        &[
+            "burst",
+            "steady p99",
+            "burst-phase p99",
+            "recovery p99",
+            "interactive p99",
+            "batch p99",
+        ],
+        &rows,
+    );
+    if let Some(report) = worst_report {
+        println!("\nBreakdown of the 8x run (per class, then per phase):\n");
+        print!("{}", report.breakdown_markdown());
+    }
+    println!(
+        "\nMean load alone hides the burst: the steady phases sit at 40% capacity, yet\n\
+         the burst phase drives the p99 orders of magnitude up — the regime that fixed-\n\
+         rate TailBench clients never exercise."
+    );
+}

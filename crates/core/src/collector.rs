@@ -9,8 +9,85 @@
 use crate::report::LatencyStats;
 use crate::request::RequestRecord;
 use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use tailbench_histogram::LatencySummary;
+
+/// Per-request class and phase tags for a run, indexed by request id.
+///
+/// The scenario engine compiles its multi-class, phased schedule into one id-ordered
+/// request stream; this table records, for each id, which client class issued the
+/// request and which load phase it arrived in.  Collectors use it to maintain per-class
+/// and per-phase sojourn distributions so a batch tenant's impact on an interactive
+/// tenant's p99 — or a burst phase's tail versus the steady phase's — is a first-class
+/// result rather than a post-processing step.  Requests beyond the table (or runs
+/// without tags) fall into class/phase 0.
+#[derive(Debug, Clone, Default)]
+pub struct RequestTags {
+    class_names: Vec<String>,
+    phase_names: Vec<String>,
+    class_of: Vec<u16>,
+    phase_of: Vec<u16>,
+}
+
+impl RequestTags {
+    /// Builds the tag table.  `class_of[id]` / `phase_of[id]` give request `id`'s class
+    /// and phase as indexes into the name lists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any tag indexes past its name list.
+    #[must_use]
+    pub fn new(
+        class_names: Vec<String>,
+        phase_names: Vec<String>,
+        class_of: Vec<u16>,
+        phase_of: Vec<u16>,
+    ) -> Self {
+        assert!(
+            class_of
+                .iter()
+                .all(|&c| (c as usize) < class_names.len().max(1)),
+            "class tag out of range"
+        );
+        assert!(
+            phase_of
+                .iter()
+                .all(|&p| (p as usize) < phase_names.len().max(1)),
+            "phase tag out of range"
+        );
+        RequestTags {
+            class_names,
+            phase_names,
+            class_of,
+            phase_of,
+        }
+    }
+
+    /// The class of request `id` (0 when untagged).
+    #[must_use]
+    pub fn class_of(&self, id: u64) -> u16 {
+        self.class_of.get(id as usize).copied().unwrap_or(0)
+    }
+
+    /// The phase of request `id` (0 when untagged).
+    #[must_use]
+    pub fn phase_of(&self, id: u64) -> u16 {
+        self.phase_of.get(id as usize).copied().unwrap_or(0)
+    }
+
+    /// Class names, indexed by class.
+    #[must_use]
+    pub fn class_names(&self) -> &[String] {
+        &self.class_names
+    }
+
+    /// Phase names, indexed by phase.
+    #[must_use]
+    pub fn phase_names(&self) -> &[String] {
+        &self.phase_names
+    }
+}
 
 /// Aggregated latency statistics of one measurement run.
 #[derive(Debug, Clone)]
@@ -22,6 +99,9 @@ pub struct StatsCollector {
     service: LatencySummary,
     queue: LatencySummary,
     overhead: LatencySummary,
+    tags: Option<Arc<RequestTags>>,
+    per_class: Vec<LatencySummary>,
+    per_phase: Vec<LatencySummary>,
     measured: u64,
     warmup_seen: u64,
     first_issue_ns: u64,
@@ -38,11 +118,30 @@ impl StatsCollector {
             service: LatencySummary::new(),
             queue: LatencySummary::new(),
             overhead: LatencySummary::new(),
+            tags: None,
+            per_class: Vec::new(),
+            per_phase: Vec::new(),
             measured: 0,
             warmup_seen: 0,
             first_issue_ns: u64::MAX,
             last_completion_ns: 0,
         }
+    }
+
+    /// Attaches per-request class/phase tags; the collector then also maintains one
+    /// sojourn distribution per class and per phase.
+    #[must_use]
+    pub fn with_tags(mut self, tags: Option<Arc<RequestTags>>) -> Self {
+        if let Some(t) = &tags {
+            self.per_class = (0..t.class_names().len())
+                .map(|_| LatencySummary::new())
+                .collect();
+            self.per_phase = (0..t.phase_names().len())
+                .map(|_| LatencySummary::new())
+                .collect();
+        }
+        self.tags = tags;
+        self
     }
 
     /// Records one finished request.
@@ -55,6 +154,16 @@ impl StatsCollector {
         self.service.record(r.service_ns());
         self.queue.record(r.queue_ns());
         self.overhead.record(r.overhead_ns());
+        if let Some(tags) = &self.tags {
+            let class = tags.class_of(r.id.0) as usize;
+            if let Some(summary) = self.per_class.get_mut(class) {
+                summary.record(r.sojourn_ns());
+            }
+            let phase = tags.phase_of(r.id.0) as usize;
+            if let Some(summary) = self.per_phase.get_mut(phase) {
+                summary.record(r.sojourn_ns());
+            }
+        }
         self.measured += 1;
         self.first_issue_ns = self.first_issue_ns.min(r.issued_ns);
         self.last_completion_ns = self.last_completion_ns.max(r.client_received_ns);
@@ -122,6 +231,33 @@ impl StatsCollector {
     pub fn service_summary(&self) -> &LatencySummary {
         &self.service
     }
+
+    /// Per-class sojourn statistics as `(class name, stats)` rows; empty without tags.
+    #[must_use]
+    pub fn class_breakdown(&self) -> Vec<(String, LatencyStats)> {
+        self.breakdown(&self.per_class, RequestTags::class_names)
+    }
+
+    /// Per-phase sojourn statistics as `(phase name, stats)` rows; empty without tags.
+    #[must_use]
+    pub fn phase_breakdown(&self) -> Vec<(String, LatencyStats)> {
+        self.breakdown(&self.per_phase, RequestTags::phase_names)
+    }
+
+    fn breakdown(
+        &self,
+        summaries: &[LatencySummary],
+        names: fn(&RequestTags) -> &[String],
+    ) -> Vec<(String, LatencyStats)> {
+        match &self.tags {
+            None => Vec::new(),
+            Some(tags) => names(tags)
+                .iter()
+                .zip(summaries)
+                .map(|(name, summary)| (name.clone(), LatencyStats::from_summary(summary)))
+                .collect(),
+        }
+    }
 }
 
 /// A merge in progress for one fanned-out request.
@@ -157,6 +293,15 @@ impl ClusterCollector {
                 .collect(),
             pending: std::collections::HashMap::new(),
         }
+    }
+
+    /// Attaches per-request tags to the *end-to-end* collector, so cluster runs report
+    /// per-class and per-phase sojourn like single-server runs (per-shard collectors
+    /// stay untagged: a shard serves legs of every class).
+    #[must_use]
+    pub fn with_tags(mut self, tags: Option<Arc<RequestTags>>) -> Self {
+        self.cluster = self.cluster.with_tags(tags);
+        self
     }
 
     /// Records one finished leg of a request.
@@ -248,11 +393,22 @@ impl ClusterCollectorHandle {
     /// Spawns the collector thread.
     #[must_use]
     pub fn spawn(shards: usize, warmup_count: u64) -> Self {
+        Self::spawn_with_tags(shards, warmup_count, None)
+    }
+
+    /// Spawns the collector thread with per-request class/phase tags attached to the
+    /// end-to-end collector.
+    #[must_use]
+    pub fn spawn_with_tags(
+        shards: usize,
+        warmup_count: u64,
+        tags: Option<Arc<RequestTags>>,
+    ) -> Self {
         let (tx, rx): (Sender<ClusterLeg>, Receiver<ClusterLeg>) = unbounded();
         let handle = std::thread::Builder::new()
             .name("tb-cluster-collector".into())
             .spawn(move || {
-                let mut collector = ClusterCollector::new(shards, warmup_count);
+                let mut collector = ClusterCollector::new(shards, warmup_count).with_tags(tags);
                 while let Ok((shard, expected_legs, record)) = rx.recv() {
                     let _ = collector.record_leg(shard, record, expected_legs);
                 }
@@ -297,11 +453,17 @@ impl CollectorHandle {
     /// Spawns the collector thread.
     #[must_use]
     pub fn spawn(warmup_count: u64) -> Self {
+        Self::spawn_with_tags(warmup_count, None)
+    }
+
+    /// Spawns the collector thread with per-request class/phase tags attached.
+    #[must_use]
+    pub fn spawn_with_tags(warmup_count: u64, tags: Option<Arc<RequestTags>>) -> Self {
         let (tx, rx): (Sender<RequestRecord>, Receiver<RequestRecord>) = unbounded();
         let handle = std::thread::Builder::new()
             .name("tb-collector".into())
             .spawn(move || {
-                let mut collector = StatsCollector::new(warmup_count);
+                let mut collector = StatsCollector::new(warmup_count).with_tags(tags);
                 while let Ok(record) = rx.recv() {
                     collector.record(&record);
                 }
@@ -452,6 +614,37 @@ mod tests {
         assert_eq!(collector.shard_stats()[0].measured(), 10);
         assert_eq!(collector.shard_stats()[1].measured(), 10);
         assert_eq!(collector.unmerged(), 0);
+    }
+
+    #[test]
+    fn tagged_collector_splits_classes_and_phases() {
+        // 10 requests: even ids are class 0 ("fg"), odd ids class 1 ("bg"); first five
+        // are phase 0, the rest phase 1.  Background requests are 10x slower.
+        let tags = Arc::new(RequestTags::new(
+            vec!["fg".into(), "bg".into()],
+            vec!["steady".into(), "burst".into()],
+            (0..10).map(|i| (i % 2) as u16).collect(),
+            (0..10).map(|i| u16::from(i >= 5)).collect(),
+        ));
+        let mut c = StatsCollector::new(0).with_tags(Some(Arc::clone(&tags)));
+        for i in 0..10u64 {
+            let service = if i % 2 == 0 { 1_000 } else { 10_000 };
+            c.record(&record(i, i * 1_000, service));
+        }
+        let classes = c.class_breakdown();
+        assert_eq!(classes.len(), 2);
+        assert_eq!(classes[0].0, "fg");
+        assert_eq!(classes[0].1.count, 5);
+        assert_eq!(classes[1].1.count, 5);
+        assert!(classes[1].1.p50_ns > classes[0].1.p50_ns * 5);
+        let phases = c.phase_breakdown();
+        assert_eq!(phases.len(), 2);
+        assert_eq!(phases[0].1.count + phases[1].1.count, 10);
+        // Untagged collectors report no breakdowns.
+        assert!(StatsCollector::new(0).class_breakdown().is_empty());
+        // Ids beyond the table fall into class/phase 0 instead of panicking.
+        c.record(&record(99, 0, 1));
+        assert_eq!(c.class_breakdown()[0].1.count, 6);
     }
 
     #[test]

@@ -4,7 +4,10 @@
 //! use (integrated / loopback / networked / simulated, paper Fig. 1), the offered load,
 //! the number of application worker threads, and the warmup and measurement lengths.
 
+use crate::collector::RequestTags;
+use crate::interference::InterferencePlan;
 use crate::traffic::LoadMode;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// The measurement setup, mirroring the three harness configurations of the paper plus
@@ -175,6 +178,32 @@ fn fnv1a(bytes: &[u8]) -> u64 {
     hash
 }
 
+/// The hedged-request mitigation policy of a cluster's client-side router ("The Tail at
+/// Scale", CACM 2013): if a leg's primary replica has not responded within `delay_ns`,
+/// the router reissues the leg to the shard's next replica and takes whichever response
+/// arrives first.  The loser is not cancelled (it merely wastes server capacity), so
+/// hedging trades extra load for a shorter tail — exactly the trade-off the
+/// `fig11_hedging` binary sweeps.
+///
+/// The delay is configured in nanoseconds; callers that want a *percentile* trigger
+/// (e.g. "hedge at the leg p95") measure an unhedged run first and pass that
+/// percentile's value, which keeps simulated runs bit-for-bit deterministic.
+/// Hedging needs somewhere to send the copy: clusters with `replication == 1` ignore
+/// the policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HedgePolicy {
+    /// Reissue delay in nanoseconds.
+    pub delay_ns: u64,
+}
+
+impl HedgePolicy {
+    /// A policy that hedges after `delay_ns` nanoseconds.
+    #[must_use]
+    pub fn after_ns(delay_ns: u64) -> Self {
+        HedgePolicy { delay_ns }
+    }
+}
+
 /// A cluster of server instances layered on top of a [`BenchmarkConfig`].
 ///
 /// A cluster run starts `shards * replication` independent server instances — each with
@@ -190,6 +219,9 @@ pub struct ClusterConfig {
     pub replication: usize,
     /// How requests map onto shards.
     pub fanout: FanoutPolicy,
+    /// Hedged-request mitigation on the router (`None` = no hedging).  Requires
+    /// `replication >= 2` to take effect.
+    pub hedge: Option<HedgePolicy>,
 }
 
 impl ClusterConfig {
@@ -200,6 +232,7 @@ impl ClusterConfig {
             shards: shards.max(1),
             replication: 1,
             fanout,
+            hedge: None,
         }
     }
 
@@ -208,6 +241,31 @@ impl ClusterConfig {
     pub fn with_replication(mut self, replication: usize) -> Self {
         self.replication = replication.max(1);
         self
+    }
+
+    /// Enables hedged requests with the given policy.
+    #[must_use]
+    pub fn with_hedge(mut self, hedge: HedgePolicy) -> Self {
+        self.hedge = Some(hedge);
+        self
+    }
+
+    /// Returns the hedging policy if it is active (configured *and* the cluster has a
+    /// replica to hedge to).
+    #[must_use]
+    pub fn active_hedge(&self) -> Option<HedgePolicy> {
+        if self.replication >= 2 {
+            self.hedge
+        } else {
+            None
+        }
+    }
+
+    /// The alternate replica instance for a hedge copy of `shard`'s leg of request
+    /// `request_id`: the next replica after the primary, round-robin.
+    #[must_use]
+    pub fn hedge_instance(&self, shard: usize, request_id: u64) -> usize {
+        shard * self.replication + ((request_id + 1) % self.replication as u64) as usize
     }
 
     /// Total number of server instances (`shards * replication`).
@@ -263,6 +321,11 @@ pub struct BenchmarkConfig {
     pub seed: u64,
     /// Safety cap on wall-clock duration for real-time runs.
     pub max_duration: Duration,
+    /// Deterministic fault-injection schedule (empty = no interference).
+    pub interference: InterferencePlan,
+    /// Per-request class/phase tags for per-class and per-phase reporting (the scenario
+    /// engine fills this in; `None` for plain runs).
+    pub tags: Option<Arc<RequestTags>>,
 }
 
 impl BenchmarkConfig {
@@ -278,6 +341,8 @@ impl BenchmarkConfig {
             measure_requests,
             seed: 0x7A11_BE4C,
             max_duration: Duration::from_secs(120),
+            interference: InterferencePlan::none(),
+            tags: None,
         }
     }
 
@@ -320,6 +385,20 @@ impl BenchmarkConfig {
     #[must_use]
     pub fn with_max_duration(mut self, max_duration: Duration) -> Self {
         self.max_duration = max_duration;
+        self
+    }
+
+    /// Sets the deterministic fault-injection schedule.
+    #[must_use]
+    pub fn with_interference(mut self, interference: InterferencePlan) -> Self {
+        self.interference = interference;
+        self
+    }
+
+    /// Attaches per-request class/phase tags for per-class and per-phase reporting.
+    #[must_use]
+    pub fn with_tags(mut self, tags: Arc<RequestTags>) -> Self {
+        self.tags = Some(tags);
         self
     }
 
@@ -437,6 +516,21 @@ mod tests {
         assert_eq!(single.shards, 1, "shard count clamps to one");
         assert_eq!(single.fanout_width(), 1);
         assert_eq!(single.name(), "cluster1x1-hash-key");
+    }
+
+    #[test]
+    fn hedging_needs_a_replica_and_picks_the_next_one() {
+        let policy = HedgePolicy::after_ns(50_000);
+        let unreplicated = ClusterConfig::new(4, FanoutPolicy::Broadcast).with_hedge(policy);
+        assert_eq!(unreplicated.active_hedge(), None);
+        let replicated = unreplicated.clone().with_replication(2);
+        assert_eq!(replicated.active_hedge(), Some(policy));
+        // Request 0 on shard 3: primary is replica 0 (instance 6), hedge goes to
+        // replica 1 (instance 7) — and vice versa for request 1.
+        assert_eq!(replicated.instance(3, 0), 6);
+        assert_eq!(replicated.hedge_instance(3, 0), 7);
+        assert_eq!(replicated.instance(3, 1), 7);
+        assert_eq!(replicated.hedge_instance(3, 1), 6);
     }
 
     #[test]

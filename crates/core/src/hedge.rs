@@ -1,0 +1,341 @@
+//! Wall-clock hedged-request engine for the cluster router.
+//!
+//! The discrete-event simulation applies the [`HedgePolicy`](crate::config::HedgePolicy)
+//! inside its event loop; the real-time cluster configurations (integrated and TCP) use
+//! this engine instead: a dedicated thread that tracks every dispatched leg, reissues a
+//! copy to the shard's next replica once the trigger delay expires without a response,
+//! and forwards only the *first* response per leg to the cross-shard collector
+//! (first-response-wins; the loser is dropped here, never recorded).
+//!
+//! Message flow: the router announces each leg with [`HedgeMsg::Dispatched`] *before*
+//! handing the request to the server, receiver/forwarder threads turn every completed
+//! copy into [`HedgeMsg::Completed`], and the router signals the end of pacing with
+//! [`HedgeMsg::NoMoreDispatches`].  Because a leg's `Dispatched` is enqueued before the
+//! request can possibly complete, the engine never sees a completion for an unknown leg.
+//!
+//! Shutdown is two-phase to avoid a teardown cycle: the reissue path (which holds
+//! clones of the server-side queue senders) is dropped as soon as pacing has ended and
+//! every outstanding copy has completed; only then can workers and forwarders unwind,
+//! closing the engine's channel and letting it return its [`HedgeStats`].
+
+use crate::collector::ClusterLeg;
+use crate::config::{ClusterConfig, HedgePolicy};
+use crate::report::HedgeStats;
+use crate::request::{Request, RequestRecord};
+use crate::time::RunClock;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::mpsc::{channel, RecvTimeoutError, Sender};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// One message into the hedge engine.
+#[derive(Debug)]
+pub(crate) enum HedgeMsg {
+    /// The router dispatched `request`'s leg on `shard` (sent before the server can see
+    /// the request).
+    Dispatched {
+        /// The leg's request (kept so a hedge copy can be reissued).
+        request: Request,
+        /// The shard this leg belongs to.
+        shard: usize,
+    },
+    /// One copy of a leg completed.
+    Completed {
+        /// The shard the completed copy belongs to.
+        shard: usize,
+        /// The instance whose connection/queue delivered the copy — identifies whether
+        /// the primary or the hedge copy responded (each goes to a distinct replica).
+        instance: usize,
+        /// The copy's latency record.
+        record: RequestRecord,
+    },
+    /// The router finished pacing; no further `Dispatched` messages will arrive.
+    NoMoreDispatches,
+}
+
+/// Client-side state of one wall-clock leg.
+#[derive(Debug)]
+struct WallLeg {
+    request: Option<Request>,
+    resolved: bool,
+    /// The instance the hedge copy was reissued to (`None` until hedged).
+    hedged_to: Option<usize>,
+    outstanding: u8,
+}
+
+/// The engine thread plus its message sender.
+#[derive(Debug)]
+pub(crate) struct HedgeEngine {
+    tx: Sender<HedgeMsg>,
+    handle: JoinHandle<HedgeStats>,
+}
+
+impl HedgeEngine {
+    /// Spawns the engine.  `reissue(instance, request)` injects a hedge copy into the
+    /// transport (a queue push in the integrated configuration, a sender-channel send in
+    /// the TCP ones); `collector_tx` receives the winning record of every leg.
+    pub(crate) fn spawn(
+        policy: HedgePolicy,
+        cluster: ClusterConfig,
+        width: usize,
+        clock: RunClock,
+        collector_tx: crossbeam::channel::Sender<ClusterLeg>,
+        reissue: Box<dyn FnMut(usize, Request) -> bool + Send>,
+    ) -> Self {
+        let (tx, rx) = channel::<HedgeMsg>();
+        let handle = std::thread::Builder::new()
+            .name("tb-hedge-engine".into())
+            .spawn(move || {
+                let mut reissue = Some(reissue);
+                let mut stats = HedgeStats::default();
+                let mut pending: HashMap<(u64, usize), WallLeg> = HashMap::new();
+                // Hedge deadlines: (deadline_ns, ticket) -> leg key.  The ticket makes
+                // keys unique when deadlines collide.
+                let mut deadlines: BTreeMap<(u64, u64), (u64, usize)> = BTreeMap::new();
+                let mut ticket = 0u64;
+                let mut no_more = false;
+                loop {
+                    // Fire every due hedge.
+                    let now = clock.now_ns();
+                    while let Some((&slot, &key)) = deadlines.iter().next() {
+                        if slot.0 > now {
+                            break;
+                        }
+                        deadlines.remove(&slot);
+                        let Some(leg) = pending.get_mut(&key) else {
+                            continue;
+                        };
+                        if leg.resolved || leg.hedged_to.is_some() {
+                            continue;
+                        }
+                        let Some(request) = leg.request.take() else {
+                            continue;
+                        };
+                        let alt = cluster.hedge_instance(key.1, key.0);
+                        if let Some(send) = reissue.as_mut() {
+                            if send(alt, request) {
+                                leg.hedged_to = Some(alt);
+                                leg.outstanding += 1;
+                                stats.issued += 1;
+                            }
+                        }
+                    }
+                    // Once pacing is over and every copy has come back, release the
+                    // reissue path so the servers can start unwinding.
+                    if no_more && pending.is_empty() && reissue.is_some() {
+                        reissue = None;
+                        deadlines.clear();
+                    }
+                    // Wait for the next message, or until the next hedge deadline.
+                    let msg = match deadlines.keys().next() {
+                        Some(&(deadline, _)) => {
+                            let wait = deadline.saturating_sub(clock.now_ns());
+                            match rx.recv_timeout(Duration::from_nanos(wait.max(1))) {
+                                Ok(msg) => msg,
+                                Err(RecvTimeoutError::Timeout) => continue,
+                                Err(RecvTimeoutError::Disconnected) => break,
+                            }
+                        }
+                        None => match rx.recv() {
+                            Ok(msg) => msg,
+                            Err(_) => break,
+                        },
+                    };
+                    match msg {
+                        HedgeMsg::Dispatched { request, shard } => {
+                            let key = (request.id.0, shard);
+                            ticket += 1;
+                            deadlines.insert((clock.now_ns() + policy.delay_ns, ticket), key);
+                            pending.insert(
+                                key,
+                                WallLeg {
+                                    request: Some(request),
+                                    resolved: false,
+                                    hedged_to: None,
+                                    outstanding: 1,
+                                },
+                            );
+                        }
+                        HedgeMsg::Completed {
+                            shard,
+                            instance,
+                            record,
+                        } => {
+                            let key = (record.id.0, shard);
+                            if let Some(leg) = pending.get_mut(&key) {
+                                if !leg.resolved {
+                                    leg.resolved = true;
+                                    // The hedge won iff the first response came back on
+                                    // the replica the copy was reissued to (primary and
+                                    // copy always target distinct replicas).
+                                    if leg.hedged_to == Some(instance) {
+                                        stats.wins += 1;
+                                    }
+                                    let _ = collector_tx.send((shard, width, record));
+                                }
+                                leg.outstanding -= 1;
+                                if leg.outstanding == 0 {
+                                    pending.remove(&key);
+                                }
+                            }
+                        }
+                        HedgeMsg::NoMoreDispatches => no_more = true,
+                    }
+                }
+                stats
+            })
+            .expect("failed to spawn hedge engine thread");
+        HedgeEngine { tx, handle }
+    }
+
+    /// A sender for router and forwarder threads.
+    pub(crate) fn sender(&self) -> Sender<HedgeMsg> {
+        self.tx.clone()
+    }
+
+    /// Drops the local sender and waits for the engine to drain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine thread itself panicked.
+    pub(crate) fn join(self) -> HedgeStats {
+        drop(self.tx);
+        self.handle.join().expect("hedge engine thread panicked")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::FanoutPolicy;
+    use crate::request::RequestId;
+
+    fn leg_request(id: u64) -> Request {
+        Request {
+            id: RequestId(id),
+            payload: vec![id as u8],
+            issued_ns: 0,
+        }
+    }
+
+    fn record(id: u64, enqueued_ns: u64, received_ns: u64) -> RequestRecord {
+        RequestRecord {
+            id: RequestId(id),
+            issued_ns: 0,
+            enqueued_ns,
+            started_ns: enqueued_ns,
+            completed_ns: received_ns,
+            client_received_ns: received_ns,
+        }
+    }
+
+    #[test]
+    fn slow_legs_get_hedged_and_first_response_wins() {
+        let cluster = ClusterConfig::new(1, FanoutPolicy::Broadcast).with_replication(2);
+        let clock = RunClock::new();
+        let (collector_tx, collector_rx) = crossbeam::channel::unbounded();
+        let (hedged_tx, hedged_rx) = crossbeam::channel::unbounded();
+        let engine = HedgeEngine::spawn(
+            HedgePolicy::after_ns(2_000_000), // 2 ms trigger
+            cluster,
+            1,
+            clock,
+            collector_tx,
+            Box::new(move |instance, request| hedged_tx.send((instance, request)).is_ok()),
+        );
+        let tx = engine.sender();
+        // Leg 0 never gets a primary response: the engine must reissue it to the other
+        // replica (instance 1) after ~2 ms.
+        tx.send(HedgeMsg::Dispatched {
+            request: leg_request(0),
+            shard: 0,
+        })
+        .unwrap();
+        let (alt, copy) = hedged_rx
+            .recv()
+            .expect("the engine must issue a hedge copy");
+        assert_eq!(alt, 1);
+        assert_eq!(copy.id, RequestId(0));
+        // The hedge copy responds on the alternate replica, then the straggling primary
+        // on replica 0: only the first response reaches the collector, and it is
+        // classified as a hedge win by its instance.
+        let hedge_done = clock.now_ns();
+        tx.send(HedgeMsg::Completed {
+            shard: 0,
+            instance: 1,
+            record: record(0, hedge_done, hedge_done + 10),
+        })
+        .unwrap();
+        tx.send(HedgeMsg::Completed {
+            shard: 0,
+            instance: 0,
+            record: record(0, 0, hedge_done + 500_000),
+        })
+        .unwrap();
+        // Leg 1 (primary replica 1, hedge to replica 0) also gets hedged, but this time
+        // the *primary* responds first: the hedge is issued yet must not count as a win.
+        tx.send(HedgeMsg::Dispatched {
+            request: leg_request(1),
+            shard: 0,
+        })
+        .unwrap();
+        let (alt, copy) = hedged_rx.recv().expect("second hedge copy");
+        assert_eq!(alt, 0);
+        assert_eq!(copy.id, RequestId(1));
+        let now = clock.now_ns();
+        tx.send(HedgeMsg::Completed {
+            shard: 0,
+            instance: 1,
+            record: record(1, now, now + 10),
+        })
+        .unwrap();
+        tx.send(HedgeMsg::Completed {
+            shard: 0,
+            instance: 0,
+            record: record(1, now, now + 400_000),
+        })
+        .unwrap();
+        tx.send(HedgeMsg::NoMoreDispatches).unwrap();
+        drop(tx);
+        let stats = engine.join();
+        assert_eq!(stats.issued, 2);
+        assert_eq!(stats.wins, 1, "only the first leg's hedge won");
+        let forwarded: Vec<ClusterLeg> = collector_rx.iter().collect();
+        assert_eq!(forwarded.len(), 2, "one winning copy per leg");
+        assert_eq!(forwarded[0].2.client_received_ns, hedge_done + 10);
+    }
+
+    #[test]
+    fn fast_legs_are_never_hedged() {
+        let cluster = ClusterConfig::new(1, FanoutPolicy::Broadcast).with_replication(2);
+        let clock = RunClock::new();
+        let (collector_tx, collector_rx) = crossbeam::channel::unbounded();
+        let engine = HedgeEngine::spawn(
+            HedgePolicy::after_ns(200_000_000), // 200 ms: nothing should trigger
+            cluster,
+            1,
+            clock,
+            collector_tx,
+            Box::new(|_, _| panic!("no hedge expected")),
+        );
+        let tx = engine.sender();
+        for id in 0..10u64 {
+            tx.send(HedgeMsg::Dispatched {
+                request: leg_request(id),
+                shard: 0,
+            })
+            .unwrap();
+            tx.send(HedgeMsg::Completed {
+                shard: 0,
+                instance: (id % 2) as usize,
+                record: record(id, 10, 20),
+            })
+            .unwrap();
+        }
+        tx.send(HedgeMsg::NoMoreDispatches).unwrap();
+        drop(tx);
+        let stats = engine.join();
+        assert_eq!(stats, HedgeStats::default());
+        assert_eq!(collector_rx.iter().count(), 10);
+    }
+}

@@ -9,13 +9,36 @@ use crate::app::{RequestFactory, ServerApp};
 use crate::collector::{ClusterCollector, ClusterCollectorHandle, CollectorHandle, StatsCollector};
 use crate::config::{BenchmarkConfig, ClusterConfig, Route};
 use crate::error::HarnessError;
+use crate::hedge::{HedgeEngine, HedgeMsg};
+use crate::interference::InterferedApp;
 use crate::queue::{Completion, RequestQueue};
-use crate::report::{ClusterReport, LatencyStats, RunReport};
+use crate::report::{ClusterReport, HedgeStats, LabeledLatency, LatencyStats, RunReport};
 use crate::time::RunClock;
 use crate::traffic::{LoadMode, TrafficShaper};
 use crate::worker::WorkerPool;
 use std::sync::Arc;
 use tailbench_workloads::rng::seeded_rng;
+
+/// Wraps `app` with the configuration's interference plan for `instance` (identity when
+/// the plan is empty), sharing the run's clock so fault windows line up with the
+/// request timeline.
+pub(crate) fn interfered(
+    app: &Arc<dyn ServerApp>,
+    config: &BenchmarkConfig,
+    instance: usize,
+    clock: RunClock,
+) -> Arc<dyn ServerApp> {
+    if config.interference.is_empty() {
+        Arc::clone(app)
+    } else {
+        Arc::new(InterferedApp::new(
+            Arc::clone(app),
+            &config.interference,
+            instance,
+            clock,
+        ))
+    }
+}
 
 /// Runs one measurement in the integrated configuration and returns its report.
 ///
@@ -28,22 +51,22 @@ pub fn run_integrated(
 ) -> RunReport {
     app.prepare();
     let clock = RunClock::new();
+    let serve_app = interfered(app, config, 0, clock);
     let queue = RequestQueue::new();
-    let collector = CollectorHandle::spawn(config.warmup_requests as u64);
-    let pool = WorkerPool::spawn(
-        Arc::clone(app),
-        queue.receiver(),
-        clock,
-        config.worker_threads,
-    );
+    let collector =
+        CollectorHandle::spawn_with_tags(config.warmup_requests as u64, config.tags.clone());
+    let pool = WorkerPool::spawn(serve_app, queue.receiver(), clock, config.worker_threads);
 
     let collector_stats = match &config.load {
-        LoadMode::Open(process) => {
+        LoadMode::Closed { think_ns } => run_closed_loop(
+            app, factory, config, *think_ns, clock, queue, pool, collector,
+        ),
+        open => {
             let mut rng = seeded_rng(config.seed, 1);
-            let shaper =
-                TrafficShaper::build(process, &mut rng, config.total_requests(), 0, || {
-                    factory.next_request()
-                });
+            let times = open
+                .schedule(&mut rng, config.total_requests())
+                .expect("open-loop by match");
+            let shaper = TrafficShaper::from_times(times, 0, || factory.next_request());
             let record_tx = collector.sender();
             let max_ns = config.max_duration.as_nanos() as u64;
             for mut request in shaper.into_requests() {
@@ -63,9 +86,6 @@ pub fn run_integrated(
             let _ = pool.join();
             collector.join()
         }
-        LoadMode::Closed { think_ns } => run_closed_loop(
-            app, factory, config, *think_ns, clock, queue, pool, collector,
-        ),
     };
 
     build_report(app.name(), "integrated", config, &collector_stats)
@@ -137,11 +157,11 @@ pub fn run_cluster_integrated(
     config: &BenchmarkConfig,
     cluster: &ClusterConfig,
 ) -> Result<ClusterReport, HarnessError> {
-    let LoadMode::Open(process) = &config.load else {
+    if !config.load.is_open() {
         return Err(HarnessError::Config(
             "cluster runs require an open-loop load mode".into(),
         ));
-    };
+    }
     check_instances(apps, cluster)?;
     for app in apps {
         app.prepare();
@@ -149,22 +169,60 @@ pub fn run_cluster_integrated(
 
     let clock = RunClock::new();
     let width = cluster.fanout_width();
-    let collector = ClusterCollectorHandle::spawn(cluster.shards, config.warmup_requests as u64);
+    let hedge = cluster.active_hedge();
+    let collector = ClusterCollectorHandle::spawn_with_tags(
+        cluster.shards,
+        config.warmup_requests as u64,
+        config.tags.clone(),
+    );
     let queues: Vec<RequestQueue> = (0..apps.len()).map(|_| RequestQueue::new()).collect();
     let mut pools = Vec::with_capacity(apps.len());
-    let mut forwarders = Vec::with_capacity(apps.len());
     let mut leg_txs: Vec<crossbeam::channel::Sender<crate::queue::ServerCompletion>> =
         Vec::with_capacity(apps.len());
+    let mut leg_rxs = Vec::with_capacity(apps.len());
     for (i, app) in apps.iter().enumerate() {
         pools.push(WorkerPool::spawn(
-            Arc::clone(app),
+            interfered(app, config, i, clock),
             queues[i].receiver(),
             clock,
             config.worker_threads,
         ));
         let (resp_tx, resp_rx) = crossbeam::channel::unbounded();
         leg_txs.push(resp_tx);
+        leg_rxs.push(resp_rx);
+    }
+
+    // With hedging active, all completions detour through the hedge engine, which
+    // forwards only each leg's first response to the collector and reissues stragglers
+    // straight onto the alternate replica's queue.
+    let engine = hedge.map(|policy| {
+        let queue_txs: Vec<_> = queues.iter().map(RequestQueue::sender).collect();
+        let resp_txs = leg_txs.clone();
+        let reissue = Box::new(move |instance: usize, request: crate::request::Request| {
+            let now = clock.now_ns();
+            queue_txs[instance]
+                .send(crate::queue::QueuedRequest {
+                    request,
+                    enqueued_ns: now,
+                    completion: Completion::Responder(resp_txs[instance].clone()),
+                })
+                .is_ok()
+        });
+        HedgeEngine::spawn(
+            policy,
+            cluster.clone(),
+            width,
+            clock,
+            collector.sender(),
+            reissue,
+        )
+    });
+    let engine_tx = engine.as_ref().map(HedgeEngine::sender);
+
+    let mut forwarders = Vec::with_capacity(apps.len());
+    for (i, resp_rx) in leg_rxs.into_iter().enumerate() {
         let record_tx = collector.sender();
+        let hedge_tx = engine_tx.clone();
         let shard = i / cluster.replication;
         forwarders.push(
             std::thread::Builder::new()
@@ -174,7 +232,19 @@ pub fn run_cluster_integrated(
                         // Integrated configuration: the response is delivered the moment
                         // processing completes (shared memory, no transport).
                         let received = completion.completed_ns;
-                        let _ = record_tx.send((shard, width, completion.into_record(received)));
+                        let record = completion.into_record(received);
+                        match &hedge_tx {
+                            Some(tx) => {
+                                let _ = tx.send(HedgeMsg::Completed {
+                                    shard,
+                                    instance: i,
+                                    record,
+                                });
+                            }
+                            None => {
+                                let _ = record_tx.send((shard, width, record));
+                            }
+                        }
                     }
                 })
                 .expect("failed to spawn cluster forwarder"),
@@ -182,9 +252,11 @@ pub fn run_cluster_integrated(
     }
 
     let mut rng = seeded_rng(config.seed, 1);
-    let shaper = TrafficShaper::build(process, &mut rng, config.total_requests(), 0, || {
-        factory.next_request()
-    });
+    let times = config
+        .load
+        .schedule(&mut rng, config.total_requests())
+        .expect("checked open-loop above");
+    let shaper = TrafficShaper::from_times(times, 0, || factory.next_request());
     let max_ns = config.max_duration.as_nanos() as u64;
     'pacing: for mut request in shaper.into_requests() {
         let now = clock.sleep_until_ns(request.issued_ns);
@@ -192,24 +264,29 @@ pub fn run_cluster_integrated(
             break;
         }
         request.issued_ns = now;
-        match cluster.fanout.route(&request.payload, cluster.shards) {
-            Route::Shard(shard) => {
-                let i = cluster.instance(shard, request.id.0);
-                if !queues[i].push(request, now, Completion::Responder(leg_txs[i].clone())) {
-                    break 'pacing;
-                }
+        let shards = match cluster.fanout.route(&request.payload, cluster.shards) {
+            Route::Shard(shard) => shard..shard + 1,
+            Route::AllShards => 0..cluster.shards,
+        };
+        for shard in shards {
+            let i = cluster.instance(shard, request.id.0);
+            let leg = request.clone();
+            if let Some(tx) = &engine_tx {
+                // Announce the leg before the server can possibly answer it.
+                let _ = tx.send(HedgeMsg::Dispatched {
+                    request: leg.clone(),
+                    shard,
+                });
             }
-            Route::AllShards => {
-                for shard in 0..cluster.shards {
-                    let i = cluster.instance(shard, request.id.0);
-                    let leg = request.clone();
-                    if !queues[i].push(leg, now, Completion::Responder(leg_txs[i].clone())) {
-                        break 'pacing;
-                    }
-                }
+            if !queues[i].push(leg, now, Completion::Responder(leg_txs[i].clone())) {
+                break 'pacing;
             }
         }
     }
+    if let Some(tx) = &engine_tx {
+        let _ = tx.send(HedgeMsg::NoMoreDispatches);
+    }
+    drop(engine_tx);
 
     drop(leg_txs);
     for queue in queues {
@@ -221,6 +298,7 @@ pub fn run_cluster_integrated(
     for forwarder in forwarders {
         let _ = forwarder.join();
     }
+    let hedge_stats = engine.map(HedgeEngine::join);
     let stats = collector.join();
     Ok(build_cluster_report(
         apps[0].name(),
@@ -228,6 +306,7 @@ pub fn run_cluster_integrated(
         config,
         cluster,
         &stats,
+        hedge_stats,
     ))
 }
 
@@ -256,6 +335,7 @@ pub(crate) fn build_cluster_report(
     config: &BenchmarkConfig,
     cluster: &ClusterConfig,
     stats: &ClusterCollector,
+    hedge: Option<HedgeStats>,
 ) -> ClusterReport {
     let configuration = format!("{mode_name}+{}", cluster.name());
     ClusterReport {
@@ -268,7 +348,15 @@ pub(crate) fn build_cluster_report(
         shards: cluster.shards,
         replication: cluster.replication,
         shard_union_sojourn: LatencyStats::from_summary(&stats.merged_shard_sojourn()),
+        hedge,
     }
+}
+
+/// Converts a collector breakdown into report rows.
+fn labelled(rows: Vec<(String, LatencyStats)>) -> Vec<LabeledLatency> {
+    rows.into_iter()
+        .map(|(name, sojourn)| LabeledLatency { name, sojourn })
+        .collect()
 }
 
 /// Assembles a [`RunReport`] from a populated collector.
@@ -290,6 +378,8 @@ pub(crate) fn build_report(
         service: stats.service_stats(),
         queue: stats.queue_stats(),
         overhead: stats.overhead_stats(),
+        per_class: labelled(stats.class_breakdown()),
+        per_phase: labelled(stats.phase_breakdown()),
     }
 }
 

@@ -1,0 +1,364 @@
+//! Deterministic interference injection.
+//!
+//! Real latency-critical services see transient interference — a co-located batch job
+//! stealing cycles, a garbage-collection or power-management pause, scheduling jitter —
+//! and those transients, not steady-state queueing, often dominate the tail.  This
+//! module lets a run inject such faults *deterministically*: an [`InterferencePlan`] is
+//! a list of [`FaultEvent`]s with explicit time windows, applied identically in the
+//! discrete-event simulation (service times are adjusted analytically) and in the
+//! wall-clock configurations (the [`InterferedApp`] wrapper stalls or inflates inside
+//! the request handler).
+//!
+//! Semantics (both paths): a fault affects requests whose *service start* falls inside
+//! the fault window.  `Pause` stalls the request until the window ends before any work
+//! happens; `SlowDown` multiplies the request's service time; `Jitter` adds a
+//! per-request pseudo-random extra derived from the request id, so the DES path stays
+//! bit-for-bit deterministic (see DESIGN.md, "Scenario engine").
+
+use crate::app::ServerApp;
+use crate::request::Response;
+use crate::time::RunClock;
+
+/// What a fault does to requests that start service inside its window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// Service-time inflation: service time is multiplied by `factor` (≥ 1 slows the
+    /// server down; the slow-shard scenario).
+    SlowDown {
+        /// Multiplicative service-time factor.
+        factor: f64,
+    },
+    /// Full-server pause: no request makes progress until the window ends (GC pause,
+    /// power-state transition).  Requests starting inside the window stall to its end.
+    Pause,
+    /// Per-request jitter: adds a pseudo-random extra in `[0, amplitude_ns]`, drawn
+    /// deterministically from the request id.
+    Jitter {
+        /// Maximum added service time in nanoseconds.
+        amplitude_ns: u64,
+    },
+}
+
+/// Which server instance(s) a fault applies to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultTarget {
+    /// Every instance (and the single server of non-cluster runs).
+    All,
+    /// One cluster instance, in shard-major order (`shard * replication + replica`).
+    /// Non-cluster runs treat the single server as instance 0.
+    Instance(usize),
+}
+
+/// One fault with its time window (ns since the run epoch, `[start_ns, end_ns)`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultEvent {
+    /// Which instance(s) the fault hits.
+    pub target: FaultTarget,
+    /// Window start, inclusive, ns since the run epoch.
+    pub start_ns: u64,
+    /// Window end, exclusive, ns since the run epoch.
+    pub end_ns: u64,
+    /// What the fault does.
+    pub kind: FaultKind,
+}
+
+impl FaultEvent {
+    /// Returns `true` if the fault applies to `instance` at time `now_ns`.
+    #[must_use]
+    pub fn applies(&self, instance: usize, now_ns: u64) -> bool {
+        let hit = match self.target {
+            FaultTarget::All => true,
+            FaultTarget::Instance(i) => i == instance,
+        };
+        hit && now_ns >= self.start_ns && now_ns < self.end_ns
+    }
+}
+
+/// A deterministic schedule of fault events for one run.
+#[derive(Debug, Clone, Default)]
+pub struct InterferencePlan {
+    /// The fault events; order is irrelevant (effects compose commutatively).
+    pub events: Vec<FaultEvent>,
+}
+
+impl InterferencePlan {
+    /// A plan with no faults (the default for every run).
+    #[must_use]
+    pub fn none() -> Self {
+        InterferencePlan::default()
+    }
+
+    /// Returns `true` if the plan injects nothing.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Adds a slow-shard window: `instance` runs `factor`× slower during the window.
+    #[must_use]
+    pub fn slow_instance(
+        mut self,
+        instance: usize,
+        start_ns: u64,
+        end_ns: u64,
+        factor: f64,
+    ) -> Self {
+        self.events.push(FaultEvent {
+            target: FaultTarget::Instance(instance),
+            start_ns,
+            end_ns,
+            kind: FaultKind::SlowDown { factor },
+        });
+        self
+    }
+
+    /// Adds a full pause of `instance` during the window.
+    #[must_use]
+    pub fn pause_instance(mut self, instance: usize, start_ns: u64, end_ns: u64) -> Self {
+        self.events.push(FaultEvent {
+            target: FaultTarget::Instance(instance),
+            start_ns,
+            end_ns,
+            kind: FaultKind::Pause,
+        });
+        self
+    }
+
+    /// Adds per-request jitter on every instance during the window.
+    #[must_use]
+    pub fn jitter_all(mut self, start_ns: u64, end_ns: u64, amplitude_ns: u64) -> Self {
+        self.events.push(FaultEvent {
+            target: FaultTarget::All,
+            start_ns,
+            end_ns,
+            kind: FaultKind::Jitter { amplitude_ns },
+        });
+        self
+    }
+
+    /// Restricts the plan to the events visible to one instance (used when wrapping
+    /// per-instance applications in the wall-clock configurations).
+    #[must_use]
+    pub fn for_instance(&self, instance: usize) -> InterferencePlan {
+        InterferencePlan {
+            events: self
+                .events
+                .iter()
+                .filter(|e| match e.target {
+                    FaultTarget::All => true,
+                    FaultTarget::Instance(i) => i == instance,
+                })
+                .copied()
+                .collect(),
+        }
+    }
+
+    /// The adjusted service time for a request of `base_service_ns` starting at
+    /// `start_ns` on `instance` — the DES application of the plan.
+    ///
+    /// Composition: the stall of the longest covering `Pause` window comes first, then
+    /// every covering `SlowDown` factor multiplies the base service time, then every
+    /// covering `Jitter` adds its per-request extra.
+    #[must_use]
+    pub fn adjusted_service_ns(
+        &self,
+        instance: usize,
+        start_ns: u64,
+        base_service_ns: u64,
+        request_id: u64,
+    ) -> u64 {
+        if self.events.is_empty() {
+            return base_service_ns;
+        }
+        let mut stall = 0u64;
+        let mut factor = 1.0f64;
+        let mut extra = 0u64;
+        for event in &self.events {
+            if !event.applies(instance, start_ns) {
+                continue;
+            }
+            match event.kind {
+                FaultKind::Pause => stall = stall.max(event.end_ns - start_ns),
+                FaultKind::SlowDown { factor: f } => factor *= f.max(0.0),
+                FaultKind::Jitter { amplitude_ns } => {
+                    extra = extra.saturating_add(jitter_ns(request_id, instance, amplitude_ns));
+                }
+            }
+        }
+        stall
+            .saturating_add((base_service_ns as f64 * factor).round() as u64)
+            .saturating_add(extra)
+    }
+}
+
+/// Deterministic per-request jitter in `[0, amplitude_ns]`: a SplitMix64 finalizer over
+/// the (request id, instance) pair, platform-stable so DES runs pin exact percentiles.
+#[must_use]
+pub fn jitter_ns(request_id: u64, instance: usize, amplitude_ns: u64) -> u64 {
+    if amplitude_ns == 0 {
+        return 0;
+    }
+    let mut z = request_id
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(instance as u64 + 1);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    // saturating_add keeps an `amplitude_ns == u64::MAX` plan from wrapping the divisor
+    // to zero (the zero-amplitude case returned above).
+    (z ^ (z >> 31)) % amplitude_ns.saturating_add(1)
+}
+
+/// Wall-clock interference wrapper: executes the inner application and re-creates the
+/// plan's effects inside the handler, where they are measured as service time (matching
+/// the DES semantics, which also charge faults to service).
+///
+/// `Pause` sleeps until the window end before invoking the application; `SlowDown`
+/// spins for `(factor - 1) ×` the measured inner service time afterwards; `Jitter`
+/// spins for the deterministic per-request extra.  The wrapper shares the run's
+/// [`RunClock`], so fault windows line up with the request timeline of the report.
+pub struct InterferedApp {
+    inner: std::sync::Arc<dyn ServerApp>,
+    plan: InterferencePlan,
+    instance: usize,
+    clock: RunClock,
+    /// Wall-clock handlers do not see request ids, so jitter draws from a per-request
+    /// sequence number instead (deterministic DES runs use the id-based path).
+    seq: std::sync::atomic::AtomicU64,
+}
+
+impl InterferedApp {
+    /// Wraps `inner` with the instance-relevant part of `plan`.
+    #[must_use]
+    pub fn new(
+        inner: std::sync::Arc<dyn ServerApp>,
+        plan: &InterferencePlan,
+        instance: usize,
+        clock: RunClock,
+    ) -> Self {
+        InterferedApp {
+            inner,
+            plan: plan.for_instance(instance),
+            instance,
+            clock,
+            seq: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+}
+
+impl ServerApp for InterferedApp {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn prepare(&self) {
+        self.inner.prepare();
+    }
+
+    fn handle(&self, payload: &[u8]) -> Response {
+        let start_ns = self.clock.now_ns();
+        let mut stall_until = start_ns;
+        let mut factor = 1.0f64;
+        let mut extra = 0u64;
+        let seq = self.seq.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        for event in &self.plan.events {
+            if !event.applies(self.instance, start_ns) {
+                continue;
+            }
+            match event.kind {
+                FaultKind::Pause => stall_until = stall_until.max(event.end_ns),
+                FaultKind::SlowDown { factor: f } => factor *= f.max(0.0),
+                FaultKind::Jitter { amplitude_ns } => {
+                    extra = extra.saturating_add(jitter_ns(seq, self.instance, amplitude_ns));
+                }
+            }
+        }
+        if stall_until > start_ns {
+            let _ = self.clock.sleep_until_ns(stall_until);
+        }
+        let inner_start = self.clock.now_ns();
+        let response = self.inner.handle(payload);
+        let inner_ns = self.clock.now_ns().saturating_sub(inner_start);
+        let inflate = (inner_ns as f64 * (factor - 1.0)).max(0.0).round() as u64;
+        let spin_until = self
+            .clock
+            .now_ns()
+            .saturating_add(inflate)
+            .saturating_add(extra);
+        while self.clock.now_ns() < spin_until {
+            std::hint::spin_loop();
+        }
+        response
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::EchoApp;
+    use std::sync::Arc;
+
+    #[test]
+    fn empty_plan_is_identity() {
+        let plan = InterferencePlan::none();
+        assert!(plan.is_empty());
+        assert_eq!(plan.adjusted_service_ns(0, 100, 1_000, 7), 1_000);
+    }
+
+    #[test]
+    fn slowdown_multiplies_inside_the_window_only() {
+        let plan = InterferencePlan::none().slow_instance(1, 1_000, 2_000, 3.0);
+        assert_eq!(plan.adjusted_service_ns(1, 1_500, 100, 0), 300);
+        // Other instance, before the window, and at the exclusive end: untouched.
+        assert_eq!(plan.adjusted_service_ns(0, 1_500, 100, 0), 100);
+        assert_eq!(plan.adjusted_service_ns(1, 999, 100, 0), 100);
+        assert_eq!(plan.adjusted_service_ns(1, 2_000, 100, 0), 100);
+    }
+
+    #[test]
+    fn pause_stalls_to_the_window_end() {
+        let plan = InterferencePlan::none().pause_instance(0, 1_000, 5_000);
+        // Starting at 3_000 stalls 2_000 ns, then serves 100 ns.
+        assert_eq!(plan.adjusted_service_ns(0, 3_000, 100, 0), 2_100);
+        assert_eq!(plan.adjusted_service_ns(0, 6_000, 100, 0), 100);
+    }
+
+    #[test]
+    fn jitter_is_deterministic_bounded_and_varies_by_request() {
+        let plan = InterferencePlan::none().jitter_all(0, u64::MAX, 10_000);
+        let a = plan.adjusted_service_ns(0, 10, 100, 1);
+        let b = plan.adjusted_service_ns(0, 10, 100, 1);
+        assert_eq!(a, b, "same request id must draw the same jitter");
+        assert!((100..=10_100).contains(&a));
+        let distinct: std::collections::HashSet<u64> = (0..64)
+            .map(|id| plan.adjusted_service_ns(0, 10, 100, id))
+            .collect();
+        assert!(distinct.len() > 32, "jitter must spread across request ids");
+        // An unbounded amplitude must not wrap the modulo divisor to zero.
+        assert!(jitter_ns(5, 0, u64::MAX) < u64::MAX);
+    }
+
+    #[test]
+    fn for_instance_filters_targets() {
+        let plan = InterferencePlan::none()
+            .slow_instance(0, 0, 10, 2.0)
+            .slow_instance(3, 0, 10, 2.0)
+            .jitter_all(0, 10, 100);
+        assert_eq!(plan.for_instance(0).events.len(), 2);
+        assert_eq!(plan.for_instance(3).events.len(), 2);
+        assert_eq!(plan.for_instance(1).events.len(), 1);
+    }
+
+    #[test]
+    fn interfered_app_pause_inflates_wall_clock_service() {
+        let clock = RunClock::new();
+        let inner: Arc<dyn ServerApp> = Arc::new(EchoApp::default());
+        // Pause until 3 ms past the epoch: a request handled right away must take until
+        // then to come back.
+        let plan = InterferencePlan::none().pause_instance(0, 0, 3_000_000);
+        let app = InterferedApp::new(inner, &plan, 0, clock);
+        let response = app.handle(b"x");
+        assert!(clock.now_ns() >= 3_000_000);
+        assert_eq!(&response.payload[..1], b"x");
+        assert_eq!(app.name(), "echo");
+    }
+}

@@ -21,7 +21,12 @@
 //!   router that shards single-key requests or fans partition-aggregate requests out to
 //!   every shard and merges last-response-wins, reporting per-shard and end-to-end
 //!   distributions so the fan-out tail amplification is a first-class result
-//!   ([`config::ClusterConfig`], [`runner::run_cluster`]).
+//!   ([`config::ClusterConfig`], [`runner::run_cluster`]);
+//! * **scenario mechanisms** for the `tailbench-scenario` engine: precompiled phased
+//!   arrival traces ([`traffic::LoadTrace`]), per-request class/phase tags with
+//!   per-class reporting ([`collector::RequestTags`]), deterministic interference
+//!   injection ([`interference`]), and a hedged-request policy on the cluster router
+//!   ([`config::HedgePolicy`]) — all available in every harness mode.
 //!
 //! Applications plug in through the [`ServerApp`] and [`RequestFactory`] traits ([`app`]);
 //! the eight TailBench applications live in their own crates (`tailbench-search`,
@@ -50,7 +55,9 @@ pub mod app;
 pub mod collector;
 pub mod config;
 pub mod error;
+mod hedge;
 pub mod integrated;
+pub mod interference;
 pub mod net;
 pub mod protocol;
 pub mod queue;
@@ -63,12 +70,15 @@ pub mod traffic;
 pub mod worker;
 
 pub use app::{CostModel, RequestFactory, ServerApp};
-pub use collector::ClusterCollector;
-pub use config::{BenchmarkConfig, ClusterConfig, FanoutPolicy, HarnessMode, Route};
+pub use collector::{ClusterCollector, RequestTags};
+pub use config::{BenchmarkConfig, ClusterConfig, FanoutPolicy, HarnessMode, HedgePolicy, Route};
 pub use error::HarnessError;
-pub use report::{ClusterReport, LatencyStats, MultiRunReport, RunReport};
+pub use interference::{FaultEvent, FaultKind, FaultTarget, InterferencePlan};
+pub use report::{
+    ClusterReport, HedgeStats, LabeledLatency, LatencyStats, MultiRunReport, RunReport,
+};
 pub use request::{Request, RequestRecord, Response, WorkProfile};
 pub use runner::{
     measure_capacity, run, run_cluster, run_repeated, run_with_cost_model, RepeatPolicy,
 };
-pub use traffic::LoadMode;
+pub use traffic::{LoadMode, LoadTrace};

@@ -16,12 +16,13 @@ use crate::app::{RequestFactory, ServerApp};
 use crate::collector::{ClusterCollectorHandle, CollectorHandle};
 use crate::config::{BenchmarkConfig, ClusterConfig, Route};
 use crate::error::HarnessError;
-use crate::integrated::{build_cluster_report, build_report, check_instances};
+use crate::hedge::{HedgeEngine, HedgeMsg};
+use crate::integrated::{build_cluster_report, build_report, check_instances, interfered};
 use crate::protocol;
 use crate::queue::{Completion, RequestQueue};
 use crate::report::{ClusterReport, RunReport};
 use crate::time::RunClock;
-use crate::traffic::{LoadMode, TrafficShaper};
+use crate::traffic::TrafficShaper;
 use crate::worker::WorkerPool;
 use crossbeam::channel::unbounded;
 use std::io::{BufReader, BufWriter};
@@ -47,19 +48,20 @@ pub fn run_tcp(
     one_way_delay_ns: u64,
     configuration_name: &str,
 ) -> Result<RunReport, HarnessError> {
-    let LoadMode::Open(process) = &config.load else {
+    if !config.load.is_open() {
         return Err(HarnessError::Config(
             "TCP configurations require an open-loop load mode".into(),
         ));
-    };
+    }
     let connections = connections.max(1);
     app.prepare();
 
     let clock = RunClock::new();
     let queue = RequestQueue::new();
-    let collector = CollectorHandle::spawn(config.warmup_requests as u64);
+    let collector =
+        CollectorHandle::spawn_with_tags(config.warmup_requests as u64, config.tags.clone());
     let pool = WorkerPool::spawn(
-        Arc::clone(app),
+        interfered(app, config, 0, clock),
         queue.receiver(),
         clock,
         config.worker_threads,
@@ -72,9 +74,11 @@ pub fn run_tcp(
 
     // --- build the global open-loop schedule and split it across connections -----------
     let mut rng = tailbench_workloads::rng::seeded_rng(config.seed, 1);
-    let shaper = TrafficShaper::build(process, &mut rng, config.total_requests(), 0, || {
-        factory.next_request()
-    });
+    let times = config
+        .load
+        .schedule(&mut rng, config.total_requests())
+        .expect("checked open-loop above");
+    let shaper = TrafficShaper::from_times(times, 0, || factory.next_request());
     let per_connection = shaper.split_round_robin(connections);
 
     // --- client side ---------------------------------------------------------------------
@@ -179,11 +183,11 @@ pub fn run_cluster_tcp(
     one_way_delay_ns: u64,
     configuration_name: &str,
 ) -> Result<ClusterReport, HarnessError> {
-    let LoadMode::Open(process) = &config.load else {
+    if !config.load.is_open() {
         return Err(HarnessError::Config(
             "TCP configurations require an open-loop load mode".into(),
         ));
-    };
+    }
     check_instances(apps, cluster)?;
     for app in apps {
         app.prepare();
@@ -191,19 +195,24 @@ pub fn run_cluster_tcp(
 
     let clock = RunClock::new();
     let width = cluster.fanout_width();
-    let collector = ClusterCollectorHandle::spawn(cluster.shards, config.warmup_requests as u64);
+    let hedge = cluster.active_hedge();
+    let collector = ClusterCollectorHandle::spawn_with_tags(
+        cluster.shards,
+        config.warmup_requests as u64,
+        config.tags.clone(),
+    );
 
     let mut queues = Vec::with_capacity(apps.len());
     let mut pools = Vec::with_capacity(apps.len());
     let mut server_handles = Vec::with_capacity(apps.len());
-    let mut receiver_handles = Vec::with_capacity(apps.len());
     let mut sender_handles = Vec::with_capacity(apps.len());
+    let mut reader_streams = Vec::with_capacity(apps.len());
     let mut leg_txs: Vec<crossbeam::channel::Sender<crate::request::Request>> =
         Vec::with_capacity(apps.len());
     for (i, app) in apps.iter().enumerate() {
         let queue = RequestQueue::new();
         pools.push(WorkerPool::spawn(
-            Arc::clone(app),
+            interfered(app, config, i, clock),
             queue.receiver(),
             clock,
             config.worker_threads,
@@ -215,21 +224,7 @@ pub fn run_cluster_tcp(
 
         let stream = TcpStream::connect(addr).map_err(HarnessError::Io)?;
         stream.set_nodelay(true).map_err(HarnessError::Io)?;
-        let reader_stream = stream.try_clone().map_err(HarnessError::Io)?;
-        let record_tx = collector.sender();
-        let shard = i / cluster.replication;
-        receiver_handles.push(
-            std::thread::Builder::new()
-                .name(format!("tb-cluster-recv-{i}"))
-                .spawn(move || {
-                    let mut reader = BufReader::new(reader_stream);
-                    while let Ok(Some(frame)) = protocol::read_response(&mut reader) {
-                        let record = record_from_frame(&frame, clock.now_ns(), one_way_delay_ns);
-                        let _ = record_tx.send((shard, width, record));
-                    }
-                })
-                .expect("failed to spawn cluster receiver"),
-        );
+        reader_streams.push(stream.try_clone().map_err(HarnessError::Io)?);
         // Sender thread: serializes this connection's legs off the router thread.
         let (leg_tx, leg_rx) = unbounded::<crate::request::Request>();
         leg_txs.push(leg_tx);
@@ -252,11 +247,62 @@ pub fn run_cluster_tcp(
         );
     }
 
+    // With hedging active, receivers detour through the hedge engine, which forwards
+    // only each leg's first response and reissues stragglers onto the alternate
+    // replica's connection.
+    let engine = hedge.map(|policy| {
+        let hedge_leg_txs = leg_txs.clone();
+        let reissue = Box::new(move |instance: usize, request: crate::request::Request| {
+            hedge_leg_txs[instance].send(request).is_ok()
+        });
+        HedgeEngine::spawn(
+            policy,
+            cluster.clone(),
+            width,
+            clock,
+            collector.sender(),
+            reissue,
+        )
+    });
+    let engine_tx = engine.as_ref().map(HedgeEngine::sender);
+
+    let mut receiver_handles = Vec::with_capacity(apps.len());
+    for (i, reader_stream) in reader_streams.into_iter().enumerate() {
+        let record_tx = collector.sender();
+        let hedge_tx = engine_tx.clone();
+        let shard = i / cluster.replication;
+        receiver_handles.push(
+            std::thread::Builder::new()
+                .name(format!("tb-cluster-recv-{i}"))
+                .spawn(move || {
+                    let mut reader = BufReader::new(reader_stream);
+                    while let Ok(Some(frame)) = protocol::read_response(&mut reader) {
+                        let record = record_from_frame(&frame, clock.now_ns(), one_way_delay_ns);
+                        match &hedge_tx {
+                            Some(tx) => {
+                                let _ = tx.send(HedgeMsg::Completed {
+                                    shard,
+                                    instance: i,
+                                    record,
+                                });
+                            }
+                            None => {
+                                let _ = record_tx.send((shard, width, record));
+                            }
+                        }
+                    }
+                })
+                .expect("failed to spawn cluster receiver"),
+        );
+    }
+
     // --- client-side router: pace the global schedule onto the shard connections ------
     let mut rng = tailbench_workloads::rng::seeded_rng(config.seed, 1);
-    let shaper = TrafficShaper::build(process, &mut rng, config.total_requests(), 0, || {
-        factory.next_request()
-    });
+    let times = config
+        .load
+        .schedule(&mut rng, config.total_requests())
+        .expect("checked open-loop above");
+    let shaper = TrafficShaper::from_times(times, 0, || factory.next_request());
     let max_ns = config.max_duration.as_nanos() as u64;
     'pacing: for mut request in shaper.into_requests() {
         let now = clock.sleep_until_ns(request.issued_ns);
@@ -270,11 +316,22 @@ pub fn run_cluster_tcp(
         };
         for shard in legs {
             let i = cluster.instance(shard, request.id.0);
+            if let Some(tx) = &engine_tx {
+                // Announce the leg before the server can possibly answer it.
+                let _ = tx.send(HedgeMsg::Dispatched {
+                    request: request.clone(),
+                    shard,
+                });
+            }
             if leg_txs[i].send(request.clone()).is_err() {
                 break 'pacing;
             }
         }
     }
+    if let Some(tx) = &engine_tx {
+        let _ = tx.send(HedgeMsg::NoMoreDispatches);
+    }
+    drop(engine_tx);
     drop(leg_txs);
 
     for sender in sender_handles {
@@ -292,6 +349,7 @@ pub fn run_cluster_tcp(
     for server in server_handles {
         let _ = server.join();
     }
+    let hedge_stats = engine.map(HedgeEngine::join);
     let stats = collector.join();
     Ok(build_cluster_report(
         apps[0].name(),
@@ -299,6 +357,7 @@ pub fn run_cluster_tcp(
         config,
         cluster,
         &stats,
+        hedge_stats,
     ))
 }
 

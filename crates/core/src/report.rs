@@ -68,6 +68,71 @@ impl LatencyStats {
     }
 }
 
+/// One labelled latency distribution inside a report — a client class, a load phase, or
+/// any other slice of the run's requests.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LabeledLatency {
+    /// Slice label (class name or phase name).
+    pub name: String,
+    /// Sojourn statistics of the slice.
+    pub sojourn: LatencyStats,
+}
+
+/// Renders one Markdown table — the single table-rendering implementation shared by
+/// [`percentile_table`], the report breakdowns and the figure/table binaries
+/// (previously copy-pasted per call site).
+#[must_use]
+pub fn markdown_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "| {} |", headers.join(" | "));
+    let _ = writeln!(
+        out,
+        "|{}|",
+        headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+    );
+    for row in rows {
+        let _ = writeln!(out, "| {} |", row.join(" | "));
+    }
+    out
+}
+
+/// Renders labelled latency distributions as one Markdown percentile table — used by
+/// [`RunReport::breakdown_markdown`], the cluster report's per-shard view and the
+/// scenario figure binaries.
+#[must_use]
+pub fn percentile_table(label_header: &str, rows: &[(String, LatencyStats)]) -> String {
+    let ms = |ns: f64| format!("{:.3} ms", ns / 1e6);
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|(name, stats)| {
+            vec![
+                name.clone(),
+                stats.count.to_string(),
+                ms(stats.mean_ns),
+                ms(stats.p50_ns as f64),
+                ms(stats.p95_ns as f64),
+                ms(stats.p99_ns as f64),
+                ms(stats.p999_ns as f64),
+                ms(stats.max_ns as f64),
+            ]
+        })
+        .collect();
+    markdown_table(
+        &[
+            label_header,
+            "n",
+            "mean",
+            "p50",
+            "p95",
+            "p99",
+            "p99.9",
+            "max",
+        ],
+        &body,
+    )
+}
+
 /// The result of one measurement run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RunReport {
@@ -93,9 +158,29 @@ pub struct RunReport {
     pub queue: LatencyStats,
     /// Transport/harness overhead distribution.
     pub overhead: LatencyStats,
+    /// Per-client-class sojourn distributions (empty for untagged runs).
+    pub per_class: Vec<LabeledLatency>,
+    /// Per-load-phase sojourn distributions (empty for untagged runs).
+    pub per_phase: Vec<LabeledLatency>,
 }
 
 impl RunReport {
+    /// The per-class and per-phase breakdowns rendered as Markdown percentile tables
+    /// (empty string for untagged runs).
+    #[must_use]
+    pub fn breakdown_markdown(&self) -> String {
+        let mut out = String::new();
+        for (header, rows) in [("class", &self.per_class), ("phase", &self.per_phase)] {
+            if !rows.is_empty() {
+                let rows: Vec<(String, LatencyStats)> =
+                    rows.iter().map(|c| (c.name.clone(), c.sojourn)).collect();
+                out.push_str(&percentile_table(header, &rows));
+                out.push('\n');
+            }
+        }
+        out
+    }
+
     /// Returns `true` if the run failed to keep up with the offered load (achieved
     /// throughput more than `tolerance` below offered), i.e. the system was saturated.
     #[must_use]
@@ -136,6 +221,16 @@ impl fmt::Display for RunReport {
     }
 }
 
+/// Bookkeeping of the hedged-request policy over one cluster run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HedgeStats {
+    /// Hedge copies issued (legs whose primary had not responded within the trigger
+    /// delay).
+    pub issued: u64,
+    /// Hedges that won their leg (the copy responded before the primary).
+    pub wins: u64,
+}
+
 /// The result of one cluster measurement run: the end-to-end (client-observed)
 /// distribution plus each shard's own distribution, so the fan-out tail amplification
 /// is directly readable.
@@ -151,9 +246,24 @@ pub struct ClusterReport {
     pub replication: usize,
     /// Statistics of the union of all shards' legs (the "typical shard" view).
     pub shard_union_sojourn: LatencyStats,
+    /// Hedged-request bookkeeping (`None` when no hedge policy was configured).
+    pub hedge: Option<HedgeStats>,
 }
 
 impl ClusterReport {
+    /// The per-shard sojourn distributions as a Markdown percentile table (rendered by
+    /// the shared [`percentile_table`] helper).
+    #[must_use]
+    pub fn per_shard_markdown(&self) -> String {
+        let rows: Vec<(String, LatencyStats)> = self
+            .per_shard
+            .iter()
+            .enumerate()
+            .map(|(i, shard)| (format!("shard {i}"), shard.sojourn))
+            .collect();
+        percentile_table("shard", &rows)
+    }
+
     /// The largest per-shard p99 sojourn, ns.
     #[must_use]
     pub fn max_shard_p99_ns(&self) -> u64 {
@@ -305,6 +415,8 @@ mod tests {
             service: LatencyStats::default(),
             queue: LatencyStats::default(),
             overhead: LatencyStats::default(),
+            per_class: Vec::new(),
+            per_phase: Vec::new(),
         }
     }
 
@@ -368,6 +480,7 @@ mod tests {
             shards: 2,
             replication: 1,
             shard_union_sojourn: LatencyStats::default(),
+            hedge: None,
         };
         assert_eq!(cluster.max_shard_p99_ns(), (2.0 * 1.3e6) as u64);
         assert!((cluster.mean_shard_p99_ns() - 2.0 * 1.3e6).abs() < 1.0);
@@ -385,10 +498,40 @@ mod tests {
             shards: 0,
             replication: 1,
             shard_union_sojourn: LatencyStats::default(),
+            hedge: None,
         };
         assert_eq!(cluster.max_shard_p99_ns(), 0);
         assert_eq!(cluster.mean_shard_p99_ns(), 0.0);
         assert_eq!(cluster.p99_amplification(), 0.0);
+    }
+
+    #[test]
+    fn percentile_table_renders_every_labelled_row() {
+        let mut r = report(2.0, 1000.0, 998.0);
+        r.per_class = vec![
+            LabeledLatency {
+                name: "interactive".into(),
+                sojourn: r.sojourn,
+            },
+            LabeledLatency {
+                name: "batch".into(),
+                sojourn: r.sojourn,
+            },
+        ];
+        r.per_phase = vec![LabeledLatency {
+            name: "burst".into(),
+            sojourn: r.sojourn,
+        }];
+        let md = r.breakdown_markdown();
+        assert!(md.contains("| class |"));
+        assert!(md.contains("| interactive |"));
+        assert!(md.contains("| batch |"));
+        assert!(md.contains("| phase |"));
+        assert!(md.contains("| burst |"));
+        // Header + separator + one row per label, via the single shared renderer.
+        let table = percentile_table("x", &[("only".into(), r.sojourn)]);
+        assert_eq!(table.lines().count(), 3);
+        assert!(table.contains("p99.9"));
     }
 
     #[test]

@@ -8,16 +8,23 @@
 //! through a standard discrete-event loop with `worker_threads` servers and a FIFO
 //! request queue.  Queuing behaviour — the dominant component of tail latency at load —
 //! emerges from the same open-loop arrival process used by the real-time runners.
+//!
+//! Scenario support: arrivals may follow a precompiled phased trace
+//! ([`LoadMode::Trace`](crate::traffic::LoadMode)), service times are adjusted by the
+//! configuration's deterministic [`InterferencePlan`](crate::interference::InterferencePlan),
+//! and cluster runs honour the router's hedged-request policy
+//! ([`HedgePolicy`](crate::config::HedgePolicy)) — all on the virtual clock, so a fixed
+//! seed still pins exact percentiles.
 
 use crate::app::{CostModel, RequestFactory, ServerApp};
 use crate::collector::{ClusterCollector, StatsCollector};
 use crate::config::{BenchmarkConfig, ClusterConfig, Route};
 use crate::error::HarnessError;
 use crate::integrated::{build_cluster_report, build_report, check_instances};
-use crate::report::{ClusterReport, RunReport};
+use crate::report::{ClusterReport, HedgeStats, RunReport};
 use crate::request::{Request, RequestRecord};
-use crate::traffic::{LoadMode, TrafficShaper};
-use std::collections::{BinaryHeap, VecDeque};
+use crate::traffic::TrafficShaper;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::sync::Arc;
 use tailbench_workloads::rng::seeded_rng;
 
@@ -47,7 +54,8 @@ impl PartialOrd for Completion {
 /// Runs one measurement under discrete-event simulation and returns its report.
 ///
 /// The simulated system has `config.worker_threads` servers; arrivals follow
-/// `config.load` (which must be open-loop); service times come from `cost_model`.
+/// `config.load` (which must be open-loop: Poisson or a precompiled trace); service
+/// times come from `cost_model`, adjusted by `config.interference`.
 ///
 /// # Panics
 ///
@@ -59,55 +67,57 @@ pub fn run_simulated(
     config: &BenchmarkConfig,
     cost_model: &dyn CostModel,
 ) -> RunReport {
-    let LoadMode::Open(process) = &config.load else {
-        panic!("the simulated runner requires an open-loop load mode");
-    };
     app.prepare();
 
     let mut rng = seeded_rng(config.seed, 1);
-    let shaper = TrafficShaper::build(process, &mut rng, config.total_requests(), 0, || {
-        factory.next_request()
-    });
+    let times = config
+        .load
+        .schedule(&mut rng, config.total_requests())
+        .expect("the simulated runner requires an open-loop load mode");
+    let shaper = TrafficShaper::from_times(times, 0, || factory.next_request());
     let arrivals = shaper.into_requests();
 
     let servers = config.worker_threads.max(1);
-    let mut collector = StatsCollector::new(config.warmup_requests as u64);
+    let plan = config.interference.clone();
+    let mut collector =
+        StatsCollector::new(config.warmup_requests as u64).with_tags(config.tags.clone());
     let mut waiting: VecDeque<(Request, u64)> = VecDeque::new();
     let mut completions: BinaryHeap<Completion> = BinaryHeap::new();
     // Records of requests currently in service, indexed by completion seq.
-    let mut in_service: std::collections::HashMap<u64, RequestRecord> =
-        std::collections::HashMap::new();
+    let mut in_service: HashMap<u64, RequestRecord> = HashMap::new();
     let mut busy = 0usize;
     let mut seq = 0u64;
     let mut next_arrival = 0usize;
 
     // Helper to start service for a request at virtual time `now`.
-    let start_service =
-        |request: Request,
-         enqueued_ns: u64,
-         now: u64,
-         busy: &mut usize,
-         seq: &mut u64,
-         completions: &mut BinaryHeap<Completion>,
-         in_service: &mut std::collections::HashMap<u64, RequestRecord>| {
-            *busy += 1;
-            let response = app.handle(&request.payload);
-            let service_ns = cost_model.service_time_ns(&response.work, *busy).max(1);
-            let record = RequestRecord {
-                id: request.id,
-                issued_ns: request.issued_ns,
-                enqueued_ns,
-                started_ns: now,
-                completed_ns: now + service_ns,
-                client_received_ns: now + service_ns,
-            };
-            *seq += 1;
-            in_service.insert(*seq, record);
-            completions.push(Completion {
-                time_ns: now + service_ns,
-                seq: *seq,
-            });
+    let start_service = |request: Request,
+                         enqueued_ns: u64,
+                         now: u64,
+                         busy: &mut usize,
+                         seq: &mut u64,
+                         completions: &mut BinaryHeap<Completion>,
+                         in_service: &mut HashMap<u64, RequestRecord>| {
+        *busy += 1;
+        let response = app.handle(&request.payload);
+        let base_ns = cost_model.service_time_ns(&response.work, *busy);
+        let service_ns = plan
+            .adjusted_service_ns(0, now, base_ns, request.id.0)
+            .max(1);
+        let record = RequestRecord {
+            id: request.id,
+            issued_ns: request.issued_ns,
+            enqueued_ns,
+            started_ns: now,
+            completed_ns: now + service_ns,
+            client_received_ns: now + service_ns,
         };
+        *seq += 1;
+        in_service.insert(*seq, record);
+        completions.push(Completion {
+            time_ns: now + service_ns,
+            seq: *seq,
+        });
+    };
 
     loop {
         let next_arrival_time = arrivals.get(next_arrival).map(|r| r.issued_ns);
@@ -167,11 +177,73 @@ pub fn run_simulated(
     build_report(app.name(), "simulated", config, &collector)
 }
 
+/// One leg copy waiting in a station's FIFO queue.
+#[derive(Debug)]
+struct QueuedLeg {
+    request: Request,
+    enqueued_ns: u64,
+    shard: usize,
+    is_hedge: bool,
+}
+
 /// One simulated server instance: its busy-server count and FIFO wait queue.
 #[derive(Debug, Default)]
 struct Station {
     busy: usize,
-    waiting: VecDeque<(Request, u64)>,
+    waiting: VecDeque<QueuedLeg>,
+}
+
+/// A scheduled virtual-time event of the cluster loop.  Min-heap by time; completions
+/// outrank hedge checks at equal times (a response landing exactly at the deadline
+/// cancels the hedge); FIFO by push order among equals.
+#[derive(Debug, PartialEq, Eq)]
+struct Event {
+    time_ns: u64,
+    rank: u8,
+    seq: u64,
+    what: EventKind,
+}
+
+#[derive(Debug, PartialEq, Eq)]
+enum EventKind {
+    /// Service completion of the in-service entry keyed by this event's `seq`.
+    Completion,
+    /// Hedge deadline of request `id`'s leg on `shard`.
+    HedgeCheck { id: u64, shard: usize },
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other
+            .time_ns
+            .cmp(&self.time_ns)
+            .then_with(|| other.rank.cmp(&self.rank))
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A request copy in service, indexed by its completion event's seq.
+#[derive(Debug)]
+struct ServiceEntry {
+    instance: usize,
+    shard: usize,
+    is_hedge: bool,
+    record: RequestRecord,
+}
+
+/// Client-side state of one leg (request × shard) under hedging.
+#[derive(Debug)]
+struct Leg {
+    resolved: bool,
+    hedged: bool,
+    outstanding: u8,
+    request: Request,
 }
 
 /// Runs one cluster measurement under discrete-event simulation.
@@ -181,7 +253,10 @@ struct Station {
 /// single-server simulated run: same seed, same report, on any machine.  Each station
 /// has `config.worker_threads` servers and its own FIFO queue; the client-side router
 /// distributes the open-loop schedule per `cluster.fanout`, and broadcast legs merge
-/// last-response-wins in the cross-shard collector.
+/// last-response-wins in the cross-shard collector.  When the cluster configures an
+/// active hedge policy, a leg whose primary has not completed within the trigger delay
+/// is reissued to the shard's next replica and the first response wins (the loser still
+/// occupies its server — hedging is not cancellation).
 ///
 /// # Errors
 ///
@@ -194,121 +269,225 @@ pub fn run_cluster_simulated(
     cluster: &ClusterConfig,
     cost_model: &dyn CostModel,
 ) -> Result<ClusterReport, HarnessError> {
-    let LoadMode::Open(process) = &config.load else {
+    if !config.load.is_open() {
         return Err(HarnessError::Config(
             "the simulated runner requires an open-loop load mode".into(),
         ));
-    };
+    }
     check_instances(apps, cluster)?;
     for app in apps {
         app.prepare();
     }
 
     let mut rng = seeded_rng(config.seed, 1);
-    let shaper = TrafficShaper::build(process, &mut rng, config.total_requests(), 0, || {
-        factory.next_request()
-    });
+    let times = config
+        .load
+        .schedule(&mut rng, config.total_requests())
+        .expect("checked open-loop above");
+    let shaper = TrafficShaper::from_times(times, 0, || factory.next_request());
     let arrivals = shaper.into_requests();
 
     let servers = config.worker_threads.max(1);
     let width = cluster.fanout_width();
-    let mut collector = ClusterCollector::new(cluster.shards, config.warmup_requests as u64);
+    let plan = config.interference.clone();
+    let hedge = cluster.active_hedge();
+    let mut collector = ClusterCollector::new(cluster.shards, config.warmup_requests as u64)
+        .with_tags(config.tags.clone());
     let mut stations: Vec<Station> = (0..apps.len()).map(|_| Station::default()).collect();
-    let mut completions: BinaryHeap<Completion> = BinaryHeap::new();
-    // Requests in service, by completion seq: (instance, record).  Only keyed lookups —
-    // never iterated — so the map cannot perturb event ordering.
-    let mut in_service: std::collections::HashMap<u64, (usize, RequestRecord)> =
-        std::collections::HashMap::new();
+    let mut events: BinaryHeap<Event> = BinaryHeap::new();
+    // Copies in service, by completion seq.  Only keyed lookups — never iterated — so
+    // the map cannot perturb event ordering.
+    let mut in_service: HashMap<u64, ServiceEntry> = HashMap::new();
+    // Per-leg hedging state; populated only when a hedge policy is active.
+    let mut legs: HashMap<(u64, usize), Leg> = HashMap::new();
+    let mut hedge_stats = HedgeStats::default();
     let mut seq = 0u64;
     let mut next_arrival = 0usize;
 
-    // Starts service for one leg on `instance` at virtual time `now`.
-    let start_service =
-        |instance: usize,
-         request: Request,
-         enqueued_ns: u64,
-         now: u64,
-         stations: &mut Vec<Station>,
-         seq: &mut u64,
-         completions: &mut BinaryHeap<Completion>,
-         in_service: &mut std::collections::HashMap<u64, (usize, RequestRecord)>| {
-            stations[instance].busy += 1;
-            let response = apps[instance].handle(&request.payload);
-            let service_ns = cost_model
-                .service_time_ns(&response.work, stations[instance].busy)
-                .max(1);
-            let record = RequestRecord {
-                id: request.id,
-                issued_ns: request.issued_ns,
-                enqueued_ns,
-                started_ns: now,
-                completed_ns: now + service_ns,
-                client_received_ns: now + service_ns,
-            };
-            *seq += 1;
-            in_service.insert(*seq, (instance, record));
-            completions.push(Completion {
-                time_ns: now + service_ns,
-                seq: *seq,
-            });
+    // Starts service for one leg copy on `instance` at virtual time `now`.
+    let start_service = |instance: usize,
+                         shard: usize,
+                         is_hedge: bool,
+                         request: Request,
+                         enqueued_ns: u64,
+                         now: u64,
+                         stations: &mut Vec<Station>,
+                         seq: &mut u64,
+                         events: &mut BinaryHeap<Event>,
+                         in_service: &mut HashMap<u64, ServiceEntry>| {
+        stations[instance].busy += 1;
+        let response = apps[instance].handle(&request.payload);
+        let base_ns = cost_model.service_time_ns(&response.work, stations[instance].busy);
+        let service_ns = plan
+            .adjusted_service_ns(instance, now, base_ns, request.id.0)
+            .max(1);
+        let record = RequestRecord {
+            id: request.id,
+            issued_ns: request.issued_ns,
+            enqueued_ns,
+            started_ns: now,
+            completed_ns: now + service_ns,
+            client_received_ns: now + service_ns,
         };
+        *seq += 1;
+        in_service.insert(
+            *seq,
+            ServiceEntry {
+                instance,
+                shard,
+                is_hedge,
+                record,
+            },
+        );
+        events.push(Event {
+            time_ns: now + service_ns,
+            rank: 0,
+            seq: *seq,
+            what: EventKind::Completion,
+        });
+    };
 
     loop {
         let next_arrival_time = arrivals.get(next_arrival).map(|r| r.issued_ns);
-        let next_completion_time = completions.peek().map(|c| c.time_ns);
+        let next_event_time = events.peek().map(|e| e.time_ns);
         // Arrivals win ties, matching the single-server loop.
-        let take_arrival = match (next_arrival_time, next_completion_time) {
+        let take_arrival = match (next_arrival_time, next_event_time) {
             (None, None) => break,
             (Some(_), None) => true,
             (None, Some(_)) => false,
-            (Some(at), Some(ct)) => at <= ct,
+            (Some(at), Some(et)) => at <= et,
         };
 
         if take_arrival {
             let request = arrivals[next_arrival].clone();
             next_arrival += 1;
             let now = request.issued_ns;
-            let legs = match cluster.fanout.route(&request.payload, cluster.shards) {
+            let shards = match cluster.fanout.route(&request.payload, cluster.shards) {
                 Route::Shard(shard) => shard..shard + 1,
                 Route::AllShards => 0..cluster.shards,
             };
-            for shard in legs {
+            for shard in shards {
                 let instance = cluster.instance(shard, request.id.0);
                 let leg = request.clone();
+                if let Some(policy) = hedge {
+                    legs.insert(
+                        (request.id.0, shard),
+                        Leg {
+                            resolved: false,
+                            hedged: false,
+                            outstanding: 1,
+                            request: leg.clone(),
+                        },
+                    );
+                    seq += 1;
+                    events.push(Event {
+                        time_ns: now + policy.delay_ns,
+                        rank: 1,
+                        seq,
+                        what: EventKind::HedgeCheck {
+                            id: request.id.0,
+                            shard,
+                        },
+                    });
+                }
                 if stations[instance].busy < servers {
                     start_service(
                         instance,
+                        shard,
+                        false,
                         leg,
                         now,
                         now,
                         &mut stations,
                         &mut seq,
-                        &mut completions,
+                        &mut events,
                         &mut in_service,
                     );
                 } else {
-                    stations[instance].waiting.push_back((leg, now));
+                    stations[instance].waiting.push_back(QueuedLeg {
+                        request: leg,
+                        enqueued_ns: now,
+                        shard,
+                        is_hedge: false,
+                    });
                 }
             }
         } else {
-            let completion = completions.pop().expect("peeked above");
-            let ct = completion.time_ns;
-            let (instance, record) = in_service
-                .remove(&completion.seq)
-                .expect("completion for unknown request");
-            let _ = collector.record_leg(instance / cluster.replication, record, width);
-            stations[instance].busy -= 1;
-            if let Some((request, enqueued_ns)) = stations[instance].waiting.pop_front() {
-                start_service(
-                    instance,
-                    request,
-                    enqueued_ns,
-                    ct,
-                    &mut stations,
-                    &mut seq,
-                    &mut completions,
-                    &mut in_service,
-                );
+            let event = events.pop().expect("peeked above");
+            let t = event.time_ns;
+            match event.what {
+                EventKind::Completion => {
+                    let entry = in_service
+                        .remove(&event.seq)
+                        .expect("completion for unknown request");
+                    stations[entry.instance].busy -= 1;
+                    if hedge.is_some() {
+                        let key = (entry.record.id.0, entry.shard);
+                        let leg = legs.get_mut(&key).expect("completion for unknown leg");
+                        if !leg.resolved {
+                            leg.resolved = true;
+                            if entry.is_hedge {
+                                hedge_stats.wins += 1;
+                            }
+                            let _ = collector.record_leg(entry.shard, entry.record, width);
+                        }
+                        leg.outstanding -= 1;
+                        if leg.outstanding == 0 {
+                            legs.remove(&key);
+                        }
+                    } else {
+                        let _ = collector.record_leg(entry.shard, entry.record, width);
+                    }
+                    if let Some(queued) = stations[entry.instance].waiting.pop_front() {
+                        start_service(
+                            entry.instance,
+                            queued.shard,
+                            queued.is_hedge,
+                            queued.request,
+                            queued.enqueued_ns,
+                            t,
+                            &mut stations,
+                            &mut seq,
+                            &mut events,
+                            &mut in_service,
+                        );
+                    }
+                }
+                EventKind::HedgeCheck { id, shard } => {
+                    let issue = match legs.get_mut(&(id, shard)) {
+                        Some(leg) if !leg.resolved && !leg.hedged => {
+                            leg.hedged = true;
+                            leg.outstanding += 1;
+                            Some(leg.request.clone())
+                        }
+                        _ => None,
+                    };
+                    if let Some(copy) = issue {
+                        hedge_stats.issued += 1;
+                        let alt = cluster.hedge_instance(shard, id);
+                        if stations[alt].busy < servers {
+                            start_service(
+                                alt,
+                                shard,
+                                true,
+                                copy,
+                                t,
+                                t,
+                                &mut stations,
+                                &mut seq,
+                                &mut events,
+                                &mut in_service,
+                            );
+                        } else {
+                            stations[alt].waiting.push_back(QueuedLeg {
+                                request: copy,
+                                enqueued_ns: t,
+                                shard,
+                                is_hedge: true,
+                            });
+                        }
+                    }
+                }
             }
         }
     }
@@ -319,6 +498,7 @@ pub fn run_cluster_simulated(
         config,
         cluster,
         &collector,
+        hedge.map(|_| hedge_stats),
     ))
 }
 
@@ -567,5 +747,96 @@ mod tests {
         );
         let span_s = report.duration_ns as f64 / 1e9;
         assert!((span_s - 1.0).abs() < 0.15, "span = {span_s} s");
+    }
+
+    #[test]
+    fn slow_shard_interference_inflates_only_its_window() {
+        use crate::interference::InterferencePlan;
+        let app = app();
+        let model = InstructionRateModel {
+            ns_per_instruction: 1.0,
+        };
+        // Light load (1k QPS, 100 us service): no queueing, sojourn ≈ service.  Slowing
+        // the server 10x between 0.2 s and 0.4 s must lift the max far above the clean
+        // run's, while the p50 (dominated by un-faulted time) barely moves.
+        let base_config = BenchmarkConfig::new(1_000.0, 1_000)
+            .with_warmup(0)
+            .with_seed(13);
+        let mut factory = || b"x".to_vec();
+        let clean = run_simulated(&app, &mut factory, &base_config, &model);
+        let faulted_config =
+            base_config
+                .clone()
+                .with_interference(InterferencePlan::none().slow_instance(
+                    0,
+                    200_000_000,
+                    400_000_000,
+                    10.0,
+                ));
+        let mut factory = || b"x".to_vec();
+        let faulted = run_simulated(&app, &mut factory, &faulted_config, &model);
+        assert!(
+            faulted.sojourn.max_ns >= clean.sojourn.max_ns * 5,
+            "faulted max {} vs clean max {}",
+            faulted.sojourn.max_ns,
+            clean.sojourn.max_ns
+        );
+        assert!(faulted.sojourn.p50_ns < clean.sojourn.p50_ns * 2);
+        // Determinism holds with interference active.
+        let mut factory = || b"x".to_vec();
+        let again = run_simulated(&app, &mut factory, &faulted_config, &model);
+        assert_eq!(again.sojourn.p99_ns, faulted.sojourn.p99_ns);
+    }
+
+    #[test]
+    fn hedging_rescues_legs_from_a_slow_replica() {
+        use crate::config::{ClusterConfig, FanoutPolicy, HedgePolicy};
+        use crate::interference::InterferencePlan;
+        let model = InstructionRateModel {
+            ns_per_instruction: 1.0,
+        };
+        let make_apps = || -> Vec<Arc<dyn ServerApp>> {
+            (0..4)
+                .map(|_| {
+                    Arc::new(EchoApp {
+                        spin_iters: 100_000,
+                    }) as Arc<dyn ServerApp>
+                })
+                .collect()
+        };
+        // 2 shards x 2 replicas, broadcast; instance 1 (shard 0, replica 1) is 20x
+        // slower for the whole run.  Unhedged, the odd-id legs it serves dominate the
+        // tail; hedging at 300 us reissues them to the healthy replica 0.
+        let config = BenchmarkConfig::new(2_000.0, 800)
+            .with_warmup(0)
+            .with_seed(17)
+            .with_interference(InterferencePlan::none().slow_instance(1, 0, u64::MAX, 20.0));
+        let base = ClusterConfig::new(2, FanoutPolicy::Broadcast).with_replication(2);
+        let mut factory = || b"h".to_vec();
+        let unhedged =
+            run_cluster_simulated(&make_apps(), &mut factory, &config, &base, &model).unwrap();
+        assert_eq!(unhedged.hedge, None);
+        let hedged_cluster = base.with_hedge(HedgePolicy::after_ns(300_000));
+        let mut factory = || b"h".to_vec();
+        let hedged =
+            run_cluster_simulated(&make_apps(), &mut factory, &config, &hedged_cluster, &model)
+                .unwrap();
+        let stats = hedged.hedge.expect("hedge stats must be reported");
+        assert!(stats.issued > 0, "the slow replica must trigger hedges");
+        assert!(stats.wins > 0, "some hedges must win");
+        assert!(stats.wins <= stats.issued);
+        assert!(
+            hedged.cluster.sojourn.p99_ns < unhedged.cluster.sojourn.p99_ns / 2,
+            "hedged p99 {} should be far below unhedged p99 {}",
+            hedged.cluster.sojourn.p99_ns,
+            unhedged.cluster.sojourn.p99_ns
+        );
+        // Hedged runs stay bit-for-bit deterministic.
+        let mut factory = || b"h".to_vec();
+        let again =
+            run_cluster_simulated(&make_apps(), &mut factory, &config, &hedged_cluster, &model)
+                .unwrap();
+        assert_eq!(again.cluster.sojourn.p99_ns, hedged.cluster.sojourn.p99_ns);
+        assert_eq!(again.hedge, hedged.hedge);
     }
 }

@@ -8,8 +8,57 @@
 //! and quantified — it must never be used for reported results.
 
 use crate::request::{Request, RequestId};
+use std::sync::Arc;
 use tailbench_workloads::interarrival::InterarrivalProcess;
 use tailbench_workloads::rng::SuiteRng;
+
+/// A precompiled open-loop arrival trace: explicit issue timestamps, typically produced
+/// by the phase-trace compiler in `tailbench-scenario` (bursts, ramps, diurnal waves).
+///
+/// The timestamps are nanoseconds since the run epoch and must be non-decreasing; the
+/// runners issue exactly these arrivals, so a trace run is open-loop by construction.
+#[derive(Debug, Clone)]
+pub struct LoadTrace {
+    /// Arrival timestamps in nanoseconds since the run epoch, non-decreasing.
+    pub times_ns: Vec<u64>,
+    /// Mean offered rate over the trace, in queries per second (reported as the run's
+    /// offered load).
+    pub mean_qps: f64,
+}
+
+impl LoadTrace {
+    /// Builds a trace from explicit timestamps, deriving the mean rate from the span.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the timestamps are not non-decreasing.
+    #[must_use]
+    pub fn from_times(times_ns: Vec<u64>) -> Self {
+        assert!(
+            times_ns.windows(2).all(|w| w[0] <= w[1]),
+            "trace timestamps must be non-decreasing"
+        );
+        let span_ns = times_ns.last().copied().unwrap_or(0);
+        let mean_qps = if span_ns == 0 {
+            0.0
+        } else {
+            times_ns.len() as f64 * 1e9 / span_ns as f64
+        };
+        LoadTrace { times_ns, mean_qps }
+    }
+
+    /// Number of arrivals in the trace.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.times_ns.len()
+    }
+
+    /// Returns `true` if the trace holds no arrivals.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.times_ns.is_empty()
+    }
+}
 
 /// How request issue times are generated.
 #[derive(Debug, Clone)]
@@ -17,6 +66,10 @@ pub enum LoadMode {
     /// Open-loop arrivals (the TailBench methodology): requests are issued on a schedule
     /// independent of response times.
     Open(InterarrivalProcess),
+    /// Open-loop arrivals following a precompiled trace of explicit timestamps (the
+    /// scenario engine's phased load traces).  Shares the open-loop property of
+    /// [`LoadMode::Open`]; only the schedule source differs.
+    Trace(Arc<LoadTrace>),
     /// Closed-loop arrivals: each client thread waits for the previous response plus an
     /// optional think time before issuing the next request.  Provided only to reproduce
     /// the coordinated-omission measurement error.
@@ -34,20 +87,43 @@ impl LoadMode {
         LoadMode::Open(InterarrivalProcess::poisson(qps))
     }
 
+    /// Open-loop arrivals following the given precompiled trace.
+    #[must_use]
+    pub fn trace(trace: LoadTrace) -> Self {
+        LoadMode::Trace(Arc::new(trace))
+    }
+
     /// Returns the configured offered load in QPS, if the mode defines one (closed-loop
     /// load depends on response times, so it has no fixed offered rate).
     #[must_use]
     pub fn offered_qps(&self) -> Option<f64> {
         match self {
             LoadMode::Open(p) => Some(p.qps()),
+            LoadMode::Trace(t) => Some(t.mean_qps),
             LoadMode::Closed { .. } => None,
         }
     }
 
-    /// Returns `true` for open-loop modes.
+    /// Returns `true` for open-loop modes (Poisson and trace schedules).
     #[must_use]
     pub fn is_open(&self) -> bool {
-        matches!(self, LoadMode::Open(_))
+        matches!(self, LoadMode::Open(_) | LoadMode::Trace(_))
+    }
+
+    /// Produces the issue schedule for an open-loop run: `count` non-decreasing arrival
+    /// timestamps (ns since the run epoch).  Returns `None` for closed-loop modes, whose
+    /// issue times depend on response times.
+    ///
+    /// Poisson schedules draw their gaps from `rng`; trace schedules are already
+    /// compiled and consume no randomness.  A trace shorter than `count` yields its full
+    /// length (the scenario engine sizes the run from the trace, so the paths agree).
+    #[must_use]
+    pub fn schedule(&self, rng: &mut SuiteRng, count: usize) -> Option<Vec<u64>> {
+        match self {
+            LoadMode::Open(process) => Some(process.schedule(rng, count)),
+            LoadMode::Trace(trace) => Some(trace.times_ns.iter().copied().take(count).collect()),
+            LoadMode::Closed { .. } => None,
+        }
     }
 }
 
@@ -70,12 +146,22 @@ impl TrafficShaper {
         rng: &mut SuiteRng,
         count: usize,
         first_id: u64,
-        mut next_payload: F,
+        next_payload: F,
     ) -> Self
     where
         F: FnMut() -> Vec<u8>,
     {
-        let times = process.schedule(rng, count);
+        Self::from_times(process.schedule(rng, count), first_id, next_payload)
+    }
+
+    /// Builds a schedule from explicit arrival timestamps (the trace path): request `i`
+    /// is issued at `times[i]` with id `first_id + i`.  The payload closure is invoked
+    /// once per request in arrival order, so sequenced factories (e.g. the scenario
+    /// engine's class multiplexer) see requests in id order.
+    pub fn from_times<F>(times: Vec<u64>, first_id: u64, mut next_payload: F) -> Self
+    where
+        F: FnMut() -> Vec<u8>,
+    {
         let schedule = times
             .into_iter()
             .enumerate()
@@ -179,6 +265,31 @@ mod tests {
                 assert_eq!(r.id.0 as usize, i * 3 + c);
             }
         }
+    }
+
+    #[test]
+    fn trace_mode_is_open_and_reports_mean_qps() {
+        // 1000 arrivals spanning 1 s => 1000 QPS mean.
+        let times: Vec<u64> = (1..=1000u64).map(|i| i * 1_000_000).collect();
+        let m = LoadMode::trace(LoadTrace::from_times(times));
+        assert!(m.is_open());
+        assert!((m.offered_qps().unwrap() - 1000.0).abs() < 1.0);
+        let mut rng = seeded_rng(1, 0);
+        let sched = m.schedule(&mut rng, 10).unwrap();
+        assert_eq!(sched.len(), 10);
+        assert_eq!(sched[0], 1_000_000);
+        // A trace shorter than the requested count yields its full length.
+        let all = m.schedule(&mut rng, 5_000).unwrap();
+        assert_eq!(all.len(), 1000);
+        assert!(LoadMode::Closed { think_ns: 0 }
+            .schedule(&mut rng, 10)
+            .is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn trace_rejects_time_travel() {
+        let _ = LoadTrace::from_times(vec![10, 5]);
     }
 
     #[test]

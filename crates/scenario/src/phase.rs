@@ -1,0 +1,466 @@
+//! Phased load traces: time-varying open-loop arrival schedules.
+//!
+//! TailBench's methodology assumes a *stationary* Poisson client; real latency-critical
+//! services face bursts, ramps and diurnal waves, and it is exactly during those
+//! transients that tails blow up (TailBench++-style dynamic load).  A load trace here
+//! is a sequence of [`LoadPhase`]s, each holding a duration and a [`PhaseShape`] that
+//! defines an instantaneous rate λ(t) over the phase.  The compiler turns the sequence
+//! into explicit arrival timestamps via Lewis–Shedler thinning — an *exact* sampler for
+//! non-homogeneous Poisson processes — so every harness mode replays the same
+//! open-loop schedule and the DES path stays deterministic under a fixed seed.
+
+use rand::Rng;
+use std::time::Duration;
+use tailbench_workloads::rng::SuiteRng;
+
+/// The instantaneous-rate profile of one phase.  All rates are in queries per second;
+/// `t` below is time since the phase start.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PhaseShape {
+    /// Stationary Poisson arrivals at `qps` — the classic TailBench client.
+    Constant {
+        /// Offered rate.
+        qps: f64,
+    },
+    /// Linear ramp from `from_qps` at the phase start to `to_qps` at its end.
+    Ramp {
+        /// Rate at the phase start.
+        from_qps: f64,
+        /// Rate at the phase end.
+        to_qps: f64,
+    },
+    /// Square-wave bursting: each period spends `duty` of its length at `burst_qps`
+    /// (starting at the period boundary) and the rest at `base_qps`.
+    Burst {
+        /// Rate outside bursts.
+        base_qps: f64,
+        /// Rate inside bursts.
+        burst_qps: f64,
+        /// Burst period.
+        period_ns: u64,
+        /// Fraction of each period spent bursting, in `[0, 1]`.
+        duty: f64,
+    },
+    /// Diurnal sinusoid: `base_qps * (1 + amplitude * sin(2πt / period))`.
+    Diurnal {
+        /// Mean rate.
+        base_qps: f64,
+        /// Relative swing, in `[0, 1)`.
+        amplitude: f64,
+        /// Wave period.
+        period_ns: u64,
+    },
+}
+
+impl PhaseShape {
+    /// A short kind label used in phase names and reports.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            PhaseShape::Constant { .. } => "constant",
+            PhaseShape::Ramp { .. } => "ramp",
+            PhaseShape::Burst { .. } => "burst",
+            PhaseShape::Diurnal { .. } => "diurnal",
+        }
+    }
+
+    /// The instantaneous rate at `t_ns` nanoseconds into a phase of `duration_ns`.
+    #[must_use]
+    pub fn rate_at(&self, t_ns: u64, duration_ns: u64) -> f64 {
+        match *self {
+            PhaseShape::Constant { qps } => qps,
+            PhaseShape::Ramp { from_qps, to_qps } => {
+                let frac = if duration_ns == 0 {
+                    0.0
+                } else {
+                    t_ns as f64 / duration_ns as f64
+                };
+                from_qps + (to_qps - from_qps) * frac
+            }
+            PhaseShape::Burst {
+                base_qps,
+                burst_qps,
+                period_ns,
+                duty,
+            } => {
+                let pos = t_ns % period_ns.max(1);
+                if (pos as f64) < duty * period_ns.max(1) as f64 {
+                    burst_qps
+                } else {
+                    base_qps
+                }
+            }
+            PhaseShape::Diurnal {
+                base_qps,
+                amplitude,
+                period_ns,
+            } => {
+                let angle = 2.0 * std::f64::consts::PI * (t_ns as f64 / period_ns.max(1) as f64);
+                base_qps * (1.0 + amplitude * angle.sin())
+            }
+        }
+    }
+
+    /// The maximum instantaneous rate over the phase (the thinning envelope).
+    #[must_use]
+    pub fn peak_qps(&self) -> f64 {
+        match *self {
+            PhaseShape::Constant { qps } => qps,
+            PhaseShape::Ramp { from_qps, to_qps } => from_qps.max(to_qps),
+            PhaseShape::Burst {
+                base_qps,
+                burst_qps,
+                ..
+            } => base_qps.max(burst_qps),
+            PhaseShape::Diurnal {
+                base_qps,
+                amplitude,
+                ..
+            } => base_qps * (1.0 + amplitude.abs()),
+        }
+    }
+
+    /// The exact mean rate over a phase of `duration_ns` (the time integral of λ
+    /// divided by the duration) — what the phase-trace compiler's empirical rate
+    /// converges to, and the property the compiler proptest pins.
+    #[must_use]
+    pub fn mean_qps(&self, duration_ns: u64) -> f64 {
+        match *self {
+            PhaseShape::Constant { qps } => qps,
+            PhaseShape::Ramp { from_qps, to_qps } => 0.5 * (from_qps + to_qps),
+            PhaseShape::Burst {
+                base_qps,
+                burst_qps,
+                period_ns,
+                duty,
+            } => {
+                let period = period_ns.max(1) as f64;
+                let duration = duration_ns.max(1) as f64;
+                let burst_len = duty * period;
+                let full = (duration / period).floor();
+                let rem = duration - full * period;
+                let burst_time = full * burst_len + rem.min(burst_len);
+                let base_time = duration - burst_time;
+                (burst_qps * burst_time + base_qps * base_time) / duration
+            }
+            PhaseShape::Diurnal {
+                base_qps,
+                amplitude,
+                period_ns,
+            } => {
+                // ∫ base(1 + a·sin(2πt/P)) dt over [0, D]
+                //   = base·D + base·a·(P/2π)(1 − cos(2πD/P)).
+                let period = period_ns.max(1) as f64;
+                let duration = duration_ns.max(1) as f64;
+                let angle = 2.0 * std::f64::consts::PI * duration / period;
+                base_qps
+                    + base_qps
+                        * amplitude
+                        * (period / (2.0 * std::f64::consts::PI))
+                        * (1.0 - angle.cos())
+                        / duration
+            }
+        }
+    }
+}
+
+/// One segment of a load trace: a shape held for a duration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoadPhase {
+    /// Phase length in nanoseconds.
+    pub duration_ns: u64,
+    /// Rate profile over the phase.
+    pub shape: PhaseShape,
+}
+
+impl LoadPhase {
+    /// A stationary phase at `qps` for `duration`.
+    #[must_use]
+    pub fn constant(qps: f64, duration: Duration) -> Self {
+        LoadPhase {
+            duration_ns: duration.as_nanos() as u64,
+            shape: PhaseShape::Constant { qps },
+        }
+    }
+
+    /// A linear ramp from `from_qps` to `to_qps` over `duration`.
+    #[must_use]
+    pub fn ramp(from_qps: f64, to_qps: f64, duration: Duration) -> Self {
+        LoadPhase {
+            duration_ns: duration.as_nanos() as u64,
+            shape: PhaseShape::Ramp { from_qps, to_qps },
+        }
+    }
+
+    /// A square-wave burst phase.
+    #[must_use]
+    pub fn burst(
+        base_qps: f64,
+        burst_qps: f64,
+        period: Duration,
+        duty: f64,
+        duration: Duration,
+    ) -> Self {
+        LoadPhase {
+            duration_ns: duration.as_nanos() as u64,
+            shape: PhaseShape::Burst {
+                base_qps,
+                burst_qps,
+                period_ns: period.as_nanos() as u64,
+                duty: duty.clamp(0.0, 1.0),
+            },
+        }
+    }
+
+    /// A diurnal-sinusoid phase.
+    #[must_use]
+    pub fn diurnal(base_qps: f64, amplitude: f64, period: Duration, duration: Duration) -> Self {
+        LoadPhase {
+            duration_ns: duration.as_nanos() as u64,
+            shape: PhaseShape::Diurnal {
+                base_qps,
+                amplitude: amplitude.clamp(0.0, 0.999),
+                period_ns: period.as_nanos() as u64,
+            },
+        }
+    }
+
+    /// The phase's exact mean rate.
+    #[must_use]
+    pub fn mean_qps(&self) -> f64 {
+        self.shape.mean_qps(self.duration_ns)
+    }
+
+    /// Expected number of arrivals in the phase.
+    #[must_use]
+    pub fn expected_arrivals(&self) -> f64 {
+        self.mean_qps() * self.duration_ns as f64 / 1e9
+    }
+}
+
+/// Compiles a phase sequence into `(arrival timestamps, phase index per arrival)`.
+///
+/// Each phase is sampled by Lewis–Shedler thinning against its peak rate: candidate
+/// gaps are exponential at the peak, and a candidate at time `t` is kept with
+/// probability `λ(t) / peak`.  This is an exact non-homogeneous Poisson sampler, so a
+/// constant phase degenerates to the classic TailBench Poisson schedule and every
+/// phase's empirical rate converges on [`PhaseShape::mean_qps`].  Timestamps are
+/// non-decreasing across phase boundaries by construction (time never rewinds), and
+/// the whole compilation draws only from `rng`, keeping traces reproducible.
+#[must_use]
+pub fn compile_phases(phases: &[LoadPhase], rng: &mut SuiteRng) -> (Vec<u64>, Vec<u16>) {
+    let mut times = Vec::new();
+    let mut phase_of = Vec::new();
+    let mut phase_start = 0.0f64;
+    for (index, phase) in phases.iter().enumerate() {
+        let peak = phase.shape.peak_qps();
+        let end = phase_start + phase.duration_ns as f64;
+        if peak > 0.0 && phase.duration_ns > 0 {
+            let peak_per_ns = peak / 1e9;
+            let mut t = phase_start;
+            loop {
+                let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                t += -u.ln() / peak_per_ns;
+                if t >= end {
+                    break;
+                }
+                let keep: f64 = rng.gen_range(0.0..1.0);
+                let rate = phase
+                    .shape
+                    .rate_at((t - phase_start) as u64, phase.duration_ns);
+                if keep * peak < rate {
+                    times.push(t as u64);
+                    phase_of.push(index.min(u16::MAX as usize) as u16);
+                }
+            }
+        }
+        phase_start = end;
+    }
+    (times, phase_of)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tailbench_workloads::rng::seeded_rng;
+
+    #[test]
+    fn constant_phase_matches_poisson_rate() {
+        let phases = [LoadPhase::constant(10_000.0, Duration::from_secs(2))];
+        let mut rng = seeded_rng(1, 0);
+        let (times, phase_of) = compile_phases(&phases, &mut rng);
+        assert_eq!(times.len(), phase_of.len());
+        let rate = times.len() as f64 / 2.0;
+        assert!((rate - 10_000.0).abs() / 10_000.0 < 0.05, "rate = {rate}");
+        assert!(times.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn burst_phase_concentrates_arrivals_in_the_duty_window() {
+        // 100 ms periods, 20% duty, 10x burst: the burst windows hold the majority of
+        // arrivals even though they cover a fifth of the time.
+        let phases = [LoadPhase::burst(
+            1_000.0,
+            10_000.0,
+            Duration::from_millis(100),
+            0.2,
+            Duration::from_secs(2),
+        )];
+        let mut rng = seeded_rng(2, 0);
+        let (times, _) = compile_phases(&phases, &mut rng);
+        let in_burst = times
+            .iter()
+            .filter(|&&t| (t % 100_000_000) < 20_000_000)
+            .count();
+        assert!(
+            in_burst as f64 > 0.6 * times.len() as f64,
+            "{in_burst} of {} arrivals in burst windows",
+            times.len()
+        );
+        let expected = phases[0].expected_arrivals();
+        assert!((times.len() as f64 - expected).abs() / expected < 0.1);
+    }
+
+    #[test]
+    fn ramp_phase_back_loads_arrivals() {
+        let phases = [LoadPhase::ramp(100.0, 10_000.0, Duration::from_secs(2))];
+        let mut rng = seeded_rng(3, 0);
+        let (times, _) = compile_phases(&phases, &mut rng);
+        let first_half = times.iter().filter(|&&t| t < 1_000_000_000).count();
+        let second_half = times.len() - first_half;
+        assert!(
+            second_half > 2 * first_half,
+            "ramp must back-load: {first_half} vs {second_half}"
+        );
+    }
+
+    #[test]
+    fn phase_boundaries_tag_and_order_correctly() {
+        let phases = [
+            LoadPhase::constant(5_000.0, Duration::from_millis(500)),
+            LoadPhase::constant(20_000.0, Duration::from_millis(500)),
+        ];
+        let mut rng = seeded_rng(4, 0);
+        let (times, phase_of) = compile_phases(&phases, &mut rng);
+        assert!(times.windows(2).all(|w| w[0] <= w[1]));
+        for (&t, &p) in times.iter().zip(&phase_of) {
+            let (lo, hi) = if p == 0 {
+                (0, 500_000_000)
+            } else {
+                (500_000_000, 1_000_000_000)
+            };
+            assert!(t >= lo && t < hi, "arrival {t} tagged phase {p}");
+        }
+        // The second phase offers 4x the rate.
+        let p0 = phase_of.iter().filter(|&&p| p == 0).count();
+        let p1 = phase_of.len() - p0;
+        assert!(p1 > 3 * p0, "{p0} vs {p1}");
+    }
+
+    #[test]
+    fn diurnal_mean_is_exact_over_whole_and_partial_periods() {
+        let shape = PhaseShape::Diurnal {
+            base_qps: 1_000.0,
+            amplitude: 0.5,
+            period_ns: 1_000_000_000,
+        };
+        // Whole periods: the sinusoid averages out.
+        assert!((shape.mean_qps(2_000_000_000) - 1_000.0).abs() < 1e-6);
+        // Half a period covers only the positive lobe: mean = base(1 + 2a/π).
+        let expected = 1_000.0 * (1.0 + 2.0 * 0.5 / std::f64::consts::PI);
+        assert!((shape.mean_qps(500_000_000) - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_and_zero_rate_phases_produce_no_arrivals() {
+        let mut rng = seeded_rng(5, 0);
+        let (times, _) = compile_phases(&[], &mut rng);
+        assert!(times.is_empty());
+        let (times, _) = compile_phases(
+            &[LoadPhase::constant(0.0, Duration::from_secs(1))],
+            &mut rng,
+        );
+        assert!(times.is_empty());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use tailbench_workloads::rng::seeded_rng;
+
+    fn shape_strategy() -> impl Strategy<Value = PhaseShape> {
+        prop_oneof![
+            (2_000.0f64..20_000.0).prop_map(|qps| PhaseShape::Constant { qps }),
+            ((2_000.0f64..20_000.0), (2_000.0f64..20_000.0))
+                .prop_map(|(from_qps, to_qps)| PhaseShape::Ramp { from_qps, to_qps }),
+            (
+                (2_000.0f64..10_000.0),
+                (10_000.0f64..40_000.0),
+                (10_000_000u64..200_000_000),
+                (0.05f64..0.95),
+            )
+                .prop_map(|(base_qps, burst_qps, period_ns, duty)| PhaseShape::Burst {
+                    base_qps,
+                    burst_qps,
+                    period_ns,
+                    duty,
+                }),
+            (
+                (2_000.0f64..20_000.0),
+                (0.0f64..0.9),
+                (50_000_000u64..500_000_000),
+            )
+                .prop_map(|(base_qps, amplitude, period_ns)| PhaseShape::Diurnal {
+                    base_qps,
+                    amplitude,
+                    period_ns,
+                }),
+        ]
+    }
+
+    proptest! {
+        /// The satellite guard for the phase-trace compiler: across random multi-phase
+        /// traces, (a) arrival timestamps are non-decreasing across phase boundaries
+        /// and stay inside their tagged phase's window, and (b) each phase's empirical
+        /// rate is within 5% of the shape's exact mean rate (thinning is an exact
+        /// sampler; the tolerance covers Poisson counting noise at these sizes).
+        #[test]
+        fn compiled_traces_are_ordered_and_rate_faithful(
+            shapes in prop::collection::vec(shape_strategy(), 1..4),
+            seed in 0u64..1_000,
+        ) {
+            let phases: Vec<LoadPhase> = shapes
+                .into_iter()
+                .map(|shape| LoadPhase { duration_ns: 2_000_000_000, shape })
+                .collect();
+            let mut rng = seeded_rng(seed, 9);
+            let (times, phase_of) = compile_phases(&phases, &mut rng);
+            prop_assert_eq!(times.len(), phase_of.len());
+            prop_assert!(times.windows(2).all(|w| w[0] <= w[1]));
+
+            let mut counts = vec![0u64; phases.len()];
+            let mut start = 0u64;
+            let mut bounds = Vec::new();
+            for phase in &phases {
+                bounds.push((start, start + phase.duration_ns));
+                start += phase.duration_ns;
+            }
+            for (&t, &p) in times.iter().zip(&phase_of) {
+                let (lo, hi) = bounds[p as usize];
+                prop_assert!(t >= lo && t < hi, "arrival {} outside phase {} [{}, {})", t, p, lo, hi);
+                counts[p as usize] += 1;
+            }
+            for (i, phase) in phases.iter().enumerate() {
+                let expected = phase.expected_arrivals();
+                let got = counts[i] as f64;
+                prop_assert!(
+                    (got - expected).abs() / expected < 0.05,
+                    "phase {} ({}): {} arrivals vs {:.0} expected",
+                    i, phase.shape.kind(), got, expected
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! A scenario-engine walkthrough: bursty multi-tenant load plus a transient fault.
+//!
+//! Builds a declarative `Scenario` — steady load, then square-wave bursts, then
+//! recovery, shared by an interactive tenant (YCSB-B point reads, 75% of the rate) and
+//! a batch tenant (YCSB-E scans, 25%) — injects a 5x slowdown window in the middle of
+//! the run, and plays it against masstree under the discrete-event simulated harness.
+//! The report breaks the sojourn tail down per phase and per class, so you can see the
+//! burst amplify the tail and the batch tenant ride on the interactive tenant's p99.
+//!
+//! ```text
+//! cargo run --release --example scenario_burst
+//! ```
+
+use std::sync::Arc;
+use std::time::Duration;
+use tailbench::apps::kvstore::{MasstreeApp, YcsbRequestFactory};
+use tailbench::core::app::RequestFactory;
+use tailbench::core::config::HarnessMode;
+use tailbench::core::interference::InterferencePlan;
+use tailbench::core::{HarnessError, ServerApp};
+use tailbench::scenario::{run_scenario, ClientClass, LoadPhase, Scenario};
+use tailbench::simarch::SystemModel;
+use tailbench::workloads::ycsb::{OpMix, YcsbConfig};
+
+fn main() -> Result<(), HarnessError> {
+    let interactive = YcsbConfig {
+        records: 100_000,
+        mix: OpMix::YCSB_B,
+        ..YcsbConfig::default()
+    };
+    let batch = YcsbConfig {
+        records: 100_000,
+        mix: OpMix::YCSB_E,
+        ..YcsbConfig::default()
+    };
+    let app: Arc<dyn ServerApp> = Arc::new(MasstreeApp::new(&interactive));
+    let model = SystemModel::default();
+
+    // ~0.9 s of virtual time: 0.3 s steady, 0.3 s of 5x bursts, 0.3 s recovery, with a
+    // 5x service-time slowdown injected between 0.45 s and 0.55 s.
+    let steady = 120_000.0;
+    let scenario = Scenario::new(
+        "burst-with-fault",
+        vec![
+            LoadPhase::constant(steady, Duration::from_millis(300)),
+            LoadPhase::burst(
+                steady,
+                5.0 * steady,
+                Duration::from_millis(60),
+                0.4,
+                Duration::from_millis(300),
+            ),
+            LoadPhase::constant(steady, Duration::from_millis(300)),
+        ],
+    )
+    .with_classes(vec![
+        ClientClass::new("interactive", 0.75),
+        ClientClass::new("batch", 0.25),
+    ])
+    .with_interference(InterferencePlan::none().slow_instance(0, 450_000_000, 550_000_000, 5.0));
+
+    let factories: Vec<Box<dyn RequestFactory>> = vec![
+        Box::new(YcsbRequestFactory::new(&interactive, 42)),
+        Box::new(YcsbRequestFactory::new(&batch, 43)),
+    ];
+    let report = run_scenario(
+        &app,
+        factories,
+        &scenario,
+        HarnessMode::Simulated,
+        1,
+        42,
+        Some(&model),
+    )?;
+
+    println!("{report}");
+    println!("\nPer-class and per-phase breakdown:\n");
+    print!("{}", report.breakdown_markdown());
+    println!(
+        "The burst phase (and the fault window inside it) carries the whole tail; the\n\
+         steady phases barely register.  Swap `HarnessMode::Simulated` for `Integrated`\n\
+         or `Loopback {{ connections: 8 }}` to replay the identical schedule in real time."
+    );
+    Ok(())
+}

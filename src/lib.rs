@@ -11,6 +11,9 @@
 //!   (key-value store), moses (machine translation), sphinx (speech recognition),
 //!   img-dnn (image recognition), specjbb (business middleware), silo and shore (OLTP).
 //! * [`simarch`] — the analytic microarchitecture cost model used by simulated runs.
+//! * [`scenario`] — the scenario engine: phased load traces (bursts, ramps, diurnal
+//!   waves), multi-class clients, deterministic interference injection and hedged
+//!   requests.
 //! * [`queueing`] — the M/G/1 and M/G/k models used by the paper's case study.
 //! * [`histogram`] / [`workloads`] — the statistical and workload-generation substrates.
 //!
@@ -44,6 +47,9 @@ pub use tailbench_core as core;
 pub use tailbench_histogram as histogram;
 /// The M/G/1 and M/G/k queueing models (re-export of [`tailbench_queueing`]).
 pub use tailbench_queueing as queueing;
+/// The scenario engine: phased load traces, multi-class clients, interference
+/// injection and hedged requests (re-export of [`tailbench_scenario`]).
+pub use tailbench_scenario as scenario;
 /// The analytic microarchitecture model (re-export of [`tailbench_simarch`]).
 pub use tailbench_simarch as simarch;
 /// Synthetic workload generators (re-export of [`tailbench_workloads`]).
