@@ -28,22 +28,24 @@ fn coordinated_omission() {
 
     // Open loop at 80% of capacity.
     let mut factory = bench.factory(1);
-    let open = runner::run(
+    let open = runner::execute(
         &bench.app,
         factory.as_mut(),
         &BenchmarkConfig::new(qps, requests).with_warmup(requests / 10),
+        None,
     )
     .expect("open-loop run");
 
     // Closed loop with a think time chosen to target the same average rate.
     let think_ns = (1e9 / qps) as u64;
     let mut factory = bench.factory(1);
-    let closed = runner::run(
+    let closed = runner::execute(
         &bench.app,
         factory.as_mut(),
         &BenchmarkConfig::new(qps, requests)
             .with_warmup(requests / 10)
             .with_load(LoadMode::Closed { think_ns }),
+        None,
     )
     .expect("closed-loop run");
 

@@ -17,7 +17,7 @@ use tailbench_bench::{format_latency, print_table, Scale};
 use tailbench_core::app::{RequestFactory, ServerApp};
 use tailbench_core::config::HarnessMode;
 use tailbench_kvstore::{MasstreeApp, YcsbRequestFactory};
-use tailbench_scenario::{run_scenario, ClientClass, LoadPhase, Scenario};
+use tailbench_scenario::{execute_scenario, ClientClass, LoadPhase, Scenario};
 use tailbench_simarch::SystemModel;
 use tailbench_workloads::ycsb::{OpMix, YcsbConfig};
 
@@ -64,7 +64,7 @@ fn main() {
         vec![LoadPhase::constant(1_000.0, Duration::from_millis(300))],
     )
     .with_classes(classes.clone());
-    let probe_report = run_scenario(
+    let probe_report = execute_scenario(
         &app,
         class_factories(&interactive, &batch, 0xF10),
         &probe,
@@ -100,7 +100,7 @@ fn main() {
             ],
         )
         .with_classes(classes.clone());
-        let report = run_scenario(
+        let report = execute_scenario(
             &app,
             class_factories(&interactive, &batch, 0x5EED),
             &scenario,

@@ -3,126 +3,23 @@
 //! A partition-aggregate query waits for its slowest leaf, so one straggling replica
 //! drags the end-to-end p99 up ("The Tail at Scale").  The classic mitigation is the
 //! *hedged request*: if a leg has not responded within a trigger delay, reissue it to
-//! another replica and take the first response.  This binary runs a 4-shard × 2-replica
-//! xapian search cluster under broadcast fan-out, with one replica slowed 4x for the
-//! middle third of the run (a deterministic slow-shard fault), and sweeps the hedge
-//! trigger across percentiles of the unhedged leg-latency distribution.  Low triggers
-//! hedge aggressively (more rescue, more duplicated work); high triggers hedge rarely.
-//! Runs under the discrete-event simulated harness, so every row is deterministic.
+//! another replica and take the first response.  The `fig11` preset runs a 4-shard ×
+//! 2-replica xapian search cluster under broadcast fan-out, with one replica slowed 4x
+//! for the middle third of the run (a deterministic slow-shard fault window in the
+//! spec), and sweeps the hedge trigger across percentiles of the unhedged
+//! leg-latency distribution — the percentile → delay resolution against a cached
+//! unhedged baseline is part of the experiment machinery.  Runs under the
+//! discrete-event simulated harness, so every row is deterministic.  Run
+//! `tailbench preset fig11` for the same result plus JSON output.
 
-use std::time::Duration;
-use tailbench_bench::{build_replicated_search_cluster, format_latency, print_table, Scale};
-use tailbench_core::config::{ClusterConfig, FanoutPolicy, HarnessMode, HedgePolicy};
-use tailbench_core::interference::InterferencePlan;
-use tailbench_core::report::ClusterReport;
-use tailbench_core::HarnessError;
-use tailbench_scenario::{run_cluster_scenario, LoadPhase, Scenario};
-use tailbench_simarch::SystemModel;
-
-const SHARDS: usize = 4;
-const REPLICATION: usize = 2;
-
-fn run_point(
-    cluster_app: &tailbench_bench::SearchCluster,
-    qps: f64,
-    span: Duration,
-    hedge: Option<HedgePolicy>,
-    slow_window: Option<(u64, u64)>,
-) -> Result<ClusterReport, HarnessError> {
-    let mut scenario = Scenario::new("fig11", vec![LoadPhase::constant(qps, span)]);
-    if let Some((start_ns, end_ns)) = slow_window {
-        // Replica 1 of shard 0 (instance 1) runs 4x slower inside the window.
-        scenario = scenario
-            .with_interference(InterferencePlan::none().slow_instance(1, start_ns, end_ns, 4.0));
-    }
-    if let Some(policy) = hedge {
-        scenario = scenario.with_hedge(policy);
-    }
-    let cluster = ClusterConfig::new(SHARDS, FanoutPolicy::Broadcast).with_replication(REPLICATION);
-    let model = SystemModel::default();
-    run_cluster_scenario(
-        &cluster_app.leaves,
-        vec![cluster_app.factory(0x5EED)],
-        &scenario,
-        &cluster,
-        HarnessMode::Simulated,
-        1,
-        0x5EED,
-        Some(&model),
-    )
-}
+use tailbench_experiment::{presets, Experiment, Scale};
 
 fn main() {
-    let scale = Scale::from_env();
-    let budget = scale.requests(2_000, 12_000);
-    let cluster_app = build_replicated_search_cluster(SHARDS, REPLICATION, scale);
-
-    // Probe the per-leaf simulated capacity at trivial load; each instance serves half
-    // its shard's broadcast legs (2 replicas), so the cluster sustains ~2x one leaf.
-    let probe = run_point(&cluster_app, 200.0, Duration::from_millis(500), None, None)
-        .expect("probe run failed");
-    let service_mean = probe
-        .per_shard
-        .iter()
-        .map(|s| s.service.mean_ns)
-        .sum::<f64>()
-        / probe.per_shard.len().max(1) as f64;
-    let qps = (0.7 * 2.0 * 1e9 / service_mean.max(1.0)).max(100.0);
-    let span = Duration::from_secs_f64(budget as f64 / qps);
-    let span_ns = span.as_nanos() as u64;
-    let slow_window = Some((span_ns / 3, 2 * span_ns / 3));
-
-    let unhedged = run_point(&cluster_app, qps, span, None, slow_window).expect("unhedged run");
-    let legs = unhedged.shard_union_sojourn;
-
-    let mut rows = vec![vec![
-        "none".to_string(),
-        "-".to_string(),
-        format_latency(unhedged.cluster.sojourn.p99_ns as f64),
-        format_latency(unhedged.cluster.sojourn.p50_ns as f64),
-        "0".to_string(),
-        "0".to_string(),
-    ]];
-    for (label, trigger_ns) in [
-        ("p50", legs.p50_ns),
-        ("p90", legs.p90_ns),
-        ("p95", legs.p95_ns),
-        ("p99", legs.p99_ns),
-    ] {
-        let hedged = run_point(
-            &cluster_app,
-            qps,
-            span,
-            Some(HedgePolicy::after_ns(trigger_ns.max(1))),
-            slow_window,
-        )
-        .expect("hedged run");
-        let stats = hedged.hedge.expect("hedged run must report hedge stats");
-        rows.push(vec![
-            label.to_string(),
-            format_latency(trigger_ns as f64),
-            format_latency(hedged.cluster.sojourn.p99_ns as f64),
-            format_latency(hedged.cluster.sojourn.p50_ns as f64),
-            stats.issued.to_string(),
-            stats.wins.to_string(),
-        ]);
-    }
-
-    print_table(
-        &format!(
-            "Fig. 11 — hedged requests ({SHARDS} shards x {REPLICATION} replicas, broadcast, \
-             one replica 4x slow mid-run)"
-        ),
-        &[
-            "trigger",
-            "delay",
-            "cluster p99",
-            "cluster p50",
-            "hedges",
-            "wins",
-        ],
-        &rows,
-    );
+    let spec = presets::fig11(Scale::from_env());
+    let output = Experiment::new(spec)
+        .run()
+        .expect("fig11 experiment failed");
+    print!("{}", output.to_markdown());
     println!(
         "\nAggressive triggers (p50) duplicate a large share of legs to shave the tail;\n\
          conservative ones (p99) hedge only true stragglers.  The sweet spot — big p99\n\

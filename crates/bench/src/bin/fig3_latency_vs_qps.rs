@@ -1,48 +1,14 @@
 //! Regenerates Fig. 3: mean, 95th- and 99th-percentile sojourn latency as a function of
 //! the offered request rate, with a single worker thread, for every application.
+//!
+//! A thin shim over the `fig3` preset of the unified experiment layer: the whole sweep
+//! (app axis × load-fraction axis, capacity probing, table rendering) is one
+//! `ExperimentSpec` — run `tailbench preset fig3` for the same result plus JSON output.
 
-use tailbench_bench::{
-    build_app, capacity_qps, format_latency, print_table, sweep_load, AppId, Scale,
-};
-use tailbench_core::config::HarnessMode;
+use tailbench_experiment::{presets, Experiment, Scale};
 
 fn main() {
-    let scale = Scale::from_env();
-    let requests = scale.requests(250, 3_000);
-    let fractions = [0.1, 0.2, 0.35, 0.5, 0.65, 0.8, 0.9];
-
-    for id in AppId::ALL {
-        let bench = build_app(id, scale);
-        let capacity = capacity_qps(&bench, 1, requests.min(800));
-        let points = sweep_load(
-            &bench,
-            HarnessMode::Integrated,
-            capacity,
-            &fractions,
-            1,
-            requests,
-        );
-        let rows: Vec<Vec<String>> = points
-            .iter()
-            .map(|(fraction, report)| {
-                vec![
-                    format!("{:.0}%", fraction * 100.0),
-                    format!("{:.0}", report.offered_qps.unwrap_or(0.0)),
-                    format!("{:.0}", report.achieved_qps),
-                    format_latency(report.sojourn.mean_ns),
-                    format_latency(report.sojourn.p95_ns as f64),
-                    format_latency(report.sojourn.p99_ns as f64),
-                ]
-            })
-            .collect();
-        print_table(
-            &format!(
-                "Fig. 3 — {} (1 thread, capacity ~{:.0} QPS)",
-                id.name(),
-                capacity
-            ),
-            &["load", "offered QPS", "achieved QPS", "mean", "p95", "p99"],
-            &rows,
-        );
-    }
+    let spec = presets::fig3(Scale::from_env());
+    let output = Experiment::new(spec).run().expect("fig3 experiment failed");
+    print!("{}", output.to_markdown());
 }

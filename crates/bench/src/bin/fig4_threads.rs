@@ -1,37 +1,36 @@
 //! Regenerates Fig. 4: 95th-percentile latency vs per-thread request rate as the number
 //! of worker threads grows from 1 to 4, for silo, masstree, xapian and moses.
+//!
+//! One `ExperimentSpec` per (application, thread count): a load-fraction sweep through
+//! the unified experiment layer.  The measured-request budget scales with the thread
+//! count (as in the original binary) so per-run sample counts keep pace with
+//! throughput, and capacity is probed per thread count, so per-thread rates come
+//! straight off the report.
 
-use tailbench_bench::{
-    build_app, capacity_qps, format_latency, print_table, sweep_load, AppId, Scale,
-};
-use tailbench_core::config::HarnessMode;
+use tailbench_bench::{format_latency, print_table, AppId, Scale};
+use tailbench_experiment::{Experiment, ExperimentSpec, LoadSpec, SweepAxis};
 
 fn main() {
     let scale = Scale::from_env();
     let requests = scale.requests(250, 2_500);
-    let fractions = [0.2, 0.4, 0.6, 0.8, 0.9];
     let apps = [AppId::Silo, AppId::Masstree, AppId::Xapian, AppId::Moses];
 
     for id in apps {
-        let bench = build_app(id, scale);
-        let single_thread_capacity = capacity_qps(&bench, 1, requests.min(800));
         let mut rows = Vec::new();
         for threads in [1usize, 2, 4] {
-            // Offered load scales with the thread count so the x-axis is QPS per thread.
-            let capacity = single_thread_capacity * threads as f64;
-            let points = sweep_load(
-                &bench,
-                HarnessMode::Integrated,
-                capacity,
-                &fractions,
-                threads,
-                requests * threads,
-            );
-            for (fraction, report) in points {
+            let spec = ExperimentSpec::new(format!("fig4_{}_{threads}t", id.name()), id.name())
+                .with_scale(scale)
+                .with_threads(threads)
+                .with_requests(requests * threads)
+                .with_load(LoadSpec::FractionOfCapacity(0.5))
+                .with_axis(SweepAxis::LoadFraction(vec![0.2, 0.4, 0.6, 0.8, 0.9]));
+            let output = Experiment::new(spec).run().expect("fig4 experiment failed");
+            for point in &output.points {
+                let report = point.report.headline();
                 rows.push(vec![
                     threads.to_string(),
                     format!("{:.0}", report.offered_qps.unwrap_or(0.0) / threads as f64),
-                    format!("{:.0}%", fraction * 100.0),
+                    format!("{:.0}%", point.coords.load_fraction.unwrap_or(0.0) * 100.0),
                     format_latency(report.sojourn.p95_ns as f64),
                     if report.is_saturated(0.1) {
                         "saturated".into()

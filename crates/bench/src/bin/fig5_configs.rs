@@ -3,45 +3,55 @@
 //! and simulated (discrete-event with the analytic cost model).  Also reports each
 //! setup's saturation QPS so the networked-vs-integrated gap of the paper (silo, specjbb)
 //! can be read off directly.
+//!
+//! One `ExperimentSpec` per application: a mode × load-fraction sweep through the
+//! unified experiment layer (the single-server capacity probe is shared across modes,
+//! as the paper's load normalization requires).
 
-use tailbench_bench::{
-    build_app, capacity_qps, format_latency, print_table, sweep_load, AppId, Scale,
-};
-use tailbench_core::config::HarnessMode;
-
-/// Constructor for one harness configuration.
-type ModeCtor = fn() -> HarnessMode;
+use tailbench_bench::{format_latency, print_table, AppId, Scale};
+use tailbench_experiment::{Experiment, ExperimentSpec, LoadSpec, ModeSpec, SweepAxis};
 
 fn main() {
     let scale = Scale::from_env();
     let requests = scale.requests(250, 2_500);
-    let fractions = [0.2, 0.5, 0.8];
-    let modes: [(&str, ModeCtor); 4] = [
-        ("networked", HarnessMode::networked),
-        ("loopback", HarnessMode::loopback),
-        ("integrated", || HarnessMode::Integrated),
-        ("simulated", || HarnessMode::Simulated),
-    ];
 
     for id in AppId::ALL {
-        let bench = build_app(id, scale);
-        let capacity = capacity_qps(&bench, 1, requests.min(800));
+        let spec = ExperimentSpec::new(format!("fig5_{}", id.name()), id.name())
+            .with_scale(scale)
+            .with_requests(requests)
+            .with_load(LoadSpec::FractionOfCapacity(0.5))
+            .with_axis(SweepAxis::Mode(vec![
+                ModeSpec::networked(),
+                ModeSpec::loopback(),
+                ModeSpec::Integrated,
+                ModeSpec::Simulated,
+            ]))
+            .with_axis(SweepAxis::LoadFraction(vec![0.2, 0.5, 0.8]));
+        let output = Experiment::new(spec).run().expect("fig5 experiment failed");
+
         let mut rows = Vec::new();
-        for (mode_name, make_mode) in modes {
-            let points = sweep_load(&bench, make_mode(), capacity, &fractions, 1, requests);
-            // Estimate the saturation point as the highest offered load that still kept up.
+        for mode in ["networked", "loopback", "integrated", "simulated"] {
+            let points: Vec<_> = output
+                .points
+                .iter()
+                .filter(|p| p.coords.mode.name() == mode)
+                .collect();
+            // Estimate the saturation point as the highest offered load that still
+            // kept up.
             let sustained = points
                 .iter()
-                .filter(|(_, r)| !r.is_saturated(0.1))
-                .map(|(_, r)| r.achieved_qps)
+                .map(|p| p.report.headline())
+                .filter(|r| !r.is_saturated(0.1))
+                .map(|r| r.achieved_qps)
                 .fold(0.0f64, f64::max);
-            for (fraction, report) in &points {
+            for point in points {
+                let report = point.report.headline();
                 rows.push(vec![
-                    mode_name.to_string(),
-                    format!("{:.0}%", fraction * 100.0),
+                    mode.to_string(),
+                    format!("{:.0}%", point.coords.load_fraction.unwrap_or(0.0) * 100.0),
                     format!("{:.0}", report.offered_qps.unwrap_or(0.0)),
                     format_latency(report.sojourn.p95_ns as f64),
-                    format!("{:.0}", sustained),
+                    format!("{sustained:.0}"),
                 ]);
             }
         }

@@ -2,38 +2,14 @@
 //! QPS divided by each setup's own capacity) rather than absolute QPS, for shore and
 //! img-dnn — the two applications with the largest simulation speed error.  Plotted
 //! against load, the real and simulated latency profiles nearly coincide.
+//!
+//! A thin shim over the `fig6` preset of the unified experiment layer — run
+//! `tailbench preset fig6` for the same result plus JSON output.
 
-use tailbench_bench::{
-    build_app, capacity_qps, format_latency, print_table, sweep_load, AppId, Scale,
-};
-use tailbench_core::config::HarnessMode;
+use tailbench_experiment::{presets, Experiment, Scale};
 
 fn main() {
-    let scale = Scale::from_env();
-    let requests = scale.requests(250, 2_500);
-    let fractions = [0.2, 0.4, 0.6, 0.8];
-
-    for id in [AppId::Shore, AppId::ImgDnn] {
-        let bench = build_app(id, scale);
-        let capacity = capacity_qps(&bench, 1, requests.min(600));
-        let mut rows = Vec::new();
-        for (mode_name, mode) in [
-            ("integrated", HarnessMode::Integrated),
-            ("simulated", HarnessMode::Simulated),
-        ] {
-            let points = sweep_load(&bench, mode, capacity, &fractions, 1, requests);
-            for (fraction, report) in points {
-                rows.push(vec![
-                    mode_name.to_string(),
-                    format!("{:.2}", fraction),
-                    format_latency(report.sojourn.p95_ns as f64),
-                ]);
-            }
-        }
-        print_table(
-            &format!("Fig. 6 — {} (p95 vs load)", id.name()),
-            &["setup", "load", "p95"],
-            &rows,
-        );
-    }
+    let spec = presets::fig6(Scale::from_env());
+    let output = Experiment::new(spec).run().expect("fig6 experiment failed");
+    print!("{}", output.to_markdown());
 }

@@ -43,7 +43,7 @@ fn main() {
                 .with_warmup(requests / 10)
                 .with_seed(0xF1_68 + threads as u64);
             let mut factory = bench.factory(0xF1_68);
-            runner::run_with_cost_model(&bench.app, factory.as_mut(), &config, &ideal)
+            runner::execute(&bench.app, factory.as_mut(), &config, Some(&ideal))
                 .expect("simulated run")
         };
         // Simulated single-thread capacity, from the cost-model mean service time.

@@ -1,125 +1,27 @@
 //! Fig. 9 (extension): tail amplification under partition-aggregate fan-out.
 //!
 //! TailBench measures one client against one server; the tail-at-scale effect appears
-//! once a request fans out across many servers and waits for the slowest shard.  This
-//! binary sweeps the shard count of a web-search cluster (one xapian leaf per shard,
-//! document-partitioned) under broadcast fan-out and reports, per shard count, the mean
-//! per-shard p99 against the end-to-end p99 — the amplification is the ratio.  The sweep
-//! runs in both the integrated (real-time) and simulated (discrete-event) harness
-//! configurations.
+//! once a request fans out across many servers and waits for the slowest shard.  The
+//! `fig9` preset sweeps the shard count of a web-search cluster (one xapian leaf per
+//! shard, document-partitioned) under broadcast fan-out in both the integrated
+//! (real-time) and simulated (discrete-event) harness configurations; the capacity
+//! prober folds the host's core budget into real-time cluster estimates.  Run
+//! `tailbench preset fig9` for the same result plus JSON output.
 
-use tailbench_bench::{build_search_cluster, format_latency, print_table, Scale, SearchCluster};
-use tailbench_core::config::{BenchmarkConfig, ClusterConfig, FanoutPolicy, HarnessMode};
-use tailbench_core::report::ClusterReport;
-use tailbench_core::runner;
-use tailbench_simarch::SystemModel;
-
-fn run_point(
-    cluster_app: &SearchCluster,
-    mode: HarnessMode,
-    qps: f64,
-    requests: usize,
-    seed: u64,
-) -> ClusterReport {
-    let shards = cluster_app.leaves.len();
-    let config = BenchmarkConfig::new(qps, requests)
-        .with_mode(mode)
-        .with_warmup((requests / 10).max(5))
-        .with_seed(seed);
-    let cluster = ClusterConfig::new(shards, FanoutPolicy::Broadcast);
-    let mut factory = cluster_app.factory(seed);
-    let model = SystemModel::default();
-    runner::run_cluster(
-        &cluster_app.leaves,
-        factory.as_mut(),
-        &config,
-        &cluster,
-        Some(&model),
-    )
-    .expect("cluster run failed")
-}
-
-/// Estimates a leaf's capacity under `mode` from a low-load probe (every shard sees the
-/// full broadcast rate, so one leaf's capacity bounds the sweep).  The estimate averages
-/// the *per-shard* service means — the cluster-level service time is the slowest leg's,
-/// which would understate capacity more and more as the fan-out grows.
-fn leaf_capacity_qps(cluster_app: &SearchCluster, mode: HarnessMode, requests: usize) -> f64 {
-    let probe = run_point(cluster_app, mode, 200.0, requests.min(300), 0xF19);
-    let shard_service_mean = probe
-        .per_shard
-        .iter()
-        .map(|s| s.service.mean_ns)
-        .sum::<f64>()
-        / probe.per_shard.len().max(1) as f64;
-    1e9 / shard_service_mean.max(1.0)
-}
+use tailbench_experiment::{presets, Experiment, Scale};
 
 fn main() {
-    let scale = Scale::from_env();
-    let requests = scale.requests(1_500, 10_000);
-    let parallelism = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
-    // Rows per mode, so the table stays grouped while the (expensive) corpus and leaf
-    // indexes are built once per shard count and reused by both modes.
-    let mut rows_by_mode: Vec<(&str, Vec<Vec<String>>)> =
-        vec![("integrated", Vec::new()), ("simulated", Vec::new())];
-
-    for shards in [1usize, 2, 4, 8, 16] {
-        let cluster_app = build_search_cluster(shards, scale);
-        for (mode_name, mode) in [
-            ("integrated", HarnessMode::Integrated),
-            ("simulated", HarnessMode::Simulated),
-        ] {
-            let capacity = leaf_capacity_qps(&cluster_app, mode.clone(), requests);
-            // Broadcast sends every request to every shard.  Simulated stations are
-            // virtual servers (run at 80% load, where queue divergence across the
-            // shards drives the fan-out tail); in real-time modes the shards share the
-            // host's cores, so the sustainable rate also shrinks with the fan-out.
-            let load_fraction = match mode {
-                HarnessMode::Simulated => 0.8,
-                _ => 0.6 * (parallelism as f64 / shards as f64).min(1.0),
-            };
-            let report = run_point(
-                &cluster_app,
-                mode.clone(),
-                (capacity * load_fraction).max(50.0),
-                requests,
-                0x5EED + shards as u64,
-            );
+    let spec = presets::fig9(Scale::from_env());
+    let output = Experiment::new(spec).run().expect("fig9 experiment failed");
+    for point in &output.points {
+        if let Some(cluster) = point.report.cluster() {
             assert!(
-                shards == 1 || report.cluster.sojourn.p99_ns >= report.max_shard_p99_ns(),
+                cluster.shards == 1 || cluster.cluster.sojourn.p99_ns >= cluster.max_shard_p99_ns(),
                 "the end-to-end tail must wait for the slowest shard"
             );
-            let row = vec![
-                mode_name.to_string(),
-                shards.to_string(),
-                format_latency(report.mean_shard_p99_ns()),
-                format_latency(report.cluster.sojourn.p99_ns as f64),
-                format!("{:.2}x", report.p99_amplification()),
-            ];
-            rows_by_mode
-                .iter_mut()
-                .find(|(name, _)| *name == mode_name)
-                .expect("mode registered above")
-                .1
-                .push(row);
         }
     }
-
-    let rows: Vec<Vec<String>> = rows_by_mode
-        .into_iter()
-        .flat_map(|(_, rows)| rows)
-        .collect();
-    print_table(
-        "Fig. 9 — fan-out tail amplification (xapian leaves, broadcast fan-out)",
-        &[
-            "setup",
-            "shards",
-            "shard p99 (mean)",
-            "cluster p99",
-            "amplification",
-        ],
-        &rows,
-    );
+    print!("{}", output.to_markdown());
     println!(
         "\nThe cluster p99 waits for the slowest of N shards, so it tracks the shards'\n\
          p99.9+ as N grows — the tail-at-scale effect that forces per-leaf tail SLOs far\n\

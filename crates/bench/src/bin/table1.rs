@@ -1,12 +1,15 @@
 //! Regenerates Table I: per-application cache/branch behaviour (MPKI, from the analytic
 //! cache model over measured work profiles) and 95th-percentile latency at 20%, 50% and
 //! 70% of the measured single-threaded capacity.
+//!
+//! The latency columns come from one load-fraction sweep per application through the
+//! unified experiment layer; the MPKI columns still need direct work-profile sampling
+//! (`aggregate_work_profile`), which the experiment reports do not carry.
 
 use tailbench_bench::{
-    aggregate_work_profile, build_app, capacity_qps, format_latency, print_table, sweep_load,
-    AppId, Scale,
+    aggregate_work_profile, build_app, format_latency, print_table, AppId, Scale,
 };
-use tailbench_core::config::HarnessMode;
+use tailbench_experiment::{Experiment, ExperimentSpec, LoadSpec, SweepAxis};
 use tailbench_simarch::CacheHierarchy;
 
 fn main() {
@@ -19,29 +22,31 @@ fn main() {
         let bench = build_app(id, scale);
         let profile = aggregate_work_profile(&bench, 40, 0xAB1E);
         let mpki = caches.miss_rates(&profile);
-        let capacity = capacity_qps(&bench, 1, requests.min(1_000));
-        let points = sweep_load(
-            &bench,
-            HarnessMode::Integrated,
-            capacity,
-            &[0.2, 0.5, 0.7],
-            1,
-            requests,
-        );
+
+        let spec = ExperimentSpec::new(format!("table1_{}", id.name()), id.name())
+            .with_scale(scale)
+            .with_requests(requests)
+            .with_load(LoadSpec::FractionOfCapacity(0.5))
+            .with_axis(SweepAxis::LoadFraction(vec![0.2, 0.5, 0.7]));
+        let output = Experiment::new(spec)
+            .run()
+            .expect("table1 experiment failed");
+        let p95 =
+            |i: usize| format_latency(output.points[i].report.headline().sojourn.p95_ns as f64);
         rows.push(vec![
             id.name().to_string(),
             format!("{:.2}", mpki.l1i_mpki),
             format!("{:.2}", mpki.l1d_mpki),
             format!("{:.2}", mpki.l2_mpki),
             format!("{:.2}", mpki.l3_mpki),
-            format_latency(points[0].1.sojourn.p95_ns as f64),
-            format_latency(points[1].1.sojourn.p95_ns as f64),
-            format_latency(points[2].1.sojourn.p95_ns as f64),
+            p95(0),
+            p95(1),
+            p95(2),
         ]);
         eprintln!(
             "table1: finished {} (capacity ~{:.0} QPS)",
             id.name(),
-            capacity
+            output.points[0].capacity_qps.unwrap_or(0.0)
         );
     }
 

@@ -407,6 +407,105 @@ impl BenchmarkConfig {
     pub fn total_requests(&self) -> usize {
         self.warmup_requests + self.measure_requests
     }
+
+    /// Checks the configuration for the inconsistencies that used to fail silently (or
+    /// deep inside a runner with an unhelpful message) and returns an actionable
+    /// [`HarnessError::Config`] for each.
+    ///
+    /// The runners call this on entry, so every entrypoint — `runner::execute`, the
+    /// deprecated `run*` wrappers and `Experiment::run` — rejects the same footguns.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HarnessError::Config`] when the configuration cannot produce a valid
+    /// measurement: zero worker threads, zero measured requests, an empty arrival
+    /// trace, zero client connections in a TCP mode, or closed-loop load under the
+    /// discrete-event simulator (which replays open-loop schedules only).
+    pub fn validate(&self) -> Result<(), crate::error::HarnessError> {
+        use crate::error::HarnessError;
+        if self.worker_threads == 0 {
+            return Err(HarnessError::Config(
+                "worker_threads is 0: the server would never dequeue a request; \
+                 use with_threads(n) with n >= 1"
+                    .into(),
+            ));
+        }
+        if self.measure_requests == 0 {
+            return Err(HarnessError::Config(
+                "measure_requests is 0: the run would produce empty statistics; \
+                 configure at least one measured request"
+                    .into(),
+            ));
+        }
+        if let LoadMode::Trace(trace) = &self.load {
+            if trace.is_empty() {
+                return Err(HarnessError::Config(
+                    "the arrival trace is empty: no request would ever be issued; \
+                     compile a scenario with a non-zero span or use LoadMode::open_poisson"
+                        .into(),
+                ));
+            }
+        }
+        match self.mode {
+            HarnessMode::Loopback { connections } | HarnessMode::Networked { connections, .. }
+                if connections == 0 =>
+            {
+                return Err(HarnessError::Config(format!(
+                    "{} mode with 0 client connections: no request could be sent; \
+                     configure connections >= 1",
+                    self.mode.name()
+                )));
+            }
+            HarnessMode::Simulated if !self.load.is_open() => {
+                return Err(HarnessError::Config(
+                    "closed-loop load cannot run under the discrete-event simulator: \
+                     the simulator replays precomputed open-loop schedules; use an \
+                     open-loop LoadMode (Poisson or trace) or a real-time harness mode"
+                        .into(),
+                ));
+            }
+            _ => {}
+        }
+        Ok(())
+    }
+
+    /// Validates this configuration together with a cluster layout
+    /// ([`BenchmarkConfig::validate`] plus the cluster-specific footguns).
+    ///
+    /// One footgun is documented rather than rejected: in the TCP modes the client
+    /// opens exactly one connection per server instance, so the `connections` field of
+    /// [`HarnessMode::Loopback`]/[`HarnessMode::Networked`] is **ignored** for cluster
+    /// runs — it only shapes single-server runs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HarnessError::Config`] for any [`BenchmarkConfig::validate`] failure,
+    /// for closed-loop load (cluster runs are open-loop only), and for a hedge policy
+    /// without a replica to hedge to (`replication < 2`).
+    pub fn validate_cluster(
+        &self,
+        cluster: &ClusterConfig,
+    ) -> Result<(), crate::error::HarnessError> {
+        use crate::error::HarnessError;
+        self.validate()?;
+        if !self.load.is_open() {
+            return Err(HarnessError::Config(
+                "cluster runs require an open-loop load mode: closed-loop arrivals \
+                 depend on per-connection response times and cannot be routed across \
+                 shards; use LoadMode::open_poisson or a trace"
+                    .into(),
+            ));
+        }
+        if cluster.hedge.is_some() && cluster.replication < 2 {
+            return Err(HarnessError::Config(format!(
+                "a hedge policy is configured but replication is {}: hedged requests \
+                 need a second replica to send the copy to; use with_replication(2) \
+                 or remove the hedge policy",
+                cluster.replication
+            )));
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -531,6 +630,59 @@ mod tests {
         assert_eq!(replicated.hedge_instance(3, 0), 7);
         assert_eq!(replicated.instance(3, 1), 7);
         assert_eq!(replicated.hedge_instance(3, 1), 6);
+    }
+
+    #[test]
+    fn validate_accepts_sensible_configs_and_names_each_footgun() {
+        let good = BenchmarkConfig::new(1_000.0, 100);
+        assert!(good.validate().is_ok());
+
+        let mut zero_workers = BenchmarkConfig::new(1_000.0, 100);
+        zero_workers.worker_threads = 0;
+        let err = zero_workers.validate().unwrap_err().to_string();
+        assert!(err.contains("worker_threads"), "{err}");
+
+        let mut no_requests = BenchmarkConfig::new(1_000.0, 100);
+        no_requests.measure_requests = 0;
+        let err = no_requests.validate().unwrap_err().to_string();
+        assert!(err.contains("measure_requests"), "{err}");
+
+        let empty_trace = BenchmarkConfig::new(1_000.0, 100).with_load(LoadMode::trace(
+            crate::traffic::LoadTrace::from_times(Vec::new()),
+        ));
+        let err = empty_trace.validate().unwrap_err().to_string();
+        assert!(err.contains("trace is empty"), "{err}");
+
+        let no_connections =
+            BenchmarkConfig::new(1_000.0, 100).with_mode(HarnessMode::Loopback { connections: 0 });
+        let err = no_connections.validate().unwrap_err().to_string();
+        assert!(err.contains("0 client connections"), "{err}");
+
+        let closed_sim = BenchmarkConfig::new(1_000.0, 100)
+            .with_mode(HarnessMode::Simulated)
+            .with_load(LoadMode::Closed { think_ns: 0 });
+        let err = closed_sim.validate().unwrap_err().to_string();
+        assert!(err.contains("closed-loop"), "{err}");
+    }
+
+    #[test]
+    fn validate_cluster_rejects_closed_loop_and_unreplicated_hedge() {
+        let cluster = ClusterConfig::new(2, FanoutPolicy::Broadcast);
+        let good = BenchmarkConfig::new(1_000.0, 100);
+        assert!(good.validate_cluster(&cluster).is_ok());
+
+        let closed = BenchmarkConfig::new(1_000.0, 100).with_load(LoadMode::Closed { think_ns: 0 });
+        let err = closed.validate_cluster(&cluster).unwrap_err().to_string();
+        assert!(err.contains("open-loop"), "{err}");
+
+        let hedged_unreplicated = cluster.with_hedge(HedgePolicy::after_ns(1_000));
+        let err = good
+            .validate_cluster(&hedged_unreplicated)
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("replication"), "{err}");
+        let hedged_replicated = hedged_unreplicated.with_replication(2);
+        assert!(good.validate_cluster(&hedged_replicated).is_ok());
     }
 
     #[test]

@@ -21,7 +21,7 @@
 //!   router that shards single-key requests or fans partition-aggregate requests out to
 //!   every shard and merges last-response-wins, reporting per-shard and end-to-end
 //!   distributions so the fan-out tail amplification is a first-class result
-//!   ([`config::ClusterConfig`], [`runner::run_cluster`]);
+//!   ([`config::ClusterConfig`], [`runner::execute_cluster`]);
 //! * **scenario mechanisms** for the `tailbench-scenario` engine: precompiled phased
 //!   arrival traces ([`traffic::LoadTrace`]), per-request class/phase tags with
 //!   per-class reporting ([`collector::RequestTags`]), deterministic interference
@@ -43,7 +43,7 @@
 //! let app: Arc<dyn ServerApp> = Arc::new(EchoApp::with_service_us(5));
 //! let mut factory = || b"hello".to_vec();
 //! let config = BenchmarkConfig::new(500.0, 200).with_warmup(20);
-//! let report = runner::run(&app, &mut factory, &config)?;
+//! let report = runner::execute(&app, &mut factory, &config, None)?;
 //! assert!(report.sojourn.p95_ns > 0);
 //! # Ok::<(), tailbench_core::error::HarnessError>(())
 //! ```
@@ -78,7 +78,7 @@ pub use report::{
     ClusterReport, HedgeStats, LabeledLatency, LatencyStats, MultiRunReport, RunReport,
 };
 pub use request::{Request, RequestRecord, Response, WorkProfile};
-pub use runner::{
-    measure_capacity, run, run_cluster, run_repeated, run_with_cost_model, RepeatPolicy,
-};
+pub use runner::{execute, execute_cluster, measure_capacity, run_repeated, RepeatPolicy};
+#[allow(deprecated)]
+pub use runner::{run, run_cluster, run_with_cost_model};
 pub use traffic::{LoadMode, LoadTrace};

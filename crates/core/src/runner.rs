@@ -1,7 +1,11 @@
 //! The top-level benchmark runner.
 //!
-//! [`run`] executes a single measurement run in whichever harness configuration the
-//! [`BenchmarkConfig`] selects.  [`run_repeated`] implements the paper's repeated-run
+//! [`execute`] runs a single measurement in whichever harness configuration the
+//! [`BenchmarkConfig`] selects, and [`execute_cluster`] does the same for a cluster
+//! layout; both validate the configuration on entry.  The historical `run` /
+//! `run_with_cost_model` / `run_cluster` entrypoints remain as deprecated wrappers —
+//! new code should go through these dispatchers or, one level up, the declarative
+//! `tailbench_experiment::Experiment` API.  [`run_repeated`] implements the paper's repeated-run
 //! methodology: it re-runs the measurement with fresh seeds (re-randomizing both request
 //! payloads and interarrival times) until the 95% confidence intervals of the reported
 //! latency metrics are within the target fraction of their means, or a run budget is
@@ -54,20 +58,27 @@ impl RepeatPolicy {
     }
 }
 
-/// Runs one measurement with the configured harness mode.
+/// Runs one single-server measurement with the configured harness mode — the one
+/// low-level dispatcher behind every single-server entrypoint.
 ///
-/// Simulated mode requires a cost model; use [`run_with_cost_model`] for that.
+/// `cost_model` is required by simulated mode and ignored by the real-time modes, so a
+/// caller that has a model can always pass `Some(model)` regardless of mode.  Most
+/// callers should prefer the declarative `tailbench_experiment::Experiment` API, which
+/// adds the app registry, capacity-relative load, sweeps and structured output on top
+/// of this function.
 ///
 /// # Errors
 ///
-/// Returns [`HarnessError::Config`] if the configuration selects simulated mode (no cost
-/// model is available here) or is otherwise inconsistent, and [`HarnessError::Io`] if a
-/// TCP configuration fails to set up its sockets.
-pub fn run(
+/// Returns [`HarnessError::Config`] if [`BenchmarkConfig::validate`] rejects the
+/// configuration or simulated mode is selected without a cost model, and
+/// [`HarnessError::Io`] if a TCP configuration fails to set up its sockets.
+pub fn execute(
     app: &Arc<dyn ServerApp>,
     factory: &mut dyn RequestFactory,
     config: &BenchmarkConfig,
+    cost_model: Option<&dyn CostModel>,
 ) -> Result<RunReport, HarnessError> {
+    config.validate()?;
     match &config.mode {
         HarnessMode::Integrated => Ok(run_integrated(app, factory, config)),
         HarnessMode::Loopback { connections } => {
@@ -84,51 +95,40 @@ pub fn run(
             *one_way_delay_ns,
             "networked",
         ),
-        HarnessMode::Simulated => Err(HarnessError::Config(
-            "simulated mode requires a cost model; call run_with_cost_model".into(),
-        )),
+        HarnessMode::Simulated => match cost_model {
+            Some(model) => Ok(run_simulated(app, factory, config, model)),
+            None => Err(HarnessError::Config(
+                "simulated mode requires a cost model; pass Some(cost_model) to \
+                 runner::execute (the Experiment API supplies one from its registry)"
+                    .into(),
+            )),
+        },
     }
 }
 
-/// Runs one measurement, supplying the cost model needed by simulated mode.  Real-time
-/// modes ignore the cost model.
-///
-/// # Errors
-///
-/// Same as [`run`].
-pub fn run_with_cost_model(
-    app: &Arc<dyn ServerApp>,
-    factory: &mut dyn RequestFactory,
-    config: &BenchmarkConfig,
-    cost_model: &dyn CostModel,
-) -> Result<RunReport, HarnessError> {
-    match &config.mode {
-        HarnessMode::Simulated => Ok(run_simulated(app, factory, config, cost_model)),
-        _ => run(app, factory, config),
-    }
-}
-
-/// Runs one cluster measurement with the configured harness mode.
+/// Runs one cluster measurement with the configured harness mode — the one low-level
+/// dispatcher behind every cluster entrypoint.
 ///
 /// `apps` holds one server application per cluster instance
 /// (`cluster.instances() = shards * replication`, shard-major order); each instance
 /// runs with its own queue and worker pool (or simulated station).  Simulated mode
 /// requires `cost_model`; the real-time modes ignore it.  In the TCP modes the client
 /// opens one connection per instance, so the `connections` field of the mode is not
-/// used.
+/// used (see [`BenchmarkConfig::validate_cluster`]).
 ///
 /// # Errors
 ///
-/// Returns [`HarnessError::Config`] for closed-loop load, a wrong `apps` count, or
-/// simulated mode without a cost model, and [`HarnessError::Io`] if a TCP configuration
-/// fails to set up its sockets.
-pub fn run_cluster(
+/// Returns [`HarnessError::Config`] if [`BenchmarkConfig::validate_cluster`] rejects
+/// the configuration, for a wrong `apps` count, or for simulated mode without a cost
+/// model, and [`HarnessError::Io`] if a TCP configuration fails to set up its sockets.
+pub fn execute_cluster(
     apps: &[Arc<dyn ServerApp>],
     factory: &mut dyn RequestFactory,
     config: &BenchmarkConfig,
     cluster: &ClusterConfig,
     cost_model: Option<&dyn CostModel>,
 ) -> Result<ClusterReport, HarnessError> {
+    config.validate_cluster(cluster)?;
     match &config.mode {
         HarnessMode::Integrated => run_cluster_integrated(apps, factory, config, cluster),
         HarnessMode::Loopback { .. } => {
@@ -151,6 +151,68 @@ pub fn run_cluster(
             )),
         },
     }
+}
+
+/// Runs one measurement with the configured harness mode.
+///
+/// Simulated mode requires a cost model; use [`run_with_cost_model`] for that.
+///
+/// # Errors
+///
+/// Returns [`HarnessError::Config`] if the configuration selects simulated mode (no cost
+/// model is available here) or is otherwise inconsistent, and [`HarnessError::Io`] if a
+/// TCP configuration fails to set up its sockets.
+#[deprecated(
+    since = "0.2.0",
+    note = "use runner::execute(app, factory, config, None), or the unified \
+            tailbench_experiment::Experiment API"
+)]
+pub fn run(
+    app: &Arc<dyn ServerApp>,
+    factory: &mut dyn RequestFactory,
+    config: &BenchmarkConfig,
+) -> Result<RunReport, HarnessError> {
+    execute(app, factory, config, None)
+}
+
+/// Runs one measurement, supplying the cost model needed by simulated mode.  Real-time
+/// modes ignore the cost model.
+///
+/// # Errors
+///
+/// Same as [`execute`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use runner::execute(app, factory, config, Some(cost_model)), or the unified \
+            tailbench_experiment::Experiment API"
+)]
+pub fn run_with_cost_model(
+    app: &Arc<dyn ServerApp>,
+    factory: &mut dyn RequestFactory,
+    config: &BenchmarkConfig,
+    cost_model: &dyn CostModel,
+) -> Result<RunReport, HarnessError> {
+    execute(app, factory, config, Some(cost_model))
+}
+
+/// Runs one cluster measurement with the configured harness mode.
+///
+/// # Errors
+///
+/// Same as [`execute_cluster`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use runner::execute_cluster, or the unified tailbench_experiment::Experiment \
+            API with an ExperimentSpec topology"
+)]
+pub fn run_cluster(
+    apps: &[Arc<dyn ServerApp>],
+    factory: &mut dyn RequestFactory,
+    config: &BenchmarkConfig,
+    cluster: &ClusterConfig,
+    cost_model: Option<&dyn CostModel>,
+) -> Result<ClusterReport, HarnessError> {
+    execute_cluster(apps, factory, config, cluster, cost_model)
 }
 
 /// Runs the measurement repeatedly with fresh seeds until the latency metrics converge
@@ -177,10 +239,7 @@ where
         let seed = tailbench_workloads::rng::derive_seed(config.seed, run_idx as u64);
         let run_config = config.clone().with_seed(seed);
         let mut factory = make_factory(seed);
-        let report = match cost_model {
-            Some(model) => run_with_cost_model(app, factory.as_mut(), &run_config, model)?,
-            None => run(app, factory.as_mut(), &run_config)?,
-        };
+        let report = execute(app, factory.as_mut(), &run_config, cost_model)?;
         runs.push(report);
         if runs.len() >= policy.min_runs.max(2) {
             let interim =
@@ -260,19 +319,48 @@ mod tests {
     }
 
     #[test]
-    fn run_dispatches_to_integrated() {
+    fn execute_dispatches_to_integrated() {
         let app = echo();
         let mut factory = || vec![1u8];
-        let report = run(&app, &mut factory, &BenchmarkConfig::new(1_000.0, 200)).unwrap();
+        let report = execute(
+            &app,
+            &mut factory,
+            &BenchmarkConfig::new(1_000.0, 200),
+            None,
+        )
+        .unwrap();
         assert_eq!(report.configuration, "integrated");
     }
 
     #[test]
-    fn run_simulated_requires_cost_model() {
+    fn execute_simulated_requires_cost_model() {
         let app = echo();
         let mut factory = || vec![1u8];
         let config = BenchmarkConfig::new(1_000.0, 50).with_mode(HarnessMode::Simulated);
-        assert!(run(&app, &mut factory, &config).is_err());
+        assert!(execute(&app, &mut factory, &config, None).is_err());
+        let model = InstructionRateModel::default();
+        let report = execute(&app, &mut factory, &config, Some(&model)).unwrap();
+        assert_eq!(report.configuration, "simulated");
+    }
+
+    #[test]
+    fn execute_rejects_invalid_configs_up_front() {
+        let app = echo();
+        let mut factory = || vec![1u8];
+        let mut config = BenchmarkConfig::new(1_000.0, 100);
+        config.worker_threads = 0;
+        let err = execute(&app, &mut factory, &config, None).unwrap_err();
+        assert!(err.to_string().contains("worker_threads"), "{err}");
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_still_dispatch() {
+        let app = echo();
+        let mut factory = || vec![1u8];
+        let report = run(&app, &mut factory, &BenchmarkConfig::new(1_000.0, 100)).unwrap();
+        assert_eq!(report.configuration, "integrated");
+        let config = BenchmarkConfig::new(1_000.0, 50).with_mode(HarnessMode::Simulated);
         let model = InstructionRateModel::default();
         let report = run_with_cost_model(&app, &mut factory, &config, &model).unwrap();
         assert_eq!(report.configuration, "simulated");
@@ -295,7 +383,8 @@ mod tests {
             let config = BenchmarkConfig::new(500.0, 100)
                 .with_warmup(10)
                 .with_mode(mode);
-            let report = run_cluster(&apps, &mut factory, &config, &cluster, Some(&model)).unwrap();
+            let report =
+                execute_cluster(&apps, &mut factory, &config, &cluster, Some(&model)).unwrap();
             assert!(
                 report.cluster.configuration.starts_with(expect_prefix),
                 "configuration {} should start with {expect_prefix}",
@@ -310,7 +399,7 @@ mod tests {
         // Simulated mode without a cost model is a configuration error.
         let mut factory = || vec![3u8];
         let config = BenchmarkConfig::new(500.0, 50).with_mode(HarnessMode::Simulated);
-        assert!(run_cluster(&apps, &mut factory, &config, &cluster, None).is_err());
+        assert!(execute_cluster(&apps, &mut factory, &config, &cluster, None).is_err());
     }
 
     #[test]

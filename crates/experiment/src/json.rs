@@ -1,0 +1,601 @@
+//! A minimal, dependency-free JSON value type with an exact parser and writer.
+//!
+//! The build environment is offline and the in-tree `serde` shim provides marker
+//! traits only (see `stubs/README.md`), so the experiment layer carries its own small
+//! JSON codec.  Design points that matter for the suite:
+//!
+//! * **integers round-trip exactly** — seeds and nanosecond values are `u64`s that do
+//!   not fit in an `f64`, so integer literals parse into [`Json::U64`]/[`Json::I64`]
+//!   and only fractional/exponent literals become [`Json::F64`];
+//! * **floats round-trip exactly** — the writer uses Rust's shortest-representation
+//!   `Display` for `f64`, which `str::parse::<f64>` maps back to the identical bits;
+//! * **object key order is preserved** (objects are association vectors, not maps), so
+//!   serializing the same value twice yields byte-identical text — a property the
+//!   golden output tests pin.
+//!
+//! The codec accepts standard JSON (RFC 8259): UTF-8 text, string escapes including
+//! `\uXXXX` surrogate pairs, and arbitrarily nested arrays/objects up to a fixed depth
+//! limit that keeps malicious spec files from overflowing the stack.
+
+use std::fmt;
+
+/// Maximum nesting depth the parser accepts.
+const MAX_DEPTH: usize = 128;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A non-negative integer literal that fits in a `u64`.
+    U64(u64),
+    /// A negative integer literal that fits in an `i64`.
+    I64(i64),
+    /// Any other number literal (fraction or exponent present, or out of integer range).
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; key order is preserved and significant for serialization.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Builds an object from key/value pairs (convenience for serializers).
+    #[must_use]
+    pub fn obj(pairs: Vec<(&str, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Builds a string value.
+    #[must_use]
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// Looks up a key in an object; `None` for missing keys or non-objects.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64` (integers widen losslessly where possible).
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Json::U64(u) => Some(u as f64),
+            Json::I64(i) => Some(i as f64),
+            Json::F64(f) => Some(f),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64` (exact; rejects negatives, fractions and floats).
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Json::U64(u) => Some(u),
+            _ => None,
+        }
+    }
+
+    /// The value as a `usize`.
+    #[must_use]
+    pub fn as_usize(&self) -> Option<usize> {
+        self.as_u64().and_then(|u| usize::try_from(u).ok())
+    }
+
+    /// The value as a string slice.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Json::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice.
+    #[must_use]
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Serializes to compact JSON text.
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        write_value(self, None, 0, &mut out);
+        out
+    }
+
+    /// Serializes to pretty-printed JSON text (two-space indent, trailing newline).
+    #[must_use]
+    pub fn to_text_pretty(&self) -> String {
+        let mut out = String::new();
+        write_value(self, Some(2), 0, &mut out);
+        out.push('\n');
+        out
+    }
+}
+
+fn write_value(value: &Json, indent: Option<usize>, level: usize, out: &mut String) {
+    use fmt::Write as _;
+    match value {
+        Json::Null => out.push_str("null"),
+        Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Json::U64(u) => {
+            let _ = write!(out, "{u}");
+        }
+        Json::I64(i) => {
+            let _ = write!(out, "{i}");
+        }
+        Json::F64(f) => {
+            if f.is_finite() {
+                // Rust's Display for f64 is the shortest string that parses back to
+                // the identical value, so writes round-trip exactly.  Integral floats
+                // keep a ".0" suffix so they re-parse as F64, not U64.
+                if f.fract() == 0.0 && f.abs() < 1e15 {
+                    let _ = write!(out, "{f:.1}");
+                } else {
+                    let _ = write!(out, "{f}");
+                }
+            } else {
+                // JSON has no NaN/Infinity; null is the least-surprising fallback.
+                out.push_str("null");
+            }
+        }
+        Json::Str(s) => write_string(s, out),
+        Json::Arr(items) => write_seq(items.iter(), indent, level, out, '[', ']', |item, o, l| {
+            write_value(item, indent, l, o);
+        }),
+        Json::Obj(pairs) => write_seq(
+            pairs.iter(),
+            indent,
+            level,
+            out,
+            '{',
+            '}',
+            |(k, v), o, l| {
+                write_string(k, o);
+                o.push(':');
+                if indent.is_some() {
+                    o.push(' ');
+                }
+                write_value(v, indent, l, o);
+            },
+        ),
+    }
+}
+
+fn write_seq<T>(
+    items: impl ExactSizeIterator<Item = T>,
+    indent: Option<usize>,
+    level: usize,
+    out: &mut String,
+    open: char,
+    close: char,
+    mut write_item: impl FnMut(T, &mut String, usize),
+) {
+    out.push(open);
+    let len = items.len();
+    for (i, item) in items.enumerate() {
+        if let Some(width) = indent {
+            out.push('\n');
+            out.extend(std::iter::repeat_n(' ', width * (level + 1)));
+        }
+        write_item(item, out, level + 1);
+        if i + 1 < len {
+            out.push(',');
+        }
+    }
+    if len > 0 {
+        if let Some(width) = indent {
+            out.push('\n');
+            out.extend(std::iter::repeat_n(' ', width * level));
+        }
+    }
+    out.push(close);
+}
+
+fn write_string(s: &str, out: &mut String) {
+    use fmt::Write as _;
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A parse error with the byte offset where it occurred.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// What went wrong.
+    pub message: String,
+    /// Byte offset into the input.
+    pub offset: usize,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "JSON parse error at byte {}: {}",
+            self.offset, self.message
+        )
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Parses a complete JSON document (exactly one value plus whitespace).
+///
+/// # Errors
+///
+/// Returns a [`JsonError`] with the byte offset of the first malformed construct, or of
+/// trailing garbage after the first value.
+pub fn parse(input: &str) -> Result<Json, JsonError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after the JSON value"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, message: &str) -> JsonError {
+        JsonError {
+            message: message.to_string(),
+            offset: self.pos,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", byte as char)))
+        }
+    }
+
+    fn literal(&mut self, text: &str, value: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+            self.pos += text.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected '{text}'")))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, JsonError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(_) => Err(self.err("unexpected character")),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let hi = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: a \uXXXX low surrogate must follow.
+                                if self.bytes[self.pos..].starts_with(b"\\u") {
+                                    self.pos += 2;
+                                    let lo = self.hex4()?;
+                                    if !(0xDC00..0xE000).contains(&lo) {
+                                        return Err(self.err("invalid low surrogate"));
+                                    }
+                                    let code = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                                    char::from_u32(code)
+                                } else {
+                                    return Err(self.err("unpaired high surrogate"));
+                                }
+                            } else if (0xDC00..0xE000).contains(&hi) {
+                                return Err(self.err("unpaired low surrogate"));
+                            } else {
+                                char::from_u32(hi)
+                            };
+                            match c {
+                                Some(c) => out.push(c),
+                                None => return Err(self.err("invalid unicode escape")),
+                            }
+                            continue;
+                        }
+                        _ => return Err(self.err("invalid escape sequence")),
+                    }
+                    self.pos += 1;
+                }
+                Some(c) if c < 0x20 => return Err(self.err("raw control character in string")),
+                Some(_) => {
+                    // Consume one UTF-8 character (the input is a &str, so boundaries
+                    // are valid by construction).
+                    let start = self.pos;
+                    let mut end = start + 1;
+                    while end < self.bytes.len() && (self.bytes[end] & 0xC0) == 0x80 {
+                        end += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..end])
+                            .map_err(|_| self.err("invalid UTF-8"))?,
+                    );
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(self.err("truncated \\u escape"));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| self.err("invalid \\u escape"))?;
+        let code = u32::from_str_radix(hex, 16).map_err(|_| self.err("invalid \\u escape"))?;
+        self.pos = end;
+        Ok(code)
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        match self.peek() {
+            Some(b'0') => self.pos += 1,
+            Some(b'1'..=b'9') => {
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+            }
+            _ => return Err(self.err("malformed number")),
+        }
+        let mut integral = true;
+        if self.peek() == Some(b'.') {
+            integral = false;
+            self.pos += 1;
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err("malformed number: digits must follow '.'"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            integral = false;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(b'0'..=b'9')) {
+                return Err(self.err("malformed number: digits must follow exponent"));
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        if integral {
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Json::U64(u));
+            }
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Json::I64(i));
+            }
+        }
+        text.parse::<f64>()
+            .map(Json::F64)
+            .map_err(|_| self.err("malformed number"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        for text in ["null", "true", "false", "0", "42", "-7", "\"hi\""] {
+            let v = parse(text).unwrap();
+            assert_eq!(v.to_text(), text);
+        }
+    }
+
+    #[test]
+    fn u64_integers_are_exact() {
+        let v = parse("18446744073709551615").unwrap();
+        assert_eq!(v, Json::U64(u64::MAX));
+        assert_eq!(v.to_text(), "18446744073709551615");
+        assert_eq!(parse("-9223372036854775808").unwrap(), Json::I64(i64::MIN));
+    }
+
+    #[test]
+    fn floats_round_trip_exactly() {
+        for f in [0.1, 0.7, 1.0 / 3.0, 2.5e-9, 1e300, -0.825, 4.0] {
+            let v = Json::F64(f);
+            let text = v.to_text();
+            let back = parse(&text).unwrap();
+            assert_eq!(back.as_f64().unwrap().to_bits(), f.to_bits(), "text {text}");
+        }
+    }
+
+    #[test]
+    fn integral_floats_stay_floats() {
+        assert_eq!(Json::F64(4.0).to_text(), "4.0");
+        assert_eq!(parse("4.0").unwrap(), Json::F64(4.0));
+    }
+
+    #[test]
+    fn nested_structures_round_trip_and_preserve_key_order() {
+        let text = r#"{"b":[1,2.5,{"x":null}],"a":true,"s":"q\"uote\n"}"#;
+        let v = parse(text).unwrap();
+        assert_eq!(v.to_text(), text);
+        assert_eq!(v.get("a"), Some(&Json::Bool(true)));
+        assert_eq!(v.get("b").unwrap().as_array().unwrap().len(), 3);
+        assert_eq!(v.get("missing"), None);
+    }
+
+    #[test]
+    fn pretty_output_reparses_to_the_same_value() {
+        let v = Json::obj(vec![
+            ("name", Json::str("fig9")),
+            ("fractions", Json::Arr(vec![Json::F64(0.2), Json::F64(0.7)])),
+            ("seed", Json::U64(0x5EED)),
+            ("empty", Json::Obj(Vec::new())),
+        ]);
+        let pretty = v.to_text_pretty();
+        assert!(pretty.contains("  \"name\": \"fig9\""));
+        assert_eq!(parse(&pretty).unwrap(), v);
+    }
+
+    #[test]
+    fn unicode_escapes_and_surrogates() {
+        assert_eq!(parse(r#""\u0041""#).unwrap(), Json::str("A"));
+        assert_eq!(parse(r#""\ud83d\ude00""#).unwrap(), Json::str("\u{1F600}"));
+        assert!(parse(r#""\ud83d""#).is_err());
+        assert_eq!(parse("\"h\u{e9}llo\"").unwrap(), Json::str("h\u{e9}llo"));
+    }
+
+    #[test]
+    fn errors_carry_offsets() {
+        let err = parse("{\"a\": }").unwrap_err();
+        assert_eq!(err.offset, 6);
+        assert!(parse("[1, 2").is_err());
+        assert!(parse("1 2").unwrap_err().to_string().contains("trailing"));
+        assert!(parse("01").is_err());
+        let deep = "[".repeat(200) + &"]".repeat(200);
+        assert!(parse(&deep).unwrap_err().message.contains("deep"));
+    }
+}

@@ -1,0 +1,137 @@
+//! Named experiment presets: the paper figures as one-line specs.
+//!
+//! Each preset is a plain [`ExperimentSpec`] — exactly what a user could write into a
+//! JSON spec file and run with `tailbench run <file>`; `tailbench preset <name>`
+//! resolves the name through [`preset`] and `tailbench export <name>` prints the JSON.
+//! The `fig*` binaries in `tailbench_bench` are now thin shims over these presets, so
+//! figure logic lives in one place.
+
+use crate::spec::{
+    ExperimentSpec, FanoutSpec, FaultKindSpec, FaultSpec, FaultTargetSpec, HedgeSpec, LoadSpec,
+    ModeSpec, Scale, SweepAxis, TopologySpec,
+};
+use crate::AppId;
+
+/// The names [`preset`] resolves.
+pub const PRESET_NAMES: [&str; 4] = ["fig3", "fig6", "fig9", "fig11"];
+
+/// Resolves a preset by name at the given workload scale.
+#[must_use]
+pub fn preset(name: &str, scale: Scale) -> Option<ExperimentSpec> {
+    match name {
+        "fig3" => Some(fig3(scale)),
+        "fig6" => Some(fig6(scale)),
+        "fig9" => Some(fig9(scale)),
+        "fig11" => Some(fig11(scale)),
+        _ => None,
+    }
+}
+
+/// Fig. 3: mean / p95 / p99 sojourn latency versus offered load, one worker thread,
+/// for every application (integrated mode, loads as fractions of measured capacity).
+#[must_use]
+pub fn fig3(scale: Scale) -> ExperimentSpec {
+    ExperimentSpec::new("fig3_latency_vs_qps", "xapian")
+        .with_scale(scale)
+        .with_requests(scale.requests(250, 3_000))
+        .with_load(LoadSpec::FractionOfCapacity(0.5))
+        .with_axis(SweepAxis::App(
+            AppId::ALL.iter().map(|id| id.name().to_string()).collect(),
+        ))
+        .with_axis(SweepAxis::LoadFraction(vec![
+            0.1, 0.2, 0.35, 0.5, 0.65, 0.8, 0.9,
+        ]))
+}
+
+/// Fig. 6: p95 latency versus *system load* for shore and img-dnn, real (integrated)
+/// against simulated — plotted against load the two profiles nearly coincide.
+#[must_use]
+pub fn fig6(scale: Scale) -> ExperimentSpec {
+    ExperimentSpec::new("fig6_load", "shore")
+        .with_scale(scale)
+        .with_requests(scale.requests(250, 2_500))
+        .with_load(LoadSpec::FractionOfCapacity(0.5))
+        .with_axis(SweepAxis::App(vec!["shore".into(), "img-dnn".into()]))
+        .with_axis(SweepAxis::Mode(vec![
+            ModeSpec::Integrated,
+            ModeSpec::Simulated,
+        ]))
+        .with_axis(SweepAxis::LoadFraction(vec![0.2, 0.4, 0.6, 0.8]))
+}
+
+/// Fig. 9 (extension): tail amplification under partition-aggregate fan-out — a
+/// broadcast xapian cluster swept over shard counts in both the integrated and the
+/// simulated harness.  The capacity prober scales real-time cluster estimates by the
+/// host's core budget, so one load fraction drives both modes.
+#[must_use]
+pub fn fig9(scale: Scale) -> ExperimentSpec {
+    ExperimentSpec::new("fig9_fanout_tail", "xapian")
+        .with_scale(scale)
+        .with_requests(scale.requests(1_500, 10_000))
+        .with_seed(0x5EED)
+        .with_topology(TopologySpec::sharded(1).with_fanout(FanoutSpec::Broadcast))
+        .with_load(LoadSpec::FractionOfCapacity(0.7))
+        .with_axis(SweepAxis::Mode(vec![
+            ModeSpec::Integrated,
+            ModeSpec::Simulated,
+        ]))
+        .with_axis(SweepAxis::Shards(vec![1, 2, 4, 8, 16]))
+}
+
+/// Fig. 11 (extension): hedged requests versus the fan-out tail — a 4×2 replicated
+/// xapian broadcast cluster with one replica slowed 4× for the middle third of the
+/// run, sweeping the hedge trigger across percentiles of the unhedged leg
+/// distribution (plus the unhedged baseline).  Simulated harness, so every row is
+/// deterministic.
+#[must_use]
+pub fn fig11(scale: Scale) -> ExperimentSpec {
+    ExperimentSpec::new("fig11_hedging", "xapian")
+        .with_scale(scale)
+        .with_mode(ModeSpec::Simulated)
+        .with_requests(scale.requests(2_000, 12_000))
+        .with_seed(0x5EED)
+        .with_topology(
+            TopologySpec::sharded(4)
+                .with_replication(2)
+                .with_fanout(FanoutSpec::Broadcast),
+        )
+        .with_load(LoadSpec::FractionOfCapacity(0.7))
+        .with_fault(FaultSpec {
+            target: FaultTargetSpec::Instance(1),
+            start_frac: 1.0 / 3.0,
+            end_frac: 2.0 / 3.0,
+            kind: FaultKindSpec::SlowDown { factor: 4.0 },
+        })
+        .with_axis(SweepAxis::Hedge(vec![
+            None,
+            Some(HedgeSpec::Percentile(0.5)),
+            Some(HedgeSpec::Percentile(0.9)),
+            Some(HedgeSpec::Percentile(0.95)),
+            Some(HedgeSpec::Percentile(0.99)),
+        ]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::ExperimentSpec;
+
+    #[test]
+    fn every_preset_resolves_validates_and_round_trips() {
+        for name in PRESET_NAMES {
+            let spec = preset(name, Scale::Smoke).expect(name);
+            spec.validate().unwrap_or_else(|e| panic!("{name}: {e}"));
+            let back = ExperimentSpec::from_json_str(&spec.to_json_string()).unwrap();
+            assert_eq!(back, spec, "{name} must round-trip through JSON");
+        }
+        assert!(preset("fig99", Scale::Smoke).is_none());
+    }
+
+    #[test]
+    fn preset_grids_match_the_original_binaries() {
+        assert_eq!(preset("fig3", Scale::Quick).unwrap().grid_size(), 8 * 7);
+        assert_eq!(preset("fig6", Scale::Quick).unwrap().grid_size(), 2 * 2 * 4);
+        assert_eq!(preset("fig9", Scale::Quick).unwrap().grid_size(), 2 * 5);
+        assert_eq!(preset("fig11", Scale::Quick).unwrap().grid_size(), 5);
+    }
+}

@@ -1,0 +1,1830 @@
+//! The declarative experiment specification.
+//!
+//! An [`ExperimentSpec`] is the single configuration object of the suite: it selects a
+//! workload from the registry, a harness mode, an optional cluster topology, a load
+//! model (absolute QPS, fraction of measured capacity, closed-loop, or a full phased
+//! scenario), sweep axes, and the repeat/seed policy.  `Experiment::run()` turns one
+//! spec into one structured output — the "one configuration, many measured variants"
+//! methodology of the paper, with TailBench++-style multi-server flexibility.
+//!
+//! Specs are plain data: every type here derives the (shim) serde markers and
+//! round-trips **exactly** through the JSON codec in [`crate::json`] — integers and
+//! floats are bit-preserving, and optional fields are omitted when they hold their
+//! defaults, so `from_json(to_json(spec)) == spec` structurally.
+
+use crate::json::Json;
+use serde::{Deserialize, Serialize};
+use tailbench_core::config::{FanoutPolicy, HarnessMode};
+use tailbench_core::error::HarnessError;
+
+/// Workload scale used by experiments and the figure binaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Scale {
+    /// Tiny request budgets for CI smoke runs: just enough to prove a reproduction
+    /// still executes end to end.
+    Smoke,
+    /// Small inputs so that the full experiment set completes in minutes.
+    Quick,
+    /// Larger inputs closer to the paper's configurations.
+    Full,
+}
+
+impl Scale {
+    /// Reads the scale from the `TAILBENCH_SCALE` environment variable (`quick` is the
+    /// default, `full` selects the larger inputs, `smoke` the CI smoke budget).
+    #[must_use]
+    pub fn from_env() -> Scale {
+        match std::env::var("TAILBENCH_SCALE").as_deref() {
+            Ok("full") => Scale::Full,
+            Ok("smoke") => Scale::Smoke,
+            _ => Scale::Quick,
+        }
+    }
+
+    /// Number of measured requests per run appropriate for this scale, given a per-app
+    /// budget multiplier.
+    #[must_use]
+    pub fn requests(self, quick: usize, full: usize) -> usize {
+        match self {
+            Scale::Smoke => (quick / 10).clamp(20, 100),
+            Scale::Quick => quick,
+            Scale::Full => full,
+        }
+    }
+
+    /// The scale's name (`smoke` / `quick` / `full`).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Scale::Smoke => "smoke",
+            Scale::Quick => "quick",
+            Scale::Full => "full",
+        }
+    }
+
+    /// Parses a name as printed by [`Scale::name`].
+    #[must_use]
+    pub fn parse(name: &str) -> Option<Scale> {
+        match name {
+            "smoke" => Some(Scale::Smoke),
+            "quick" => Some(Scale::Quick),
+            "full" => Some(Scale::Full),
+            _ => None,
+        }
+    }
+}
+
+/// The serializable mirror of [`HarnessMode`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ModeSpec {
+    /// Client, harness and application in one process (shared memory).
+    Integrated,
+    /// TCP over the loopback interface.
+    Loopback {
+        /// Number of client connections (single-server runs only; cluster runs open
+        /// one connection per instance).
+        connections: usize,
+    },
+    /// Loopback transport plus an analytic constant propagation delay per direction.
+    Networked {
+        /// Number of client connections (single-server runs only).
+        connections: usize,
+        /// One-way propagation delay added per direction, ns.
+        one_way_delay_ns: u64,
+    },
+    /// Discrete-event simulation driven by the registry's cost model.
+    Simulated,
+}
+
+impl ModeSpec {
+    /// Converts to the harness-level mode.
+    #[must_use]
+    pub fn to_harness(self) -> HarnessMode {
+        match self {
+            ModeSpec::Integrated => HarnessMode::Integrated,
+            ModeSpec::Loopback { connections } => HarnessMode::Loopback { connections },
+            ModeSpec::Networked {
+                connections,
+                one_way_delay_ns,
+            } => HarnessMode::Networked {
+                connections,
+                one_way_delay_ns,
+            },
+            ModeSpec::Simulated => HarnessMode::Simulated,
+        }
+    }
+
+    /// Default loopback configuration (8 connections, as [`HarnessMode::loopback`]).
+    #[must_use]
+    pub fn loopback() -> ModeSpec {
+        ModeSpec::Loopback { connections: 8 }
+    }
+
+    /// Default networked configuration (as [`HarnessMode::networked`]).
+    #[must_use]
+    pub fn networked() -> ModeSpec {
+        ModeSpec::Networked {
+            connections: 16,
+            one_way_delay_ns: 25_000,
+        }
+    }
+
+    /// A short name used in reports.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            ModeSpec::Integrated => "integrated",
+            ModeSpec::Loopback { .. } => "loopback",
+            ModeSpec::Networked { .. } => "networked",
+            ModeSpec::Simulated => "simulated",
+        }
+    }
+}
+
+/// The serializable mirror of [`FanoutPolicy`], plus `Auto` (ask the registry for the
+/// workload's natural policy).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FanoutSpec {
+    /// Use the workload's registry default (hash for YCSB, partition for TPC-C,
+    /// broadcast for search).
+    Auto,
+    /// FNV-hash `len` payload bytes at `offset`, route to `hash % shards`.
+    HashKey {
+        /// Byte offset of the key within the payload.
+        offset: usize,
+        /// Key length in bytes.
+        len: usize,
+    },
+    /// Little-endian partition id at `offset`, route to `id % shards`.
+    Partition {
+        /// Byte offset of the partition id within the payload.
+        offset: usize,
+        /// Partition-id length in bytes (at most 8).
+        len: usize,
+    },
+    /// Fan every request out to all shards (partition-aggregate).
+    Broadcast,
+}
+
+impl FanoutSpec {
+    /// Resolves to a concrete policy, with `default` standing in for `Auto`.
+    #[must_use]
+    pub fn resolve(self, default: FanoutPolicy) -> FanoutPolicy {
+        match self {
+            FanoutSpec::Auto => default,
+            FanoutSpec::HashKey { offset, len } => FanoutPolicy::HashKey { offset, len },
+            FanoutSpec::Partition { offset, len } => FanoutPolicy::Partition { offset, len },
+            FanoutSpec::Broadcast => FanoutPolicy::Broadcast,
+        }
+    }
+}
+
+/// How the hedged-request trigger delay is chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum HedgeSpec {
+    /// Hedge after an absolute delay in nanoseconds.
+    DelayNs(u64),
+    /// Hedge at the given percentile of the *unhedged* leg-latency distribution: the
+    /// runner measures (and caches) an unhedged baseline at the same sweep point and
+    /// reads the trigger off its shard-union sojourn distribution.  Supported
+    /// percentiles: 0.5, 0.9, 0.95, 0.99, 0.999.
+    Percentile(f64),
+}
+
+/// The percentiles [`HedgeSpec::Percentile`] accepts (the ones a
+/// [`LatencyStats`](tailbench_core::report::LatencyStats) carries).
+pub const SUPPORTED_HEDGE_PERCENTILES: [f64; 5] = [0.5, 0.9, 0.95, 0.99, 0.999];
+
+/// Cluster topology of an experiment: `shards * replication` server instances behind a
+/// client-side router.
+///
+/// A spec **with** a topology always runs through the cluster harness (even for one
+/// shard, so fan-out sweeps include the `shards = 1` baseline on the same code path);
+/// a spec without one runs the plain single-server harness.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TopologySpec {
+    /// Number of data shards.
+    pub shards: usize,
+    /// Replicas per shard (1 = no replication).
+    pub replication: usize,
+    /// Fan-out policy (`Auto` = registry default for the workload).
+    pub fanout: FanoutSpec,
+    /// Hedged-request policy (`None` = no hedging; requires `replication >= 2`).
+    pub hedge: Option<HedgeSpec>,
+}
+
+impl TopologySpec {
+    /// A topology with the given shard count, no replication, `Auto` fan-out.
+    #[must_use]
+    pub fn sharded(shards: usize) -> TopologySpec {
+        TopologySpec {
+            shards: shards.max(1),
+            replication: 1,
+            fanout: FanoutSpec::Auto,
+            hedge: None,
+        }
+    }
+
+    /// Sets the replication factor.
+    #[must_use]
+    pub fn with_replication(mut self, replication: usize) -> TopologySpec {
+        self.replication = replication.max(1);
+        self
+    }
+
+    /// Sets the fan-out policy.
+    #[must_use]
+    pub fn with_fanout(mut self, fanout: FanoutSpec) -> TopologySpec {
+        self.fanout = fanout;
+        self
+    }
+
+    /// Sets the hedged-request policy.
+    #[must_use]
+    pub fn with_hedge(mut self, hedge: HedgeSpec) -> TopologySpec {
+        self.hedge = Some(hedge);
+        self
+    }
+}
+
+/// The offered-load model of an experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum LoadSpec {
+    /// Open-loop Poisson arrivals at an absolute rate.
+    Qps(f64),
+    /// Open-loop Poisson arrivals at a fraction of the measured capacity (the runner
+    /// probes capacity per app/threads/topology/mode combination and caches it).
+    FractionOfCapacity(f64),
+    /// Closed-loop arrivals (coordinated-omission reproduction only).
+    Closed {
+        /// Think time between response and next request, ns.
+        think_ns: u64,
+    },
+    /// A full phased scenario (bursts, ramps, diurnal waves, client classes).  The
+    /// scenario's compiled trace determines the request count; the spec's `requests`
+    /// and `warmup` fields are ignored.
+    Scenario(ScenarioSpec),
+}
+
+/// Serializable mirror of a `tailbench_scenario::Scenario`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioSpec {
+    /// The load phases, played back to back.
+    pub phases: Vec<PhaseSpec>,
+    /// Client classes (empty = one implicit class); each class draws payloads from the
+    /// registry factory seeded with a per-class stream.
+    pub classes: Vec<ClassSpec>,
+    /// Fraction of the trace treated as warmup, in `[0, 0.9]`.
+    pub warmup_fraction: f64,
+}
+
+/// One load phase: a rate shape held for a duration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PhaseSpec {
+    /// Phase length in nanoseconds.
+    pub duration_ns: u64,
+    /// Rate profile over the phase.
+    pub shape: ShapeSpec,
+}
+
+/// Serializable mirror of `tailbench_scenario::PhaseShape`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ShapeSpec {
+    /// Stationary Poisson arrivals.
+    Constant {
+        /// Offered rate, QPS.
+        qps: f64,
+    },
+    /// Linear ramp between two rates.
+    Ramp {
+        /// Rate at the phase start, QPS.
+        from_qps: f64,
+        /// Rate at the phase end, QPS.
+        to_qps: f64,
+    },
+    /// Square-wave bursting.
+    Burst {
+        /// Rate outside bursts, QPS.
+        base_qps: f64,
+        /// Rate inside bursts, QPS.
+        burst_qps: f64,
+        /// Burst period, ns.
+        period_ns: u64,
+        /// Fraction of each period spent bursting, in `[0, 1]`.
+        duty: f64,
+    },
+    /// Diurnal sinusoid.
+    Diurnal {
+        /// Mean rate, QPS.
+        base_qps: f64,
+        /// Relative swing, in `[0, 1)`.
+        amplitude: f64,
+        /// Wave period, ns.
+        period_ns: u64,
+    },
+}
+
+/// One client class of a scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClassSpec {
+    /// Class name, used in per-class report rows.
+    pub name: String,
+    /// Relative share of the offered rate.
+    pub weight: f64,
+}
+
+/// Which instance(s) a fault applies to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultTargetSpec {
+    /// Every instance.
+    All,
+    /// One instance (shard-major order; the single server is instance 0).
+    Instance(usize),
+}
+
+/// What a fault does (mirror of `tailbench_core::interference::FaultKind`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FaultKindSpec {
+    /// Multiply service times by `factor`.
+    SlowDown {
+        /// Multiplicative service-time factor.
+        factor: f64,
+    },
+    /// Stall requests until the window ends.
+    Pause,
+    /// Add per-request pseudo-random extra service time.
+    Jitter {
+        /// Maximum added service time, ns.
+        amplitude_ns: u64,
+    },
+}
+
+/// One deterministic fault window, positioned as fractions of the run's nominal span
+/// (total requests ÷ offered rate for Poisson loads, the trace span for scenarios), so
+/// the same spec scales with the request budget.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultSpec {
+    /// Which instance(s) the fault hits.
+    pub target: FaultTargetSpec,
+    /// Window start as a fraction of the nominal span, in `[0, 1)`.
+    pub start_frac: f64,
+    /// Window end as a fraction of the nominal span, in `(start_frac, 1]`.
+    pub end_frac: f64,
+    /// What the fault does.
+    pub kind: FaultKindSpec,
+}
+
+/// One sweep axis.  The grid of measured points is the Cartesian product of all axes,
+/// in spec order; each axis overrides the corresponding base field of the spec.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SweepAxis {
+    /// Sweep the workload (registry names).
+    App(Vec<String>),
+    /// Sweep the harness mode.
+    Mode(Vec<ModeSpec>),
+    /// Sweep the load as fractions of measured capacity.
+    LoadFraction(Vec<f64>),
+    /// Sweep absolute offered rates.
+    Qps(Vec<f64>),
+    /// Sweep the worker-thread count.
+    Threads(Vec<usize>),
+    /// Sweep the shard count (requires a topology).
+    Shards(Vec<usize>),
+    /// Sweep the hedged-request trigger (`None` = unhedged; requires a topology with
+    /// `replication >= 2`).
+    Hedge(Vec<Option<HedgeSpec>>),
+}
+
+impl SweepAxis {
+    /// The axis' column name in reports.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            SweepAxis::App(_) => "app",
+            SweepAxis::Mode(_) => "mode",
+            SweepAxis::LoadFraction(_) => "load",
+            SweepAxis::Qps(_) => "qps",
+            SweepAxis::Threads(_) => "threads",
+            SweepAxis::Shards(_) => "shards",
+            SweepAxis::Hedge(_) => "hedge",
+        }
+    }
+
+    /// Number of values on the axis.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        match self {
+            SweepAxis::App(v) => v.len(),
+            SweepAxis::Mode(v) => v.len(),
+            SweepAxis::LoadFraction(v) => v.len(),
+            SweepAxis::Qps(v) => v.len(),
+            SweepAxis::Threads(v) => v.len(),
+            SweepAxis::Shards(v) => v.len(),
+            SweepAxis::Hedge(v) => v.len(),
+        }
+    }
+
+    /// Returns `true` if the axis holds no values.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// How per-repeat seeds are chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SeedPolicy {
+    /// Derive a fresh seed per repeat (`derive_seed(point_seed, k)`), re-randomizing
+    /// payloads and interarrivals as the paper's methodology requires.
+    Derive,
+    /// Reuse the point seed for every repeat (identical runs; for harness debugging).
+    Fixed,
+}
+
+/// The complete declarative description of one experiment.
+///
+/// Build one with the fluent methods, serialize with [`ExperimentSpec::to_json_string`]
+/// or load from disk with [`ExperimentSpec::from_json_str`], and run it with
+/// `Experiment::run()` — single server or cluster, any harness mode, steady or
+/// scenario load, with sweeps, repeats and capacity probing handled by the runner.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentSpec {
+    /// Experiment name (used in output headers and file names).
+    pub name: String,
+    /// Registry name of the workload (base value; an `App` sweep axis overrides it).
+    pub app: String,
+    /// Workload scale; `None` reads `TAILBENCH_SCALE` at run time.
+    pub scale: Option<Scale>,
+    /// Harness mode (base value; a `Mode` axis overrides it).
+    pub mode: ModeSpec,
+    /// Cluster topology; `None` = plain single-server harness.
+    pub topology: Option<TopologySpec>,
+    /// Offered-load model.
+    pub load: LoadSpec,
+    /// Worker threads per server instance.
+    pub threads: usize,
+    /// Measured requests per point (ignored for scenario loads).
+    pub requests: usize,
+    /// Warmup requests per point; `None` = `max(requests / 10, 5)`.
+    pub warmup: Option<usize>,
+    /// Root seed.  A single-point, single-repeat experiment uses it directly (so a
+    /// spec reproduces a plain `runner::execute` call bit for bit); sweep points and
+    /// repeats derive per-point seeds from it.
+    pub seed: u64,
+    /// Number of repeats per point (aggregated with confidence intervals when > 1).
+    pub repeats: usize,
+    /// How per-repeat seeds are chosen.
+    pub seed_policy: SeedPolicy,
+    /// Deterministic fault windows applied to every point.
+    pub interference: Vec<FaultSpec>,
+    /// Sweep axes (Cartesian product, spec order).
+    pub sweep: Vec<SweepAxis>,
+}
+
+/// The default root seed (the same one `BenchmarkConfig::new` uses).
+pub const DEFAULT_SEED: u64 = 0x7A11_BE4C;
+
+impl ExperimentSpec {
+    /// Creates a spec with sensible defaults: integrated mode, single server, 1
+    /// thread, 1000 measured requests at 1000 QPS, one repeat.
+    #[must_use]
+    pub fn new(name: impl Into<String>, app: impl Into<String>) -> ExperimentSpec {
+        ExperimentSpec {
+            name: name.into(),
+            app: app.into(),
+            scale: None,
+            mode: ModeSpec::Integrated,
+            topology: None,
+            load: LoadSpec::Qps(1_000.0),
+            threads: 1,
+            requests: 1_000,
+            warmup: None,
+            seed: DEFAULT_SEED,
+            repeats: 1,
+            seed_policy: SeedPolicy::Derive,
+            interference: Vec::new(),
+            sweep: Vec::new(),
+        }
+    }
+
+    /// Sets the workload scale explicitly (otherwise `TAILBENCH_SCALE` decides).
+    #[must_use]
+    pub fn with_scale(mut self, scale: Scale) -> Self {
+        self.scale = Some(scale);
+        self
+    }
+
+    /// Sets the harness mode.
+    #[must_use]
+    pub fn with_mode(mut self, mode: ModeSpec) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Sets the cluster topology.
+    #[must_use]
+    pub fn with_topology(mut self, topology: TopologySpec) -> Self {
+        self.topology = Some(topology);
+        self
+    }
+
+    /// Sets the load model.
+    #[must_use]
+    pub fn with_load(mut self, load: LoadSpec) -> Self {
+        self.load = load;
+        self
+    }
+
+    /// Sets the worker-thread count.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Sets the measured request count per point.
+    #[must_use]
+    pub fn with_requests(mut self, requests: usize) -> Self {
+        self.requests = requests;
+        self
+    }
+
+    /// Sets the warmup request count per point.
+    #[must_use]
+    pub fn with_warmup(mut self, warmup: usize) -> Self {
+        self.warmup = Some(warmup);
+        self
+    }
+
+    /// Sets the root seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the repeat count and seed policy.
+    #[must_use]
+    pub fn with_repeats(mut self, repeats: usize, seed_policy: SeedPolicy) -> Self {
+        self.repeats = repeats.max(1);
+        self.seed_policy = seed_policy;
+        self
+    }
+
+    /// Adds a deterministic fault window.
+    #[must_use]
+    pub fn with_fault(mut self, fault: FaultSpec) -> Self {
+        self.interference.push(fault);
+        self
+    }
+
+    /// Adds a sweep axis (axes multiply in the order added).
+    #[must_use]
+    pub fn with_axis(mut self, axis: SweepAxis) -> Self {
+        self.sweep.push(axis);
+        self
+    }
+
+    /// The warmup request count per point (explicit or derived).
+    #[must_use]
+    pub fn warmup_requests(&self) -> usize {
+        self.warmup.unwrap_or((self.requests / 10).max(5))
+    }
+
+    /// Number of grid points the sweep axes produce.
+    #[must_use]
+    pub fn grid_size(&self) -> usize {
+        self.sweep.iter().map(SweepAxis::len).product::<usize>()
+    }
+
+    /// Checks the spec for inconsistencies before anything is built or run.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HarnessError::Config`] with an actionable message for each rejected
+    /// footgun (empty axes, closed-loop clusters, hedging without replication,
+    /// unsupported hedge percentiles, malformed fault windows, …).
+    pub fn validate(&self) -> Result<(), HarnessError> {
+        let fail = |msg: String| Err(HarnessError::Config(format!("spec '{}': {msg}", self.name)));
+        if self.app.is_empty() && !self.sweep.iter().any(|a| matches!(a, SweepAxis::App(_))) {
+            return fail("no app selected: set `app` or add an `App` sweep axis".into());
+        }
+        if self.threads == 0 {
+            return fail("threads is 0; use with_threads(n) with n >= 1".into());
+        }
+        if self.repeats == 0 {
+            return fail("repeats is 0; a point needs at least one run".into());
+        }
+        match &self.load {
+            LoadSpec::Qps(qps) => {
+                if !qps.is_finite() || *qps <= 0.0 {
+                    return fail(format!("load qps must be finite and positive, got {qps}"));
+                }
+            }
+            LoadSpec::FractionOfCapacity(fraction) => {
+                if !fraction.is_finite() || *fraction <= 0.0 {
+                    return fail(format!(
+                        "load fraction must be finite and positive, got {fraction}"
+                    ));
+                }
+            }
+            LoadSpec::Closed { .. } => {
+                if self.topology.is_some() {
+                    return fail(
+                        "closed-loop load cannot drive a cluster (open-loop only); \
+                         remove the topology or use an open load model"
+                            .into(),
+                    );
+                }
+                if self.mode == ModeSpec::Simulated
+                    || self
+                        .sweep
+                        .iter()
+                        .any(|a| matches!(a, SweepAxis::Mode(modes) if modes.contains(&ModeSpec::Simulated)))
+                {
+                    return fail(
+                        "closed-loop load cannot run under the discrete-event simulator"
+                            .into(),
+                    );
+                }
+                if !self.interference.is_empty() {
+                    return fail(
+                        "interference windows are fractions of the nominal span, which \
+                         closed-loop load does not define; use an open load model"
+                            .into(),
+                    );
+                }
+            }
+            LoadSpec::Scenario(scenario) => {
+                if scenario.phases.is_empty() {
+                    return fail("scenario has no phases".into());
+                }
+                if scenario.phases.iter().any(|p| p.duration_ns == 0) {
+                    return fail("scenario phases must have non-zero durations".into());
+                }
+                for (i, phase) in scenario.phases.iter().enumerate() {
+                    let rates: &[f64] = match phase.shape {
+                        ShapeSpec::Constant { qps } => &[qps],
+                        ShapeSpec::Ramp { from_qps, to_qps } => &[from_qps, to_qps],
+                        ShapeSpec::Burst {
+                            base_qps,
+                            burst_qps,
+                            ..
+                        } => &[base_qps, burst_qps],
+                        ShapeSpec::Diurnal { base_qps, .. } => &[base_qps],
+                    };
+                    if rates.iter().any(|r| !r.is_finite() || *r <= 0.0) {
+                        return fail(format!(
+                            "scenario phase {i} has a non-positive or non-finite rate; \
+                             a zero-rate phase would silently emit no arrivals"
+                        ));
+                    }
+                }
+                if !(0.0..=0.9).contains(&scenario.warmup_fraction) {
+                    return fail(format!(
+                        "scenario warmup_fraction must be in [0, 0.9], got {}",
+                        scenario.warmup_fraction
+                    ));
+                }
+                if scenario
+                    .classes
+                    .iter()
+                    .any(|c| !c.weight.is_finite() || c.weight < 0.0)
+                    || (!scenario.classes.is_empty()
+                        && scenario.classes.iter().map(|c| c.weight).sum::<f64>() <= 0.0)
+                {
+                    return fail(
+                        "scenario class weights must be non-negative with a positive sum".into(),
+                    );
+                }
+            }
+        }
+        if matches!(
+            self.load,
+            LoadSpec::Qps(_) | LoadSpec::FractionOfCapacity(_)
+        ) && self.requests == 0
+        {
+            return fail("requests is 0; configure at least one measured request".into());
+        }
+        // The largest instance count any grid point can reach, for fault-target bounds.
+        let max_instances = match self.topology {
+            None => 1,
+            Some(topology) => {
+                let max_shards = self
+                    .sweep
+                    .iter()
+                    .filter_map(|a| match a {
+                        SweepAxis::Shards(values) => values.iter().max().copied(),
+                        _ => None,
+                    })
+                    .max()
+                    .unwrap_or(topology.shards)
+                    .max(topology.shards);
+                max_shards.max(1) * topology.replication.max(1)
+            }
+        };
+        for fault in &self.interference {
+            if !fault.start_frac.is_finite()
+                || !fault.end_frac.is_finite()
+                || fault.start_frac < 0.0
+                || fault.end_frac <= fault.start_frac
+                || fault.end_frac > 1.0
+            {
+                return fail(format!(
+                    "fault window [{}, {}) must satisfy 0 <= start < end <= 1 \
+                     (fractions of the nominal span)",
+                    fault.start_frac, fault.end_frac
+                ));
+            }
+            if let FaultTargetSpec::Instance(i) = fault.target {
+                if i >= max_instances {
+                    return fail(format!(
+                        "fault targets instance {i} but at most {max_instances} \
+                         instance(s) exist; the fault would silently never fire"
+                    ));
+                }
+            }
+        }
+        let hedges_in_axes: Vec<&HedgeSpec> = self
+            .sweep
+            .iter()
+            .filter_map(|a| match a {
+                SweepAxis::Hedge(values) => Some(values.iter().flatten()),
+                _ => None,
+            })
+            .flatten()
+            .collect();
+        let any_hedge = self.topology.and_then(|t| t.hedge).is_some() || !hedges_in_axes.is_empty();
+        if any_hedge {
+            let Some(topology) = self.topology else {
+                return fail(
+                    "hedging requires a topology (hedges are a cluster-router policy)".into(),
+                );
+            };
+            if topology.replication < 2 {
+                return fail(format!(
+                    "hedging requires replication >= 2 (got {}): the copy needs a \
+                     replica to go to",
+                    topology.replication
+                ));
+            }
+        }
+        for hedge in self
+            .topology
+            .and_then(|t| t.hedge)
+            .iter()
+            .chain(hedges_in_axes)
+        {
+            match hedge {
+                HedgeSpec::DelayNs(0) => {
+                    return fail("hedge delay_ns must be non-zero".into());
+                }
+                HedgeSpec::Percentile(p) => {
+                    if !SUPPORTED_HEDGE_PERCENTILES.iter().any(|s| s == p) {
+                        return fail(format!(
+                            "hedge percentile {p} unsupported; use one of {SUPPORTED_HEDGE_PERCENTILES:?}"
+                        ));
+                    }
+                }
+                HedgeSpec::DelayNs(_) => {}
+            }
+        }
+        for axis in &self.sweep {
+            if axis.is_empty() {
+                return fail(format!("sweep axis '{}' has no values", axis.label()));
+            }
+            match axis {
+                SweepAxis::Shards(_) if self.topology.is_none() => {
+                    return fail(
+                        "a Shards axis requires a topology (add TopologySpec::sharded)".into(),
+                    );
+                }
+                SweepAxis::App(apps) if apps.iter().any(String::is_empty) => {
+                    return fail("App axis contains an empty name".into());
+                }
+                SweepAxis::LoadFraction(v) if v.iter().any(|f| !f.is_finite() || *f <= 0.0) => {
+                    return fail("LoadFraction axis values must be finite and positive".into());
+                }
+                SweepAxis::Qps(v) if v.iter().any(|q| !q.is_finite() || *q <= 0.0) => {
+                    return fail("Qps axis values must be finite and positive".into());
+                }
+                SweepAxis::Threads(v) if v.contains(&0) => {
+                    return fail("Threads axis values must be >= 1".into());
+                }
+                SweepAxis::Shards(v) if v.contains(&0) => {
+                    return fail("Shards axis values must be >= 1".into());
+                }
+                SweepAxis::LoadFraction(_) | SweepAxis::Qps(_)
+                    if matches!(self.load, LoadSpec::Closed { .. } | LoadSpec::Scenario(_)) =>
+                {
+                    return fail(
+                        "load axes require an open steady load model (Qps or \
+                         FractionOfCapacity) as the base"
+                            .into(),
+                    );
+                }
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// JSON (de)serialization.
+//
+// The in-tree serde shim derives markers only, so the concrete codec is written
+// against `crate::json`.  Canonical form: optional fields are omitted when they
+// hold their defaults, so `from_json(to_json(spec)) == spec` structurally and
+// `to_json` is deterministic (object key order is fixed).
+// ---------------------------------------------------------------------------
+
+fn decode_err(context: &str, msg: &str) -> HarnessError {
+    HarnessError::Config(format!("experiment spec: {context}: {msg}"))
+}
+
+/// Rejects unknown keys in an object, so a misspelled optional field ("sweeps",
+/// "repeat") fails loudly instead of silently dropping the feature it was meant to
+/// configure.
+fn expect_keys(value: &Json, allowed: &[&str], context: &str) -> Result<(), HarnessError> {
+    if let Json::Obj(pairs) = value {
+        for (key, _) in pairs {
+            if !allowed.contains(&key.as_str()) {
+                return Err(decode_err(
+                    context,
+                    &format!(
+                        "unknown field '{key}' (expected one of: {})",
+                        allowed.join(", ")
+                    ),
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn field<'a>(value: &'a Json, key: &str, context: &str) -> Result<&'a Json, HarnessError> {
+    value
+        .get(key)
+        .ok_or_else(|| decode_err(context, &format!("missing field '{key}'")))
+}
+
+fn f64_field(value: &Json, key: &str, context: &str) -> Result<f64, HarnessError> {
+    field(value, key, context)?
+        .as_f64()
+        .ok_or_else(|| decode_err(context, &format!("field '{key}' must be a number")))
+}
+
+fn u64_field(value: &Json, key: &str, context: &str) -> Result<u64, HarnessError> {
+    field(value, key, context)?.as_u64().ok_or_else(|| {
+        decode_err(
+            context,
+            &format!("field '{key}' must be a non-negative integer"),
+        )
+    })
+}
+
+fn usize_field(value: &Json, key: &str, context: &str) -> Result<usize, HarnessError> {
+    field(value, key, context)?.as_usize().ok_or_else(|| {
+        decode_err(
+            context,
+            &format!("field '{key}' must be a non-negative integer"),
+        )
+    })
+}
+
+fn str_field<'a>(value: &'a Json, key: &str, context: &str) -> Result<&'a str, HarnessError> {
+    field(value, key, context)?
+        .as_str()
+        .ok_or_else(|| decode_err(context, &format!("field '{key}' must be a string")))
+}
+
+/// A one-key object `{"tag": payload}` or a bare string `"tag"` — the encoding used
+/// for all sum types in the spec format.
+fn variant<'a>(
+    value: &'a Json,
+    context: &str,
+) -> Result<(&'a str, Option<&'a Json>), HarnessError> {
+    match value {
+        Json::Str(s) => Ok((s.as_str(), None)),
+        Json::Obj(pairs) if pairs.len() == 1 => Ok((pairs[0].0.as_str(), Some(&pairs[0].1))),
+        _ => Err(decode_err(
+            context,
+            "expected a string tag or a single-key object",
+        )),
+    }
+}
+
+impl ModeSpec {
+    /// Encodes to JSON.
+    #[must_use]
+    pub fn to_json(self) -> Json {
+        match self {
+            ModeSpec::Integrated => Json::str("integrated"),
+            ModeSpec::Simulated => Json::str("simulated"),
+            ModeSpec::Loopback { connections } => Json::obj(vec![(
+                "loopback",
+                Json::obj(vec![("connections", Json::U64(connections as u64))]),
+            )]),
+            ModeSpec::Networked {
+                connections,
+                one_way_delay_ns,
+            } => Json::obj(vec![(
+                "networked",
+                Json::obj(vec![
+                    ("connections", Json::U64(connections as u64)),
+                    ("one_way_delay_ns", Json::U64(one_way_delay_ns)),
+                ]),
+            )]),
+        }
+    }
+
+    /// Decodes from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HarnessError::Config`] for unknown or malformed mode values.
+    pub fn from_json(value: &Json) -> Result<ModeSpec, HarnessError> {
+        let context = "mode";
+        match variant(value, context)? {
+            ("integrated", None) => Ok(ModeSpec::Integrated),
+            ("simulated", None) => Ok(ModeSpec::Simulated),
+            ("loopback", Some(body)) => {
+                expect_keys(body, &["connections"], context)?;
+                Ok(ModeSpec::Loopback {
+                    connections: usize_field(body, "connections", context)?,
+                })
+            }
+            ("networked", Some(body)) => {
+                expect_keys(body, &["connections", "one_way_delay_ns"], context)?;
+                Ok(ModeSpec::Networked {
+                    connections: usize_field(body, "connections", context)?,
+                    one_way_delay_ns: u64_field(body, "one_way_delay_ns", context)?,
+                })
+            }
+            (tag, _) => Err(decode_err(
+                context,
+                &format!("unknown mode '{tag}' (integrated, loopback, networked, simulated)"),
+            )),
+        }
+    }
+}
+
+impl FanoutSpec {
+    fn to_json(self) -> Json {
+        match self {
+            FanoutSpec::Auto => Json::str("auto"),
+            FanoutSpec::Broadcast => Json::str("broadcast"),
+            FanoutSpec::HashKey { offset, len } => Json::obj(vec![(
+                "hash_key",
+                Json::obj(vec![
+                    ("offset", Json::U64(offset as u64)),
+                    ("len", Json::U64(len as u64)),
+                ]),
+            )]),
+            FanoutSpec::Partition { offset, len } => Json::obj(vec![(
+                "partition",
+                Json::obj(vec![
+                    ("offset", Json::U64(offset as u64)),
+                    ("len", Json::U64(len as u64)),
+                ]),
+            )]),
+        }
+    }
+
+    fn from_json(value: &Json) -> Result<FanoutSpec, HarnessError> {
+        let context = "topology.fanout";
+        match variant(value, context)? {
+            ("auto", None) => Ok(FanoutSpec::Auto),
+            ("broadcast", None) => Ok(FanoutSpec::Broadcast),
+            ("hash_key", Some(body)) => {
+                expect_keys(body, &["offset", "len"], context)?;
+                Ok(FanoutSpec::HashKey {
+                    offset: usize_field(body, "offset", context)?,
+                    len: usize_field(body, "len", context)?,
+                })
+            }
+            ("partition", Some(body)) => {
+                expect_keys(body, &["offset", "len"], context)?;
+                Ok(FanoutSpec::Partition {
+                    offset: usize_field(body, "offset", context)?,
+                    len: usize_field(body, "len", context)?,
+                })
+            }
+            (tag, _) => Err(decode_err(
+                context,
+                &format!("unknown fanout '{tag}' (auto, broadcast, hash_key, partition)"),
+            )),
+        }
+    }
+}
+
+impl HedgeSpec {
+    fn to_json(self) -> Json {
+        match self {
+            HedgeSpec::DelayNs(delay_ns) => Json::obj(vec![("delay_ns", Json::U64(delay_ns))]),
+            HedgeSpec::Percentile(p) => Json::obj(vec![("percentile", Json::F64(p))]),
+        }
+    }
+
+    fn from_json(value: &Json) -> Result<HedgeSpec, HarnessError> {
+        let context = "hedge";
+        match variant(value, context)? {
+            ("delay_ns", Some(body)) => body
+                .as_u64()
+                .map(HedgeSpec::DelayNs)
+                .ok_or_else(|| decode_err(context, "delay_ns must be a non-negative integer")),
+            ("percentile", Some(body)) => body
+                .as_f64()
+                .map(HedgeSpec::Percentile)
+                .ok_or_else(|| decode_err(context, "percentile must be a number")),
+            (tag, _) => Err(decode_err(
+                context,
+                &format!("unknown hedge '{tag}' (delay_ns, percentile)"),
+            )),
+        }
+    }
+}
+
+impl TopologySpec {
+    fn to_json(self) -> Json {
+        let mut pairs = vec![
+            ("shards", Json::U64(self.shards as u64)),
+            ("replication", Json::U64(self.replication as u64)),
+            ("fanout", self.fanout.to_json()),
+        ];
+        if let Some(hedge) = self.hedge {
+            pairs.push(("hedge", hedge.to_json()));
+        }
+        Json::obj(pairs)
+    }
+
+    fn from_json(value: &Json) -> Result<TopologySpec, HarnessError> {
+        let context = "topology";
+        expect_keys(
+            value,
+            &["shards", "replication", "fanout", "hedge"],
+            context,
+        )?;
+        Ok(TopologySpec {
+            shards: usize_field(value, "shards", context)?,
+            replication: usize_field(value, "replication", context)?,
+            fanout: FanoutSpec::from_json(field(value, "fanout", context)?)?,
+            hedge: value.get("hedge").map(HedgeSpec::from_json).transpose()?,
+        })
+    }
+}
+
+impl ShapeSpec {
+    fn to_json(self) -> Json {
+        match self {
+            ShapeSpec::Constant { qps } => {
+                Json::obj(vec![("constant", Json::obj(vec![("qps", Json::F64(qps))]))])
+            }
+            ShapeSpec::Ramp { from_qps, to_qps } => Json::obj(vec![(
+                "ramp",
+                Json::obj(vec![
+                    ("from_qps", Json::F64(from_qps)),
+                    ("to_qps", Json::F64(to_qps)),
+                ]),
+            )]),
+            ShapeSpec::Burst {
+                base_qps,
+                burst_qps,
+                period_ns,
+                duty,
+            } => Json::obj(vec![(
+                "burst",
+                Json::obj(vec![
+                    ("base_qps", Json::F64(base_qps)),
+                    ("burst_qps", Json::F64(burst_qps)),
+                    ("period_ns", Json::U64(period_ns)),
+                    ("duty", Json::F64(duty)),
+                ]),
+            )]),
+            ShapeSpec::Diurnal {
+                base_qps,
+                amplitude,
+                period_ns,
+            } => Json::obj(vec![(
+                "diurnal",
+                Json::obj(vec![
+                    ("base_qps", Json::F64(base_qps)),
+                    ("amplitude", Json::F64(amplitude)),
+                    ("period_ns", Json::U64(period_ns)),
+                ]),
+            )]),
+        }
+    }
+
+    fn from_json(value: &Json) -> Result<ShapeSpec, HarnessError> {
+        let context = "scenario.phases.shape";
+        match variant(value, context)? {
+            ("constant", Some(body)) => {
+                expect_keys(body, &["qps"], context)?;
+                Ok(ShapeSpec::Constant {
+                    qps: f64_field(body, "qps", context)?,
+                })
+            }
+            ("ramp", Some(body)) => {
+                expect_keys(body, &["from_qps", "to_qps"], context)?;
+                Ok(ShapeSpec::Ramp {
+                    from_qps: f64_field(body, "from_qps", context)?,
+                    to_qps: f64_field(body, "to_qps", context)?,
+                })
+            }
+            ("burst", Some(body)) => {
+                expect_keys(
+                    body,
+                    &["base_qps", "burst_qps", "period_ns", "duty"],
+                    context,
+                )?;
+                Ok(ShapeSpec::Burst {
+                    base_qps: f64_field(body, "base_qps", context)?,
+                    burst_qps: f64_field(body, "burst_qps", context)?,
+                    period_ns: u64_field(body, "period_ns", context)?,
+                    duty: f64_field(body, "duty", context)?,
+                })
+            }
+            ("diurnal", Some(body)) => {
+                expect_keys(body, &["base_qps", "amplitude", "period_ns"], context)?;
+                Ok(ShapeSpec::Diurnal {
+                    base_qps: f64_field(body, "base_qps", context)?,
+                    amplitude: f64_field(body, "amplitude", context)?,
+                    period_ns: u64_field(body, "period_ns", context)?,
+                })
+            }
+            (tag, _) => Err(decode_err(
+                context,
+                &format!("unknown shape '{tag}' (constant, ramp, burst, diurnal)"),
+            )),
+        }
+    }
+}
+
+impl ScenarioSpec {
+    fn to_json(&self) -> Json {
+        let mut pairs = vec![(
+            "phases",
+            Json::Arr(
+                self.phases
+                    .iter()
+                    .map(|p| {
+                        Json::obj(vec![
+                            ("duration_ns", Json::U64(p.duration_ns)),
+                            ("shape", p.shape.to_json()),
+                        ])
+                    })
+                    .collect(),
+            ),
+        )];
+        if !self.classes.is_empty() {
+            pairs.push((
+                "classes",
+                Json::Arr(
+                    self.classes
+                        .iter()
+                        .map(|c| {
+                            Json::obj(vec![
+                                ("name", Json::str(c.name.clone())),
+                                ("weight", Json::F64(c.weight)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ));
+        }
+        pairs.push(("warmup_fraction", Json::F64(self.warmup_fraction)));
+        Json::obj(pairs)
+    }
+
+    fn from_json(value: &Json) -> Result<ScenarioSpec, HarnessError> {
+        let context = "scenario";
+        expect_keys(value, &["phases", "classes", "warmup_fraction"], context)?;
+        let phases = field(value, "phases", context)?
+            .as_array()
+            .ok_or_else(|| decode_err(context, "phases must be an array"))?
+            .iter()
+            .map(|p| {
+                expect_keys(p, &["duration_ns", "shape"], "scenario.phases")?;
+                Ok(PhaseSpec {
+                    duration_ns: u64_field(p, "duration_ns", "scenario.phases")?,
+                    shape: ShapeSpec::from_json(field(p, "shape", "scenario.phases")?)?,
+                })
+            })
+            .collect::<Result<Vec<_>, HarnessError>>()?;
+        let classes = match value.get("classes") {
+            None => Vec::new(),
+            Some(classes) => classes
+                .as_array()
+                .ok_or_else(|| decode_err(context, "classes must be an array"))?
+                .iter()
+                .map(|c| {
+                    expect_keys(c, &["name", "weight"], "scenario.classes")?;
+                    Ok(ClassSpec {
+                        name: str_field(c, "name", "scenario.classes")?.to_string(),
+                        weight: f64_field(c, "weight", "scenario.classes")?,
+                    })
+                })
+                .collect::<Result<Vec<_>, HarnessError>>()?,
+        };
+        Ok(ScenarioSpec {
+            phases,
+            classes,
+            warmup_fraction: f64_field(value, "warmup_fraction", context)?,
+        })
+    }
+}
+
+impl LoadSpec {
+    fn to_json(&self) -> Json {
+        match self {
+            LoadSpec::Qps(qps) => Json::obj(vec![("qps", Json::F64(*qps))]),
+            LoadSpec::FractionOfCapacity(fraction) => {
+                Json::obj(vec![("fraction_of_capacity", Json::F64(*fraction))])
+            }
+            LoadSpec::Closed { think_ns } => Json::obj(vec![(
+                "closed",
+                Json::obj(vec![("think_ns", Json::U64(*think_ns))]),
+            )]),
+            LoadSpec::Scenario(scenario) => Json::obj(vec![("scenario", scenario.to_json())]),
+        }
+    }
+
+    fn from_json(value: &Json) -> Result<LoadSpec, HarnessError> {
+        let context = "load";
+        match variant(value, context)? {
+            ("qps", Some(body)) => body
+                .as_f64()
+                .map(LoadSpec::Qps)
+                .ok_or_else(|| decode_err(context, "qps must be a number")),
+            ("fraction_of_capacity", Some(body)) => body
+                .as_f64()
+                .map(LoadSpec::FractionOfCapacity)
+                .ok_or_else(|| decode_err(context, "fraction_of_capacity must be a number")),
+            ("closed", Some(body)) => {
+                expect_keys(body, &["think_ns"], context)?;
+                Ok(LoadSpec::Closed {
+                    think_ns: u64_field(body, "think_ns", context)?,
+                })
+            }
+            ("scenario", Some(body)) => Ok(LoadSpec::Scenario(ScenarioSpec::from_json(body)?)),
+            (tag, _) => Err(decode_err(
+                context,
+                &format!("unknown load '{tag}' (qps, fraction_of_capacity, closed, scenario)"),
+            )),
+        }
+    }
+}
+
+impl FaultSpec {
+    fn to_json(self) -> Json {
+        let target = match self.target {
+            FaultTargetSpec::All => Json::str("all"),
+            FaultTargetSpec::Instance(i) => Json::obj(vec![("instance", Json::U64(i as u64))]),
+        };
+        let kind = match self.kind {
+            FaultKindSpec::Pause => Json::str("pause"),
+            FaultKindSpec::SlowDown { factor } => Json::obj(vec![(
+                "slow_down",
+                Json::obj(vec![("factor", Json::F64(factor))]),
+            )]),
+            FaultKindSpec::Jitter { amplitude_ns } => Json::obj(vec![(
+                "jitter",
+                Json::obj(vec![("amplitude_ns", Json::U64(amplitude_ns))]),
+            )]),
+        };
+        Json::obj(vec![
+            ("target", target),
+            ("start_frac", Json::F64(self.start_frac)),
+            ("end_frac", Json::F64(self.end_frac)),
+            ("kind", kind),
+        ])
+    }
+
+    fn from_json(value: &Json) -> Result<FaultSpec, HarnessError> {
+        let context = "interference";
+        expect_keys(
+            value,
+            &["target", "start_frac", "end_frac", "kind"],
+            context,
+        )?;
+        let target = match variant(field(value, "target", context)?, context)? {
+            ("all", None) => FaultTargetSpec::All,
+            ("instance", Some(body)) => FaultTargetSpec::Instance(
+                body.as_usize()
+                    .ok_or_else(|| decode_err(context, "instance must be an integer"))?,
+            ),
+            (tag, _) => {
+                return Err(decode_err(
+                    context,
+                    &format!("unknown fault target '{tag}' (all, instance)"),
+                ))
+            }
+        };
+        let kind = match variant(field(value, "kind", context)?, context)? {
+            ("pause", None) => FaultKindSpec::Pause,
+            ("slow_down", Some(body)) => {
+                expect_keys(body, &["factor"], context)?;
+                FaultKindSpec::SlowDown {
+                    factor: f64_field(body, "factor", context)?,
+                }
+            }
+            ("jitter", Some(body)) => {
+                expect_keys(body, &["amplitude_ns"], context)?;
+                FaultKindSpec::Jitter {
+                    amplitude_ns: u64_field(body, "amplitude_ns", context)?,
+                }
+            }
+            (tag, _) => {
+                return Err(decode_err(
+                    context,
+                    &format!("unknown fault kind '{tag}' (slow_down, pause, jitter)"),
+                ))
+            }
+        };
+        Ok(FaultSpec {
+            target,
+            start_frac: f64_field(value, "start_frac", context)?,
+            end_frac: f64_field(value, "end_frac", context)?,
+            kind,
+        })
+    }
+}
+
+impl SweepAxis {
+    fn to_json(&self) -> Json {
+        match self {
+            SweepAxis::App(apps) => Json::obj(vec![(
+                "app",
+                Json::Arr(apps.iter().map(|a| Json::str(a.clone())).collect()),
+            )]),
+            SweepAxis::Mode(modes) => Json::obj(vec![(
+                "mode",
+                Json::Arr(modes.iter().map(|m| m.to_json()).collect()),
+            )]),
+            SweepAxis::LoadFraction(values) => Json::obj(vec![(
+                "load_fraction",
+                Json::Arr(values.iter().map(|f| Json::F64(*f)).collect()),
+            )]),
+            SweepAxis::Qps(values) => Json::obj(vec![(
+                "qps",
+                Json::Arr(values.iter().map(|q| Json::F64(*q)).collect()),
+            )]),
+            SweepAxis::Threads(values) => Json::obj(vec![(
+                "threads",
+                Json::Arr(values.iter().map(|t| Json::U64(*t as u64)).collect()),
+            )]),
+            SweepAxis::Shards(values) => Json::obj(vec![(
+                "shards",
+                Json::Arr(values.iter().map(|s| Json::U64(*s as u64)).collect()),
+            )]),
+            SweepAxis::Hedge(values) => Json::obj(vec![(
+                "hedge",
+                Json::Arr(
+                    values
+                        .iter()
+                        .map(|h| match h {
+                            None => Json::str("none"),
+                            Some(hedge) => hedge.to_json(),
+                        })
+                        .collect(),
+                ),
+            )]),
+        }
+    }
+
+    fn from_json(value: &Json) -> Result<SweepAxis, HarnessError> {
+        let context = "sweep";
+        let (tag, body) = variant(value, context)?;
+        let body = body.ok_or_else(|| decode_err(context, "axis needs a value array"))?;
+        let items = body
+            .as_array()
+            .ok_or_else(|| decode_err(context, "axis values must be an array"))?;
+        match tag {
+            "app" => Ok(SweepAxis::App(
+                items
+                    .iter()
+                    .map(|v| {
+                        v.as_str()
+                            .map(str::to_string)
+                            .ok_or_else(|| decode_err(context, "app values must be strings"))
+                    })
+                    .collect::<Result<_, _>>()?,
+            )),
+            "mode" => Ok(SweepAxis::Mode(
+                items
+                    .iter()
+                    .map(ModeSpec::from_json)
+                    .collect::<Result<_, _>>()?,
+            )),
+            "load_fraction" => Ok(SweepAxis::LoadFraction(
+                items
+                    .iter()
+                    .map(|v| {
+                        v.as_f64().ok_or_else(|| {
+                            decode_err(context, "load_fraction values must be numbers")
+                        })
+                    })
+                    .collect::<Result<_, _>>()?,
+            )),
+            "qps" => Ok(SweepAxis::Qps(
+                items
+                    .iter()
+                    .map(|v| {
+                        v.as_f64()
+                            .ok_or_else(|| decode_err(context, "qps values must be numbers"))
+                    })
+                    .collect::<Result<_, _>>()?,
+            )),
+            "threads" => Ok(SweepAxis::Threads(
+                items
+                    .iter()
+                    .map(|v| {
+                        v.as_usize()
+                            .ok_or_else(|| decode_err(context, "threads values must be integers"))
+                    })
+                    .collect::<Result<_, _>>()?,
+            )),
+            "shards" => Ok(SweepAxis::Shards(
+                items
+                    .iter()
+                    .map(|v| {
+                        v.as_usize()
+                            .ok_or_else(|| decode_err(context, "shards values must be integers"))
+                    })
+                    .collect::<Result<_, _>>()?,
+            )),
+            "hedge" => Ok(SweepAxis::Hedge(
+                items
+                    .iter()
+                    .map(|v| match v.as_str() {
+                        Some("none") => Ok(None),
+                        _ => HedgeSpec::from_json(v).map(Some),
+                    })
+                    .collect::<Result<_, _>>()?,
+            )),
+            tag => Err(decode_err(
+                context,
+                &format!(
+                    "unknown axis '{tag}' (app, mode, load_fraction, qps, threads, shards, hedge)"
+                ),
+            )),
+        }
+    }
+}
+
+impl ExperimentSpec {
+    /// Encodes to the canonical JSON tree.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let mut pairs = vec![
+            ("name", Json::str(self.name.clone())),
+            ("app", Json::str(self.app.clone())),
+        ];
+        if let Some(scale) = self.scale {
+            pairs.push(("scale", Json::str(scale.name())));
+        }
+        pairs.push(("mode", self.mode.to_json()));
+        if let Some(topology) = self.topology {
+            pairs.push(("topology", topology.to_json()));
+        }
+        pairs.push(("load", self.load.to_json()));
+        pairs.push(("threads", Json::U64(self.threads as u64)));
+        pairs.push(("requests", Json::U64(self.requests as u64)));
+        if let Some(warmup) = self.warmup {
+            pairs.push(("warmup", Json::U64(warmup as u64)));
+        }
+        pairs.push(("seed", Json::U64(self.seed)));
+        if self.repeats != 1 {
+            pairs.push(("repeats", Json::U64(self.repeats as u64)));
+        }
+        if self.seed_policy != SeedPolicy::Derive {
+            pairs.push(("seed_policy", Json::str("fixed")));
+        }
+        if !self.interference.is_empty() {
+            pairs.push((
+                "interference",
+                Json::Arr(self.interference.iter().map(|f| f.to_json()).collect()),
+            ));
+        }
+        if !self.sweep.is_empty() {
+            pairs.push((
+                "sweep",
+                Json::Arr(self.sweep.iter().map(SweepAxis::to_json).collect()),
+            ));
+        }
+        Json::obj(pairs)
+    }
+
+    /// Encodes to pretty-printed JSON text (the spec-file format the `tailbench` CLI
+    /// reads).
+    #[must_use]
+    pub fn to_json_string(&self) -> String {
+        self.to_json().to_text_pretty()
+    }
+
+    /// Decodes from a JSON tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HarnessError::Config`] naming the malformed field.
+    pub fn from_json(value: &Json) -> Result<ExperimentSpec, HarnessError> {
+        let context = "spec";
+        expect_keys(
+            value,
+            &[
+                "name",
+                "app",
+                "scale",
+                "mode",
+                "topology",
+                "load",
+                "threads",
+                "requests",
+                "warmup",
+                "seed",
+                "repeats",
+                "seed_policy",
+                "interference",
+                "sweep",
+            ],
+            context,
+        )?;
+        let seed_policy = match value.get("seed_policy") {
+            None => SeedPolicy::Derive,
+            Some(policy) => match policy.as_str() {
+                Some("derive") => SeedPolicy::Derive,
+                Some("fixed") => SeedPolicy::Fixed,
+                _ => {
+                    return Err(decode_err(
+                        context,
+                        "seed_policy must be \"derive\" or \"fixed\"",
+                    ))
+                }
+            },
+        };
+        let scale = match value.get("scale") {
+            None => None,
+            Some(scale) => Some(
+                scale
+                    .as_str()
+                    .and_then(Scale::parse)
+                    .ok_or_else(|| decode_err(context, "scale must be smoke, quick or full"))?,
+            ),
+        };
+        Ok(ExperimentSpec {
+            name: str_field(value, "name", context)?.to_string(),
+            app: str_field(value, "app", context)?.to_string(),
+            scale,
+            mode: ModeSpec::from_json(field(value, "mode", context)?)?,
+            topology: value
+                .get("topology")
+                .map(TopologySpec::from_json)
+                .transpose()?,
+            load: LoadSpec::from_json(field(value, "load", context)?)?,
+            threads: usize_field(value, "threads", context)?,
+            requests: usize_field(value, "requests", context)?,
+            warmup: value
+                .get("warmup")
+                .map(|w| {
+                    w.as_usize()
+                        .ok_or_else(|| decode_err(context, "warmup must be an integer"))
+                })
+                .transpose()?,
+            seed: u64_field(value, "seed", context)?,
+            repeats: match value.get("repeats") {
+                None => 1,
+                Some(r) => r
+                    .as_usize()
+                    .ok_or_else(|| decode_err(context, "repeats must be an integer"))?,
+            },
+            seed_policy,
+            interference: match value.get("interference") {
+                None => Vec::new(),
+                Some(faults) => faults
+                    .as_array()
+                    .ok_or_else(|| decode_err(context, "interference must be an array"))?
+                    .iter()
+                    .map(FaultSpec::from_json)
+                    .collect::<Result<_, _>>()?,
+            },
+            sweep: match value.get("sweep") {
+                None => Vec::new(),
+                Some(axes) => axes
+                    .as_array()
+                    .ok_or_else(|| decode_err(context, "sweep must be an array"))?
+                    .iter()
+                    .map(SweepAxis::from_json)
+                    .collect::<Result<_, _>>()?,
+            },
+        })
+    }
+
+    /// Parses a spec from JSON text (e.g. a spec file).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HarnessError::Config`] for JSON syntax errors (with byte offset) and
+    /// for schema violations (naming the field).
+    pub fn from_json_str(text: &str) -> Result<ExperimentSpec, HarnessError> {
+        let value = crate::json::parse(text)
+            .map_err(|e| HarnessError::Config(format!("experiment spec: {e}")))?;
+        ExperimentSpec::from_json(&value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fanout_spec() -> ExperimentSpec {
+        ExperimentSpec::new("fanout-sweep", "xapian")
+            .with_mode(ModeSpec::Simulated)
+            .with_topology(
+                TopologySpec::sharded(4)
+                    .with_replication(2)
+                    .with_fanout(FanoutSpec::Broadcast)
+                    .with_hedge(HedgeSpec::Percentile(0.95)),
+            )
+            .with_load(LoadSpec::FractionOfCapacity(0.7))
+            .with_requests(500)
+            .with_warmup(50)
+            .with_seed(0x5EED)
+            .with_axis(SweepAxis::Shards(vec![1, 2, 4]))
+            .with_axis(SweepAxis::Hedge(vec![
+                None,
+                Some(HedgeSpec::Percentile(0.95)),
+            ]))
+            .with_fault(FaultSpec {
+                target: FaultTargetSpec::Instance(1),
+                start_frac: 1.0 / 3.0,
+                end_frac: 2.0 / 3.0,
+                kind: FaultKindSpec::SlowDown { factor: 4.0 },
+            })
+    }
+
+    #[test]
+    fn spec_round_trips_through_json() {
+        let spec = fanout_spec();
+        let text = spec.to_json_string();
+        let back = ExperimentSpec::from_json_str(&text).unwrap();
+        assert_eq!(back, spec);
+        // Serialization is canonical: a second round emits identical text.
+        assert_eq!(back.to_json_string(), text);
+    }
+
+    #[test]
+    fn scenario_spec_round_trips() {
+        let spec = ExperimentSpec::new("burst", "masstree")
+            .with_mode(ModeSpec::Simulated)
+            .with_load(LoadSpec::Scenario(ScenarioSpec {
+                phases: vec![
+                    PhaseSpec {
+                        duration_ns: 200_000_000,
+                        shape: ShapeSpec::Constant { qps: 2_000.0 },
+                    },
+                    PhaseSpec {
+                        duration_ns: 100_000_000,
+                        shape: ShapeSpec::Burst {
+                            base_qps: 2_000.0,
+                            burst_qps: 8_000.0,
+                            period_ns: 50_000_000,
+                            duty: 0.5,
+                        },
+                    },
+                    PhaseSpec {
+                        duration_ns: 50_000_000,
+                        shape: ShapeSpec::Ramp {
+                            from_qps: 2_000.0,
+                            to_qps: 500.0,
+                        },
+                    },
+                    PhaseSpec {
+                        duration_ns: 50_000_000,
+                        shape: ShapeSpec::Diurnal {
+                            base_qps: 1_000.0,
+                            amplitude: 0.5,
+                            period_ns: 25_000_000,
+                        },
+                    },
+                ],
+                classes: vec![
+                    ClassSpec {
+                        name: "interactive".into(),
+                        weight: 0.7,
+                    },
+                    ClassSpec {
+                        name: "batch".into(),
+                        weight: 0.3,
+                    },
+                ],
+                warmup_fraction: 0.1,
+            }))
+            .with_repeats(2, SeedPolicy::Fixed);
+        let back = ExperimentSpec::from_json_str(&spec.to_json_string()).unwrap();
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn mode_variants_round_trip() {
+        for mode in [
+            ModeSpec::Integrated,
+            ModeSpec::Simulated,
+            ModeSpec::loopback(),
+            ModeSpec::networked(),
+        ] {
+            assert_eq!(ModeSpec::from_json(&mode.to_json()).unwrap(), mode);
+        }
+        assert!(ModeSpec::from_json(&Json::str("warp-drive")).is_err());
+    }
+
+    #[test]
+    fn validation_rejects_footguns() {
+        // Empty app.
+        let mut spec = ExperimentSpec::new("x", "");
+        assert!(spec.validate().is_err());
+        spec.app = "xapian".into();
+        assert!(spec.validate().is_ok());
+
+        // Hedge without topology / without replication.
+        let hedged = spec
+            .clone()
+            .with_axis(SweepAxis::Hedge(vec![Some(HedgeSpec::DelayNs(1_000))]));
+        assert!(hedged.validate().is_err());
+        let under_replicated = hedged.clone().with_topology(TopologySpec::sharded(4));
+        assert!(under_replicated.validate().is_err());
+        let ok = hedged.with_topology(TopologySpec::sharded(4).with_replication(2));
+        assert!(ok.validate().is_ok());
+
+        // Unsupported hedge percentile.
+        let bad_pct = ExperimentSpec::new("x", "xapian").with_topology(
+            TopologySpec::sharded(2)
+                .with_replication(2)
+                .with_hedge(HedgeSpec::Percentile(0.42)),
+        );
+        assert!(bad_pct.validate().is_err());
+
+        // Shards axis without topology.
+        let shardless = ExperimentSpec::new("x", "xapian").with_axis(SweepAxis::Shards(vec![1, 2]));
+        assert!(shardless.validate().is_err());
+
+        // Closed-loop cluster.
+        let closed_cluster = ExperimentSpec::new("x", "xapian")
+            .with_topology(TopologySpec::sharded(2))
+            .with_load(LoadSpec::Closed { think_ns: 0 });
+        assert!(closed_cluster.validate().is_err());
+
+        // Closed-loop DES.
+        let closed_sim = ExperimentSpec::new("x", "xapian")
+            .with_mode(ModeSpec::Simulated)
+            .with_load(LoadSpec::Closed { think_ns: 0 });
+        assert!(closed_sim.validate().is_err());
+
+        // Bad fault window.
+        let bad_fault = ExperimentSpec::new("x", "xapian").with_fault(FaultSpec {
+            target: FaultTargetSpec::All,
+            start_frac: 0.5,
+            end_frac: 0.5,
+            kind: FaultKindSpec::Pause,
+        });
+        assert!(bad_fault.validate().is_err());
+
+        // Empty axis.
+        let empty_axis = ExperimentSpec::new("x", "xapian").with_axis(SweepAxis::Qps(Vec::new()));
+        assert!(empty_axis.validate().is_err());
+    }
+
+    #[test]
+    fn grid_size_multiplies_axes() {
+        let spec = fanout_spec();
+        assert_eq!(spec.grid_size(), 6);
+        assert_eq!(ExperimentSpec::new("x", "y").grid_size(), 1);
+    }
+
+    #[test]
+    fn decode_errors_name_the_field() {
+        let err = ExperimentSpec::from_json_str("{\"name\": \"x\"}").unwrap_err();
+        assert!(err.to_string().contains("missing field 'app'"), "{err}");
+        let err = ExperimentSpec::from_json_str("not json").unwrap_err();
+        assert!(err.to_string().contains("parse error"), "{err}");
+    }
+
+    #[test]
+    fn decode_rejects_unknown_fields() {
+        // A misspelled optional field must fail loudly instead of silently dropping
+        // the feature it was meant to configure.
+        let mut spec = fanout_spec().to_json_string();
+        spec = spec.replace("\"sweep\"", "\"sweeps\"");
+        let err = ExperimentSpec::from_json_str(&spec).unwrap_err();
+        assert!(err.to_string().contains("unknown field 'sweeps'"), "{err}");
+
+        let mut spec = fanout_spec().to_json_string();
+        spec = spec.replace("\"replication\"", "\"replicas\"");
+        let err = ExperimentSpec::from_json_str(&spec).unwrap_err();
+        assert!(
+            err.to_string().contains("unknown field 'replicas'"),
+            "{err}"
+        );
+    }
+}

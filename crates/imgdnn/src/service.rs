@@ -166,10 +166,11 @@ mod tests {
 
         let app: Arc<dyn ServerApp> = Arc::new(ImgDnnApp::small());
         let mut factory = ImageRequestFactory::new(3);
-        let report = tailbench_core::runner::run(
+        let report = tailbench_core::runner::execute(
             &app,
             &mut factory,
             &BenchmarkConfig::new(500.0, 150).with_warmup(15),
+            None,
         )
         .unwrap();
         assert_eq!(report.app, "img-dnn");

@@ -438,10 +438,11 @@ mod tests {
         let app = SpecJbbApp::small();
         let mut factory = JbbRequestFactory::new(app.company(), 2);
         let app: Arc<dyn ServerApp> = Arc::new(app);
-        let report = tailbench_core::runner::run(
+        let report = tailbench_core::runner::execute(
             &app,
             &mut factory,
             &BenchmarkConfig::new(2_000.0, 300).with_warmup(30),
+            None,
         )
         .unwrap();
         assert_eq!(report.app, "specjbb");

@@ -289,10 +289,11 @@ mod tests {
         let config = YcsbConfig::small();
         let app: Arc<dyn ServerApp> = Arc::new(MasstreeApp::new(&config));
         let mut factory = YcsbRequestFactory::new(&config, 3);
-        let report = tailbench_core::runner::run(
+        let report = tailbench_core::runner::execute(
             &app,
             &mut factory,
             &BenchmarkConfig::new(2_000.0, 300).with_warmup(30),
+            None,
         )
         .unwrap();
         assert_eq!(report.app, "masstree");

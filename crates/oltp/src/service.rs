@@ -370,12 +370,13 @@ mod tests {
         let app = OltpApp::silo(TpccConfig::small());
         let mut factory = TpccRequestFactory::new(app.config(), 4);
         let app: Arc<dyn ServerApp> = Arc::new(app);
-        let report = tailbench_core::runner::run(
+        let report = tailbench_core::runner::execute(
             &app,
             &mut factory,
             &BenchmarkConfig::new(2_000.0, 300)
                 .with_warmup(30)
                 .with_threads(2),
+            None,
         )
         .unwrap();
         assert_eq!(report.app, "silo");

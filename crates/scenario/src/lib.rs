@@ -40,7 +40,7 @@
 //!     Box::new(|| b"interactive".to_vec()) as Box<dyn tailbench_core::RequestFactory>,
 //!     Box::new(|| b"batch".to_vec()) as Box<dyn tailbench_core::RequestFactory>,
 //! ];
-//! let report = tailbench_scenario::run_scenario(
+//! let report = tailbench_scenario::execute_scenario(
 //!     &app, factories, &scenario, HarnessMode::Simulated, 1, 42, Some(&model),
 //! )?;
 //! assert_eq!(report.per_class.len(), 2);
@@ -297,18 +297,20 @@ fn validate_factories(
     }
 }
 
-/// Runs a scenario against a single server in any harness mode.
+/// Runs a scenario against a single server in any harness mode — the scenario
+/// counterpart of `runner::execute`.
 ///
 /// `class_factories` holds one payload factory per client class (one factory for
 /// class-less scenarios).  Simulated mode requires `cost_model`; real-time modes ignore
-/// it.
+/// it.  The unified `tailbench_experiment::Experiment` API calls this when an
+/// experiment spec selects a scenario load.
 ///
 /// # Errors
 ///
 /// Returns [`HarnessError::Config`] when the factory count does not match the class
 /// count or simulated mode lacks a cost model, and [`HarnessError::Io`] if a TCP
 /// configuration fails to set up its sockets.
-pub fn run_scenario(
+pub fn execute_scenario(
     app: &Arc<dyn ServerApp>,
     class_factories: Vec<Box<dyn RequestFactory>>,
     scenario: &Scenario,
@@ -325,23 +327,21 @@ pub fn run_scenario(
         class_of: compiled.class_of,
         next: 0,
     };
-    match cost_model {
-        Some(model) => runner::run_with_cost_model(app, &mut mux, &config, model),
-        None => runner::run(app, &mut mux, &config),
-    }
+    runner::execute(app, &mut mux, &config, cost_model)
 }
 
-/// Runs a scenario against a cluster in any harness mode.
+/// Runs a scenario against a cluster in any harness mode — the scenario counterpart of
+/// `runner::execute_cluster`.
 ///
 /// The scenario's hedge policy (if any) is applied on top of `cluster`; everything else
-/// matches [`run_scenario`].
+/// matches [`execute_scenario`].
 ///
 /// # Errors
 ///
-/// As [`run_scenario`], plus the cluster-shape errors of
-/// [`runner::run_cluster`](tailbench_core::runner::run_cluster).
+/// As [`execute_scenario`], plus the cluster-shape errors of
+/// [`runner::execute_cluster`](tailbench_core::runner::execute_cluster).
 #[allow(clippy::too_many_arguments)]
-pub fn run_cluster_scenario(
+pub fn execute_cluster_scenario(
     apps: &[Arc<dyn ServerApp>],
     class_factories: Vec<Box<dyn RequestFactory>>,
     scenario: &Scenario,
@@ -363,7 +363,70 @@ pub fn run_cluster_scenario(
         Some(policy) => cluster.clone().with_hedge(policy),
         None => cluster.clone(),
     };
-    runner::run_cluster(apps, &mut mux, &config, &cluster, cost_model)
+    runner::execute_cluster(apps, &mut mux, &config, &cluster, cost_model)
+}
+
+/// Runs a scenario against a single server in any harness mode.
+///
+/// # Errors
+///
+/// Same as [`execute_scenario`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use execute_scenario, or the unified tailbench_experiment::Experiment API \
+            with a scenario load"
+)]
+pub fn run_scenario(
+    app: &Arc<dyn ServerApp>,
+    class_factories: Vec<Box<dyn RequestFactory>>,
+    scenario: &Scenario,
+    mode: HarnessMode,
+    threads: usize,
+    seed: u64,
+    cost_model: Option<&dyn CostModel>,
+) -> Result<RunReport, HarnessError> {
+    execute_scenario(
+        app,
+        class_factories,
+        scenario,
+        mode,
+        threads,
+        seed,
+        cost_model,
+    )
+}
+
+/// Runs a scenario against a cluster in any harness mode.
+///
+/// # Errors
+///
+/// Same as [`execute_cluster_scenario`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use execute_cluster_scenario, or the unified tailbench_experiment::Experiment \
+            API with a scenario load and a topology"
+)]
+#[allow(clippy::too_many_arguments)]
+pub fn run_cluster_scenario(
+    apps: &[Arc<dyn ServerApp>],
+    class_factories: Vec<Box<dyn RequestFactory>>,
+    scenario: &Scenario,
+    cluster: &ClusterConfig,
+    mode: HarnessMode,
+    threads: usize,
+    seed: u64,
+    cost_model: Option<&dyn CostModel>,
+) -> Result<ClusterReport, HarnessError> {
+    execute_cluster_scenario(
+        apps,
+        class_factories,
+        scenario,
+        cluster,
+        mode,
+        threads,
+        seed,
+        cost_model,
+    )
 }
 
 #[cfg(test)]
@@ -418,7 +481,7 @@ mod tests {
             ns_per_instruction: 1.0,
         };
         let one_factory: Vec<Box<dyn RequestFactory>> = vec![Box::new(|| vec![0u8])];
-        let err = run_scenario(
+        let err = execute_scenario(
             &app,
             one_factory,
             &scenario,
@@ -444,7 +507,7 @@ mod tests {
             Box::new(|| b"i".to_vec()),
             Box::new(|| b"batchbatch".to_vec()),
         ];
-        let report = run_scenario(
+        let report = execute_scenario(
             &app,
             factories,
             &scenario,
@@ -472,7 +535,7 @@ mod tests {
             Box::new(|| b"i".to_vec()),
             Box::new(|| b"batchbatch".to_vec()),
         ];
-        let again = run_scenario(
+        let again = execute_scenario(
             &app,
             factories,
             &scenario,
@@ -501,7 +564,7 @@ mod tests {
         );
         let app: Arc<dyn ServerApp> = Arc::new(EchoApp::with_service_us(5));
         let factories: Vec<Box<dyn RequestFactory>> = vec![Box::new(|| b"w".to_vec())];
-        let report = run_scenario(
+        let report = execute_scenario(
             &app,
             factories,
             &scenario,

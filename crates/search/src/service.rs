@@ -291,7 +291,7 @@ mod tests {
             .map(|s| Arc::new(XapianApp::leaf(&corpus, s, shards)) as Arc<dyn ServerApp>)
             .collect();
         let mut factory = SearchRequestFactory::new(&corpus, 23);
-        let report = tailbench_core::runner::run_cluster(
+        let report = tailbench_core::runner::execute_cluster(
             &apps,
             &mut factory,
             &BenchmarkConfig::new(500.0, 200).with_warmup(20),
@@ -316,10 +316,11 @@ mod tests {
         let corpus = SyntheticCorpus::generate(CorpusConfig::small());
         let app: Arc<dyn ServerApp> = Arc::new(XapianApp::from_corpus(&corpus));
         let mut factory = SearchRequestFactory::new(&corpus, 17);
-        let report = tailbench_core::runner::run(
+        let report = tailbench_core::runner::execute(
             &app,
             &mut factory,
             &BenchmarkConfig::new(500.0, 200).with_warmup(20),
+            None,
         )
         .unwrap();
         assert_eq!(report.app, "xapian");

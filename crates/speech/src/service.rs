@@ -189,10 +189,11 @@ mod tests {
 
         let app: Arc<dyn ServerApp> = Arc::new(SphinxApp::small());
         let mut factory = SpeechRequestFactory::new(20, 3);
-        let report = tailbench_core::runner::run(
+        let report = tailbench_core::runner::execute(
             &app,
             &mut factory,
             &BenchmarkConfig::new(30.0, 60).with_warmup(5),
+            None,
         )
         .unwrap();
         assert_eq!(report.app, "sphinx");

@@ -181,10 +181,11 @@ mod tests {
         let app: Arc<dyn ServerApp> = Arc::new(MosesApp::small());
         let config = ModelConfig::small();
         let mut factory = TranslateRequestFactory::new(&config, 8);
-        let report = tailbench_core::runner::run(
+        let report = tailbench_core::runner::execute(
             &app,
             &mut factory,
             &BenchmarkConfig::new(200.0, 120).with_warmup(10),
+            None,
         )
         .unwrap();
         assert_eq!(report.app, "moses");

@@ -46,7 +46,7 @@ fn main() -> Result<(), HarnessError> {
             .with_warmup(30);
         let mut factory = SearchRequestFactory::new(&corpus, 7);
         let probe =
-            runner::run_cluster(&leaves, &mut factory, &probe_config, &cluster, Some(&model))?;
+            runner::execute_cluster(&leaves, &mut factory, &probe_config, &cluster, Some(&model))?;
         // Per-leaf capacity from the mean of the *per-shard* service means — the
         // cluster-level service time is the slowest leg's, which would understate
         // capacity more and more as the fan-out grows.
@@ -63,7 +63,8 @@ fn main() -> Result<(), HarnessError> {
             .with_warmup(200)
             .with_seed(17);
         let mut factory = SearchRequestFactory::new(&corpus, 7);
-        let report = runner::run_cluster(&leaves, &mut factory, &config, &cluster, Some(&model))?;
+        let report =
+            runner::execute_cluster(&leaves, &mut factory, &config, &cluster, Some(&model))?;
         println!(
             "{:>6} {:>11.3} ms {:>11.3} ms {:>11.3} ms {:>7.2}x",
             shards,

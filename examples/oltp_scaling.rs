@@ -46,14 +46,14 @@ fn main() -> Result<(), HarnessError> {
             // Keep the per-thread load at 70% of single-thread capacity.
             let qps = capacity * 0.7 * threads as f64;
             let mut factory = TpccRequestFactory::new(&workload, 3);
-            let report = runner::run_with_cost_model(
+            let report = runner::execute(
                 &app,
                 &mut factory,
                 &BenchmarkConfig::new(qps, 3_000)
                     .with_warmup(300)
                     .with_threads(threads)
                     .with_mode(HarnessMode::Simulated),
-                model,
+                Some(model),
             )?;
             println!(
                 "{:>22} {:>10} {:>14.0} {:>11.2} ms",

@@ -29,7 +29,7 @@ fn main() -> Result<(), HarnessError> {
     let config = BenchmarkConfig::new(20_000.0, 2_000).with_warmup(200);
 
     // 4. Run and print the report.
-    let report = runner::run(&app, &mut clients, &config)?;
+    let report = runner::execute(&app, &mut clients, &config, None)?;
     println!("{report}");
     println!(
         "\nqueuing made up {:.0}% of the mean sojourn time at this load",

@@ -18,7 +18,7 @@ use tailbench::core::app::RequestFactory;
 use tailbench::core::config::HarnessMode;
 use tailbench::core::interference::InterferencePlan;
 use tailbench::core::{HarnessError, ServerApp};
-use tailbench::scenario::{run_scenario, ClientClass, LoadPhase, Scenario};
+use tailbench::scenario::{execute_scenario, ClientClass, LoadPhase, Scenario};
 use tailbench::simarch::SystemModel;
 use tailbench::workloads::ycsb::{OpMix, YcsbConfig};
 
@@ -63,7 +63,7 @@ fn main() -> Result<(), HarnessError> {
         Box::new(YcsbRequestFactory::new(&interactive, 42)),
         Box::new(YcsbRequestFactory::new(&batch, 43)),
     ];
-    let report = run_scenario(
+    let report = execute_scenario(
         &app,
         factories,
         &scenario,

@@ -32,10 +32,11 @@ fn main() -> Result<(), HarnessError> {
 
     for fraction in [0.1, 0.3, 0.5, 0.7, 0.9] {
         let mut factory = SearchRequestFactory::new(&corpus, 7);
-        let report = runner::run(
+        let report = runner::execute(
             &app,
             &mut factory,
             &BenchmarkConfig::new(capacity * fraction, 1_000).with_warmup(100),
+            None,
         )?;
         println!(
             "{:>5.0}% {:>9.2} ms {:>9.2} ms {:>9.2} ms",
@@ -49,12 +50,13 @@ fn main() -> Result<(), HarnessError> {
     // The same 50%-load point measured over loopback TCP: the network stack's overhead
     // is visible but small relative to xapian's millisecond-scale requests (paper §VI-B).
     let mut factory = SearchRequestFactory::new(&corpus, 7);
-    let loopback = runner::run(
+    let loopback = runner::execute(
         &app,
         &mut factory,
         &BenchmarkConfig::new(capacity * 0.5, 1_000)
             .with_warmup(100)
             .with_mode(HarnessMode::loopback()),
+        None,
     )?;
     println!(
         "\nloopback TCP at 50% load: p95 = {:.2} ms (integrated measurement above: compare the 50% row)",

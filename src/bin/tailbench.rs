@@ -1,0 +1,220 @@
+//! The `tailbench` CLI: one entrypoint for the whole suite.
+//!
+//! ```text
+//! tailbench run <spec.json> [--json <out|->] [--quiet]    run a spec file
+//! tailbench preset <name>   [--json <out|->] [--quiet]    run a named preset
+//! tailbench export <name>                                 print a preset's spec JSON
+//! tailbench presets                                       list preset names
+//! tailbench validate <spec.json>                          check a spec without running
+//! tailbench verify-output <out.json>                      check emitted JSON output
+//! ```
+//!
+//! Global flags: `--scale smoke|quick|full` overrides `TAILBENCH_SCALE`.  Markdown
+//! tables go to stdout (suppress with `--quiet`); `--json` writes the machine-readable
+//! [`ExperimentOutput`](tailbench_experiment::ExperimentOutput) to a file (or stdout
+//! with `-`).  Exit codes: 0 success, 1 runtime failure, 2 usage/spec errors.
+
+use std::process::ExitCode;
+use tailbench_experiment::{presets, verify_output_text, Experiment, ExperimentSpec, Scale};
+
+const USAGE: &str = "\
+tailbench — unified TailBench-RS experiment runner
+
+USAGE:
+    tailbench run <spec.json>  [--scale smoke|quick|full] [--json <path|->] [--quiet]
+    tailbench preset <name>    [--scale smoke|quick|full] [--json <path|->] [--quiet]
+    tailbench export <name>    [--scale smoke|quick|full]
+    tailbench presets
+    tailbench validate <spec.json>
+    tailbench verify-output <out.json>
+
+A spec file is the JSON form of an ExperimentSpec (see `tailbench export fig9`
+for a template).  Presets reproduce the paper figures: fig3, fig6, fig9, fig11.
+";
+
+struct Options {
+    scale: Option<Scale>,
+    json_out: Option<String>,
+    quiet: bool,
+    help: bool,
+    positional: Vec<String>,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut options = Options {
+        scale: None,
+        json_out: None,
+        quiet: false,
+        help: false,
+        positional: Vec::new(),
+    };
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let value = iter.next().ok_or("--scale needs a value")?;
+                options.scale = Some(
+                    Scale::parse(value)
+                        .ok_or_else(|| format!("unknown scale '{value}' (smoke, quick, full)"))?,
+                );
+            }
+            "--json" => {
+                options.json_out = Some(iter.next().ok_or("--json needs a path")?.clone());
+            }
+            "--quiet" => options.quiet = true,
+            "--help" | "-h" => options.help = true,
+            flag if flag.starts_with("--") => return Err(format!("unknown flag '{flag}'")),
+            positional => options.positional.push(positional.to_string()),
+        }
+    }
+    Ok(options)
+}
+
+/// A CLI failure: the message plus which documented exit code it maps to
+/// (1 = runtime failure, 2 = usage/spec error).
+struct CliError {
+    message: String,
+    exit_code: u8,
+}
+
+impl CliError {
+    fn usage(message: impl Into<String>) -> CliError {
+        CliError {
+            message: message.into(),
+            exit_code: 2,
+        }
+    }
+
+    fn runtime(message: impl Into<String>) -> CliError {
+        CliError {
+            message: message.into(),
+            exit_code: 1,
+        }
+    }
+}
+
+fn run_spec(spec: ExperimentSpec, options: &Options) -> Result<(), CliError> {
+    let spec = match options.scale {
+        Some(scale) => spec.with_scale(scale),
+        None => spec,
+    };
+    let output = Experiment::new(spec)
+        .run()
+        .map_err(|e| CliError::runtime(format!("experiment failed: {e}")))?;
+    // `--json -` owns stdout: printing the Markdown table too would make the
+    // machine-readable stream unparseable.
+    let json_to_stdout = options.json_out.as_deref() == Some("-");
+    if !options.quiet && !json_to_stdout {
+        print!("{}", output.to_markdown());
+    }
+    if let Some(path) = &options.json_out {
+        let text = output.to_json_string();
+        if path == "-" {
+            print!("{text}");
+        } else {
+            std::fs::write(path, &text).map_err(|e| {
+                CliError::runtime(format!("cannot write JSON output to {path}: {e}"))
+            })?;
+            if !options.quiet {
+                eprintln!("wrote JSON output to {path}");
+            }
+        }
+    }
+    Ok(())
+}
+
+fn load_spec(path: &str) -> Result<ExperimentSpec, CliError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::usage(format!("cannot read spec file {path}: {e}")))?;
+    ExperimentSpec::from_json_str(&text).map_err(|e| CliError::usage(e.to_string()))
+}
+
+fn resolve_preset(name: &str, scale: Scale) -> Result<ExperimentSpec, CliError> {
+    presets::preset(name, scale).ok_or_else(|| {
+        CliError::usage(format!(
+            "unknown preset '{name}' (available: {})",
+            presets::PRESET_NAMES.join(", ")
+        ))
+    })
+}
+
+fn dispatch(command: &str, options: &Options) -> Result<(), CliError> {
+    let arg = options.positional.get(1);
+    match command {
+        "run" => {
+            let path = arg.ok_or_else(|| CliError::usage("run needs a spec file path"))?;
+            let spec = load_spec(path)?;
+            spec.validate()
+                .map_err(|e| CliError::usage(e.to_string()))?;
+            run_spec(spec, options)
+        }
+        "preset" => {
+            let name = arg
+                .ok_or_else(|| CliError::usage("preset needs a name (see `tailbench presets`)"))?;
+            let scale = options.scale.unwrap_or_else(Scale::from_env);
+            run_spec(resolve_preset(name, scale)?, options)
+        }
+        "export" => {
+            let name = arg.ok_or_else(|| CliError::usage("export needs a preset name"))?;
+            let scale = options.scale.unwrap_or_else(Scale::from_env);
+            print!("{}", resolve_preset(name, scale)?.to_json_string());
+            Ok(())
+        }
+        "presets" => {
+            for name in presets::PRESET_NAMES {
+                println!("{name}");
+            }
+            Ok(())
+        }
+        "validate" => {
+            let path = arg.ok_or_else(|| CliError::usage("validate needs a spec file path"))?;
+            let spec = load_spec(path)?;
+            spec.validate()
+                .map_err(|e| CliError::usage(e.to_string()))?;
+            println!(
+                "{path}: ok — '{}' on app '{}', {} point(s)",
+                spec.name,
+                spec.app,
+                spec.grid_size()
+            );
+            Ok(())
+        }
+        "verify-output" => {
+            let path =
+                arg.ok_or_else(|| CliError::usage("verify-output needs an output JSON path"))?;
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| CliError::runtime(format!("cannot read {path}: {e}")))?;
+            let points = verify_output_text(&text).map_err(CliError::runtime)?;
+            println!("{path}: ok — {points} point(s), p99 present");
+            Ok(())
+        }
+        unknown => Err(CliError::usage(format!("unknown command '{unknown}'"))),
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let options = match parse_args(&args) {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("error: {message}\n");
+            eprint!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    if options.help {
+        print!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    let Some(command) = options.positional.first().cloned() else {
+        eprint!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    match dispatch(&command, &options) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(error) => {
+            eprintln!("error: {}", error.message);
+            ExitCode::from(error.exit_code)
+        }
+    }
+}

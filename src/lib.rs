@@ -4,6 +4,10 @@
 //! This facade crate re-exports the whole suite so downstream users can depend on a
 //! single crate:
 //!
+//! * [`experiment`] — the unified experiment layer: a declarative, JSON-round-tripping
+//!   `ExperimentSpec`, the app registry, and the single `Experiment::run()` entrypoint
+//!   (single server or cluster, all four harness modes, steady or scenario load, with
+//!   sweeps, capacity probing and hedging) — also exposed as the `tailbench` CLI.
 //! * [`core`] — the load-testing harness (traffic shaper, request queue, statistics
 //!   collector, the integrated / loopback / networked configurations and the
 //!   discrete-event simulation runner).
@@ -19,30 +23,33 @@
 //!
 //! # Quick start
 //!
-//! ```
-//! use std::sync::Arc;
-//! use tailbench::core::config::BenchmarkConfig;
-//! use tailbench::core::{runner, ServerApp};
-//! use tailbench::apps::kvstore::{MasstreeApp, YcsbRequestFactory};
-//! use tailbench::workloads::ycsb::YcsbConfig;
+//! One declarative spec, one entrypoint — masstree under YCSB at 1k QPS:
 //!
-//! let workload = YcsbConfig::small();
-//! let app: Arc<dyn ServerApp> = Arc::new(MasstreeApp::new(&workload));
-//! let mut clients = YcsbRequestFactory::new(&workload, 42);
-//! let report = runner::run(
-//!     &app,
-//!     &mut clients,
-//!     &BenchmarkConfig::new(1_000.0, 200).with_warmup(20),
-//! )?;
-//! println!("{report}");
+//! ```
+//! use tailbench::experiment::{Experiment, ExperimentSpec, LoadSpec};
+//!
+//! let spec = ExperimentSpec::new("quickstart", "masstree")
+//!     .with_load(LoadSpec::Qps(1_000.0))
+//!     .with_requests(200)
+//!     .with_warmup(20);
+//! let output = Experiment::new(spec).run()?;
+//! println!("{}", output.to_markdown());
+//! assert!(output.points[0].report.headline().sojourn.p95_ns > 0);
 //! # Ok::<(), tailbench::core::HarnessError>(())
 //! ```
+//!
+//! The same spec serializes to JSON (`spec.to_json_string()`) and runs from disk with
+//! the `tailbench` CLI: `cargo run --release --bin tailbench -- run spec.json`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 /// The load-testing harness (re-export of [`tailbench_core`]).
 pub use tailbench_core as core;
+/// The unified experiment layer: declarative `ExperimentSpec`, app registry and the
+/// single `Experiment::run()` entrypoint behind the `tailbench` CLI (re-export of
+/// [`tailbench_experiment`]).
+pub use tailbench_experiment as experiment;
 /// HDR histograms and confidence intervals (re-export of [`tailbench_histogram`]).
 pub use tailbench_histogram as histogram;
 /// The M/G/1 and M/G/k queueing models (re-export of [`tailbench_queueing`]).

@@ -33,14 +33,15 @@ fn integrated_and_loopback_agree_on_service_time() {
         .with_seed(31);
 
     let mut factory = make_factory(1);
-    let integrated = runner::run(&app, factory.as_mut(), &config).unwrap();
+    let integrated = runner::execute(&app, factory.as_mut(), &config, None).unwrap();
     let mut factory = make_factory(1);
-    let loopback = runner::run(
+    let loopback = runner::execute(
         &app,
         factory.as_mut(),
         &config
             .clone()
             .with_mode(HarnessMode::Loopback { connections: 2 }),
+        None,
     )
     .unwrap();
 
@@ -86,7 +87,7 @@ fn sharded_masstree_cluster_routes_by_key_in_every_real_mode() {
             .with_warmup(30)
             .with_seed(13)
             .with_mode(mode);
-        let report = runner::run_cluster(&apps, &mut factory, &config, &cluster, None).unwrap();
+        let report = runner::execute_cluster(&apps, &mut factory, &config, &cluster, None).unwrap();
         // Single-key requests are served exactly once, split across shards.
         let shard_total: u64 = report.per_shard.iter().map(|r| r.requests).sum();
         assert_eq!(shard_total, report.cluster.requests);
@@ -121,7 +122,7 @@ fn tpcc_cluster_partitions_by_warehouse() {
     let bench = BenchmarkConfig::new(1_000.0, 300)
         .with_warmup(30)
         .with_seed(7);
-    let report = runner::run_cluster(&apps, &mut factory, &bench, &cluster, None).unwrap();
+    let report = runner::execute_cluster(&apps, &mut factory, &bench, &cluster, None).unwrap();
 
     let shard_total: u64 = report.per_shard.iter().map(|r| r.requests).sum();
     assert_eq!(shard_total, report.cluster.requests);
@@ -147,7 +148,7 @@ fn simulated_and_integrated_cluster_share_structure() {
             .with_seed(3)
             .with_mode(mode);
         let report =
-            runner::run_cluster(&apps, &mut factory, &config, &cluster, Some(&model)).unwrap();
+            runner::execute_cluster(&apps, &mut factory, &config, &cluster, Some(&model)).unwrap();
         // Broadcast: every shard serves every request; the end-to-end tail can never
         // undercut the slowest shard's tail (last-response-wins).
         for shard in &report.per_shard {

@@ -8,14 +8,23 @@
 //! fan-out merge) fails loudly here instead of silently shifting every simulated
 //! result.
 //!
+//! The same constants are additionally pinned **through the unified experiment
+//! layer**: an `ExperimentSpec` with no sweep and one repeat must reproduce the direct
+//! `runner::execute`/`execute_cluster` call bit for bit — including when the spec
+//! first round-trips through its JSON form (the path the `tailbench` CLI takes).
+//!
 //! If you change the event ordering *on purpose*, re-derive the constants by printing
 //! the asserted fields from a release run and update them together with a DESIGN.md
 //! note.
 
 use std::sync::Arc;
-use tailbench::core::app::{EchoApp, InstructionRateModel};
+use tailbench::core::app::{CostModel, EchoApp, InstructionRateModel};
 use tailbench::core::config::{BenchmarkConfig, ClusterConfig, FanoutPolicy, HarnessMode};
 use tailbench::core::{runner, ServerApp};
+use tailbench::experiment::{
+    AppBuilder, BenchApp, ClusterApp, Experiment, ExperimentSpec, FanoutSpec, LoadSpec, ModeSpec,
+    Registry, Scale, TopologySpec,
+};
 
 /// The shared fixed-seed configuration: 5k QPS Poisson arrivals, 1000 measured
 /// requests after 100 warmup, seed 0x601D.
@@ -42,7 +51,7 @@ fn single_server_simulated_percentiles_are_exact() {
     });
     let mut factory = || b"golden".to_vec();
     let report =
-        runner::run_with_cost_model(&app, &mut factory, &golden_config(), &cost_model()).unwrap();
+        runner::execute(&app, &mut factory, &golden_config(), Some(&cost_model())).unwrap();
     assert_eq!(report.requests, 1_000);
     assert_eq!(report.sojourn.p50_ns, 100_010);
     assert_eq!(report.sojourn.p95_ns, 294_185);
@@ -63,7 +72,7 @@ fn four_shard_broadcast_cluster_percentiles_are_exact() {
         .collect();
     let cluster = ClusterConfig::new(4, FanoutPolicy::Broadcast);
     let mut factory = || b"golden".to_vec();
-    let report = runner::run_cluster(
+    let report = runner::execute_cluster(
         &apps,
         &mut factory,
         &golden_config(),
@@ -106,7 +115,7 @@ fn four_shard_hash_routed_cluster_percentiles_are_exact() {
         key += 1;
         key.to_le_bytes().to_vec()
     };
-    let report = runner::run_cluster(
+    let report = runner::execute_cluster(
         &apps,
         &mut factory,
         &golden_config(),
@@ -128,4 +137,115 @@ fn four_shard_hash_routed_cluster_percentiles_are_exact() {
     assert_eq!(report.cluster.sojourn.p50_ns, 130_010);
     assert_eq!(report.cluster.sojourn.p95_ns, 145_010);
     assert_eq!(report.cluster.sojourn.p99_ns, 145_010);
+}
+
+// ---------------------------------------------------------------------------
+// The same constants through Experiment::run().
+// ---------------------------------------------------------------------------
+
+/// The golden echo workload as a registry entry: fixed `b"golden"` payloads, the exact
+/// 1 ns/instruction cost model, and the heterogeneous 4-shard cluster layout.
+struct GoldenEcho;
+
+impl AppBuilder for GoldenEcho {
+    fn name(&self) -> &str {
+        "golden-echo"
+    }
+    fn build(&self, _scale: Scale) -> BenchApp {
+        BenchApp::new(
+            "golden-echo",
+            Arc::new(EchoApp {
+                spin_iters: 100_000,
+            }),
+            |_| Box::new(|| b"golden".to_vec()),
+        )
+    }
+    fn build_cluster(&self, shards: usize, replication: usize, _scale: Scale) -> ClusterApp {
+        assert_eq!(replication, 1, "the golden cluster is unreplicated");
+        let instances = (0..shards as u64)
+            .map(|i| {
+                Arc::new(EchoApp {
+                    spin_iters: 100_000 + 15_000 * i,
+                }) as Arc<dyn ServerApp>
+            })
+            .collect();
+        ClusterApp::new("golden-echo", instances, |_| {
+            Box::new(|| b"golden".to_vec())
+        })
+    }
+    fn cost_model(&self) -> Box<dyn CostModel> {
+        Box::new(cost_model())
+    }
+}
+
+fn golden_registry() -> Registry {
+    let mut registry = Registry::empty();
+    registry.register(Box::new(GoldenEcho));
+    registry
+}
+
+/// The spec equivalent of [`golden_config`].
+fn golden_spec() -> ExperimentSpec {
+    ExperimentSpec::new("golden", "golden-echo")
+        .with_mode(ModeSpec::Simulated)
+        .with_load(LoadSpec::Qps(5_000.0))
+        .with_requests(1_000)
+        .with_warmup(100)
+        .with_seed(0x601D)
+}
+
+#[test]
+fn experiment_single_server_path_reproduces_the_golden_percentiles() {
+    let output = Experiment::new(golden_spec())
+        .with_registry(golden_registry())
+        .run()
+        .unwrap();
+    assert_eq!(output.points.len(), 1);
+    let report = output.points[0].report.headline();
+    assert_eq!(report.requests, 1_000);
+    assert_eq!(report.sojourn.p50_ns, 100_010);
+    assert_eq!(report.sojourn.p95_ns, 294_185);
+    assert_eq!(report.sojourn.p99_ns, 451_793);
+}
+
+#[test]
+fn experiment_cluster_path_reproduces_the_golden_percentiles() {
+    let spec =
+        golden_spec().with_topology(TopologySpec::sharded(4).with_fanout(FanoutSpec::Broadcast));
+    let output = Experiment::new(spec)
+        .with_registry(golden_registry())
+        .run()
+        .unwrap();
+    let report = output.points[0].report.cluster().expect("cluster report");
+    assert_eq!(report.cluster.requests, 1_000);
+    assert_eq!(report.cluster.sojourn.p50_ns, 252_115);
+    assert_eq!(report.cluster.sojourn.p95_ns, 757_913);
+    assert_eq!(report.cluster.sojourn.p99_ns, 1_150_870);
+    assert_eq!(report.shard_union_sojourn.p99_ns, 851_492);
+}
+
+#[test]
+fn experiment_json_round_trip_reproduces_the_golden_percentiles() {
+    // Serialize the golden spec, parse it back (the CLI's spec-file path), run it,
+    // and compare the full JSON output against the builder-constructed run.
+    let spec =
+        golden_spec().with_topology(TopologySpec::sharded(4).with_fanout(FanoutSpec::Broadcast));
+    let reparsed = ExperimentSpec::from_json_str(&spec.to_json_string()).unwrap();
+    assert_eq!(reparsed, spec);
+
+    let from_builder = Experiment::new(spec)
+        .with_registry(golden_registry())
+        .run()
+        .unwrap();
+    let from_json = Experiment::new(reparsed)
+        .with_registry(golden_registry())
+        .run()
+        .unwrap();
+    assert_eq!(
+        from_builder.to_json_string(),
+        from_json.to_json_string(),
+        "spec-file and builder paths must produce byte-identical output"
+    );
+    let report = from_json.points[0].report.cluster().unwrap();
+    assert_eq!(report.cluster.sojourn.p99_ns, 1_150_870);
 }

@@ -28,10 +28,11 @@ fn run_integrated(
     qps: f64,
     requests: usize,
 ) -> RunReport {
-    runner::run(
+    runner::execute(
         &app,
         factory,
         &BenchmarkConfig::new(qps, requests).with_warmup(requests / 10),
+        None,
     )
     .expect("integrated run")
 }
@@ -108,12 +109,13 @@ fn loopback_configuration_measures_the_same_application() {
     let workload = YcsbConfig::small();
     let app: Arc<dyn ServerApp> = Arc::new(MasstreeApp::new(&workload));
     let mut factory = YcsbRequestFactory::new(&workload, 9);
-    let report = runner::run(
+    let report = runner::execute(
         &app,
         &mut factory,
         &BenchmarkConfig::new(1_500.0, 300)
             .with_warmup(30)
             .with_mode(HarnessMode::loopback()),
+        None,
     )
     .expect("loopback run");
     check_report_sanity(&report, 250);

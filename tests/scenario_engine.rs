@@ -23,7 +23,9 @@ use tailbench::core::config::{BenchmarkConfig, ClusterConfig, FanoutPolicy, Harn
 use tailbench::core::interference::InterferencePlan;
 use tailbench::core::traffic::LoadMode;
 use tailbench::core::{runner, HedgePolicy, RequestFactory, ServerApp};
-use tailbench::scenario::{run_cluster_scenario, run_scenario, ClientClass, LoadPhase, Scenario};
+use tailbench::scenario::{
+    execute_cluster_scenario, execute_scenario, ClientClass, LoadPhase, Scenario,
+};
 
 /// EchoApp reports `10 + spin_iters` instructions, so at 1 ns/instruction the service
 /// time is exactly `spin_iters + 10` ns; all remaining variation comes from the seeded
@@ -70,7 +72,7 @@ fn golden_burst_scenario_percentiles_are_exact() {
     let app: Arc<dyn ServerApp> = Arc::new(EchoApp {
         spin_iters: 100_000, // 100 us service => capacity 10k QPS
     });
-    let report = run_scenario(
+    let report = execute_scenario(
         &app,
         golden_factories(),
         &golden_scenario(),
@@ -150,7 +152,7 @@ fn golden_hedging_cuts_the_broadcast_tail_at_four_shards() {
     };
     let cluster = ClusterConfig::new(4, FanoutPolicy::Broadcast).with_replication(2);
     let run = |hedge: Option<HedgePolicy>| {
-        run_cluster_scenario(
+        execute_cluster_scenario(
             &make_apps(),
             vec![Box::new(|| b"g".to_vec()) as Box<dyn RequestFactory>],
             &scenario(hedge),
@@ -206,7 +208,7 @@ fn wall_clock_cluster_hedging_completes_and_dedups() {
         .with_warmup_fraction(0.1)
         .with_hedge(HedgePolicy::after_ns(1_000));
         let cluster = ClusterConfig::new(2, FanoutPolicy::Broadcast).with_replication(2);
-        let report = run_cluster_scenario(
+        let report = execute_cluster_scenario(
             &apps,
             vec![Box::new(|| b"wh".to_vec()) as Box<dyn RequestFactory>],
             &scenario,
@@ -260,7 +262,7 @@ fn closed_loop_under_reports_burst_sojourn_vs_open_loop() {
         ],
     )
     .with_warmup_fraction(0.05);
-    let open = run_scenario(
+    let open = execute_scenario(
         &app,
         vec![Box::new(|| b"co".to_vec()) as Box<dyn RequestFactory>],
         &scenario,
@@ -283,7 +285,7 @@ fn closed_loop_under_reports_burst_sojourn_vs_open_loop() {
         .with_load(LoadMode::Closed { think_ns })
         .with_max_duration(Duration::from_secs(60));
     let mut closed_factory = || b"co".to_vec();
-    let closed = runner::run(&app, &mut closed_factory, &closed_config).unwrap();
+    let closed = runner::execute(&app, &mut closed_factory, &closed_config, None).unwrap();
 
     assert!(
         open.requests > 1_000,

@@ -24,14 +24,14 @@ fn simulated_latency_grows_with_load_like_the_real_system() {
 
     let run = |mode: HarnessMode, qps: f64| {
         let mut factory = make_factory(1);
-        runner::run_with_cost_model(
+        runner::execute(
             &app,
             factory.as_mut(),
             &BenchmarkConfig::new(qps, 1_500)
                 .with_warmup(150)
                 .with_mode(mode)
                 .with_seed(11),
-            &model,
+            Some(&model),
         )
         .expect("run")
     };
@@ -65,9 +65,9 @@ fn idealized_memory_never_slows_a_simulated_run() {
         .with_seed(13);
 
     let mut factory = make_factory(2);
-    let real = runner::run_with_cost_model(&app, factory.as_mut(), &config, &realistic).unwrap();
+    let real = runner::execute(&app, factory.as_mut(), &config, Some(&realistic)).unwrap();
     let mut factory = make_factory(2);
-    let ideal = runner::run_with_cost_model(&app, factory.as_mut(), &config, &idealized).unwrap();
+    let ideal = runner::execute(&app, factory.as_mut(), &config, Some(&idealized)).unwrap();
     assert!(ideal.service.mean_ns <= real.service.mean_ns);
 }
 
@@ -105,14 +105,14 @@ fn queueing_model_matches_the_simulated_harness_for_constant_service() {
         ns_per_instruction: 1.0,
     }; // ~100 us per request
     let mut factory = || vec![0u8];
-    let report = runner::run_with_cost_model(
+    let report = runner::execute(
         &app,
         &mut factory,
         &BenchmarkConfig::new(5_000.0, 4_000)
             .with_warmup(400)
             .with_mode(HarnessMode::Simulated)
             .with_seed(3),
-        &model,
+        Some(&model),
     )
     .unwrap();
 
@@ -139,16 +139,17 @@ fn closed_loop_underestimates_tail_latency() {
     let qps = capacity * 0.9;
 
     let mut factory = make_factory(4);
-    let open = runner::run(
+    let open = runner::execute(
         &app,
         factory.as_mut(),
         &BenchmarkConfig::new(qps, 2_000)
             .with_warmup(200)
             .with_seed(5),
+        None,
     )
     .unwrap();
     let mut factory = make_factory(4);
-    let closed = runner::run(
+    let closed = runner::execute(
         &app,
         factory.as_mut(),
         &BenchmarkConfig::new(qps, 2_000)
@@ -157,6 +158,7 @@ fn closed_loop_underestimates_tail_latency() {
             .with_load(LoadMode::Closed {
                 think_ns: (1e9 / qps) as u64,
             }),
+        None,
     )
     .unwrap();
     assert!(
