@@ -6,9 +6,11 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::time::Duration;
 use tailbench_core::app::{EchoApp, InstructionRateModel, ServerApp};
+use tailbench_core::collector::StatsCollector;
 use tailbench_core::config::BenchmarkConfig;
-use tailbench_core::queue::{Completion, RequestQueue};
-use tailbench_core::request::{Request, RequestId};
+use tailbench_core::pool::BufferPool;
+use tailbench_core::queue::{AdmissionPolicy, Completion, RequestQueue};
+use tailbench_core::request::{Request, RequestId, RequestRecord};
 use tailbench_core::sim::run_simulated;
 use tailbench_histogram::HdrHistogram;
 use tailbench_workloads::interarrival::InterarrivalProcess;
@@ -48,7 +50,6 @@ fn bench_harness(c: &mut Criterion) {
     group.bench_function("queue_push_pop", |b| {
         let queue = RequestQueue::new();
         let rx = queue.receiver();
-        let (tx, _keep) = crossbeam::channel::unbounded();
         let mut id = 0u64;
         b.iter(|| {
             id += 1;
@@ -59,9 +60,82 @@ fn bench_harness(c: &mut Criterion) {
                     issued_ns: id,
                 },
                 id,
-                Completion::Collector(tx.clone()),
+                Completion::Inline,
             );
             std::hint::black_box(rx.recv().unwrap());
+        });
+    });
+
+    group.bench_function("bounded_queue_push_pop", |b| {
+        let queue = RequestQueue::with_policy(AdmissionPolicy::Drop { capacity: 1024 });
+        let rx = queue.receiver();
+        let mut id = 0u64;
+        b.iter(|| {
+            id += 1;
+            queue.push(
+                Request {
+                    id: RequestId(id),
+                    payload: Vec::new(),
+                    issued_ns: id,
+                },
+                id,
+                Completion::Inline,
+            );
+            std::hint::black_box(rx.recv().unwrap());
+        });
+    });
+
+    group.bench_function("collector_shard_record", |b| {
+        // The integrated hot path's statistics cost: one record into a worker's own
+        // shard (versus the old cross-thread channel send to a collector thread).
+        let mut shard = StatsCollector::new(0);
+        let mut id = 0u64;
+        b.iter(|| {
+            id += 1;
+            let issued = id * 1_000;
+            shard.record(std::hint::black_box(&RequestRecord {
+                id: RequestId(id),
+                issued_ns: issued,
+                enqueued_ns: issued + 50,
+                started_ns: issued + 500,
+                completed_ns: issued + 50_000,
+                client_received_ns: issued + 50_100,
+            }));
+        });
+    });
+
+    group.bench_function("collector_shard_merge_16", |b| {
+        // Merge cost is paid once per run, off the hot path — it just has to be sane.
+        let mut shards: Vec<StatsCollector> = (0..16).map(|_| StatsCollector::new(0)).collect();
+        for (s, shard) in shards.iter_mut().enumerate() {
+            for i in 0..10_000u64 {
+                let issued = i * 1_000;
+                shard.record(&RequestRecord {
+                    id: RequestId(i),
+                    issued_ns: issued,
+                    enqueued_ns: issued + s as u64,
+                    started_ns: issued + 500,
+                    completed_ns: issued + 50_000,
+                    client_received_ns: issued + 50_100,
+                });
+            }
+        }
+        b.iter(|| {
+            let mut merged = StatsCollector::new(0);
+            for shard in &shards {
+                merged.merge(shard);
+            }
+            std::hint::black_box(merged.measured())
+        });
+    });
+
+    group.bench_function("buffer_pool_take_recycle", |b| {
+        let pool = BufferPool::default();
+        pool.recycle(Vec::with_capacity(256));
+        b.iter(|| {
+            let mut buf = pool.take(256);
+            buf.extend_from_slice(std::hint::black_box(&[0u8; 64]));
+            pool.recycle(buf);
         });
     });
 

@@ -112,6 +112,12 @@ fn main() {
         .expect("scenario run failed");
         assert_eq!(report.per_phase.len(), 3);
         assert_eq!(report.per_class.len(), 2);
+        // Burst tails are only meaningful if the harness held its schedule: surface
+        // pacing skew instead of silently reporting distorted amplification.  (Under
+        // DES the virtual clock paces exactly and this never fires.)
+        if let Some(warning) = report.pacing_warning(tailbench_scenario::PACING_WARN_THRESHOLD_NS) {
+            eprintln!("fig10 {amplitude}x: {warning}");
+        }
         rows.push(vec![
             format!("{amplitude}x"),
             format_latency(report.per_phase[0].sojourn.p99_ns as f64),

@@ -1,16 +1,20 @@
 //! The statistics collector.
 //!
 //! The collector aggregates per-request latency records into sojourn, queuing and
-//! service-time distributions (paper Fig. 1, §IV-C).  It can be used inline (the
-//! discrete-event simulation runner calls [`StatsCollector::record`] directly) or behind
-//! a channel with a dedicated thread (the real-time runners), so that statistics
-//! maintenance never executes on application worker threads.
+//! service-time distributions (paper Fig. 1, §IV-C).  The real-time runners no longer
+//! funnel every completion through one channel into a single collector thread — that
+//! send, and the collector thread's cache traffic, sat on the measurement hot path.
+//! Instead every worker / client-connection thread owns its own *collector shard* (a
+//! plain [`StatsCollector`]) and records locally; the shards are merged with
+//! [`StatsCollector::merge`] when the run tears down.  HDR histograms are
+//! order-independent, and the histogram crate's `summary merge == single recording`
+//! property test licenses the rearrangement: a merged set of shards is statistically
+//! identical to one collector that saw every record.  The discrete-event simulation
+//! runner records inline on its single thread, exactly as before.
 
 use crate::report::LatencyStats;
 use crate::request::RequestRecord;
-use crossbeam::channel::{unbounded, Receiver, Sender};
 use std::sync::Arc;
-use std::thread::JoinHandle;
 use tailbench_histogram::LatencySummary;
 
 /// Per-request class and phase tags for a run, indexed by request id.
@@ -169,6 +173,34 @@ impl StatsCollector {
         self.last_completion_ns = self.last_completion_ns.max(r.client_received_ns);
     }
 
+    /// Merges another collector shard into this one.
+    ///
+    /// Shards must have been created with the same warmup count and tag table (the
+    /// runners clone one prototype per thread, so this holds by construction).  The
+    /// merge is order-independent: histograms, counters, and the min/max interval
+    /// bounds all commute, so `merge(a, b)` equals a single collector that recorded
+    /// both shards' streams — the property the sharded-collector stress test pins.
+    pub fn merge(&mut self, other: &StatsCollector) {
+        debug_assert_eq!(
+            self.warmup_count, other.warmup_count,
+            "collector shards must share a warmup count"
+        );
+        self.sojourn.merge(&other.sojourn);
+        self.service.merge(&other.service);
+        self.queue.merge(&other.queue);
+        self.overhead.merge(&other.overhead);
+        for (mine, theirs) in self.per_class.iter_mut().zip(&other.per_class) {
+            mine.merge(theirs);
+        }
+        for (mine, theirs) in self.per_phase.iter_mut().zip(&other.per_phase) {
+            mine.merge(theirs);
+        }
+        self.measured += other.measured;
+        self.warmup_seen += other.warmup_seen;
+        self.first_issue_ns = self.first_issue_ns.min(other.first_issue_ns);
+        self.last_completion_ns = self.last_completion_ns.max(other.last_completion_ns);
+    }
+
     /// Number of measured (non-warmup) requests recorded.
     #[must_use]
     pub fn measured(&self) -> u64 {
@@ -263,7 +295,8 @@ impl StatsCollector {
 /// A merge in progress for one fanned-out request.
 #[derive(Debug, Clone, Copy)]
 struct PendingFanout {
-    remaining: usize,
+    expected: usize,
+    seen: usize,
     slowest: RequestRecord,
 }
 
@@ -275,6 +308,11 @@ struct PendingFanout {
 /// partition-aggregate query can only answer once its slowest leaf has responded).
 /// Reporting both distributions makes the fan-out tail amplification
 /// (`p99_cluster / p99_shard`) a first-class result.
+///
+/// Like [`StatsCollector`], cluster collectors shard: each receiver/forwarder thread
+/// owns a partial collector seeing only its instance's legs, and the partials combine
+/// with [`ClusterCollector::merge`] at run end — including in-flight fan-out merges,
+/// whose leg counts and slowest-leg records compose across shards.
 #[derive(Debug, Clone)]
 pub struct ClusterCollector {
     cluster: StatsCollector,
@@ -325,20 +363,60 @@ impl ClusterCollector {
             return Some(record);
         }
         let entry = self.pending.entry(record.id.0).or_insert(PendingFanout {
-            remaining: expected_legs,
+            expected: expected_legs,
+            seen: 0,
             slowest: record,
         });
         if record.client_received_ns > entry.slowest.client_received_ns {
             entry.slowest = record;
         }
-        entry.remaining -= 1;
-        if entry.remaining == 0 {
+        entry.seen += 1;
+        if entry.seen >= entry.expected {
             let slowest = entry.slowest;
             self.pending.remove(&record.id.0);
             self.cluster.record(&slowest);
             Some(slowest)
         } else {
             None
+        }
+    }
+
+    /// Merges a partial collector (another receiver thread's view of the run) into
+    /// this one.  Per-shard and end-to-end histograms combine directly; fan-out merges
+    /// still in flight combine leg counts and slowest-leg records, completing — and
+    /// recording end-to-end — any request whose legs were split across the partials.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the collectors were created with different shard counts.
+    pub fn merge(&mut self, other: ClusterCollector) {
+        assert_eq!(
+            self.per_shard.len(),
+            other.per_shard.len(),
+            "cluster collector partials must share a shard count"
+        );
+        self.cluster.merge(&other.cluster);
+        for (mine, theirs) in self.per_shard.iter_mut().zip(&other.per_shard) {
+            mine.merge(theirs);
+        }
+        for (id, partial) in other.pending {
+            let completed = match self.pending.get_mut(&id) {
+                Some(entry) => {
+                    entry.seen += partial.seen;
+                    if partial.slowest.client_received_ns > entry.slowest.client_received_ns {
+                        entry.slowest = partial.slowest;
+                    }
+                    (entry.seen >= entry.expected).then_some(entry.slowest)
+                }
+                None => {
+                    self.pending.insert(id, partial);
+                    None
+                }
+            };
+            if let Some(slowest) = completed {
+                self.pending.remove(&id);
+                self.cluster.record(&slowest);
+            }
         }
     }
 
@@ -371,123 +449,6 @@ impl ClusterCollector {
             merged.merge(shard.sojourn_summary());
         }
         merged
-    }
-}
-
-/// One finished request leg on its way to the cluster collector thread:
-/// `(shard, expected_legs, record)`.
-pub type ClusterLeg = (usize, usize, RequestRecord);
-
-/// A [`ClusterCollector`] running on its own thread, fed through a channel.
-///
-/// Receiver/forwarder threads send [`ClusterLeg`] triples; when every sender has been
-/// dropped the thread finishes and [`ClusterCollectorHandle::join`] returns the
-/// populated collector.
-#[derive(Debug)]
-pub struct ClusterCollectorHandle {
-    tx: Sender<ClusterLeg>,
-    handle: JoinHandle<ClusterCollector>,
-}
-
-impl ClusterCollectorHandle {
-    /// Spawns the collector thread.
-    #[must_use]
-    pub fn spawn(shards: usize, warmup_count: u64) -> Self {
-        Self::spawn_with_tags(shards, warmup_count, None)
-    }
-
-    /// Spawns the collector thread with per-request class/phase tags attached to the
-    /// end-to-end collector.
-    #[must_use]
-    pub fn spawn_with_tags(
-        shards: usize,
-        warmup_count: u64,
-        tags: Option<Arc<RequestTags>>,
-    ) -> Self {
-        let (tx, rx): (Sender<ClusterLeg>, Receiver<ClusterLeg>) = unbounded();
-        let handle = std::thread::Builder::new()
-            .name("tb-cluster-collector".into())
-            .spawn(move || {
-                let mut collector = ClusterCollector::new(shards, warmup_count).with_tags(tags);
-                while let Ok((shard, expected_legs, record)) = rx.recv() {
-                    let _ = collector.record_leg(shard, record, expected_legs);
-                }
-                collector
-            })
-            .expect("failed to spawn cluster collector thread");
-        ClusterCollectorHandle { tx, handle }
-    }
-
-    /// A sender that routes leg records to the collector thread.
-    #[must_use]
-    pub fn sender(&self) -> Sender<ClusterLeg> {
-        self.tx.clone()
-    }
-
-    /// Drops the local sender and waits for the collector thread to drain.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the collector thread itself panicked.
-    #[must_use]
-    pub fn join(self) -> ClusterCollector {
-        drop(self.tx);
-        self.handle
-            .join()
-            .expect("cluster collector thread panicked")
-    }
-}
-
-/// A collector running on its own thread, fed through a channel.
-///
-/// Worker threads (or client receiver threads) send [`RequestRecord`]s into
-/// [`CollectorHandle::sender`]; when every sender has been dropped the thread finishes
-/// and [`CollectorHandle::join`] returns the populated [`StatsCollector`].
-#[derive(Debug)]
-pub struct CollectorHandle {
-    tx: Sender<RequestRecord>,
-    handle: JoinHandle<StatsCollector>,
-}
-
-impl CollectorHandle {
-    /// Spawns the collector thread.
-    #[must_use]
-    pub fn spawn(warmup_count: u64) -> Self {
-        Self::spawn_with_tags(warmup_count, None)
-    }
-
-    /// Spawns the collector thread with per-request class/phase tags attached.
-    #[must_use]
-    pub fn spawn_with_tags(warmup_count: u64, tags: Option<Arc<RequestTags>>) -> Self {
-        let (tx, rx): (Sender<RequestRecord>, Receiver<RequestRecord>) = unbounded();
-        let handle = std::thread::Builder::new()
-            .name("tb-collector".into())
-            .spawn(move || {
-                let mut collector = StatsCollector::new(warmup_count).with_tags(tags);
-                while let Ok(record) = rx.recv() {
-                    collector.record(&record);
-                }
-                collector
-            })
-            .expect("failed to spawn collector thread");
-        CollectorHandle { tx, handle }
-    }
-
-    /// A sender that routes records to the collector thread.
-    #[must_use]
-    pub fn sender(&self) -> Sender<RequestRecord> {
-        self.tx.clone()
-    }
-
-    /// Drops the local sender and waits for the collector thread to drain.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the collector thread itself panicked.
-    #[must_use]
-    pub fn join(self) -> StatsCollector {
-        drop(self.tx);
-        self.handle.join().expect("collector thread panicked")
     }
 }
 
@@ -601,19 +562,69 @@ mod tests {
     }
 
     #[test]
-    fn threaded_cluster_collector_drains_and_joins() {
-        let handle = ClusterCollectorHandle::spawn(2, 0);
-        let tx = handle.sender();
+    fn partial_cluster_collectors_merge_split_fanouts() {
+        // Two receiver threads each saw one leg of every broadcast request: neither
+        // partial can complete a fan-out merge alone, but merging the partials must
+        // complete all of them with the slowest leg winning.
+        let mut a = ClusterCollector::new(2, 0);
+        let mut b = ClusterCollector::new(2, 0);
         for i in 0..10u64 {
-            tx.send((0, 2, record_at(i, 0, 100))).unwrap();
-            tx.send((1, 2, record_at(i, 0, 200))).unwrap();
+            assert!(a.record_leg(0, record_at(i, 0, 100), 2).is_none());
+            assert!(b.record_leg(1, record_at(i, 0, 200), 2).is_none());
         }
-        drop(tx);
-        let collector = handle.join();
-        assert_eq!(collector.cluster_stats().measured(), 10);
-        assert_eq!(collector.shard_stats()[0].measured(), 10);
-        assert_eq!(collector.shard_stats()[1].measured(), 10);
-        assert_eq!(collector.unmerged(), 0);
+        assert_eq!(a.unmerged(), 10);
+        a.merge(b);
+        assert_eq!(a.unmerged(), 0);
+        assert_eq!(a.cluster_stats().measured(), 10);
+        assert_eq!(a.shard_stats()[0].measured(), 10);
+        assert_eq!(a.shard_stats()[1].measured(), 10);
+        assert_eq!(a.cluster_stats().sojourn_stats().min_ns, 200);
+    }
+
+    #[test]
+    fn merged_partials_equal_a_single_collector() {
+        // The same 40 legs recorded (a) through one collector and (b) split across
+        // three partials merged afterwards must produce identical statistics.
+        let legs: Vec<(usize, RequestRecord)> = (0..20u64)
+            .flat_map(|i| {
+                vec![
+                    (0usize, record_at(i, i * 10, i * 10 + 100 + i)),
+                    (1usize, record_at(i, i * 10, i * 10 + 300 + 2 * i)),
+                ]
+            })
+            .collect();
+        let mut single = ClusterCollector::new(2, 3);
+        for (shard, record) in &legs {
+            let _ = single.record_leg(*shard, *record, 2);
+        }
+        let mut partials: Vec<ClusterCollector> =
+            (0..3).map(|_| ClusterCollector::new(2, 3)).collect();
+        for (i, (shard, record)) in legs.iter().enumerate() {
+            let _ = partials[i % 3].record_leg(*shard, *record, 2);
+        }
+        let mut merged = partials.remove(0);
+        for partial in partials {
+            merged.merge(partial);
+        }
+        assert_eq!(merged.unmerged(), single.unmerged());
+        assert_eq!(
+            merged.cluster_stats().measured(),
+            single.cluster_stats().measured()
+        );
+        assert_eq!(
+            merged.cluster_stats().sojourn_stats(),
+            single.cluster_stats().sojourn_stats()
+        );
+        for shard in 0..2 {
+            assert_eq!(
+                merged.shard_stats()[shard].sojourn_stats(),
+                single.shard_stats()[shard].sojourn_stats()
+            );
+        }
+        assert_eq!(
+            LatencyStats::from_summary(&merged.merged_shard_sojourn()),
+            LatencyStats::from_summary(&single.merged_shard_sojourn())
+        );
     }
 
     #[test]
@@ -648,14 +659,37 @@ mod tests {
     }
 
     #[test]
-    fn threaded_collector_drains_and_joins() {
-        let handle = CollectorHandle::spawn(0);
-        let tx = handle.sender();
-        for i in 0..50u64 {
-            tx.send(record(i, i * 100, 10)).unwrap();
+    fn shard_merge_equals_single_recording() {
+        // Record a deterministic stream into one collector and, interleaved, into four
+        // shards; the merged shards must be statistically identical (the histogram
+        // crate's merge proptest licenses this, pinned here at the collector level).
+        let tags = Arc::new(RequestTags::new(
+            vec!["fg".into(), "bg".into()],
+            vec!["steady".into()],
+            (0..200).map(|i| (i % 2) as u16).collect(),
+            vec![0; 200],
+        ));
+        let mut single = StatsCollector::new(10).with_tags(Some(Arc::clone(&tags)));
+        let mut shards: Vec<StatsCollector> = (0..4)
+            .map(|_| StatsCollector::new(10).with_tags(Some(Arc::clone(&tags))))
+            .collect();
+        for i in 0..200u64 {
+            let r = record(i, i * 1_000, 100 + (i * 37) % 5_000);
+            single.record(&r);
+            shards[(i % 4) as usize].record(&r);
         }
-        drop(tx);
-        let collector = handle.join();
-        assert_eq!(collector.measured(), 50);
+        let mut merged = shards.remove(0);
+        for shard in &shards {
+            merged.merge(shard);
+        }
+        assert_eq!(merged.measured(), single.measured());
+        assert_eq!(merged.warmup_seen(), single.warmup_seen());
+        assert_eq!(merged.span_ns(), single.span_ns());
+        assert_eq!(merged.sojourn_stats(), single.sojourn_stats());
+        assert_eq!(merged.service_stats(), single.service_stats());
+        assert_eq!(merged.queue_stats(), single.queue_stats());
+        assert_eq!(merged.class_breakdown(), single.class_breakdown());
+        assert_eq!(merged.phase_breakdown(), single.phase_breakdown());
+        assert!((merged.achieved_qps() - single.achieved_qps()).abs() < 1e-9);
     }
 }

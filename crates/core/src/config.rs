@@ -6,6 +6,7 @@
 
 use crate::collector::RequestTags;
 use crate::interference::InterferencePlan;
+use crate::queue::AdmissionPolicy;
 use crate::traffic::LoadMode;
 use std::sync::Arc;
 use std::time::Duration;
@@ -326,6 +327,10 @@ pub struct BenchmarkConfig {
     /// Per-request class/phase tags for per-class and per-phase reporting (the scenario
     /// engine fills this in; `None` for plain runs).
     pub tags: Option<Arc<RequestTags>>,
+    /// Request-queue admission policy (per server instance in cluster runs).  The
+    /// default is the classic unbounded open-loop queue; bounded `Block`/`Drop`
+    /// policies make overload visible as backpressure or counted drops.
+    pub admission: AdmissionPolicy,
 }
 
 impl BenchmarkConfig {
@@ -343,6 +348,7 @@ impl BenchmarkConfig {
             max_duration: Duration::from_secs(120),
             interference: InterferencePlan::none(),
             tags: None,
+            admission: AdmissionPolicy::unbounded(),
         }
     }
 
@@ -402,6 +408,13 @@ impl BenchmarkConfig {
         self
     }
 
+    /// Sets the request-queue admission policy.
+    #[must_use]
+    pub fn with_admission(mut self, admission: AdmissionPolicy) -> Self {
+        self.admission = admission;
+        self
+    }
+
     /// Total number of requests issued per run (warmup + measured).
     #[must_use]
     pub fn total_requests(&self) -> usize {
@@ -446,6 +459,13 @@ impl BenchmarkConfig {
                 ));
             }
         }
+        if self.admission.capacity() == 0 {
+            return Err(HarnessError::Config(
+                "queue admission capacity is 0: every request would be rejected \
+                 (Drop) or deadlock the producer (Block); use a capacity >= 1"
+                    .into(),
+            ));
+        }
         match self.mode {
             HarnessMode::Loopback { connections } | HarnessMode::Networked { connections, .. }
                 if connections == 0 =>
@@ -461,6 +481,19 @@ impl BenchmarkConfig {
                     "closed-loop load cannot run under the discrete-event simulator: \
                      the simulator replays precomputed open-loop schedules; use an \
                      open-loop LoadMode (Poisson or trace) or a real-time harness mode"
+                        .into(),
+                ));
+            }
+            HarnessMode::Simulated
+                if matches!(
+                    self.admission,
+                    crate::queue::AdmissionPolicy::Block { capacity } if capacity != usize::MAX
+                ) =>
+            {
+                return Err(HarnessError::Config(
+                    "a bounded Block admission policy cannot backpressure the \
+                     simulator's fixed virtual-time arrivals; use Drop { capacity } \
+                     or the unbounded default for simulated runs"
                         .into(),
                 ));
             }
@@ -663,6 +696,28 @@ mod tests {
             .with_load(LoadMode::Closed { think_ns: 0 });
         let err = closed_sim.validate().unwrap_err().to_string();
         assert!(err.contains("closed-loop"), "{err}");
+
+        let zero_capacity = BenchmarkConfig::new(1_000.0, 100)
+            .with_admission(AdmissionPolicy::Drop { capacity: 0 });
+        let err = zero_capacity.validate().unwrap_err().to_string();
+        assert!(err.contains("capacity"), "{err}");
+        let bounded = BenchmarkConfig::new(1_000.0, 100)
+            .with_admission(AdmissionPolicy::Drop { capacity: 64 });
+        assert!(bounded.validate().is_ok());
+
+        // A bounded Block policy cannot backpressure virtual-time arrivals, so the
+        // simulator rejects it; Drop and the unbounded default stay legal.
+        let block_sim = BenchmarkConfig::new(1_000.0, 100)
+            .with_mode(HarnessMode::Simulated)
+            .with_admission(AdmissionPolicy::Block { capacity: 64 });
+        let err = block_sim.validate().unwrap_err().to_string();
+        assert!(err.contains("backpressure"), "{err}");
+        let drop_sim = BenchmarkConfig::new(1_000.0, 100)
+            .with_mode(HarnessMode::Simulated)
+            .with_admission(AdmissionPolicy::Drop { capacity: 64 });
+        assert!(drop_sim.validate().is_ok());
+        let unbounded_sim = BenchmarkConfig::new(1_000.0, 100).with_mode(HarnessMode::Simulated);
+        assert!(unbounded_sim.validate().is_ok());
     }
 
     #[test]

@@ -12,13 +12,17 @@
 //! copy into [`HedgeMsg::Completed`], and the router signals the end of pacing with
 //! [`HedgeMsg::NoMoreDispatches`].  Because a leg's `Dispatched` is enqueued before the
 //! request can possibly complete, the engine never sees a completion for an unknown leg.
+//! The engine already serializes every completion on its own thread, so it records
+//! winning legs straight into a [`ClusterCollector`] it owns — there is no separate
+//! collector thread or channel behind it — and hands the populated collector back at
+//! [`HedgeEngine::join`].
 //!
 //! Shutdown is two-phase to avoid a teardown cycle: the reissue path (which holds
 //! clones of the server-side queue senders) is dropped as soon as pacing has ended and
 //! every outstanding copy has completed; only then can workers and forwarders unwind,
 //! closing the engine's channel and letting it return its [`HedgeStats`].
 
-use crate::collector::ClusterLeg;
+use crate::collector::ClusterCollector;
 use crate::config::{ClusterConfig, HedgePolicy};
 use crate::report::HedgeStats;
 use crate::request::{Request, RequestRecord};
@@ -49,6 +53,14 @@ pub(crate) enum HedgeMsg {
         /// The copy's latency record.
         record: RequestRecord,
     },
+    /// A previously announced leg was shed at admission and will never complete;
+    /// retract its tracking so it is neither hedged nor left pending.
+    Cancelled {
+        /// The leg's request id.
+        id: u64,
+        /// The shard the leg belonged to.
+        shard: usize,
+    },
     /// The router finished pacing; no further `Dispatched` messages will arrive.
     NoMoreDispatches,
 }
@@ -67,19 +79,20 @@ struct WallLeg {
 #[derive(Debug)]
 pub(crate) struct HedgeEngine {
     tx: Sender<HedgeMsg>,
-    handle: JoinHandle<HedgeStats>,
+    handle: JoinHandle<(HedgeStats, ClusterCollector)>,
 }
 
 impl HedgeEngine {
     /// Spawns the engine.  `reissue(instance, request)` injects a hedge copy into the
     /// transport (a queue push in the integrated configuration, a sender-channel send in
-    /// the TCP ones); `collector_tx` receives the winning record of every leg.
+    /// the TCP ones); `collector` receives the winning record of every leg and is
+    /// returned, populated, from [`HedgeEngine::join`].
     pub(crate) fn spawn(
         policy: HedgePolicy,
         cluster: ClusterConfig,
         width: usize,
         clock: RunClock,
-        collector_tx: crossbeam::channel::Sender<ClusterLeg>,
+        mut collector: ClusterCollector,
         reissue: Box<dyn FnMut(usize, Request) -> bool + Send>,
     ) -> Self {
         let (tx, rx) = channel::<HedgeMsg>();
@@ -171,8 +184,18 @@ impl HedgeEngine {
                                     if leg.hedged_to == Some(instance) {
                                         stats.wins += 1;
                                     }
-                                    let _ = collector_tx.send((shard, width, record));
+                                    let _ = collector.record_leg(shard, record, width);
                                 }
+                                leg.outstanding -= 1;
+                                if leg.outstanding == 0 {
+                                    pending.remove(&key);
+                                }
+                            }
+                        }
+                        HedgeMsg::Cancelled { id, shard } => {
+                            let key = (id, shard);
+                            if let Some(leg) = pending.get_mut(&key) {
+                                leg.resolved = true;
                                 leg.outstanding -= 1;
                                 if leg.outstanding == 0 {
                                     pending.remove(&key);
@@ -182,7 +205,7 @@ impl HedgeEngine {
                         HedgeMsg::NoMoreDispatches => no_more = true,
                     }
                 }
-                stats
+                (stats, collector)
             })
             .expect("failed to spawn hedge engine thread");
         HedgeEngine { tx, handle }
@@ -193,12 +216,13 @@ impl HedgeEngine {
         self.tx.clone()
     }
 
-    /// Drops the local sender and waits for the engine to drain.
+    /// Drops the local sender and waits for the engine to drain, returning the hedge
+    /// bookkeeping and the populated cluster collector.
     ///
     /// # Panics
     ///
     /// Panics if the engine thread itself panicked.
-    pub(crate) fn join(self) -> HedgeStats {
+    pub(crate) fn join(self) -> (HedgeStats, ClusterCollector) {
         drop(self.tx);
         self.handle.join().expect("hedge engine thread panicked")
     }
@@ -233,14 +257,13 @@ mod tests {
     fn slow_legs_get_hedged_and_first_response_wins() {
         let cluster = ClusterConfig::new(1, FanoutPolicy::Broadcast).with_replication(2);
         let clock = RunClock::new();
-        let (collector_tx, collector_rx) = crossbeam::channel::unbounded();
         let (hedged_tx, hedged_rx) = crossbeam::channel::unbounded();
         let engine = HedgeEngine::spawn(
             HedgePolicy::after_ns(2_000_000), // 2 ms trigger
             cluster,
             1,
             clock,
-            collector_tx,
+            ClusterCollector::new(1, 0),
             Box::new(move |instance, request| hedged_tx.send((instance, request)).is_ok()),
         );
         let tx = engine.sender();
@@ -297,25 +320,32 @@ mod tests {
         .unwrap();
         tx.send(HedgeMsg::NoMoreDispatches).unwrap();
         drop(tx);
-        let stats = engine.join();
+        let (stats, collector) = engine.join();
         assert_eq!(stats.issued, 2);
         assert_eq!(stats.wins, 1, "only the first leg's hedge won");
-        let forwarded: Vec<ClusterLeg> = collector_rx.iter().collect();
-        assert_eq!(forwarded.len(), 2, "one winning copy per leg");
-        assert_eq!(forwarded[0].2.client_received_ns, hedge_done + 10);
+        assert_eq!(
+            collector.cluster_stats().measured(),
+            2,
+            "one winning copy per leg"
+        );
+        // Only the fast first responses were recorded: both losers arrived >= 400 us
+        // after `now`, so the recorded sojourns stay well below that.
+        assert!(
+            collector.cluster_stats().sojourn_stats().max_ns < now + 400_000,
+            "a losing (straggler) response must never be recorded"
+        );
     }
 
     #[test]
     fn fast_legs_are_never_hedged() {
         let cluster = ClusterConfig::new(1, FanoutPolicy::Broadcast).with_replication(2);
         let clock = RunClock::new();
-        let (collector_tx, collector_rx) = crossbeam::channel::unbounded();
         let engine = HedgeEngine::spawn(
             HedgePolicy::after_ns(200_000_000), // 200 ms: nothing should trigger
             cluster,
             1,
             clock,
-            collector_tx,
+            ClusterCollector::new(1, 0),
             Box::new(|_, _| panic!("no hedge expected")),
         );
         let tx = engine.sender();
@@ -334,8 +364,8 @@ mod tests {
         }
         tx.send(HedgeMsg::NoMoreDispatches).unwrap();
         drop(tx);
-        let stats = engine.join();
+        let (stats, collector) = engine.join();
         assert_eq!(stats, HedgeStats::default());
-        assert_eq!(collector_rx.iter().count(), 10);
+        assert_eq!(collector.cluster_stats().measured(), 10);
     }
 }

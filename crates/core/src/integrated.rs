@@ -4,16 +4,25 @@
 //! shared memory (paper Fig. 1, upper right).  This is the configuration that the paper
 //! recommends for simulation studies; on a real system it measures pure request
 //! processing plus queuing, with no network-stack overhead.
+//!
+//! Measurement pipeline: each worker records completions into its own collector shard
+//! (merged at join — no channel or collector thread on the hot path), the request
+//! queue applies the configured admission policy and reports depth/drop accounting,
+//! and the pacing loop records its per-request issue error.  All three surface as
+//! first-class [`RunReport`] fields.
 
 use crate::app::{RequestFactory, ServerApp};
-use crate::collector::{ClusterCollector, ClusterCollectorHandle, CollectorHandle, StatsCollector};
+use crate::collector::{ClusterCollector, StatsCollector};
 use crate::config::{BenchmarkConfig, ClusterConfig, Route};
 use crate::error::HarnessError;
 use crate::hedge::{HedgeEngine, HedgeMsg};
 use crate::interference::InterferedApp;
-use crate::queue::{Completion, RequestQueue};
-use crate::report::{ClusterReport, HedgeStats, LabeledLatency, LatencyStats, RunReport};
-use crate::time::RunClock;
+use crate::pool::BufferPool;
+use crate::queue::{Completion, PushOutcome, RequestQueue};
+use crate::report::{
+    ClusterReport, HedgeStats, LabeledLatency, LatencyStats, QueueSummary, RunReport,
+};
+use crate::time::{PacingRecorder, RunClock};
 use crate::traffic::{LoadMode, TrafficShaper};
 use crate::worker::WorkerPool;
 use std::sync::Arc;
@@ -40,6 +49,11 @@ pub(crate) fn interfered(
     }
 }
 
+/// The statistics-shard prototype for a run: warmup count plus tags.
+pub(crate) fn shard_proto(config: &BenchmarkConfig) -> StatsCollector {
+    StatsCollector::new(config.warmup_requests as u64).with_tags(config.tags.clone())
+}
+
 /// Runs one measurement in the integrated configuration and returns its report.
 ///
 /// The factory provides request payloads; `config.load` controls their timing.  Warmup
@@ -52,91 +66,102 @@ pub fn run_integrated(
     app.prepare();
     let clock = RunClock::new();
     let serve_app = interfered(app, config, 0, clock);
-    let queue = RequestQueue::new();
-    let collector =
-        CollectorHandle::spawn_with_tags(config.warmup_requests as u64, config.tags.clone());
-    let pool = WorkerPool::spawn(serve_app, queue.receiver(), clock, config.worker_threads);
+    let queue = RequestQueue::with_policy(config.admission);
+    let observer = queue.observer();
+    let pool = WorkerPool::spawn(
+        serve_app,
+        queue.receiver(),
+        clock,
+        config.worker_threads,
+        shard_proto(config),
+        None,
+    );
 
-    let collector_stats = match &config.load {
-        LoadMode::Closed { think_ns } => run_closed_loop(
-            app, factory, config, *think_ns, clock, queue, pool, collector,
-        ),
+    let (collector_stats, pacing) = match &config.load {
+        LoadMode::Closed { think_ns } => {
+            run_closed_loop(factory, config, *think_ns, clock, queue, pool)
+        }
         open => {
             let mut rng = seeded_rng(config.seed, 1);
             let times = open
                 .schedule(&mut rng, config.total_requests())
                 .expect("open-loop by match");
             let shaper = TrafficShaper::from_times(times, 0, || factory.next_request());
-            let record_tx = collector.sender();
             let max_ns = config.max_duration.as_nanos() as u64;
+            let mut pacing = PacingRecorder::new();
             for mut request in shaper.into_requests() {
-                let now = clock.sleep_until_ns(request.issued_ns);
+                let scheduled_ns = request.issued_ns;
+                let now = clock.sleep_until_ns(scheduled_ns);
                 if now > max_ns {
                     break;
                 }
+                pacing.record(scheduled_ns, now);
                 // The request is stamped with its *actual* issue time so pacing jitter is
                 // charged to the harness, not hidden.
                 request.issued_ns = now;
-                if !queue.push(request, now, Completion::Collector(record_tx.clone())) {
+                if queue.push(request, now, Completion::Inline) == PushOutcome::Closed {
                     break;
                 }
             }
-            drop(record_tx);
             queue.close();
-            let _ = pool.join();
-            collector.join()
+            (pool.join().stats, pacing)
         }
     };
 
-    build_report(app.name(), "integrated", config, &collector_stats)
+    let mut report = build_report(app.name(), "integrated", config, &collector_stats);
+    report.queue_depth = observer.summary();
+    report.pacing = pacing.stats();
+    report
 }
 
 /// Closed-loop driver used only by the coordinated-omission ablation: a single client
 /// issues a request, waits synchronously for its completion, sleeps for the think time
 /// and repeats.  Queuing never builds up, which is precisely the measurement error the
-/// open-loop design avoids.
-#[allow(clippy::too_many_arguments)]
+/// open-loop design avoids.  The client thread records completions into its own
+/// collector directly; the completion channel is created once and reused for every
+/// request.
 fn run_closed_loop(
-    _app: &Arc<dyn ServerApp>,
     factory: &mut dyn RequestFactory,
     config: &BenchmarkConfig,
     think_ns: u64,
     clock: RunClock,
     queue: RequestQueue,
     pool: WorkerPool,
-    collector: CollectorHandle,
-) -> StatsCollector {
+) -> (StatsCollector, PacingRecorder) {
     use crate::request::{Request, RequestId};
     use crossbeam::channel::unbounded;
 
-    let record_tx = collector.sender();
+    let mut collector = shard_proto(config);
     let max_ns = config.max_duration.as_nanos() as u64;
+    let (done_tx, done_rx) = unbounded();
     for i in 0..config.total_requests() as u64 {
         let issued_ns = clock.now_ns();
         if issued_ns > max_ns {
             break;
         }
-        let (done_tx, done_rx) = unbounded();
         let request = Request {
             id: RequestId(i),
             payload: factory.next_request(),
             issued_ns,
         };
-        if !queue.push(request, issued_ns, Completion::Responder(done_tx)) {
+        if queue.push(request, issued_ns, Completion::Responder(done_tx.clone()))
+            != PushOutcome::Accepted
+        {
             break;
         }
         if let Ok(completion) = done_rx.recv() {
             let received = clock.now_ns();
-            let _ = record_tx.send(completion.into_record(received));
+            collector.record(&completion.into_record(received));
         }
         if think_ns > 0 {
             clock.sleep_until_ns(clock.now_ns() + think_ns);
         }
     }
-    drop(record_tx);
+    drop(done_tx);
     queue.close();
-    let _ = pool.join();
-    collector.join()
+    let workers = pool.join();
+    collector.merge(&workers.stats);
+    (collector, PacingRecorder::new())
 }
 
 /// Runs one cluster measurement in the integrated configuration.
@@ -144,8 +169,11 @@ fn run_closed_loop(
 /// Each of the `cluster.instances()` server instances gets its own request queue and
 /// worker pool (all sharing one run clock); the calling thread is the client-side
 /// router, pacing the global open-loop schedule and distributing requests according to
-/// `cluster.fanout`.  Fan-out legs are merged last-response-wins by the cross-shard
-/// collector.
+/// `cluster.fanout`.  Fan-out legs are merged last-response-wins: each instance's
+/// forwarder thread records into a partial cross-shard collector, and the partials are
+/// merged when the run tears down (the hedge engine, when active, already serializes
+/// completions and owns the collector itself).  Leg payload clones come from a shared
+/// buffer pool and are recycled by the workers.
 ///
 /// # Errors
 ///
@@ -170,12 +198,14 @@ pub fn run_cluster_integrated(
     let clock = RunClock::new();
     let width = cluster.fanout_width();
     let hedge = cluster.active_hedge();
-    let collector = ClusterCollectorHandle::spawn_with_tags(
-        cluster.shards,
-        config.warmup_requests as u64,
-        config.tags.clone(),
-    );
-    let queues: Vec<RequestQueue> = (0..apps.len()).map(|_| RequestQueue::new()).collect();
+    let warmup = config.warmup_requests as u64;
+    let buffers = Arc::new(BufferPool::default());
+    let new_cluster_collector =
+        || ClusterCollector::new(cluster.shards, warmup).with_tags(config.tags.clone());
+    let queues: Vec<RequestQueue> = (0..apps.len())
+        .map(|_| RequestQueue::with_policy(config.admission))
+        .collect();
+    let observers: Vec<_> = queues.iter().map(RequestQueue::observer).collect();
     let mut pools = Vec::with_capacity(apps.len());
     let mut leg_txs: Vec<crossbeam::channel::Sender<crate::queue::ServerCompletion>> =
         Vec::with_capacity(apps.len());
@@ -186,6 +216,8 @@ pub fn run_cluster_integrated(
             queues[i].receiver(),
             clock,
             config.worker_threads,
+            StatsCollector::new(warmup),
+            Some(Arc::clone(&buffers)),
         ));
         let (resp_tx, resp_rx) = crossbeam::channel::unbounded();
         leg_txs.push(resp_tx);
@@ -193,27 +225,25 @@ pub fn run_cluster_integrated(
     }
 
     // With hedging active, all completions detour through the hedge engine, which
-    // forwards only each leg's first response to the collector and reissues stragglers
-    // straight onto the alternate replica's queue.
+    // forwards only each leg's first response into the collector it owns and reissues
+    // stragglers straight onto the alternate replica's queue.
     let engine = hedge.map(|policy| {
         let queue_txs: Vec<_> = queues.iter().map(RequestQueue::sender).collect();
         let resp_txs = leg_txs.clone();
         let reissue = Box::new(move |instance: usize, request: crate::request::Request| {
             let now = clock.now_ns();
-            queue_txs[instance]
-                .send(crate::queue::QueuedRequest {
-                    request,
-                    enqueued_ns: now,
-                    completion: Completion::Responder(resp_txs[instance].clone()),
-                })
-                .is_ok()
+            queue_txs[instance].push(
+                request,
+                now,
+                Completion::Responder(resp_txs[instance].clone()),
+            ) == PushOutcome::Accepted
         });
         HedgeEngine::spawn(
             policy,
             cluster.clone(),
             width,
             clock,
-            collector.sender(),
+            new_cluster_collector(),
             reissue,
         )
     });
@@ -221,9 +251,9 @@ pub fn run_cluster_integrated(
 
     let mut forwarders = Vec::with_capacity(apps.len());
     for (i, resp_rx) in leg_rxs.into_iter().enumerate() {
-        let record_tx = collector.sender();
         let hedge_tx = engine_tx.clone();
         let shard = i / cluster.replication;
+        let mut partial = new_cluster_collector();
         forwarders.push(
             std::thread::Builder::new()
                 .name(format!("tb-cluster-fwd-{i}"))
@@ -242,10 +272,11 @@ pub fn run_cluster_integrated(
                                 });
                             }
                             None => {
-                                let _ = record_tx.send((shard, width, record));
+                                let _ = partial.record_leg(shard, record, width);
                             }
                         }
                     }
+                    partial
                 })
                 .expect("failed to spawn cluster forwarder"),
         );
@@ -258,11 +289,14 @@ pub fn run_cluster_integrated(
         .expect("checked open-loop above");
     let shaper = TrafficShaper::from_times(times, 0, || factory.next_request());
     let max_ns = config.max_duration.as_nanos() as u64;
+    let mut pacing = PacingRecorder::new();
     'pacing: for mut request in shaper.into_requests() {
-        let now = clock.sleep_until_ns(request.issued_ns);
+        let scheduled_ns = request.issued_ns;
+        let now = clock.sleep_until_ns(scheduled_ns);
         if now > max_ns {
             break;
         }
+        pacing.record(scheduled_ns, now);
         request.issued_ns = now;
         let shards = match cluster.fanout.route(&request.payload, cluster.shards) {
             Route::Shard(shard) => shard..shard + 1,
@@ -270,7 +304,11 @@ pub fn run_cluster_integrated(
         };
         for shard in shards {
             let i = cluster.instance(shard, request.id.0);
-            let leg = request.clone();
+            let leg = crate::request::Request {
+                id: request.id,
+                payload: buffers.duplicate(&request.payload),
+                issued_ns: request.issued_ns,
+            };
             if let Some(tx) = &engine_tx {
                 // Announce the leg before the server can possibly answer it.
                 let _ = tx.send(HedgeMsg::Dispatched {
@@ -278,8 +316,20 @@ pub fn run_cluster_integrated(
                     shard,
                 });
             }
-            if !queues[i].push(leg, now, Completion::Responder(leg_txs[i].clone())) {
-                break 'pacing;
+            match queues[i].push(leg, now, Completion::Responder(leg_txs[i].clone())) {
+                PushOutcome::Accepted => {}
+                PushOutcome::Dropped => {
+                    // The leg was shed at admission: retract its hedge tracking so the
+                    // engine neither hedges a request that can no longer complete its
+                    // fan-out nor counts phantom stragglers.
+                    if let Some(tx) = &engine_tx {
+                        let _ = tx.send(HedgeMsg::Cancelled {
+                            id: request.id.0,
+                            shard,
+                        });
+                    }
+                }
+                PushOutcome::Closed => break 'pacing,
             }
         }
     }
@@ -295,19 +345,35 @@ pub fn run_cluster_integrated(
     for pool in pools {
         let _ = pool.join();
     }
+    let mut partials = Vec::with_capacity(forwarders.len());
     for forwarder in forwarders {
-        let _ = forwarder.join();
+        partials.push(forwarder.join().expect("cluster forwarder thread panicked"));
     }
-    let hedge_stats = engine.map(HedgeEngine::join);
-    let stats = collector.join();
-    Ok(build_cluster_report(
+    let (stats, hedge_stats) = match engine {
+        Some(engine) => {
+            let (hedge_stats, collector) = engine.join();
+            (collector, Some(hedge_stats))
+        }
+        None => {
+            let mut merged = new_cluster_collector();
+            for partial in partials {
+                merged.merge(partial);
+            }
+            (merged, None)
+        }
+    };
+    let queue_summaries: Vec<QueueSummary> = observers.iter().map(|o| o.summary()).collect();
+    let mut report = build_cluster_report(
         apps[0].name(),
         "integrated",
         config,
         cluster,
         &stats,
         hedge_stats,
-    ))
+    );
+    report.cluster.queue_depth = QueueSummary::aggregate(&queue_summaries);
+    report.cluster.pacing = pacing.stats();
+    Ok(report)
 }
 
 /// Validates that `apps` provides exactly one application per cluster instance.
@@ -349,6 +415,7 @@ pub(crate) fn build_cluster_report(
         replication: cluster.replication,
         shard_union_sojourn: LatencyStats::from_summary(&stats.merged_shard_sojourn()),
         hedge,
+        unmerged: stats.unmerged() as u64,
     }
 }
 
@@ -359,7 +426,8 @@ fn labelled(rows: Vec<(String, LatencyStats)>) -> Vec<LabeledLatency> {
         .collect()
 }
 
-/// Assembles a [`RunReport`] from a populated collector.
+/// Assembles a [`RunReport`] from a populated collector.  Queue and pacing summaries
+/// default to empty; the runners fill them in where the path has a queue/pacer.
 pub(crate) fn build_report(
     app: &str,
     configuration: &str,
@@ -380,6 +448,8 @@ pub(crate) fn build_report(
         overhead: stats.overhead_stats(),
         per_class: labelled(stats.class_breakdown()),
         per_phase: labelled(stats.phase_breakdown()),
+        queue_depth: QueueSummary::default(),
+        pacing: LatencyStats::default(),
     }
 }
 
@@ -409,6 +479,12 @@ mod tests {
         assert!(report.sojourn.p99_ns >= report.sojourn.p95_ns);
         // Sojourn must be at least the service time.
         assert!(report.sojourn.mean_ns >= report.service.mean_ns * 0.9);
+        // The measurement pipeline reports its own behaviour.
+        assert_eq!(report.queue_depth.policy, "unbounded");
+        assert_eq!(report.queue_depth.dropped, 0);
+        assert!(report.queue_depth.accepted >= report.requests);
+        assert!(report.queue_depth.peak_depth >= 1);
+        assert!(report.pacing.count >= report.requests);
     }
 
     #[test]
@@ -432,6 +508,30 @@ mod tests {
             high.sojourn.p95_ns,
             low.sojourn.p95_ns
         );
+        // Overload is visible in the depth accounting, not just the sojourn tail.
+        assert!(high.queue_depth.peak_depth > low.queue_depth.peak_depth);
+    }
+
+    #[test]
+    fn drop_admission_sheds_overload_and_reports_it() {
+        use crate::queue::AdmissionPolicy;
+        let app = echo_app();
+        let mut factory = || b"x".to_vec();
+        // ~20 us service at 25k QPS: far beyond one thread's capacity, with a 16-deep
+        // queue every burst beyond 16 is shed and counted.
+        let config = BenchmarkConfig::new(25_000.0, 600)
+            .with_warmup(0)
+            .with_seed(11)
+            .with_admission(AdmissionPolicy::Drop { capacity: 16 });
+        let report = run_integrated(&app, &mut factory, &config);
+        assert_eq!(report.queue_depth.policy, "drop(16)");
+        assert!(report.queue_depth.dropped > 0, "overload must shed");
+        assert!(report.queue_depth.peak_depth <= 16);
+        assert!(report.queue_depth.drop_rate() > 0.0);
+        assert!(report.requests < 600, "dropped requests are never measured");
+        // The queue never grows past the cap, so the sojourn tail stays bounded by
+        // roughly capacity x service time (plus scheduling noise).
+        assert!(report.sojourn.max_ns < 1_000_000_000);
     }
 
     #[test]
@@ -457,6 +557,9 @@ mod tests {
         // single shard's tail.
         assert!(report.cluster.sojourn.p99_ns >= report.max_shard_p99_ns());
         assert!(report.p99_amplification() >= 1.0);
+        // The aggregate queue summary covers all three instances' queues.
+        assert!(report.cluster.queue_depth.accepted >= 3 * report.cluster.requests);
+        assert!(report.cluster.pacing.count >= report.cluster.requests);
     }
 
     #[test]
@@ -504,5 +607,8 @@ mod tests {
         let report = run_integrated(&app, &mut factory, &config);
         assert!(report.requests > 80);
         assert!(report.offered_qps.is_none());
+        // Closed loop: no open-loop schedule, so no pacing error to report.
+        assert_eq!(report.pacing.count, 0);
+        assert_eq!(report.queue_depth.dropped, 0);
     }
 }

@@ -10,7 +10,9 @@
 //! * a **request queue** shared by the application's worker threads stamps queuing and
 //!   service times for every request ([`queue`], [`worker`]);
 //! * a **statistics collector** aggregates per-request records into sojourn, service and
-//!   queuing-time distributions with HDR-histogram precision ([`collector`], [`report`]);
+//!   queuing-time distributions with HDR-histogram precision — sharded per worker /
+//!   per connection and merged at run end, so no statistics maintenance sits on the
+//!   measurement hot path ([`collector`], [`report`]);
 //! * three **measurement configurations** trade fidelity for cost: networked, loopback
 //!   and integrated ([`config::HarnessMode`], [`net`], [`integrated`]), plus a
 //!   **discrete-event simulation** runner that replaces wall-clock service times with a
@@ -59,6 +61,7 @@ mod hedge;
 pub mod integrated;
 pub mod interference;
 pub mod net;
+pub mod pool;
 pub mod protocol;
 pub mod queue;
 pub mod report;
@@ -74,11 +77,15 @@ pub use collector::{ClusterCollector, RequestTags};
 pub use config::{BenchmarkConfig, ClusterConfig, FanoutPolicy, HarnessMode, HedgePolicy, Route};
 pub use error::HarnessError;
 pub use interference::{FaultEvent, FaultKind, FaultTarget, InterferencePlan};
+pub use pool::{BufferPool, PoolStats};
+pub use queue::AdmissionPolicy;
 pub use report::{
-    ClusterReport, HedgeStats, LabeledLatency, LatencyStats, MultiRunReport, RunReport,
+    ClusterReport, HedgeStats, LabeledLatency, LatencyStats, MultiRunReport, QueueSummary,
+    RunReport,
 };
 pub use request::{Request, RequestRecord, Response, WorkProfile};
 pub use runner::{execute, execute_cluster, measure_capacity, run_repeated, RepeatPolicy};
 #[allow(deprecated)]
 pub use runner::{run, run_cluster, run_with_cost_model};
+pub use time::{PacingRecorder, RunClock};
 pub use traffic::{LoadMode, LoadTrace};

@@ -10,18 +10,23 @@
 //!
 //! The client side uses several connections, each with its own sender and receiver
 //! thread, mirroring the paper's use of multiple client processes to avoid client-side
-//! queuing.
+//! queuing.  Each receiver thread owns its own collector shard (merged at join — no
+//! collector thread or channel), each sender thread records its own pacing error, and
+//! server-side payload buffers are pooled: readers take, workers and writers recycle.
 
 use crate::app::{RequestFactory, ServerApp};
-use crate::collector::{ClusterCollectorHandle, CollectorHandle};
+use crate::collector::{ClusterCollector, StatsCollector};
 use crate::config::{BenchmarkConfig, ClusterConfig, Route};
 use crate::error::HarnessError;
 use crate::hedge::{HedgeEngine, HedgeMsg};
-use crate::integrated::{build_cluster_report, build_report, check_instances, interfered};
+use crate::integrated::{
+    build_cluster_report, build_report, check_instances, interfered, shard_proto,
+};
+use crate::pool::BufferPool;
 use crate::protocol;
-use crate::queue::{Completion, RequestQueue};
-use crate::report::{ClusterReport, RunReport};
-use crate::time::RunClock;
+use crate::queue::{Completion, PushOutcome, RequestQueue};
+use crate::report::{ClusterReport, QueueSummary, RunReport};
+use crate::time::{PacingRecorder, RunClock};
 use crate::traffic::TrafficShaper;
 use crate::worker::WorkerPool;
 use crossbeam::channel::unbounded;
@@ -57,20 +62,22 @@ pub fn run_tcp(
     app.prepare();
 
     let clock = RunClock::new();
-    let queue = RequestQueue::new();
-    let collector =
-        CollectorHandle::spawn_with_tags(config.warmup_requests as u64, config.tags.clone());
+    let queue = RequestQueue::with_policy(config.admission);
+    let observer = queue.observer();
+    let buffers = Arc::new(BufferPool::default());
     let pool = WorkerPool::spawn(
         interfered(app, config, 0, clock),
         queue.receiver(),
         clock,
         config.worker_threads,
+        shard_proto(config),
+        Some(Arc::clone(&buffers)),
     );
 
     // --- server side -------------------------------------------------------------------
     let listener = TcpListener::bind("127.0.0.1:0").map_err(HarnessError::Io)?;
     let addr = listener.local_addr().map_err(HarnessError::Io)?;
-    let accept_handle = spawn_server(listener, connections, &queue, clock);
+    let accept_handle = spawn_server(listener, connections, &queue, clock, &buffers);
 
     // --- build the global open-loop schedule and split it across connections -----------
     let mut rng = tailbench_workloads::rng::seeded_rng(config.seed, 1);
@@ -87,31 +94,39 @@ pub fn run_tcp(
     for requests in per_connection {
         let stream = TcpStream::connect(addr).map_err(HarnessError::Io)?;
         stream.set_nodelay(true).map_err(HarnessError::Io)?;
-        let record_tx = collector.sender();
         let reader_stream = stream.try_clone().map_err(HarnessError::Io)?;
 
-        // Receiver thread: decodes responses and forwards complete records.
-        let receiver: JoinHandle<()> = std::thread::Builder::new()
+        // Receiver thread: decodes responses into its own collector shard, reusing one
+        // scratch buffer for the payload bytes.
+        let mut shard = shard_proto(config);
+        let receiver: JoinHandle<StatsCollector> = std::thread::Builder::new()
             .name("tb-client-recv".into())
             .spawn(move || {
                 let mut reader = BufReader::new(reader_stream);
-                while let Ok(Some(frame)) = protocol::read_response(&mut reader) {
-                    let record = record_from_frame(&frame, clock.now_ns(), one_way_delay_ns);
-                    let _ = record_tx.send(record);
+                let mut scratch = Vec::new();
+                while let Ok(Some(header)) =
+                    protocol::read_response_header(&mut reader, &mut scratch)
+                {
+                    let record = record_from_header(&header, clock.now_ns(), one_way_delay_ns);
+                    shard.record(&record);
                 }
+                shard
             })
             .expect("failed to spawn client receiver");
 
-        // Sender thread: paces its share of the schedule.
-        let sender: JoinHandle<()> = std::thread::Builder::new()
+        // Sender thread: paces its share of the schedule and records its issue error.
+        let sender: JoinHandle<PacingRecorder> = std::thread::Builder::new()
             .name("tb-client-send".into())
             .spawn(move || {
                 let mut writer = BufWriter::new(&stream);
+                let mut pacing = PacingRecorder::new();
                 for mut request in requests {
-                    let now = clock.sleep_until_ns(request.issued_ns);
+                    let scheduled_ns = request.issued_ns;
+                    let now = clock.sleep_until_ns(scheduled_ns);
                     if now > max_ns {
                         break;
                     }
+                    pacing.record(scheduled_ns, now);
                     request.issued_ns = now;
                     if protocol::write_request(&mut writer, &request).is_err() {
                         break;
@@ -120,41 +135,50 @@ pub fn run_tcp(
                 drop(writer);
                 // Signal end-of-requests so the server-side reader can wind down.
                 let _ = stream.shutdown(Shutdown::Write);
+                pacing
             })
             .expect("failed to spawn client sender");
 
         client_handles.push((sender, receiver));
     }
 
-    // Wait for all clients to finish sending and receiving.
+    // Wait for all clients to finish sending and receiving, merging their shards.
+    let mut stats = shard_proto(config);
+    let mut pacing = PacingRecorder::new();
     for (sender, receiver) in client_handles {
-        let _ = sender.join();
-        let _ = receiver.join();
+        if let Ok(sent) = sender.join() {
+            pacing.merge(&sent);
+        }
+        if let Ok(shard) = receiver.join() {
+            stats.merge(&shard);
+        }
     }
     // All server readers have observed EOF by now (the receivers only exit once the
     // server writers shut down their side); dropping our queue handle lets workers exit.
     queue.close();
     let _ = pool.join();
     let _ = accept_handle.join();
-    let stats = collector.join();
 
-    Ok(build_report(app.name(), configuration_name, config, &stats))
+    let mut report = build_report(app.name(), configuration_name, config, &stats);
+    report.queue_depth = observer.summary();
+    report.pacing = pacing.stats();
+    Ok(report)
 }
 
 /// Builds the client-side [`RequestRecord`](crate::request::RequestRecord) for a decoded
-/// response frame.  The analytic propagation delay is added once per direction: the
+/// response header.  The analytic propagation delay is added once per direction: the
 /// request and the response each cross the "wire".
-fn record_from_frame(
-    frame: &protocol::ResponseFrame,
+fn record_from_header(
+    header: &protocol::ResponseHeader,
     now_ns: u64,
     one_way_delay_ns: u64,
 ) -> crate::request::RequestRecord {
     crate::request::RequestRecord {
-        id: frame.id,
-        issued_ns: frame.issued_ns,
-        enqueued_ns: frame.enqueued_ns,
-        started_ns: frame.started_ns,
-        completed_ns: frame.completed_ns,
+        id: header.id,
+        issued_ns: header.issued_ns,
+        enqueued_ns: header.enqueued_ns,
+        started_ns: header.started_ns,
+        completed_ns: header.completed_ns,
         client_received_ns: now_ns + 2 * one_way_delay_ns,
     }
 }
@@ -167,9 +191,9 @@ fn record_from_frame(
 /// each request's leg(s) to per-connection sender threads chosen by `cluster.fanout` —
 /// the socket writes happen off the router thread, so a wide fan-out does not serialize
 /// write syscalls into later shards' measured latency.  Per-connection receiver threads
-/// decode responses and feed the cross-shard collector, which merges broadcast legs
-/// last-response-wins.  `one_way_delay_ns` is the analytic propagation delay added per
-/// direction (0 for loopback).
+/// decode responses into partial cross-shard collectors merged at run end (the hedge
+/// engine owns the collector when hedging is active).  `one_way_delay_ns` is the
+/// analytic propagation delay added per direction (0 for loopback).
 ///
 /// # Errors
 ///
@@ -196,13 +220,12 @@ pub fn run_cluster_tcp(
     let clock = RunClock::new();
     let width = cluster.fanout_width();
     let hedge = cluster.active_hedge();
-    let collector = ClusterCollectorHandle::spawn_with_tags(
-        cluster.shards,
-        config.warmup_requests as u64,
-        config.tags.clone(),
-    );
+    let warmup = config.warmup_requests as u64;
+    let new_cluster_collector =
+        || ClusterCollector::new(cluster.shards, warmup).with_tags(config.tags.clone());
 
     let mut queues = Vec::with_capacity(apps.len());
+    let mut observers = Vec::with_capacity(apps.len());
     let mut pools = Vec::with_capacity(apps.len());
     let mut server_handles = Vec::with_capacity(apps.len());
     let mut sender_handles = Vec::with_capacity(apps.len());
@@ -210,16 +233,20 @@ pub fn run_cluster_tcp(
     let mut leg_txs: Vec<crossbeam::channel::Sender<crate::request::Request>> =
         Vec::with_capacity(apps.len());
     for (i, app) in apps.iter().enumerate() {
-        let queue = RequestQueue::new();
+        let queue = RequestQueue::with_policy(config.admission);
+        observers.push(queue.observer());
+        let buffers = Arc::new(BufferPool::default());
         pools.push(WorkerPool::spawn(
             interfered(app, config, i, clock),
             queue.receiver(),
             clock,
             config.worker_threads,
+            StatsCollector::new(warmup),
+            Some(Arc::clone(&buffers)),
         ));
         let listener = TcpListener::bind("127.0.0.1:0").map_err(HarnessError::Io)?;
         let addr = listener.local_addr().map_err(HarnessError::Io)?;
-        server_handles.push(spawn_server(listener, 1, &queue, clock));
+        server_handles.push(spawn_server(listener, 1, &queue, clock, &buffers));
         queues.push(queue);
 
         let stream = TcpStream::connect(addr).map_err(HarnessError::Io)?;
@@ -247,9 +274,9 @@ pub fn run_cluster_tcp(
         );
     }
 
-    // With hedging active, receivers detour through the hedge engine, which forwards
-    // only each leg's first response and reissues stragglers onto the alternate
-    // replica's connection.
+    // With hedging active, receivers detour through the hedge engine, which owns the
+    // collector, forwards only each leg's first response and reissues stragglers onto
+    // the alternate replica's connection.
     let engine = hedge.map(|policy| {
         let hedge_leg_txs = leg_txs.clone();
         let reissue = Box::new(move |instance: usize, request: crate::request::Request| {
@@ -260,7 +287,7 @@ pub fn run_cluster_tcp(
             cluster.clone(),
             width,
             clock,
-            collector.sender(),
+            new_cluster_collector(),
             reissue,
         )
     });
@@ -268,16 +295,19 @@ pub fn run_cluster_tcp(
 
     let mut receiver_handles = Vec::with_capacity(apps.len());
     for (i, reader_stream) in reader_streams.into_iter().enumerate() {
-        let record_tx = collector.sender();
         let hedge_tx = engine_tx.clone();
         let shard = i / cluster.replication;
+        let mut partial = new_cluster_collector();
         receiver_handles.push(
             std::thread::Builder::new()
                 .name(format!("tb-cluster-recv-{i}"))
                 .spawn(move || {
                     let mut reader = BufReader::new(reader_stream);
-                    while let Ok(Some(frame)) = protocol::read_response(&mut reader) {
-                        let record = record_from_frame(&frame, clock.now_ns(), one_way_delay_ns);
+                    let mut scratch = Vec::new();
+                    while let Ok(Some(header)) =
+                        protocol::read_response_header(&mut reader, &mut scratch)
+                    {
+                        let record = record_from_header(&header, clock.now_ns(), one_way_delay_ns);
                         match &hedge_tx {
                             Some(tx) => {
                                 let _ = tx.send(HedgeMsg::Completed {
@@ -287,10 +317,11 @@ pub fn run_cluster_tcp(
                                 });
                             }
                             None => {
-                                let _ = record_tx.send((shard, width, record));
+                                let _ = partial.record_leg(shard, record, width);
                             }
                         }
                     }
+                    partial
                 })
                 .expect("failed to spawn cluster receiver"),
         );
@@ -304,11 +335,14 @@ pub fn run_cluster_tcp(
         .expect("checked open-loop above");
     let shaper = TrafficShaper::from_times(times, 0, || factory.next_request());
     let max_ns = config.max_duration.as_nanos() as u64;
+    let mut pacing = PacingRecorder::new();
     'pacing: for mut request in shaper.into_requests() {
-        let now = clock.sleep_until_ns(request.issued_ns);
+        let scheduled_ns = request.issued_ns;
+        let now = clock.sleep_until_ns(scheduled_ns);
         if now > max_ns {
             break;
         }
+        pacing.record(scheduled_ns, now);
         request.issued_ns = now;
         let legs = match cluster.fanout.route(&request.payload, cluster.shards) {
             Route::Shard(shard) => shard..shard + 1,
@@ -337,8 +371,9 @@ pub fn run_cluster_tcp(
     for sender in sender_handles {
         let _ = sender.join();
     }
+    let mut partials = Vec::with_capacity(receiver_handles.len());
     for receiver in receiver_handles {
-        let _ = receiver.join();
+        partials.push(receiver.join().expect("cluster receiver thread panicked"));
     }
     for queue in queues {
         queue.close();
@@ -349,27 +384,46 @@ pub fn run_cluster_tcp(
     for server in server_handles {
         let _ = server.join();
     }
-    let hedge_stats = engine.map(HedgeEngine::join);
-    let stats = collector.join();
-    Ok(build_cluster_report(
+    let (stats, hedge_stats) = match engine {
+        Some(engine) => {
+            let (hedge_stats, collector) = engine.join();
+            (collector, Some(hedge_stats))
+        }
+        None => {
+            let mut merged = new_cluster_collector();
+            for partial in partials {
+                merged.merge(partial);
+            }
+            (merged, None)
+        }
+    };
+    let queue_summaries: Vec<QueueSummary> = observers.iter().map(|o| o.summary()).collect();
+    let mut report = build_cluster_report(
         apps[0].name(),
         configuration_name,
         config,
         cluster,
         &stats,
         hedge_stats,
-    ))
+    );
+    report.cluster.queue_depth = QueueSummary::aggregate(&queue_summaries);
+    report.cluster.pacing = pacing.stats();
+    Ok(report)
 }
 
 /// Accepts `connections` connections and spawns a reader and a writer thread per
-/// connection.  Returns a handle that joins all per-connection threads.
+/// connection.  Readers pull request payload buffers from `buffers` and writers recycle
+/// response payloads back into it, closing the pool's request/response cycle.  Returns
+/// a handle that joins all per-connection threads.
 fn spawn_server(
     listener: TcpListener,
     connections: usize,
     queue: &RequestQueue,
     clock: RunClock,
+    buffers: &Arc<BufferPool>,
 ) -> JoinHandle<()> {
     let queue_tx = queue.sender();
+    let buffers = Arc::clone(buffers);
     std::thread::Builder::new()
         .name("tb-server-accept".into())
         .spawn(move || {
@@ -382,19 +436,23 @@ fn spawn_server(
                 let (resp_tx, resp_rx) = unbounded();
                 let reader_stream = stream.try_clone().expect("clone server stream");
                 let queue_tx = queue_tx.clone();
+                let read_pool = Arc::clone(&buffers);
+                let write_pool = Arc::clone(&buffers);
 
                 let reader = std::thread::Builder::new()
                     .name("tb-server-recv".into())
                     .spawn(move || {
                         let mut reader = BufReader::new(reader_stream);
-                        while let Ok(Some(request)) = protocol::read_request(&mut reader) {
+                        while let Ok(Some(request)) =
+                            protocol::read_request_pooled(&mut reader, &read_pool)
+                        {
                             let enqueued_ns = clock.now_ns();
-                            let item = crate::queue::QueuedRequest {
+                            if queue_tx.push(
                                 request,
                                 enqueued_ns,
-                                completion: Completion::Responder(resp_tx.clone()),
-                            };
-                            if queue_tx.send(item).is_err() {
+                                Completion::Responder(resp_tx.clone()),
+                            ) == PushOutcome::Closed
+                            {
                                 break;
                             }
                         }
@@ -411,6 +469,7 @@ fn spawn_server(
                             if protocol::write_response(&mut writer, &completion).is_err() {
                                 break;
                             }
+                            write_pool.recycle(completion.response_payload);
                         }
                         drop(writer);
                         let _ = stream.shutdown(Shutdown::Write);
@@ -452,6 +511,9 @@ mod tests {
         assert!(report.sojourn.mean_ns > 0.0);
         // Loopback adds real socket overhead on top of service time.
         assert!(report.sojourn.mean_ns >= report.service.mean_ns);
+        // Queue and pacing accounting flow through the TCP path too.
+        assert!(report.queue_depth.accepted >= report.requests);
+        assert!(report.pacing.count >= report.requests);
     }
 
     #[test]
@@ -493,6 +555,8 @@ mod tests {
         assert!(report.cluster.sojourn.p50_ns > 0);
         // Waiting for both shards can never beat the slower shard's tail.
         assert!(report.cluster.sojourn.p99_ns >= report.max_shard_p99_ns());
+        // Both instances' queues feed the aggregate summary.
+        assert!(report.cluster.queue_depth.accepted >= 2 * report.cluster.requests);
     }
 
     #[test]

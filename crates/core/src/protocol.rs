@@ -7,6 +7,7 @@
 //! (both ends share the run clock because they live on the same machine, exactly as in
 //! the paper's loopback configuration).
 
+use crate::pool::BufferPool;
 use crate::queue::ServerCompletion;
 use crate::request::{Request, RequestId};
 use std::io::{self, Read, Write};
@@ -64,6 +65,13 @@ pub fn write_request(w: &mut impl Write, request: &Request) -> io::Result<()> {
     w.flush()
 }
 
+/// Reads `len` payload bytes into `buf` (cleared and resized first).
+fn read_payload(r: &mut impl Read, len: usize, buf: &mut Vec<u8>) -> io::Result<()> {
+    buf.clear();
+    buf.resize(len, 0);
+    r.read_exact(buf)
+}
+
 /// Reads a request frame; returns `Ok(None)` on a clean end-of-stream.
 ///
 /// # Errors
@@ -75,8 +83,30 @@ pub fn read_request(r: &mut impl Read) -> io::Result<Option<Request>> {
     };
     let id = read_u64(r)?;
     let issued_ns = read_u64(r)?;
-    let mut payload = vec![0u8; len as usize];
-    r.read_exact(&mut payload)?;
+    let mut payload = Vec::new();
+    read_payload(r, len as usize, &mut payload)?;
+    Ok(Some(Request {
+        id: RequestId(id),
+        payload,
+        issued_ns,
+    }))
+}
+
+/// Reads a request frame into a pooled payload buffer — the zero-alloc server hot
+/// path: workers recycle the payload back into the same pool after handling, so a
+/// steady-state connection performs no per-request payload allocations.
+///
+/// # Errors
+///
+/// Propagates any I/O error from the underlying stream.
+pub fn read_request_pooled(r: &mut impl Read, pool: &BufferPool) -> io::Result<Option<Request>> {
+    let Some(len) = read_u32(r)? else {
+        return Ok(None);
+    };
+    let id = read_u64(r)?;
+    let issued_ns = read_u64(r)?;
+    let mut payload = pool.take(len as usize);
+    read_payload(r, len as usize, &mut payload)?;
     Ok(Some(Request {
         id: RequestId(id),
         payload,
@@ -100,12 +130,33 @@ pub fn write_response(w: &mut impl Write, completion: &ServerCompletion) -> io::
     w.flush()
 }
 
-/// Reads a response frame; returns `Ok(None)` on a clean end-of-stream.
+/// The timing header of a response frame, without its payload — what the client-side
+/// receiver actually needs to assemble a latency record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResponseHeader {
+    /// Request identifier being answered.
+    pub id: RequestId,
+    /// Client issue timestamp echoed back by the server.
+    pub issued_ns: u64,
+    /// Server-side enqueue timestamp.
+    pub enqueued_ns: u64,
+    /// Server-side service start timestamp.
+    pub started_ns: u64,
+    /// Server-side completion timestamp.
+    pub completed_ns: u64,
+}
+
+/// Reads a response frame's header, consuming the payload into `scratch` (a reusable
+/// buffer; its previous contents are discarded).  Receiver threads reuse one scratch
+/// buffer per connection, so decoding a response allocates nothing in steady state.
 ///
 /// # Errors
 ///
 /// Propagates any I/O error from the underlying stream.
-pub fn read_response(r: &mut impl Read) -> io::Result<Option<ResponseFrame>> {
+pub fn read_response_header(
+    r: &mut impl Read,
+    scratch: &mut Vec<u8>,
+) -> io::Result<Option<ResponseHeader>> {
     let Some(len) = read_u32(r)? else {
         return Ok(None);
     };
@@ -114,14 +165,32 @@ pub fn read_response(r: &mut impl Read) -> io::Result<Option<ResponseFrame>> {
     let enqueued_ns = read_u64(r)?;
     let started_ns = read_u64(r)?;
     let completed_ns = read_u64(r)?;
-    let mut payload = vec![0u8; len as usize];
-    r.read_exact(&mut payload)?;
-    Ok(Some(ResponseFrame {
+    read_payload(r, len as usize, scratch)?;
+    Ok(Some(ResponseHeader {
         id: RequestId(id),
         issued_ns,
         enqueued_ns,
         started_ns,
         completed_ns,
+    }))
+}
+
+/// Reads a response frame; returns `Ok(None)` on a clean end-of-stream.
+///
+/// # Errors
+///
+/// Propagates any I/O error from the underlying stream.
+pub fn read_response(r: &mut impl Read) -> io::Result<Option<ResponseFrame>> {
+    let mut payload = Vec::new();
+    let Some(header) = read_response_header(r, &mut payload)? else {
+        return Ok(None);
+    };
+    Ok(Some(ResponseFrame {
+        id: header.id,
+        issued_ns: header.issued_ns,
+        enqueued_ns: header.enqueued_ns,
+        started_ns: header.started_ns,
+        completed_ns: header.completed_ns,
         payload,
     }))
 }
@@ -187,6 +256,62 @@ mod tests {
         write_request(&mut buf, &req).unwrap();
         buf.truncate(buf.len() - 10);
         assert!(read_request(&mut Cursor::new(buf)).is_err());
+    }
+
+    #[test]
+    fn pooled_request_reads_reuse_recycled_buffers() {
+        let pool = BufferPool::default();
+        let mut buf = Vec::new();
+        for i in 0..3u64 {
+            let req = Request {
+                id: RequestId(i),
+                payload: vec![i as u8; 64],
+                issued_ns: i,
+            };
+            write_request(&mut buf, &req).unwrap();
+        }
+        let mut cursor = Cursor::new(buf);
+        for i in 0..3u64 {
+            let decoded = read_request_pooled(&mut cursor, &pool).unwrap().unwrap();
+            assert_eq!(decoded.id, RequestId(i));
+            assert_eq!(decoded.payload, vec![i as u8; 64]);
+            pool.recycle(decoded.payload);
+        }
+        assert!(read_request_pooled(&mut cursor, &pool).unwrap().is_none());
+        let stats = pool.stats();
+        assert_eq!(stats.misses, 1, "only the first read allocates");
+        assert_eq!(stats.hits, 2);
+    }
+
+    #[test]
+    fn response_header_reads_share_one_scratch_buffer() {
+        let completion = ServerCompletion {
+            id: RequestId(3),
+            issued_ns: 1,
+            enqueued_ns: 2,
+            started_ns: 3,
+            completed_ns: 4,
+            work: WorkProfile::default(),
+            response_payload: vec![9u8; 32],
+        };
+        let mut buf = Vec::new();
+        write_response(&mut buf, &completion).unwrap();
+        write_response(&mut buf, &completion).unwrap();
+        let mut cursor = Cursor::new(buf);
+        let mut scratch = Vec::new();
+        let a = read_response_header(&mut cursor, &mut scratch)
+            .unwrap()
+            .unwrap();
+        assert_eq!(a.id, RequestId(3));
+        assert_eq!(a.completed_ns, 4);
+        assert_eq!(scratch.len(), 32);
+        let b = read_response_header(&mut cursor, &mut scratch)
+            .unwrap()
+            .unwrap();
+        assert_eq!(a, b);
+        assert!(read_response_header(&mut cursor, &mut scratch)
+            .unwrap()
+            .is_none());
     }
 
     #[test]

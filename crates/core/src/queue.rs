@@ -3,11 +3,155 @@
 //! The request queue sits between the traffic shaper / network front-end and the
 //! application worker threads (paper Fig. 1).  It stores incoming requests, stamps their
 //! enqueue time (from which queuing time is derived) and routes each request's completion
-//! to the right place: directly to the statistics collector in the integrated
+//! to the right place: into the worker's own statistics shard in the integrated
 //! configuration, or back to the originating connection in the TCP configurations.
+//!
+//! Unlike the original unbounded channel, the queue now carries an explicit
+//! [`AdmissionPolicy`] and keeps its own accounting: accepted/dropped counts, peak
+//! depth, and a sampled depth timeline, all surfaced through a [`QueueObserver`] into
+//! the run report.  Open-loop overload is therefore *visible* — either as drops (with
+//! `Drop`) or as measured queue growth and producer backpressure (with `Block`) —
+//! instead of silently buffered.
 
+use crate::report::QueueSummary;
 use crate::request::{Request, RequestId, RequestRecord, WorkProfile};
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Interval between queue-depth timeline samples, in nanoseconds of run time.
+const DEPTH_SAMPLE_EVERY_NS: u64 = 1_000_000;
+
+/// Cap on retained timeline samples; when reached, the timeline is decimated 2:1 and
+/// the sampling interval doubles, keeping memory bounded for arbitrarily long runs
+/// while staying deterministic.
+const DEPTH_SAMPLE_CAP: usize = 4096;
+
+/// What the queue does when an arrival finds it at capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionPolicy {
+    /// Bounded queue with producer backpressure: `push` blocks until space frees.
+    /// Backpressure delays show up in the run's pacing-error summary.
+    Block {
+        /// Maximum queued requests.
+        capacity: usize,
+    },
+    /// Bounded queue with load shedding: arrivals beyond `capacity` are rejected and
+    /// counted as drops in the run's queue summary.
+    Drop {
+        /// Maximum queued requests.
+        capacity: usize,
+    },
+}
+
+impl AdmissionPolicy {
+    /// The default policy: block-on-full with an effectively unlimited capacity, i.e.
+    /// the classic unbounded open-loop queue — but now with depth observability.
+    #[must_use]
+    pub fn unbounded() -> Self {
+        AdmissionPolicy::Block {
+            capacity: usize::MAX,
+        }
+    }
+
+    /// The configured capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        match *self {
+            AdmissionPolicy::Block { capacity } | AdmissionPolicy::Drop { capacity } => capacity,
+        }
+    }
+
+    /// A short label used in reports (`unbounded`, `block(N)`, `drop(N)`).
+    #[must_use]
+    pub fn label(&self) -> String {
+        match *self {
+            AdmissionPolicy::Block {
+                capacity: usize::MAX,
+            } => "unbounded".to_string(),
+            AdmissionPolicy::Block { capacity } => format!("block({capacity})"),
+            AdmissionPolicy::Drop { capacity } => format!("drop({capacity})"),
+        }
+    }
+}
+
+impl Default for AdmissionPolicy {
+    fn default() -> Self {
+        Self::unbounded()
+    }
+}
+
+/// Depth/admission accounting shared by the real-time queue and the discrete-event
+/// simulator's FIFO (both produce the same [`QueueSummary`], so reports are comparable
+/// across harness modes).  All updates happen under the owner's lock or on the
+/// simulator's single thread — no atomics on the hot path.
+#[derive(Debug, Clone)]
+pub(crate) struct DepthTracker {
+    accepted: u64,
+    dropped: u64,
+    peak: u64,
+    sample_every_ns: u64,
+    next_sample_ns: u64,
+    samples: Vec<(u64, u64)>,
+}
+
+impl DepthTracker {
+    pub(crate) fn new() -> Self {
+        DepthTracker {
+            accepted: 0,
+            dropped: 0,
+            peak: 0,
+            sample_every_ns: DEPTH_SAMPLE_EVERY_NS,
+            next_sample_ns: 0,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Records one admitted request observed at `now_ns` with `depth` requests queued
+    /// behind it (inclusive).
+    pub(crate) fn on_push(&mut self, now_ns: u64, depth: u64) {
+        self.accepted += 1;
+        self.peak = self.peak.max(depth);
+        if now_ns >= self.next_sample_ns {
+            self.samples.push((now_ns, depth));
+            // Jump past `now` in whole strides so an idle gap doesn't burst samples.
+            let strides = (now_ns - self.next_sample_ns) / self.sample_every_ns + 1;
+            self.next_sample_ns += strides * self.sample_every_ns;
+            if self.samples.len() >= DEPTH_SAMPLE_CAP {
+                // Decimate 2:1 and double the stride: bounded memory, still ordered.
+                let mut keep = Vec::with_capacity(self.samples.len() / 2 + 1);
+                for (i, s) in self.samples.drain(..).enumerate() {
+                    if i % 2 == 0 {
+                        keep.push(s);
+                    }
+                }
+                self.samples = keep;
+                self.sample_every_ns *= 2;
+            }
+        }
+    }
+
+    /// Records one rejected (dropped) request.
+    pub(crate) fn on_drop(&mut self) {
+        self.dropped += 1;
+    }
+
+    /// The summary of everything recorded so far.
+    pub(crate) fn summary(&self, policy_label: String) -> QueueSummary {
+        let mean = if self.samples.is_empty() {
+            0.0
+        } else {
+            self.samples.iter().map(|&(_, d)| d as f64).sum::<f64>() / self.samples.len() as f64
+        };
+        QueueSummary {
+            policy: policy_label,
+            accepted: self.accepted,
+            dropped: self.dropped,
+            peak_depth: self.peak,
+            mean_sampled_depth: mean,
+            depth_timeline: self.samples.clone(),
+        }
+    }
+}
 
 /// Server-side completion information for one request, produced by a worker thread.
 #[derive(Debug, Clone)]
@@ -48,12 +192,13 @@ impl ServerCompletion {
 #[derive(Debug, Clone)]
 pub enum Completion {
     /// Integrated configuration: the client and server share the process, so the
-    /// response is considered delivered the moment processing completes.  The record is
-    /// forwarded straight to the statistics collector.
-    Collector(Sender<RequestRecord>),
+    /// response is considered delivered the moment processing completes.  The worker
+    /// records the request straight into its own statistics shard — no cross-thread
+    /// send on the critical path.
+    Inline,
     /// TCP configurations: the completion is handed to the originating connection's
     /// writer, which serializes the response back to the client.
-    Responder(Sender<ServerCompletion>),
+    Responder(crossbeam::channel::Sender<ServerCompletion>),
 }
 
 /// A request sitting in the queue, together with its enqueue timestamp and completion
@@ -68,14 +213,56 @@ pub struct QueuedRequest {
     pub completion: Completion,
 }
 
-/// The shared request queue: an unbounded MPMC channel with enqueue-time stamping.
+/// The outcome of one [`RequestQueue::push`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushOutcome {
+    /// The request was admitted.
+    Accepted,
+    /// The request was rejected by a `Drop` admission policy (counted in the summary).
+    Dropped,
+    /// Every worker has already shut down; the run is tearing down.
+    Closed,
+}
+
+#[derive(Debug)]
+struct QueueState {
+    items: VecDeque<QueuedRequest>,
+    producers: usize,
+    consumers: usize,
+    tracker: DepthTracker,
+}
+
+#[derive(Debug)]
+struct QueueShared {
+    state: Mutex<QueueState>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    policy: AdmissionPolicy,
+}
+
+/// The shared request queue: a bounded MPMC FIFO with enqueue-time stamping, an
+/// explicit [`AdmissionPolicy`], and built-in depth accounting.
 ///
-/// Cloning the handle is cheap; producers push with [`RequestQueue::push`], workers pull
-/// via the receiver returned by [`RequestQueue::receiver`].
-#[derive(Debug, Clone)]
+/// Each `RequestQueue` value is one producer handle: cloning registers another
+/// producer, dropping (or [`RequestQueue::close`]) deregisters it, and consumers
+/// observe shutdown once every producer is gone.  Workers pull through the
+/// [`QueueReceiver`] returned by [`RequestQueue::receiver`].
+#[derive(Debug)]
 pub struct RequestQueue {
-    tx: Sender<QueuedRequest>,
-    rx: Receiver<QueuedRequest>,
+    shared: Arc<QueueShared>,
+}
+
+/// The consumer side of a [`RequestQueue`].
+#[derive(Debug)]
+pub struct QueueReceiver {
+    shared: Arc<QueueShared>,
+}
+
+/// A passive handle that can read the queue's accounting after the run tears the
+/// producer/consumer handles down.
+#[derive(Debug, Clone)]
+pub struct QueueObserver {
+    shared: Arc<QueueShared>,
 }
 
 impl Default for RequestQueue {
@@ -85,49 +272,192 @@ impl Default for RequestQueue {
 }
 
 impl RequestQueue {
-    /// Creates an empty queue.
+    /// Creates an empty queue with the default (unbounded-block) admission policy.
     #[must_use]
     pub fn new() -> Self {
-        let (tx, rx) = unbounded();
-        RequestQueue { tx, rx }
+        Self::with_policy(AdmissionPolicy::unbounded())
     }
 
-    /// Pushes a request into the queue with the given enqueue timestamp.
-    ///
-    /// Returns `false` if all workers have already shut down (the run is being torn
-    /// down), in which case the request is dropped.
-    pub fn push(&self, request: Request, enqueued_ns: u64, completion: Completion) -> bool {
-        self.tx
-            .send(QueuedRequest {
-                request,
-                enqueued_ns,
-                completion,
-            })
-            .is_ok()
+    /// Creates an empty queue with an explicit admission policy.
+    #[must_use]
+    pub fn with_policy(policy: AdmissionPolicy) -> Self {
+        RequestQueue {
+            shared: Arc::new(QueueShared {
+                state: Mutex::new(QueueState {
+                    items: VecDeque::new(),
+                    producers: 1,
+                    consumers: 0,
+                    tracker: DepthTracker::new(),
+                }),
+                not_empty: Condvar::new(),
+                not_full: Condvar::new(),
+                policy,
+            }),
+        }
+    }
+
+    /// Pushes a request into the queue with the given enqueue timestamp, applying the
+    /// queue's admission policy (blocking here under `Block` when the queue is full).
+    pub fn push(&self, request: Request, enqueued_ns: u64, completion: Completion) -> PushOutcome {
+        let shared = &*self.shared;
+        let mut state = shared.state.lock().expect("request queue poisoned");
+        if state.consumers == 0 {
+            // Every worker is gone (teardown, or a worker panic unwound its
+            // receiver): pushing would buffer into a queue nobody drains.
+            return PushOutcome::Closed;
+        }
+        let capacity = shared.policy.capacity();
+        if state.items.len() >= capacity {
+            match shared.policy {
+                AdmissionPolicy::Drop { .. } => {
+                    state.tracker.on_drop();
+                    return PushOutcome::Dropped;
+                }
+                AdmissionPolicy::Block { .. } => {
+                    while state.items.len() >= capacity {
+                        if state.consumers == 0 {
+                            return PushOutcome::Closed;
+                        }
+                        state = shared.not_full.wait(state).expect("request queue poisoned");
+                    }
+                }
+            }
+        }
+        state.items.push_back(QueuedRequest {
+            request,
+            enqueued_ns,
+            completion,
+        });
+        let depth = state.items.len() as u64;
+        state.tracker.on_push(enqueued_ns, depth);
+        drop(state);
+        shared.not_empty.notify_one();
+        PushOutcome::Accepted
     }
 
     /// The worker-side receiver.
     #[must_use]
-    pub fn receiver(&self) -> Receiver<QueuedRequest> {
-        self.rx.clone()
+    pub fn receiver(&self) -> QueueReceiver {
+        let mut state = self.shared.state.lock().expect("request queue poisoned");
+        state.consumers += 1;
+        drop(state);
+        QueueReceiver {
+            shared: Arc::clone(&self.shared),
+        }
     }
 
-    /// A producer-side sender handle (used by network front-ends).
+    /// A passive observer that survives teardown and reports the queue's accounting.
     #[must_use]
-    pub fn sender(&self) -> Sender<QueuedRequest> {
-        self.tx.clone()
+    pub fn observer(&self) -> QueueObserver {
+        QueueObserver {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// A producer-side handle (used by network front-ends); equivalent to `clone`.
+    #[must_use]
+    pub fn sender(&self) -> RequestQueue {
+        self.clone()
     }
 
     /// Current queue depth (requests waiting for a worker).
     #[must_use]
     pub fn depth(&self) -> usize {
-        self.rx.len()
+        self.shared
+            .state
+            .lock()
+            .expect("request queue poisoned")
+            .items
+            .len()
     }
 
-    /// Drops the producer handle held by this instance so workers can observe shutdown
-    /// once every other producer has also been dropped.
+    /// Drops this producer handle so workers can observe shutdown once every other
+    /// producer has also been dropped.
     pub fn close(self) {
-        drop(self.tx);
+        drop(self);
+    }
+}
+
+impl Clone for RequestQueue {
+    fn clone(&self) -> Self {
+        let mut state = self.shared.state.lock().expect("request queue poisoned");
+        state.producers += 1;
+        drop(state);
+        RequestQueue {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl Drop for RequestQueue {
+    fn drop(&mut self) {
+        let mut state = self.shared.state.lock().expect("request queue poisoned");
+        state.producers -= 1;
+        let last = state.producers == 0;
+        drop(state);
+        if last {
+            self.shared.not_empty.notify_all();
+        }
+    }
+}
+
+/// The error returned by [`QueueReceiver::recv`] once the queue is closed and drained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueClosed;
+
+impl QueueReceiver {
+    /// Blocks until a request is available, returning `Err(QueueClosed)` once every
+    /// producer has been dropped and the queue is drained.
+    pub fn recv(&self) -> Result<QueuedRequest, QueueClosed> {
+        let shared = &*self.shared;
+        let mut state = shared.state.lock().expect("request queue poisoned");
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                drop(state);
+                shared.not_full.notify_one();
+                return Ok(item);
+            }
+            if state.producers == 0 {
+                return Err(QueueClosed);
+            }
+            state = shared
+                .not_empty
+                .wait(state)
+                .expect("request queue poisoned");
+        }
+    }
+}
+
+impl Clone for QueueReceiver {
+    fn clone(&self) -> Self {
+        let mut state = self.shared.state.lock().expect("request queue poisoned");
+        state.consumers += 1;
+        drop(state);
+        QueueReceiver {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl Drop for QueueReceiver {
+    fn drop(&mut self) {
+        let mut state = self.shared.state.lock().expect("request queue poisoned");
+        state.consumers -= 1;
+        let last = state.consumers == 0;
+        drop(state);
+        if last {
+            // Unblock producers stuck in Block-on-full so they can observe Closed.
+            self.shared.not_full.notify_all();
+        }
+    }
+}
+
+impl QueueObserver {
+    /// The queue's admission/depth summary so far (complete once producers closed).
+    #[must_use]
+    pub fn summary(&self) -> QueueSummary {
+        let state = self.shared.state.lock().expect("request queue poisoned");
+        state.tracker.summary(self.shared.policy.label())
     }
 }
 
@@ -147,11 +477,16 @@ mod tests {
     #[test]
     fn push_and_receive_preserves_order_and_depth() {
         let q = RequestQueue::new();
-        let (tx, _rx) = unbounded();
-        assert!(q.push(request(1), 100, Completion::Collector(tx.clone())));
-        assert!(q.push(request(2), 200, Completion::Collector(tx)));
-        assert_eq!(q.depth(), 2);
         let rx = q.receiver();
+        assert_eq!(
+            q.push(request(1), 100, Completion::Inline),
+            PushOutcome::Accepted
+        );
+        assert_eq!(
+            q.push(request(2), 200, Completion::Inline),
+            PushOutcome::Accepted
+        );
+        assert_eq!(q.depth(), 2);
         let a = rx.recv().unwrap();
         let b = rx.recv().unwrap();
         assert_eq!(a.request.id, RequestId(1));
@@ -183,5 +518,109 @@ mod tests {
         let rx = q.receiver();
         q.close();
         assert!(rx.recv().is_err());
+    }
+
+    #[test]
+    fn drop_policy_sheds_load_and_counts_it() {
+        let q = RequestQueue::with_policy(AdmissionPolicy::Drop { capacity: 2 });
+        let observer = q.observer();
+        let _rx = q.receiver();
+        assert_eq!(
+            q.push(request(0), 0, Completion::Inline),
+            PushOutcome::Accepted
+        );
+        assert_eq!(
+            q.push(request(1), 10, Completion::Inline),
+            PushOutcome::Accepted
+        );
+        assert_eq!(
+            q.push(request(2), 20, Completion::Inline),
+            PushOutcome::Dropped
+        );
+        assert_eq!(q.depth(), 2);
+        let summary = observer.summary();
+        assert_eq!(summary.policy, "drop(2)");
+        assert_eq!(summary.accepted, 2);
+        assert_eq!(summary.dropped, 1);
+        assert_eq!(summary.peak_depth, 2);
+        assert!((summary.drop_rate() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn block_policy_applies_backpressure_until_a_worker_drains() {
+        let q = RequestQueue::with_policy(AdmissionPolicy::Block { capacity: 1 });
+        let rx = q.receiver();
+        assert_eq!(
+            q.push(request(0), 0, Completion::Inline),
+            PushOutcome::Accepted
+        );
+        // A second push must block until the consumer drains one item.
+        let producer = q.clone();
+        let handle = std::thread::spawn(move || producer.push(request(1), 5, Completion::Inline));
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert!(!handle.is_finished(), "push must block at capacity");
+        let first = rx.recv().unwrap();
+        assert_eq!(first.request.id, RequestId(0));
+        assert_eq!(handle.join().unwrap(), PushOutcome::Accepted);
+        assert_eq!(rx.recv().unwrap().request.id, RequestId(1));
+    }
+
+    #[test]
+    fn pushes_fail_once_every_consumer_is_gone() {
+        // A worker panic drops its receiver; with no consumers left, even an
+        // unbounded queue must refuse new work instead of buffering it forever.
+        let q = RequestQueue::new();
+        let rx = q.receiver();
+        drop(rx);
+        assert_eq!(
+            q.push(request(0), 0, Completion::Inline),
+            PushOutcome::Closed
+        );
+    }
+
+    #[test]
+    fn blocked_producers_unblock_on_consumer_shutdown() {
+        let q = RequestQueue::with_policy(AdmissionPolicy::Block { capacity: 1 });
+        let rx = q.receiver();
+        let _ = q.push(request(0), 0, Completion::Inline);
+        let producer = q.clone();
+        let handle = std::thread::spawn(move || producer.push(request(1), 5, Completion::Inline));
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        drop(rx);
+        assert_eq!(handle.join().unwrap(), PushOutcome::Closed);
+    }
+
+    #[test]
+    fn depth_tracker_samples_a_bounded_deterministic_timeline() {
+        let mut tracker = DepthTracker::new();
+        // Push far more often than the cap at one push per sample interval: the
+        // decimation must keep the timeline bounded and ordered.
+        for i in 0..20_000u64 {
+            tracker.on_push(i * DEPTH_SAMPLE_EVERY_NS, i % 97);
+        }
+        let summary = tracker.summary("unbounded".into());
+        assert_eq!(summary.accepted, 20_000);
+        assert!(summary.depth_timeline.len() < DEPTH_SAMPLE_CAP);
+        assert!(!summary.depth_timeline.is_empty());
+        assert!(summary.depth_timeline.windows(2).all(|w| w[0].0 < w[1].0));
+        assert_eq!(summary.peak_depth, 96);
+        assert!(summary.mean_sampled_depth > 0.0);
+        // Deterministic: the same pushes produce the same timeline.
+        let mut again = DepthTracker::new();
+        for i in 0..20_000u64 {
+            again.on_push(i * DEPTH_SAMPLE_EVERY_NS, i % 97);
+        }
+        assert_eq!(
+            again.summary("unbounded".into()).depth_timeline,
+            summary.depth_timeline
+        );
+    }
+
+    #[test]
+    fn admission_policy_labels() {
+        assert_eq!(AdmissionPolicy::unbounded().label(), "unbounded");
+        assert_eq!(AdmissionPolicy::Block { capacity: 64 }.label(), "block(64)");
+        assert_eq!(AdmissionPolicy::Drop { capacity: 128 }.label(), "drop(128)");
+        assert_eq!(AdmissionPolicy::default(), AdmissionPolicy::unbounded());
     }
 }

@@ -68,6 +68,73 @@ impl LatencyStats {
     }
 }
 
+/// Admission and queue-depth accounting of one run's server-side request queue(s).
+///
+/// Open-loop overload used to be invisible: the unbounded queue silently absorbed any
+/// backlog and only the sojourn tail hinted at it.  Every runner now reports how the
+/// queue actually behaved — what was admitted, what a `Drop` policy rejected, how deep
+/// the queue got, and a sampled depth timeline — so saturation is a first-class result
+/// instead of an inference.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueueSummary {
+    /// Admission-policy label (`unbounded`, `block(N)`, `drop(N)`).
+    pub policy: String,
+    /// Requests admitted into the queue.
+    pub accepted: u64,
+    /// Requests rejected by a `Drop` admission policy.
+    pub dropped: u64,
+    /// Maximum instantaneous queue depth observed at any admission.
+    pub peak_depth: u64,
+    /// Mean depth over the sampled timeline (0 when no samples were taken).
+    pub mean_sampled_depth: f64,
+    /// Sampled `(ns since run epoch, depth)` timeline, in time order.
+    pub depth_timeline: Vec<(u64, u64)>,
+}
+
+impl Default for QueueSummary {
+    fn default() -> Self {
+        QueueSummary {
+            policy: "unbounded".to_string(),
+            accepted: 0,
+            dropped: 0,
+            peak_depth: 0,
+            mean_sampled_depth: 0.0,
+            depth_timeline: Vec::new(),
+        }
+    }
+}
+
+impl QueueSummary {
+    /// Aggregates several queues' summaries (a cluster's per-instance queues) into one:
+    /// counts add, peaks max, timelines are dropped (they belong to individual queues).
+    #[must_use]
+    pub fn aggregate<'a>(summaries: impl IntoIterator<Item = &'a QueueSummary>) -> QueueSummary {
+        let mut out = QueueSummary::default();
+        let mut first = true;
+        for s in summaries {
+            if first {
+                out.policy = s.policy.clone();
+                first = false;
+            }
+            out.accepted += s.accepted;
+            out.dropped += s.dropped;
+            out.peak_depth = out.peak_depth.max(s.peak_depth);
+        }
+        out
+    }
+
+    /// Fraction of offered requests the queue rejected (0 when nothing was offered).
+    #[must_use]
+    pub fn drop_rate(&self) -> f64 {
+        let offered = self.accepted + self.dropped;
+        if offered == 0 {
+            0.0
+        } else {
+            self.dropped as f64 / offered as f64
+        }
+    }
+}
+
 /// One labelled latency distribution inside a report — a client class, a load phase, or
 /// any other slice of the run's requests.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -162,6 +229,13 @@ pub struct RunReport {
     pub per_class: Vec<LabeledLatency>,
     /// Per-load-phase sojourn distributions (empty for untagged runs).
     pub per_phase: Vec<LabeledLatency>,
+    /// Request-queue admission and depth accounting (default for paths without a
+    /// server-side queue, e.g. closed-loop drivers).
+    pub queue_depth: QueueSummary,
+    /// Distribution of per-request pacing error: actual minus scheduled issue time.
+    /// Empty (`count == 0`) for closed-loop runs and for the discrete-event simulator,
+    /// whose virtual clock paces exactly.
+    pub pacing: LatencyStats,
 }
 
 impl RunReport {
@@ -188,6 +262,25 @@ impl RunReport {
         match self.offered_qps {
             Some(offered) if offered > 0.0 => self.achieved_qps < offered * (1.0 - tolerance),
             _ => false,
+        }
+    }
+
+    /// Returns a human-readable warning when the run's p99 pacing error exceeds
+    /// `threshold_ns` — the harness fell behind its open-loop schedule badly enough to
+    /// distort bursts — and `None` when pacing held (or was not recorded).
+    #[must_use]
+    pub fn pacing_warning(&self, threshold_ns: u64) -> Option<String> {
+        if self.pacing.count > 0 && self.pacing.p99_ns > threshold_ns {
+            Some(format!(
+                "warning: p99 pacing error {:.3} ms exceeds {:.3} ms ({} issues, max {:.3} ms); \
+                 open-loop bursts are skewed — reduce offered load or free up client cores",
+                self.pacing.p99_ns as f64 / 1e6,
+                threshold_ns as f64 / 1e6,
+                self.pacing.count,
+                self.pacing.max_ns as f64 / 1e6,
+            ))
+        } else {
+            None
         }
     }
 
@@ -248,6 +341,11 @@ pub struct ClusterReport {
     pub shard_union_sojourn: LatencyStats,
     /// Hedged-request bookkeeping (`None` when no hedge policy was configured).
     pub hedge: Option<HedgeStats>,
+    /// Fan-out requests whose legs never all completed — a run cut short, or legs
+    /// partially shed by a `Drop` admission policy.  These requests are *excluded*
+    /// from the end-to-end distribution, so a non-zero count flags that the cluster
+    /// tail is computed over the surviving (least-loaded) requests only.
+    pub unmerged: u64,
 }
 
 impl ClusterReport {
@@ -417,6 +515,8 @@ mod tests {
             overhead: LatencyStats::default(),
             per_class: Vec::new(),
             per_phase: Vec::new(),
+            queue_depth: QueueSummary::default(),
+            pacing: LatencyStats::default(),
         }
     }
 
@@ -481,6 +581,7 @@ mod tests {
             replication: 1,
             shard_union_sojourn: LatencyStats::default(),
             hedge: None,
+            unmerged: 0,
         };
         assert_eq!(cluster.max_shard_p99_ns(), (2.0 * 1.3e6) as u64);
         assert!((cluster.mean_shard_p99_ns() - 2.0 * 1.3e6).abs() < 1.0);
@@ -499,6 +600,7 @@ mod tests {
             replication: 1,
             shard_union_sojourn: LatencyStats::default(),
             hedge: None,
+            unmerged: 0,
         };
         assert_eq!(cluster.max_shard_p99_ns(), 0);
         assert_eq!(cluster.mean_shard_p99_ns(), 0.0);
@@ -540,5 +642,55 @@ mod tests {
         assert!(s.contains("echo"));
         assert!(s.contains("integrated"));
         assert!(s.contains("p95"));
+    }
+
+    #[test]
+    fn queue_summary_aggregates_counts_and_peaks() {
+        let a = QueueSummary {
+            policy: "drop(64)".into(),
+            accepted: 100,
+            dropped: 10,
+            peak_depth: 40,
+            mean_sampled_depth: 12.0,
+            depth_timeline: vec![(0, 1), (1_000, 40)],
+        };
+        let b = QueueSummary {
+            accepted: 50,
+            dropped: 0,
+            peak_depth: 64,
+            ..QueueSummary::default()
+        };
+        let agg = QueueSummary::aggregate([&a, &b]);
+        assert_eq!(agg.policy, "drop(64)");
+        assert_eq!(agg.accepted, 150);
+        assert_eq!(agg.dropped, 10);
+        assert_eq!(agg.peak_depth, 64);
+        assert!(agg.depth_timeline.is_empty());
+        assert!((a.drop_rate() - 10.0 / 110.0).abs() < 1e-12);
+        assert_eq!(QueueSummary::default().drop_rate(), 0.0);
+        assert_eq!(QueueSummary::default().policy, "unbounded");
+    }
+
+    #[test]
+    fn pacing_warning_fires_only_above_threshold() {
+        let mut r = report(2.0, 1000.0, 998.0);
+        assert!(
+            r.pacing_warning(1_000_000).is_none(),
+            "empty pacing is quiet"
+        );
+        r.pacing = LatencyStats {
+            count: 500,
+            mean_ns: 40_000.0,
+            p50_ns: 10_000,
+            p90_ns: 100_000,
+            p95_ns: 300_000,
+            p99_ns: 2_500_000,
+            p999_ns: 4_000_000,
+            min_ns: 0,
+            max_ns: 5_000_000,
+        };
+        let warn = r.pacing_warning(1_000_000).expect("p99 over threshold");
+        assert!(warn.contains("pacing error"), "{warn}");
+        assert!(r.pacing_warning(10_000_000).is_none());
     }
 }

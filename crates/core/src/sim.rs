@@ -9,6 +9,13 @@
 //! request queue.  Queuing behaviour — the dominant component of tail latency at load —
 //! emerges from the same open-loop arrival process used by the real-time runners.
 //!
+//! The simulated FIFO shares the real-time queue's [`DepthTracker`] accounting, so a
+//! DES run reports the same queue summary (peak depth, drops under a `Drop` admission
+//! policy, sampled depth timeline) as a wall-clock run — deterministically, on the
+//! virtual clock.  A `Block` policy cannot defer fixed open-loop arrivals in virtual
+//! time, so the simulator treats it as unbounded (matching the default).  Virtual-time
+//! pacing is exact, so the pacing summary of a simulated run is empty by construction.
+//!
 //! Scenario support: arrivals may follow a precompiled phased trace
 //! ([`LoadMode::Trace`](crate::traffic::LoadMode)), service times are adjusted by the
 //! configuration's deterministic [`InterferencePlan`](crate::interference::InterferencePlan),
@@ -21,7 +28,8 @@ use crate::collector::{ClusterCollector, StatsCollector};
 use crate::config::{BenchmarkConfig, ClusterConfig, Route};
 use crate::error::HarnessError;
 use crate::integrated::{build_cluster_report, build_report, check_instances};
-use crate::report::{ClusterReport, HedgeStats, RunReport};
+use crate::queue::{AdmissionPolicy, DepthTracker};
+use crate::report::{ClusterReport, HedgeStats, QueueSummary, RunReport};
 use crate::request::{Request, RequestRecord};
 use crate::traffic::TrafficShaper;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
@@ -81,6 +89,11 @@ pub fn run_simulated(
     let plan = config.interference.clone();
     let mut collector =
         StatsCollector::new(config.warmup_requests as u64).with_tags(config.tags.clone());
+    let mut tracker = DepthTracker::new();
+    let shed_capacity = match config.admission {
+        AdmissionPolicy::Drop { capacity } => Some(capacity),
+        AdmissionPolicy::Block { .. } => None,
+    };
     let mut waiting: VecDeque<(Request, u64)> = VecDeque::new();
     let mut completions: BinaryHeap<Completion> = BinaryHeap::new();
     // Records of requests currently in service, indexed by completion seq.
@@ -148,8 +161,14 @@ pub fn run_simulated(
                     &mut completions,
                     &mut in_service,
                 );
+                // Inclusive depth, matching the real-time queue's post-push sample: a
+                // request transits the queue (depth 1) even when a server is idle.
+                tracker.on_push(now, 1);
+            } else if shed_capacity.is_some_and(|cap| waiting.len() >= cap) {
+                tracker.on_drop();
             } else {
                 waiting.push_back((request, now));
+                tracker.on_push(now, waiting.len() as u64);
             }
         } else {
             // Completion event.
@@ -174,7 +193,9 @@ pub fn run_simulated(
         }
     }
 
-    build_report(app.name(), "simulated", config, &collector)
+    let mut report = build_report(app.name(), "simulated", config, &collector);
+    report.queue_depth = tracker.summary(config.admission.label());
+    report
 }
 
 /// One leg copy waiting in a station's FIFO queue.
@@ -294,6 +315,11 @@ pub fn run_cluster_simulated(
     let mut collector = ClusterCollector::new(cluster.shards, config.warmup_requests as u64)
         .with_tags(config.tags.clone());
     let mut stations: Vec<Station> = (0..apps.len()).map(|_| Station::default()).collect();
+    let mut trackers: Vec<DepthTracker> = (0..apps.len()).map(|_| DepthTracker::new()).collect();
+    let shed_capacity = match config.admission {
+        AdmissionPolicy::Drop { capacity } => Some(capacity),
+        AdmissionPolicy::Block { .. } => None,
+    };
     let mut events: BinaryHeap<Event> = BinaryHeap::new();
     // Copies in service, by completion seq.  Only keyed lookups — never iterated — so
     // the map cannot perturb event ordering.
@@ -403,6 +429,9 @@ pub fn run_cluster_simulated(
                         &mut events,
                         &mut in_service,
                     );
+                    trackers[instance].on_push(now, 1);
+                } else if shed_capacity.is_some_and(|cap| stations[instance].waiting.len() >= cap) {
+                    trackers[instance].on_drop();
                 } else {
                     stations[instance].waiting.push_back(QueuedLeg {
                         request: leg,
@@ -410,6 +439,7 @@ pub fn run_cluster_simulated(
                         shard,
                         is_hedge: false,
                     });
+                    trackers[instance].on_push(now, stations[instance].waiting.len() as u64);
                 }
             }
         } else {
@@ -492,14 +522,20 @@ pub fn run_cluster_simulated(
         }
     }
 
-    Ok(build_cluster_report(
+    let queue_summaries: Vec<QueueSummary> = trackers
+        .iter()
+        .map(|t| t.summary(config.admission.label()))
+        .collect();
+    let mut report = build_cluster_report(
         apps[0].name(),
         "simulated",
         config,
         cluster,
         &collector,
         hedge.map(|_| hedge_stats),
-    ))
+    );
+    report.cluster.queue_depth = QueueSummary::aggregate(&queue_summaries);
+    Ok(report)
 }
 
 #[cfg(test)]

@@ -5,7 +5,9 @@
 //! release requests at microsecond-precise instants even when the OS sleep granularity is
 //! coarser, so [`sleep_until_ns`] combines coarse sleeping with a short spin phase.
 
+use crate::report::LatencyStats;
 use std::time::{Duration, Instant};
+use tailbench_histogram::LatencySummary;
 
 /// A monotonic clock anchored at a run-local epoch.
 #[derive(Debug, Clone, Copy)]
@@ -62,6 +64,64 @@ impl RunClock {
     }
 }
 
+/// Accumulates per-request pacing error — the gap between a request's *scheduled*
+/// open-loop issue time and the instant the pacing thread actually released it.
+///
+/// An open-loop harness that silently falls behind its schedule compresses bursts and
+/// under-reports queuing (the "tell-tale" harness pitfall): the pacing-error
+/// distribution makes that skew observable instead.  Each pacing thread owns its own
+/// recorder (no cross-thread synchronization on the issue path); recorders merge at
+/// run end and the result is reported as the run's `pacing` summary.
+#[derive(Debug, Clone)]
+pub struct PacingRecorder {
+    errors: LatencySummary,
+}
+
+impl Default for PacingRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PacingRecorder {
+    /// Creates an empty recorder.
+    #[must_use]
+    pub fn new() -> Self {
+        PacingRecorder {
+            errors: LatencySummary::new(),
+        }
+    }
+
+    /// Records one issue: `actual_ns - scheduled_ns` (clamped at zero; the sleeper
+    /// never releases early).
+    pub fn record(&mut self, scheduled_ns: u64, actual_ns: u64) {
+        self.errors.record(actual_ns.saturating_sub(scheduled_ns));
+    }
+
+    /// Merges another recorder (e.g. a per-connection pacing thread's) into this one.
+    pub fn merge(&mut self, other: &PacingRecorder) {
+        self.errors.merge(&other.errors);
+    }
+
+    /// Number of issues recorded.
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        self.errors.len()
+    }
+
+    /// Returns `true` if nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.errors.len() == 0
+    }
+
+    /// The pacing-error distribution as report statistics.
+    #[must_use]
+    pub fn stats(&self) -> LatencyStats {
+        LatencyStats::from_summary(&self.errors)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -91,5 +151,24 @@ mod tests {
         std::thread::sleep(Duration::from_millis(1));
         let reached = clock.sleep_until_ns(0);
         assert!(reached > 0);
+    }
+
+    #[test]
+    fn pacing_recorder_tracks_issue_error_and_merges() {
+        let mut a = PacingRecorder::new();
+        a.record(1_000, 1_500); // 500 ns late
+        a.record(2_000, 2_000); // on time
+        a.record(3_000, 2_900); // "early" clamps to zero
+        assert_eq!(a.len(), 3);
+        let stats = a.stats();
+        assert_eq!(stats.max_ns, 500);
+        assert_eq!(stats.min_ns, 0);
+
+        let mut b = PacingRecorder::default();
+        assert!(b.is_empty());
+        b.record(0, 10_000);
+        b.merge(&a);
+        assert_eq!(b.len(), 4);
+        assert_eq!(b.stats().max_ns, 10_000);
     }
 }

@@ -27,7 +27,17 @@ pub struct LoadTrace {
 }
 
 impl LoadTrace {
-    /// Builds a trace from explicit timestamps, deriving the mean rate from the span.
+    /// Builds a trace from explicit timestamps, deriving the mean rate from the
+    /// *actual arrival span* (`last - first`): `n` arrivals define `n - 1` interarrival
+    /// gaps, so the mean offered rate is `(n - 1) / span`.  The old formula,
+    /// `n / last`, implicitly anchored every trace at the epoch — a trace starting at
+    /// t = 10 s under-reported its offered load by the idle lead-in, and a
+    /// single-arrival trace at the epoch degenerated to 0 QPS.
+    ///
+    /// Degenerate cases: an empty trace offers 0 QPS; a single arrival (no observable
+    /// gap) and an instantaneous burst (all timestamps equal) fall back to anchoring
+    /// at the epoch — `n` arrivals over `[0, last]` — and report 0 QPS only when even
+    /// that window is empty (everything at t = 0).
     ///
     /// # Panics
     ///
@@ -38,11 +48,19 @@ impl LoadTrace {
             times_ns.windows(2).all(|w| w[0] <= w[1]),
             "trace timestamps must be non-decreasing"
         );
-        let span_ns = times_ns.last().copied().unwrap_or(0);
-        let mean_qps = if span_ns == 0 {
-            0.0
-        } else {
-            times_ns.len() as f64 * 1e9 / span_ns as f64
+        let mean_qps = match times_ns.as_slice() {
+            [] => 0.0,
+            [.., last] => {
+                let first = times_ns[0];
+                let span_ns = last - first;
+                if times_ns.len() >= 2 && span_ns > 0 {
+                    (times_ns.len() - 1) as f64 * 1e9 / span_ns as f64
+                } else if *last > 0 {
+                    times_ns.len() as f64 * 1e9 / *last as f64
+                } else {
+                    0.0
+                }
+            }
         };
         LoadTrace { times_ns, mean_qps }
     }
@@ -128,7 +146,10 @@ impl LoadMode {
 }
 
 /// Produces the issue schedule for an open-loop run: a list of `(issue_ns, request)`
-/// pairs with issue times strictly increasing from the run epoch.
+/// pairs with issue times *non-decreasing* from the run epoch.  Ties are legal — a
+/// burst trace may schedule several arrivals at the same nanosecond — and every
+/// consumer (the pacing loops, [`TrafficShaper::split_round_robin`], the simulators)
+/// preserves arrival order among tied timestamps.
 ///
 /// The traffic shaper pre-draws both the interarrival gaps and the request payloads so
 /// that the issuing thread does no generation work on the critical path — generation cost
@@ -290,6 +311,65 @@ mod tests {
     #[should_panic(expected = "non-decreasing")]
     fn trace_rejects_time_travel() {
         let _ = LoadTrace::from_times(vec![10, 5]);
+    }
+
+    #[test]
+    fn offset_trace_reports_the_rate_over_its_arrival_span() {
+        // 1000 arrivals at 1 ms spacing, but starting at t = 10 s: the offered load is
+        // still 1000 QPS.  The old len/last formula reported ~91 QPS here.
+        let times: Vec<u64> = (0..1000u64)
+            .map(|i| 10_000_000_000 + i * 1_000_000)
+            .collect();
+        let trace = LoadTrace::from_times(times);
+        assert!(
+            (trace.mean_qps - 1000.0).abs() < 2.0,
+            "offset trace mean_qps = {}",
+            trace.mean_qps
+        );
+    }
+
+    #[test]
+    fn degenerate_traces_report_sane_rates() {
+        // Empty: no offered load.
+        assert_eq!(LoadTrace::from_times(Vec::new()).mean_qps, 0.0);
+        // Single arrival at 1 s: one request over [0, 1 s] = 1 QPS, not 0.
+        let single = LoadTrace::from_times(vec![1_000_000_000]);
+        assert!((single.mean_qps - 1.0).abs() < 1e-9, "{}", single.mean_qps);
+        // Single arrival at the epoch: no observable window at all.
+        assert_eq!(LoadTrace::from_times(vec![0]).mean_qps, 0.0);
+        // An instantaneous burst (all ties) anchors at the epoch: 5 requests in 1 ms.
+        let burst = LoadTrace::from_times(vec![1_000_000; 5]);
+        assert!(
+            (burst.mean_qps - 5_000.0).abs() < 1e-6,
+            "{}",
+            burst.mean_qps
+        );
+    }
+
+    #[test]
+    fn tied_timestamps_survive_split_round_robin_in_order() {
+        // A burst trace with ties: the shaper accepts non-decreasing (not strictly
+        // increasing) schedules, and the round-robin split keeps every sub-schedule
+        // non-decreasing with ids preserved in arrival order.
+        let times = vec![100, 100, 100, 200, 200, 300, 300, 300, 300];
+        let n = times.len();
+        let shaper = TrafficShaper::from_times(times, 0, Vec::new);
+        assert_eq!(shaper.len(), n);
+        assert!(shaper
+            .requests()
+            .windows(2)
+            .all(|w| w[0].issued_ns <= w[1].issued_ns));
+        let split = shaper.split_round_robin(2);
+        assert_eq!(split.iter().map(Vec::len).sum::<usize>(), n);
+        for (c, sub) in split.iter().enumerate() {
+            assert!(
+                sub.windows(2).all(|w| w[0].issued_ns <= w[1].issued_ns),
+                "connection {c} schedule must stay non-decreasing"
+            );
+            for (i, r) in sub.iter().enumerate() {
+                assert_eq!(r.id.0 as usize, i * 2 + c, "ids keep arrival order");
+            }
+        }
     }
 
     #[test]

@@ -1,46 +1,73 @@
 //! Application worker threads.
 //!
 //! Worker threads pull requests off the shared [`RequestQueue`](crate::queue::RequestQueue),
-//! invoke the application, and route the completion either straight to the statistics
-//! collector (integrated configuration) or back to the originating connection (TCP
-//! configurations).  The number of worker threads is the "threads" axis of the paper's
-//! multithreaded experiments (Fig. 4, Fig. 7).
+//! invoke the application, and either record the completion straight into their own
+//! statistics shard (integrated configuration — no cross-thread send on the critical
+//! path) or route it back to the originating connection (TCP configurations).  The
+//! number of worker threads is the "threads" axis of the paper's multithreaded
+//! experiments (Fig. 4, Fig. 7).
 
 use crate::app::ServerApp;
-use crate::queue::{Completion, QueuedRequest, ServerCompletion};
+use crate::collector::StatsCollector;
+use crate::pool::BufferPool;
+use crate::queue::{Completion, QueueReceiver, ServerCompletion};
 use crate::time::RunClock;
-use crossbeam::channel::Receiver;
 use std::sync::Arc;
 use std::thread::JoinHandle;
+
+/// What a joined worker pool hands back: the served-request count plus the merged
+/// per-worker statistics shards (empty for TCP runs, where clients record instead).
+#[derive(Debug)]
+pub struct WorkerOutput {
+    /// Total requests served across all workers.
+    pub served: u64,
+    /// The merged per-worker collector shards.
+    pub stats: StatsCollector,
+}
 
 /// A pool of application worker threads.
 #[derive(Debug)]
 pub struct WorkerPool {
-    handles: Vec<JoinHandle<u64>>,
+    handles: Vec<JoinHandle<(u64, StatsCollector)>>,
+    shard_proto: StatsCollector,
 }
 
 impl WorkerPool {
     /// Spawns `threads` workers that serve requests from `queue_rx` using `app`.
     ///
-    /// Workers exit when the queue channel is closed (all producers dropped).
+    /// Each worker owns a clone of `shard` (its local statistics shard, used for
+    /// [`Completion::Inline`] requests) and, when `pool` is given, recycles request
+    /// payload buffers into it after handling.  Workers exit when the queue is closed
+    /// (all producers dropped).
     #[must_use]
     pub fn spawn(
         app: Arc<dyn ServerApp>,
-        queue_rx: Receiver<QueuedRequest>,
+        queue_rx: QueueReceiver,
         clock: RunClock,
         threads: usize,
+        shard: StatsCollector,
+        pool: Option<Arc<BufferPool>>,
     ) -> Self {
+        let shard_proto = shard.clone();
         let handles = (0..threads.max(1))
             .map(|i| {
                 let app = Arc::clone(&app);
                 let rx = queue_rx.clone();
+                let mut local = shard.clone();
+                let pool = pool.clone();
                 std::thread::Builder::new()
                     .name(format!("tb-worker-{i}"))
-                    .spawn(move || worker_loop(&*app, &rx, clock))
+                    .spawn(move || {
+                        let served = worker_loop(&*app, &rx, clock, &mut local, pool.as_deref());
+                        (served, local)
+                    })
                     .expect("failed to spawn worker thread")
             })
             .collect();
-        WorkerPool { handles }
+        WorkerPool {
+            handles,
+            shard_proto,
+        }
     }
 
     /// Number of worker threads in the pool.
@@ -55,45 +82,65 @@ impl WorkerPool {
         self.handles.is_empty()
     }
 
-    /// Waits for every worker to exit and returns the total number of requests served.
+    /// Waits for every worker to exit, returning the total served count and the merged
+    /// per-worker statistics shards.
     ///
     /// # Panics
     ///
     /// Panics if a worker thread panicked.
     #[must_use]
-    pub fn join(self) -> u64 {
-        self.handles
-            .into_iter()
-            .map(|h| h.join().expect("worker thread panicked"))
-            .sum()
+    pub fn join(self) -> WorkerOutput {
+        let mut stats = self.shard_proto;
+        let mut served = 0u64;
+        for handle in self.handles {
+            let (count, shard) = handle.join().expect("worker thread panicked");
+            served += count;
+            stats.merge(&shard);
+        }
+        WorkerOutput { served, stats }
     }
 }
 
 /// The body of one worker thread. Returns the number of requests it served.
-fn worker_loop(app: &dyn ServerApp, rx: &Receiver<QueuedRequest>, clock: RunClock) -> u64 {
+fn worker_loop(
+    app: &dyn ServerApp,
+    rx: &QueueReceiver,
+    clock: RunClock,
+    shard: &mut StatsCollector,
+    pool: Option<&BufferPool>,
+) -> u64 {
     let mut served = 0u64;
     while let Ok(item) = rx.recv() {
         let started_ns = clock.now_ns();
         let response = app.handle(&item.request.payload);
         let completed_ns = clock.now_ns();
         served += 1;
-        let completion = ServerCompletion {
-            id: item.request.id,
-            issued_ns: item.request.issued_ns,
-            enqueued_ns: item.enqueued_ns,
-            started_ns,
-            completed_ns,
-            work: response.work,
-            response_payload: response.payload,
-        };
+        if let Some(pool) = pool {
+            pool.recycle(item.request.payload);
+        }
         match item.completion {
-            Completion::Collector(tx) => {
-                // Integrated configuration: the response is "delivered" at completion.
-                let record = completion.into_record(completed_ns);
-                // The collector may already be gone during teardown; that's fine.
-                let _ = tx.send(record);
+            Completion::Inline => {
+                // Integrated configuration: the response is "delivered" at completion
+                // and recorded into this worker's own shard — zero cross-thread work.
+                shard.record(&crate::request::RequestRecord {
+                    id: item.request.id,
+                    issued_ns: item.request.issued_ns,
+                    enqueued_ns: item.enqueued_ns,
+                    started_ns,
+                    completed_ns,
+                    client_received_ns: completed_ns,
+                });
             }
             Completion::Responder(tx) => {
+                let completion = ServerCompletion {
+                    id: item.request.id,
+                    issued_ns: item.request.issued_ns,
+                    enqueued_ns: item.enqueued_ns,
+                    started_ns,
+                    completed_ns,
+                    work: response.work,
+                    response_payload: response.payload,
+                };
                 let _ = tx.send(completion);
             }
         }
@@ -105,50 +152,61 @@ fn worker_loop(app: &dyn ServerApp, rx: &Receiver<QueuedRequest>, clock: RunCloc
 mod tests {
     use super::*;
     use crate::app::EchoApp;
-    use crate::queue::RequestQueue;
+    use crate::queue::{PushOutcome, RequestQueue};
     use crate::request::{Request, RequestId};
     use crossbeam::channel::unbounded;
 
     #[test]
-    fn workers_process_requests_and_report_to_collector() {
+    fn workers_process_requests_and_record_inline() {
         let clock = RunClock::new();
         let queue = RequestQueue::new();
         let app: Arc<dyn ServerApp> = Arc::new(EchoApp::default());
-        let pool = WorkerPool::spawn(app, queue.receiver(), clock, 2);
+        let pool = WorkerPool::spawn(
+            app,
+            queue.receiver(),
+            clock,
+            2,
+            StatsCollector::new(0),
+            None,
+        );
         assert_eq!(pool.len(), 2);
 
-        let (record_tx, record_rx) = unbounded();
         for i in 0..20u64 {
-            let ok = queue.push(
+            let outcome = queue.push(
                 Request {
                     id: RequestId(i),
                     payload: vec![i as u8],
                     issued_ns: clock.now_ns(),
                 },
                 clock.now_ns(),
-                Completion::Collector(record_tx.clone()),
+                Completion::Inline,
             );
-            assert!(ok);
+            assert_eq!(outcome, PushOutcome::Accepted);
         }
         queue.close();
-        drop(record_tx);
 
-        let served = pool.join();
-        assert_eq!(served, 20);
-        let records: Vec<_> = record_rx.iter().collect();
-        assert_eq!(records.len(), 20);
-        for r in &records {
-            assert!(r.completed_ns >= r.started_ns);
-            assert!(r.started_ns >= r.enqueued_ns);
-        }
+        let out = pool.join();
+        assert_eq!(out.served, 20);
+        assert_eq!(out.stats.measured(), 20);
+        let sojourn = out.stats.sojourn_stats();
+        assert!(sojourn.max_ns >= sojourn.min_ns);
+        assert!(out.stats.queue_stats().count == 20);
     }
 
     #[test]
-    fn workers_route_to_responder() {
+    fn workers_route_to_responder_and_recycle_buffers() {
         let clock = RunClock::new();
         let queue = RequestQueue::new();
         let app: Arc<dyn ServerApp> = Arc::new(EchoApp::default());
-        let pool = WorkerPool::spawn(app, queue.receiver(), clock, 1);
+        let buffers = Arc::new(BufferPool::default());
+        let pool = WorkerPool::spawn(
+            app,
+            queue.receiver(),
+            clock,
+            1,
+            StatsCollector::new(0),
+            Some(Arc::clone(&buffers)),
+        );
 
         let (resp_tx, resp_rx) = unbounded();
         queue.push(
@@ -161,9 +219,16 @@ mod tests {
             Completion::Responder(resp_tx),
         );
         queue.close();
-        let _ = pool.join();
+        let out = pool.join();
+        assert_eq!(out.served, 1);
+        assert_eq!(
+            out.stats.measured(),
+            0,
+            "responder requests record elsewhere"
+        );
         let completion = resp_rx.recv().unwrap();
         assert_eq!(completion.id, RequestId(7));
         assert_eq!(&completion.response_payload[..4], b"ping");
+        assert_eq!(buffers.stats().recycled, 1, "request payload was recycled");
     }
 }

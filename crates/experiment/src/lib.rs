@@ -82,8 +82,8 @@ pub use registry::{
 };
 pub use spec::{
     ClassSpec, ExperimentSpec, FanoutSpec, FaultKindSpec, FaultSpec, FaultTargetSpec, HedgeSpec,
-    LoadSpec, ModeSpec, PhaseSpec, Scale, ScenarioSpec, SeedPolicy, ShapeSpec, SweepAxis,
-    TopologySpec,
+    LoadSpec, ModeSpec, PhaseSpec, QueuePolicySpec, Scale, ScenarioSpec, SeedPolicy, ShapeSpec,
+    SweepAxis, TopologySpec,
 };
 
 use spec::SUPPORTED_HEDGE_PERCENTILES;
@@ -427,6 +427,9 @@ impl Experiment {
         let mut built = Scenario::new(self.spec.name.clone(), phases)
             .with_warmup_fraction(scenario.warmup_fraction)
             .with_interference(self.interference_plan(span_ns as f64));
+        if let Some(queue) = self.spec.queue {
+            built = built.with_admission(queue.to_admission());
+        }
         if !scenario.classes.is_empty() {
             built = built.with_classes(
                 scenario
@@ -469,6 +472,9 @@ impl Experiment {
             .with_seed(seed);
         if let LoadSpec::Closed { think_ns } = self.spec.load {
             config = config.with_load(LoadMode::Closed { think_ns });
+        }
+        if let Some(queue) = self.spec.queue {
+            config = config.with_admission(queue.to_admission());
         }
         if !self.spec.interference.is_empty() {
             let total = config.total_requests() as f64;

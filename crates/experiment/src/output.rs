@@ -12,7 +12,7 @@ use crate::json::Json;
 use crate::spec::{ExperimentSpec, HedgeSpec, ModeSpec};
 use tailbench_core::report::{
     markdown_table, ClusterReport, HedgeStats, LabeledLatency, LatencyStats, MultiRunReport,
-    RunReport,
+    QueueSummary, RunReport,
 };
 use tailbench_histogram::ConfidenceInterval;
 
@@ -315,6 +315,26 @@ fn latency_stats_to_json(stats: &LatencyStats) -> Json {
     ])
 }
 
+fn queue_summary_to_json(summary: &QueueSummary) -> Json {
+    Json::obj(vec![
+        ("policy", Json::str(summary.policy.clone())),
+        ("accepted", Json::U64(summary.accepted)),
+        ("dropped", Json::U64(summary.dropped)),
+        ("peak_depth", Json::U64(summary.peak_depth)),
+        ("mean_sampled_depth", Json::F64(summary.mean_sampled_depth)),
+        (
+            "depth_timeline",
+            Json::Arr(
+                summary
+                    .depth_timeline
+                    .iter()
+                    .map(|&(t, d)| Json::Arr(vec![Json::U64(t), Json::U64(d)]))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
 fn labeled_to_json(labeled: &[LabeledLatency]) -> Json {
     Json::Arr(
         labeled
@@ -347,6 +367,8 @@ pub fn run_report_to_json(report: &RunReport) -> Json {
         ("service", latency_stats_to_json(&report.service)),
         ("queue", latency_stats_to_json(&report.queue)),
         ("overhead", latency_stats_to_json(&report.overhead)),
+        ("queue_depth", queue_summary_to_json(&report.queue_depth)),
+        ("pacing", latency_stats_to_json(&report.pacing)),
     ];
     if !report.per_class.is_empty() {
         pairs.push(("per_class", labeled_to_json(&report.per_class)));
@@ -379,6 +401,7 @@ pub fn cluster_report_to_json(report: &ClusterReport) -> Json {
             "shard_union_sojourn",
             latency_stats_to_json(&report.shard_union_sojourn),
         ),
+        ("unmerged", Json::U64(report.unmerged)),
     ];
     if let Some(hedge) = &report.hedge {
         pairs.push(("hedge", hedge_stats_to_json(hedge)));
@@ -412,9 +435,10 @@ pub fn multi_report_to_json(multi: &MultiRunReport) -> Json {
 }
 
 /// Verifies that serialized experiment output is structurally sound: it parses, holds
-/// at least one point, and every point's report carries a positive end-to-end
-/// `p99_ns`.  This is the check the CI smoke gate runs against the `tailbench` CLI's
-/// `--json` output.
+/// at least one point, and every point's headline report carries a positive end-to-end
+/// `p99_ns` plus the measurement-pipeline fields (`queue_depth` admission accounting
+/// and the `pacing` error summary).  This is the check the CI smoke gate runs against
+/// the `tailbench` CLI's `--json` output.
 ///
 /// # Errors
 ///
@@ -463,6 +487,16 @@ pub fn verify_output_text(text: &str) -> Result<usize, String> {
         if p99 == 0 {
             return Err(format!("point {i}: sojourn.p99_ns is 0"));
         }
+        headline
+            .get("queue_depth")
+            .and_then(|q| q.get("policy"))
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("point {i}: missing queue_depth admission summary"))?;
+        headline
+            .get("pacing")
+            .and_then(|p| p.get("count"))
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("point {i}: missing pacing summary"))?;
     }
     Ok(points.len())
 }
@@ -508,6 +542,15 @@ mod tests {
             overhead: stats(0.1),
             per_class: Vec::new(),
             per_phase: Vec::new(),
+            queue_depth: QueueSummary {
+                policy: "unbounded".into(),
+                accepted: 1_000,
+                dropped: 0,
+                peak_depth: 12,
+                mean_sampled_depth: 3.5,
+                depth_timeline: vec![(0, 1), (1_000_000, 12)],
+            },
+            pacing: stats(0.01),
         }
     }
 
@@ -550,6 +593,26 @@ mod tests {
         let text = output().to_json_string();
         assert_eq!(verify_output_text(&text), Ok(1));
         assert!(text.contains("\"p99_ns\": 2000000"), "{text}");
+        // The measurement-pipeline fields ride along in the machine-readable form.
+        assert!(text.contains("\"queue_depth\""), "{text}");
+        assert!(text.contains("\"policy\": \"unbounded\""), "{text}");
+        assert!(text.contains("\"peak_depth\": 12"), "{text}");
+        assert!(text.contains("\"depth_timeline\""), "{text}");
+        assert!(text.contains("\"pacing\""), "{text}");
+    }
+
+    #[test]
+    fn verification_requires_the_pipeline_fields() {
+        // Outputs missing queue_depth/pacing (e.g. from an older binary) are rejected.
+        let text = output().to_json_string();
+        let stripped = text.replace("\"queue_depth\"", "\"queue_depth_gone\"");
+        assert!(verify_output_text(&stripped)
+            .unwrap_err()
+            .contains("queue_depth"));
+        let stripped = text.replace("\"pacing\"", "\"pacing_gone\"");
+        assert!(verify_output_text(&stripped)
+            .unwrap_err()
+            .contains("pacing"));
     }
 
     #[test]
@@ -580,6 +643,7 @@ mod tests {
                 issued: 42,
                 wins: 17,
             }),
+            unmerged: 0,
         };
         let out = ExperimentOutput {
             spec: ExperimentSpec::new("cluster-demo", "echo"),

@@ -195,6 +195,38 @@ pub enum HedgeSpec {
 /// [`LatencyStats`](tailbench_core::report::LatencyStats) carries).
 pub const SUPPORTED_HEDGE_PERCENTILES: [f64; 5] = [0.5, 0.9, 0.95, 0.99, 0.999];
 
+/// The request-queue admission policy of an experiment (per server instance for
+/// cluster points).  Omitted = the classic unbounded open-loop queue; either bounded
+/// policy makes overload explicit in the output's `queue_depth` summary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum QueuePolicySpec {
+    /// Bounded queue; producers block (backpressure, visible as pacing error).
+    Block {
+        /// Maximum queued requests per instance.
+        capacity: u64,
+    },
+    /// Bounded queue; excess arrivals are dropped and counted.
+    Drop {
+        /// Maximum queued requests per instance.
+        capacity: u64,
+    },
+}
+
+impl QueuePolicySpec {
+    /// The equivalent core admission policy.
+    #[must_use]
+    pub fn to_admission(self) -> tailbench_core::queue::AdmissionPolicy {
+        match self {
+            QueuePolicySpec::Block { capacity } => tailbench_core::queue::AdmissionPolicy::Block {
+                capacity: capacity as usize,
+            },
+            QueuePolicySpec::Drop { capacity } => tailbench_core::queue::AdmissionPolicy::Drop {
+                capacity: capacity as usize,
+            },
+        }
+    }
+}
+
 /// Cluster topology of an experiment: `shards * replication` server instances behind a
 /// client-side router.
 ///
@@ -461,6 +493,9 @@ pub struct ExperimentSpec {
     pub topology: Option<TopologySpec>,
     /// Offered-load model.
     pub load: LoadSpec,
+    /// Request-queue admission policy; `None` = unbounded (the classic open-loop
+    /// queue).  Applies per server instance for cluster points.
+    pub queue: Option<QueuePolicySpec>,
     /// Worker threads per server instance.
     pub threads: usize,
     /// Measured requests per point (ignored for scenario loads).
@@ -496,6 +531,7 @@ impl ExperimentSpec {
             mode: ModeSpec::Integrated,
             topology: None,
             load: LoadSpec::Qps(1_000.0),
+            queue: None,
             threads: 1,
             requests: 1_000,
             warmup: None,
@@ -532,6 +568,13 @@ impl ExperimentSpec {
     #[must_use]
     pub fn with_load(mut self, load: LoadSpec) -> Self {
         self.load = load;
+        self
+    }
+
+    /// Sets the request-queue admission policy.
+    #[must_use]
+    pub fn with_queue(mut self, queue: QueuePolicySpec) -> Self {
+        self.queue = Some(queue);
         self
     }
 
@@ -705,6 +748,28 @@ impl ExperimentSpec {
         ) && self.requests == 0
         {
             return fail("requests is 0; configure at least one measured request".into());
+        }
+        if let Some(
+            QueuePolicySpec::Block { capacity: 0 } | QueuePolicySpec::Drop { capacity: 0 },
+        ) = self.queue
+        {
+            return fail(
+                "queue capacity is 0: every request would be rejected (drop) or \
+                 deadlock the producer (block); use a capacity >= 1"
+                    .into(),
+            );
+        }
+        if matches!(self.queue, Some(QueuePolicySpec::Block { .. }))
+            && (self.mode == ModeSpec::Simulated
+                || self.sweep.iter().any(
+                    |a| matches!(a, SweepAxis::Mode(modes) if modes.contains(&ModeSpec::Simulated)),
+                ))
+        {
+            return fail(
+                "a block queue cannot backpressure the simulator's fixed virtual-time \
+                 arrivals; use a drop queue (or no queue) for simulated points"
+                    .into(),
+            );
         }
         // The largest instance count any grid point can reach, for fault-target bounds.
         let max_instances = match self.topology {
@@ -1041,6 +1106,33 @@ impl HedgeSpec {
             (tag, _) => Err(decode_err(
                 context,
                 &format!("unknown hedge '{tag}' (delay_ns, percentile)"),
+            )),
+        }
+    }
+}
+
+impl QueuePolicySpec {
+    fn to_json(self) -> Json {
+        match self {
+            QueuePolicySpec::Block { capacity } => Json::obj(vec![("block", Json::U64(capacity))]),
+            QueuePolicySpec::Drop { capacity } => Json::obj(vec![("drop", Json::U64(capacity))]),
+        }
+    }
+
+    fn from_json(value: &Json) -> Result<QueuePolicySpec, HarnessError> {
+        let context = "queue";
+        match variant(value, context)? {
+            ("block", Some(body)) => body
+                .as_u64()
+                .map(|capacity| QueuePolicySpec::Block { capacity })
+                .ok_or_else(|| decode_err(context, "block capacity must be an integer")),
+            ("drop", Some(body)) => body
+                .as_u64()
+                .map(|capacity| QueuePolicySpec::Drop { capacity })
+                .ok_or_else(|| decode_err(context, "drop capacity must be an integer")),
+            (tag, _) => Err(decode_err(
+                context,
+                &format!("unknown queue policy '{tag}' (block, drop)"),
             )),
         }
     }
@@ -1490,6 +1582,9 @@ impl ExperimentSpec {
             pairs.push(("topology", topology.to_json()));
         }
         pairs.push(("load", self.load.to_json()));
+        if let Some(queue) = self.queue {
+            pairs.push(("queue", queue.to_json()));
+        }
         pairs.push(("threads", Json::U64(self.threads as u64)));
         pairs.push(("requests", Json::U64(self.requests as u64)));
         if let Some(warmup) = self.warmup {
@@ -1540,6 +1635,7 @@ impl ExperimentSpec {
                 "mode",
                 "topology",
                 "load",
+                "queue",
                 "threads",
                 "requests",
                 "warmup",
@@ -1583,6 +1679,10 @@ impl ExperimentSpec {
                 .map(TopologySpec::from_json)
                 .transpose()?,
             load: LoadSpec::from_json(field(value, "load", context)?)?,
+            queue: value
+                .get("queue")
+                .map(QueuePolicySpec::from_json)
+                .transpose()?,
             threads: usize_field(value, "threads", context)?,
             requests: usize_field(value, "requests", context)?,
             warmup: value
@@ -1672,6 +1772,57 @@ mod tests {
         assert_eq!(back, spec);
         // Serialization is canonical: a second round emits identical text.
         assert_eq!(back.to_json_string(), text);
+    }
+
+    #[test]
+    fn queue_policy_round_trips_and_validates() {
+        for queue in [
+            QueuePolicySpec::Block { capacity: 256 },
+            QueuePolicySpec::Drop { capacity: 1024 },
+        ] {
+            // fanout_spec is simulated, where block is rejected — use integrated here.
+            let spec = fanout_spec()
+                .with_mode(ModeSpec::Integrated)
+                .with_queue(queue);
+            assert!(spec.validate().is_ok());
+            let text = spec.to_json_string();
+            assert!(text.contains("\"queue\""), "{text}");
+            let back = ExperimentSpec::from_json_str(&text).unwrap();
+            assert_eq!(back, spec);
+        }
+        // A block queue cannot backpressure virtual-time arrivals: simulated points
+        // (base mode or via a Mode axis) reject it; drop stays legal.
+        let block_sim = fanout_spec().with_queue(QueuePolicySpec::Block { capacity: 256 });
+        let err = block_sim.validate().unwrap_err().to_string();
+        assert!(err.contains("backpressure"), "{err}");
+        let block_axis = fanout_spec()
+            .with_mode(ModeSpec::Integrated)
+            .with_queue(QueuePolicySpec::Block { capacity: 256 })
+            .with_axis(SweepAxis::Mode(vec![
+                ModeSpec::Integrated,
+                ModeSpec::Simulated,
+            ]));
+        assert!(block_axis.validate().is_err());
+        let drop_sim = fanout_spec().with_queue(QueuePolicySpec::Drop { capacity: 256 });
+        assert!(drop_sim.validate().is_ok());
+        // Zero capacity is a named footgun.
+        let zero = fanout_spec().with_queue(QueuePolicySpec::Drop { capacity: 0 });
+        let err = zero.validate().unwrap_err().to_string();
+        assert!(err.contains("queue capacity"), "{err}");
+        // The admission mapping reaches the core policy.
+        assert_eq!(
+            QueuePolicySpec::Drop { capacity: 7 }.to_admission(),
+            tailbench_core::queue::AdmissionPolicy::Drop { capacity: 7 }
+        );
+        // Unknown policy tags are rejected.
+        let text = fanout_spec()
+            .with_queue(QueuePolicySpec::Block { capacity: 1 })
+            .to_json_string()
+            .replace("\"block\"", "\"backpressure\"");
+        assert!(ExperimentSpec::from_json_str(&text)
+            .unwrap_err()
+            .to_string()
+            .contains("unknown queue policy"));
     }
 
     #[test]

@@ -19,8 +19,8 @@ use std::sync::Arc;
 use tailbench_core::app::{CostModel, EchoApp, InstructionRateModel};
 use tailbench_experiment::{
     AppBuilder, BenchApp, ClassSpec, Experiment, ExperimentSpec, FanoutSpec, FaultKindSpec,
-    FaultSpec, FaultTargetSpec, HedgeSpec, LoadSpec, ModeSpec, PhaseSpec, Registry, Scale,
-    ScenarioSpec, SeedPolicy, ShapeSpec, SweepAxis, TopologySpec,
+    FaultSpec, FaultTargetSpec, HedgeSpec, LoadSpec, ModeSpec, PhaseSpec, QueuePolicySpec,
+    Registry, Scale, ScenarioSpec, SeedPolicy, ShapeSpec, SweepAxis, TopologySpec,
 };
 
 // ---------------------------------------------------------------------------
@@ -47,6 +47,13 @@ fn fanout_strategy() -> impl Strategy<Value = FanoutSpec> {
         (0u64..1).prop_map(|_| FanoutSpec::Broadcast),
         ((0usize..4), (1usize..9)).prop_map(|(offset, len)| FanoutSpec::HashKey { offset, len }),
         ((0usize..4), (1usize..8)).prop_map(|(offset, len)| FanoutSpec::Partition { offset, len }),
+    ]
+}
+
+fn queue_strategy() -> impl Strategy<Value = QueuePolicySpec> {
+    prop_oneof![
+        (1u64..1_000_000).prop_map(|capacity| QueuePolicySpec::Block { capacity }),
+        (1u64..1_000_000).prop_map(|capacity| QueuePolicySpec::Drop { capacity }),
     ]
 }
 
@@ -153,10 +160,13 @@ fn spec_strategy() -> impl Strategy<Value = ExperimentSpec> {
             hedge_strategy(),
         ),
         (
-            prop::collection::vec(fault_strategy(), 0..3),
-            (0usize..4),
-            any::<bool>(),
-            any::<bool>(),
+            (
+                prop::collection::vec(fault_strategy(), 0..3),
+                (0usize..4),
+                any::<bool>(),
+                any::<bool>(),
+            ),
+            (queue_strategy(), any::<bool>()),
         ),
     )
         .prop_map(
@@ -164,7 +174,7 @@ fn spec_strategy() -> impl Strategy<Value = ExperimentSpec> {
                 (mode, scale_pick, load, threads),
                 (requests, seed, repeats, fixed_seeds),
                 (shards, replication, fanout, hedge),
-                (faults, axis_count, with_topology, with_hedge),
+                ((faults, axis_count, with_topology, with_hedge), (queue, with_queue)),
             )| {
                 let mut spec = ExperimentSpec::new("prop", "echo")
                     .with_mode(mode)
@@ -194,6 +204,9 @@ fn spec_strategy() -> impl Strategy<Value = ExperimentSpec> {
                         topology = topology.with_hedge(hedge);
                     }
                     spec = spec.with_topology(topology);
+                }
+                if with_queue {
+                    spec = spec.with_queue(queue);
                 }
                 spec.interference = faults;
                 let axes = [

@@ -62,6 +62,7 @@ use tailbench_core::app::{CostModel, RequestFactory, ServerApp};
 use tailbench_core::collector::RequestTags;
 use tailbench_core::config::{BenchmarkConfig, ClusterConfig, HarnessMode, HedgePolicy};
 use tailbench_core::interference::InterferencePlan;
+use tailbench_core::queue::AdmissionPolicy;
 use tailbench_core::report::{ClusterReport, RunReport};
 use tailbench_core::runner;
 use tailbench_core::traffic::{LoadMode, LoadTrace};
@@ -106,6 +107,8 @@ pub struct Scenario {
     pub hedge: Option<HedgePolicy>,
     /// Fraction of the trace treated as warmup and excluded from statistics.
     pub warmup_fraction: f64,
+    /// Request-queue admission policy for the servers (default: unbounded).
+    pub admission: AdmissionPolicy,
 }
 
 impl Scenario {
@@ -120,6 +123,7 @@ impl Scenario {
             interference: InterferencePlan::none(),
             hedge: None,
             warmup_fraction: 0.1,
+            admission: AdmissionPolicy::unbounded(),
         }
     }
 
@@ -148,6 +152,13 @@ impl Scenario {
     #[must_use]
     pub fn with_warmup_fraction(mut self, fraction: f64) -> Self {
         self.warmup_fraction = fraction.clamp(0.0, 0.9);
+        self
+    }
+
+    /// Sets the servers' request-queue admission policy.
+    #[must_use]
+    pub fn with_admission(mut self, admission: AdmissionPolicy) -> Self {
+        self.admission = admission;
         self
     }
 
@@ -240,6 +251,7 @@ impl Scenario {
             .with_seed(seed)
             .with_interference(self.interference.clone())
             .with_tags(Arc::clone(&compiled.tags))
+            .with_admission(self.admission)
             // Real-time runs need headroom above the trace span (pacing can only ever
             // fall behind, never ahead).
             .with_max_duration(span * 2 + Duration::from_secs(60))
@@ -327,7 +339,20 @@ pub fn execute_scenario(
         class_of: compiled.class_of,
         next: 0,
     };
-    runner::execute(app, &mut mux, &config, cost_model)
+    let report = runner::execute(app, &mut mux, &config, cost_model)?;
+    warn_on_pacing_skew(&scenario.name, &report);
+    Ok(report)
+}
+
+/// A scenario's bursts only mean anything if the harness actually issued them on
+/// schedule.  Real-time runs whose p99 pacing error exceeds this threshold get a
+/// stderr warning instead of silently reporting skewed burst tails.
+pub const PACING_WARN_THRESHOLD_NS: u64 = 1_000_000;
+
+fn warn_on_pacing_skew(name: &str, report: &RunReport) {
+    if let Some(warning) = report.pacing_warning(PACING_WARN_THRESHOLD_NS) {
+        eprintln!("scenario '{name}': {warning}");
+    }
 }
 
 /// Runs a scenario against a cluster in any harness mode — the scenario counterpart of
@@ -363,7 +388,9 @@ pub fn execute_cluster_scenario(
         Some(policy) => cluster.clone().with_hedge(policy),
         None => cluster.clone(),
     };
-    runner::execute_cluster(apps, &mut mux, &config, &cluster, cost_model)
+    let report = runner::execute_cluster(apps, &mut mux, &config, &cluster, cost_model)?;
+    warn_on_pacing_skew(&scenario.name, &report.cluster);
+    Ok(report)
 }
 
 /// Runs a scenario against a single server in any harness mode.

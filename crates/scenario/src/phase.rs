@@ -422,19 +422,34 @@ mod proptests {
 
     proptest! {
         /// The satellite guard for the phase-trace compiler: across random multi-phase
-        /// traces, (a) arrival timestamps are non-decreasing across phase boundaries
-        /// and stay inside their tagged phase's window, and (b) each phase's empirical
-        /// rate is within 5% of the shape's exact mean rate (thinning is an exact
-        /// sampler; the tolerance covers Poisson counting noise at these sizes).
+        /// traces — including traces *offset from the epoch* by an idle zero-rate
+        /// lead-in phase — (a) arrival timestamps are non-decreasing across phase
+        /// boundaries and stay inside their tagged phase's window, (b) each phase's
+        /// empirical rate is within 5% of the shape's exact mean rate (thinning is an
+        /// exact sampler; the tolerance covers Poisson counting noise at these sizes),
+        /// and (c) `LoadTrace::from_times` reports the offered load over the *arrival
+        /// span*, so the idle lead-in does not dilute `mean_qps` (the offered-load
+        /// accounting bug this suite regression-guards).
         #[test]
         fn compiled_traces_are_ordered_and_rate_faithful(
             shapes in prop::collection::vec(shape_strategy(), 1..4),
+            offset_ns in prop_oneof![0u64..1, 500_000_000u64..5_000_000_000],
             seed in 0u64..1_000,
         ) {
-            let phases: Vec<LoadPhase> = shapes
-                .into_iter()
-                .map(|shape| LoadPhase { duration_ns: 2_000_000_000, shape })
-                .collect();
+            let mut phases: Vec<LoadPhase> = Vec::new();
+            if offset_ns > 0 {
+                // An idle lead-in: zero arrivals, so the first real arrival lands far
+                // from the epoch.
+                phases.push(LoadPhase {
+                    duration_ns: offset_ns,
+                    shape: PhaseShape::Constant { qps: 0.0 },
+                });
+            }
+            phases.extend(
+                shapes
+                    .into_iter()
+                    .map(|shape| LoadPhase { duration_ns: 2_000_000_000, shape }),
+            );
             let mut rng = seeded_rng(seed, 9);
             let (times, phase_of) = compile_phases(&phases, &mut rng);
             prop_assert_eq!(times.len(), phase_of.len());
@@ -452,15 +467,34 @@ mod proptests {
                 prop_assert!(t >= lo && t < hi, "arrival {} outside phase {} [{}, {})", t, p, lo, hi);
                 counts[p as usize] += 1;
             }
+            let mut expected_total = 0.0f64;
             for (i, phase) in phases.iter().enumerate() {
                 let expected = phase.expected_arrivals();
+                expected_total += expected;
                 let got = counts[i] as f64;
+                if expected == 0.0 {
+                    prop_assert!(counts[i] == 0, "a zero-rate phase must stay empty");
+                    continue;
+                }
                 prop_assert!(
                     (got - expected).abs() / expected < 0.05,
                     "phase {} ({}): {} arrivals vs {:.0} expected",
                     i, phase.shape.kind(), got, expected
                 );
             }
+
+            // The offered-load accounting must hold for offset traces: mean_qps is the
+            // rate over the arrival span, not diluted by the idle lead-in.  The active
+            // span is (total - offset); expected_total arrivals over it.
+            let trace = tailbench_core::traffic::LoadTrace::from_times(times);
+            let active_span_s =
+                (bounds.last().unwrap().1 - offset_ns) as f64 / 1e9;
+            let expected_qps = expected_total / active_span_s;
+            prop_assert!(
+                (trace.mean_qps - expected_qps).abs() / expected_qps < 0.05,
+                "trace mean_qps {} vs expected {} (offset {} ns)",
+                trace.mean_qps, expected_qps, offset_ns
+            );
         }
     }
 }
