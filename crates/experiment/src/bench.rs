@@ -1,0 +1,1256 @@
+//! The perf-trajectory subsystem: a pinned benchmark suite, machine-comparable
+//! `BENCH_<n>.json` records, and SLO regression gates.
+//!
+//! The paper's core contribution is a *methodology* for trustworthy tail-latency
+//! measurement — yet perf claims that live only in commit messages are exactly the
+//! unreproducible, incomparable-numbers pitfall it warns about.  This module makes the
+//! repo's own perf trajectory a first-class, test-enforced artifact:
+//!
+//! * [`suite`] — the pinned preset suite: DES goldens (bit-exact across hosts, the
+//!   hard CI gate) plus integrated masstree/xapian single-server and cluster points
+//!   (wall-clock, advisory — real but host-dependent).  Every preset pins its scale,
+//!   seed and load absolutely, so `TAILBENCH_SCALE` and capacity probing cannot make
+//!   two records incomparable.
+//! * [`BenchRecord`] — one suite run as a schema-versioned JSON artifact: commit,
+//!   date, host/env metadata, and per-preset p50/p95/p99, QPS, pacing-error p99 and
+//!   collector/queue overhead counters, serialized through the exact in-tree codec
+//!   ([`crate::json`]) so records are byte-stable under a fixed environment.
+//! * [`SloGate`] / [`GateReport`] — per-preset absolute thresholds plus relative
+//!   regression bounds against a baseline record (the latest committed
+//!   `BENCH_<n>.json`).  Deterministic presets gate with zero tolerance (any DES
+//!   change is a real change); wall-clock presets evaluate as advisory warnings so CI
+//!   noise cannot flake the build.
+//!
+//! The `tailbench bench` CLI subcommand runs the suite, writes records, and evaluates
+//! gates with a CI-friendly pass/fail summary.  To refresh the baseline after an
+//! intentional perf change, run `tailbench bench --write auto` and commit the new
+//! `BENCH_<n>.json` next to the old ones — history stays in-repo as the trajectory.
+
+use crate::json::{parse, Json};
+use crate::spec::{
+    ExperimentSpec, FanoutSpec, LoadSpec, ModeSpec, Scale, ScenarioSpec, TopologySpec,
+};
+use crate::Experiment;
+use std::path::{Path, PathBuf};
+use tailbench_core::error::HarnessError;
+
+/// Version stamp of the [`BenchRecord`] JSON schema.  Bump when fields change
+/// incompatibly; gates refuse to compare records across schema versions.
+pub const BENCH_SCHEMA_VERSION: u64 = 1;
+
+/// The shared fixed seed of every suite preset (same constant family as the golden
+/// determinism tests).
+pub const BENCH_SEED: u64 = 0x601D;
+
+// ---------------------------------------------------------------------------
+// The pinned suite.
+// ---------------------------------------------------------------------------
+
+/// Which subset of the suite to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SuiteFilter {
+    /// Only the DES-deterministic presets (the hard CI gate).
+    Des,
+    /// Only the wall-clock presets (advisory trajectory points).
+    Wall,
+    /// The full suite.
+    All,
+}
+
+impl SuiteFilter {
+    /// Parses a filter name (`des`, `wall`, `all`).
+    #[must_use]
+    pub fn parse(name: &str) -> Option<SuiteFilter> {
+        match name {
+            "des" => Some(SuiteFilter::Des),
+            "wall" => Some(SuiteFilter::Wall),
+            "all" => Some(SuiteFilter::All),
+            _ => None,
+        }
+    }
+
+    /// The filter's name as accepted by [`SuiteFilter::parse`].
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            SuiteFilter::Des => "des",
+            SuiteFilter::Wall => "wall",
+            SuiteFilter::All => "all",
+        }
+    }
+
+    fn accepts(self, deterministic: bool) -> bool {
+        match self {
+            SuiteFilter::Des => deterministic,
+            SuiteFilter::Wall => !deterministic,
+            SuiteFilter::All => true,
+        }
+    }
+}
+
+/// One pinned benchmark preset: a fully-determined experiment spec plus its gate.
+pub struct BenchPreset {
+    /// Stable preset name (the join key against baseline records).
+    pub name: &'static str,
+    /// `true` for discrete-event-simulated presets whose results are bit-exact across
+    /// hosts (hard gate); `false` for wall-clock presets (advisory gate).
+    pub deterministic: bool,
+    /// The spec the preset runs.  Always single-point, single-repeat, pinned scale
+    /// and seed, absolute load — nothing environment-dependent feeds the grid.
+    pub spec: ExperimentSpec,
+    /// The pass/fail thresholds of this preset.
+    pub gate: SloGate,
+}
+
+/// The pinned benchmark suite, in canonical order.
+///
+/// Changing a preset's spec makes its results incomparable with older records — treat
+/// the suite like a schema: add new presets freely, but change existing ones only with
+/// a baseline refresh (and say so in the commit).
+#[must_use]
+pub fn suite() -> Vec<BenchPreset> {
+    vec![
+        BenchPreset {
+            name: "des-xapian-single",
+            deterministic: true,
+            spec: ExperimentSpec::new("des-xapian-single", "xapian")
+                .with_scale(Scale::Smoke)
+                .with_mode(ModeSpec::Simulated)
+                .with_load(LoadSpec::Qps(2_000.0))
+                .with_requests(600)
+                .with_warmup(60)
+                .with_seed(BENCH_SEED),
+            gate: SloGate {
+                max_p99_ns: 40_000_000,
+                min_qps: Some(1_800.0),
+                p99_regression: 0.0,
+                qps_drop: 0.0,
+            },
+        },
+        BenchPreset {
+            name: "des-masstree-single",
+            deterministic: true,
+            spec: ExperimentSpec::new("des-masstree-single", "masstree")
+                .with_scale(Scale::Smoke)
+                .with_mode(ModeSpec::Simulated)
+                .with_load(LoadSpec::Qps(10_000.0))
+                .with_requests(800)
+                .with_warmup(80)
+                .with_seed(BENCH_SEED),
+            gate: SloGate {
+                max_p99_ns: 10_000_000,
+                min_qps: Some(9_000.0),
+                p99_regression: 0.0,
+                qps_drop: 0.0,
+            },
+        },
+        BenchPreset {
+            name: "des-xapian-broadcast4",
+            deterministic: true,
+            spec: ExperimentSpec::new("des-xapian-broadcast4", "xapian")
+                .with_scale(Scale::Smoke)
+                .with_mode(ModeSpec::Simulated)
+                .with_topology(TopologySpec::sharded(4).with_fanout(FanoutSpec::Broadcast))
+                .with_load(LoadSpec::Qps(1_500.0))
+                .with_requests(600)
+                .with_warmup(60)
+                .with_seed(BENCH_SEED),
+            gate: SloGate {
+                max_p99_ns: 60_000_000,
+                min_qps: Some(1_300.0),
+                p99_regression: 0.0,
+                qps_drop: 0.0,
+            },
+        },
+        BenchPreset {
+            name: "int-masstree-single",
+            deterministic: false,
+            // Closed-loop, zero think time: achieved QPS is the single-worker
+            // saturation throughput — the number PR 5's ~477k→~573k claim was about.
+            spec: ExperimentSpec::new("int-masstree-single", "masstree")
+                .with_scale(Scale::Smoke)
+                .with_mode(ModeSpec::Integrated)
+                .with_load(LoadSpec::Closed { think_ns: 0 })
+                .with_requests(20_000)
+                .with_warmup(2_000)
+                .with_seed(BENCH_SEED),
+            gate: SloGate {
+                max_p99_ns: 1_000_000,
+                min_qps: Some(50_000.0),
+                p99_regression: 0.5,
+                qps_drop: 0.25,
+            },
+        },
+        BenchPreset {
+            name: "int-xapian-single",
+            deterministic: false,
+            spec: ExperimentSpec::new("int-xapian-single", "xapian")
+                .with_scale(Scale::Smoke)
+                .with_mode(ModeSpec::Integrated)
+                .with_load(LoadSpec::Closed { think_ns: 0 })
+                .with_requests(2_000)
+                .with_warmup(200)
+                .with_seed(BENCH_SEED),
+            gate: SloGate {
+                max_p99_ns: 50_000_000,
+                min_qps: None,
+                p99_regression: 0.5,
+                qps_drop: 0.25,
+            },
+        },
+        BenchPreset {
+            name: "int-xapian-broadcast4",
+            deterministic: false,
+            // Clusters cannot run closed-loop, so this point is a fixed moderate open
+            // load; its p99 tracks fan-out overhead on real threads.
+            spec: ExperimentSpec::new("int-xapian-broadcast4", "xapian")
+                .with_scale(Scale::Smoke)
+                .with_mode(ModeSpec::Integrated)
+                .with_topology(TopologySpec::sharded(4).with_fanout(FanoutSpec::Broadcast))
+                .with_load(LoadSpec::Qps(500.0))
+                .with_requests(1_200)
+                .with_warmup(120)
+                .with_seed(BENCH_SEED),
+            gate: SloGate {
+                max_p99_ns: 100_000_000,
+                min_qps: Some(300.0),
+                p99_regression: 0.5,
+                qps_drop: 0.25,
+            },
+        },
+    ]
+}
+
+// ---------------------------------------------------------------------------
+// Environment metadata.
+// ---------------------------------------------------------------------------
+
+/// Host/environment metadata of a suite run — what "Tell-Tale Tail Latencies" and
+/// RT-Bench require for two latency numbers to be comparable at all.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnvMeta {
+    /// Hostname (or `unknown`).
+    pub host: String,
+    /// Operating system (`std::env::consts::OS`).
+    pub os: String,
+    /// CPU architecture (`std::env::consts::ARCH`).
+    pub arch: String,
+    /// Available hardware parallelism.
+    pub cores: u64,
+}
+
+impl EnvMeta {
+    /// Captures the metadata of the running host.
+    #[must_use]
+    pub fn capture() -> EnvMeta {
+        let host = std::fs::read_to_string("/proc/sys/kernel/hostname")
+            .map(|s| s.trim().to_string())
+            .ok()
+            .filter(|s| !s.is_empty())
+            .or_else(|| std::env::var("HOSTNAME").ok().filter(|s| !s.is_empty()))
+            .unwrap_or_else(|| "unknown".to_string());
+        EnvMeta {
+            host,
+            os: std::env::consts::OS.to_string(),
+            arch: std::env::consts::ARCH.to_string(),
+            cores: std::thread::available_parallelism().map_or(1, |n| n.get() as u64),
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("host", Json::str(self.host.clone())),
+            ("os", Json::str(self.os.clone())),
+            ("arch", Json::str(self.arch.clone())),
+            ("cores", Json::U64(self.cores)),
+        ])
+    }
+
+    fn from_json(value: &Json) -> Result<EnvMeta, String> {
+        Ok(EnvMeta {
+            host: require_str(value, "env.host")?,
+            os: require_str(value, "env.os")?,
+            arch: require_str(value, "env.arch")?,
+            cores: require_u64(value, "env.cores")?,
+        })
+    }
+}
+
+/// The current commit id: `TAILBENCH_COMMIT` if set (CI), else `git rev-parse`, else
+/// `unknown`.
+#[must_use]
+pub fn current_commit() -> String {
+    if let Ok(commit) = std::env::var("TAILBENCH_COMMIT") {
+        if !commit.is_empty() {
+            return commit;
+        }
+    }
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Converts a Unix timestamp (seconds) to a `YYYY-MM-DD` UTC date string
+/// (civil-from-days, Hinnant's algorithm — no external time crate in the tree).
+#[must_use]
+pub fn utc_date(unix_time: u64) -> String {
+    let days = (unix_time / 86_400) as i64;
+    let z = days + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1_460 + doe / 36_524 - doe / 146_096) / 365;
+    let year = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let day = doy - (153 * mp + 2) / 5 + 1;
+    let month = if mp < 10 { mp + 3 } else { mp - 9 };
+    let year = if month <= 2 { year + 1 } else { year };
+    format!("{year:04}-{month:02}-{day:02}")
+}
+
+// ---------------------------------------------------------------------------
+// The record schema.
+// ---------------------------------------------------------------------------
+
+/// The measured result of one preset within one suite run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PresetResult {
+    /// Preset name (join key against baselines).
+    pub name: String,
+    /// Whether the preset is DES-deterministic (hard gate) or wall-clock (advisory).
+    pub deterministic: bool,
+    /// Registry name of the workload.
+    pub app: String,
+    /// Harness mode name.
+    pub mode: String,
+    /// Shard count (0 for single-server presets).
+    pub shards: u64,
+    /// Measured (non-warmup) requests.
+    pub requests: u64,
+    /// Offered load, QPS (absent for closed-loop presets).
+    pub offered_qps: Option<f64>,
+    /// Achieved throughput, QPS.
+    pub achieved_qps: f64,
+    /// End-to-end median, ns.
+    pub p50_ns: u64,
+    /// End-to-end 95th percentile, ns.
+    pub p95_ns: u64,
+    /// End-to-end 99th percentile, ns.
+    pub p99_ns: u64,
+    /// 99th percentile of the pacing error (actual minus scheduled issue time), ns —
+    /// 0 for closed-loop and DES presets, whose pacing is exact.
+    pub pacing_p99_ns: u64,
+    /// 99th percentile of the collector/transport overhead distribution, ns.
+    pub overhead_p99_ns: u64,
+    /// Requests admitted by the request queue.
+    pub queue_accepted: u64,
+    /// Requests dropped by a bounded admission policy.
+    pub queue_dropped: u64,
+    /// Peak instantaneous queue depth.
+    pub queue_peak_depth: u64,
+}
+
+impl PresetResult {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("name", Json::str(self.name.clone())),
+            ("deterministic", Json::Bool(self.deterministic)),
+            ("app", Json::str(self.app.clone())),
+            ("mode", Json::str(self.mode.clone())),
+            ("shards", Json::U64(self.shards)),
+            ("requests", Json::U64(self.requests)),
+            (
+                "offered_qps",
+                self.offered_qps.map_or(Json::Null, Json::F64),
+            ),
+            ("achieved_qps", Json::F64(self.achieved_qps)),
+            ("p50_ns", Json::U64(self.p50_ns)),
+            ("p95_ns", Json::U64(self.p95_ns)),
+            ("p99_ns", Json::U64(self.p99_ns)),
+            ("pacing_p99_ns", Json::U64(self.pacing_p99_ns)),
+            ("overhead_p99_ns", Json::U64(self.overhead_p99_ns)),
+            ("queue_accepted", Json::U64(self.queue_accepted)),
+            ("queue_dropped", Json::U64(self.queue_dropped)),
+            ("queue_peak_depth", Json::U64(self.queue_peak_depth)),
+        ])
+    }
+
+    fn from_json(value: &Json) -> Result<PresetResult, String> {
+        let offered_qps = match value.get("offered_qps") {
+            None | Some(Json::Null) => None,
+            Some(v) => Some(
+                v.as_f64()
+                    .ok_or("preset offered_qps must be a number or null")?,
+            ),
+        };
+        Ok(PresetResult {
+            name: require_str(value, "preset.name")?,
+            deterministic: value
+                .get("deterministic")
+                .and_then(Json::as_bool)
+                .ok_or("preset.deterministic must be a bool")?,
+            app: require_str(value, "preset.app")?,
+            mode: require_str(value, "preset.mode")?,
+            shards: require_u64(value, "preset.shards")?,
+            requests: require_u64(value, "preset.requests")?,
+            offered_qps,
+            achieved_qps: value
+                .get("achieved_qps")
+                .and_then(Json::as_f64)
+                .ok_or("preset.achieved_qps must be a number")?,
+            p50_ns: require_u64(value, "preset.p50_ns")?,
+            p95_ns: require_u64(value, "preset.p95_ns")?,
+            p99_ns: require_u64(value, "preset.p99_ns")?,
+            pacing_p99_ns: require_u64(value, "preset.pacing_p99_ns")?,
+            overhead_p99_ns: require_u64(value, "preset.overhead_p99_ns")?,
+            queue_accepted: require_u64(value, "preset.queue_accepted")?,
+            queue_dropped: require_u64(value, "preset.queue_dropped")?,
+            queue_peak_depth: require_u64(value, "preset.queue_peak_depth")?,
+        })
+    }
+}
+
+/// One suite run as a machine-comparable artifact: environment provenance plus one
+/// [`PresetResult`] per executed preset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRecord {
+    /// Schema version ([`BENCH_SCHEMA_VERSION`] for records written by this build).
+    pub schema_version: u64,
+    /// Commit the record was measured at.
+    pub commit: String,
+    /// UTC date of the run (`YYYY-MM-DD`).
+    pub date_utc: String,
+    /// Unix timestamp of the run, seconds.
+    pub unix_time: u64,
+    /// Host/environment metadata.
+    pub env: EnvMeta,
+    /// Per-preset results, in suite order.
+    pub presets: Vec<PresetResult>,
+}
+
+impl BenchRecord {
+    /// Assembles a record from explicit provenance (the deterministic constructor the
+    /// golden tests pin bytes through).
+    #[must_use]
+    pub fn new(
+        presets: Vec<PresetResult>,
+        env: EnvMeta,
+        commit: String,
+        unix_time: u64,
+    ) -> BenchRecord {
+        BenchRecord {
+            schema_version: BENCH_SCHEMA_VERSION,
+            commit,
+            date_utc: utc_date(unix_time),
+            unix_time,
+            env,
+            presets,
+        }
+    }
+
+    /// Assembles a record with captured provenance (current host, commit and time).
+    #[must_use]
+    pub fn capture(presets: Vec<PresetResult>) -> BenchRecord {
+        let unix_time = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map_or(0, |d| d.as_secs());
+        BenchRecord::new(presets, EnvMeta::capture(), current_commit(), unix_time)
+    }
+
+    /// Encodes the record as a JSON tree (fixed key order — byte-stable).
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("schema_version", Json::U64(self.schema_version)),
+            ("commit", Json::str(self.commit.clone())),
+            ("date_utc", Json::str(self.date_utc.clone())),
+            ("unix_time", Json::U64(self.unix_time)),
+            ("env", self.env.to_json()),
+            (
+                "presets",
+                Json::Arr(self.presets.iter().map(PresetResult::to_json).collect()),
+            ),
+        ])
+    }
+
+    /// Encodes to pretty-printed JSON text (the on-disk `BENCH_<n>.json` form).
+    #[must_use]
+    pub fn to_json_string(&self) -> String {
+        self.to_json().to_text_pretty()
+    }
+
+    /// Decodes a record from JSON text.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first structural problem.
+    pub fn from_json_str(text: &str) -> Result<BenchRecord, String> {
+        let value = parse(text).map_err(|e| e.to_string())?;
+        let schema_version = require_u64(&value, "schema_version")?;
+        if schema_version != BENCH_SCHEMA_VERSION {
+            return Err(format!(
+                "bench record schema version {schema_version} is not the supported \
+                 {BENCH_SCHEMA_VERSION}; regenerate the baseline with this build"
+            ));
+        }
+        let presets = value
+            .get("presets")
+            .and_then(Json::as_array)
+            .ok_or("record has no 'presets' array")?
+            .iter()
+            .map(PresetResult::from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(BenchRecord {
+            schema_version,
+            commit: require_str(&value, "commit")?,
+            date_utc: require_str(&value, "date_utc")?,
+            unix_time: require_u64(&value, "unix_time")?,
+            env: EnvMeta::from_json(value.get("env").ok_or("record has no 'env' object")?)?,
+            presets,
+        })
+    }
+
+    /// Checks the record for measurement nonsense no gate should ever compare
+    /// against: empty suites, NaN/zero throughput, zero tails, duplicated preset
+    /// names.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.presets.is_empty() {
+            return Err("bench record has no presets".to_string());
+        }
+        let mut seen: Vec<&str> = Vec::new();
+        for preset in &self.presets {
+            let fail = |msg: String| Err(format!("preset '{}': {msg}", preset.name));
+            if preset.name.is_empty() {
+                return Err("a preset has an empty name".to_string());
+            }
+            if seen.contains(&preset.name.as_str()) {
+                return fail("duplicate preset name".to_string());
+            }
+            seen.push(&preset.name);
+            if !preset.achieved_qps.is_finite() || preset.achieved_qps <= 0.0 {
+                return fail(format!(
+                    "achieved_qps must be finite and positive, got {}",
+                    preset.achieved_qps
+                ));
+            }
+            if let Some(offered) = preset.offered_qps {
+                if !offered.is_finite() || offered <= 0.0 {
+                    return fail(format!(
+                        "offered_qps must be finite and positive, got {offered}"
+                    ));
+                }
+            }
+            if preset.requests == 0 {
+                return fail("requests is 0".to_string());
+            }
+            if preset.p99_ns == 0 {
+                return fail("p99_ns is 0".to_string());
+            }
+            if preset.p50_ns > preset.p95_ns || preset.p95_ns > preset.p99_ns {
+                return fail(format!(
+                    "percentiles must be non-decreasing (p50 {} / p95 {} / p99 {})",
+                    preset.p50_ns, preset.p95_ns, preset.p99_ns
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// The result for a preset name, if the record holds one.
+    #[must_use]
+    pub fn preset(&self, name: &str) -> Option<&PresetResult> {
+        self.presets.iter().find(|p| p.name == name)
+    }
+}
+
+fn require_u64(value: &Json, key: &str) -> Result<u64, String> {
+    let field_key = key.rsplit_once('.').map_or(key, |(_, b)| b);
+    value
+        .get(field_key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("field '{key}' must be a non-negative integer"))
+}
+
+fn require_str(value: &Json, key: &str) -> Result<String, String> {
+    let field_key = key.rsplit_once('.').map_or(key, |(_, b)| b);
+    value
+        .get(field_key)
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| format!("field '{key}' must be a string"))
+}
+
+// ---------------------------------------------------------------------------
+// Running the suite.
+// ---------------------------------------------------------------------------
+
+/// Runs the pinned suite (restricted by `filter`) and returns one result per preset,
+/// in suite order.
+///
+/// # Errors
+///
+/// Propagates harness errors from individual preset runs (a preset that fails to run
+/// fails the whole suite: a partial record would silently narrow the gate).
+pub fn run_suite(filter: SuiteFilter) -> Result<Vec<PresetResult>, HarnessError> {
+    suite()
+        .into_iter()
+        .filter(|preset| filter.accepts(preset.deterministic))
+        .map(run_preset)
+        .collect()
+}
+
+fn run_preset(preset: BenchPreset) -> Result<PresetResult, HarnessError> {
+    let offered_is_closed = matches!(
+        preset.spec.load,
+        LoadSpec::Closed { .. } | LoadSpec::Scenario(ScenarioSpec { .. })
+    );
+    let shards = preset.spec.topology.map_or(0, |t| t.shards as u64);
+    let output = Experiment::new(preset.spec).run()?;
+    let point = output
+        .points
+        .first()
+        .ok_or_else(|| HarnessError::Config("bench preset produced no points".into()))?;
+    let headline = point.report.headline();
+    Ok(PresetResult {
+        name: preset.name.to_string(),
+        deterministic: preset.deterministic,
+        app: headline.app.clone(),
+        mode: headline.configuration.clone(),
+        shards,
+        requests: headline.requests,
+        offered_qps: if offered_is_closed {
+            None
+        } else {
+            headline.offered_qps
+        },
+        achieved_qps: headline.achieved_qps,
+        p50_ns: headline.sojourn.p50_ns,
+        p95_ns: headline.sojourn.p95_ns,
+        p99_ns: headline.sojourn.p99_ns,
+        pacing_p99_ns: headline.pacing.p99_ns,
+        overhead_p99_ns: headline.overhead.p99_ns,
+        queue_accepted: headline.queue_depth.accepted,
+        queue_dropped: headline.queue_depth.dropped,
+        queue_peak_depth: headline.queue_depth.peak_depth,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Gates.
+// ---------------------------------------------------------------------------
+
+/// The SLO thresholds of one preset.
+///
+/// Semantics: a measured value **exactly at** a bound passes (`<=` / `>=`); relative
+/// bounds compare against the same-named preset in the baseline record.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloGate {
+    /// Absolute end-to-end p99 ceiling, ns.
+    pub max_p99_ns: u64,
+    /// Absolute achieved-QPS floor (`None` = no absolute throughput gate).
+    pub min_qps: Option<f64>,
+    /// Tolerated relative p99 growth vs the baseline (0.0 = must not grow at all —
+    /// the DES setting, where any change is a real change).
+    pub p99_regression: f64,
+    /// Tolerated relative achieved-QPS drop vs the baseline.
+    pub qps_drop: f64,
+}
+
+/// One evaluated gate check.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateCheck {
+    /// Preset the check belongs to.
+    pub preset: String,
+    /// What was checked (`p99_abs`, `qps_abs`, `p99_vs_baseline`, `qps_vs_baseline`).
+    pub metric: String,
+    /// The measured value.
+    pub value: f64,
+    /// The bound it was compared against.
+    pub bound: f64,
+    /// Whether the check passed.
+    pub passed: bool,
+    /// Advisory checks (wall-clock presets) never fail the gate, only warn.
+    pub advisory: bool,
+}
+
+impl GateCheck {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("preset", Json::str(self.preset.clone())),
+            ("metric", Json::str(self.metric.clone())),
+            ("value", Json::F64(self.value)),
+            ("bound", Json::F64(self.bound)),
+            ("passed", Json::Bool(self.passed)),
+            ("advisory", Json::Bool(self.advisory)),
+        ])
+    }
+
+    fn from_json(value: &Json) -> Result<GateCheck, String> {
+        Ok(GateCheck {
+            preset: require_str(value, "check.preset")?,
+            metric: require_str(value, "check.metric")?,
+            value: value
+                .get("value")
+                .and_then(Json::as_f64)
+                .ok_or("check.value must be a number")?,
+            bound: value
+                .get("bound")
+                .and_then(Json::as_f64)
+                .ok_or("check.bound must be a number")?,
+            passed: value
+                .get("passed")
+                .and_then(Json::as_bool)
+                .ok_or("check.passed must be a bool")?,
+            advisory: value
+                .get("advisory")
+                .and_then(Json::as_bool)
+                .ok_or("check.advisory must be a bool")?,
+        })
+    }
+}
+
+/// The evaluated gate outcome of one record (against an optional baseline).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateReport {
+    /// Commit of the baseline record the relative checks compared against (`None` =
+    /// no baseline: absolute checks only).
+    pub baseline_commit: Option<String>,
+    /// Every evaluated check, in suite order.
+    pub checks: Vec<GateCheck>,
+    /// Presets measured now but absent from the baseline (new presets: absolute
+    /// checks only, noted so a silently-shrinking baseline is visible).
+    pub missing_from_baseline: Vec<String>,
+}
+
+impl GateReport {
+    /// `true` when no **hard** (non-advisory) check failed.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.checks.iter().all(|c| c.passed || c.advisory)
+    }
+
+    /// Number of failed hard checks.
+    #[must_use]
+    pub fn hard_failures(&self) -> usize {
+        self.checks
+            .iter()
+            .filter(|c| !c.passed && !c.advisory)
+            .count()
+    }
+
+    /// Number of failed advisory checks (warnings).
+    #[must_use]
+    pub fn warnings(&self) -> usize {
+        self.checks
+            .iter()
+            .filter(|c| !c.passed && c.advisory)
+            .count()
+    }
+
+    /// Renders the CI-friendly plain-text summary: one `PASS`/`WARN`/`FAIL` line per
+    /// check plus a final `RESULT:` line.
+    #[must_use]
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        match &self.baseline_commit {
+            Some(commit) => {
+                let _ = writeln!(out, "bench gate vs baseline @ {commit}");
+            }
+            None => {
+                let _ = writeln!(out, "bench gate (no baseline: absolute thresholds only)");
+            }
+        }
+        for check in &self.checks {
+            let status = if check.passed {
+                "PASS"
+            } else if check.advisory {
+                "WARN"
+            } else {
+                "FAIL"
+            };
+            let relation = if check.metric.starts_with("qps") {
+                ">="
+            } else {
+                "<="
+            };
+            let _ = writeln!(
+                out,
+                "{status} {:<24} {:<16} {:>14.0} {relation} {:>14.0}{}",
+                check.preset,
+                check.metric,
+                check.value,
+                check.bound,
+                if check.advisory { "  (advisory)" } else { "" }
+            );
+        }
+        for name in &self.missing_from_baseline {
+            let _ = writeln!(
+                out,
+                "NOTE {name:<24} not in baseline (absolute checks only)"
+            );
+        }
+        let _ = writeln!(
+            out,
+            "RESULT: {} ({} checks, {} hard failure(s), {} warning(s))",
+            if self.passed() { "PASS" } else { "FAIL" },
+            self.checks.len(),
+            self.hard_failures(),
+            self.warnings()
+        );
+        out
+    }
+
+    /// Encodes the report as a JSON tree (fixed key order — byte-stable).
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            (
+                "baseline_commit",
+                self.baseline_commit.clone().map_or(Json::Null, Json::Str),
+            ),
+            (
+                "checks",
+                Json::Arr(self.checks.iter().map(GateCheck::to_json).collect()),
+            ),
+            (
+                "missing_from_baseline",
+                Json::Arr(
+                    self.missing_from_baseline
+                        .iter()
+                        .map(|n| Json::str(n.clone()))
+                        .collect(),
+                ),
+            ),
+            ("passed", Json::Bool(self.passed())),
+        ])
+    }
+
+    /// Encodes to pretty-printed JSON text.
+    #[must_use]
+    pub fn to_json_string(&self) -> String {
+        self.to_json().to_text_pretty()
+    }
+
+    /// Decodes a report from JSON text (the derived `passed` field is recomputed).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first structural problem.
+    pub fn from_json_str(text: &str) -> Result<GateReport, String> {
+        let value = parse(text).map_err(|e| e.to_string())?;
+        let baseline_commit = match value.get("baseline_commit") {
+            None | Some(Json::Null) => None,
+            Some(v) => Some(
+                v.as_str()
+                    .map(str::to_string)
+                    .ok_or("baseline_commit must be a string or null")?,
+            ),
+        };
+        Ok(GateReport {
+            baseline_commit,
+            checks: value
+                .get("checks")
+                .and_then(Json::as_array)
+                .ok_or("report has no 'checks' array")?
+                .iter()
+                .map(GateCheck::from_json)
+                .collect::<Result<Vec<_>, _>>()?,
+            missing_from_baseline: value
+                .get("missing_from_baseline")
+                .and_then(Json::as_array)
+                .ok_or("report has no 'missing_from_baseline' array")?
+                .iter()
+                .map(|n| {
+                    n.as_str()
+                        .map(str::to_string)
+                        .ok_or_else(|| "missing_from_baseline entries must be strings".to_string())
+                })
+                .collect::<Result<Vec<_>, _>>()?,
+        })
+    }
+}
+
+/// Evaluates every suite gate against a freshly-measured record, with relative checks
+/// against `baseline` where it holds the same preset.
+///
+/// Presets in the record without a suite entry are skipped (a stale record field is
+/// not a gate); presets missing from the baseline get absolute checks only and are
+/// listed in [`GateReport::missing_from_baseline`].
+#[must_use]
+pub fn evaluate(record: &BenchRecord, baseline: Option<&BenchRecord>) -> GateReport {
+    let mut checks = Vec::new();
+    let mut missing = Vec::new();
+    for preset in suite() {
+        let Some(result) = record.preset(preset.name) else {
+            continue;
+        };
+        let advisory = !preset.deterministic;
+        let gate = preset.gate;
+        checks.push(GateCheck {
+            preset: preset.name.to_string(),
+            metric: "p99_abs".to_string(),
+            value: result.p99_ns as f64,
+            bound: gate.max_p99_ns as f64,
+            passed: result.p99_ns <= gate.max_p99_ns,
+            advisory,
+        });
+        if let Some(min_qps) = gate.min_qps {
+            checks.push(GateCheck {
+                preset: preset.name.to_string(),
+                metric: "qps_abs".to_string(),
+                value: result.achieved_qps,
+                bound: min_qps,
+                passed: result.achieved_qps >= min_qps,
+                advisory,
+            });
+        }
+        match baseline.and_then(|b| b.preset(preset.name)) {
+            Some(base) => {
+                let p99_bound = base.p99_ns as f64 * (1.0 + gate.p99_regression);
+                checks.push(GateCheck {
+                    preset: preset.name.to_string(),
+                    metric: "p99_vs_baseline".to_string(),
+                    value: result.p99_ns as f64,
+                    bound: p99_bound,
+                    passed: result.p99_ns as f64 <= p99_bound,
+                    advisory,
+                });
+                let qps_bound = base.achieved_qps * (1.0 - gate.qps_drop);
+                checks.push(GateCheck {
+                    preset: preset.name.to_string(),
+                    metric: "qps_vs_baseline".to_string(),
+                    value: result.achieved_qps,
+                    bound: qps_bound,
+                    passed: result.achieved_qps >= qps_bound,
+                    advisory,
+                });
+            }
+            None => {
+                if baseline.is_some() {
+                    missing.push(preset.name.to_string());
+                }
+            }
+        }
+    }
+    GateReport {
+        baseline_commit: baseline.map(|b| b.commit.clone()),
+        checks,
+        missing_from_baseline: missing,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Trajectory files.
+// ---------------------------------------------------------------------------
+
+/// Parses `BENCH_<n>.json` into `n`.
+fn bench_index(file_name: &str) -> Option<u64> {
+    file_name
+        .strip_prefix("BENCH_")?
+        .strip_suffix(".json")?
+        .parse()
+        .ok()
+}
+
+/// Finds the highest-numbered `BENCH_<n>.json` in `dir` (the latest committed
+/// trajectory point).
+#[must_use]
+pub fn latest_baseline(dir: &Path) -> Option<PathBuf> {
+    let mut best: Option<(u64, PathBuf)> = None;
+    for entry in std::fs::read_dir(dir).ok()?.flatten() {
+        let name = entry.file_name();
+        let Some(index) = name.to_str().and_then(bench_index) else {
+            continue;
+        };
+        if best.as_ref().is_none_or(|(b, _)| index > *b) {
+            best = Some((index, entry.path()));
+        }
+    }
+    best.map(|(_, path)| path)
+}
+
+/// The next free `BENCH_<n>.json` path in `dir` (what `--write auto` resolves to).
+#[must_use]
+pub fn next_bench_path(dir: &Path) -> PathBuf {
+    let next = std::fs::read_dir(dir)
+        .ok()
+        .into_iter()
+        .flatten()
+        .flatten()
+        .filter_map(|entry| entry.file_name().to_str().and_then(bench_index))
+        .max()
+        .map_or(1, |n| n + 1);
+    dir.join(format!("BENCH_{next}.json"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(name: &str, deterministic: bool, p99_ns: u64, qps: f64) -> PresetResult {
+        PresetResult {
+            name: name.to_string(),
+            deterministic,
+            app: "xapian".to_string(),
+            mode: if deterministic {
+                "simulated"
+            } else {
+                "integrated"
+            }
+            .to_string(),
+            shards: 0,
+            requests: 600,
+            offered_qps: Some(2_000.0),
+            achieved_qps: qps,
+            p50_ns: p99_ns / 4,
+            p95_ns: p99_ns / 2,
+            p99_ns,
+            pacing_p99_ns: 0,
+            overhead_p99_ns: 1_500,
+            queue_accepted: 600,
+            queue_dropped: 0,
+            queue_peak_depth: 3,
+        }
+    }
+
+    fn record_with(presets: Vec<PresetResult>) -> BenchRecord {
+        BenchRecord::new(
+            presets,
+            EnvMeta {
+                host: "unit".into(),
+                os: "linux".into(),
+                arch: "x86_64".into(),
+                cores: 8,
+            },
+            "deadbeef".into(),
+            1_754_000_000,
+        )
+    }
+
+    /// A record holding every suite preset, each comfortably inside its gate.
+    fn healthy_record() -> BenchRecord {
+        record_with(
+            suite()
+                .iter()
+                .map(|p| {
+                    result(
+                        p.name,
+                        p.deterministic,
+                        p.gate.max_p99_ns / 2,
+                        p.gate.min_qps.unwrap_or(10_000.0) * 2.0,
+                    )
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn suite_presets_are_pinned_and_valid() {
+        let presets = suite();
+        assert!(presets.iter().any(|p| p.deterministic));
+        assert!(presets.iter().any(|p| !p.deterministic));
+        for preset in &presets {
+            preset
+                .spec
+                .validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", preset.name));
+            // Pinned: explicit scale and seed, single point, one repeat — nothing
+            // host- or env-dependent feeds the grid.
+            assert!(preset.spec.scale.is_some(), "{} scale", preset.name);
+            assert_eq!(preset.spec.grid_size(), 1, "{} grid", preset.name);
+            assert_eq!(preset.spec.repeats, 1, "{} repeats", preset.name);
+            assert_eq!(preset.spec.seed, BENCH_SEED, "{} seed", preset.name);
+            // Absolute loads only: capacity probing would make records incomparable.
+            assert!(
+                !matches!(preset.spec.load, LoadSpec::FractionOfCapacity(_)),
+                "{} must not probe capacity",
+                preset.name
+            );
+            if preset.deterministic {
+                assert_eq!(preset.spec.mode, ModeSpec::Simulated, "{}", preset.name);
+                assert_eq!(preset.gate.p99_regression, 0.0, "{}", preset.name);
+                assert_eq!(preset.gate.qps_drop, 0.0, "{}", preset.name);
+            }
+        }
+        let mut names: Vec<&str> = presets.iter().map(|p| p.name).collect();
+        names.dedup();
+        assert_eq!(names.len(), presets.len(), "preset names must be unique");
+    }
+
+    #[test]
+    fn missing_baseline_evaluates_absolute_checks_only() {
+        let report = evaluate(&healthy_record(), None);
+        assert!(report.passed());
+        assert_eq!(report.baseline_commit, None);
+        assert!(report.missing_from_baseline.is_empty());
+        assert!(report
+            .checks
+            .iter()
+            .all(|c| !c.metric.contains("vs_baseline")));
+        assert!(report.render_text().contains("no baseline"));
+    }
+
+    #[test]
+    fn missing_preset_in_baseline_is_noted_not_failed() {
+        let current = healthy_record();
+        let mut baseline = healthy_record();
+        baseline.presets.retain(|p| p.name != "des-xapian-single");
+        let report = evaluate(&current, Some(&baseline));
+        assert!(report.passed());
+        assert_eq!(
+            report.missing_from_baseline,
+            vec!["des-xapian-single".to_string()]
+        );
+        // The present presets still got their relative checks.
+        assert!(report
+            .checks
+            .iter()
+            .any(|c| c.metric == "p99_vs_baseline" && c.preset == "des-masstree-single"));
+        assert!(report.render_text().contains("not in baseline"));
+    }
+
+    #[test]
+    fn exactly_at_threshold_passes() {
+        // Absolute bounds: equality passes.
+        let record = record_with(
+            suite()
+                .iter()
+                .map(|p| {
+                    result(
+                        p.name,
+                        p.deterministic,
+                        p.gate.max_p99_ns,
+                        p.gate.min_qps.unwrap_or(1.0),
+                    )
+                })
+                .collect(),
+        );
+        let report = evaluate(&record, None);
+        assert!(report.passed(), "{}", report.render_text());
+        // Relative bounds with zero tolerance: identical baseline passes.
+        let report = evaluate(&record, Some(&record.clone()));
+        assert!(report.passed(), "{}", report.render_text());
+        assert_eq!(report.hard_failures(), 0);
+        assert_eq!(report.warnings(), 0);
+    }
+
+    #[test]
+    fn des_regression_past_the_gate_fails_hard() {
+        let baseline = healthy_record();
+        let mut current = healthy_record();
+        let des = current
+            .presets
+            .iter_mut()
+            .find(|p| p.name == "des-xapian-single")
+            .unwrap();
+        des.p99_ns += 1; // DES tolerance is zero: one nanosecond is a regression.
+        let report = evaluate(&current, Some(&baseline));
+        assert!(!report.passed());
+        assert_eq!(report.hard_failures(), 1);
+        let text = report.render_text();
+        assert!(
+            text.contains("FAIL des-xapian-single") && text.contains("p99_vs_baseline"),
+            "{text}"
+        );
+        assert!(text.contains("RESULT: FAIL"), "{text}");
+    }
+
+    #[test]
+    fn wall_clock_regression_only_warns() {
+        let baseline = healthy_record();
+        let mut current = healthy_record();
+        let wall = current
+            .presets
+            .iter_mut()
+            .find(|p| p.name == "int-masstree-single")
+            .unwrap();
+        wall.achieved_qps /= 100.0; // Far past the 25% drop tolerance…
+        let report = evaluate(&current, Some(&baseline));
+        assert!(report.passed(), "advisory checks must not fail the gate");
+        assert!(report.warnings() >= 1);
+        assert!(report.render_text().contains("WARN int-masstree-single"));
+    }
+
+    #[test]
+    fn validation_rejects_nonsense_records() {
+        assert!(record_with(Vec::new())
+            .validate()
+            .unwrap_err()
+            .contains("no presets"));
+
+        let mut nan_qps = healthy_record();
+        nan_qps.presets[0].achieved_qps = f64::NAN;
+        assert!(nan_qps.validate().unwrap_err().contains("achieved_qps"));
+
+        let mut zero_qps = healthy_record();
+        zero_qps.presets[0].achieved_qps = 0.0;
+        assert!(zero_qps.validate().unwrap_err().contains("achieved_qps"));
+
+        let mut zero_p99 = healthy_record();
+        zero_p99.presets[0].p99_ns = 0;
+        zero_p99.presets[0].p50_ns = 0;
+        zero_p99.presets[0].p95_ns = 0;
+        assert!(zero_p99.validate().unwrap_err().contains("p99_ns is 0"));
+
+        let mut inverted = healthy_record();
+        inverted.presets[0].p50_ns = inverted.presets[0].p99_ns + 1;
+        assert!(inverted.validate().unwrap_err().contains("non-decreasing"));
+
+        let mut duplicated = healthy_record();
+        let clone = duplicated.presets[0].clone();
+        duplicated.presets.push(clone);
+        assert!(duplicated.validate().unwrap_err().contains("duplicate"));
+
+        assert!(healthy_record().validate().is_ok());
+    }
+
+    #[test]
+    fn record_round_trips_through_json() {
+        let record = healthy_record();
+        let text = record.to_json_string();
+        let back = BenchRecord::from_json_str(&text).unwrap();
+        assert_eq!(back, record);
+        assert_eq!(back.to_json_string(), text, "serialization is canonical");
+    }
+
+    #[test]
+    fn schema_version_mismatch_is_rejected() {
+        let mut record = healthy_record();
+        record.schema_version = BENCH_SCHEMA_VERSION + 1;
+        let err = BenchRecord::from_json_str(&record.to_json_string()).unwrap_err();
+        assert!(err.contains("schema version"), "{err}");
+    }
+
+    #[test]
+    fn utc_date_matches_known_values() {
+        assert_eq!(utc_date(0), "1970-01-01");
+        assert_eq!(utc_date(951_782_400), "2000-02-29");
+        assert_eq!(utc_date(1_754_000_000), "2025-07-31");
+    }
+
+    #[test]
+    fn trajectory_file_discovery_picks_the_highest_index() {
+        let dir = std::env::temp_dir().join(format!("tailbench-bench-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        assert_eq!(latest_baseline(&dir), None);
+        assert_eq!(next_bench_path(&dir), dir.join("BENCH_1.json"));
+        std::fs::write(dir.join("BENCH_1.json"), "{}").unwrap();
+        std::fs::write(dir.join("BENCH_9.json"), "{}").unwrap();
+        std::fs::write(dir.join("BENCH_10.json"), "{}").unwrap();
+        std::fs::write(dir.join("BENCH_x.json"), "{}").unwrap();
+        assert_eq!(latest_baseline(&dir), Some(dir.join("BENCH_10.json")));
+        assert_eq!(next_bench_path(&dir), dir.join("BENCH_11.json"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,164 @@
+//! Bench-record round-tripping: property tests for the `BENCH_<n>.json` schema.
+//!
+//! For randomly generated [`BenchRecord`]s and [`GateReport`]s covering the full
+//! schema surface (optional offered load, absent baselines, advisory checks, missing
+//! presets), `from_json(to_json(x)) == x` structurally, and the serialization is
+//! canonical — a second round emits byte-identical text.  Together with the golden
+//! byte-pin in `tests/bench_record_golden.rs`, this guarantees a committed trajectory
+//! file can always be reparsed into exactly the record that produced it.
+
+use proptest::prelude::*;
+use tailbench_experiment::{BenchRecord, EnvMeta, GateCheck, GateReport, PresetResult};
+
+fn name_strategy() -> impl Strategy<Value = String> {
+    ((0usize..6), (0u64..1_000)).prop_map(|(style, n)| {
+        let stem = ["des-xapian", "des-masstree", "int-xapian", "wall", "p", "x"][style];
+        format!("{stem}-{n}")
+    })
+}
+
+/// Finite, positive throughput values (validation rejects anything else, and NaN
+/// would break structural equality).
+fn qps_strategy() -> impl Strategy<Value = f64> {
+    0.001f64..10_000_000.0
+}
+
+fn preset_result_strategy() -> impl Strategy<Value = PresetResult> {
+    (
+        (name_strategy(), any::<bool>(), (0usize..3), (0u64..16)),
+        (
+            (1u64..1_000_000),
+            (any::<bool>(), qps_strategy()),
+            qps_strategy(),
+        ),
+        (
+            (1u64..1_000_000_000),
+            (1u64..4),
+            (1u64..4),
+            (0u64..100_000_000),
+        ),
+        (
+            (0u64..100_000_000),
+            (0u64..10_000_000),
+            (0u64..10_000),
+            (0u64..100_000),
+        ),
+    )
+        .prop_map(
+            |(
+                (name, deterministic, app_pick, shards),
+                (requests, (has_offered, offered), achieved_qps),
+                (p50_ns, p95_step, p99_step, pacing_p99_ns),
+                (overhead_p99_ns, queue_accepted, queue_dropped, queue_peak_depth),
+            )| {
+                PresetResult {
+                    name,
+                    deterministic,
+                    app: ["xapian", "masstree", "moses"][app_pick].to_string(),
+                    mode: if deterministic {
+                        "simulated"
+                    } else {
+                        "integrated"
+                    }
+                    .to_string(),
+                    shards,
+                    requests,
+                    offered_qps: if has_offered { Some(offered) } else { None },
+                    achieved_qps,
+                    p50_ns,
+                    // Keep the percentile ordering invariant the validator enforces.
+                    p95_ns: p50_ns.saturating_mul(p95_step),
+                    p99_ns: p50_ns.saturating_mul(p95_step).saturating_mul(p99_step),
+                    pacing_p99_ns,
+                    overhead_p99_ns,
+                    queue_accepted,
+                    queue_dropped,
+                    queue_peak_depth,
+                }
+            },
+        )
+}
+
+fn record_strategy() -> impl Strategy<Value = BenchRecord> {
+    (
+        prop::collection::vec(preset_result_strategy(), 0..6),
+        (0usize..3),
+        any::<u64>(),
+        (0u64..100_000_000_000),
+    )
+        .prop_map(|(presets, host_pick, commit_bits, unix_time)| {
+            BenchRecord::new(
+                presets,
+                EnvMeta {
+                    host: ["ci-runner", "laptop", "unknown"][host_pick].to_string(),
+                    os: "linux".to_string(),
+                    arch: "x86_64".to_string(),
+                    cores: (host_pick as u64 + 1) * 4,
+                },
+                format!("{commit_bits:012x}"),
+                unix_time,
+            )
+        })
+}
+
+fn gate_check_strategy() -> impl Strategy<Value = GateCheck> {
+    (
+        (name_strategy(), (0usize..4)),
+        (qps_strategy(), qps_strategy()),
+        (any::<bool>(), any::<bool>()),
+    )
+        .prop_map(
+            |((preset, metric_pick), (value, bound), (passed, advisory))| GateCheck {
+                preset,
+                metric: ["p99_abs", "qps_abs", "p99_vs_baseline", "qps_vs_baseline"][metric_pick]
+                    .to_string(),
+                value,
+                bound,
+                passed,
+                advisory,
+            },
+        )
+}
+
+fn gate_report_strategy() -> impl Strategy<Value = GateReport> {
+    (
+        (any::<bool>(), any::<u64>()),
+        prop::collection::vec(gate_check_strategy(), 0..12),
+        prop::collection::vec(name_strategy(), 0..4),
+    )
+        .prop_map(
+            |((has_baseline, commit_bits), checks, missing_from_baseline)| GateReport {
+                baseline_commit: if has_baseline {
+                    Some(format!("{commit_bits:012x}"))
+                } else {
+                    None
+                },
+                checks,
+                missing_from_baseline,
+            },
+        )
+}
+
+proptest! {
+    #[test]
+    fn any_bench_record_round_trips_structurally(record in record_strategy()) {
+        let text = record.to_json_string();
+        let back = BenchRecord::from_json_str(&text)
+            .map_err(|e| format!("reparse failed: {e}\n{text}"))?;
+        prop_assert_eq!(&back, &record);
+        // Canonical: serializing again yields byte-identical text.
+        prop_assert_eq!(back.to_json_string(), text);
+    }
+
+    #[test]
+    fn any_gate_report_round_trips_structurally(report in gate_report_strategy()) {
+        let text = report.to_json_string();
+        let back = GateReport::from_json_str(&text)
+            .map_err(|e| format!("reparse failed: {e}\n{text}"))?;
+        prop_assert_eq!(&back, &report);
+        prop_assert_eq!(back.to_json_string(), text);
+        // The summary renderer must stay total: any report renders without panicking
+        // and always carries the final RESULT line.
+        prop_assert!(back.render_text().contains("RESULT:"));
+    }
+}

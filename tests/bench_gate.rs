@@ -1,0 +1,125 @@
+//! End-to-end `tailbench bench` gate test.
+//!
+//! Drives the real binary through the full trajectory workflow in a scratch
+//! directory: record a baseline with `--write`, pass `--check` against it, then
+//! doctor the baseline into a synthetically *better* past (lower p99, higher QPS) and
+//! assert the zero-tolerance DES gate detects the "regression" with a nonzero exit
+//! code and a per-preset FAIL report — the exact failure mode the CI job exists to
+//! catch.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+use tailbench::experiment::BenchRecord;
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("tailbench-gate-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn bench(dir: &Path, args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_tailbench"))
+        .arg("bench")
+        .args(args)
+        .current_dir(dir)
+        .output()
+        .expect("spawn tailbench")
+}
+
+#[test]
+fn stale_baseline_regression_is_detected_with_nonzero_exit() {
+    let dir = scratch_dir("regress");
+
+    // 1. Record the baseline.
+    let write = bench(
+        &dir,
+        &["--suite", "des", "--write", "BENCH_1.json", "--quiet"],
+    );
+    assert!(write.status.success(), "{write:?}");
+    let baseline_path = dir.join("BENCH_1.json");
+    let baseline =
+        BenchRecord::from_json_str(&std::fs::read_to_string(&baseline_path).unwrap()).unwrap();
+    baseline.validate().unwrap();
+
+    // 2. A fresh run checks clean against its own baseline (DES is bit-exact).
+    let check = bench(&dir, &["--suite", "des", "--check"]);
+    let stdout = String::from_utf8_lossy(&check.stdout);
+    assert!(check.status.success(), "{stdout}");
+    assert!(stdout.contains("RESULT: PASS"), "{stdout}");
+    assert!(stdout.contains("p99_vs_baseline"), "{stdout}");
+
+    // 3. Doctor the baseline into a better past: halve one preset's p99 and double
+    //    its throughput.  Zero DES tolerance means the (unchanged) current run now
+    //    reads as a regression against it.
+    let mut stale = baseline.clone();
+    {
+        let preset = stale
+            .presets
+            .iter_mut()
+            .find(|p| p.name == "des-xapian-single")
+            .expect("suite preset present");
+        preset.p50_ns /= 2;
+        preset.p95_ns /= 2;
+        preset.p99_ns /= 2;
+        preset.achieved_qps *= 2.0;
+    }
+    // Higher index: `--check` must auto-discover BENCH_2.json over BENCH_1.json.
+    std::fs::write(dir.join("BENCH_2.json"), stale.to_json_string()).unwrap();
+
+    let check = bench(&dir, &["--suite", "des", "--check"]);
+    let stdout = String::from_utf8_lossy(&check.stdout);
+    let stderr = String::from_utf8_lossy(&check.stderr);
+    assert!(!check.status.success(), "gate must fail:\n{stdout}");
+    assert_eq!(check.status.code(), Some(1), "runtime-failure exit code");
+    assert!(
+        stdout.contains("FAIL des-xapian-single") && stdout.contains("p99_vs_baseline"),
+        "report must name the regressed preset and metric:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("FAIL des-xapian-single") && stdout.contains("qps_vs_baseline"),
+        "throughput drop must be reported too:\n{stdout}"
+    );
+    assert!(stdout.contains("RESULT: FAIL"), "{stdout}");
+    assert!(stderr.contains("bench gate failed"), "{stderr}");
+
+    // 4. Pointing --baseline at the honest record explicitly passes again.
+    let check = bench(
+        &dir,
+        &["--suite", "des", "--check", "--baseline", "BENCH_1.json"],
+    );
+    assert!(
+        check.status.success(),
+        "{}",
+        String::from_utf8_lossy(&check.stdout)
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn check_without_any_baseline_warns_and_uses_absolute_thresholds() {
+    let dir = scratch_dir("nobase");
+    let check = bench(&dir, &["--suite", "des", "--check"]);
+    let stdout = String::from_utf8_lossy(&check.stdout);
+    let stderr = String::from_utf8_lossy(&check.stderr);
+    assert!(check.status.success(), "{stdout}\n{stderr}");
+    assert!(stderr.contains("no BENCH_"), "{stderr}");
+    assert!(stdout.contains("absolute thresholds only"), "{stdout}");
+    assert!(stdout.contains("RESULT: PASS"), "{stdout}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupt_baseline_is_a_loud_runtime_error() {
+    let dir = scratch_dir("corrupt");
+    std::fs::write(dir.join("BENCH_1.json"), "{\"schema_version\": 999}").unwrap();
+    let check = bench(&dir, &["--suite", "des", "--check"]);
+    assert_eq!(check.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&check.stderr);
+    assert!(
+        stderr.contains("invalid baseline") && stderr.contains("schema version"),
+        "{stderr}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,67 @@
+//! Golden byte-pin of the `BENCH_<n>.json` record format.
+//!
+//! The DES subset of the bench suite is bit-exact for a fixed seed, and the in-tree
+//! JSON codec is canonical (fixed key order, shortest-roundtrip floats), so a suite
+//! run with pinned provenance serializes to *exactly* the committed fixture — every
+//! byte.  This pins the record schema, the codec's rendering, the preset parameters
+//! and the simulator's arithmetic in one assert: any accidental change to any of them
+//! fails loudly here instead of silently shifting the perf trajectory.
+//!
+//! To refresh after an *intentional* change (new preset, schema bump, DES event-order
+//! change), bless the fixture and re-commit it together with a DESIGN.md note:
+//!
+//! ```text
+//! TAILBENCH_BLESS=1 cargo test --test bench_record_golden
+//! ```
+
+use tailbench::experiment::{bench, BenchRecord, EnvMeta, SuiteFilter};
+
+const FIXTURE_PATH: &str = "tests/fixtures/bench_golden.json";
+const FIXTURE: &str = include_str!("fixtures/bench_golden.json");
+
+/// The DES suite with fully pinned provenance: fixed host metadata, commit tag and
+/// timestamp, so the only inputs are the preset specs and the simulator.
+fn golden_record() -> BenchRecord {
+    let results = bench::run_suite(SuiteFilter::Des).expect("DES suite runs");
+    BenchRecord::new(
+        results,
+        EnvMeta {
+            host: "golden".to_string(),
+            os: "linux".to_string(),
+            arch: "x86_64".to_string(),
+            cores: 4,
+        },
+        "golden".to_string(),
+        1_754_265_600, // 2025-08-04T00:00:00Z
+    )
+}
+
+#[test]
+fn des_suite_record_bytes_are_exact() {
+    let text = golden_record().to_json_string();
+    if std::env::var("TAILBENCH_BLESS").is_ok() {
+        std::fs::write(FIXTURE_PATH, &text).expect("write blessed fixture");
+        eprintln!("blessed {FIXTURE_PATH}");
+        return;
+    }
+    assert_eq!(
+        text, FIXTURE,
+        "BENCH record bytes diverged from {FIXTURE_PATH}; if the change is \
+         intentional, re-bless with TAILBENCH_BLESS=1 and note it in DESIGN.md"
+    );
+}
+
+#[test]
+fn golden_fixture_parses_validates_and_round_trips() {
+    let record = BenchRecord::from_json_str(FIXTURE).expect("fixture parses");
+    record.validate().expect("fixture is a valid record");
+    assert_eq!(
+        record.to_json_string(),
+        FIXTURE,
+        "fixture must already be in canonical serialization"
+    );
+    // And it matches what the committed BENCH_1.json pins for the same presets:
+    // both were produced by the same simulator, so the DES numbers agree.
+    assert_eq!(record.presets.len(), 3);
+    assert!(record.presets.iter().all(|p| p.deterministic));
+}
