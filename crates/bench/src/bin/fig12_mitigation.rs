@@ -1,0 +1,29 @@
+//! Fig. 12 (extension): the tail-mitigation policy suite head-to-head.
+//!
+//! One slow replica plus a bursty multi-tenant load is the canonical tail regime, and
+//! the literature offers a menu of mitigations: hedged requests, tied requests,
+//! load-aware replica selection (least-loaded and power-of-two-choices), and
+//! deadline-based load shedding.  The `fig12` preset runs each of them — plus the
+//! unmitigated baseline — over the *same* deterministic scenario: a 2-shard ×
+//! 2-replica xapian broadcast cluster under the fig10 burst trace (interactive and
+//! batch tenant classes, square-wave bursts mid-run) with one replica slowed 4× over
+//! the middle window.  Every row resets all other policies to the baseline before
+//! applying its own, so the p50/p95/p99 columns compare single policies directly.
+//! Runs under the discrete-event simulated harness, so every row is deterministic.
+//! Run `tailbench preset fig12` for the same result plus JSON output.
+
+use tailbench_experiment::{presets, Experiment, Scale};
+
+fn main() {
+    let spec = presets::fig12(Scale::from_env());
+    let output = Experiment::new(spec)
+        .run()
+        .expect("fig12 experiment failed");
+    print!("{}", output.to_markdown());
+    println!(
+        "\nEvery mitigation attacks the same tail differently: hedges and tied requests\n\
+         race a second replica, load-aware selectors route around the straggler, and\n\
+         deadline shedding gives up on requests that would blow the SLO anyway.  The\n\
+         baseline row shows the unmitigated burst-plus-straggler tail they all beat."
+    );
+}

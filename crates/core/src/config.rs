@@ -168,6 +168,18 @@ fn slice_or_fallback(payload: &[u8], offset: usize, len: usize) -> &[u8] {
     payload.get(offset..offset + len).unwrap_or(payload)
 }
 
+/// Deterministic candidate hash for the seeded two-choice selector: FNV-1a over the
+/// run seed, request id, shard, and candidate slot, so both candidates are pinned by
+/// the seed and the harness stays reproducible in every mode.
+fn selector_hash(seed: u64, request_id: u64, shard: u64, slot: u64) -> u64 {
+    let mut bytes = [0u8; 32];
+    bytes[..8].copy_from_slice(&seed.to_le_bytes());
+    bytes[8..16].copy_from_slice(&request_id.to_le_bytes());
+    bytes[16..24].copy_from_slice(&shard.to_le_bytes());
+    bytes[24..].copy_from_slice(&slot.to_le_bytes());
+    fnv1a(&bytes)
+}
+
 /// FNV-1a, the classic cheap byte-string hash; stable across platforms so cluster
 /// routing is deterministic everywhere.
 fn fnv1a(bytes: &[u8]) -> u64 {
@@ -205,13 +217,47 @@ impl HedgePolicy {
     }
 }
 
+/// How the client-side router picks the replica that serves one leg of a request
+/// ("The Tail at Scale" catalogs replica selection as a tail mitigation in its own
+/// right, distinct from hedging).
+///
+/// All three selectors are deterministic given the run seed and the observable load
+/// state, so simulated runs stay bit-for-bit reproducible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ReplicaSelector {
+    /// Rotate replicas by request id (`request_id % replication`): stateless and
+    /// perfectly balanced under uniform ids.  The default, and byte-identical to the
+    /// routing the harness used before selectors existed.
+    #[default]
+    RoundRobin,
+    /// Send each leg to the replica with the fewest outstanding requests (queued plus
+    /// in service); ties break to the lowest replica index.
+    LeastLoaded,
+    /// Seeded two-choice ("the power of two choices"): derive two candidate replicas
+    /// from a hash of the run seed and request id, send to the less loaded of the
+    /// pair.  Ties break to the first candidate.
+    PowerOfTwo,
+}
+
+impl ReplicaSelector {
+    /// A short name used in reports (`round-robin`, `least-loaded`, `p2c`).
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            ReplicaSelector::RoundRobin => "round-robin",
+            ReplicaSelector::LeastLoaded => "least-loaded",
+            ReplicaSelector::PowerOfTwo => "p2c",
+        }
+    }
+}
+
 /// A cluster of server instances layered on top of a [`BenchmarkConfig`].
 ///
 /// A cluster run starts `shards * replication` independent server instances — each with
 /// its own request queue and worker pool (or its own simulated station) — and a
 /// client-side router that distributes the open-loop request schedule according to
 /// `fanout`.  Replicas of a shard serve the same data; single-shard requests are
-/// balanced across a shard's replicas by request id.
+/// balanced across a shard's replicas by the configured [`ReplicaSelector`].
 #[derive(Debug, Clone)]
 pub struct ClusterConfig {
     /// Number of data shards.
@@ -223,6 +269,12 @@ pub struct ClusterConfig {
     /// Hedged-request mitigation on the router (`None` = no hedging).  Requires
     /// `replication >= 2` to take effect.
     pub hedge: Option<HedgePolicy>,
+    /// How the router picks a replica for each leg.
+    pub selector: ReplicaSelector,
+    /// Tied requests: issue every leg to two replicas up front, first response wins,
+    /// and the loser is cancelled if it is still waiting in a queue.  Requires
+    /// `replication >= 2` to take effect and is mutually exclusive with `hedge`.
+    pub tied: bool,
 }
 
 impl ClusterConfig {
@@ -234,6 +286,8 @@ impl ClusterConfig {
             replication: 1,
             fanout,
             hedge: None,
+            selector: ReplicaSelector::RoundRobin,
+            tied: false,
         }
     }
 
@@ -251,6 +305,27 @@ impl ClusterConfig {
         self
     }
 
+    /// Sets the replica selector.
+    #[must_use]
+    pub fn with_selector(mut self, selector: ReplicaSelector) -> Self {
+        self.selector = selector;
+        self
+    }
+
+    /// Enables tied requests (two copies up front, first response wins).
+    #[must_use]
+    pub fn with_tied(mut self, tied: bool) -> Self {
+        self.tied = tied;
+        self
+    }
+
+    /// Whether tied requests are active (configured *and* there is a second replica
+    /// to tie to).
+    #[must_use]
+    pub fn active_tied(&self) -> bool {
+        self.tied && self.replication >= 2
+    }
+
     /// Returns the hedging policy if it is active (configured *and* the cluster has a
     /// replica to hedge to).
     #[must_use]
@@ -263,10 +338,63 @@ impl ClusterConfig {
     }
 
     /// The alternate replica instance for a hedge copy of `shard`'s leg of request
-    /// `request_id`: the next replica after the primary, round-robin.
+    /// `request_id`: the next replica after the round-robin primary.
+    ///
+    /// Correct only under [`ReplicaSelector::RoundRobin`]; load-aware selectors must
+    /// derive the alternate from the replica that actually served as primary with
+    /// [`ClusterConfig::secondary_instance`].
     #[must_use]
     pub fn hedge_instance(&self, shard: usize, request_id: u64) -> usize {
-        shard * self.replication + ((request_id + 1) % self.replication as u64) as usize
+        self.secondary_instance(shard, self.instance(shard, request_id))
+    }
+
+    /// The replica instance after `primary` on `shard`, round-robin — where the hedge
+    /// or tied copy of a leg goes once the primary is known.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `primary` is not an instance of `shard`.
+    #[must_use]
+    pub fn secondary_instance(&self, shard: usize, primary: usize) -> usize {
+        let base = shard * self.replication;
+        debug_assert!(primary >= base && primary < base + self.replication);
+        base + (primary - base + 1) % self.replication
+    }
+
+    /// The server instance that serves `shard` for request `request_id` under this
+    /// cluster's [`ReplicaSelector`], given the per-instance outstanding-request
+    /// counts observable at dispatch time (`load_of(instance)`).
+    ///
+    /// [`ReplicaSelector::RoundRobin`] ignores `seed` and `load_of` and equals
+    /// [`ClusterConfig::instance`], so existing round-robin results are unchanged.
+    #[must_use]
+    pub fn route_replica(
+        &self,
+        shard: usize,
+        request_id: u64,
+        seed: u64,
+        load_of: &dyn Fn(usize) -> usize,
+    ) -> usize {
+        let base = shard * self.replication;
+        match self.selector {
+            ReplicaSelector::RoundRobin => self.instance(shard, request_id),
+            ReplicaSelector::LeastLoaded => (base..base + self.replication)
+                .min_by_key(|&i| (load_of(i), i))
+                .unwrap_or(base),
+            ReplicaSelector::PowerOfTwo => {
+                let r = self.replication as u64;
+                let first = (selector_hash(seed, request_id, shard as u64, 0) % r) as usize;
+                let mut second = (selector_hash(seed, request_id, shard as u64, 1) % r) as usize;
+                if second == first {
+                    second = (first + 1) % self.replication;
+                }
+                if load_of(base + second) < load_of(base + first) {
+                    base + second
+                } else {
+                    base + first
+                }
+            }
+        }
     }
 
     /// Total number of server instances (`shards * replication`).
@@ -293,15 +421,25 @@ impl ClusterConfig {
         shard * self.replication + (request_id % self.replication as u64) as usize
     }
 
-    /// A short name for reports, e.g. `cluster4x2-broadcast`.
+    /// A short name for reports, e.g. `cluster4x2-broadcast`.  Non-default mitigation
+    /// knobs append suffixes (`+least-loaded`, `+tied`) so report rows stay
+    /// distinguishable; the default round-robin untied name is unchanged.
     #[must_use]
     pub fn name(&self) -> String {
-        format!(
+        let mut name = format!(
             "cluster{}x{}-{}",
             self.shards,
             self.replication,
             self.fanout.name()
-        )
+        );
+        if self.selector != ReplicaSelector::RoundRobin {
+            name.push('+');
+            name.push_str(self.selector.name());
+        }
+        if self.tied {
+            name.push_str("+tied");
+        }
+        name
     }
 }
 
@@ -537,6 +675,36 @@ impl BenchmarkConfig {
                 cluster.replication
             )));
         }
+        if cluster.tied && cluster.replication < 2 {
+            return Err(HarnessError::Config(format!(
+                "tied requests are configured but replication is {}: the second copy \
+                 needs a second replica; use with_replication(2) or disable tied \
+                 requests",
+                cluster.replication
+            )));
+        }
+        if cluster.tied && cluster.hedge.is_some() {
+            return Err(HarnessError::Config(
+                "tied requests and hedging are both configured: they are alternative \
+                 mitigations for the same leg (tied issues the second copy up front, \
+                 hedging issues it after a delay); configure at most one"
+                    .into(),
+            ));
+        }
+        if matches!(
+            self.mode,
+            HarnessMode::Loopback { .. } | HarnessMode::Networked { .. }
+        ) && cluster.hedge.is_some()
+            && self.admission.shed_capacity().is_some()
+        {
+            return Err(HarnessError::Config(
+                "hedged TCP cluster runs require a non-shedding admission policy: a \
+                 server-side shed is invisible to the client-side hedge engine, which \
+                 would wait forever for the dropped copy; use the unbounded default \
+                 queue, the integrated mode, or the simulator for this combination"
+                    .into(),
+            ));
+        }
         Ok(())
     }
 }
@@ -718,6 +886,98 @@ mod tests {
         assert!(drop_sim.validate().is_ok());
         let unbounded_sim = BenchmarkConfig::new(1_000.0, 100).with_mode(HarnessMode::Simulated);
         assert!(unbounded_sim.validate().is_ok());
+    }
+
+    #[test]
+    fn replica_selectors_route_deterministically_and_respect_load() {
+        let cluster = ClusterConfig::new(2, FanoutPolicy::Broadcast).with_replication(4);
+
+        // Round-robin is byte-identical to the historical id rotation and ignores load.
+        let rr = cluster.clone().with_selector(ReplicaSelector::RoundRobin);
+        for id in 0..16u64 {
+            assert_eq!(rr.route_replica(1, id, 99, &|_| 7), rr.instance(1, id));
+        }
+
+        // Least-loaded picks the minimum outstanding count, ties to the lowest index.
+        let ll = cluster.clone().with_selector(ReplicaSelector::LeastLoaded);
+        let loads = [5usize, 3, 3, 9, 1, 1, 1, 1];
+        assert_eq!(ll.route_replica(0, 0, 0, &|i| loads[i]), 1);
+        assert_eq!(ll.route_replica(1, 0, 0, &|i| loads[i]), 4);
+
+        // Two-choice is pinned by the seed: same seed, same candidates; the less
+        // loaded of the pair wins and lives on the addressed shard.
+        let p2c = cluster.with_selector(ReplicaSelector::PowerOfTwo);
+        for id in 0..64u64 {
+            let a = p2c.route_replica(1, id, 0x5EED, &|i| loads[i]);
+            let b = p2c.route_replica(1, id, 0x5EED, &|i| loads[i]);
+            assert_eq!(a, b);
+            assert!((4..8).contains(&a), "shard 1 owns instances 4..8, got {a}");
+        }
+        // Under uneven load the two-choice pick is never the uniquely worst replica.
+        let skewed = [0usize, 0, 0, 0, 100, 0, 0, 0];
+        for id in 0..64u64 {
+            assert_ne!(p2c.route_replica(1, id, 0x5EED, &|i| skewed[i]), 4);
+        }
+    }
+
+    #[test]
+    fn secondary_instance_follows_the_actual_primary() {
+        let c = ClusterConfig::new(2, FanoutPolicy::Broadcast).with_replication(3);
+        assert_eq!(c.secondary_instance(0, 0), 1);
+        assert_eq!(c.secondary_instance(0, 2), 0);
+        assert_eq!(c.secondary_instance(1, 5), 3);
+        // Under round-robin the secondary of the id-derived primary is exactly the
+        // historical hedge_instance, so hedged goldens are unchanged.
+        for id in 0..12u64 {
+            for shard in 0..2 {
+                assert_eq!(
+                    c.secondary_instance(shard, c.instance(shard, id)),
+                    c.hedge_instance(shard, id)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cluster_names_tag_non_default_mitigations() {
+        let base = ClusterConfig::new(4, FanoutPolicy::Broadcast).with_replication(2);
+        assert_eq!(base.name(), "cluster4x2-broadcast");
+        assert_eq!(
+            base.clone()
+                .with_selector(ReplicaSelector::LeastLoaded)
+                .name(),
+            "cluster4x2-broadcast+least-loaded"
+        );
+        assert_eq!(
+            base.clone().with_tied(true).name(),
+            "cluster4x2-broadcast+tied"
+        );
+        assert_eq!(
+            base.with_selector(ReplicaSelector::PowerOfTwo)
+                .with_tied(true)
+                .name(),
+            "cluster4x2-broadcast+p2c+tied"
+        );
+    }
+
+    #[test]
+    fn validate_cluster_rejects_unreplicated_or_hedged_tied_requests() {
+        let good = BenchmarkConfig::new(1_000.0, 100);
+        let tied_unreplicated = ClusterConfig::new(2, FanoutPolicy::Broadcast).with_tied(true);
+        let err = good
+            .validate_cluster(&tied_unreplicated)
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("replication"), "{err}");
+        let tied = tied_unreplicated.with_replication(2);
+        assert!(good.validate_cluster(&tied).is_ok());
+        assert!(tied.active_tied());
+        let tied_and_hedged = tied.with_hedge(HedgePolicy::after_ns(1_000));
+        let err = good
+            .validate_cluster(&tied_and_hedged)
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("at most one"), "{err}");
     }
 
     #[test]

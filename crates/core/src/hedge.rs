@@ -42,6 +42,22 @@ pub(crate) enum HedgeMsg {
         request: Request,
         /// The shard this leg belongs to.
         shard: usize,
+        /// The replica instance the primary copy was routed to.  The hedge copy goes to
+        /// the shard's *next* replica after this one, so hedging stays correct under
+        /// load-aware replica selectors.
+        instance: usize,
+    },
+    /// The router dispatched a *tied* leg: two copies issued up front, `primary` and
+    /// `secondary`.  First response wins; the engine retracts the queued loser.
+    DispatchedTied {
+        /// The leg's request id.
+        id: u64,
+        /// The shard this leg belongs to.
+        shard: usize,
+        /// The instance serving the first copy.
+        primary: usize,
+        /// The instance serving the second copy.
+        secondary: usize,
     },
     /// One copy of a leg completed.
     Completed {
@@ -70,8 +86,14 @@ pub(crate) enum HedgeMsg {
 struct WallLeg {
     request: Option<Request>,
     resolved: bool,
-    /// The instance the hedge copy was reissued to (`None` until hedged).
+    /// The instance the primary copy was routed to.
+    primary: usize,
+    /// The instance the secondary copy targets: the hedge copy's destination once
+    /// reissued, or the tied copy's destination from dispatch (`None` until hedged).
     hedged_to: Option<usize>,
+    /// Tied legs dispatched both copies up front; the engine retracts the loser instead
+    /// of reissuing anything.
+    tied: bool,
     outstanding: u8,
 }
 
@@ -83,23 +105,31 @@ pub(crate) struct HedgeEngine {
 }
 
 impl HedgeEngine {
-    /// Spawns the engine.  `reissue(instance, request)` injects a hedge copy into the
-    /// transport (a queue push in the integrated configuration, a sender-channel send in
-    /// the TCP ones); `collector` receives the winning record of every leg and is
-    /// returned, populated, from [`HedgeEngine::join`].
+    /// Spawns the engine.  `policy` arms the reissue deadlines (pass `None` for
+    /// tied-only runs, where both copies are dispatched up front and nothing is ever
+    /// reissued).  `reissue(instance, request)` injects a hedge copy into the transport
+    /// (a queue push in the integrated configuration, a sender-channel send in the TCP
+    /// ones); `retract(instance, id)` attempts to pull a still-queued tied loser back
+    /// out of the transport, returning `true` if the copy will never run.  `collector`
+    /// receives the winning record of every leg and is returned, populated, from
+    /// [`HedgeEngine::join`].
     pub(crate) fn spawn(
-        policy: HedgePolicy,
+        policy: Option<HedgePolicy>,
         cluster: ClusterConfig,
         width: usize,
         clock: RunClock,
         mut collector: ClusterCollector,
         reissue: Box<dyn FnMut(usize, Request) -> bool + Send>,
+        retract: Box<dyn FnMut(usize, u64) -> bool + Send>,
     ) -> Self {
         let (tx, rx) = channel::<HedgeMsg>();
         let handle = std::thread::Builder::new()
             .name("tb-hedge-engine".into())
             .spawn(move || {
-                let mut reissue = Some(reissue);
+                // The reissue and retract paths both hold transport handles (queue or
+                // channel senders); they are released together once pacing has ended and
+                // every outstanding copy is accounted for, so servers can unwind.
+                let mut transport = Some((reissue, retract));
                 let mut stats = HedgeStats::default();
                 let mut pending: HashMap<(u64, usize), WallLeg> = HashMap::new();
                 // Hedge deadlines: (deadline_ns, ticket) -> leg key.  The ticket makes
@@ -124,8 +154,11 @@ impl HedgeEngine {
                         let Some(request) = leg.request.take() else {
                             continue;
                         };
-                        let alt = cluster.hedge_instance(key.1, key.0);
-                        if let Some(send) = reissue.as_mut() {
+                        // The copy goes to the shard's next replica *after the actual
+                        // primary* — under load-aware selectors that is not necessarily
+                        // `hedge_instance(shard, id)`.
+                        let alt = cluster.secondary_instance(key.1, leg.primary);
+                        if let Some((send, _)) = transport.as_mut() {
                             if send(alt, request) {
                                 leg.hedged_to = Some(alt);
                                 leg.outstanding += 1;
@@ -134,9 +167,9 @@ impl HedgeEngine {
                         }
                     }
                     // Once pacing is over and every copy has come back, release the
-                    // reissue path so the servers can start unwinding.
-                    if no_more && pending.is_empty() && reissue.is_some() {
-                        reissue = None;
+                    // reissue/retract paths so the servers can start unwinding.
+                    if no_more && pending.is_empty() && transport.is_some() {
+                        transport = None;
                         deadlines.clear();
                     }
                     // Wait for the next message, or until the next hedge deadline.
@@ -155,17 +188,44 @@ impl HedgeEngine {
                         },
                     };
                     match msg {
-                        HedgeMsg::Dispatched { request, shard } => {
+                        HedgeMsg::Dispatched {
+                            request,
+                            shard,
+                            instance,
+                        } => {
                             let key = (request.id.0, shard);
-                            ticket += 1;
-                            deadlines.insert((clock.now_ns() + policy.delay_ns, ticket), key);
+                            if let Some(policy) = policy {
+                                ticket += 1;
+                                deadlines.insert((clock.now_ns() + policy.delay_ns, ticket), key);
+                            }
                             pending.insert(
                                 key,
                                 WallLeg {
                                     request: Some(request),
                                     resolved: false,
+                                    primary: instance,
                                     hedged_to: None,
+                                    tied: false,
                                     outstanding: 1,
+                                },
+                            );
+                        }
+                        HedgeMsg::DispatchedTied {
+                            id,
+                            shard,
+                            primary,
+                            secondary,
+                        } => {
+                            stats.issued += 1;
+                            pending.insert(
+                                (id, shard),
+                                WallLeg {
+                                    request: None,
+                                    resolved: false,
+                                    primary,
+                                    hedged_to: Some(secondary),
+                                    tied: true,
+                                    outstanding: 2,
                                 },
                             );
                         }
@@ -176,27 +236,44 @@ impl HedgeEngine {
                         } => {
                             let key = (record.id.0, shard);
                             if let Some(leg) = pending.get_mut(&key) {
+                                leg.outstanding = leg.outstanding.saturating_sub(1);
                                 if !leg.resolved {
                                     leg.resolved = true;
-                                    // The hedge won iff the first response came back on
-                                    // the replica the copy was reissued to (primary and
-                                    // copy always target distinct replicas).
+                                    // The copy won iff the first response came back on
+                                    // the replica the secondary targets (primary and
+                                    // secondary always target distinct replicas).
                                     if leg.hedged_to == Some(instance) {
                                         stats.wins += 1;
                                     }
                                     let _ = collector.record_leg(shard, record, width);
+                                    // Tied: try to pull the losing copy back off its
+                                    // queue.  If the retraction lands, that copy will
+                                    // never produce a completion.
+                                    if leg.tied && leg.outstanding > 0 {
+                                        let loser = if Some(instance) == leg.hedged_to {
+                                            leg.primary
+                                        } else {
+                                            leg.hedged_to.unwrap_or(leg.primary)
+                                        };
+                                        if let Some((_, cancel)) = transport.as_mut() {
+                                            if cancel(loser, key.0) {
+                                                leg.outstanding -= 1;
+                                            }
+                                        }
+                                    }
                                 }
-                                leg.outstanding -= 1;
                                 if leg.outstanding == 0 {
                                     pending.remove(&key);
                                 }
                             }
                         }
                         HedgeMsg::Cancelled { id, shard } => {
+                            // One announced copy was shed at admission and will never
+                            // complete.  For tied legs the sibling copy may still be in
+                            // flight, so this only retires one copy's bookkeeping.
                             let key = (id, shard);
                             if let Some(leg) = pending.get_mut(&key) {
-                                leg.resolved = true;
-                                leg.outstanding -= 1;
+                                leg.outstanding = leg.outstanding.saturating_sub(1);
                                 if leg.outstanding == 0 {
                                     pending.remove(&key);
                                 }
@@ -259,12 +336,13 @@ mod tests {
         let clock = RunClock::new();
         let (hedged_tx, hedged_rx) = crossbeam::channel::unbounded();
         let engine = HedgeEngine::spawn(
-            HedgePolicy::after_ns(2_000_000), // 2 ms trigger
+            Some(HedgePolicy::after_ns(2_000_000)), // 2 ms trigger
             cluster,
             1,
             clock,
             ClusterCollector::new(1, 0),
             Box::new(move |instance, request| hedged_tx.send((instance, request)).is_ok()),
+            Box::new(|_, _| false),
         );
         let tx = engine.sender();
         // Leg 0 never gets a primary response: the engine must reissue it to the other
@@ -272,6 +350,7 @@ mod tests {
         tx.send(HedgeMsg::Dispatched {
             request: leg_request(0),
             shard: 0,
+            instance: 0,
         })
         .unwrap();
         let (alt, copy) = hedged_rx
@@ -300,6 +379,7 @@ mod tests {
         tx.send(HedgeMsg::Dispatched {
             request: leg_request(1),
             shard: 0,
+            instance: 1,
         })
         .unwrap();
         let (alt, copy) = hedged_rx.recv().expect("second hedge copy");
@@ -341,18 +421,20 @@ mod tests {
         let cluster = ClusterConfig::new(1, FanoutPolicy::Broadcast).with_replication(2);
         let clock = RunClock::new();
         let engine = HedgeEngine::spawn(
-            HedgePolicy::after_ns(200_000_000), // 200 ms: nothing should trigger
+            Some(HedgePolicy::after_ns(200_000_000)), // 200 ms: nothing should trigger
             cluster,
             1,
             clock,
             ClusterCollector::new(1, 0),
             Box::new(|_, _| panic!("no hedge expected")),
+            Box::new(|_, _| false),
         );
         let tx = engine.sender();
         for id in 0..10u64 {
             tx.send(HedgeMsg::Dispatched {
                 request: leg_request(id),
                 shard: 0,
+                instance: (id % 2) as usize,
             })
             .unwrap();
             tx.send(HedgeMsg::Completed {
@@ -367,5 +449,84 @@ mod tests {
         let (stats, collector) = engine.join();
         assert_eq!(stats, HedgeStats::default());
         assert_eq!(collector.cluster_stats().measured(), 10);
+    }
+
+    #[test]
+    fn tied_legs_record_first_response_and_retract_the_loser() {
+        let cluster = ClusterConfig::new(1, FanoutPolicy::Broadcast).with_replication(2);
+        let clock = RunClock::new();
+        let (retract_tx, retract_rx) = crossbeam::channel::unbounded();
+        let engine = HedgeEngine::spawn(
+            None, // tied mode: nothing is ever reissued
+            cluster,
+            1,
+            clock,
+            ClusterCollector::new(1, 0),
+            Box::new(|_, _| panic!("tied mode must not reissue")),
+            Box::new(move |instance, id| {
+                retract_tx.send((instance, id)).unwrap();
+                true // pretend the loser was still queued
+            }),
+        );
+        let tx = engine.sender();
+        // Leg 0: secondary (instance 1) answers first -> win + retraction of instance 0.
+        tx.send(HedgeMsg::DispatchedTied {
+            id: 0,
+            shard: 0,
+            primary: 0,
+            secondary: 1,
+        })
+        .unwrap();
+        tx.send(HedgeMsg::Completed {
+            shard: 0,
+            instance: 1,
+            record: record(0, 5, 15),
+        })
+        .unwrap();
+        assert_eq!(
+            retract_rx.recv().expect("loser must be retracted"),
+            (0, 0),
+            "the queued primary copy is pulled back"
+        );
+        // Leg 1: primary answers first -> no win, retract the secondary.
+        tx.send(HedgeMsg::DispatchedTied {
+            id: 1,
+            shard: 0,
+            primary: 0,
+            secondary: 1,
+        })
+        .unwrap();
+        tx.send(HedgeMsg::Completed {
+            shard: 0,
+            instance: 0,
+            record: record(1, 5, 25),
+        })
+        .unwrap();
+        assert_eq!(retract_rx.recv().unwrap(), (1, 1));
+        // Leg 2: one copy shed at admission (Cancelled), the survivor still records.
+        tx.send(HedgeMsg::DispatchedTied {
+            id: 2,
+            shard: 0,
+            primary: 0,
+            secondary: 1,
+        })
+        .unwrap();
+        tx.send(HedgeMsg::Cancelled { id: 2, shard: 0 }).unwrap();
+        tx.send(HedgeMsg::Completed {
+            shard: 0,
+            instance: 0,
+            record: record(2, 5, 35),
+        })
+        .unwrap();
+        tx.send(HedgeMsg::NoMoreDispatches).unwrap();
+        drop(tx);
+        let (stats, collector) = engine.join();
+        assert_eq!(stats.issued, 3, "every tied leg issues one extra copy");
+        assert_eq!(stats.wins, 1, "only leg 0's secondary answered first");
+        assert_eq!(collector.cluster_stats().measured(), 3);
+        assert!(
+            retract_rx.try_recv().is_err(),
+            "the shed leg's survivor must not trigger a retraction"
+        );
     }
 }

@@ -25,6 +25,7 @@ use crate::report::{
 use crate::time::{PacingRecorder, RunClock};
 use crate::traffic::{LoadMode, TrafficShaper};
 use crate::worker::WorkerPool;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use tailbench_workloads::rng::seeded_rng;
 
@@ -198,8 +199,13 @@ pub fn run_cluster_integrated(
     let clock = RunClock::new();
     let width = cluster.fanout_width();
     let hedge = cluster.active_hedge();
+    let tied = cluster.active_tied();
     let warmup = config.warmup_requests as u64;
     let buffers = Arc::new(BufferPool::default());
+    // Per-instance in-flight counts (accepted pushes minus completions/retractions):
+    // the live load signal for the LeastLoaded / PowerOfTwo replica selectors.
+    let outstanding: Arc<Vec<AtomicUsize>> =
+        Arc::new((0..apps.len()).map(|_| AtomicUsize::new(0)).collect());
     let new_cluster_collector =
         || ClusterCollector::new(cluster.shards, warmup).with_tags(config.tags.clone());
     let queues: Vec<RequestQueue> = (0..apps.len())
@@ -224,27 +230,43 @@ pub fn run_cluster_integrated(
         leg_rxs.push(resp_rx);
     }
 
-    // With hedging active, all completions detour through the hedge engine, which
-    // forwards only each leg's first response into the collector it owns and reissues
-    // stragglers straight onto the alternate replica's queue.
-    let engine = hedge.map(|policy| {
+    // With hedging or tied requests active, all completions detour through the hedge
+    // engine, which forwards only each leg's first response into the collector it owns,
+    // reissues hedge stragglers straight onto the alternate replica's queue, and
+    // retracts still-queued tied losers.
+    let engine = (hedge.is_some() || tied).then(|| {
         let queue_txs: Vec<_> = queues.iter().map(RequestQueue::sender).collect();
         let resp_txs = leg_txs.clone();
+        let inflight = Arc::clone(&outstanding);
         let reissue = Box::new(move |instance: usize, request: crate::request::Request| {
             let now = clock.now_ns();
-            queue_txs[instance].push(
+            let accepted = queue_txs[instance].push(
                 request,
                 now,
                 Completion::Responder(resp_txs[instance].clone()),
-            ) == PushOutcome::Accepted
+            ) == PushOutcome::Accepted;
+            if accepted {
+                inflight[instance].fetch_add(1, Ordering::Relaxed);
+            }
+            accepted
+        });
+        let cancel_queues: Vec<_> = queues.iter().map(RequestQueue::sender).collect();
+        let inflight = Arc::clone(&outstanding);
+        let retract = Box::new(move |instance: usize, id: u64| {
+            let cancelled = cancel_queues[instance].cancel(crate::request::RequestId(id));
+            if cancelled {
+                inflight[instance].fetch_sub(1, Ordering::Relaxed);
+            }
+            cancelled
         });
         HedgeEngine::spawn(
-            policy,
+            hedge,
             cluster.clone(),
             width,
             clock,
             new_cluster_collector(),
             reissue,
+            retract,
         )
     });
     let engine_tx = engine.as_ref().map(HedgeEngine::sender);
@@ -254,11 +276,13 @@ pub fn run_cluster_integrated(
         let hedge_tx = engine_tx.clone();
         let shard = i / cluster.replication;
         let mut partial = new_cluster_collector();
+        let inflight = Arc::clone(&outstanding);
         forwarders.push(
             std::thread::Builder::new()
                 .name(format!("tb-cluster-fwd-{i}"))
                 .spawn(move || {
                     while let Ok(completion) = resp_rx.recv() {
+                        inflight[i].fetch_sub(1, Ordering::Relaxed);
                         // Integrated configuration: the response is delivered the moment
                         // processing completes (shared memory, no transport).
                         let received = completion.completed_ns;
@@ -303,33 +327,57 @@ pub fn run_cluster_integrated(
             Route::AllShards => 0..cluster.shards,
         };
         for shard in shards {
-            let i = cluster.instance(shard, request.id.0);
-            let leg = crate::request::Request {
-                id: request.id,
-                payload: buffers.duplicate(&request.payload),
-                issued_ns: request.issued_ns,
+            let primary = cluster.route_replica(shard, request.id.0, config.seed, &|i| {
+                outstanding[i].load(Ordering::Relaxed)
+            });
+            let copies: &[usize] = if tied {
+                let secondary = cluster.secondary_instance(shard, primary);
+                if let Some(tx) = &engine_tx {
+                    // Announce the tied pair before either server can answer it.
+                    let _ = tx.send(HedgeMsg::DispatchedTied {
+                        id: request.id.0,
+                        shard,
+                        primary,
+                        secondary,
+                    });
+                }
+                &[primary, secondary]
+            } else {
+                &[primary]
             };
-            if let Some(tx) = &engine_tx {
-                // Announce the leg before the server can possibly answer it.
-                let _ = tx.send(HedgeMsg::Dispatched {
-                    request: leg.clone(),
-                    shard,
-                });
-            }
-            match queues[i].push(leg, now, Completion::Responder(leg_txs[i].clone())) {
-                PushOutcome::Accepted => {}
-                PushOutcome::Dropped => {
-                    // The leg was shed at admission: retract its hedge tracking so the
-                    // engine neither hedges a request that can no longer complete its
-                    // fan-out nor counts phantom stragglers.
+            for (slot, &i) in copies.iter().enumerate() {
+                let leg = crate::request::Request {
+                    id: request.id,
+                    payload: buffers.duplicate(&request.payload),
+                    issued_ns: request.issued_ns,
+                };
+                if !tied && slot == 0 {
                     if let Some(tx) = &engine_tx {
-                        let _ = tx.send(HedgeMsg::Cancelled {
-                            id: request.id.0,
+                        // Announce the leg before the server can possibly answer it.
+                        let _ = tx.send(HedgeMsg::Dispatched {
+                            request: leg.clone(),
                             shard,
+                            instance: i,
                         });
                     }
                 }
-                PushOutcome::Closed => break 'pacing,
+                match queues[i].push(leg, now, Completion::Responder(leg_txs[i].clone())) {
+                    PushOutcome::Accepted => {
+                        outstanding[i].fetch_add(1, Ordering::Relaxed);
+                    }
+                    PushOutcome::Dropped => {
+                        // The copy was shed at admission: retract its tracking so the
+                        // engine neither hedges a request that can no longer complete
+                        // its fan-out nor counts phantom stragglers.
+                        if let Some(tx) = &engine_tx {
+                            let _ = tx.send(HedgeMsg::Cancelled {
+                                id: request.id.0,
+                                shard,
+                            });
+                        }
+                    }
+                    PushOutcome::Closed => break 'pacing,
+                }
             }
         }
     }
@@ -584,6 +632,55 @@ mod tests {
             busiest < report.cluster.requests,
             "hashing must not send every request to one shard"
         );
+    }
+
+    #[test]
+    fn integrated_cluster_serves_tied_requests_first_response_wins() {
+        use crate::config::{ClusterConfig, FanoutPolicy};
+        let apps: Vec<Arc<dyn ServerApp>> = (0..4)
+            .map(|_| Arc::new(EchoApp::with_service_us(20)) as Arc<dyn ServerApp>)
+            .collect();
+        let cluster = ClusterConfig::new(2, FanoutPolicy::Broadcast)
+            .with_replication(2)
+            .with_tied(true);
+        let mut factory = || b"tie".to_vec();
+        let config = BenchmarkConfig::new(800.0, 200)
+            .with_warmup(20)
+            .with_max_duration(Duration::from_secs(30));
+        let report = run_cluster_integrated(&apps, &mut factory, &config, &cluster).unwrap();
+        assert!(report.cluster.requests > 150, "{}", report.cluster.requests);
+        let stats = report.hedge.expect("tied runs report through hedge stats");
+        assert!(
+            stats.issued >= 2 * report.cluster.requests,
+            "every measured leg ({}) must have issued a tied copy ({})",
+            report.cluster.requests,
+            stats.issued
+        );
+        // Each leg is recorded exactly once despite two copies in flight.
+        for shard in &report.per_shard {
+            assert_eq!(shard.requests, report.cluster.requests);
+        }
+    }
+
+    #[test]
+    fn integrated_cluster_least_loaded_selector_serves_all_requests() {
+        use crate::config::{ClusterConfig, FanoutPolicy, ReplicaSelector};
+        let apps: Vec<Arc<dyn ServerApp>> = (0..4)
+            .map(|_| Arc::new(EchoApp::with_service_us(20)) as Arc<dyn ServerApp>)
+            .collect();
+        let cluster = ClusterConfig::new(2, FanoutPolicy::Broadcast)
+            .with_replication(2)
+            .with_selector(ReplicaSelector::LeastLoaded);
+        let mut factory = || b"ll".to_vec();
+        let config = BenchmarkConfig::new(800.0, 200)
+            .with_warmup(20)
+            .with_max_duration(Duration::from_secs(30));
+        let report = run_cluster_integrated(&apps, &mut factory, &config, &cluster).unwrap();
+        assert!(report.cluster.requests > 150, "{}", report.cluster.requests);
+        assert!(report.cluster.configuration.contains("least-loaded"));
+        for shard in &report.per_shard {
+            assert_eq!(shard.requests, report.cluster.requests);
+        }
     }
 
     #[test]

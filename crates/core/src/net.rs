@@ -30,10 +30,110 @@ use crate::time::{PacingRecorder, RunClock};
 use crate::traffic::TrafficShaper;
 use crate::worker::WorkerPool;
 use crossbeam::channel::unbounded;
-use std::io::{BufReader, BufWriter};
+use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{Shutdown, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+
+/// Wraps a thread-local I/O failure with which connection and role hit it, so a
+/// mid-run peer disconnect surfaces as an actionable diagnostic instead of silently
+/// truncating the measurement.
+fn connection_error(connection: usize, role: &str, e: io::Error) -> io::Error {
+    io::Error::new(
+        e.kind(),
+        format!("TCP {role} for connection {connection} failed mid-run: {e}"),
+    )
+}
+
+/// A thread on the request path panicked — a harness bug, not a peer failure.
+fn thread_panicked(what: &str) -> HarnessError {
+    HarnessError::Config(format!("{what} thread panicked"))
+}
+
+/// The sender/receiver thread pair driving one client connection.  Each half returns
+/// its measurement artifact plus the I/O error (if any) that ended it early.
+struct ClientConn {
+    sender: JoinHandle<(PacingRecorder, Option<io::Error>)>,
+    receiver: JoinHandle<(StatsCollector, Option<io::Error>)>,
+}
+
+/// Spawns the sender/receiver pair for one client connection.  The receiver decodes
+/// responses into `shard` until clean EOF (server shut down its write side) or an I/O
+/// error; the sender paces `requests` onto the socket, recording its issue error.
+///
+/// # Errors
+///
+/// Returns [`HarnessError::Io`] if the socket cannot be configured/cloned or a thread
+/// cannot be spawned.
+fn spawn_client(
+    stream: TcpStream,
+    requests: Vec<crate::request::Request>,
+    mut shard: StatsCollector,
+    clock: RunClock,
+    max_ns: u64,
+    one_way_delay_ns: u64,
+) -> Result<ClientConn, HarnessError> {
+    stream.set_nodelay(true).map_err(HarnessError::Io)?;
+    let reader_stream = stream.try_clone().map_err(HarnessError::Io)?;
+
+    // Receiver thread: decodes responses into its own collector shard, reusing one
+    // scratch buffer for the payload bytes.
+    let receiver = std::thread::Builder::new()
+        .name("tb-client-recv".into())
+        .spawn(move || {
+            let mut reader = BufReader::new(reader_stream);
+            let mut scratch = Vec::new();
+            let error = loop {
+                match protocol::read_response_header(&mut reader, &mut scratch) {
+                    Ok(Some(header)) => {
+                        let record = record_from_header(&header, clock.now_ns(), one_way_delay_ns);
+                        shard.record(&record);
+                    }
+                    // Clean EOF: the server finished responding and shut down.
+                    Ok(None) => break None,
+                    // The peer vanished mid-run (reset, truncated frame, ...).
+                    Err(e) => break Some(e),
+                }
+            };
+            (shard, error)
+        })
+        .map_err(HarnessError::Io)?;
+
+    // Sender thread: paces its share of the schedule and records its issue error.
+    let sender = std::thread::Builder::new()
+        .name("tb-client-send".into())
+        .spawn(move || {
+            let mut writer = BufWriter::new(&stream);
+            let mut pacing = PacingRecorder::new();
+            let mut error = None;
+            for mut request in requests {
+                let scheduled_ns = request.issued_ns;
+                let now = clock.sleep_until_ns(scheduled_ns);
+                if now > max_ns {
+                    break;
+                }
+                pacing.record(scheduled_ns, now);
+                request.issued_ns = now;
+                if let Err(e) = protocol::write_request(&mut writer, &request) {
+                    error = Some(e);
+                    break;
+                }
+            }
+            if error.is_none() {
+                if let Err(e) = writer.flush() {
+                    error = Some(e);
+                }
+            }
+            drop(writer);
+            // Signal end-of-requests so the server-side reader can wind down.
+            let _ = stream.shutdown(Shutdown::Write);
+            (pacing, error)
+        })
+        .map_err(HarnessError::Io)?;
+
+    Ok(ClientConn { sender, receiver })
+}
 
 /// Runs one measurement over TCP (loopback or networked) and returns its report.
 ///
@@ -77,7 +177,7 @@ pub fn run_tcp(
     // --- server side -------------------------------------------------------------------
     let listener = TcpListener::bind("127.0.0.1:0").map_err(HarnessError::Io)?;
     let addr = listener.local_addr().map_err(HarnessError::Io)?;
-    let accept_handle = spawn_server(listener, connections, &queue, clock, &buffers);
+    let accept_handle = spawn_server(listener, connections, &queue, clock, &buffers)?;
 
     // --- build the global open-loop schedule and split it across connections -----------
     let mut rng = tailbench_workloads::rng::seeded_rng(config.seed, 1);
@@ -89,75 +189,56 @@ pub fn run_tcp(
     let per_connection = shaper.split_round_robin(connections);
 
     // --- client side ---------------------------------------------------------------------
-    let mut client_handles = Vec::new();
+    let mut clients = Vec::new();
     let max_ns = config.max_duration.as_nanos() as u64;
     for requests in per_connection {
         let stream = TcpStream::connect(addr).map_err(HarnessError::Io)?;
-        stream.set_nodelay(true).map_err(HarnessError::Io)?;
-        let reader_stream = stream.try_clone().map_err(HarnessError::Io)?;
-
-        // Receiver thread: decodes responses into its own collector shard, reusing one
-        // scratch buffer for the payload bytes.
-        let mut shard = shard_proto(config);
-        let receiver: JoinHandle<StatsCollector> = std::thread::Builder::new()
-            .name("tb-client-recv".into())
-            .spawn(move || {
-                let mut reader = BufReader::new(reader_stream);
-                let mut scratch = Vec::new();
-                while let Ok(Some(header)) =
-                    protocol::read_response_header(&mut reader, &mut scratch)
-                {
-                    let record = record_from_header(&header, clock.now_ns(), one_way_delay_ns);
-                    shard.record(&record);
-                }
-                shard
-            })
-            .expect("failed to spawn client receiver");
-
-        // Sender thread: paces its share of the schedule and records its issue error.
-        let sender: JoinHandle<PacingRecorder> = std::thread::Builder::new()
-            .name("tb-client-send".into())
-            .spawn(move || {
-                let mut writer = BufWriter::new(&stream);
-                let mut pacing = PacingRecorder::new();
-                for mut request in requests {
-                    let scheduled_ns = request.issued_ns;
-                    let now = clock.sleep_until_ns(scheduled_ns);
-                    if now > max_ns {
-                        break;
-                    }
-                    pacing.record(scheduled_ns, now);
-                    request.issued_ns = now;
-                    if protocol::write_request(&mut writer, &request).is_err() {
-                        break;
-                    }
-                }
-                drop(writer);
-                // Signal end-of-requests so the server-side reader can wind down.
-                let _ = stream.shutdown(Shutdown::Write);
-                pacing
-            })
-            .expect("failed to spawn client sender");
-
-        client_handles.push((sender, receiver));
+        clients.push(spawn_client(
+            stream,
+            requests,
+            shard_proto(config),
+            clock,
+            max_ns,
+            one_way_delay_ns,
+        )?);
     }
 
-    // Wait for all clients to finish sending and receiving, merging their shards.
+    // Wait for all clients to finish sending and receiving, merging their shards.  The
+    // first connection-level I/O error fails the run — silently truncated measurements
+    // are worse than no measurement.
     let mut stats = shard_proto(config);
     let mut pacing = PacingRecorder::new();
-    for (sender, receiver) in client_handles {
-        if let Ok(sent) = sender.join() {
-            pacing.merge(&sent);
-        }
-        if let Ok(shard) = receiver.join() {
-            stats.merge(&shard);
+    let mut failure: Option<io::Error> = None;
+    for (i, conn) in clients.into_iter().enumerate() {
+        let (sent, send_err) = conn
+            .sender
+            .join()
+            .map_err(|_| thread_panicked("client sender"))?;
+        pacing.merge(&sent);
+        let (shard, recv_err) = conn
+            .receiver
+            .join()
+            .map_err(|_| thread_panicked("client receiver"))?;
+        stats.merge(&shard);
+        if failure.is_none() {
+            failure = send_err
+                .map(|e| connection_error(i, "client sender", e))
+                .or(recv_err.map(|e| connection_error(i, "client receiver", e)));
         }
     }
     // All server readers have observed EOF by now (the receivers only exit once the
     // server writers shut down their side); dropping our queue handle lets workers exit.
     queue.close();
     let _ = pool.join();
-    let _ = accept_handle.join();
+    let server_errors = accept_handle
+        .join()
+        .map_err(|_| thread_panicked("server accept"))?;
+    if failure.is_none() {
+        failure = server_errors.into_iter().next();
+    }
+    if let Some(e) = failure {
+        return Err(HarnessError::Io(e));
+    }
 
     let mut report = build_report(app.name(), configuration_name, config, &stats);
     report.queue_depth = observer.summary();
@@ -220,9 +301,14 @@ pub fn run_cluster_tcp(
     let clock = RunClock::new();
     let width = cluster.fanout_width();
     let hedge = cluster.active_hedge();
+    let tied = cluster.active_tied();
     let warmup = config.warmup_requests as u64;
     let new_cluster_collector =
         || ClusterCollector::new(cluster.shards, warmup).with_tags(config.tags.clone());
+    // Per-instance in-flight counts (legs sent minus responses received): the live load
+    // signal for the LeastLoaded / PowerOfTwo replica selectors.
+    let outstanding: Arc<Vec<AtomicUsize>> =
+        Arc::new((0..apps.len()).map(|_| AtomicUsize::new(0)).collect());
 
     let mut queues = Vec::with_capacity(apps.len());
     let mut observers = Vec::with_capacity(apps.len());
@@ -246,7 +332,7 @@ pub fn run_cluster_tcp(
         ));
         let listener = TcpListener::bind("127.0.0.1:0").map_err(HarnessError::Io)?;
         let addr = listener.local_addr().map_err(HarnessError::Io)?;
-        server_handles.push(spawn_server(listener, 1, &queue, clock, &buffers));
+        server_handles.push(spawn_server(listener, 1, &queue, clock, &buffers)?);
         queues.push(queue);
 
         let stream = TcpStream::connect(addr).map_err(HarnessError::Io)?;
@@ -260,35 +346,60 @@ pub fn run_cluster_tcp(
                 .name(format!("tb-cluster-send-{i}"))
                 .spawn(move || {
                     let mut writer = BufWriter::new(&stream);
+                    let mut error = None;
                     while let Ok(request) = leg_rx.recv() {
-                        if protocol::write_request(&mut writer, &request).is_err() {
+                        if let Err(e) = protocol::write_request(&mut writer, &request) {
+                            error = Some(e);
                             break;
+                        }
+                    }
+                    if error.is_none() {
+                        if let Err(e) = writer.flush() {
+                            error = Some(e);
                         }
                     }
                     drop(writer);
                     // End-of-requests: the server reader unwinds, then its writer, then
                     // our receiver.
                     let _ = stream.shutdown(Shutdown::Write);
+                    error
                 })
-                .expect("failed to spawn cluster sender"),
+                .map_err(HarnessError::Io)?,
         );
     }
 
-    // With hedging active, receivers detour through the hedge engine, which owns the
-    // collector, forwards only each leg's first response and reissues stragglers onto
-    // the alternate replica's connection.
-    let engine = hedge.map(|policy| {
-        let hedge_leg_txs = leg_txs.clone();
-        let reissue = Box::new(move |instance: usize, request: crate::request::Request| {
-            hedge_leg_txs[instance].send(request).is_ok()
-        });
+    // With hedging or tied requests active, receivers detour through the hedge engine,
+    // which owns the collector, forwards only each leg's first response and (when
+    // hedging) reissues stragglers onto the alternate replica's connection.
+    let engine = (hedge.is_some() || tied).then(|| {
+        let reissue: Box<dyn FnMut(usize, crate::request::Request) -> bool + Send> =
+            if hedge.is_some() {
+                let hedge_leg_txs = leg_txs.clone();
+                let inflight = Arc::clone(&outstanding);
+                Box::new(move |instance: usize, request: crate::request::Request| {
+                    let sent = hedge_leg_txs[instance].send(request).is_ok();
+                    if sent {
+                        inflight[instance].fetch_add(1, Ordering::Relaxed);
+                    }
+                    sent
+                })
+            } else {
+                // Tied-only runs never reissue; holding no sender handles here keeps the
+                // teardown acyclic even when a server sheds a tied copy at admission.
+                Box::new(|_, _| false)
+            };
+        // A tied loser is already on the wire when the winner responds: there is no
+        // cross-network retraction, so the loser runs to completion server-side and
+        // simply loses the first-response race here (see DESIGN.md).
+        let retract = Box::new(|_, _| false);
         HedgeEngine::spawn(
-            policy,
+            hedge,
             cluster.clone(),
             width,
             clock,
             new_cluster_collector(),
             reissue,
+            retract,
         )
     });
     let engine_tx = engine.as_ref().map(HedgeEngine::sender);
@@ -298,32 +409,41 @@ pub fn run_cluster_tcp(
         let hedge_tx = engine_tx.clone();
         let shard = i / cluster.replication;
         let mut partial = new_cluster_collector();
+        let inflight = Arc::clone(&outstanding);
         receiver_handles.push(
             std::thread::Builder::new()
                 .name(format!("tb-cluster-recv-{i}"))
                 .spawn(move || {
                     let mut reader = BufReader::new(reader_stream);
                     let mut scratch = Vec::new();
-                    while let Ok(Some(header)) =
-                        protocol::read_response_header(&mut reader, &mut scratch)
-                    {
-                        let record = record_from_header(&header, clock.now_ns(), one_way_delay_ns);
-                        match &hedge_tx {
-                            Some(tx) => {
-                                let _ = tx.send(HedgeMsg::Completed {
-                                    shard,
-                                    instance: i,
-                                    record,
-                                });
+                    let error = loop {
+                        match protocol::read_response_header(&mut reader, &mut scratch) {
+                            Ok(Some(header)) => {
+                                inflight[i].fetch_sub(1, Ordering::Relaxed);
+                                let record =
+                                    record_from_header(&header, clock.now_ns(), one_way_delay_ns);
+                                match &hedge_tx {
+                                    Some(tx) => {
+                                        let _ = tx.send(HedgeMsg::Completed {
+                                            shard,
+                                            instance: i,
+                                            record,
+                                        });
+                                    }
+                                    None => {
+                                        let _ = partial.record_leg(shard, record, width);
+                                    }
+                                }
                             }
-                            None => {
-                                let _ = partial.record_leg(shard, record, width);
-                            }
+                            // Clean EOF: the server instance finished and shut down.
+                            Ok(None) => break None,
+                            // The server instance vanished mid-run.
+                            Err(e) => break Some(e),
                         }
-                    }
-                    partial
+                    };
+                    (partial, error)
                 })
-                .expect("failed to spawn cluster receiver"),
+                .map_err(HarnessError::Io)?,
         );
     }
 
@@ -349,16 +469,39 @@ pub fn run_cluster_tcp(
             Route::AllShards => 0..cluster.shards,
         };
         for shard in legs {
-            let i = cluster.instance(shard, request.id.0);
-            if let Some(tx) = &engine_tx {
-                // Announce the leg before the server can possibly answer it.
-                let _ = tx.send(HedgeMsg::Dispatched {
-                    request: request.clone(),
-                    shard,
-                });
-            }
-            if leg_txs[i].send(request.clone()).is_err() {
-                break 'pacing;
+            let primary = cluster.route_replica(shard, request.id.0, config.seed, &|i| {
+                outstanding[i].load(Ordering::Relaxed)
+            });
+            if tied {
+                let secondary = cluster.secondary_instance(shard, primary);
+                if let Some(tx) = &engine_tx {
+                    // Announce the tied pair before either server can answer it.
+                    let _ = tx.send(HedgeMsg::DispatchedTied {
+                        id: request.id.0,
+                        shard,
+                        primary,
+                        secondary,
+                    });
+                }
+                for i in [primary, secondary] {
+                    if leg_txs[i].send(request.clone()).is_err() {
+                        break 'pacing;
+                    }
+                    outstanding[i].fetch_add(1, Ordering::Relaxed);
+                }
+            } else {
+                if let Some(tx) = &engine_tx {
+                    // Announce the leg before the server can possibly answer it.
+                    let _ = tx.send(HedgeMsg::Dispatched {
+                        request: request.clone(),
+                        shard,
+                        instance: primary,
+                    });
+                }
+                if leg_txs[primary].send(request.clone()).is_err() {
+                    break 'pacing;
+                }
+                outstanding[primary].fetch_add(1, Ordering::Relaxed);
             }
         }
     }
@@ -368,12 +511,24 @@ pub fn run_cluster_tcp(
     drop(engine_tx);
     drop(leg_txs);
 
-    for sender in sender_handles {
-        let _ = sender.join();
+    let mut failure: Option<io::Error> = None;
+    for (i, sender) in sender_handles.into_iter().enumerate() {
+        let send_err = sender
+            .join()
+            .map_err(|_| thread_panicked("cluster sender"))?;
+        if failure.is_none() {
+            failure = send_err.map(|e| connection_error(i, "cluster sender", e));
+        }
     }
     let mut partials = Vec::with_capacity(receiver_handles.len());
-    for receiver in receiver_handles {
-        partials.push(receiver.join().expect("cluster receiver thread panicked"));
+    for (i, receiver) in receiver_handles.into_iter().enumerate() {
+        let (partial, recv_err) = receiver
+            .join()
+            .map_err(|_| thread_panicked("cluster receiver"))?;
+        partials.push(partial);
+        if failure.is_none() {
+            failure = recv_err.map(|e| connection_error(i, "cluster receiver", e));
+        }
     }
     for queue in queues {
         queue.close();
@@ -381,8 +536,19 @@ pub fn run_cluster_tcp(
     for pool in pools {
         let _ = pool.join();
     }
-    for server in server_handles {
-        let _ = server.join();
+    for (i, server) in server_handles.into_iter().enumerate() {
+        let server_errors = server
+            .join()
+            .map_err(|_| thread_panicked("server accept"))?;
+        if failure.is_none() {
+            failure = server_errors
+                .into_iter()
+                .next()
+                .map(|e| connection_error(i, "server instance", e));
+        }
+    }
+    if let Some(e) = failure {
+        return Err(HarnessError::Io(e));
     }
     let (stats, hedge_stats) = match engine {
         Some(engine) => {
@@ -414,27 +580,44 @@ pub fn run_cluster_tcp(
 /// Accepts `connections` connections and spawns a reader and a writer thread per
 /// connection.  Readers pull request payload buffers from `buffers` and writers recycle
 /// response payloads back into it, closing the pool's request/response cycle.  Returns
-/// a handle that joins all per-connection threads.
+/// a handle that joins all per-connection threads and reports every I/O error they hit
+/// (empty on a clean run), so a client that vanishes mid-run fails the measurement
+/// with a diagnostic instead of silently truncating it.
+///
+/// # Errors
+///
+/// Returns [`HarnessError::Io`] if the accept thread cannot be spawned.
 fn spawn_server(
     listener: TcpListener,
     connections: usize,
     queue: &RequestQueue,
     clock: RunClock,
     buffers: &Arc<BufferPool>,
-) -> JoinHandle<()> {
+) -> Result<JoinHandle<Vec<io::Error>>, HarnessError> {
     let queue_tx = queue.sender();
     let buffers = Arc::clone(buffers);
     std::thread::Builder::new()
         .name("tb-server-accept".into())
         .spawn(move || {
+            let mut errors = Vec::new();
             let mut conn_handles = Vec::new();
-            for _ in 0..connections {
-                let Ok((stream, _)) = listener.accept() else {
-                    break;
+            for c in 0..connections {
+                let (stream, _) = match listener.accept() {
+                    Ok(conn) => conn,
+                    Err(e) => {
+                        errors.push(connection_error(c, "server accept", e));
+                        break;
+                    }
                 };
                 let _ = stream.set_nodelay(true);
                 let (resp_tx, resp_rx) = unbounded();
-                let reader_stream = stream.try_clone().expect("clone server stream");
+                let reader_stream = match stream.try_clone() {
+                    Ok(s) => s,
+                    Err(e) => {
+                        errors.push(connection_error(c, "server stream clone", e));
+                        continue;
+                    }
+                };
                 let queue_tx = queue_tx.clone();
                 let read_pool = Arc::clone(&buffers);
                 let write_pool = Arc::clone(&buffers);
@@ -443,48 +626,75 @@ fn spawn_server(
                     .name("tb-server-recv".into())
                     .spawn(move || {
                         let mut reader = BufReader::new(reader_stream);
-                        while let Ok(Some(request)) =
-                            protocol::read_request_pooled(&mut reader, &read_pool)
-                        {
-                            let enqueued_ns = clock.now_ns();
-                            if queue_tx.push(
-                                request,
-                                enqueued_ns,
-                                Completion::Responder(resp_tx.clone()),
-                            ) == PushOutcome::Closed
-                            {
-                                break;
+                        loop {
+                            match protocol::read_request_pooled(&mut reader, &read_pool) {
+                                Ok(Some(request)) => {
+                                    let enqueued_ns = clock.now_ns();
+                                    if queue_tx.push(
+                                        request,
+                                        enqueued_ns,
+                                        Completion::Responder(resp_tx.clone()),
+                                    ) == PushOutcome::Closed
+                                    {
+                                        break None;
+                                    }
+                                }
+                                // Clean EOF: the client shut down its write side.
+                                Ok(None) => break None,
+                                // The client vanished mid-frame.
+                                Err(e) => break Some(e),
                             }
                         }
                         // Dropping resp_tx here lets the writer exit once in-flight
                         // requests drain.
-                    })
-                    .expect("failed to spawn server reader");
+                    });
 
                 let writer = std::thread::Builder::new()
                     .name("tb-server-send".into())
                     .spawn(move || {
                         let mut writer = BufWriter::new(&stream);
+                        let mut error = None;
                         while let Ok(completion) = resp_rx.recv() {
-                            if protocol::write_response(&mut writer, &completion).is_err() {
+                            if let Err(e) = protocol::write_response(&mut writer, &completion) {
+                                error = Some(e);
                                 break;
                             }
                             write_pool.recycle(completion.response_payload);
                         }
+                        if error.is_none() {
+                            if let Err(e) = writer.flush() {
+                                error = Some(e);
+                            }
+                        }
                         drop(writer);
                         let _ = stream.shutdown(Shutdown::Write);
-                    })
-                    .expect("failed to spawn server writer");
+                        error
+                    });
 
-                conn_handles.push((reader, writer));
+                match (reader, writer) {
+                    (Ok(r), Ok(w)) => conn_handles.push((c, r, w)),
+                    (r, w) => {
+                        errors.extend(
+                            r.err()
+                                .into_iter()
+                                .chain(w.err())
+                                .map(|e| connection_error(c, "server thread spawn", e)),
+                        );
+                    }
+                }
             }
             drop(queue_tx);
-            for (reader, writer) in conn_handles {
-                let _ = reader.join();
-                let _ = writer.join();
+            for (c, reader, writer) in conn_handles {
+                if let Ok(Some(e)) = reader.join() {
+                    errors.push(connection_error(c, "server reader", e));
+                }
+                if let Ok(Some(e)) = writer.join() {
+                    errors.push(connection_error(c, "server writer", e));
+                }
             }
+            errors
         })
-        .expect("failed to spawn accept thread")
+        .map_err(HarnessError::Io)
 }
 
 #[cfg(test)]
@@ -581,6 +791,73 @@ mod tests {
             networked.cluster.sojourn.p50_ns,
             loopback.cluster.sojourn.p50_ns
         );
+    }
+
+    #[test]
+    fn killing_one_server_mid_run_fails_the_run_with_a_diagnostic() {
+        use crate::collector::StatsCollector;
+        use crate::request::{Request, RequestId};
+        // A fake server that answers the first request with a truncated frame and then
+        // dies — the regression this pins: the old client threads swallowed the I/O
+        // error and the run completed silently with partial data.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let mut buf = [0u8; 64];
+            let _ = std::io::Read::read(&mut stream, &mut buf);
+            // Half a response header, then a hard close mid-frame.
+            let _ = std::io::Write::write_all(&mut stream, &[0xAB, 0xCD, 0xEF]);
+        });
+        let requests: Vec<Request> = (0..50)
+            .map(|i| Request {
+                id: RequestId(i),
+                payload: b"kill".to_vec(),
+                issued_ns: 0,
+            })
+            .collect();
+        let stream = TcpStream::connect(addr).unwrap();
+        let conn = spawn_client(
+            stream,
+            requests,
+            StatsCollector::new(0),
+            RunClock::new(),
+            u64::MAX,
+            0,
+        )
+        .unwrap();
+        let (_, send_err) = conn.sender.join().unwrap();
+        let (_, recv_err) = conn.receiver.join().unwrap();
+        server.join().unwrap();
+        assert!(
+            send_err.is_some() || recv_err.is_some(),
+            "a server dying mid-run must surface an I/O error, not truncate silently"
+        );
+    }
+
+    #[test]
+    fn a_client_vanishing_mid_frame_surfaces_a_server_diagnostic() {
+        let queue = RequestQueue::new();
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let buffers = Arc::new(BufferPool::default());
+        let handle = spawn_server(listener, 1, &queue, RunClock::new(), &buffers).unwrap();
+        {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            // A truncated request frame, then the connection drops.
+            std::io::Write::write_all(&mut stream, &[0xFF; 5]).unwrap();
+        }
+        let errors = handle.join().unwrap();
+        assert!(
+            !errors.is_empty(),
+            "a client vanishing mid-frame must be reported"
+        );
+        assert!(
+            errors[0].to_string().contains("server reader"),
+            "diagnostic names the failing role: {}",
+            errors[0]
+        );
+        queue.close();
     }
 
     #[test]

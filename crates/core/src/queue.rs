@@ -13,6 +13,7 @@
 //! `Drop`) or as measured queue growth and producer backpressure (with `Block`) —
 //! instead of silently buffered.
 
+use crate::collector::RequestTags;
 use crate::report::QueueSummary;
 use crate::request::{Request, RequestId, RequestRecord, WorkProfile};
 use std::collections::VecDeque;
@@ -41,6 +42,27 @@ pub enum AdmissionPolicy {
         /// Maximum queued requests.
         capacity: usize,
     },
+    /// SLO-aware load shedding: bounded like `Drop`, and additionally a request whose
+    /// queueing delay already exceeds `slo_ns` when it reaches the head of the queue
+    /// is shed instead of served — serving it would burn a server on a response the
+    /// client has already written off ("The Tail at Scale"'s deadline-aware
+    /// admission).  Shed requests are reclassified from accepted to dropped, so
+    /// `accepted + dropped == offered` always holds.
+    DropDeadline {
+        /// Maximum queued requests.
+        capacity: usize,
+        /// Queueing-delay budget in nanoseconds; a head-of-line request older than
+        /// this is shed.
+        slo_ns: u64,
+    },
+    /// Class-aware load shedding: bounded like `Drop`, but when full an arrival of a
+    /// *higher* class (lower [`RequestTags`] class index) evicts the youngest queued
+    /// request of the lowest class instead of being rejected.  Untagged runs treat
+    /// every request as class 0, degenerating to `Drop`.
+    Priority {
+        /// Maximum queued requests.
+        capacity: usize,
+    },
 }
 
 impl AdmissionPolicy {
@@ -57,11 +79,38 @@ impl AdmissionPolicy {
     #[must_use]
     pub fn capacity(&self) -> usize {
         match *self {
-            AdmissionPolicy::Block { capacity } | AdmissionPolicy::Drop { capacity } => capacity,
+            AdmissionPolicy::Block { capacity }
+            | AdmissionPolicy::Drop { capacity }
+            | AdmissionPolicy::DropDeadline { capacity, .. }
+            | AdmissionPolicy::Priority { capacity } => capacity,
         }
     }
 
-    /// A short label used in reports (`unbounded`, `block(N)`, `drop(N)`).
+    /// The capacity at which a shedding policy rejects arrivals, `None` for `Block`
+    /// (which backpressures instead of shedding).  The discrete-event simulator keys
+    /// off this: every `Some` policy is legal in virtual time because it never blocks
+    /// the producer.
+    #[must_use]
+    pub fn shed_capacity(&self) -> Option<usize> {
+        match *self {
+            AdmissionPolicy::Block { .. } => None,
+            AdmissionPolicy::Drop { capacity }
+            | AdmissionPolicy::DropDeadline { capacity, .. }
+            | AdmissionPolicy::Priority { capacity } => Some(capacity),
+        }
+    }
+
+    /// The queueing-delay SLO of a `DropDeadline` policy, `None` otherwise.
+    #[must_use]
+    pub fn slo_ns(&self) -> Option<u64> {
+        match *self {
+            AdmissionPolicy::DropDeadline { slo_ns, .. } => Some(slo_ns),
+            _ => None,
+        }
+    }
+
+    /// A short label used in reports (`unbounded`, `block(N)`, `drop(N)`,
+    /// `drop-deadline(N,SLOns)`, `priority(N)`).
     #[must_use]
     pub fn label(&self) -> String {
         match *self {
@@ -70,8 +119,30 @@ impl AdmissionPolicy {
             } => "unbounded".to_string(),
             AdmissionPolicy::Block { capacity } => format!("block({capacity})"),
             AdmissionPolicy::Drop { capacity } => format!("drop({capacity})"),
+            AdmissionPolicy::DropDeadline { capacity, slo_ns } => {
+                format!("drop-deadline({capacity},{slo_ns}ns)")
+            }
+            AdmissionPolicy::Priority { capacity } => format!("priority({capacity})"),
         }
     }
+}
+
+/// Picks the queued request a `Priority` policy evicts to make room for an arrival of
+/// `incoming_class`: the *youngest* request of the lowest class (highest class index),
+/// and only if that class is strictly lower-priority than the arrival.  Returns the
+/// victim's index into the queue, or `None` when the arrival itself is the lowest
+/// class present (the arrival is then dropped instead).
+pub(crate) fn priority_victim(
+    classes: impl IntoIterator<Item = u16>,
+    incoming_class: u16,
+) -> Option<usize> {
+    let mut victim: Option<(usize, u16)> = None;
+    for (index, class) in classes.into_iter().enumerate() {
+        if victim.is_none_or(|(_, worst)| class >= worst) {
+            victim = Some((index, class));
+        }
+    }
+    victim.and_then(|(index, class)| (class > incoming_class).then_some(index))
 }
 
 impl Default for AdmissionPolicy {
@@ -88,6 +159,11 @@ impl Default for AdmissionPolicy {
 pub(crate) struct DepthTracker {
     accepted: u64,
     dropped: u64,
+    /// Everything that arrived at the queue, admitted or not.  Kept separately so the
+    /// invariant `accepted + dropped == offered` is *checked* rather than true by
+    /// construction: a path that forgets to account one side trips the assertion in
+    /// [`DepthTracker::summary`] instead of silently skewing drop rates.
+    offered: u64,
     peak: u64,
     sample_every_ns: u64,
     next_sample_ns: u64,
@@ -99,6 +175,7 @@ impl DepthTracker {
         DepthTracker {
             accepted: 0,
             dropped: 0,
+            offered: 0,
             peak: 0,
             sample_every_ns: DEPTH_SAMPLE_EVERY_NS,
             next_sample_ns: 0,
@@ -110,6 +187,7 @@ impl DepthTracker {
     /// behind it (inclusive).
     pub(crate) fn on_push(&mut self, now_ns: u64, depth: u64) {
         self.accepted += 1;
+        self.offered += 1;
         self.peak = self.peak.max(depth);
         if now_ns >= self.next_sample_ns {
             self.samples.push((now_ns, depth));
@@ -133,10 +211,37 @@ impl DepthTracker {
     /// Records one rejected (dropped) request.
     pub(crate) fn on_drop(&mut self) {
         self.dropped += 1;
+        self.offered += 1;
+    }
+
+    /// Reclassifies one previously-admitted request as dropped: it was accepted into
+    /// the queue but shed before service (deadline expiry, priority eviction).  The
+    /// request was offered exactly once, so `offered` is untouched and the
+    /// `accepted + dropped == offered` invariant is preserved.
+    pub(crate) fn on_shed_admitted(&mut self) {
+        debug_assert!(
+            self.accepted > 0,
+            "shed an admitted request before any push"
+        );
+        self.accepted = self.accepted.saturating_sub(1);
+        self.dropped += 1;
     }
 
     /// The summary of everything recorded so far.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if admission accounting leaked: every offered request
+    /// must end up accepted or dropped, never both, never neither.
     pub(crate) fn summary(&self, policy_label: String) -> QueueSummary {
+        debug_assert_eq!(
+            self.accepted + self.dropped,
+            self.offered,
+            "queue accounting leaked: accepted {} + dropped {} != offered {}",
+            self.accepted,
+            self.dropped,
+            self.offered
+        );
         let mean = if self.samples.is_empty() {
             0.0
         } else {
@@ -238,6 +343,15 @@ struct QueueShared {
     not_empty: Condvar,
     not_full: Condvar,
     policy: AdmissionPolicy,
+    /// Request class tags consulted by the `Priority` policy (`None` = untagged run,
+    /// every request is class 0).
+    tags: Option<Arc<RequestTags>>,
+}
+
+impl QueueShared {
+    fn class_of(&self, id: RequestId) -> u16 {
+        self.tags.as_ref().map_or(0, |tags| tags.class_of(id.0))
+    }
 }
 
 /// The shared request queue: a bounded MPMC FIFO with enqueue-time stamping, an
@@ -281,6 +395,13 @@ impl RequestQueue {
     /// Creates an empty queue with an explicit admission policy.
     #[must_use]
     pub fn with_policy(policy: AdmissionPolicy) -> Self {
+        Self::with_policy_and_tags(policy, None)
+    }
+
+    /// Creates an empty queue with an explicit admission policy and the request class
+    /// tags the `Priority` policy consults (other policies ignore them).
+    #[must_use]
+    pub fn with_policy_and_tags(policy: AdmissionPolicy, tags: Option<Arc<RequestTags>>) -> Self {
         RequestQueue {
             shared: Arc::new(QueueShared {
                 state: Mutex::new(QueueState {
@@ -292,6 +413,7 @@ impl RequestQueue {
                 not_empty: Condvar::new(),
                 not_full: Condvar::new(),
                 policy,
+                tags,
             }),
         }
     }
@@ -312,6 +434,39 @@ impl RequestQueue {
                 AdmissionPolicy::Drop { .. } => {
                     state.tracker.on_drop();
                     return PushOutcome::Dropped;
+                }
+                AdmissionPolicy::DropDeadline { slo_ns, .. } => {
+                    // Make room by purging already-expired head-of-line requests
+                    // (they would be shed at dequeue anyway); if none have expired
+                    // yet, the arrival itself is shed.
+                    while state
+                        .items
+                        .front()
+                        .is_some_and(|item| enqueued_ns.saturating_sub(item.enqueued_ns) > slo_ns)
+                    {
+                        state.items.pop_front();
+                        state.tracker.on_shed_admitted();
+                    }
+                    if state.items.len() >= capacity {
+                        state.tracker.on_drop();
+                        return PushOutcome::Dropped;
+                    }
+                }
+                AdmissionPolicy::Priority { .. } => {
+                    let incoming = shared.class_of(request.id);
+                    let victim = priority_victim(
+                        state
+                            .items
+                            .iter()
+                            .map(|item| shared.class_of(item.request.id)),
+                        incoming,
+                    );
+                    let Some(victim) = victim else {
+                        state.tracker.on_drop();
+                        return PushOutcome::Dropped;
+                    };
+                    state.items.remove(victim);
+                    state.tracker.on_shed_admitted();
                 }
                 AdmissionPolicy::Block { .. } => {
                     while state.items.len() >= capacity {
@@ -371,6 +526,22 @@ impl RequestQueue {
             .len()
     }
 
+    /// Retracts a queued request by id (the tied-request cancellation path: the other
+    /// copy won, so the loser is pulled back out of the queue before a worker picks
+    /// it up).  Returns `true` if the request was still queued.  A retracted request
+    /// stays counted as accepted — it was admitted and occupied the queue; it is not
+    /// an overload shed.
+    pub fn cancel(&self, id: RequestId) -> bool {
+        let mut state = self.shared.state.lock().expect("request queue poisoned");
+        let Some(index) = state.items.iter().position(|item| item.request.id == id) else {
+            return false;
+        };
+        state.items.remove(index);
+        drop(state);
+        self.shared.not_full.notify_one();
+        true
+    }
+
     /// Drops this producer handle so workers can observe shutdown once every other
     /// producer has also been dropped.
     pub fn close(self) {
@@ -408,11 +579,30 @@ pub struct QueueClosed;
 impl QueueReceiver {
     /// Blocks until a request is available, returning `Err(QueueClosed)` once every
     /// producer has been dropped and the queue is drained.
+    ///
+    /// Callers without a clock get no deadline shedding: a `DropDeadline` queue only
+    /// sheds expired head-of-line requests through [`QueueReceiver::recv_at`] (and
+    /// opportunistically at push time).
     pub fn recv(&self) -> Result<QueuedRequest, QueueClosed> {
+        self.recv_at(&|| 0)
+    }
+
+    /// Like [`QueueReceiver::recv`], but consults `now_ns` (called after each item
+    /// becomes available) so a `DropDeadline` policy can shed head-of-line requests
+    /// whose queueing delay already exceeds the SLO instead of serving them.  Shed
+    /// requests are reclassified as dropped in the queue summary.
+    pub fn recv_at(&self, now_ns: &dyn Fn() -> u64) -> Result<QueuedRequest, QueueClosed> {
         let shared = &*self.shared;
         let mut state = shared.state.lock().expect("request queue poisoned");
         loop {
             if let Some(item) = state.items.pop_front() {
+                if let AdmissionPolicy::DropDeadline { slo_ns, .. } = shared.policy {
+                    if now_ns().saturating_sub(item.enqueued_ns) > slo_ns {
+                        state.tracker.on_shed_admitted();
+                        shared.not_full.notify_one();
+                        continue;
+                    }
+                }
                 drop(state);
                 shared.not_full.notify_one();
                 return Ok(item);
@@ -621,6 +811,163 @@ mod tests {
         assert_eq!(AdmissionPolicy::unbounded().label(), "unbounded");
         assert_eq!(AdmissionPolicy::Block { capacity: 64 }.label(), "block(64)");
         assert_eq!(AdmissionPolicy::Drop { capacity: 128 }.label(), "drop(128)");
+        assert_eq!(
+            AdmissionPolicy::DropDeadline {
+                capacity: 64,
+                slo_ns: 5_000_000
+            }
+            .label(),
+            "drop-deadline(64,5000000ns)"
+        );
+        assert_eq!(
+            AdmissionPolicy::Priority { capacity: 32 }.label(),
+            "priority(32)"
+        );
         assert_eq!(AdmissionPolicy::default(), AdmissionPolicy::unbounded());
+        assert_eq!(AdmissionPolicy::unbounded().shed_capacity(), None);
+        assert_eq!(
+            AdmissionPolicy::Priority { capacity: 32 }.shed_capacity(),
+            Some(32)
+        );
+        assert_eq!(
+            AdmissionPolicy::DropDeadline {
+                capacity: 8,
+                slo_ns: 9
+            }
+            .slo_ns(),
+            Some(9)
+        );
+    }
+
+    #[test]
+    fn deadline_policy_sheds_expired_head_of_line_requests_at_dequeue() {
+        let q = RequestQueue::with_policy(AdmissionPolicy::DropDeadline {
+            capacity: 16,
+            slo_ns: 100,
+        });
+        let observer = q.observer();
+        let rx = q.receiver();
+        assert_eq!(
+            q.push(request(0), 0, Completion::Inline),
+            PushOutcome::Accepted
+        );
+        assert_eq!(
+            q.push(request(1), 10, Completion::Inline),
+            PushOutcome::Accepted
+        );
+        // At t=500 request 0 has queued 500 ns > 100 ns SLO and must be shed;
+        // request 1 (490 ns) is also expired; nothing valid remains until a fresh
+        // push arrives.
+        assert_eq!(
+            q.push(request(2), 500, Completion::Inline),
+            PushOutcome::Accepted
+        );
+        let served = rx.recv_at(&|| 550).unwrap();
+        assert_eq!(served.request.id, RequestId(2));
+        let summary = observer.summary();
+        assert_eq!(summary.accepted, 1);
+        assert_eq!(summary.dropped, 2);
+        assert!((summary.drop_rate() - 2.0 / 3.0).abs() < 1e-12);
+        // recv() without a clock never sheds.
+        let q2 = RequestQueue::with_policy(AdmissionPolicy::DropDeadline {
+            capacity: 16,
+            slo_ns: 100,
+        });
+        let rx2 = q2.receiver();
+        let _ = q2.push(request(7), 0, Completion::Inline);
+        assert_eq!(rx2.recv().unwrap().request.id, RequestId(7));
+    }
+
+    #[test]
+    fn deadline_policy_purges_expired_requests_to_admit_fresh_ones_when_full() {
+        let q = RequestQueue::with_policy(AdmissionPolicy::DropDeadline {
+            capacity: 2,
+            slo_ns: 100,
+        });
+        let observer = q.observer();
+        let _rx = q.receiver();
+        let _ = q.push(request(0), 0, Completion::Inline);
+        let _ = q.push(request(1), 10, Completion::Inline);
+        // Queue is full, but both residents are long expired at t=1000: the arrival
+        // evicts them instead of being rejected.
+        assert_eq!(
+            q.push(request(2), 1_000, Completion::Inline),
+            PushOutcome::Accepted
+        );
+        assert_eq!(q.depth(), 1);
+        let summary = observer.summary();
+        assert_eq!(summary.accepted, 1);
+        assert_eq!(summary.dropped, 2);
+        // A full queue of *fresh* requests still sheds the arrival itself.
+        let _ = q.push(request(3), 1_001, Completion::Inline);
+        assert_eq!(
+            q.push(request(4), 1_002, Completion::Inline),
+            PushOutcome::Dropped
+        );
+    }
+
+    #[test]
+    fn priority_policy_evicts_the_youngest_lowest_class_first() {
+        // Requests 0..6: ids 0,2,4 are class 0 (high priority), ids 1,3,5 class 1.
+        let tags = Arc::new(RequestTags::new(
+            vec!["interactive".into(), "batch".into()],
+            vec!["all".into()],
+            vec![0, 1, 0, 1, 0, 1],
+            vec![0; 6],
+        ));
+        let q = RequestQueue::with_policy_and_tags(
+            AdmissionPolicy::Priority { capacity: 2 },
+            Some(tags),
+        );
+        let observer = q.observer();
+        let rx = q.receiver();
+        let _ = q.push(request(1), 0, Completion::Inline); // batch
+        let _ = q.push(request(3), 1, Completion::Inline); // batch
+                                                           // A high-priority arrival evicts the *youngest* batch request (id 3).
+        assert_eq!(
+            q.push(request(0), 2, Completion::Inline),
+            PushOutcome::Accepted
+        );
+        // A batch arrival into a full queue with an equal-class resident is dropped
+        // (never evicts its own class).
+        assert_eq!(
+            q.push(request(5), 3, Completion::Inline),
+            PushOutcome::Dropped
+        );
+        assert_eq!(rx.recv().unwrap().request.id, RequestId(1));
+        assert_eq!(rx.recv().unwrap().request.id, RequestId(0));
+        let summary = observer.summary();
+        assert_eq!(summary.policy, "priority(2)");
+        assert_eq!(summary.accepted, 2);
+        assert_eq!(summary.dropped, 2);
+    }
+
+    #[test]
+    fn priority_victim_prefers_the_youngest_of_the_lowest_class() {
+        assert_eq!(priority_victim([1, 2, 2, 0], 0), Some(2));
+        assert_eq!(priority_victim([1, 1], 1), None, "never evicts equal class");
+        assert_eq!(
+            priority_victim([0, 0], 1),
+            None,
+            "never evicts higher classes"
+        );
+        assert_eq!(priority_victim(Vec::<u16>::new(), 0), None);
+        assert_eq!(priority_victim([3], 2), Some(0));
+    }
+
+    #[test]
+    fn cancel_retracts_a_queued_request_without_touching_drop_accounting() {
+        let q = RequestQueue::new();
+        let observer = q.observer();
+        let rx = q.receiver();
+        let _ = q.push(request(0), 0, Completion::Inline);
+        let _ = q.push(request(1), 1, Completion::Inline);
+        assert!(q.cancel(RequestId(0)));
+        assert!(!q.cancel(RequestId(0)), "already retracted");
+        assert!(!q.cancel(RequestId(9)), "never queued");
+        assert_eq!(rx.recv().unwrap().request.id, RequestId(1));
+        let summary = observer.summary();
+        assert_eq!(summary.accepted, 2, "retraction is not an overload shed");
+        assert_eq!(summary.dropped, 0);
     }
 }

@@ -24,17 +24,108 @@
 //! seed still pins exact percentiles.
 
 use crate::app::{CostModel, RequestFactory, ServerApp};
-use crate::collector::{ClusterCollector, StatsCollector};
+use crate::collector::{ClusterCollector, RequestTags, StatsCollector};
 use crate::config::{BenchmarkConfig, ClusterConfig, Route};
 use crate::error::HarnessError;
 use crate::integrated::{build_cluster_report, build_report, check_instances};
-use crate::queue::{AdmissionPolicy, DepthTracker};
+use crate::queue::{priority_victim, AdmissionPolicy, DepthTracker};
 use crate::report::{ClusterReport, HedgeStats, QueueSummary, RunReport};
 use crate::request::{Request, RequestRecord};
 use crate::traffic::TrafficShaper;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::sync::Arc;
 use tailbench_workloads::rng::seeded_rng;
+
+/// One leg copy waiting in a station's FIFO queue (also used, with `shard` 0, by the
+/// single-server loop so both loops share the admission helpers).
+#[derive(Debug)]
+struct QueuedLeg {
+    request: Request,
+    enqueued_ns: u64,
+    shard: usize,
+    is_hedge: bool,
+}
+
+/// Applies a shedding admission policy to one leg arriving at a full-or-not FIFO.
+/// Returns `true` when the leg was queued; `false` when the arrival itself was shed
+/// (counted as a drop).  Requests that were *admitted earlier* but shed now to make
+/// room — expired head-of-line requests under `DropDeadline`, the evicted victim under
+/// `Priority` — are reclassified in the tracker and appended to `removed` so cluster
+/// callers can unwind per-leg hedging/tied bookkeeping.
+fn enqueue_or_shed(
+    waiting: &mut VecDeque<QueuedLeg>,
+    tracker: &mut DepthTracker,
+    admission: &AdmissionPolicy,
+    tags: Option<&RequestTags>,
+    leg: QueuedLeg,
+    now: u64,
+    removed: &mut Vec<QueuedLeg>,
+) -> bool {
+    if let Some(capacity) = admission.shed_capacity() {
+        if waiting.len() >= capacity {
+            match *admission {
+                AdmissionPolicy::DropDeadline { slo_ns, .. } => {
+                    while waiting
+                        .front()
+                        .is_some_and(|q| now.saturating_sub(q.enqueued_ns) > slo_ns)
+                    {
+                        let expired = waiting.pop_front().expect("front checked above");
+                        tracker.on_shed_admitted();
+                        removed.push(expired);
+                    }
+                    if waiting.len() >= capacity {
+                        tracker.on_drop();
+                        return false;
+                    }
+                }
+                AdmissionPolicy::Priority { .. } => {
+                    let class_of = |id: u64| tags.map_or(0, |t| t.class_of(id));
+                    let victim = priority_victim(
+                        waiting.iter().map(|q| class_of(q.request.id.0)),
+                        class_of(leg.request.id.0),
+                    );
+                    let Some(victim) = victim else {
+                        tracker.on_drop();
+                        return false;
+                    };
+                    let evicted = waiting.remove(victim).expect("victim index in range");
+                    tracker.on_shed_admitted();
+                    removed.push(evicted);
+                }
+                _ => {
+                    tracker.on_drop();
+                    return false;
+                }
+            }
+        }
+    }
+    waiting.push_back(leg);
+    tracker.on_push(now, waiting.len() as u64);
+    true
+}
+
+/// Pops the next serviceable leg, shedding expired head-of-line legs under a
+/// `DropDeadline` policy (each reclassified in the tracker and appended to `removed`).
+fn pop_fresh(
+    waiting: &mut VecDeque<QueuedLeg>,
+    tracker: &mut DepthTracker,
+    admission: &AdmissionPolicy,
+    now: u64,
+    removed: &mut Vec<QueuedLeg>,
+) -> Option<QueuedLeg> {
+    while let Some(leg) = waiting.pop_front() {
+        if admission
+            .slo_ns()
+            .is_some_and(|slo| now.saturating_sub(leg.enqueued_ns) > slo)
+        {
+            tracker.on_shed_admitted();
+            removed.push(leg);
+            continue;
+        }
+        return Some(leg);
+    }
+    None
+}
 
 /// A pending service completion in the event heap (min-heap by completion time).
 #[derive(Debug, PartialEq, Eq)]
@@ -90,11 +181,9 @@ pub fn run_simulated(
     let mut collector =
         StatsCollector::new(config.warmup_requests as u64).with_tags(config.tags.clone());
     let mut tracker = DepthTracker::new();
-    let shed_capacity = match config.admission {
-        AdmissionPolicy::Drop { capacity } => Some(capacity),
-        AdmissionPolicy::Block { .. } => None,
-    };
-    let mut waiting: VecDeque<(Request, u64)> = VecDeque::new();
+    let tags = config.tags.clone();
+    let mut removed: Vec<QueuedLeg> = Vec::new();
+    let mut waiting: VecDeque<QueuedLeg> = VecDeque::new();
     let mut completions: BinaryHeap<Completion> = BinaryHeap::new();
     // Records of requests currently in service, indexed by completion seq.
     let mut in_service: HashMap<u64, RequestRecord> = HashMap::new();
@@ -164,11 +253,22 @@ pub fn run_simulated(
                 // Inclusive depth, matching the real-time queue's post-push sample: a
                 // request transits the queue (depth 1) even when a server is idle.
                 tracker.on_push(now, 1);
-            } else if shed_capacity.is_some_and(|cap| waiting.len() >= cap) {
-                tracker.on_drop();
             } else {
-                waiting.push_back((request, now));
-                tracker.on_push(now, waiting.len() as u64);
+                let _ = enqueue_or_shed(
+                    &mut waiting,
+                    &mut tracker,
+                    &config.admission,
+                    tags.as_deref(),
+                    QueuedLeg {
+                        request,
+                        enqueued_ns: now,
+                        shard: 0,
+                        is_hedge: false,
+                    },
+                    now,
+                    &mut removed,
+                );
+                removed.clear();
             }
         } else {
             // Completion event.
@@ -179,10 +279,17 @@ pub fn run_simulated(
                 .expect("completion for unknown request");
             collector.record(&record);
             busy -= 1;
-            if let Some((request, enqueued_ns)) = waiting.pop_front() {
+            removed.clear();
+            if let Some(queued) = pop_fresh(
+                &mut waiting,
+                &mut tracker,
+                &config.admission,
+                ct,
+                &mut removed,
+            ) {
                 start_service(
-                    request,
-                    enqueued_ns,
+                    queued.request,
+                    queued.enqueued_ns,
                     ct,
                     &mut busy,
                     &mut seq,
@@ -196,15 +303,6 @@ pub fn run_simulated(
     let mut report = build_report(app.name(), "simulated", config, &collector);
     report.queue_depth = tracker.summary(config.admission.label());
     report
-}
-
-/// One leg copy waiting in a station's FIFO queue.
-#[derive(Debug)]
-struct QueuedLeg {
-    request: Request,
-    enqueued_ns: u64,
-    shard: usize,
-    is_hedge: bool,
 }
 
 /// One simulated server instance: its busy-server count and FIFO wait queue.
@@ -258,13 +356,33 @@ struct ServiceEntry {
     record: RequestRecord,
 }
 
-/// Client-side state of one leg (request × shard) under hedging.
+/// Client-side state of one leg (request × shard) under hedging or tied requests.
 #[derive(Debug)]
 struct Leg {
     resolved: bool,
     hedged: bool,
+    /// Copies currently admitted (queued or in service).  A leg whose copies were all
+    /// shed stays unresolved and surfaces as `unmerged` in the report.
     outstanding: u8,
     request: Request,
+    /// The instance the selector picked as primary.
+    primary: usize,
+    /// Where the hedge/tied copy went (equals `primary` until a copy is issued).
+    secondary: usize,
+}
+
+/// Unwinds per-leg bookkeeping for queued copies that were shed after admission
+/// (deadline purge or priority eviction pulled them back out of a station queue).
+fn unwind_removed(removed: &mut Vec<QueuedLeg>, legs: &mut HashMap<(u64, usize), Leg>) {
+    for q in removed.drain(..) {
+        let key = (q.request.id.0, q.shard);
+        if let Some(leg) = legs.get_mut(&key) {
+            leg.outstanding = leg.outstanding.saturating_sub(1);
+            if leg.outstanding == 0 && leg.resolved {
+                legs.remove(&key);
+            }
+        }
+    }
 }
 
 /// Runs one cluster measurement under discrete-event simulation.
@@ -312,21 +430,20 @@ pub fn run_cluster_simulated(
     let width = cluster.fanout_width();
     let plan = config.interference.clone();
     let hedge = cluster.active_hedge();
+    let tied = cluster.active_tied();
+    let tags = config.tags.clone();
     let mut collector = ClusterCollector::new(cluster.shards, config.warmup_requests as u64)
         .with_tags(config.tags.clone());
     let mut stations: Vec<Station> = (0..apps.len()).map(|_| Station::default()).collect();
     let mut trackers: Vec<DepthTracker> = (0..apps.len()).map(|_| DepthTracker::new()).collect();
-    let shed_capacity = match config.admission {
-        AdmissionPolicy::Drop { capacity } => Some(capacity),
-        AdmissionPolicy::Block { .. } => None,
-    };
     let mut events: BinaryHeap<Event> = BinaryHeap::new();
     // Copies in service, by completion seq.  Only keyed lookups — never iterated — so
     // the map cannot perturb event ordering.
     let mut in_service: HashMap<u64, ServiceEntry> = HashMap::new();
-    // Per-leg hedging state; populated only when a hedge policy is active.
+    // Per-leg routing state; populated only when hedging or tied requests are active.
     let mut legs: HashMap<(u64, usize), Leg> = HashMap::new();
     let mut hedge_stats = HedgeStats::default();
+    let mut removed: Vec<QueuedLeg> = Vec::new();
     let mut seq = 0u64;
     let mut next_arrival = 0usize;
 
@@ -393,16 +510,20 @@ pub fn run_cluster_simulated(
                 Route::AllShards => 0..cluster.shards,
             };
             for shard in shards {
-                let instance = cluster.instance(shard, request.id.0);
-                let leg = request.clone();
+                let primary = cluster.route_replica(shard, request.id.0, config.seed, &|i| {
+                    stations[i].busy + stations[i].waiting.len()
+                });
+                let secondary = cluster.secondary_instance(shard, primary);
                 if let Some(policy) = hedge {
                     legs.insert(
                         (request.id.0, shard),
                         Leg {
                             resolved: false,
                             hedged: false,
-                            outstanding: 1,
-                            request: leg.clone(),
+                            outstanding: 0,
+                            request: request.clone(),
+                            primary,
+                            secondary: primary,
                         },
                     );
                     seq += 1;
@@ -415,31 +536,67 @@ pub fn run_cluster_simulated(
                             shard,
                         },
                     });
-                }
-                if stations[instance].busy < servers {
-                    start_service(
-                        instance,
-                        shard,
-                        false,
-                        leg,
-                        now,
-                        now,
-                        &mut stations,
-                        &mut seq,
-                        &mut events,
-                        &mut in_service,
+                } else if tied {
+                    legs.insert(
+                        (request.id.0, shard),
+                        Leg {
+                            resolved: false,
+                            hedged: true,
+                            outstanding: 0,
+                            request: request.clone(),
+                            primary,
+                            secondary,
+                        },
                     );
-                    trackers[instance].on_push(now, 1);
-                } else if shed_capacity.is_some_and(|cap| stations[instance].waiting.len() >= cap) {
-                    trackers[instance].on_drop();
+                    hedge_stats.issued += 1;
+                }
+                let copies: &[(usize, bool)] = if tied {
+                    &[(primary, false), (secondary, true)]
                 } else {
-                    stations[instance].waiting.push_back(QueuedLeg {
-                        request: leg,
-                        enqueued_ns: now,
-                        shard,
-                        is_hedge: false,
-                    });
-                    trackers[instance].on_push(now, stations[instance].waiting.len() as u64);
+                    &[(primary, false)]
+                };
+                let mut admitted = 0u8;
+                for &(instance, is_hedge) in copies {
+                    if stations[instance].busy < servers {
+                        start_service(
+                            instance,
+                            shard,
+                            is_hedge,
+                            request.clone(),
+                            now,
+                            now,
+                            &mut stations,
+                            &mut seq,
+                            &mut events,
+                            &mut in_service,
+                        );
+                        trackers[instance].on_push(now, 1);
+                        admitted += 1;
+                    } else if enqueue_or_shed(
+                        &mut stations[instance].waiting,
+                        &mut trackers[instance],
+                        &config.admission,
+                        tags.as_deref(),
+                        QueuedLeg {
+                            request: request.clone(),
+                            enqueued_ns: now,
+                            shard,
+                            is_hedge,
+                        },
+                        now,
+                        &mut removed,
+                    ) {
+                        admitted += 1;
+                    }
+                    unwind_removed(&mut removed, &mut legs);
+                }
+                if let Some(leg) = legs.get_mut(&(request.id.0, shard)) {
+                    leg.outstanding += admitted;
+                    if tied && leg.outstanding == 0 {
+                        // Both tied copies were shed at admission: the leg can never
+                        // resolve; it surfaces as unmerged in the report.
+                        legs.remove(&(request.id.0, shard));
+                    }
                 }
             }
         } else {
@@ -450,27 +607,63 @@ pub fn run_cluster_simulated(
                     let entry = in_service
                         .remove(&event.seq)
                         .expect("completion for unknown request");
-                    stations[entry.instance].busy -= 1;
-                    if hedge.is_some() {
-                        let key = (entry.record.id.0, entry.shard);
+                    let (instance, shard, is_hedge) = (entry.instance, entry.shard, entry.is_hedge);
+                    stations[instance].busy -= 1;
+                    if hedge.is_some() || tied {
+                        let key = (entry.record.id.0, shard);
                         let leg = legs.get_mut(&key).expect("completion for unknown leg");
-                        if !leg.resolved {
+                        leg.outstanding = leg.outstanding.saturating_sub(1);
+                        let first_response = !leg.resolved;
+                        let mut sibling = None;
+                        if first_response {
                             leg.resolved = true;
-                            if entry.is_hedge {
+                            if is_hedge {
                                 hedge_stats.wins += 1;
                             }
-                            let _ = collector.record_leg(entry.shard, entry.record, width);
+                            if tied {
+                                sibling = Some(if instance == leg.primary {
+                                    leg.secondary
+                                } else {
+                                    leg.primary
+                                });
+                            }
                         }
-                        leg.outstanding -= 1;
-                        if leg.outstanding == 0 {
+                        if first_response {
+                            let _ = collector.record_leg(shard, entry.record, width);
+                        }
+                        // Tied-request cancellation: the loser is retracted if it is
+                        // still waiting in the sibling's queue (an in-service loser
+                        // runs to completion, exactly like a hedge loser).
+                        if let Some(sibling) = sibling {
+                            if let Some(pos) = stations[sibling]
+                                .waiting
+                                .iter()
+                                .position(|q| q.request.id.0 == key.0 && q.shard == key.1)
+                            {
+                                stations[sibling].waiting.remove(pos);
+                                if let Some(leg) = legs.get_mut(&key) {
+                                    leg.outstanding = leg.outstanding.saturating_sub(1);
+                                }
+                            }
+                        }
+                        if legs
+                            .get(&key)
+                            .is_some_and(|l| l.outstanding == 0 && l.resolved)
+                        {
                             legs.remove(&key);
                         }
                     } else {
-                        let _ = collector.record_leg(entry.shard, entry.record, width);
+                        let _ = collector.record_leg(shard, entry.record, width);
                     }
-                    if let Some(queued) = stations[entry.instance].waiting.pop_front() {
+                    if let Some(queued) = pop_fresh(
+                        &mut stations[instance].waiting,
+                        &mut trackers[instance],
+                        &config.admission,
+                        t,
+                        &mut removed,
+                    ) {
                         start_service(
-                            entry.instance,
+                            instance,
                             queued.shard,
                             queued.is_hedge,
                             queued.request,
@@ -482,20 +675,20 @@ pub fn run_cluster_simulated(
                             &mut in_service,
                         );
                     }
+                    unwind_removed(&mut removed, &mut legs);
                 }
                 EventKind::HedgeCheck { id, shard } => {
                     let issue = match legs.get_mut(&(id, shard)) {
                         Some(leg) if !leg.resolved && !leg.hedged => {
                             leg.hedged = true;
-                            leg.outstanding += 1;
-                            Some(leg.request.clone())
+                            let alt = cluster.secondary_instance(shard, leg.primary);
+                            leg.secondary = alt;
+                            Some((leg.request.clone(), alt))
                         }
                         _ => None,
                     };
-                    if let Some(copy) = issue {
-                        hedge_stats.issued += 1;
-                        let alt = cluster.hedge_instance(shard, id);
-                        if stations[alt].busy < servers {
+                    if let Some((copy, alt)) = issue {
+                        let admitted = if stations[alt].busy < servers {
                             start_service(
                                 alt,
                                 shard,
@@ -508,13 +701,30 @@ pub fn run_cluster_simulated(
                                 &mut events,
                                 &mut in_service,
                             );
+                            trackers[alt].on_push(t, 1);
+                            true
                         } else {
-                            stations[alt].waiting.push_back(QueuedLeg {
-                                request: copy,
-                                enqueued_ns: t,
-                                shard,
-                                is_hedge: true,
-                            });
+                            enqueue_or_shed(
+                                &mut stations[alt].waiting,
+                                &mut trackers[alt],
+                                &config.admission,
+                                tags.as_deref(),
+                                QueuedLeg {
+                                    request: copy,
+                                    enqueued_ns: t,
+                                    shard,
+                                    is_hedge: true,
+                                },
+                                t,
+                                &mut removed,
+                            )
+                        };
+                        unwind_removed(&mut removed, &mut legs);
+                        if admitted {
+                            hedge_stats.issued += 1;
+                            if let Some(leg) = legs.get_mut(&(id, shard)) {
+                                leg.outstanding += 1;
+                            }
                         }
                     }
                 }
@@ -532,7 +742,7 @@ pub fn run_cluster_simulated(
         config,
         cluster,
         &collector,
-        hedge.map(|_| hedge_stats),
+        (hedge.is_some() || tied).then_some(hedge_stats),
     );
     report.cluster.queue_depth = QueueSummary::aggregate(&queue_summaries);
     Ok(report)
@@ -822,6 +1032,224 @@ mod tests {
         let mut factory = || b"x".to_vec();
         let again = run_simulated(&app, &mut factory, &faulted_config, &model);
         assert_eq!(again.sojourn.p99_ns, faulted.sojourn.p99_ns);
+    }
+
+    #[test]
+    fn tied_requests_beat_a_slow_replica_and_stay_deterministic() {
+        use crate::config::{ClusterConfig, FanoutPolicy};
+        use crate::interference::InterferencePlan;
+        let model = InstructionRateModel {
+            ns_per_instruction: 1.0,
+        };
+        let make_apps = || -> Vec<Arc<dyn ServerApp>> {
+            (0..4)
+                .map(|_| {
+                    Arc::new(EchoApp {
+                        spin_iters: 100_000,
+                    }) as Arc<dyn ServerApp>
+                })
+                .collect()
+        };
+        // Same layout as the hedging test: 2x2 broadcast, instance 1 slowed 20x.
+        // Tied requests issue both copies up front, so the healthy replica answers
+        // every leg without waiting for a trigger delay.
+        let config = BenchmarkConfig::new(2_000.0, 800)
+            .with_warmup(0)
+            .with_seed(17)
+            .with_interference(InterferencePlan::none().slow_instance(1, 0, u64::MAX, 20.0));
+        let base = ClusterConfig::new(2, FanoutPolicy::Broadcast).with_replication(2);
+        let mut factory = || b"h".to_vec();
+        let untied =
+            run_cluster_simulated(&make_apps(), &mut factory, &config, &base, &model).unwrap();
+        let tied_cluster = base.with_tied(true);
+        let mut factory = || b"h".to_vec();
+        let tied =
+            run_cluster_simulated(&make_apps(), &mut factory, &config, &tied_cluster, &model)
+                .unwrap();
+        let stats = tied.hedge.expect("tied stats ride the hedge report field");
+        assert_eq!(
+            stats.issued,
+            2 * 800,
+            "every broadcast leg issues one tied copy"
+        );
+        assert!(stats.wins > 0, "some secondary copies must win");
+        assert!(
+            tied.cluster.sojourn.p99_ns < untied.cluster.sojourn.p99_ns / 2,
+            "tied p99 {} should be far below untied p99 {}",
+            tied.cluster.sojourn.p99_ns,
+            untied.cluster.sojourn.p99_ns
+        );
+        assert_eq!(
+            tied.cluster.requests, 800,
+            "first response resolves every leg"
+        );
+        // Bit-for-bit deterministic.
+        let mut factory = || b"h".to_vec();
+        let again =
+            run_cluster_simulated(&make_apps(), &mut factory, &config, &tied_cluster, &model)
+                .unwrap();
+        assert_eq!(again.cluster.sojourn.p99_ns, tied.cluster.sojourn.p99_ns);
+        assert_eq!(again.hedge, tied.hedge);
+    }
+
+    #[test]
+    fn load_aware_selectors_route_around_a_slow_replica() {
+        use crate::config::{ClusterConfig, FanoutPolicy, ReplicaSelector};
+        use crate::interference::InterferencePlan;
+        let model = InstructionRateModel {
+            ns_per_instruction: 1.0,
+        };
+        let make_apps = || -> Vec<Arc<dyn ServerApp>> {
+            (0..4)
+                .map(|_| {
+                    Arc::new(EchoApp {
+                        spin_iters: 100_000,
+                    }) as Arc<dyn ServerApp>
+                })
+                .collect()
+        };
+        let config = BenchmarkConfig::new(2_000.0, 800)
+            .with_warmup(0)
+            .with_seed(17)
+            .with_interference(InterferencePlan::none().slow_instance(1, 0, u64::MAX, 20.0));
+        let base = ClusterConfig::new(2, FanoutPolicy::Broadcast).with_replication(2);
+        let run = |selector: ReplicaSelector| {
+            let mut factory = || b"s".to_vec();
+            run_cluster_simulated(
+                &make_apps(),
+                &mut factory,
+                &config,
+                &base.clone().with_selector(selector),
+                &model,
+            )
+            .unwrap()
+        };
+        let round_robin = run(ReplicaSelector::RoundRobin);
+        let least_loaded = run(ReplicaSelector::LeastLoaded);
+        let p2c = run(ReplicaSelector::PowerOfTwo);
+        // Round-robin keeps feeding the 20x replica; load-aware selectors observe its
+        // backlog and shift legs to the healthy one, collapsing the tail.
+        assert!(
+            least_loaded.cluster.sojourn.p99_ns < round_robin.cluster.sojourn.p99_ns / 2,
+            "least-loaded p99 {} vs round-robin p99 {}",
+            least_loaded.cluster.sojourn.p99_ns,
+            round_robin.cluster.sojourn.p99_ns
+        );
+        assert!(
+            p2c.cluster.sojourn.p99_ns < round_robin.cluster.sojourn.p99_ns,
+            "p2c p99 {} vs round-robin p99 {}",
+            p2c.cluster.sojourn.p99_ns,
+            round_robin.cluster.sojourn.p99_ns
+        );
+        // Determinism holds for the seeded selectors.
+        let again = run(ReplicaSelector::PowerOfTwo);
+        assert_eq!(again.cluster.sojourn.p99_ns, p2c.cluster.sojourn.p99_ns);
+    }
+
+    #[test]
+    fn deadline_shedding_caps_the_tail_and_keeps_accounting_exact() {
+        // Overload a single simulated server (100 us service at ~2x capacity): the
+        // unbounded queue grows without bound, while deadline shedding keeps the
+        // served tail near the SLO and counts every shed request as a drop.
+        let app = app();
+        let model = InstructionRateModel {
+            ns_per_instruction: 1.0,
+        };
+        let base = BenchmarkConfig::new(20_000.0, 2_000)
+            .with_warmup(0)
+            .with_seed(23);
+        let mut factory = || b"d".to_vec();
+        let unbounded = run_simulated(&app, &mut factory, &base, &model);
+        let shed_config = base.clone().with_admission(AdmissionPolicy::DropDeadline {
+            capacity: 64,
+            slo_ns: 2_000_000,
+        });
+        let mut factory = || b"d".to_vec();
+        let shed = run_simulated(&app, &mut factory, &shed_config, &model);
+        assert!(shed.queue_depth.dropped > 0, "overload must shed");
+        assert_eq!(
+            shed.queue_depth.accepted + shed.queue_depth.dropped,
+            shed_config.total_requests() as u64,
+            "accepted + dropped must equal offered"
+        );
+        assert_eq!(shed.requests, shed.queue_depth.accepted);
+        assert!(
+            shed.sojourn.p99_ns < unbounded.sojourn.p99_ns / 4,
+            "shed p99 {} should collapse vs unbounded p99 {}",
+            shed.sojourn.p99_ns,
+            unbounded.sojourn.p99_ns
+        );
+        // Deterministic.
+        let mut factory = || b"d".to_vec();
+        let again = run_simulated(&app, &mut factory, &shed_config, &model);
+        assert_eq!(again.sojourn.p99_ns, shed.sojourn.p99_ns);
+        assert_eq!(again.queue_depth.dropped, shed.queue_depth.dropped);
+    }
+
+    #[test]
+    fn drop_accounting_balances_offered_load_under_overload() {
+        // The Drop-policy audit pin: every offered request is either accepted or
+        // dropped, dropped requests never enter the sojourn distribution, and the
+        // whole breakdown is deterministic.
+        let app = app();
+        let model = InstructionRateModel {
+            ns_per_instruction: 1.0,
+        };
+        let config = BenchmarkConfig::new(20_000.0, 2_000)
+            .with_warmup(100)
+            .with_seed(29)
+            .with_admission(AdmissionPolicy::Drop { capacity: 16 });
+        let mut factory = || b"o".to_vec();
+        let report = run_simulated(&app, &mut factory, &config, &model);
+        let q = &report.queue_depth;
+        assert!(q.dropped > 0);
+        assert_eq!(q.accepted + q.dropped, config.total_requests() as u64);
+        // Only served requests appear in the distribution (warmup excluded).
+        assert!(
+            report.requests <= q.accepted,
+            "only accepted requests can be measured"
+        );
+        let mut factory = || b"o".to_vec();
+        let again = run_simulated(&app, &mut factory, &config, &model);
+        assert_eq!(again.queue_depth.accepted, q.accepted);
+        assert_eq!(again.queue_depth.dropped, q.dropped);
+    }
+
+    #[test]
+    fn priority_shedding_protects_the_high_class_under_overload() {
+        use crate::collector::RequestTags;
+        // Alternate request classes 0/1; under overload with a Priority queue the
+        // batch class (1) absorbs the shedding.
+        let app = app();
+        let model = InstructionRateModel {
+            ns_per_instruction: 1.0,
+        };
+        let total = 2_200usize; // 200 warmup + 2000 measured
+        let classes: Vec<u16> = (0..total).map(|i| (i % 2) as u16).collect();
+        let tags = Arc::new(RequestTags::new(
+            vec!["interactive".into(), "batch".into()],
+            vec!["all".into()],
+            classes,
+            vec![0; total],
+        ));
+        let config = BenchmarkConfig::new(20_000.0, 2_000)
+            .with_warmup(200)
+            .with_seed(31)
+            .with_tags(tags)
+            .with_admission(AdmissionPolicy::Priority { capacity: 32 });
+        let mut factory = || b"p".to_vec();
+        let report = run_simulated(&app, &mut factory, &config, &model);
+        let q = &report.queue_depth;
+        assert!(q.dropped > 0, "overload must shed");
+        assert_eq!(q.accepted + q.dropped, config.total_requests() as u64);
+        let interactive = &report.per_class[0];
+        let batch = &report.per_class[1];
+        assert!(
+            interactive.sojourn.count > batch.sojourn.count,
+            "priority shedding must serve more interactive ({}) than batch ({})",
+            interactive.sojourn.count,
+            batch.sojourn.count
+        );
     }
 
     #[test]

@@ -110,7 +110,9 @@ fn worker_loop(
     pool: Option<&BufferPool>,
 ) -> u64 {
     let mut served = 0u64;
-    while let Ok(item) = rx.recv() {
+    // `recv_at` lets deadline-aware admission policies shed requests whose queueing
+    // delay already blew the SLO at the moment a worker would otherwise start them.
+    while let Ok(item) = rx.recv_at(&|| clock.now_ns()) {
         let started_ns = clock.now_ns();
         let response = app.handle(&item.request.payload);
         let completed_ns = clock.now_ns();

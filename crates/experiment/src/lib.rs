@@ -87,8 +87,8 @@ pub use registry::{
 };
 pub use spec::{
     ClassSpec, ExperimentSpec, FanoutSpec, FaultKindSpec, FaultSpec, FaultTargetSpec, HedgeSpec,
-    LoadSpec, ModeSpec, PhaseSpec, QueuePolicySpec, Scale, ScenarioSpec, SeedPolicy, ShapeSpec,
-    SweepAxis, TopologySpec,
+    LoadSpec, MitigationSpec, ModeSpec, PhaseSpec, QueuePolicySpec, Scale, ScenarioSpec,
+    SeedPolicy, SelectorSpec, ShapeSpec, SweepAxis, TopologySpec,
 };
 
 use spec::SUPPORTED_HEDGE_PERCENTILES;
@@ -145,6 +145,10 @@ struct GridPoint {
     fraction: Option<f64>,
     qps: Option<f64>,
     hedge: Option<Option<HedgeSpec>>,
+    selector: SelectorSpec,
+    tied: bool,
+    queue: Option<QueuePolicySpec>,
+    mitigation: Option<String>,
 }
 
 /// The unified experiment runner: a spec plus the registry it resolves workloads from.
@@ -239,7 +243,11 @@ impl Experiment {
             }
             let model: Option<&dyn CostModel> = cost_models.get(&point.app).map(AsRef::as_ref);
 
-            let point_seed = if single_point {
+            // Sweep points are decorrelated by deriving a per-point seed — except on a
+            // mitigation axis, where the rows are a controlled comparison and must face
+            // the identical arrival trace (and the identical fault schedule): there the
+            // root seed is shared, so any difference between rows is the policy itself.
+            let point_seed = if single_point || point.mitigation.is_some() {
                 self.spec.seed
             } else {
                 derive_seed(self.spec.seed, index as u64)
@@ -290,6 +298,10 @@ impl Experiment {
             fraction,
             qps,
             hedge: self.spec.topology.and_then(|t| t.hedge).map(Some),
+            selector: self.spec.topology.map(|t| t.selector).unwrap_or_default(),
+            tied: self.spec.topology.is_some_and(|t| t.tied),
+            queue: self.spec.queue,
+            mitigation: None,
         };
         let mut grid = vec![base];
         for axis in &self.spec.sweep {
@@ -347,6 +359,26 @@ impl Experiment {
                             next.push(p);
                         }
                     }
+                    SweepAxis::Mitigation(policies) => {
+                        for policy in policies {
+                            // Each mitigation point is exactly one policy on top of a
+                            // reset baseline, so rows compare single policies.
+                            let mut p = point.clone();
+                            p.hedge = Some(None);
+                            p.selector = SelectorSpec::RoundRobin;
+                            p.tied = false;
+                            p.queue = self.spec.queue;
+                            match policy {
+                                MitigationSpec::Baseline => {}
+                                MitigationSpec::Hedge(hedge) => p.hedge = Some(Some(*hedge)),
+                                MitigationSpec::Tied => p.tied = true,
+                                MitigationSpec::Selector(selector) => p.selector = *selector,
+                                MitigationSpec::Queue(queue) => p.queue = Some(*queue),
+                            }
+                            p.mitigation = Some(policy.name());
+                            next.push(p);
+                        }
+                    }
                 }
             }
             grid = next;
@@ -395,8 +427,9 @@ impl Experiment {
         InterferencePlan { events }
     }
 
-    /// The core `Scenario` for a scenario-load point.
-    fn build_scenario(&self, scenario: &ScenarioSpec) -> Scenario {
+    /// The core `Scenario` for a scenario-load point (with the point's admission
+    /// policy, which a mitigation axis may have overridden).
+    fn build_scenario(&self, scenario: &ScenarioSpec, queue: Option<QueuePolicySpec>) -> Scenario {
         let phases: Vec<LoadPhase> = scenario
             .phases
             .iter()
@@ -432,7 +465,7 @@ impl Experiment {
         let mut built = Scenario::new(self.spec.name.clone(), phases)
             .with_warmup_fraction(scenario.warmup_fraction)
             .with_interference(self.interference_plan(span_ns as f64));
-        if let Some(queue) = self.spec.queue {
+        if let Some(queue) = queue {
             built = built.with_admission(queue.to_admission());
         }
         if !scenario.classes.is_empty() {
@@ -478,7 +511,7 @@ impl Experiment {
         if let LoadSpec::Closed { think_ns } = self.spec.load {
             config = config.with_load(LoadMode::Closed { think_ns });
         }
-        if let Some(queue) = self.spec.queue {
+        if let Some(queue) = point.queue {
             config = config.with_admission(queue.to_admission());
         }
         if !self.spec.interference.is_empty() {
@@ -530,7 +563,7 @@ impl Experiment {
         for seed in &seeds {
             let report = match &self.spec.load {
                 LoadSpec::Scenario(scenario_spec) => {
-                    let scenario = self.build_scenario(scenario_spec);
+                    let scenario = self.build_scenario(scenario_spec, point.queue);
                     let factories =
                         Self::class_factories(*seed, scenario.class_count(), |s| built.factory(s));
                     tailbench_scenario::execute_scenario(
@@ -565,6 +598,7 @@ impl Experiment {
                 replication: None,
                 load_fraction: point.fraction,
                 hedge: None,
+                mitigation: point.mitigation.clone(),
             },
             capacity_qps: capacity,
             hedge_delay_ns: None,
@@ -596,7 +630,10 @@ impl Experiment {
         }
         let built = &clusters[&cluster_key];
         let fanout = topology.fanout.resolve(builder.default_fanout());
-        let base_cluster = ClusterConfig::new(shards, fanout).with_replication(replication);
+        let base_cluster = ClusterConfig::new(shards, fanout)
+            .with_replication(replication)
+            .with_selector(point.selector.to_core())
+            .with_tied(point.tied);
 
         let mut capacity = None;
         let offered_qps = match (point.qps, point.fraction) {
@@ -640,16 +677,7 @@ impl Experiment {
             None => None,
             Some(HedgeSpec::DelayNs(delay_ns)) => Some(delay_ns.max(1)),
             Some(HedgeSpec::Percentile(p)) => {
-                let key = format!(
-                    "{}|{}|{}|{}x{}|{:?}|{:?}",
-                    point.app,
-                    point.mode.name(),
-                    point.threads,
-                    shards,
-                    replication,
-                    point.fraction.map(f64::to_bits),
-                    point.qps.map(f64::to_bits),
-                );
+                let key = baseline_key(point, shards, replication, base_cluster.fanout.name());
                 let legs = match baselines.get(&key) {
                     Some(stats) => *stats,
                     None => {
@@ -702,6 +730,7 @@ impl Experiment {
                 replication: Some(replication),
                 load_fraction: point.fraction,
                 hedge: point.hedge,
+                mitigation: point.mitigation.clone(),
             },
             capacity_qps: capacity,
             hedge_delay_ns,
@@ -722,7 +751,7 @@ impl Experiment {
     ) -> Result<ClusterReport, HarnessError> {
         match &self.spec.load {
             LoadSpec::Scenario(scenario_spec) => {
-                let scenario = self.build_scenario(scenario_spec);
+                let scenario = self.build_scenario(scenario_spec, point.queue);
                 let factories =
                     Self::class_factories(seed, scenario.class_count(), |s| built.factory(s));
                 tailbench_scenario::execute_cluster_scenario(
@@ -743,6 +772,30 @@ impl Experiment {
             }
         }
     }
+}
+
+/// Cache key for the unhedged percentile-trigger baselines.
+///
+/// Every coordinate that changes the unhedged leg-latency distribution must appear
+/// here: app, mode, threads, shards × replication, **fan-out policy** (a broadcast and
+/// a partitioned cluster at otherwise identical coordinates have very different leg
+/// distributions), the replica selector, tied dispatch, the admission policy, and the
+/// offered load.
+fn baseline_key(point: &GridPoint, shards: usize, replication: usize, fanout: &str) -> String {
+    format!(
+        "{}|{}|{}|{}x{}|{}|{}|{}|{:?}|{:?}|{:?}",
+        point.app,
+        point.mode.name(),
+        point.threads,
+        shards,
+        replication,
+        fanout,
+        point.selector.name(),
+        point.tied,
+        point.queue,
+        point.fraction.map(f64::to_bits),
+        point.qps.map(f64::to_bits),
+    )
 }
 
 /// Reads the supported percentile off a [`LatencyStats`].
@@ -930,6 +983,115 @@ mod tests {
             four.cluster.sojourn.p99_ns,
             four.max_shard_p99_ns()
         );
+    }
+
+    #[test]
+    fn mitigation_axis_applies_one_policy_per_point() {
+        let spec = ExperimentSpec::new("mitigation", "echo")
+            .with_mode(ModeSpec::Simulated)
+            .with_load(LoadSpec::Qps(4_000.0))
+            .with_requests(400)
+            .with_warmup(40)
+            .with_seed(0x5EED)
+            .with_topology(
+                TopologySpec::sharded(2)
+                    .with_replication(2)
+                    .with_fanout(FanoutSpec::Broadcast),
+            )
+            .with_axis(SweepAxis::Mitigation(vec![
+                MitigationSpec::Baseline,
+                MitigationSpec::Tied,
+                MitigationSpec::Selector(SelectorSpec::LeastLoaded),
+                MitigationSpec::Queue(QueuePolicySpec::DropDeadline {
+                    capacity: 256,
+                    slo_ns: 50_000_000,
+                }),
+            ]));
+        let output = Experiment::new(spec)
+            .with_registry(echo_registry())
+            .run()
+            .unwrap();
+        assert_eq!(output.points.len(), 4);
+        let labels: Vec<&str> = output
+            .points
+            .iter()
+            .map(|p| p.coords.mitigation.as_deref().unwrap())
+            .collect();
+        assert_eq!(
+            labels,
+            [
+                "none",
+                "tied",
+                "least-loaded",
+                "drop-deadline(256,50000000ns)"
+            ]
+        );
+        // Each policy reaches the cluster harness: the baseline is a plain cluster,
+        // tied reports duplicate-dispatch stats, the selector shows up in the
+        // configuration tag, and the shed policy reaches the per-instance queues.
+        let baseline = output.points[0].report.cluster().unwrap();
+        assert!(baseline.hedge.is_none());
+        let tied = output.points[1].report.cluster().unwrap();
+        let tied_stats = tied.hedge.expect("tied runs report dispatch stats");
+        assert!(
+            tied_stats.issued > 0,
+            "tied dispatches a second copy per leg"
+        );
+        assert!(
+            tied.cluster.configuration.contains("tied"),
+            "{}",
+            tied.cluster.configuration
+        );
+        let selector = output.points[2].report.cluster().unwrap();
+        assert!(
+            selector.cluster.configuration.contains("least-loaded"),
+            "{}",
+            selector.cluster.configuration
+        );
+        let shed = output.points[3].report.cluster().unwrap();
+        assert!(
+            shed.cluster.queue_depth.policy.contains("drop-deadline"),
+            "{}",
+            shed.cluster.queue_depth.policy
+        );
+        // The table labels rows by policy.
+        let md = output.to_markdown();
+        assert!(md.contains("| policy |"), "{md}");
+        assert!(md.contains("| least-loaded |"), "{md}");
+    }
+
+    #[test]
+    fn baseline_cache_keys_separate_every_distribution_coordinate() {
+        // Regression: the percentile-trigger baseline cache once keyed only on
+        // app/mode/threads/shape/load — two points differing in fan-out (or selector,
+        // or tied dispatch) silently shared one baseline, so the second point's hedge
+        // trigger was resolved against the wrong leg distribution.
+        let point = GridPoint {
+            app: "echo".into(),
+            mode: ModeSpec::Simulated,
+            threads: 1,
+            shards: Some(4),
+            fraction: Some(0.7),
+            qps: None,
+            hedge: None,
+            selector: SelectorSpec::RoundRobin,
+            tied: false,
+            queue: None,
+            mitigation: None,
+        };
+        let base = baseline_key(&point, 4, 2, "broadcast");
+        assert_ne!(base, baseline_key(&point, 4, 2, "partition"), "fan-out");
+        let mut selector = point.clone();
+        selector.selector = SelectorSpec::LeastLoaded;
+        assert_ne!(base, baseline_key(&selector, 4, 2, "broadcast"), "selector");
+        let mut tied = point.clone();
+        tied.tied = true;
+        assert_ne!(base, baseline_key(&tied, 4, 2, "broadcast"), "tied");
+        let mut queued = point.clone();
+        queued.queue = Some(QueuePolicySpec::Drop { capacity: 64 });
+        assert_ne!(base, baseline_key(&queued, 4, 2, "broadcast"), "queue");
+        // Identical coordinates still share the cache entry.
+        assert_eq!(base, baseline_key(&point.clone(), 4, 2, "broadcast"));
     }
 
     #[test]

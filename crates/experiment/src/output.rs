@@ -46,6 +46,9 @@ pub struct PointCoords {
     /// The hedge trigger of this point (`Some(None)` = explicitly unhedged point on a
     /// hedge axis; `None` = hedging not in play).
     pub hedge: Option<Option<HedgeSpec>>,
+    /// The tail-mitigation policy label of this point (`Some` only on a mitigation
+    /// axis, e.g. `"none"`, `"tied"`, `"least-loaded"`, `"drop-deadline(64,2000000ns)"`).
+    pub mitigation: Option<String>,
 }
 
 impl PointCoords {
@@ -151,6 +154,7 @@ impl ExperimentOutput {
         let any_shards = self.points.iter().any(|p| p.coords.shards.is_some());
         let any_fraction = self.points.iter().any(|p| p.coords.load_fraction.is_some());
         let any_hedge = self.points.iter().any(|p| p.coords.hedge.is_some());
+        let any_mitigation = self.points.iter().any(|p| p.coords.mitigation.is_some());
         let any_cluster = self.points.iter().any(|p| p.report.cluster().is_some());
 
         let mut headers = vec!["app", "mode", "threads"];
@@ -160,7 +164,9 @@ impl ExperimentOutput {
         if any_fraction {
             headers.push("load");
         }
-        if any_hedge {
+        if any_mitigation {
+            headers.push("policy");
+        } else if any_hedge {
             headers.push("hedge");
         }
         headers.extend(["offered QPS", "achieved QPS", "mean", "p50", "p95", "p99"]);
@@ -194,7 +200,15 @@ impl ExperimentOutput {
                         None => "-".to_string(),
                     });
                 }
-                if any_hedge {
+                if any_mitigation {
+                    row.push(
+                        point
+                            .coords
+                            .mitigation
+                            .clone()
+                            .unwrap_or_else(|| "-".into()),
+                    );
+                } else if any_hedge {
                     row.push(point.coords.hedge_label().unwrap_or_else(|| "-".into()));
                 }
                 row.push(match headline.offered_qps {
@@ -270,6 +284,9 @@ fn point_to_json(point: &ExperimentPoint) -> Json {
     }
     if let Some(label) = coords.hedge_label() {
         coord_pairs.push(("hedge", Json::str(label)));
+    }
+    if let Some(label) = &coords.mitigation {
+        coord_pairs.push(("mitigation", Json::str(label.clone())));
     }
     let mut pairs = vec![(
         "coords",
@@ -566,6 +583,7 @@ mod tests {
                     replication: None,
                     load_fraction: None,
                     hedge: None,
+                    mitigation: None,
                 },
                 capacity_qps: None,
                 hedge_delay_ns: None,
@@ -656,6 +674,7 @@ mod tests {
                     replication: Some(2),
                     load_fraction: Some(0.7),
                     hedge: Some(Some(HedgeSpec::Percentile(0.95))),
+                    mitigation: None,
                 },
                 capacity_qps: Some(10_000.0),
                 hedge_delay_ns: Some(1_800_000),

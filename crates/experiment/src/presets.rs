@@ -7,13 +7,14 @@
 //! figure logic lives in one place.
 
 use crate::spec::{
-    ExperimentSpec, FanoutSpec, FaultKindSpec, FaultSpec, FaultTargetSpec, HedgeSpec, LoadSpec,
-    ModeSpec, Scale, SweepAxis, TopologySpec,
+    ClassSpec, ExperimentSpec, FanoutSpec, FaultKindSpec, FaultSpec, FaultTargetSpec, HedgeSpec,
+    LoadSpec, MitigationSpec, ModeSpec, PhaseSpec, QueuePolicySpec, Scale, ScenarioSpec,
+    SelectorSpec, ShapeSpec, SweepAxis, TopologySpec,
 };
 use crate::AppId;
 
 /// The names [`preset`] resolves.
-pub const PRESET_NAMES: [&str; 4] = ["fig3", "fig6", "fig9", "fig11"];
+pub const PRESET_NAMES: [&str; 5] = ["fig3", "fig6", "fig9", "fig11", "fig12"];
 
 /// Resolves a preset by name at the given workload scale.
 #[must_use]
@@ -23,6 +24,7 @@ pub fn preset(name: &str, scale: Scale) -> Option<ExperimentSpec> {
         "fig6" => Some(fig6(scale)),
         "fig9" => Some(fig9(scale)),
         "fig11" => Some(fig11(scale)),
+        "fig12" => Some(fig12(scale)),
         _ => None,
     }
 }
@@ -111,6 +113,88 @@ pub fn fig11(scale: Scale) -> ExperimentSpec {
         ]))
 }
 
+/// Fig. 12 (extension): the tail-mitigation policy suite head-to-head — a 2×2
+/// replicated xapian broadcast cluster driven by the fig10 burst scenario (two tenant
+/// classes, square-wave bursts in the middle phase) with one replica slowed 4× over
+/// the same window, swept over one mitigation per row: none, p95 hedging, tied
+/// requests, least-loaded routing, power-of-two-choices routing, and deadline
+/// shedding.  Each row resets every other policy to the baseline, so the table reads
+/// as a direct comparison.  Simulated harness: every row is deterministic.
+#[must_use]
+pub fn fig12(scale: Scale) -> ExperimentSpec {
+    // Steady phases offer 40k QPS to the cluster (each broadcast request visits both
+    // shards; round-robin halves each shard's rate per replica, so an instance sees
+    // ~20k QPS against a ~115k QPS simulated xapian saturation rate).  The 4× fault
+    // cuts the slowed replica's headroom to ~29k QPS, so the 2.5× bursts (100k QPS,
+    // 50k per replica) drive *only the straggler* past saturation — the regime where
+    // the policies separate without drowning the whole cluster.  The span is sized so
+    // the steady rate alone offers the scale's request budget.
+    let budget = scale.requests(2_500, 20_000) as u64;
+    let steady_qps = 40_000.0;
+    let span_ns = budget * 25_000; // budget requests at 40k QPS = budget * 25µs
+    let steady_len = span_ns * 3 / 10;
+    let burst_len = span_ns * 4 / 10;
+    let period_ns = (span_ns / 20).max(1); // 8 bursts across the middle phase
+    ExperimentSpec::new("fig12_mitigation", "xapian")
+        .with_scale(scale)
+        .with_mode(ModeSpec::Simulated)
+        .with_seed(0x5EED)
+        .with_topology(
+            TopologySpec::sharded(2)
+                .with_replication(2)
+                .with_fanout(FanoutSpec::Broadcast),
+        )
+        .with_load(LoadSpec::Scenario(ScenarioSpec {
+            phases: vec![
+                PhaseSpec {
+                    duration_ns: steady_len,
+                    shape: ShapeSpec::Constant { qps: steady_qps },
+                },
+                PhaseSpec {
+                    duration_ns: burst_len,
+                    shape: ShapeSpec::Burst {
+                        base_qps: steady_qps,
+                        burst_qps: steady_qps * 2.5,
+                        period_ns,
+                        duty: 0.5,
+                    },
+                },
+                PhaseSpec {
+                    duration_ns: steady_len,
+                    shape: ShapeSpec::Constant { qps: steady_qps },
+                },
+            ],
+            classes: vec![
+                ClassSpec {
+                    name: "interactive".into(),
+                    weight: 0.8,
+                },
+                ClassSpec {
+                    name: "batch".into(),
+                    weight: 0.2,
+                },
+            ],
+            warmup_fraction: 0.1,
+        }))
+        .with_fault(FaultSpec {
+            target: FaultTargetSpec::Instance(1),
+            start_frac: 1.0 / 3.0,
+            end_frac: 2.0 / 3.0,
+            kind: FaultKindSpec::SlowDown { factor: 4.0 },
+        })
+        .with_axis(SweepAxis::Mitigation(vec![
+            MitigationSpec::Baseline,
+            MitigationSpec::Hedge(HedgeSpec::Percentile(0.5)),
+            MitigationSpec::Tied,
+            MitigationSpec::Selector(SelectorSpec::LeastLoaded),
+            MitigationSpec::Selector(SelectorSpec::PowerOfTwo),
+            MitigationSpec::Queue(QueuePolicySpec::DropDeadline {
+                capacity: 64,
+                slo_ns: 500_000,
+            }),
+        ]))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -133,5 +217,6 @@ mod tests {
         assert_eq!(preset("fig6", Scale::Quick).unwrap().grid_size(), 2 * 2 * 4);
         assert_eq!(preset("fig9", Scale::Quick).unwrap().grid_size(), 2 * 5);
         assert_eq!(preset("fig11", Scale::Quick).unwrap().grid_size(), 5);
+        assert_eq!(preset("fig12", Scale::Quick).unwrap().grid_size(), 6);
     }
 }

@@ -210,6 +210,21 @@ pub enum QueuePolicySpec {
         /// Maximum queued requests per instance.
         capacity: u64,
     },
+    /// Bounded queue that also sheds any request whose queueing delay has already
+    /// blown the SLO by the time a worker would start it (deadline-aware shedding).
+    DropDeadline {
+        /// Maximum queued requests per instance.
+        capacity: u64,
+        /// Queueing-delay budget: a request that waited longer than this is shed
+        /// instead of served.
+        slo_ns: u64,
+    },
+    /// Bounded queue; when full, the lowest-class queued request is evicted in favor
+    /// of the arriving higher-class one (priority shedding).
+    Priority {
+        /// Maximum queued requests per instance.
+        capacity: u64,
+    },
 }
 
 impl QueuePolicySpec {
@@ -223,6 +238,62 @@ impl QueuePolicySpec {
             QueuePolicySpec::Drop { capacity } => tailbench_core::queue::AdmissionPolicy::Drop {
                 capacity: capacity as usize,
             },
+            QueuePolicySpec::DropDeadline { capacity, slo_ns } => {
+                tailbench_core::queue::AdmissionPolicy::DropDeadline {
+                    capacity: capacity as usize,
+                    slo_ns,
+                }
+            }
+            QueuePolicySpec::Priority { capacity } => {
+                tailbench_core::queue::AdmissionPolicy::Priority {
+                    capacity: capacity as usize,
+                }
+            }
+        }
+    }
+
+    /// The queue capacity bound of any variant.
+    #[must_use]
+    pub fn capacity(self) -> u64 {
+        match self {
+            QueuePolicySpec::Block { capacity }
+            | QueuePolicySpec::Drop { capacity }
+            | QueuePolicySpec::DropDeadline { capacity, .. }
+            | QueuePolicySpec::Priority { capacity } => capacity,
+        }
+    }
+}
+
+/// Which replica of a shard the cluster router sends each request to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum SelectorSpec {
+    /// Deterministic `request_id % replication` striping (the classic default).
+    #[default]
+    RoundRobin,
+    /// Route to the replica with the fewest outstanding requests.
+    LeastLoaded,
+    /// Seeded power-of-two-choices: sample two replicas, pick the less loaded.
+    PowerOfTwo,
+}
+
+impl SelectorSpec {
+    /// The selector's serialized / report tag.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            SelectorSpec::RoundRobin => "round-robin",
+            SelectorSpec::LeastLoaded => "least-loaded",
+            SelectorSpec::PowerOfTwo => "p2c",
+        }
+    }
+
+    /// The equivalent core replica selector.
+    #[must_use]
+    pub fn to_core(self) -> tailbench_core::config::ReplicaSelector {
+        match self {
+            SelectorSpec::RoundRobin => tailbench_core::config::ReplicaSelector::RoundRobin,
+            SelectorSpec::LeastLoaded => tailbench_core::config::ReplicaSelector::LeastLoaded,
+            SelectorSpec::PowerOfTwo => tailbench_core::config::ReplicaSelector::PowerOfTwo,
         }
     }
 }
@@ -243,6 +314,12 @@ pub struct TopologySpec {
     pub fanout: FanoutSpec,
     /// Hedged-request policy (`None` = no hedging; requires `replication >= 2`).
     pub hedge: Option<HedgeSpec>,
+    /// How the router picks a replica within a shard (default round-robin).
+    pub selector: SelectorSpec,
+    /// Tied requests: dispatch every request to two replicas up front, first response
+    /// wins, the loser is retracted.  Requires `replication >= 2`; mutually exclusive
+    /// with hedging.
+    pub tied: bool,
 }
 
 impl TopologySpec {
@@ -254,6 +331,8 @@ impl TopologySpec {
             replication: 1,
             fanout: FanoutSpec::Auto,
             hedge: None,
+            selector: SelectorSpec::RoundRobin,
+            tied: false,
         }
     }
 
@@ -275,6 +354,20 @@ impl TopologySpec {
     #[must_use]
     pub fn with_hedge(mut self, hedge: HedgeSpec) -> TopologySpec {
         self.hedge = Some(hedge);
+        self
+    }
+
+    /// Sets the replica selector.
+    #[must_use]
+    pub fn with_selector(mut self, selector: SelectorSpec) -> TopologySpec {
+        self.selector = selector;
+        self
+    }
+
+    /// Enables tied requests (two replicas up front, first response wins).
+    #[must_use]
+    pub fn with_tied(mut self, tied: bool) -> TopologySpec {
+        self.tied = tied;
         self
     }
 }
@@ -406,6 +499,59 @@ pub struct FaultSpec {
     pub kind: FaultKindSpec,
 }
 
+/// One tail-mitigation policy of a [`SweepAxis::Mitigation`] axis.
+///
+/// Each value is a complete router/queue configuration for one grid point: the axis
+/// resets hedging, the replica selector, tied dispatch and (for `Queue` values) the
+/// admission policy to their baselines, then applies exactly this one mitigation — so
+/// the rows of a mitigation sweep are directly comparable single-policy runs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum MitigationSpec {
+    /// No mitigation: round-robin routing, no hedging, the spec's base queue.
+    Baseline,
+    /// Hedged requests with the given trigger.
+    Hedge(HedgeSpec),
+    /// Tied requests (two replicas up front, first response wins).
+    Tied,
+    /// A load-aware replica selector.
+    Selector(SelectorSpec),
+    /// An admission (queue) policy, replacing the spec's base queue.
+    Queue(QueuePolicySpec),
+}
+
+impl MitigationSpec {
+    /// The policy label used in report rows (e.g. `none`, `hedge(p95)`,
+    /// `drop-deadline(64,2000000ns)`).
+    #[must_use]
+    pub fn name(&self) -> String {
+        match self {
+            MitigationSpec::Baseline => "none".to_string(),
+            MitigationSpec::Hedge(HedgeSpec::DelayNs(delay_ns)) => {
+                format!("hedge({delay_ns}ns)")
+            }
+            MitigationSpec::Hedge(HedgeSpec::Percentile(p)) => {
+                let label = format!("{:.4}", p * 100.0);
+                let label = label.trim_end_matches('0').trim_end_matches('.');
+                format!("hedge(p{label})")
+            }
+            MitigationSpec::Tied => "tied".to_string(),
+            MitigationSpec::Selector(selector) => selector.name().to_string(),
+            MitigationSpec::Queue(QueuePolicySpec::Block { capacity }) => {
+                format!("block({capacity})")
+            }
+            MitigationSpec::Queue(QueuePolicySpec::Drop { capacity }) => {
+                format!("drop({capacity})")
+            }
+            MitigationSpec::Queue(QueuePolicySpec::DropDeadline { capacity, slo_ns }) => {
+                format!("drop-deadline({capacity},{slo_ns}ns)")
+            }
+            MitigationSpec::Queue(QueuePolicySpec::Priority { capacity }) => {
+                format!("priority({capacity})")
+            }
+        }
+    }
+}
+
 /// One sweep axis.  The grid of measured points is the Cartesian product of all axes,
 /// in spec order; each axis overrides the corresponding base field of the spec.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -425,6 +571,9 @@ pub enum SweepAxis {
     /// Sweep the hedged-request trigger (`None` = unhedged; requires a topology with
     /// `replication >= 2`).
     Hedge(Vec<Option<HedgeSpec>>),
+    /// Sweep complete tail-mitigation policies (requires a topology; each value is a
+    /// single policy applied on top of a reset baseline — see [`MitigationSpec`]).
+    Mitigation(Vec<MitigationSpec>),
 }
 
 impl SweepAxis {
@@ -439,6 +588,7 @@ impl SweepAxis {
             SweepAxis::Threads(_) => "threads",
             SweepAxis::Shards(_) => "shards",
             SweepAxis::Hedge(_) => "hedge",
+            SweepAxis::Mitigation(_) => "mitigation",
         }
     }
 
@@ -453,6 +603,7 @@ impl SweepAxis {
             SweepAxis::Threads(v) => v.len(),
             SweepAxis::Shards(v) => v.len(),
             SweepAxis::Hedge(v) => v.len(),
+            SweepAxis::Mitigation(v) => v.len(),
         }
     }
 
@@ -749,27 +900,48 @@ impl ExperimentSpec {
         {
             return fail("requests is 0; configure at least one measured request".into());
         }
-        if let Some(
-            QueuePolicySpec::Block { capacity: 0 } | QueuePolicySpec::Drop { capacity: 0 },
-        ) = self.queue
-        {
-            return fail(
-                "queue capacity is 0: every request would be rejected (drop) or \
-                 deadlock the producer (block); use a capacity >= 1"
-                    .into(),
+        let mitigations: Vec<&MitigationSpec> = self
+            .sweep
+            .iter()
+            .filter_map(|a| match a {
+                SweepAxis::Mitigation(values) => Some(values.iter()),
+                _ => None,
+            })
+            .flatten()
+            .collect();
+        let any_simulated = self.mode == ModeSpec::Simulated
+            || self.sweep.iter().any(
+                |a| matches!(a, SweepAxis::Mode(modes) if modes.contains(&ModeSpec::Simulated)),
             );
-        }
-        if matches!(self.queue, Some(QueuePolicySpec::Block { .. }))
-            && (self.mode == ModeSpec::Simulated
-                || self.sweep.iter().any(
-                    |a| matches!(a, SweepAxis::Mode(modes) if modes.contains(&ModeSpec::Simulated)),
-                ))
-        {
-            return fail(
-                "a block queue cannot backpressure the simulator's fixed virtual-time \
-                 arrivals; use a drop queue (or no queue) for simulated points"
-                    .into(),
-            );
+        let queues_in_play = self
+            .queue
+            .iter()
+            .chain(mitigations.iter().filter_map(|m| match m {
+                MitigationSpec::Queue(queue) => Some(queue),
+                _ => None,
+            }));
+        for queue in queues_in_play {
+            if queue.capacity() == 0 {
+                return fail(
+                    "queue capacity is 0: every request would be rejected (drop) or \
+                     deadlock the producer (block); use a capacity >= 1"
+                        .into(),
+                );
+            }
+            if matches!(queue, QueuePolicySpec::DropDeadline { slo_ns: 0, .. }) {
+                return fail(
+                    "drop-deadline slo_ns is 0: every request would be shed the moment \
+                     a worker picked it up; use a positive queueing-delay budget"
+                        .into(),
+                );
+            }
+            if matches!(queue, QueuePolicySpec::Block { .. }) && any_simulated {
+                return fail(
+                    "a block queue cannot backpressure the simulator's fixed virtual-time \
+                     arrivals; use a drop queue (or no queue) for simulated points"
+                        .into(),
+                );
+            }
         }
         // The largest instance count any grid point can reach, for fault-target bounds.
         let max_instances = match self.topology {
@@ -818,6 +990,10 @@ impl ExperimentSpec {
                 _ => None,
             })
             .flatten()
+            .chain(mitigations.iter().filter_map(|m| match m {
+                MitigationSpec::Hedge(hedge) => Some(hedge),
+                _ => None,
+            }))
             .collect();
         let any_hedge = self.topology.and_then(|t| t.hedge).is_some() || !hedges_in_axes.is_empty();
         if any_hedge {
@@ -833,6 +1009,67 @@ impl ExperimentSpec {
                     topology.replication
                 ));
             }
+        }
+        let any_tied = self.topology.is_some_and(|t| t.tied)
+            || mitigations
+                .iter()
+                .any(|m| matches!(m, MitigationSpec::Tied));
+        if any_tied {
+            let Some(topology) = self.topology else {
+                return fail(
+                    "tied requests require a topology (they are a cluster-router policy)".into(),
+                );
+            };
+            if topology.replication < 2 {
+                return fail(format!(
+                    "tied requests require replication >= 2 (got {}): the second copy \
+                     needs a replica to go to",
+                    topology.replication
+                ));
+            }
+        }
+        if self.topology.is_some_and(|t| t.tied) && any_hedge {
+            return fail(
+                "tied requests and hedging are mutually exclusive on the base topology: \
+                 tied dispatches the second copy up front, hedging on a trigger delay"
+                    .into(),
+            );
+        }
+        if !mitigations.is_empty() && self.topology.is_none() {
+            return fail(
+                "a Mitigation axis requires a topology (mitigations are cluster-router \
+                 and per-instance queue policies; add TopologySpec::sharded)"
+                    .into(),
+            );
+        }
+        // Mirror the core harness rule: a hedged TCP cluster run cannot use a shedding
+        // admission policy (a server-side shed is invisible to the client-side hedge
+        // engine, which would wait forever for the dropped leg).
+        let any_tcp = matches!(
+            self.mode,
+            ModeSpec::Loopback { .. } | ModeSpec::Networked { .. }
+        ) || self.sweep.iter().any(|a| {
+            matches!(a, SweepAxis::Mode(modes) if modes.iter().any(|m| {
+                matches!(m, ModeSpec::Loopback { .. } | ModeSpec::Networked { .. })
+            }))
+        });
+        if any_hedge
+            && any_tcp
+            && matches!(
+                self.queue,
+                Some(
+                    QueuePolicySpec::Drop { .. }
+                        | QueuePolicySpec::DropDeadline { .. }
+                        | QueuePolicySpec::Priority { .. }
+                )
+            )
+        {
+            return fail(
+                "hedged TCP cluster points cannot use a shedding admission policy \
+                 (a server-side shed is invisible to the client-side hedge engine); \
+                 drop the queue, the hedge, or the TCP mode"
+                    .into(),
+            );
         }
         for hedge in self
             .topology
@@ -1116,6 +1353,16 @@ impl QueuePolicySpec {
         match self {
             QueuePolicySpec::Block { capacity } => Json::obj(vec![("block", Json::U64(capacity))]),
             QueuePolicySpec::Drop { capacity } => Json::obj(vec![("drop", Json::U64(capacity))]),
+            QueuePolicySpec::DropDeadline { capacity, slo_ns } => Json::obj(vec![(
+                "drop_deadline",
+                Json::obj(vec![
+                    ("capacity", Json::U64(capacity)),
+                    ("slo_ns", Json::U64(slo_ns)),
+                ]),
+            )]),
+            QueuePolicySpec::Priority { capacity } => {
+                Json::obj(vec![("priority", Json::U64(capacity))])
+            }
         }
     }
 
@@ -1130,9 +1377,39 @@ impl QueuePolicySpec {
                 .as_u64()
                 .map(|capacity| QueuePolicySpec::Drop { capacity })
                 .ok_or_else(|| decode_err(context, "drop capacity must be an integer")),
+            ("drop_deadline", Some(body)) => {
+                expect_keys(body, &["capacity", "slo_ns"], context)?;
+                Ok(QueuePolicySpec::DropDeadline {
+                    capacity: u64_field(body, "capacity", context)?,
+                    slo_ns: u64_field(body, "slo_ns", context)?,
+                })
+            }
+            ("priority", Some(body)) => body
+                .as_u64()
+                .map(|capacity| QueuePolicySpec::Priority { capacity })
+                .ok_or_else(|| decode_err(context, "priority capacity must be an integer")),
             (tag, _) => Err(decode_err(
                 context,
-                &format!("unknown queue policy '{tag}' (block, drop)"),
+                &format!("unknown queue policy '{tag}' (block, drop, drop_deadline, priority)"),
+            )),
+        }
+    }
+}
+
+impl SelectorSpec {
+    fn to_json(self) -> Json {
+        Json::str(self.name())
+    }
+
+    fn from_json(value: &Json) -> Result<SelectorSpec, HarnessError> {
+        let context = "topology.selector";
+        match value.as_str() {
+            Some("round-robin") => Ok(SelectorSpec::RoundRobin),
+            Some("least-loaded") => Ok(SelectorSpec::LeastLoaded),
+            Some("p2c") => Ok(SelectorSpec::PowerOfTwo),
+            _ => Err(decode_err(
+                context,
+                "unknown selector (round-robin, least-loaded, p2c)",
             )),
         }
     }
@@ -1148,6 +1425,12 @@ impl TopologySpec {
         if let Some(hedge) = self.hedge {
             pairs.push(("hedge", hedge.to_json()));
         }
+        if self.selector != SelectorSpec::RoundRobin {
+            pairs.push(("selector", self.selector.to_json()));
+        }
+        if self.tied {
+            pairs.push(("tied", Json::Bool(true)));
+        }
         Json::obj(pairs)
     }
 
@@ -1155,7 +1438,14 @@ impl TopologySpec {
         let context = "topology";
         expect_keys(
             value,
-            &["shards", "replication", "fanout", "hedge"],
+            &[
+                "shards",
+                "replication",
+                "fanout",
+                "hedge",
+                "selector",
+                "tied",
+            ],
             context,
         )?;
         Ok(TopologySpec {
@@ -1163,6 +1453,19 @@ impl TopologySpec {
             replication: usize_field(value, "replication", context)?,
             fanout: FanoutSpec::from_json(field(value, "fanout", context)?)?,
             hedge: value.get("hedge").map(HedgeSpec::from_json).transpose()?,
+            selector: value
+                .get("selector")
+                .map(SelectorSpec::from_json)
+                .transpose()?
+                .unwrap_or(SelectorSpec::RoundRobin),
+            tied: value
+                .get("tied")
+                .map(|t| {
+                    t.as_bool()
+                        .ok_or_else(|| decode_err(context, "tied must be a boolean"))
+                })
+                .transpose()?
+                .unwrap_or(false),
         })
     }
 }
@@ -1483,6 +1786,16 @@ impl SweepAxis {
                         .collect(),
                 ),
             )]),
+            SweepAxis::Mitigation(values) => Json::obj(vec![(
+                "mitigation",
+                Json::Arr(
+                    values
+                        .iter()
+                        .copied()
+                        .map(MitigationSpec::to_json)
+                        .collect(),
+                ),
+            )]),
         }
     }
 
@@ -1556,11 +1869,45 @@ impl SweepAxis {
                     })
                     .collect::<Result<_, _>>()?,
             )),
+            "mitigation" => Ok(SweepAxis::Mitigation(
+                items
+                    .iter()
+                    .map(MitigationSpec::from_json)
+                    .collect::<Result<_, _>>()?,
+            )),
             tag => Err(decode_err(
                 context,
                 &format!(
-                    "unknown axis '{tag}' (app, mode, load_fraction, qps, threads, shards, hedge)"
+                    "unknown axis '{tag}' (app, mode, load_fraction, qps, threads, shards, \
+                     hedge, mitigation)"
                 ),
+            )),
+        }
+    }
+}
+
+impl MitigationSpec {
+    fn to_json(self) -> Json {
+        match self {
+            MitigationSpec::Baseline => Json::str("none"),
+            MitigationSpec::Tied => Json::str("tied"),
+            MitigationSpec::Hedge(hedge) => Json::obj(vec![("hedge", hedge.to_json())]),
+            MitigationSpec::Selector(selector) => Json::obj(vec![("selector", selector.to_json())]),
+            MitigationSpec::Queue(queue) => Json::obj(vec![("queue", queue.to_json())]),
+        }
+    }
+
+    fn from_json(value: &Json) -> Result<MitigationSpec, HarnessError> {
+        let context = "sweep.mitigation";
+        match variant(value, context)? {
+            ("none", None) => Ok(MitigationSpec::Baseline),
+            ("tied", None) => Ok(MitigationSpec::Tied),
+            ("hedge", Some(body)) => HedgeSpec::from_json(body).map(MitigationSpec::Hedge),
+            ("selector", Some(body)) => SelectorSpec::from_json(body).map(MitigationSpec::Selector),
+            ("queue", Some(body)) => QueuePolicySpec::from_json(body).map(MitigationSpec::Queue),
+            (tag, _) => Err(decode_err(
+                context,
+                &format!("unknown mitigation '{tag}' (none, tied, hedge, selector, queue)"),
             )),
         }
     }
@@ -1823,6 +2170,163 @@ mod tests {
             .unwrap_err()
             .to_string()
             .contains("unknown queue policy"));
+    }
+
+    #[test]
+    fn shedding_policies_and_selectors_round_trip_and_validate() {
+        // The two new admission variants encode, decode and map to the core policy.
+        for queue in [
+            QueuePolicySpec::DropDeadline {
+                capacity: 64,
+                slo_ns: 2_000_000,
+            },
+            QueuePolicySpec::Priority { capacity: 32 },
+        ] {
+            let spec = fanout_spec().with_queue(queue);
+            assert!(spec.validate().is_ok(), "{queue:?}");
+            let back = ExperimentSpec::from_json_str(&spec.to_json_string()).unwrap();
+            assert_eq!(back, spec);
+        }
+        assert_eq!(
+            QueuePolicySpec::DropDeadline {
+                capacity: 8,
+                slo_ns: 500
+            }
+            .to_admission(),
+            tailbench_core::queue::AdmissionPolicy::DropDeadline {
+                capacity: 8,
+                slo_ns: 500
+            }
+        );
+        assert_eq!(
+            QueuePolicySpec::Priority { capacity: 9 }.to_admission(),
+            tailbench_core::queue::AdmissionPolicy::Priority { capacity: 9 }
+        );
+        // A zero SLO budget sheds everything; reject it like zero capacity.
+        let zero_slo = fanout_spec().with_queue(QueuePolicySpec::DropDeadline {
+            capacity: 64,
+            slo_ns: 0,
+        });
+        let err = zero_slo.validate().unwrap_err().to_string();
+        assert!(err.contains("slo_ns"), "{err}");
+
+        // Selector and tied fields on the topology round-trip; defaults stay omitted
+        // so pre-existing spec files parse unchanged.
+        let spec = fanout_spec();
+        assert!(!spec.to_json_string().contains("selector"));
+        assert!(!spec.to_json_string().contains("tied"));
+        let mut topo = spec.topology.unwrap();
+        topo = topo
+            .with_selector(SelectorSpec::LeastLoaded)
+            .with_tied(false);
+        let spec = spec.with_topology(topo);
+        let text = spec.to_json_string();
+        assert!(text.contains("\"selector\": \"least-loaded\""), "{text}");
+        let back = ExperimentSpec::from_json_str(&text).unwrap();
+        assert_eq!(back, spec);
+
+        // Tied needs replicas and excludes hedging.
+        let tied_solo = ExperimentSpec::new("x", "xapian")
+            .with_topology(TopologySpec::sharded(2).with_tied(true));
+        assert!(tied_solo.validate().is_err());
+        let tied_ok = ExperimentSpec::new("x", "xapian")
+            .with_topology(TopologySpec::sharded(2).with_replication(2).with_tied(true));
+        assert!(tied_ok.validate().is_ok());
+        let tied_and_hedged = ExperimentSpec::new("x", "xapian").with_topology(
+            TopologySpec::sharded(2)
+                .with_replication(2)
+                .with_tied(true)
+                .with_hedge(HedgeSpec::DelayNs(1_000)),
+        );
+        let err = tied_and_hedged.validate().unwrap_err().to_string();
+        assert!(err.contains("mutually exclusive"), "{err}");
+    }
+
+    #[test]
+    fn mitigation_axis_round_trips_and_validates() {
+        let policies = vec![
+            MitigationSpec::Baseline,
+            MitigationSpec::Hedge(HedgeSpec::Percentile(0.95)),
+            MitigationSpec::Tied,
+            MitigationSpec::Selector(SelectorSpec::LeastLoaded),
+            MitigationSpec::Selector(SelectorSpec::PowerOfTwo),
+            MitigationSpec::Queue(QueuePolicySpec::DropDeadline {
+                capacity: 64,
+                slo_ns: 2_000_000,
+            }),
+        ];
+        let spec = ExperimentSpec::new("mitigation", "xapian")
+            .with_mode(ModeSpec::Simulated)
+            .with_topology(
+                TopologySpec::sharded(2)
+                    .with_replication(2)
+                    .with_fanout(FanoutSpec::Broadcast),
+            )
+            .with_load(LoadSpec::Qps(4_000.0))
+            .with_axis(SweepAxis::Mitigation(policies.clone()));
+        assert!(spec.validate().is_ok());
+        assert_eq!(spec.grid_size(), 6);
+        let back = ExperimentSpec::from_json_str(&spec.to_json_string()).unwrap();
+        assert_eq!(back, spec);
+
+        // Policy labels are stable (they name report rows and golden tables).
+        let labels: Vec<String> = policies.iter().map(MitigationSpec::name).collect();
+        assert_eq!(
+            labels,
+            [
+                "none",
+                "hedge(p95)",
+                "tied",
+                "least-loaded",
+                "p2c",
+                "drop-deadline(64,2000000ns)"
+            ]
+        );
+
+        // The axis is a cluster-policy sweep: no topology, no axis.
+        let mut shardless = spec.clone();
+        shardless.topology = None;
+        let err = shardless.validate().unwrap_err().to_string();
+        assert!(err.contains("topology"), "{err}");
+
+        // Tied/hedge entries need a second replica, like the base-topology forms.
+        let under_replicated = ExperimentSpec::new("x", "xapian")
+            .with_mode(ModeSpec::Simulated)
+            .with_topology(TopologySpec::sharded(2))
+            .with_axis(SweepAxis::Mitigation(vec![MitigationSpec::Tied]));
+        assert!(under_replicated.validate().is_err());
+
+        // Queue entries go through the same capacity/backpressure checks.
+        let zero_cap = ExperimentSpec::new("x", "xapian")
+            .with_mode(ModeSpec::Simulated)
+            .with_topology(TopologySpec::sharded(2).with_replication(2))
+            .with_axis(SweepAxis::Mitigation(vec![MitigationSpec::Queue(
+                QueuePolicySpec::Drop { capacity: 0 },
+            )]));
+        assert!(zero_cap.validate().is_err());
+        let block_sim = ExperimentSpec::new("x", "xapian")
+            .with_mode(ModeSpec::Simulated)
+            .with_topology(TopologySpec::sharded(2).with_replication(2))
+            .with_axis(SweepAxis::Mitigation(vec![MitigationSpec::Queue(
+                QueuePolicySpec::Block { capacity: 16 },
+            )]));
+        let err = block_sim.validate().unwrap_err().to_string();
+        assert!(err.contains("backpressure"), "{err}");
+
+        // Hedged TCP points cannot share a shedding base queue (core rule, mirrored).
+        let tcp_hedge_shed = ExperimentSpec::new("x", "xapian")
+            .with_mode(ModeSpec::loopback())
+            .with_topology(
+                TopologySpec::sharded(2)
+                    .with_replication(2)
+                    .with_hedge(HedgeSpec::DelayNs(1_000)),
+            )
+            .with_queue(QueuePolicySpec::Drop { capacity: 64 });
+        let err = tcp_hedge_shed.validate().unwrap_err().to_string();
+        assert!(
+            err.contains("invisible to the client-side hedge engine"),
+            "{err}"
+        );
     }
 
     #[test]

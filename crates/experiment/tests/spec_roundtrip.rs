@@ -19,8 +19,9 @@ use std::sync::Arc;
 use tailbench_core::app::{CostModel, EchoApp, InstructionRateModel};
 use tailbench_experiment::{
     AppBuilder, BenchApp, ClassSpec, Experiment, ExperimentSpec, FanoutSpec, FaultKindSpec,
-    FaultSpec, FaultTargetSpec, HedgeSpec, LoadSpec, ModeSpec, PhaseSpec, QueuePolicySpec,
-    Registry, Scale, ScenarioSpec, SeedPolicy, ShapeSpec, SweepAxis, TopologySpec,
+    FaultSpec, FaultTargetSpec, HedgeSpec, LoadSpec, MitigationSpec, ModeSpec, PhaseSpec,
+    QueuePolicySpec, Registry, Scale, ScenarioSpec, SeedPolicy, SelectorSpec, ShapeSpec, SweepAxis,
+    TopologySpec,
 };
 
 // ---------------------------------------------------------------------------
@@ -54,6 +55,27 @@ fn queue_strategy() -> impl Strategy<Value = QueuePolicySpec> {
     prop_oneof![
         (1u64..1_000_000).prop_map(|capacity| QueuePolicySpec::Block { capacity }),
         (1u64..1_000_000).prop_map(|capacity| QueuePolicySpec::Drop { capacity }),
+        ((1u64..1_000_000), (1u64..1_000_000_000))
+            .prop_map(|(capacity, slo_ns)| { QueuePolicySpec::DropDeadline { capacity, slo_ns } }),
+        (1u64..1_000_000).prop_map(|capacity| QueuePolicySpec::Priority { capacity }),
+    ]
+}
+
+fn selector_strategy() -> impl Strategy<Value = SelectorSpec> {
+    prop_oneof![
+        (0u64..1).prop_map(|_| SelectorSpec::RoundRobin),
+        (0u64..1).prop_map(|_| SelectorSpec::LeastLoaded),
+        (0u64..1).prop_map(|_| SelectorSpec::PowerOfTwo),
+    ]
+}
+
+fn mitigation_strategy() -> impl Strategy<Value = MitigationSpec> {
+    prop_oneof![
+        (0u64..1).prop_map(|_| MitigationSpec::Baseline),
+        hedge_strategy().prop_map(MitigationSpec::Hedge),
+        (0u64..1).prop_map(|_| MitigationSpec::Tied),
+        selector_strategy().prop_map(MitigationSpec::Selector),
+        queue_strategy().prop_map(MitigationSpec::Queue),
     ]
 }
 
@@ -167,6 +189,11 @@ fn spec_strategy() -> impl Strategy<Value = ExperimentSpec> {
                 any::<bool>(),
             ),
             (queue_strategy(), any::<bool>()),
+            (
+                selector_strategy(),
+                any::<bool>(),
+                prop::collection::vec(mitigation_strategy(), 0..4),
+            ),
         ),
     )
         .prop_map(
@@ -174,7 +201,11 @@ fn spec_strategy() -> impl Strategy<Value = ExperimentSpec> {
                 (mode, scale_pick, load, threads),
                 (requests, seed, repeats, fixed_seeds),
                 (shards, replication, fanout, hedge),
-                ((faults, axis_count, with_topology, with_hedge), (queue, with_queue)),
+                (
+                    (faults, axis_count, with_topology, with_hedge),
+                    (queue, with_queue),
+                    (selector, tied, mitigations),
+                ),
             )| {
                 let mut spec = ExperimentSpec::new("prop", "echo")
                     .with_mode(mode)
@@ -199,11 +230,16 @@ fn spec_strategy() -> impl Strategy<Value = ExperimentSpec> {
                 if with_topology {
                     let mut topology = TopologySpec::sharded(shards)
                         .with_replication(replication)
-                        .with_fanout(fanout);
+                        .with_fanout(fanout)
+                        .with_selector(selector)
+                        .with_tied(tied);
                     if with_hedge {
                         topology = topology.with_hedge(hedge);
                     }
                     spec = spec.with_topology(topology);
+                    if !mitigations.is_empty() {
+                        spec = spec.with_axis(SweepAxis::Mitigation(mitigations));
+                    }
                 }
                 if with_queue {
                     spec = spec.with_queue(queue);

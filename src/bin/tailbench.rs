@@ -36,7 +36,8 @@ USAGE:
                     [--check] [--strict]
 
 A spec file is the JSON form of an ExperimentSpec (see `tailbench export fig9`
-for a template).  Presets reproduce the paper figures: fig3, fig6, fig9, fig11.
+for a template).  Presets reproduce the paper figures: fig3, fig6, fig9, fig11,
+fig12.
 
 `bench` runs the pinned perf-trajectory suite (default `--suite des`, the
 DES-deterministic subset).  `--write <path>` (or `auto` for the next free
