@@ -317,7 +317,7 @@ struct PendingFanout {
 pub struct ClusterCollector {
     cluster: StatsCollector,
     per_shard: Vec<StatsCollector>,
-    pending: std::collections::HashMap<u64, PendingFanout>,
+    pending: std::collections::BTreeMap<u64, PendingFanout>,
 }
 
 impl ClusterCollector {
@@ -329,7 +329,7 @@ impl ClusterCollector {
             per_shard: (0..shards.max(1))
                 .map(|_| StatsCollector::new(warmup_count))
                 .collect(),
-            pending: std::collections::HashMap::new(),
+            pending: std::collections::BTreeMap::new(),
         }
     }
 

@@ -9,6 +9,10 @@ pub enum HarnessError {
     Io(std::io::Error),
     /// The requested configuration is inconsistent (e.g. closed-loop load over TCP).
     Config(String),
+    /// A broken internal invariant surfaced as an error instead of a panic, so a
+    /// wedged run can still be reported and torn down (worker-thread panics,
+    /// out-of-range instance indices, lost channel endpoints).
+    Internal(String),
 }
 
 impl fmt::Display for HarnessError {
@@ -16,6 +20,7 @@ impl fmt::Display for HarnessError {
         match self {
             HarnessError::Io(e) => write!(f, "harness i/o error: {e}"),
             HarnessError::Config(msg) => write!(f, "invalid harness configuration: {msg}"),
+            HarnessError::Internal(msg) => write!(f, "internal harness invariant violated: {msg}"),
         }
     }
 }
@@ -24,7 +29,7 @@ impl std::error::Error for HarnessError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             HarnessError::Io(e) => Some(e),
-            HarnessError::Config(_) => None,
+            HarnessError::Config(_) | HarnessError::Internal(_) => None,
         }
     }
 }

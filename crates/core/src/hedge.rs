@@ -24,6 +24,7 @@
 
 use crate::collector::ClusterCollector;
 use crate::config::{ClusterConfig, HedgePolicy};
+use crate::error::HarnessError;
 use crate::report::HedgeStats;
 use crate::request::{Request, RequestRecord};
 use crate::time::RunClock;
@@ -121,7 +122,7 @@ impl HedgeEngine {
         mut collector: ClusterCollector,
         reissue: Box<dyn FnMut(usize, Request) -> bool + Send>,
         retract: Box<dyn FnMut(usize, u64) -> bool + Send>,
-    ) -> Self {
+    ) -> Result<Self, HarnessError> {
         let (tx, rx) = channel::<HedgeMsg>();
         let handle = std::thread::Builder::new()
             .name("tb-hedge-engine".into())
@@ -283,9 +284,8 @@ impl HedgeEngine {
                     }
                 }
                 (stats, collector)
-            })
-            .expect("failed to spawn hedge engine thread");
-        HedgeEngine { tx, handle }
+            })?;
+        Ok(HedgeEngine { tx, handle })
     }
 
     /// A sender for router and forwarder threads.
@@ -296,12 +296,14 @@ impl HedgeEngine {
     /// Drops the local sender and waits for the engine to drain, returning the hedge
     /// bookkeeping and the populated cluster collector.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the engine thread itself panicked.
-    pub(crate) fn join(self) -> (HedgeStats, ClusterCollector) {
+    /// Returns [`HarnessError::Internal`] if the engine thread panicked.
+    pub(crate) fn join(self) -> Result<(HedgeStats, ClusterCollector), HarnessError> {
         drop(self.tx);
-        self.handle.join().expect("hedge engine thread panicked")
+        self.handle
+            .join()
+            .map_err(|_| HarnessError::Internal("hedge engine thread panicked".into()))
     }
 }
 
@@ -343,7 +345,8 @@ mod tests {
             ClusterCollector::new(1, 0),
             Box::new(move |instance, request| hedged_tx.send((instance, request)).is_ok()),
             Box::new(|_, _| false),
-        );
+        )
+        .expect("spawn hedge engine");
         let tx = engine.sender();
         // Leg 0 never gets a primary response: the engine must reissue it to the other
         // replica (instance 1) after ~2 ms.
@@ -400,7 +403,7 @@ mod tests {
         .unwrap();
         tx.send(HedgeMsg::NoMoreDispatches).unwrap();
         drop(tx);
-        let (stats, collector) = engine.join();
+        let (stats, collector) = engine.join().expect("join hedge engine");
         assert_eq!(stats.issued, 2);
         assert_eq!(stats.wins, 1, "only the first leg's hedge won");
         assert_eq!(
@@ -428,7 +431,8 @@ mod tests {
             ClusterCollector::new(1, 0),
             Box::new(|_, _| panic!("no hedge expected")),
             Box::new(|_, _| false),
-        );
+        )
+        .expect("spawn hedge engine");
         let tx = engine.sender();
         for id in 0..10u64 {
             tx.send(HedgeMsg::Dispatched {
@@ -446,7 +450,7 @@ mod tests {
         }
         tx.send(HedgeMsg::NoMoreDispatches).unwrap();
         drop(tx);
-        let (stats, collector) = engine.join();
+        let (stats, collector) = engine.join().expect("join hedge engine");
         assert_eq!(stats, HedgeStats::default());
         assert_eq!(collector.cluster_stats().measured(), 10);
     }
@@ -467,7 +471,8 @@ mod tests {
                 retract_tx.send((instance, id)).unwrap();
                 true // pretend the loser was still queued
             }),
-        );
+        )
+        .expect("spawn hedge engine");
         let tx = engine.sender();
         // Leg 0: secondary (instance 1) answers first -> win + retraction of instance 0.
         tx.send(HedgeMsg::DispatchedTied {
@@ -520,7 +525,7 @@ mod tests {
         .unwrap();
         tx.send(HedgeMsg::NoMoreDispatches).unwrap();
         drop(tx);
-        let (stats, collector) = engine.join();
+        let (stats, collector) = engine.join().expect("join hedge engine");
         assert_eq!(stats.issued, 3, "every tied leg issues one extra copy");
         assert_eq!(stats.wins, 1, "only leg 0's secondary answered first");
         assert_eq!(collector.cluster_stats().measured(), 3);

@@ -59,11 +59,16 @@ pub(crate) fn shard_proto(config: &BenchmarkConfig) -> StatsCollector {
 ///
 /// The factory provides request payloads; `config.load` controls their timing.  Warmup
 /// requests are issued at the same rate as measured ones and excluded from statistics.
+///
+/// # Errors
+///
+/// Returns [`HarnessError::Io`] if worker threads cannot be spawned and
+/// [`HarnessError::Internal`] if a harness thread panics mid-run.
 pub fn run_integrated(
     app: &Arc<dyn ServerApp>,
     factory: &mut dyn RequestFactory,
     config: &BenchmarkConfig,
-) -> RunReport {
+) -> Result<RunReport, HarnessError> {
     app.prepare();
     let clock = RunClock::new();
     let serve_app = interfered(app, config, 0, clock);
@@ -76,17 +81,19 @@ pub fn run_integrated(
         config.worker_threads,
         shard_proto(config),
         None,
-    );
+    )?;
 
     let (collector_stats, pacing) = match &config.load {
         LoadMode::Closed { think_ns } => {
-            run_closed_loop(factory, config, *think_ns, clock, queue, pool)
+            run_closed_loop(factory, config, *think_ns, clock, queue, pool)?
         }
         open => {
             let mut rng = seeded_rng(config.seed, 1);
             let times = open
                 .schedule(&mut rng, config.total_requests())
-                .expect("open-loop by match");
+                .ok_or_else(|| {
+                    HarnessError::Internal("open-loop mode produced no schedule".into())
+                })?;
             let shaper = TrafficShaper::from_times(times, 0, || factory.next_request());
             let max_ns = config.max_duration.as_nanos() as u64;
             let mut pacing = PacingRecorder::new();
@@ -105,14 +112,14 @@ pub fn run_integrated(
                 }
             }
             queue.close();
-            (pool.join().stats, pacing)
+            (pool.join()?.stats, pacing)
         }
     };
 
     let mut report = build_report(app.name(), "integrated", config, &collector_stats);
     report.queue_depth = observer.summary();
     report.pacing = pacing.stats();
-    report
+    Ok(report)
 }
 
 /// Closed-loop driver used only by the coordinated-omission ablation: a single client
@@ -128,7 +135,7 @@ fn run_closed_loop(
     clock: RunClock,
     queue: RequestQueue,
     pool: WorkerPool,
-) -> (StatsCollector, PacingRecorder) {
+) -> Result<(StatsCollector, PacingRecorder), HarnessError> {
     use crate::request::{Request, RequestId};
     use crossbeam::channel::unbounded;
 
@@ -160,9 +167,9 @@ fn run_closed_loop(
     }
     drop(done_tx);
     queue.close();
-    let workers = pool.join();
+    let workers = pool.join()?;
     collector.merge(&workers.stats);
-    (collector, PacingRecorder::new())
+    Ok((collector, PacingRecorder::new()))
 }
 
 /// Runs one cluster measurement in the integrated configuration.
@@ -224,7 +231,7 @@ pub fn run_cluster_integrated(
             config.worker_threads,
             StatsCollector::new(warmup),
             Some(Arc::clone(&buffers)),
-        ));
+        )?);
         let (resp_tx, resp_rx) = crossbeam::channel::unbounded();
         leg_txs.push(resp_tx);
         leg_rxs.push(resp_rx);
@@ -234,7 +241,7 @@ pub fn run_cluster_integrated(
     // engine, which forwards only each leg's first response into the collector it owns,
     // reissues hedge stragglers straight onto the alternate replica's queue, and
     // retracts still-queued tied losers.
-    let engine = (hedge.is_some() || tied).then(|| {
+    let engine = if hedge.is_some() || tied {
         let queue_txs: Vec<_> = queues.iter().map(RequestQueue::sender).collect();
         let resp_txs = leg_txs.clone();
         let inflight = Arc::clone(&outstanding);
@@ -259,7 +266,7 @@ pub fn run_cluster_integrated(
             }
             cancelled
         });
-        HedgeEngine::spawn(
+        Some(HedgeEngine::spawn(
             hedge,
             cluster.clone(),
             width,
@@ -267,8 +274,10 @@ pub fn run_cluster_integrated(
             new_cluster_collector(),
             reissue,
             retract,
-        )
-    });
+        )?)
+    } else {
+        None
+    };
     let engine_tx = engine.as_ref().map(HedgeEngine::sender);
 
     let mut forwarders = Vec::with_capacity(apps.len());
@@ -301,8 +310,7 @@ pub fn run_cluster_integrated(
                         }
                     }
                     partial
-                })
-                .expect("failed to spawn cluster forwarder"),
+                })?,
         );
     }
 
@@ -310,7 +318,7 @@ pub fn run_cluster_integrated(
     let times = config
         .load
         .schedule(&mut rng, config.total_requests())
-        .expect("checked open-loop above");
+        .ok_or_else(|| HarnessError::Internal("open-loop mode produced no schedule".into()))?;
     let shaper = TrafficShaper::from_times(times, 0, || factory.next_request());
     let max_ns = config.max_duration.as_nanos() as u64;
     let mut pacing = PacingRecorder::new();
@@ -391,15 +399,19 @@ pub fn run_cluster_integrated(
         queue.close();
     }
     for pool in pools {
-        let _ = pool.join();
+        pool.join()?;
     }
     let mut partials = Vec::with_capacity(forwarders.len());
     for forwarder in forwarders {
-        partials.push(forwarder.join().expect("cluster forwarder thread panicked"));
+        partials.push(
+            forwarder
+                .join()
+                .map_err(|_| HarnessError::Internal("cluster forwarder thread panicked".into()))?,
+        );
     }
     let (stats, hedge_stats) = match engine {
         Some(engine) => {
-            let (hedge_stats, collector) = engine.join();
+            let (hedge_stats, collector) = engine.join()?;
             (collector, Some(hedge_stats))
         }
         None => {
@@ -518,7 +530,7 @@ mod tests {
         let config = BenchmarkConfig::new(2_000.0, 400)
             .with_warmup(50)
             .with_max_duration(Duration::from_secs(20));
-        let report = run_integrated(&app, &mut factory, &config);
+        let report = run_integrated(&app, &mut factory, &config).expect("integrated run");
         assert_eq!(report.app, "echo");
         assert_eq!(report.configuration, "integrated");
         assert!(report.requests > 350, "measured {}", report.requests);
@@ -544,12 +556,14 @@ mod tests {
             &app,
             &mut factory,
             &BenchmarkConfig::new(500.0, 300).with_seed(1),
-        );
+        )
+        .expect("integrated run");
         let high = run_integrated(
             &app,
             &mut factory,
             &BenchmarkConfig::new(15_000.0, 300).with_seed(1),
-        );
+        )
+        .expect("integrated run");
         assert!(
             high.sojourn.p95_ns > low.sojourn.p95_ns,
             "high load p95 {} should exceed low load p95 {}",
@@ -571,7 +585,7 @@ mod tests {
             .with_warmup(0)
             .with_seed(11)
             .with_admission(AdmissionPolicy::Drop { capacity: 16 });
-        let report = run_integrated(&app, &mut factory, &config);
+        let report = run_integrated(&app, &mut factory, &config).expect("integrated run");
         assert_eq!(report.queue_depth.policy, "drop(16)");
         assert!(report.queue_depth.dropped > 0, "overload must shed");
         assert!(report.queue_depth.peak_depth <= 16);
@@ -701,7 +715,7 @@ mod tests {
         let config = BenchmarkConfig::new(1_000.0, 100)
             .with_warmup(10)
             .with_load(LoadMode::Closed { think_ns: 10_000 });
-        let report = run_integrated(&app, &mut factory, &config);
+        let report = run_integrated(&app, &mut factory, &config).expect("integrated run");
         assert!(report.requests > 80);
         assert!(report.offered_qps.is_none());
         // Closed loop: no open-loop schedule, so no pacing error to report.

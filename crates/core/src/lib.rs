@@ -68,6 +68,7 @@ pub mod report;
 pub mod request;
 pub mod runner;
 pub mod sim;
+mod sync;
 pub mod time;
 pub mod traffic;
 pub mod worker;

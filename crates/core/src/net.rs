@@ -172,7 +172,7 @@ pub fn run_tcp(
         config.worker_threads,
         shard_proto(config),
         Some(Arc::clone(&buffers)),
-    );
+    )?;
 
     // --- server side -------------------------------------------------------------------
     let listener = TcpListener::bind("127.0.0.1:0").map_err(HarnessError::Io)?;
@@ -184,7 +184,7 @@ pub fn run_tcp(
     let times = config
         .load
         .schedule(&mut rng, config.total_requests())
-        .expect("checked open-loop above");
+        .ok_or_else(|| HarnessError::Internal("open-loop mode produced no schedule".into()))?;
     let shaper = TrafficShaper::from_times(times, 0, || factory.next_request());
     let per_connection = shaper.split_round_robin(connections);
 
@@ -229,7 +229,7 @@ pub fn run_tcp(
     // All server readers have observed EOF by now (the receivers only exit once the
     // server writers shut down their side); dropping our queue handle lets workers exit.
     queue.close();
-    let _ = pool.join();
+    pool.join()?;
     let server_errors = accept_handle
         .join()
         .map_err(|_| thread_panicked("server accept"))?;
@@ -329,7 +329,7 @@ pub fn run_cluster_tcp(
             config.worker_threads,
             StatsCollector::new(warmup),
             Some(Arc::clone(&buffers)),
-        ));
+        )?);
         let listener = TcpListener::bind("127.0.0.1:0").map_err(HarnessError::Io)?;
         let addr = listener.local_addr().map_err(HarnessError::Io)?;
         server_handles.push(spawn_server(listener, 1, &queue, clock, &buffers)?);
@@ -371,15 +371,19 @@ pub fn run_cluster_tcp(
     // With hedging or tied requests active, receivers detour through the hedge engine,
     // which owns the collector, forwards only each leg's first response and (when
     // hedging) reissues stragglers onto the alternate replica's connection.
-    let engine = (hedge.is_some() || tied).then(|| {
+    let engine = if hedge.is_some() || tied {
         let reissue: Box<dyn FnMut(usize, crate::request::Request) -> bool + Send> =
             if hedge.is_some() {
                 let hedge_leg_txs = leg_txs.clone();
                 let inflight = Arc::clone(&outstanding);
                 Box::new(move |instance: usize, request: crate::request::Request| {
-                    let sent = hedge_leg_txs[instance].send(request).is_ok();
+                    let sent = hedge_leg_txs
+                        .get(instance)
+                        .is_some_and(|tx| tx.send(request).is_ok());
                     if sent {
-                        inflight[instance].fetch_add(1, Ordering::Relaxed);
+                        if let Some(count) = inflight.get(instance) {
+                            count.fetch_add(1, Ordering::Relaxed);
+                        }
                     }
                     sent
                 })
@@ -392,7 +396,7 @@ pub fn run_cluster_tcp(
         // cross-network retraction, so the loser runs to completion server-side and
         // simply loses the first-response race here (see DESIGN.md).
         let retract = Box::new(|_, _| false);
-        HedgeEngine::spawn(
+        Some(HedgeEngine::spawn(
             hedge,
             cluster.clone(),
             width,
@@ -400,8 +404,10 @@ pub fn run_cluster_tcp(
             new_cluster_collector(),
             reissue,
             retract,
-        )
-    });
+        )?)
+    } else {
+        None
+    };
     let engine_tx = engine.as_ref().map(HedgeEngine::sender);
 
     let mut receiver_handles = Vec::with_capacity(apps.len());
@@ -419,7 +425,9 @@ pub fn run_cluster_tcp(
                     let error = loop {
                         match protocol::read_response_header(&mut reader, &mut scratch) {
                             Ok(Some(header)) => {
-                                inflight[i].fetch_sub(1, Ordering::Relaxed);
+                                if let Some(count) = inflight.get(i) {
+                                    count.fetch_sub(1, Ordering::Relaxed);
+                                }
                                 let record =
                                     record_from_header(&header, clock.now_ns(), one_way_delay_ns);
                                 match &hedge_tx {
@@ -452,7 +460,7 @@ pub fn run_cluster_tcp(
     let times = config
         .load
         .schedule(&mut rng, config.total_requests())
-        .expect("checked open-loop above");
+        .ok_or_else(|| HarnessError::Internal("open-loop mode produced no schedule".into()))?;
     let shaper = TrafficShaper::from_times(times, 0, || factory.next_request());
     let max_ns = config.max_duration.as_nanos() as u64;
     let mut pacing = PacingRecorder::new();
@@ -470,7 +478,7 @@ pub fn run_cluster_tcp(
         };
         for shard in legs {
             let primary = cluster.route_replica(shard, request.id.0, config.seed, &|i| {
-                outstanding[i].load(Ordering::Relaxed)
+                outstanding.get(i).map_or(0, |c| c.load(Ordering::Relaxed))
             });
             if tied {
                 let secondary = cluster.secondary_instance(shard, primary);
@@ -484,10 +492,15 @@ pub fn run_cluster_tcp(
                     });
                 }
                 for i in [primary, secondary] {
-                    if leg_txs[i].send(request.clone()).is_err() {
+                    let delivered = leg_txs
+                        .get(i)
+                        .is_some_and(|tx| tx.send(request.clone()).is_ok());
+                    if !delivered {
                         break 'pacing;
                     }
-                    outstanding[i].fetch_add(1, Ordering::Relaxed);
+                    if let Some(count) = outstanding.get(i) {
+                        count.fetch_add(1, Ordering::Relaxed);
+                    }
                 }
             } else {
                 if let Some(tx) = &engine_tx {
@@ -498,10 +511,15 @@ pub fn run_cluster_tcp(
                         instance: primary,
                     });
                 }
-                if leg_txs[primary].send(request.clone()).is_err() {
+                let delivered = leg_txs
+                    .get(primary)
+                    .is_some_and(|tx| tx.send(request.clone()).is_ok());
+                if !delivered {
                     break 'pacing;
                 }
-                outstanding[primary].fetch_add(1, Ordering::Relaxed);
+                if let Some(count) = outstanding.get(primary) {
+                    count.fetch_add(1, Ordering::Relaxed);
+                }
             }
         }
     }
@@ -534,7 +552,7 @@ pub fn run_cluster_tcp(
         queue.close();
     }
     for pool in pools {
-        let _ = pool.join();
+        pool.join()?;
     }
     for (i, server) in server_handles.into_iter().enumerate() {
         let server_errors = server
@@ -552,7 +570,7 @@ pub fn run_cluster_tcp(
     }
     let (stats, hedge_stats) = match engine {
         Some(engine) => {
-            let (hedge_stats, collector) = engine.join();
+            let (hedge_stats, collector) = engine.join()?;
             (collector, Some(hedge_stats))
         }
         None => {
@@ -565,7 +583,7 @@ pub fn run_cluster_tcp(
     };
     let queue_summaries: Vec<QueueSummary> = observers.iter().map(|o| o.summary()).collect();
     let mut report = build_cluster_report(
-        apps[0].name(),
+        apps.first().map_or("", |a| a.name()),
         configuration_name,
         config,
         cluster,

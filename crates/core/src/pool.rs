@@ -17,6 +17,8 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
+use crate::sync::lock_recover;
+
 /// Default cap on retired buffers kept alive (beyond it, `recycle` just frees).
 const DEFAULT_MAX_BUFFERS: usize = 4096;
 
@@ -77,7 +79,7 @@ impl BufferPool {
     /// recycled one when available.
     #[must_use]
     pub fn take(&self, min_capacity: usize) -> Vec<u8> {
-        let reused = self.free.lock().expect("buffer pool poisoned").pop();
+        let reused = lock_recover(&self.free).pop();
         match reused {
             Some(mut buf) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
@@ -97,7 +99,7 @@ impl BufferPool {
     pub fn recycle(&self, mut buf: Vec<u8>) {
         buf.clear();
         self.recycled.fetch_add(1, Ordering::Relaxed);
-        let mut free = self.free.lock().expect("buffer pool poisoned");
+        let mut free = lock_recover(&self.free);
         if free.len() < self.max_buffers {
             free.push(buf);
         }
@@ -114,7 +116,7 @@ impl BufferPool {
     /// Number of buffers currently retired in the pool.
     #[must_use]
     pub fn idle(&self) -> usize {
-        self.free.lock().expect("buffer pool poisoned").len()
+        lock_recover(&self.free).len()
     }
 
     /// Recycling statistics so far.

@@ -16,6 +16,7 @@
 use crate::collector::RequestTags;
 use crate::report::QueueSummary;
 use crate::request::{Request, RequestId, RequestRecord, WorkProfile};
+use crate::sync::{lock_recover, wait_recover};
 use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex};
 
@@ -168,6 +169,12 @@ pub(crate) struct DepthTracker {
     sample_every_ns: u64,
     next_sample_ns: u64,
     samples: Vec<(u64, u64)>,
+}
+
+impl Default for DepthTracker {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl DepthTracker {
@@ -422,7 +429,7 @@ impl RequestQueue {
     /// queue's admission policy (blocking here under `Block` when the queue is full).
     pub fn push(&self, request: Request, enqueued_ns: u64, completion: Completion) -> PushOutcome {
         let shared = &*self.shared;
-        let mut state = shared.state.lock().expect("request queue poisoned");
+        let mut state = lock_recover(&shared.state);
         if state.consumers == 0 {
             // Every worker is gone (teardown, or a worker panic unwound its
             // receiver): pushing would buffer into a queue nobody drains.
@@ -473,7 +480,7 @@ impl RequestQueue {
                         if state.consumers == 0 {
                             return PushOutcome::Closed;
                         }
-                        state = shared.not_full.wait(state).expect("request queue poisoned");
+                        state = wait_recover(&shared.not_full, state);
                     }
                 }
             }
@@ -493,7 +500,7 @@ impl RequestQueue {
     /// The worker-side receiver.
     #[must_use]
     pub fn receiver(&self) -> QueueReceiver {
-        let mut state = self.shared.state.lock().expect("request queue poisoned");
+        let mut state = lock_recover(&self.shared.state);
         state.consumers += 1;
         drop(state);
         QueueReceiver {
@@ -518,12 +525,7 @@ impl RequestQueue {
     /// Current queue depth (requests waiting for a worker).
     #[must_use]
     pub fn depth(&self) -> usize {
-        self.shared
-            .state
-            .lock()
-            .expect("request queue poisoned")
-            .items
-            .len()
+        lock_recover(&self.shared.state).items.len()
     }
 
     /// Retracts a queued request by id (the tied-request cancellation path: the other
@@ -532,7 +534,7 @@ impl RequestQueue {
     /// stays counted as accepted — it was admitted and occupied the queue; it is not
     /// an overload shed.
     pub fn cancel(&self, id: RequestId) -> bool {
-        let mut state = self.shared.state.lock().expect("request queue poisoned");
+        let mut state = lock_recover(&self.shared.state);
         let Some(index) = state.items.iter().position(|item| item.request.id == id) else {
             return false;
         };
@@ -551,7 +553,7 @@ impl RequestQueue {
 
 impl Clone for RequestQueue {
     fn clone(&self) -> Self {
-        let mut state = self.shared.state.lock().expect("request queue poisoned");
+        let mut state = lock_recover(&self.shared.state);
         state.producers += 1;
         drop(state);
         RequestQueue {
@@ -562,7 +564,7 @@ impl Clone for RequestQueue {
 
 impl Drop for RequestQueue {
     fn drop(&mut self) {
-        let mut state = self.shared.state.lock().expect("request queue poisoned");
+        let mut state = lock_recover(&self.shared.state);
         state.producers -= 1;
         let last = state.producers == 0;
         drop(state);
@@ -593,7 +595,7 @@ impl QueueReceiver {
     /// requests are reclassified as dropped in the queue summary.
     pub fn recv_at(&self, now_ns: &dyn Fn() -> u64) -> Result<QueuedRequest, QueueClosed> {
         let shared = &*self.shared;
-        let mut state = shared.state.lock().expect("request queue poisoned");
+        let mut state = lock_recover(&shared.state);
         loop {
             if let Some(item) = state.items.pop_front() {
                 if let AdmissionPolicy::DropDeadline { slo_ns, .. } = shared.policy {
@@ -610,17 +612,14 @@ impl QueueReceiver {
             if state.producers == 0 {
                 return Err(QueueClosed);
             }
-            state = shared
-                .not_empty
-                .wait(state)
-                .expect("request queue poisoned");
+            state = wait_recover(&shared.not_empty, state);
         }
     }
 }
 
 impl Clone for QueueReceiver {
     fn clone(&self) -> Self {
-        let mut state = self.shared.state.lock().expect("request queue poisoned");
+        let mut state = lock_recover(&self.shared.state);
         state.consumers += 1;
         drop(state);
         QueueReceiver {
@@ -631,7 +630,7 @@ impl Clone for QueueReceiver {
 
 impl Drop for QueueReceiver {
     fn drop(&mut self) {
-        let mut state = self.shared.state.lock().expect("request queue poisoned");
+        let mut state = lock_recover(&self.shared.state);
         state.consumers -= 1;
         let last = state.consumers == 0;
         drop(state);
@@ -646,7 +645,7 @@ impl QueueObserver {
     /// The queue's admission/depth summary so far (complete once producers closed).
     #[must_use]
     pub fn summary(&self) -> QueueSummary {
-        let state = self.shared.state.lock().expect("request queue poisoned");
+        let state = lock_recover(&self.shared.state);
         state.tracker.summary(self.shared.policy.label())
     }
 }

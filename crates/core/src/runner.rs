@@ -80,7 +80,7 @@ pub fn execute(
 ) -> Result<RunReport, HarnessError> {
     config.validate()?;
     match &config.mode {
-        HarnessMode::Integrated => Ok(run_integrated(app, factory, config)),
+        HarnessMode::Integrated => run_integrated(app, factory, config),
         HarnessMode::Loopback { connections } => {
             run_tcp(app, factory, config, *connections, 0, "loopback")
         }
@@ -96,7 +96,7 @@ pub fn execute(
             "networked",
         ),
         HarnessMode::Simulated => match cost_model {
-            Some(model) => Ok(run_simulated(app, factory, config, model)),
+            Some(model) => run_simulated(app, factory, config, model),
             None => Err(HarnessError::Config(
                 "simulated mode requires a cost model; pass Some(cost_model) to \
                  runner::execute (the Experiment API supplies one from its registry)"

@@ -69,9 +69,10 @@ fn enqueue_or_shed(
                         .front()
                         .is_some_and(|q| now.saturating_sub(q.enqueued_ns) > slo_ns)
                     {
-                        let expired = waiting.pop_front().expect("front checked above");
-                        tracker.on_shed_admitted();
-                        removed.push(expired);
+                        if let Some(expired) = waiting.pop_front() {
+                            tracker.on_shed_admitted();
+                            removed.push(expired);
+                        }
                     }
                     if waiting.len() >= capacity {
                         tracker.on_drop();
@@ -88,9 +89,10 @@ fn enqueue_or_shed(
                         tracker.on_drop();
                         return false;
                     };
-                    let evicted = waiting.remove(victim).expect("victim index in range");
-                    tracker.on_shed_admitted();
-                    removed.push(evicted);
+                    if let Some(evicted) = waiting.remove(victim) {
+                        tracker.on_shed_admitted();
+                        removed.push(evicted);
+                    }
                 }
                 _ => {
                     tracker.on_drop();
@@ -156,23 +158,26 @@ impl PartialOrd for Completion {
 /// `config.load` (which must be open-loop: Poisson or a precompiled trace); service
 /// times come from `cost_model`, adjusted by `config.interference`.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `config.load` is closed-loop; the simulated runner implements only the
-/// open-loop methodology.
+/// Returns [`HarnessError::Config`] if `config.load` is closed-loop (the simulated
+/// runner implements only the open-loop methodology) and [`HarnessError::Internal`]
+/// if the event loop's bookkeeping invariants are violated.
 pub fn run_simulated(
     app: &Arc<dyn ServerApp>,
     factory: &mut dyn RequestFactory,
     config: &BenchmarkConfig,
     cost_model: &dyn CostModel,
-) -> RunReport {
+) -> Result<RunReport, HarnessError> {
     app.prepare();
 
     let mut rng = seeded_rng(config.seed, 1);
     let times = config
         .load
         .schedule(&mut rng, config.total_requests())
-        .expect("the simulated runner requires an open-loop load mode");
+        .ok_or_else(|| {
+            HarnessError::Config("the simulated runner requires an open-loop load mode".into())
+        })?;
     let shaper = TrafficShaper::from_times(times, 0, || factory.next_request());
     let arrivals = shaper.into_requests();
 
@@ -222,7 +227,8 @@ pub fn run_simulated(
     };
 
     loop {
-        let next_arrival_time = arrivals.get(next_arrival).map(|r| r.issued_ns);
+        let next_arrival_req = arrivals.get(next_arrival);
+        let next_arrival_time = next_arrival_req.map(|r| r.issued_ns);
         let next_completion_time = completions.peek().map(|c| c.time_ns);
 
         // Pick the earlier of the next arrival and the next completion; arrivals win ties
@@ -237,7 +243,9 @@ pub fn run_simulated(
 
         if take_arrival {
             // Arrival event.
-            let request = arrivals[next_arrival].clone();
+            let Some(request) = next_arrival_req.cloned() else {
+                break;
+            };
             next_arrival += 1;
             let now = request.issued_ns;
             if busy < servers {
@@ -272,11 +280,13 @@ pub fn run_simulated(
             }
         } else {
             // Completion event.
-            let completion = completions.pop().expect("peeked above");
+            let Some(completion) = completions.pop() else {
+                break;
+            };
             let ct = completion.time_ns;
-            let record = in_service
-                .remove(&completion.seq)
-                .expect("completion for unknown request");
+            let record = in_service.remove(&completion.seq).ok_or_else(|| {
+                HarnessError::Internal("completion event for a request not in service".into())
+            })?;
             collector.record(&record);
             busy -= 1;
             removed.clear();
@@ -302,14 +312,24 @@ pub fn run_simulated(
 
     let mut report = build_report(app.name(), "simulated", config, &collector);
     report.queue_depth = tracker.summary(config.admission.label());
-    report
+    Ok(report)
 }
 
-/// One simulated server instance: its busy-server count and FIFO wait queue.
+/// One simulated server instance: its busy-server count, FIFO wait queue and the
+/// queue-depth accounting that reports it.
 #[derive(Debug, Default)]
 struct Station {
     busy: usize,
     waiting: VecDeque<QueuedLeg>,
+    tracker: DepthTracker,
+}
+
+/// Fallible station lookup: a missing instance is a routing bug surfaced as an
+/// internal error, never a panic mid-simulation.
+fn station_mut(stations: &mut [Station], instance: usize) -> Result<&mut Station, HarnessError> {
+    stations
+        .get_mut(instance)
+        .ok_or_else(|| HarnessError::Internal(format!("station index {instance} out of range")))
 }
 
 /// A scheduled virtual-time event of the cluster loop.  Min-heap by time; completions
@@ -422,7 +442,7 @@ pub fn run_cluster_simulated(
     let times = config
         .load
         .schedule(&mut rng, config.total_requests())
-        .expect("checked open-loop above");
+        .ok_or_else(|| HarnessError::Internal("open-loop mode produced no schedule".into()))?;
     let shaper = TrafficShaper::from_times(times, 0, || factory.next_request());
     let arrivals = shaper.into_requests();
 
@@ -435,7 +455,6 @@ pub fn run_cluster_simulated(
     let mut collector = ClusterCollector::new(cluster.shards, config.warmup_requests as u64)
         .with_tags(config.tags.clone());
     let mut stations: Vec<Station> = (0..apps.len()).map(|_| Station::default()).collect();
-    let mut trackers: Vec<DepthTracker> = (0..apps.len()).map(|_| DepthTracker::new()).collect();
     let mut events: BinaryHeap<Event> = BinaryHeap::new();
     // Copies in service, by completion seq.  Only keyed lookups — never iterated — so
     // the map cannot perturb event ordering.
@@ -457,10 +476,16 @@ pub fn run_cluster_simulated(
                          stations: &mut Vec<Station>,
                          seq: &mut u64,
                          events: &mut BinaryHeap<Event>,
-                         in_service: &mut HashMap<u64, ServiceEntry>| {
-        stations[instance].busy += 1;
-        let response = apps[instance].handle(&request.payload);
-        let base_ns = cost_model.service_time_ns(&response.work, stations[instance].busy);
+                         in_service: &mut HashMap<u64, ServiceEntry>|
+     -> Result<(), HarnessError> {
+        let app = apps
+            .get(instance)
+            .ok_or_else(|| HarnessError::Internal(format!("app index {instance} out of range")))?;
+        let station = station_mut(stations, instance)?;
+        station.busy += 1;
+        let busy = station.busy;
+        let response = app.handle(&request.payload);
+        let base_ns = cost_model.service_time_ns(&response.work, busy);
         let service_ns = plan
             .adjusted_service_ns(instance, now, base_ns, request.id.0)
             .max(1);
@@ -488,10 +513,12 @@ pub fn run_cluster_simulated(
             seq: *seq,
             what: EventKind::Completion,
         });
+        Ok(())
     };
 
     loop {
-        let next_arrival_time = arrivals.get(next_arrival).map(|r| r.issued_ns);
+        let next_arrival_req = arrivals.get(next_arrival);
+        let next_arrival_time = next_arrival_req.map(|r| r.issued_ns);
         let next_event_time = events.peek().map(|e| e.time_ns);
         // Arrivals win ties, matching the single-server loop.
         let take_arrival = match (next_arrival_time, next_event_time) {
@@ -502,7 +529,9 @@ pub fn run_cluster_simulated(
         };
 
         if take_arrival {
-            let request = arrivals[next_arrival].clone();
+            let Some(request) = next_arrival_req.cloned() else {
+                break;
+            };
             next_arrival += 1;
             let now = request.issued_ns;
             let shards = match cluster.fanout.route(&request.payload, cluster.shards) {
@@ -511,7 +540,7 @@ pub fn run_cluster_simulated(
             };
             for shard in shards {
                 let primary = cluster.route_replica(shard, request.id.0, config.seed, &|i| {
-                    stations[i].busy + stations[i].waiting.len()
+                    stations.get(i).map_or(0, |s| s.busy + s.waiting.len())
                 });
                 let secondary = cluster.secondary_instance(shard, primary);
                 if let Some(policy) = hedge {
@@ -557,7 +586,10 @@ pub fn run_cluster_simulated(
                 };
                 let mut admitted = 0u8;
                 for &(instance, is_hedge) in copies {
-                    if stations[instance].busy < servers {
+                    // A missing station is a routing bug; treat it as a full station
+                    // so the fallible lookup below reports it.
+                    let idle = stations.get(instance).is_some_and(|s| s.busy < servers);
+                    if idle {
                         start_service(
                             instance,
                             shard,
@@ -569,24 +601,29 @@ pub fn run_cluster_simulated(
                             &mut seq,
                             &mut events,
                             &mut in_service,
-                        );
-                        trackers[instance].on_push(now, 1);
+                        )?;
+                        station_mut(&mut stations, instance)?
+                            .tracker
+                            .on_push(now, 1);
                         admitted += 1;
-                    } else if enqueue_or_shed(
-                        &mut stations[instance].waiting,
-                        &mut trackers[instance],
-                        &config.admission,
-                        tags.as_deref(),
-                        QueuedLeg {
-                            request: request.clone(),
-                            enqueued_ns: now,
-                            shard,
-                            is_hedge,
-                        },
-                        now,
-                        &mut removed,
-                    ) {
-                        admitted += 1;
+                    } else {
+                        let station = station_mut(&mut stations, instance)?;
+                        if enqueue_or_shed(
+                            &mut station.waiting,
+                            &mut station.tracker,
+                            &config.admission,
+                            tags.as_deref(),
+                            QueuedLeg {
+                                request: request.clone(),
+                                enqueued_ns: now,
+                                shard,
+                                is_hedge,
+                            },
+                            now,
+                            &mut removed,
+                        ) {
+                            admitted += 1;
+                        }
                     }
                     unwind_removed(&mut removed, &mut legs);
                 }
@@ -600,18 +637,27 @@ pub fn run_cluster_simulated(
                 }
             }
         } else {
-            let event = events.pop().expect("peeked above");
+            let Some(event) = events.pop() else {
+                break;
+            };
             let t = event.time_ns;
             match event.what {
                 EventKind::Completion => {
-                    let entry = in_service
-                        .remove(&event.seq)
-                        .expect("completion for unknown request");
+                    let entry = in_service.remove(&event.seq).ok_or_else(|| {
+                        HarnessError::Internal(
+                            "completion event for a request not in service".into(),
+                        )
+                    })?;
                     let (instance, shard, is_hedge) = (entry.instance, entry.shard, entry.is_hedge);
-                    stations[instance].busy -= 1;
+                    {
+                        let station = station_mut(&mut stations, instance)?;
+                        station.busy = station.busy.saturating_sub(1);
+                    }
                     if hedge.is_some() || tied {
                         let key = (entry.record.id.0, shard);
-                        let leg = legs.get_mut(&key).expect("completion for unknown leg");
+                        let leg = legs.get_mut(&key).ok_or_else(|| {
+                            HarnessError::Internal("completion for an untracked leg".into())
+                        })?;
                         leg.outstanding = leg.outstanding.saturating_sub(1);
                         let first_response = !leg.resolved;
                         let mut sibling = None;
@@ -635,12 +681,13 @@ pub fn run_cluster_simulated(
                         // still waiting in the sibling's queue (an in-service loser
                         // runs to completion, exactly like a hedge loser).
                         if let Some(sibling) = sibling {
-                            if let Some(pos) = stations[sibling]
+                            let sib = station_mut(&mut stations, sibling)?;
+                            if let Some(pos) = sib
                                 .waiting
                                 .iter()
                                 .position(|q| q.request.id.0 == key.0 && q.shard == key.1)
                             {
-                                stations[sibling].waiting.remove(pos);
+                                sib.waiting.remove(pos);
                                 if let Some(leg) = legs.get_mut(&key) {
                                     leg.outstanding = leg.outstanding.saturating_sub(1);
                                 }
@@ -655,13 +702,17 @@ pub fn run_cluster_simulated(
                     } else {
                         let _ = collector.record_leg(shard, entry.record, width);
                     }
-                    if let Some(queued) = pop_fresh(
-                        &mut stations[instance].waiting,
-                        &mut trackers[instance],
-                        &config.admission,
-                        t,
-                        &mut removed,
-                    ) {
+                    let popped = {
+                        let station = station_mut(&mut stations, instance)?;
+                        pop_fresh(
+                            &mut station.waiting,
+                            &mut station.tracker,
+                            &config.admission,
+                            t,
+                            &mut removed,
+                        )
+                    };
+                    if let Some(queued) = popped {
                         start_service(
                             instance,
                             queued.shard,
@@ -673,7 +724,7 @@ pub fn run_cluster_simulated(
                             &mut seq,
                             &mut events,
                             &mut in_service,
-                        );
+                        )?;
                     }
                     unwind_removed(&mut removed, &mut legs);
                 }
@@ -688,7 +739,8 @@ pub fn run_cluster_simulated(
                         _ => None,
                     };
                     if let Some((copy, alt)) = issue {
-                        let admitted = if stations[alt].busy < servers {
+                        let idle = stations.get(alt).is_some_and(|s| s.busy < servers);
+                        let admitted = if idle {
                             start_service(
                                 alt,
                                 shard,
@@ -700,13 +752,14 @@ pub fn run_cluster_simulated(
                                 &mut seq,
                                 &mut events,
                                 &mut in_service,
-                            );
-                            trackers[alt].on_push(t, 1);
+                            )?;
+                            station_mut(&mut stations, alt)?.tracker.on_push(t, 1);
                             true
                         } else {
+                            let station = station_mut(&mut stations, alt)?;
                             enqueue_or_shed(
-                                &mut stations[alt].waiting,
-                                &mut trackers[alt],
+                                &mut station.waiting,
+                                &mut station.tracker,
                                 &config.admission,
                                 tags.as_deref(),
                                 QueuedLeg {
@@ -732,12 +785,12 @@ pub fn run_cluster_simulated(
         }
     }
 
-    let queue_summaries: Vec<QueueSummary> = trackers
+    let queue_summaries: Vec<QueueSummary> = stations
         .iter()
-        .map(|t| t.summary(config.admission.label()))
+        .map(|s| s.tracker.summary(config.admission.label()))
         .collect();
     let mut report = build_cluster_report(
-        apps[0].name(),
+        apps.first().map_or("", |a| a.name()),
         "simulated",
         config,
         cluster,
@@ -770,9 +823,9 @@ mod tests {
             .with_warmup(50)
             .with_seed(3);
         let mut factory = || b"sim".to_vec();
-        let a = run_simulated(&app, &mut factory, &config, &model);
+        let a = run_simulated(&app, &mut factory, &config, &model).expect("simulated run");
         let mut factory = || b"sim".to_vec();
-        let b = run_simulated(&app, &mut factory, &config, &model);
+        let b = run_simulated(&app, &mut factory, &config, &model).expect("simulated run");
         assert_eq!(a.sojourn.p95_ns, b.sojourn.p95_ns);
         assert_eq!(a.requests, b.requests);
         assert_eq!(a.requests, 500);
@@ -791,14 +844,16 @@ mod tests {
             &mut factory,
             &BenchmarkConfig::new(1_000.0, 2_000).with_seed(7),
             &model,
-        );
+        )
+        .expect("simulated run");
         let mut factory = || b"x".to_vec();
         let high = run_simulated(
             &app,
             &mut factory,
             &BenchmarkConfig::new(9_000.0, 2_000).with_seed(7),
             &model,
-        );
+        )
+        .expect("simulated run");
         assert!(
             high.sojourn.p95_ns > 2 * low.sojourn.p95_ns,
             "p95 at 90% load ({}) should far exceed p95 at 10% load ({})",
@@ -821,7 +876,8 @@ mod tests {
                 .with_threads(1)
                 .with_seed(5),
             &model,
-        );
+        )
+        .expect("simulated run");
         let mut factory = || b"x".to_vec();
         let four = run_simulated(
             &app,
@@ -830,7 +886,8 @@ mod tests {
                 .with_threads(4)
                 .with_seed(5),
             &model,
-        );
+        )
+        .expect("simulated run");
         assert!(
             four.sojourn.p95_ns < one.sojourn.p95_ns,
             "4 servers p95 {} should be below 1 server p95 {}",
@@ -924,7 +981,8 @@ mod tests {
         let one: Arc<dyn ServerApp> = Arc::new(EchoApp {
             spin_iters: 100_000,
         });
-        let single = run_simulated(&one, &mut single_factory, &config, &model);
+        let single =
+            run_simulated(&one, &mut single_factory, &config, &model).expect("simulated run");
         assert!(report.cluster.sojourn.p99_ns < single.sojourn.p99_ns);
     }
 
@@ -990,7 +1048,8 @@ mod tests {
                 .with_warmup(0)
                 .with_seed(11),
             &model,
-        );
+        )
+        .expect("simulated run");
         let span_s = report.duration_ns as f64 / 1e9;
         assert!((span_s - 1.0).abs() < 0.15, "span = {span_s} s");
     }
@@ -1009,7 +1068,7 @@ mod tests {
             .with_warmup(0)
             .with_seed(13);
         let mut factory = || b"x".to_vec();
-        let clean = run_simulated(&app, &mut factory, &base_config, &model);
+        let clean = run_simulated(&app, &mut factory, &base_config, &model).expect("simulated run");
         let faulted_config =
             base_config
                 .clone()
@@ -1020,7 +1079,8 @@ mod tests {
                     10.0,
                 ));
         let mut factory = || b"x".to_vec();
-        let faulted = run_simulated(&app, &mut factory, &faulted_config, &model);
+        let faulted =
+            run_simulated(&app, &mut factory, &faulted_config, &model).expect("simulated run");
         assert!(
             faulted.sojourn.max_ns >= clean.sojourn.max_ns * 5,
             "faulted max {} vs clean max {}",
@@ -1030,7 +1090,8 @@ mod tests {
         assert!(faulted.sojourn.p50_ns < clean.sojourn.p50_ns * 2);
         // Determinism holds with interference active.
         let mut factory = || b"x".to_vec();
-        let again = run_simulated(&app, &mut factory, &faulted_config, &model);
+        let again =
+            run_simulated(&app, &mut factory, &faulted_config, &model).expect("simulated run");
         assert_eq!(again.sojourn.p99_ns, faulted.sojourn.p99_ns);
     }
 
@@ -1159,13 +1220,13 @@ mod tests {
             .with_warmup(0)
             .with_seed(23);
         let mut factory = || b"d".to_vec();
-        let unbounded = run_simulated(&app, &mut factory, &base, &model);
+        let unbounded = run_simulated(&app, &mut factory, &base, &model).expect("simulated run");
         let shed_config = base.clone().with_admission(AdmissionPolicy::DropDeadline {
             capacity: 64,
             slo_ns: 2_000_000,
         });
         let mut factory = || b"d".to_vec();
-        let shed = run_simulated(&app, &mut factory, &shed_config, &model);
+        let shed = run_simulated(&app, &mut factory, &shed_config, &model).expect("simulated run");
         assert!(shed.queue_depth.dropped > 0, "overload must shed");
         assert_eq!(
             shed.queue_depth.accepted + shed.queue_depth.dropped,
@@ -1181,7 +1242,7 @@ mod tests {
         );
         // Deterministic.
         let mut factory = || b"d".to_vec();
-        let again = run_simulated(&app, &mut factory, &shed_config, &model);
+        let again = run_simulated(&app, &mut factory, &shed_config, &model).expect("simulated run");
         assert_eq!(again.sojourn.p99_ns, shed.sojourn.p99_ns);
         assert_eq!(again.queue_depth.dropped, shed.queue_depth.dropped);
     }
@@ -1200,7 +1261,7 @@ mod tests {
             .with_seed(29)
             .with_admission(AdmissionPolicy::Drop { capacity: 16 });
         let mut factory = || b"o".to_vec();
-        let report = run_simulated(&app, &mut factory, &config, &model);
+        let report = run_simulated(&app, &mut factory, &config, &model).expect("simulated run");
         let q = &report.queue_depth;
         assert!(q.dropped > 0);
         assert_eq!(q.accepted + q.dropped, config.total_requests() as u64);
@@ -1210,7 +1271,7 @@ mod tests {
             "only accepted requests can be measured"
         );
         let mut factory = || b"o".to_vec();
-        let again = run_simulated(&app, &mut factory, &config, &model);
+        let again = run_simulated(&app, &mut factory, &config, &model).expect("simulated run");
         assert_eq!(again.queue_depth.accepted, q.accepted);
         assert_eq!(again.queue_depth.dropped, q.dropped);
     }
@@ -1238,7 +1299,7 @@ mod tests {
             .with_tags(tags)
             .with_admission(AdmissionPolicy::Priority { capacity: 32 });
         let mut factory = || b"p".to_vec();
-        let report = run_simulated(&app, &mut factory, &config, &model);
+        let report = run_simulated(&app, &mut factory, &config, &model).expect("simulated run");
         let q = &report.queue_depth;
         assert!(q.dropped > 0, "overload must shed");
         assert_eq!(q.accepted + q.dropped, config.total_requests() as u64);

@@ -1,0 +1,42 @@
+//! Poison-tolerant lock helpers for the hot-path modules.
+//!
+//! A poisoned mutex means another thread panicked while holding the lock.  The
+//! state these locks guard (queue depth accounting, buffer free lists) stays
+//! structurally valid across any single aborted update, so the harness recovers
+//! the guard and keeps running instead of cascading the panic into every thread
+//! that touches the lock; the original panic still surfaces when the owning
+//! thread is joined.
+
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+
+/// Locks `mutex`, recovering the guard if a panicking thread poisoned it.
+pub(crate) fn lock_recover<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Waits on `condvar`, recovering the guard if the mutex was poisoned while the
+/// waiter was parked.
+pub(crate) fn wait_recover<'a, T>(
+    condvar: &Condvar,
+    guard: MutexGuard<'a, T>,
+) -> MutexGuard<'a, T> {
+    condvar.wait(guard).unwrap_or_else(PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    #[test]
+    fn lock_recover_survives_poison() {
+        let mutex = Mutex::new(7u32);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = mutex.lock().expect("first lock");
+            panic!("poison it");
+        }));
+        assert!(caught.is_err());
+        assert!(mutex.is_poisoned());
+        assert_eq!(*lock_recover(&mutex), 7);
+    }
+}

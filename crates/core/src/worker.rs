@@ -9,6 +9,7 @@
 
 use crate::app::ServerApp;
 use crate::collector::StatsCollector;
+use crate::error::HarnessError;
 use crate::pool::BufferPool;
 use crate::queue::{Completion, QueueReceiver, ServerCompletion};
 use crate::time::RunClock;
@@ -39,7 +40,11 @@ impl WorkerPool {
     /// [`Completion::Inline`] requests) and, when `pool` is given, recycles request
     /// payload buffers into it after handling.  Workers exit when the queue is closed
     /// (all producers dropped).
-    #[must_use]
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HarnessError::Io`] if the operating system refuses to spawn a
+    /// worker thread.
     pub fn spawn(
         app: Arc<dyn ServerApp>,
         queue_rx: QueueReceiver,
@@ -47,27 +52,26 @@ impl WorkerPool {
         threads: usize,
         shard: StatsCollector,
         pool: Option<Arc<BufferPool>>,
-    ) -> Self {
+    ) -> Result<Self, HarnessError> {
         let shard_proto = shard.clone();
-        let handles = (0..threads.max(1))
-            .map(|i| {
-                let app = Arc::clone(&app);
-                let rx = queue_rx.clone();
-                let mut local = shard.clone();
-                let pool = pool.clone();
-                std::thread::Builder::new()
-                    .name(format!("tb-worker-{i}"))
-                    .spawn(move || {
-                        let served = worker_loop(&*app, &rx, clock, &mut local, pool.as_deref());
-                        (served, local)
-                    })
-                    .expect("failed to spawn worker thread")
-            })
-            .collect();
-        WorkerPool {
+        let mut handles = Vec::with_capacity(threads.max(1));
+        for i in 0..threads.max(1) {
+            let app = Arc::clone(&app);
+            let rx = queue_rx.clone();
+            let mut local = shard.clone();
+            let pool = pool.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("tb-worker-{i}"))
+                .spawn(move || {
+                    let served = worker_loop(&*app, &rx, clock, &mut local, pool.as_deref());
+                    (served, local)
+                })?;
+            handles.push(handle);
+        }
+        Ok(WorkerPool {
             handles,
             shard_proto,
-        }
+        })
     }
 
     /// Number of worker threads in the pool.
@@ -85,19 +89,29 @@ impl WorkerPool {
     /// Waits for every worker to exit, returning the total served count and the merged
     /// per-worker statistics shards.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if a worker thread panicked.
-    #[must_use]
-    pub fn join(self) -> WorkerOutput {
+    /// Returns [`HarnessError::Internal`] if a worker thread panicked; the
+    /// remaining workers are still joined first so no thread is leaked.
+    pub fn join(self) -> Result<WorkerOutput, HarnessError> {
         let mut stats = self.shard_proto;
         let mut served = 0u64;
+        let mut panicked = 0usize;
         for handle in self.handles {
-            let (count, shard) = handle.join().expect("worker thread panicked");
-            served += count;
-            stats.merge(&shard);
+            match handle.join() {
+                Ok((count, shard)) => {
+                    served += count;
+                    stats.merge(&shard);
+                }
+                Err(_) => panicked += 1,
+            }
         }
-        WorkerOutput { served, stats }
+        if panicked > 0 {
+            return Err(HarnessError::Internal(format!(
+                "{panicked} worker thread(s) panicked"
+            )));
+        }
+        Ok(WorkerOutput { served, stats })
     }
 }
 
@@ -170,7 +184,8 @@ mod tests {
             2,
             StatsCollector::new(0),
             None,
-        );
+        )
+        .expect("spawn workers");
         assert_eq!(pool.len(), 2);
 
         for i in 0..20u64 {
@@ -187,7 +202,7 @@ mod tests {
         }
         queue.close();
 
-        let out = pool.join();
+        let out = pool.join().expect("join workers");
         assert_eq!(out.served, 20);
         assert_eq!(out.stats.measured(), 20);
         let sojourn = out.stats.sojourn_stats();
@@ -208,7 +223,8 @@ mod tests {
             1,
             StatsCollector::new(0),
             Some(Arc::clone(&buffers)),
-        );
+        )
+        .expect("spawn workers");
 
         let (resp_tx, resp_rx) = unbounded();
         queue.push(
@@ -221,7 +237,7 @@ mod tests {
             Completion::Responder(resp_tx),
         );
         queue.close();
-        let out = pool.join();
+        let out = pool.join().expect("join workers");
         assert_eq!(out.served, 1);
         assert_eq!(
             out.stats.measured(),

@@ -92,7 +92,7 @@ pub use spec::{
 };
 
 use spec::SUPPORTED_HEDGE_PERCENTILES;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use tailbench_core::app::CostModel;
 use tailbench_core::config::{BenchmarkConfig, ClusterConfig, HedgePolicy};
 use tailbench_core::error::HarnessError;
@@ -226,11 +226,11 @@ impl Experiment {
             )));
         }
 
-        let mut singles: HashMap<String, BenchApp> = HashMap::new();
-        let mut clusters: HashMap<(String, usize, usize), ClusterApp> = HashMap::new();
-        let mut cost_models: HashMap<String, Box<dyn CostModel>> = HashMap::new();
-        let mut capacities: HashMap<String, f64> = HashMap::new();
-        let mut baselines: HashMap<String, LatencyStats> = HashMap::new();
+        let mut singles: BTreeMap<String, BenchApp> = BTreeMap::new();
+        let mut clusters: BTreeMap<(String, usize, usize), ClusterApp> = BTreeMap::new();
+        let mut cost_models: BTreeMap<String, Box<dyn CostModel>> = BTreeMap::new();
+        let mut capacities: BTreeMap<String, f64> = BTreeMap::new();
+        let mut baselines: BTreeMap<String, LatencyStats> = BTreeMap::new();
 
         let mut points = Vec::with_capacity(grid.len());
         for (index, point) in grid.iter().enumerate() {
@@ -530,8 +530,8 @@ impl Experiment {
         scale: Scale,
         model: Option<&dyn CostModel>,
         point_seed: u64,
-        singles: &mut HashMap<String, BenchApp>,
-        capacities: &mut HashMap<String, f64>,
+        singles: &mut BTreeMap<String, BenchApp>,
+        capacities: &mut BTreeMap<String, f64>,
     ) -> Result<ExperimentPoint, HarnessError> {
         if !singles.contains_key(&point.app) {
             singles.insert(point.app.clone(), builder.build(scale));
@@ -615,9 +615,9 @@ impl Experiment {
         scale: Scale,
         model: Option<&dyn CostModel>,
         point_seed: u64,
-        clusters: &mut HashMap<(String, usize, usize), ClusterApp>,
-        capacities: &mut HashMap<String, f64>,
-        baselines: &mut HashMap<String, LatencyStats>,
+        clusters: &mut BTreeMap<(String, usize, usize), ClusterApp>,
+        capacities: &mut BTreeMap<String, f64>,
+        baselines: &mut BTreeMap<String, LatencyStats>,
     ) -> Result<ExperimentPoint, HarnessError> {
         let shards = point.shards.unwrap_or(topology.shards).max(1);
         let replication = topology.replication.max(1);

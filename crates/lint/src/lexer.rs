@@ -1,0 +1,466 @@
+//! A small, lossless Rust lexer.
+//!
+//! The lint rules are *token-level*, not textual: an occurrence of `.unwrap()` inside a
+//! string literal or a comment must never fire a rule.  This lexer produces exactly the
+//! token classes the rules need — trivia (whitespace and comments, which rules skip but
+//! the pragma parser reads), identifiers, the full literal family (strings, raw
+//! strings, byte strings, chars vs. lifetimes), numbers and punctuation.
+//!
+//! Two properties the rule engine and the proptest suite rely on:
+//!
+//! 1. **Totality** — `lex` never fails and never panics, whatever bytes it is fed
+//!    (unterminated literals run to end of input).
+//! 2. **Tiling** — the returned tokens cover the input exactly: `tokens[0].start == 0`,
+//!    `tokens[i].end == tokens[i + 1].start`, and the last token ends at `src.len()`.
+//!    Re-slicing the source by token spans therefore reconstructs it byte-for-byte.
+
+/// The lexical class of one token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// A run of whitespace.
+    Whitespace,
+    /// A `// ...` comment, excluding the terminating newline.
+    LineComment,
+    /// A `/* ... */` comment (nesting handled; unterminated runs to end of input).
+    BlockComment,
+    /// An identifier or keyword, including raw identifiers (`r#match`).
+    Ident,
+    /// A lifetime such as `'a` (no closing quote).
+    Lifetime,
+    /// A character literal such as `'x'` or `'\n'`.
+    CharLit,
+    /// A `"..."` string literal (escapes handled).
+    StrLit,
+    /// A raw string literal `r"..."` / `r#"..."#` (any number of hashes).
+    RawStrLit,
+    /// A byte string `b"..."` or raw byte string `br#"..."#`.
+    ByteStrLit,
+    /// A numeric literal (integer or float, any base or suffix).
+    NumLit,
+    /// A single punctuation character.
+    Punct,
+}
+
+impl TokenKind {
+    /// Trivia tokens are skipped by the rules (but scanned by the pragma parser).
+    #[must_use]
+    pub fn is_trivia(self) -> bool {
+        matches!(
+            self,
+            TokenKind::Whitespace | TokenKind::LineComment | TokenKind::BlockComment
+        )
+    }
+
+    /// Literal tokens whose *content* must never trigger a rule.
+    #[must_use]
+    pub fn is_literal(self) -> bool {
+        matches!(
+            self,
+            TokenKind::CharLit
+                | TokenKind::StrLit
+                | TokenKind::RawStrLit
+                | TokenKind::ByteStrLit
+                | TokenKind::NumLit
+        )
+    }
+}
+
+/// One token: its class and byte span (`start..end`) in the source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    /// Lexical class.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+}
+
+/// Tokenizes `src` completely (see the module docs for the tiling guarantee).
+#[must_use]
+pub fn lex(src: &str) -> Vec<Token> {
+    let bytes = src.as_bytes();
+    let mut tokens = Vec::new();
+    let mut pos = 0usize;
+    while pos < bytes.len() {
+        let start = pos;
+        let kind = scan_token(src, bytes, &mut pos);
+        debug_assert!(pos > start, "lexer must always make progress");
+        tokens.push(Token {
+            kind,
+            start,
+            end: pos,
+        });
+    }
+    tokens
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Consumes one token starting at `*pos`, advancing `*pos` past it.
+fn scan_token(src: &str, bytes: &[u8], pos: &mut usize) -> TokenKind {
+    let b = bytes[*pos];
+    match b {
+        _ if b.is_ascii_whitespace() => {
+            while *pos < bytes.len() && bytes[*pos].is_ascii_whitespace() {
+                *pos += 1;
+            }
+            TokenKind::Whitespace
+        }
+        b'/' if peek(bytes, *pos + 1) == Some(b'/') => {
+            while *pos < bytes.len() && bytes[*pos] != b'\n' {
+                *pos += 1;
+            }
+            TokenKind::LineComment
+        }
+        b'/' if peek(bytes, *pos + 1) == Some(b'*') => {
+            *pos += 2;
+            let mut depth = 1usize;
+            while *pos < bytes.len() && depth > 0 {
+                if bytes[*pos] == b'/' && peek(bytes, *pos + 1) == Some(b'*') {
+                    depth += 1;
+                    *pos += 2;
+                } else if bytes[*pos] == b'*' && peek(bytes, *pos + 1) == Some(b'/') {
+                    depth -= 1;
+                    *pos += 2;
+                } else {
+                    *pos += 1;
+                }
+            }
+            TokenKind::BlockComment
+        }
+        b'r' | b'b' => scan_prefixed(bytes, pos),
+        b'"' => {
+            *pos += 1;
+            scan_quoted(bytes, pos, b'"');
+            TokenKind::StrLit
+        }
+        b'\'' => scan_quote(bytes, pos),
+        _ if b.is_ascii_digit() => {
+            *pos += 1;
+            scan_number_rest(bytes, pos);
+            TokenKind::NumLit
+        }
+        _ if is_ident_start(b) => {
+            scan_ident(bytes, pos);
+            TokenKind::Ident
+        }
+        _ => {
+            // A single punctuation character; step a whole `char` so multi-byte
+            // punctuation (which can't start an ident by the >= 0x80 rule above —
+            // it can, so this arm only sees ASCII) stays well-formed.
+            let ch_len = src[*pos..].chars().next().map_or(1, char::len_utf8);
+            *pos += ch_len;
+            TokenKind::Punct
+        }
+    }
+}
+
+fn peek(bytes: &[u8], at: usize) -> Option<u8> {
+    bytes.get(at).copied()
+}
+
+fn scan_ident(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && is_ident_continue(bytes[*pos]) {
+        *pos += 1;
+    }
+}
+
+/// Consumes the body of an escaped quoted literal up to and including the closing
+/// `close` byte (or end of input for unterminated literals).  `*pos` starts just past
+/// the opening quote.
+fn scan_quoted(bytes: &[u8], pos: &mut usize, close: u8) {
+    while *pos < bytes.len() {
+        let b = bytes[*pos];
+        if b == b'\\' {
+            // Skip the escape introducer and, if present, the escaped byte.
+            *pos += 1;
+            if *pos < bytes.len() {
+                *pos += 1;
+            }
+        } else if b == close {
+            *pos += 1;
+            return;
+        } else {
+            *pos += 1;
+        }
+    }
+}
+
+/// Tokens that start with `r` or `b`: raw strings, byte strings, raw byte strings, raw
+/// identifiers — or a plain identifier when none of the literal forms match.
+fn scan_prefixed(bytes: &[u8], pos: &mut usize) -> TokenKind {
+    let first = bytes[*pos];
+    let mut look = *pos + 1;
+    let mut raw = first == b'r';
+    let byte = first == b'b';
+    if byte && peek(bytes, look) == Some(b'r') {
+        raw = true;
+        look += 1;
+    }
+    if raw {
+        let mut hashes = 0usize;
+        while peek(bytes, look) == Some(b'#') {
+            hashes += 1;
+            look += 1;
+        }
+        if peek(bytes, look) == Some(b'"') {
+            *pos = look + 1;
+            scan_raw_body(bytes, pos, hashes);
+            return if byte {
+                TokenKind::ByteStrLit
+            } else {
+                TokenKind::RawStrLit
+            };
+        }
+        if !byte && hashes == 1 && peek(bytes, look).is_some_and(is_ident_start) {
+            // Raw identifier `r#match`.
+            *pos = look;
+            scan_ident(bytes, pos);
+            return TokenKind::Ident;
+        }
+    } else if byte {
+        match peek(bytes, look) {
+            Some(b'"') => {
+                *pos = look + 1;
+                scan_quoted(bytes, pos, b'"');
+                return TokenKind::ByteStrLit;
+            }
+            Some(b'\'') => {
+                *pos = look + 1;
+                scan_quoted(bytes, pos, b'\'');
+                return TokenKind::CharLit;
+            }
+            _ => {}
+        }
+    }
+    scan_ident(bytes, pos);
+    TokenKind::Ident
+}
+
+/// Consumes a raw-string body up to and including `"` followed by `hashes` `#`s.
+fn scan_raw_body(bytes: &[u8], pos: &mut usize, hashes: usize) {
+    while *pos < bytes.len() {
+        if bytes[*pos] == b'"' {
+            let mut seen = 0usize;
+            while seen < hashes && peek(bytes, *pos + 1 + seen) == Some(b'#') {
+                seen += 1;
+            }
+            if seen == hashes {
+                *pos += 1 + hashes;
+                return;
+            }
+        }
+        *pos += 1;
+    }
+}
+
+/// `'` starts a lifetime, a char literal, or (for degenerate input) a lone quote.
+fn scan_quote(bytes: &[u8], pos: &mut usize) -> TokenKind {
+    match peek(bytes, *pos + 1) {
+        Some(b'\\') => {
+            *pos += 1;
+            scan_quoted(bytes, pos, b'\'');
+            TokenKind::CharLit
+        }
+        Some(next) if is_ident_continue(next) => {
+            // `'a'` is a char literal, `'a` (no closing quote after the ident run) a
+            // lifetime.  The run also covers multi-byte chars like `'日'`.
+            let mut look = *pos + 1;
+            while look < bytes.len() && is_ident_continue(bytes[look]) {
+                look += 1;
+            }
+            if peek(bytes, look) == Some(b'\'') {
+                *pos = look + 1;
+                TokenKind::CharLit
+            } else {
+                *pos = look;
+                TokenKind::Lifetime
+            }
+        }
+        // `'('` and friends: a single quoted non-ident char.
+        Some(next) if next != b'\'' && peek(bytes, *pos + 2) == Some(b'\'') => {
+            *pos += 3;
+            TokenKind::CharLit
+        }
+        _ => {
+            *pos += 1;
+            TokenKind::Punct
+        }
+    }
+}
+
+/// Consumes the rest of a numeric literal: alphanumerics, underscores, and a decimal
+/// point when (and only when) a digit follows it, so `0..n` lexes as `0` `.` `.` `n`.
+fn scan_number_rest(bytes: &[u8], pos: &mut usize) {
+    loop {
+        match peek(bytes, *pos) {
+            Some(b) if b.is_ascii_alphanumeric() || b == b'_' => *pos += 1,
+            Some(b'.') if peek(bytes, *pos + 1).is_some_and(|d| d.is_ascii_digit()) => {
+                *pos += 1;
+            }
+            _ => return,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, &str)> {
+        lex(src)
+            .into_iter()
+            .map(|t| (t.kind, &src[t.start..t.end]))
+            .collect()
+    }
+
+    fn assert_tiling(src: &str) {
+        let tokens = lex(src);
+        let mut at = 0usize;
+        for token in &tokens {
+            assert_eq!(token.start, at, "gap or overlap in {src:?}");
+            assert!(token.end > token.start);
+            at = token.end;
+        }
+        assert_eq!(at, src.len(), "tokens must cover all of {src:?}");
+    }
+
+    #[test]
+    fn basic_tokens() {
+        let toks = kinds("let x = a.unwrap();");
+        assert!(toks.contains(&(TokenKind::Ident, "unwrap")));
+        assert!(toks.contains(&(TokenKind::Punct, ".")));
+        assert_tiling("let x = a.unwrap();");
+    }
+
+    #[test]
+    fn strings_hide_their_content() {
+        let src = r#"let s = "a.unwrap() // not a comment";"#;
+        let toks = kinds(src);
+        assert!(toks
+            .iter()
+            .any(|(k, text)| *k == TokenKind::StrLit && text.contains("unwrap")));
+        assert!(!toks
+            .iter()
+            .any(|(k, text)| *k == TokenKind::Ident && *text == "unwrap"));
+        assert_tiling(src);
+    }
+
+    #[test]
+    fn raw_strings_and_hashes() {
+        let src = r##"let s = r#"panic!("x") "quoted""#;"##;
+        let toks = kinds(src);
+        assert!(toks
+            .iter()
+            .any(|(k, text)| *k == TokenKind::RawStrLit && text.contains("panic")));
+        assert_tiling(src);
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings() {
+        for src in ["let b = b\"bytes\";", "let b = br#\"raw \" bytes\"#;"] {
+            let toks = kinds(src);
+            assert!(toks.iter().any(|(k, _)| *k == TokenKind::ByteStrLit));
+            assert_tiling(src);
+        }
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> char { 'x' }";
+        let toks = kinds(src);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Lifetime && *t == "'a"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::CharLit && *t == "'x'"));
+        assert_tiling(src);
+    }
+
+    #[test]
+    fn escaped_char_literals() {
+        for src in ["'\\n'", "'\\''", "'\\\\'", "'\\u{1F600}'"] {
+            let toks = lex(src);
+            assert_eq!(toks.len(), 1, "{src:?} lexes as one token");
+            assert_eq!(toks[0].kind, TokenKind::CharLit, "{src:?}");
+            assert_tiling(src);
+        }
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* outer /* inner */ still comment */ x";
+        let toks = kinds(src);
+        assert!(toks
+            .iter()
+            .any(|(k, text)| *k == TokenKind::BlockComment && text.contains("inner")));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && *t == "x"));
+        assert_tiling(src);
+    }
+
+    #[test]
+    fn line_comment_excludes_newline() {
+        let src = "// note\nx";
+        let toks = kinds(src);
+        assert_eq!(toks[0], (TokenKind::LineComment, "// note"));
+        assert_eq!(toks[1], (TokenKind::Whitespace, "\n"));
+        assert_tiling(src);
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        let toks = kinds("let r#match = 1;");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && *t == "r#match"));
+        assert_tiling("let r#match = 1;");
+    }
+
+    #[test]
+    fn numbers_and_ranges() {
+        let toks = kinds("for i in 0..10 { let f = 1.5e3_f64; }");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::NumLit && *t == "0"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::NumLit && *t == "10"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::NumLit && *t == "1.5e3_f64"));
+        assert_tiling("for i in 0..10 { let f = 1.5e3_f64; }");
+    }
+
+    #[test]
+    fn degenerate_inputs_do_not_panic() {
+        for src in [
+            "",
+            "'",
+            "''",
+            "'''",
+            "\"",
+            "\"\\",
+            "r#",
+            "r#\"",
+            "b'",
+            "b\"",
+            "/*",
+            "/*/",
+            "'\\",
+            "r#\"unterminated",
+            "br##\"x\"#",
+        ] {
+            assert_tiling(src);
+        }
+    }
+}

@@ -1,0 +1,192 @@
+//! `tailbench lint`: in-tree static analysis for the invariants the compiler cannot
+//! see.
+//!
+//! The whole reproduction rests on three properties that are otherwise enforced only
+//! by review: DES runs must be bit-exact (the golden tests and the `BENCH_<n>.json`
+//! hard gate depend on it), the measurement hot paths must not panic mid-run, and
+//! every random draw must flow from the root seed so sweep rows stay comparable.
+//! This crate makes those invariants machine-checkable with a self-contained pass —
+//! no external dependencies, consistent with the offline build — built on a small
+//! lossless Rust lexer ([`lexer`]) and a token-level rule engine ([`rules`]):
+//!
+//! | rule | scope | forbids |
+//! |---|---|---|
+//! | `no-wallclock-in-sim` | DES/simulation modules | `Instant::now`, `SystemTime::now`, `unix_time` |
+//! | `no-panic-hotpath` | designated hot-path modules | `.unwrap()`, `.expect(`, `panic!`, `unreachable!`, direct indexing |
+//! | `no-unseeded-rng` | everywhere outside `stubs/` | `thread_rng`, `from_entropy`, seeding from time |
+//! | `no-unordered-iteration-in-reports` | report/JSON-emitting modules | `HashMap`/`HashSet` |
+//!
+//! Every rule honours a justification-required pragma:
+//!
+//! ```text
+//! // tailbench-lint: allow(no-panic-hotpath) -- index bounded by the loop invariant
+//! ```
+//!
+//! An allow without a non-empty `-- <reason>` is itself a finding
+//! (`unjustified-allow`), so the tree can never silently accumulate blanket waivers.
+//! Findings are also exported machine-readably through the workspace's canonical JSON
+//! codec ([`tailbench_experiment::json`]).
+
+pub mod lexer;
+pub mod rules;
+
+pub use rules::{classify, lint_source, FileClasses, Finding, Rule, ALL_RULES};
+
+use std::path::{Path, PathBuf};
+use tailbench_experiment::json::Json;
+
+/// The outcome of linting a file tree.
+#[derive(Debug, Clone)]
+pub struct LintReport {
+    /// All findings, sorted by (path, line, rule).
+    pub findings: Vec<Finding>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+impl LintReport {
+    /// `true` when no rule fired and every allow pragma is justified.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// One `path:line: rule: message` line per finding, plus a summary line.
+    #[must_use]
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for finding in &self.findings {
+            out.push_str(&finding.to_string());
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "tailbench lint: {} finding(s) across {} file(s)\n",
+            self.findings.len(),
+            self.files_scanned
+        ));
+        out
+    }
+
+    /// The machine-readable form, via the canonical in-tree JSON codec.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("files_scanned", Json::U64(self.files_scanned as u64)),
+            ("clean", Json::Bool(self.is_clean())),
+            (
+                "findings",
+                Json::Arr(
+                    self.findings
+                        .iter()
+                        .map(|f| {
+                            Json::obj(vec![
+                                ("rule", Json::str(f.rule.name())),
+                                ("path", Json::str(&f.path)),
+                                ("line", Json::U64(f.line as u64)),
+                                ("message", Json::str(&f.message)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// The canonical JSON text (pretty-printed, trailing newline).
+    #[must_use]
+    pub fn to_json_string(&self) -> String {
+        self.to_json().to_text_pretty()
+    }
+}
+
+/// Directory names never descended into: build output, VCS metadata.
+const SKIP_DIRS: [&str; 2] = ["target", ".git"];
+
+/// Path prefixes excluded from the workspace walk: the lint's own violation fixtures
+/// (they exist to fire rules) live here.
+const SKIP_PREFIXES: [&str; 1] = ["crates/lint/tests/fixtures"];
+
+/// Lints every `.rs` file under `root` (the workspace checkout), returning the
+/// aggregate report.  The file list is sorted, so the report is deterministic.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error if the tree cannot be read.
+pub fn lint_workspace(root: &Path) -> std::io::Result<LintReport> {
+    let mut files = Vec::new();
+    collect_rust_files(root, root, &mut files)?;
+    files.sort();
+    let mut findings = Vec::new();
+    let files_scanned = files.len();
+    for rel in files {
+        let source = std::fs::read_to_string(root.join(&rel))?;
+        let rel_str = rel.to_string_lossy().replace('\\', "/");
+        findings.extend(lint_source(&rel_str, &source));
+    }
+    findings
+        .sort_by(|a, b| (a.path.as_str(), a.line, a.rule).cmp(&(b.path.as_str(), b.line, b.rule)));
+    Ok(LintReport {
+        findings,
+        files_scanned,
+    })
+}
+
+fn collect_rust_files(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        let rel = path.strip_prefix(root).unwrap_or(&path);
+        let rel_str = rel.to_string_lossy().replace('\\', "/");
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref())
+                || SKIP_PREFIXES.iter().any(|p| rel_str.starts_with(p))
+            {
+                continue;
+            }
+            collect_rust_files(root, &path, out)?;
+        } else if name.ends_with(".rs") && !SKIP_PREFIXES.iter().any(|p| rel_str.starts_with(p)) {
+            out.push(rel.to_path_buf());
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_renders_text_and_json() {
+        let report = LintReport {
+            findings: vec![Finding {
+                rule: Rule::NoPanicHotpath,
+                path: "crates/core/src/queue.rs".to_string(),
+                line: 7,
+                message: "`.unwrap()` on a hot path".to_string(),
+            }],
+            files_scanned: 3,
+        };
+        let text = report.render_text();
+        assert!(text.contains("crates/core/src/queue.rs:7: no-panic-hotpath"));
+        assert!(text.contains("1 finding(s) across 3 file(s)"));
+        assert!(!report.is_clean());
+
+        let json = report.to_json_string();
+        assert!(json.contains("\"no-panic-hotpath\""));
+        assert!(json.contains("\"clean\": false"));
+        let parsed = tailbench_experiment::json::parse(&json).expect("canonical JSON reparses");
+        assert_eq!(parsed.get("files_scanned").and_then(Json::as_u64), Some(3));
+    }
+
+    #[test]
+    fn clean_report_is_clean() {
+        let report = LintReport {
+            findings: Vec::new(),
+            files_scanned: 1,
+        };
+        assert!(report.is_clean());
+        assert!(report.to_json_string().contains("\"clean\": true"));
+    }
+}

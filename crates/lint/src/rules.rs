@@ -1,0 +1,828 @@
+//! The rule engine: file classification, `#[cfg(test)]` skipping, allow-pragmas and
+//! the four invariant rules.
+//!
+//! Rules operate on the significant (non-trivia) token stream produced by
+//! [`crate::lexer`], so occurrences inside strings and comments never fire.  Code under
+//! a `#[cfg(test)]` (or `#[test]`) attribute is exempt: the invariants protect the
+//! measurement hot paths and report emitters, not the assertions that test them.
+
+use crate::lexer::{lex, Token, TokenKind};
+use std::fmt;
+
+/// The lint rules.  Each rule's kebab-case name is both the CLI/report identifier and
+/// the key accepted by the allow pragma.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// `Instant::now` / `SystemTime::now` / `unix_time` in DES/simulation modules:
+    /// virtual-time code consulting the wall clock silently breaks bit-exactness.
+    NoWallclockInSim,
+    /// `.unwrap()` / `.expect(` / `panic!` / `unreachable!` / `todo!` /
+    /// `unimplemented!` / direct slice indexing in designated hot-path modules.
+    NoPanicHotpath,
+    /// Entropy-seeded RNG construction (`thread_rng`, `from_entropy`, seeding from
+    /// time) anywhere outside `stubs/`: every draw must flow from the root seed.
+    NoUnseededRng,
+    /// `HashMap` / `HashSet` in report/golden/JSON-emitting modules: iteration order
+    /// would leak nondeterminism into emitted artifacts; use `BTreeMap` or
+    /// sort-before-emit adapters.
+    NoUnorderedIterationInReports,
+    /// An allow pragma whose justification is missing or empty.  Never suppressible.
+    UnjustifiedAllow,
+    /// An allow pragma naming a rule this lint does not define.  Never suppressible.
+    UnknownAllowRule,
+}
+
+/// Every rule, in report order.
+pub const ALL_RULES: [Rule; 6] = [
+    Rule::NoWallclockInSim,
+    Rule::NoPanicHotpath,
+    Rule::NoUnseededRng,
+    Rule::NoUnorderedIterationInReports,
+    Rule::UnjustifiedAllow,
+    Rule::UnknownAllowRule,
+];
+
+impl Rule {
+    /// The kebab-case rule name used in reports and allow pragmas.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::NoWallclockInSim => "no-wallclock-in-sim",
+            Rule::NoPanicHotpath => "no-panic-hotpath",
+            Rule::NoUnseededRng => "no-unseeded-rng",
+            Rule::NoUnorderedIterationInReports => "no-unordered-iteration-in-reports",
+            Rule::UnjustifiedAllow => "unjustified-allow",
+            Rule::UnknownAllowRule => "unknown-allow-rule",
+        }
+    }
+
+    /// Parses a rule name as written in an allow pragma.
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<Rule> {
+        ALL_RULES.into_iter().find(|rule| rule.name() == name)
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Which rule sets apply to one file, derived from its workspace-relative path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FileClasses {
+    /// Simulation/DES module: the wallclock rule applies.
+    pub sim: bool,
+    /// Designated hot-path module: the panic rule applies.
+    pub hot: bool,
+    /// Report/JSON-emitting module: the unordered-iteration rule applies.
+    pub report: bool,
+    /// The unseeded-RNG rule applies (everywhere except the offline dependency shims
+    /// under `stubs/`, which legitimately implement entropy entry points).
+    pub rng: bool,
+}
+
+/// Hot-path modules: panics here tear down a measurement mid-run.
+const HOT_FILES: [&str; 7] = [
+    "crates/core/src/protocol.rs",
+    "crates/core/src/queue.rs",
+    "crates/core/src/hedge.rs",
+    "crates/core/src/sim.rs",
+    "crates/core/src/worker.rs",
+    "crates/core/src/pool.rs",
+    "crates/core/src/net.rs",
+];
+
+/// Report/golden/JSON-emitting modules: unordered iteration here would leak host
+/// hash-seed nondeterminism into emitted artifacts.
+const REPORT_FILES: [&str; 5] = [
+    "crates/core/src/collector.rs",
+    "crates/core/src/report.rs",
+    "crates/experiment/src/lib.rs",
+    "crates/experiment/src/output.rs",
+    "crates/experiment/src/bench.rs",
+];
+
+/// Classifies a workspace-relative path (forward slashes) into its rule sets.
+#[must_use]
+pub fn classify(rel_path: &str) -> FileClasses {
+    let path = rel_path.replace('\\', "/");
+    let path = path.trim_start_matches("./");
+    FileClasses {
+        sim: path == "crates/core/src/sim.rs"
+            || path.starts_with("crates/simarch/src/")
+            || path.starts_with("crates/queueing/src/")
+            || path == "crates/scenario/src/phase.rs",
+        hot: HOT_FILES.contains(&path),
+        report: REPORT_FILES.contains(&path),
+        rng: !path.starts_with("stubs/"),
+    }
+}
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// The rule that fired.
+    pub rule: Rule,
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based source line.
+    pub line: usize,
+    /// Human-readable explanation, naming the offending construct.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: {}: {}",
+            self.path,
+            self.line,
+            self.rule.name(),
+            self.message
+        )
+    }
+}
+
+/// A parsed allow pragma: the marker followed by `allow(<rules>) -- <reason>`.
+#[derive(Debug, Clone)]
+struct Pragma {
+    rules: Vec<Rule>,
+    reason: String,
+    /// The line of code the pragma covers (its own line for trailing comments, the
+    /// next code line for standalone comment lines).
+    covers: usize,
+}
+
+/// The marker that introduces a pragma inside a comment.
+const PRAGMA_MARKER: &str = "tailbench-lint:";
+
+/// Lints one file's source, returning its findings sorted by line.
+///
+/// `rel_path` both labels the findings and selects the applicable rule sets via
+/// [`classify`]; callers with out-of-tree sources (fixtures) can pass any
+/// representative path.
+#[must_use]
+pub fn lint_source(rel_path: &str, source: &str) -> Vec<Finding> {
+    let classes = classify(rel_path);
+    let tokens = lex(source);
+    let line_starts = line_starts(source);
+    let line_of = |offset: usize| match line_starts.binary_search(&offset) {
+        // A hit means `offset` is exactly a line start (a column-0 token on line
+        // `i + 1`); a miss at insertion point `i` means the offset falls inside line `i`.
+        Ok(i) => i + 1,
+        Err(i) => i,
+    };
+
+    // Significant (non-trivia) tokens drive the rules; a parallel skip mask marks
+    // tokens under test-only items.
+    let sig: Vec<&Token> = tokens.iter().filter(|t| !t.kind.is_trivia()).collect();
+    let skip = test_item_mask(source, &sig);
+
+    let mut findings = Vec::new();
+    let pragmas = collect_pragmas(source, &tokens, &line_starts, &mut findings, rel_path);
+
+    scan_rules(
+        rel_path,
+        source,
+        &sig,
+        &skip,
+        classes,
+        &line_of,
+        &mut findings,
+    );
+
+    // Apply suppression: a finding is dropped when a *justified* pragma covering its
+    // line names its rule.  Pragma hygiene findings are never suppressible.
+    findings.retain(|finding| {
+        if matches!(
+            finding.rule,
+            Rule::UnjustifiedAllow | Rule::UnknownAllowRule
+        ) {
+            return true;
+        }
+        !pragmas.iter().any(|p| {
+            p.covers == finding.line && !p.reason.is_empty() && p.rules.contains(&finding.rule)
+        })
+    });
+
+    findings.sort_by_key(|f| (f.line, f.rule));
+    findings
+}
+
+/// Byte offsets at which each line starts (line 1 starts at offset 0).
+fn line_starts(source: &str) -> Vec<usize> {
+    let mut starts = vec![0usize];
+    for (i, b) in source.bytes().enumerate() {
+        if b == b'\n' {
+            starts.push(i + 1);
+        }
+    }
+    starts
+}
+
+/// Extracts allow pragmas from comment tokens, emitting hygiene findings for empty
+/// justifications and unknown rule names.
+fn collect_pragmas(
+    source: &str,
+    tokens: &[Token],
+    line_starts: &[usize],
+    findings: &mut Vec<Finding>,
+    rel_path: &str,
+) -> Vec<Pragma> {
+    let line_of = |offset: usize| match line_starts.binary_search(&offset) {
+        // A hit means `offset` is exactly a line start (a column-0 token on line
+        // `i + 1`); a miss at insertion point `i` means the offset falls inside line `i`.
+        Ok(i) => i + 1,
+        Err(i) => i,
+    };
+    let mut pragmas = Vec::new();
+    for (index, token) in tokens.iter().enumerate() {
+        if !matches!(token.kind, TokenKind::LineComment | TokenKind::BlockComment) {
+            continue;
+        }
+        let text = &source[token.start..token.end];
+        let Some(marker_at) = text.find(PRAGMA_MARKER) else {
+            continue;
+        };
+        let line = line_of(token.start);
+        let rest = text[marker_at + PRAGMA_MARKER.len()..].trim_start();
+        let Some((rule_list, reason)) = parse_allow(rest) else {
+            findings.push(Finding {
+                rule: Rule::UnknownAllowRule,
+                path: rel_path.to_string(),
+                line,
+                message: format!(
+                    "malformed pragma: expected `{PRAGMA_MARKER} allow(<rules>) -- <reason>`"
+                ),
+            });
+            continue;
+        };
+        let mut rules = Vec::new();
+        for name in rule_list
+            .split(',')
+            .map(str::trim)
+            .filter(|n| !n.is_empty())
+        {
+            match Rule::from_name(name) {
+                Some(rule) => rules.push(rule),
+                None => findings.push(Finding {
+                    rule: Rule::UnknownAllowRule,
+                    path: rel_path.to_string(),
+                    line,
+                    message: format!("allow pragma names unknown rule `{name}`"),
+                }),
+            }
+        }
+        if reason.is_empty() {
+            findings.push(Finding {
+                rule: Rule::UnjustifiedAllow,
+                path: rel_path.to_string(),
+                line,
+                message: "allow pragma without a justification (`-- <reason>` required)"
+                    .to_string(),
+            });
+        }
+        let covers = pragma_covers(tokens, index, line, &line_of);
+        pragmas.push(Pragma {
+            rules,
+            reason: reason.to_string(),
+            covers,
+        });
+    }
+    pragmas
+}
+
+/// Parses `allow(<rules>) -- <reason>`, returning the rule list and trimmed reason
+/// (empty when the `--` separator or the reason itself is missing).
+fn parse_allow(rest: &str) -> Option<(&str, &str)> {
+    let rest = rest.strip_prefix("allow")?.trim_start();
+    let rest = rest.strip_prefix('(')?;
+    let close = rest.find(')')?;
+    let rule_list = &rest[..close];
+    let after = rest[close + 1..].trim_start();
+    let reason = after
+        .strip_prefix("--")
+        .map_or("", |r| r.trim().trim_end_matches("*/").trim());
+    Some((rule_list, reason))
+}
+
+/// The line a pragma covers: its own line when code precedes it on that line
+/// (trailing comment), otherwise the next line holding any significant token.
+fn pragma_covers(
+    tokens: &[Token],
+    comment_index: usize,
+    comment_line: usize,
+    line_of: &dyn Fn(usize) -> usize,
+) -> usize {
+    let has_code_before = tokens[..comment_index]
+        .iter()
+        .rev()
+        .take_while(|t| line_of(t.start) == comment_line)
+        .any(|t| !t.kind.is_trivia());
+    if has_code_before {
+        return comment_line;
+    }
+    tokens[comment_index + 1..]
+        .iter()
+        .find(|t| !t.kind.is_trivia())
+        .map_or(comment_line, |t| line_of(t.start))
+}
+
+/// Marks significant tokens that belong to test-only items: any item annotated
+/// `#[test]` or `#[cfg(test)]` (including `cfg(all(test, ...))`; `cfg(not(test))`
+/// guards *production* code and is not skipped).
+fn test_item_mask(source: &str, sig: &[&Token]) -> Vec<bool> {
+    let mut skip = vec![false; sig.len()];
+    let text = |t: &Token| &source[t.start..t.end];
+    let mut i = 0usize;
+    while i < sig.len() {
+        if !(sig[i].kind == TokenKind::Punct && text(sig[i]) == "#") {
+            i += 1;
+            continue;
+        }
+        // Parse one attribute `#[ ... ]` (or inner `#![ ... ]`).
+        let mut j = i + 1;
+        if j < sig.len() && text(sig[j]) == "!" {
+            j += 1;
+        }
+        if !(j < sig.len() && text(sig[j]) == "[") {
+            i += 1;
+            continue;
+        }
+        let attr_start = j;
+        let mut depth = 0usize;
+        let mut attr_end = None;
+        let mut is_test = false;
+        let mut saw_cfg = false;
+        let mut saw_test_ident = false;
+        let mut saw_not = false;
+        let mut idents = 0usize;
+        for (k, token) in sig.iter().enumerate().skip(attr_start) {
+            match text(token) {
+                "[" | "(" | "{" => depth += 1,
+                "]" | ")" | "}" => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        attr_end = Some(k);
+                        break;
+                    }
+                }
+                word if token.kind == TokenKind::Ident => {
+                    idents += 1;
+                    match word {
+                        "cfg" => saw_cfg = true,
+                        "test" => saw_test_ident = true,
+                        "not" => saw_not = true,
+                        _ => {}
+                    }
+                }
+                _ => {}
+            }
+        }
+        let Some(attr_end) = attr_end else { break };
+        if idents == 1 && saw_test_ident {
+            is_test = true; // plain `#[test]`
+        }
+        if saw_cfg && saw_test_ident && !saw_not {
+            is_test = true; // `#[cfg(test)]`, `#[cfg(all(test, ...))]`
+        }
+        if !is_test {
+            i = attr_end + 1;
+            continue;
+        }
+        // Skip from the attribute through the annotated item: over any further
+        // attributes, then to the `;` of a braceless item or the `}` closing the
+        // item's first top-level brace.
+        let mut k = attr_end + 1;
+        // Further attributes on the same item.
+        while k + 1 < sig.len() && text(sig[k]) == "#" && text(sig[k + 1]) == "[" {
+            let mut d = 0usize;
+            let mut m = k + 1;
+            while m < sig.len() {
+                match text(sig[m]) {
+                    "[" | "(" | "{" => d += 1,
+                    "]" | ")" | "}" => {
+                        d = d.saturating_sub(1);
+                        if d == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                m += 1;
+            }
+            k = (m + 1).min(sig.len());
+        }
+        let mut brace_depth = 0usize;
+        let mut entered = false;
+        let mut item_end = sig.len().saturating_sub(1);
+        for (m, token) in sig.iter().enumerate().skip(k) {
+            match text(token) {
+                "{" => {
+                    brace_depth += 1;
+                    entered = true;
+                }
+                "}" => {
+                    brace_depth = brace_depth.saturating_sub(1);
+                    if entered && brace_depth == 0 {
+                        item_end = m;
+                        break;
+                    }
+                }
+                ";" if !entered => {
+                    item_end = m;
+                    break;
+                }
+                _ => {}
+            }
+        }
+        for flag in skip.iter_mut().take(item_end + 1).skip(i) {
+            *flag = true;
+        }
+        i = item_end + 1;
+    }
+    skip
+}
+
+/// Rust keywords that can legitimately precede `[` without forming an index
+/// expression (array literals and array types after `return`, `in`, …).
+const NON_INDEX_KEYWORDS: [&str; 24] = [
+    "as", "break", "const", "continue", "crate", "dyn", "else", "enum", "extern", "fn", "for",
+    "if", "impl", "in", "let", "loop", "match", "mod", "move", "mut", "ref", "return", "static",
+    "while",
+];
+
+/// Identifiers whose presence anywhere (outside `stubs/`) means entropy-based RNG
+/// construction.
+const ENTROPY_IDENTS: [&str; 6] = [
+    "thread_rng",
+    "ThreadRng",
+    "from_entropy",
+    "OsRng",
+    "EntropyRng",
+    "getrandom",
+];
+
+/// Seeding constructors whose arguments must not consult the wall clock.
+const SEED_CALLS: [&str; 4] = ["seeded_rng", "seed_from_u64", "from_seed", "with_seed"];
+
+/// Wall-clock identifiers (used by the sim rule and the seeded-from-time check).
+const WALLCLOCK_IDENTS: [&str; 3] = ["Instant", "SystemTime", "unix_time"];
+
+#[allow(clippy::too_many_arguments)]
+fn scan_rules(
+    rel_path: &str,
+    source: &str,
+    sig: &[&Token],
+    skip: &[bool],
+    classes: FileClasses,
+    line_of: &dyn Fn(usize) -> usize,
+    findings: &mut Vec<Finding>,
+) {
+    let text = |t: &Token| &source[t.start..t.end];
+    let push = |findings: &mut Vec<Finding>, rule: Rule, token: &Token, message: String| {
+        findings.push(Finding {
+            rule,
+            path: rel_path.to_string(),
+            line: line_of(token.start),
+            message,
+        });
+    };
+
+    for i in 0..sig.len() {
+        if skip[i] {
+            continue;
+        }
+        let token = sig[i];
+        let word = text(token);
+        let prev = i.checked_sub(1).map(|p| text(sig[p]));
+        let next = sig.get(i + 1).map(|n| text(n));
+
+        if classes.sim && token.kind == TokenKind::Ident {
+            if word == "now"
+                && prev == Some(":")
+                && i >= 3
+                && text(sig[i - 2]) == ":"
+                && matches!(text(sig[i - 3]), "Instant" | "SystemTime")
+            {
+                push(
+                    findings,
+                    Rule::NoWallclockInSim,
+                    token,
+                    format!(
+                        "`{}::now` in a simulation module (virtual time only)",
+                        text(sig[i - 3])
+                    ),
+                );
+            }
+            if word == "unix_time" {
+                push(
+                    findings,
+                    Rule::NoWallclockInSim,
+                    token,
+                    "`unix_time` in a simulation module (virtual time only)".to_string(),
+                );
+            }
+        }
+
+        if classes.hot {
+            if token.kind == TokenKind::Ident {
+                match word {
+                    "unwrap" if prev == Some(".") => push(
+                        findings,
+                        Rule::NoPanicHotpath,
+                        token,
+                        "`.unwrap()` on a hot path; propagate `HarnessError` instead".to_string(),
+                    ),
+                    "expect" if prev == Some(".") && next == Some("(") => push(
+                        findings,
+                        Rule::NoPanicHotpath,
+                        token,
+                        "`.expect(..)` on a hot path; propagate `HarnessError` instead".to_string(),
+                    ),
+                    "panic" | "unreachable" | "todo" | "unimplemented" if next == Some("!") => {
+                        push(
+                            findings,
+                            Rule::NoPanicHotpath,
+                            token,
+                            format!("`{word}!` on a hot path; propagate `HarnessError` instead"),
+                        );
+                    }
+                    _ => {}
+                }
+            }
+            if token.kind == TokenKind::Punct && word == "[" && i > 0 && !skip[i - 1] {
+                let prev_token = sig[i - 1];
+                let prev_text = text(prev_token);
+                let indexes = match prev_token.kind {
+                    TokenKind::Ident => !NON_INDEX_KEYWORDS.contains(&prev_text),
+                    TokenKind::Punct => matches!(prev_text, ")" | "]"),
+                    _ => false,
+                };
+                if indexes {
+                    push(
+                        findings,
+                        Rule::NoPanicHotpath,
+                        token,
+                        format!(
+                            "direct indexing after `{prev_text}` on a hot path; use `get`/`get_mut`"
+                        ),
+                    );
+                }
+            }
+        }
+
+        if classes.rng && token.kind == TokenKind::Ident {
+            if ENTROPY_IDENTS.contains(&word) {
+                push(
+                    findings,
+                    Rule::NoUnseededRng,
+                    token,
+                    format!("`{word}`: entropy-based RNG construction; derive from the root seed"),
+                );
+            }
+            if SEED_CALLS.contains(&word) && next == Some("(") {
+                // Scan the call's argument list for wall-clock inputs.
+                let mut depth = 0usize;
+                for inner in sig.iter().skip(i + 1) {
+                    match text(inner) {
+                        "(" => depth += 1,
+                        ")" => {
+                            depth = depth.saturating_sub(1);
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        arg if inner.kind == TokenKind::Ident
+                            && (WALLCLOCK_IDENTS.contains(&arg) || arg == "now") =>
+                        {
+                            push(
+                                findings,
+                                Rule::NoUnseededRng,
+                                token,
+                                format!("`{word}(..)` seeded from wall-clock time (`{arg}`)"),
+                            );
+                            break;
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+
+        if classes.report && token.kind == TokenKind::Ident && matches!(word, "HashMap" | "HashSet")
+        {
+            push(
+                findings,
+                Rule::NoUnorderedIterationInReports,
+                token,
+                format!(
+                    "`{word}` in a report-emitting module; use `BTreeMap`/`BTreeSet` or a \
+                     sorted adapter"
+                ),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const HOT: &str = "crates/core/src/queue.rs";
+    const SIM: &str = "crates/core/src/sim.rs";
+    const REPORT: &str = "crates/core/src/collector.rs";
+    const PLAIN: &str = "crates/workloads/src/lib.rs";
+
+    fn rules_fired(path: &str, src: &str) -> Vec<Rule> {
+        lint_source(path, src).into_iter().map(|f| f.rule).collect()
+    }
+
+    #[test]
+    fn classification_table() {
+        assert!(classify("crates/core/src/sim.rs").sim);
+        assert!(classify("crates/core/src/sim.rs").hot);
+        assert!(classify("crates/simarch/src/cache.rs").sim);
+        assert!(classify("crates/scenario/src/phase.rs").sim);
+        assert!(!classify("crates/scenario/src/lib.rs").sim);
+        assert!(classify("crates/core/src/net.rs").hot);
+        assert!(!classify("crates/core/src/runner.rs").hot);
+        assert!(classify("crates/experiment/src/output.rs").report);
+        assert!(!classify("stubs/rand/src/lib.rs").rng);
+        assert!(classify("crates/core/src/runner.rs").rng);
+    }
+
+    #[test]
+    fn unwrap_fires_only_on_hot_paths() {
+        let src = "fn f(x: Option<u8>) -> u8 { x.unwrap() }";
+        assert_eq!(rules_fired(HOT, src), vec![Rule::NoPanicHotpath]);
+        assert_eq!(rules_fired(PLAIN, src), vec![]);
+    }
+
+    #[test]
+    fn string_and_comment_occurrences_do_not_fire() {
+        let src = r#"
+            // calling .unwrap() here would panic
+            fn f() -> &'static str { "don't .unwrap() or panic!(now)" }
+        "#;
+        assert_eq!(rules_fired(HOT, src), vec![]);
+    }
+
+    #[test]
+    fn cfg_test_blocks_are_exempt() {
+        let src = "
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn t() { Some(1).unwrap(); panic!(\"x\"); }
+            }
+        ";
+        assert_eq!(rules_fired(HOT, src), vec![]);
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_exempt() {
+        let src = "
+            #[cfg(not(test))]
+            fn f(x: Option<u8>) -> u8 { x.unwrap() }
+        ";
+        assert_eq!(rules_fired(HOT, src), vec![Rule::NoPanicHotpath]);
+    }
+
+    #[test]
+    fn indexing_detection() {
+        assert_eq!(
+            rules_fired(HOT, "fn f(v: &[u8], i: usize) -> u8 { v[i] }"),
+            vec![Rule::NoPanicHotpath]
+        );
+        // Array literals, array types and attributes are not index expressions.
+        assert_eq!(
+            rules_fired(
+                HOT,
+                "#[derive(Debug)] struct S { a: [u8; 4] } fn f() -> [u8; 2] { [0, 1] }"
+            ),
+            vec![]
+        );
+        assert_eq!(
+            rules_fired(HOT, "fn f() { let v = vec![1, 2]; drop(v); }"),
+            vec![]
+        );
+    }
+
+    #[test]
+    fn wallclock_fires_in_sim_modules_only() {
+        let src = "fn f() { let t = Instant::now(); drop(t); }";
+        assert_eq!(
+            rules_fired(SIM, src),
+            // sim.rs is also a hot-path module, but `Instant::now()` itself carries no
+            // panic construct, so only the wallclock rule fires.
+            vec![Rule::NoWallclockInSim]
+        );
+        assert_eq!(rules_fired(PLAIN, src), vec![]);
+        assert_eq!(
+            rules_fired(SIM, "fn g() -> u64 { unix_time() }"),
+            vec![Rule::NoWallclockInSim]
+        );
+    }
+
+    #[test]
+    fn rng_rule_everywhere_but_stubs() {
+        let src = "fn f() { let mut rng = thread_rng(); }";
+        assert_eq!(rules_fired(PLAIN, src), vec![Rule::NoUnseededRng]);
+        assert_eq!(rules_fired("stubs/rand/src/lib.rs", src), vec![]);
+        assert_eq!(
+            rules_fired(PLAIN, "fn f() { let rng = seeded_rng(unix_time(), 1); }"),
+            vec![Rule::NoUnseededRng]
+        );
+        assert_eq!(
+            rules_fired(PLAIN, "fn f() { let rng = seeded_rng(config.seed, 1); }"),
+            vec![]
+        );
+    }
+
+    #[test]
+    fn hashmap_rule_in_report_modules_only() {
+        let src =
+            "use std::collections::HashMap; fn f() { let m: HashMap<u8, u8> = HashMap::new(); }";
+        let fired = rules_fired(REPORT, src);
+        assert!(fired
+            .iter()
+            .all(|r| *r == Rule::NoUnorderedIterationInReports));
+        assert_eq!(fired.len(), 3);
+        assert_eq!(rules_fired(PLAIN, src), vec![]);
+    }
+
+    #[test]
+    fn justified_allow_suppresses() {
+        let src = "
+            // tailbench-lint: allow(no-panic-hotpath) -- bounded by loop invariant
+            fn f(v: &[u8]) -> u8 { v[0] }
+        ";
+        assert_eq!(rules_fired(HOT, src), vec![]);
+        let trailing =
+            "fn f(v: &[u8]) -> u8 { v[0] } // tailbench-lint: allow(no-panic-hotpath) -- invariant";
+        assert_eq!(rules_fired(HOT, trailing), vec![]);
+    }
+
+    #[test]
+    fn unjustified_allow_is_an_error_and_does_not_suppress() {
+        let src = "
+            // tailbench-lint: allow(no-panic-hotpath)
+            fn f(v: &[u8]) -> u8 { v[0] }
+        ";
+        let fired = rules_fired(HOT, src);
+        assert!(fired.contains(&Rule::UnjustifiedAllow));
+        assert!(fired.contains(&Rule::NoPanicHotpath));
+        let empty_reason = "
+            // tailbench-lint: allow(no-panic-hotpath) --
+            fn f(v: &[u8]) -> u8 { v[0] }
+        ";
+        assert!(rules_fired(HOT, empty_reason).contains(&Rule::UnjustifiedAllow));
+    }
+
+    #[test]
+    fn unknown_rule_in_allow_is_an_error() {
+        let src = "// tailbench-lint: allow(no-such-rule) -- because\nfn f() {}\n";
+        assert_eq!(rules_fired(HOT, src), vec![Rule::UnknownAllowRule]);
+    }
+
+    #[test]
+    fn allow_only_covers_its_line() {
+        let src = "
+            // tailbench-lint: allow(no-panic-hotpath) -- only the next line
+            fn f(v: &[u8]) -> u8 { v[0] }
+            fn g(v: &[u8]) -> u8 { v[1] }
+        ";
+        let findings = lint_source(HOT, src);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, Rule::NoPanicHotpath);
+        assert!(findings[0].message.contains("v"));
+    }
+
+    #[test]
+    fn expect_and_macros_fire() {
+        let fired = rules_fired(
+            HOT,
+            "fn f(x: Option<u8>) -> u8 { match x { Some(v) => v, None => panic!(\"gone\") } }",
+        );
+        assert_eq!(fired, vec![Rule::NoPanicHotpath]);
+        assert_eq!(
+            rules_fired(HOT, "fn f(x: Option<u8>) -> u8 { x.expect(\"present\") }"),
+            vec![Rule::NoPanicHotpath]
+        );
+        assert_eq!(
+            rules_fired(HOT, "fn f() { unreachable!() }"),
+            vec![Rule::NoPanicHotpath]
+        );
+        // `expect` as a field or path segment is not the panicking method.
+        assert_eq!(rules_fired(HOT, "fn f(e: E) -> bool { e.expect }"), vec![]);
+        // `unwrap_or` family is panic-free.
+        assert_eq!(
+            rules_fired(HOT, "fn f(x: Option<u8>) -> u8 { x.unwrap_or(0) }"),
+            vec![]
+        );
+    }
+}

@@ -1,0 +1,7 @@
+//! Seeded-violation fixture: unordered containers in a report-emitting module.
+
+use std::collections::HashMap;
+
+pub fn per_class_rows(rows: HashMap<String, u64>) -> Vec<(String, u64)> {
+    rows.into_iter().collect()
+}

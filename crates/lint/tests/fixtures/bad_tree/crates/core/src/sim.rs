@@ -1,0 +1,20 @@
+//! Seeded-violation fixture: every construct below must be flagged by
+//! `tailbench lint` when this tree is linted as a workspace root.
+
+pub fn wallclock_in_sim() -> u64 {
+    let started = Instant::now();
+    started.elapsed().as_nanos() as u64
+}
+
+pub fn unwrap_on_hot_path(values: &[u64]) -> u64 {
+    values.first().copied().unwrap()
+}
+
+pub fn index_on_hot_path(values: &[u64], i: usize) -> u64 {
+    values[i]
+}
+
+// tailbench-lint: allow(no-panic-hotpath)
+pub fn blanket_allow_without_reason(values: &[u64]) -> u64 {
+    values[0]
+}

@@ -1,0 +1,6 @@
+//! Seeded-violation fixture: entropy-based RNG construction outside `stubs/`.
+
+pub fn unseeded_draw() -> u64 {
+    let mut rng = thread_rng();
+    rng.gen()
+}

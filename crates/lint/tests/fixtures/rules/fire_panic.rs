@@ -1,0 +1,8 @@
+pub fn drain(values: &[u64], i: usize) -> u64 {
+    let first = values.first().copied().unwrap();
+    let second = values.get(1).copied().expect("second element");
+    if first > second {
+        panic!("out of order");
+    }
+    values[i]
+}

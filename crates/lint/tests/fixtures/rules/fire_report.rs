@@ -1,0 +1,12 @@
+use std::collections::HashMap;
+
+pub fn emit(rows: HashMap<String, u64>) -> String {
+    let mut out = String::new();
+    for (name, value) in rows {
+        out.push_str(&name);
+        out.push(' ');
+        out.push_str(&value.to_string());
+        out.push('\n');
+    }
+    out
+}

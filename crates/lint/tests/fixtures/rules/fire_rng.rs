@@ -1,0 +1,5 @@
+pub fn draws() -> (u64, u64) {
+    let mut a = thread_rng();
+    let b = seeded_rng(unix_time(), 1);
+    (a.gen(), b.gen())
+}

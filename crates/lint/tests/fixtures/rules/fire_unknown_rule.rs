@@ -1,0 +1,2 @@
+// tailbench-lint: allow(no-such-rule) -- a reason that cannot save an unknown rule
+pub fn noop() {}

@@ -1,0 +1,17 @@
+pub fn production(values: &[u64]) -> u64 {
+    values.first().copied().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn asserts_may_panic() {
+        let values = vec![1u64, 2];
+        assert_eq!(values.first().copied().unwrap(), values[0]);
+        if values.is_empty() {
+            panic!("unreachable in this test");
+        }
+    }
+}

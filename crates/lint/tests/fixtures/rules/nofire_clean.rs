@@ -1,0 +1,16 @@
+use std::collections::BTreeMap;
+
+pub fn emit(rows: BTreeMap<String, u64>) -> String {
+    let mut out = String::new();
+    for (name, value) in rows {
+        out.push_str(&name);
+        out.push(' ');
+        out.push_str(&value.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+pub fn safe_head(values: &[u64]) -> Option<u64> {
+    values.first().copied()
+}

@@ -1,0 +1,6 @@
+// tailbench-lint: allow(no-panic-hotpath) -- index bounded by the caller's invariant
+pub fn head(values: &[u64]) -> u64 { values[0] }
+
+pub fn tail(values: &[u64]) -> u64 {
+    values[values.len() - 1] // tailbench-lint: allow(no-panic-hotpath) -- len checked upstream
+}

@@ -1,0 +1,11 @@
+// Calling .unwrap() here, or panic!("x"), or Instant::now(), would be a violation —
+// but this is a comment, so nothing fires.
+/* Block comments mentioning thread_rng() and HashMap are equally inert. */
+
+pub fn docs() -> &'static str {
+    "strings may say .unwrap(), panic!(now), thread_rng() and HashMap freely"
+}
+
+pub fn raw() -> &'static str {
+    r#"raw strings too: values[i].expect("x") and SystemTime::now()"#
+}

@@ -1,0 +1,46 @@
+//! Property tests for the lexer's two load-bearing guarantees (see `lexer` docs):
+//! totality (never panics, whatever bytes arrive) and tiling (token spans cover the
+//! input exactly, so re-slicing by span reconstructs the source byte-for-byte).
+
+use proptest::prelude::*;
+use tailbench_lint::lexer::lex;
+
+/// Characters chosen to stress the tricky lexer states: string/char/raw-string
+/// delimiters, comment openers, escapes, and ordinary identifier/number material.
+const TRICKY: &[u8] = b"\"'/*r#b\\\n\t ._!()[]{}:;0x9azA_";
+
+fn assert_tiles(src: &str) -> Result<(), String> {
+    let tokens = lex(src);
+    let mut pos = 0usize;
+    for token in &tokens {
+        prop_assert_eq!(token.start, pos);
+        prop_assert!(token.end > token.start, "empty token at byte {}", pos);
+        pos = token.end;
+    }
+    prop_assert_eq!(pos, src.len());
+    let rebuilt: String = tokens.iter().map(|t| &src[t.start..t.end]).collect();
+    prop_assert_eq!(rebuilt.as_str(), src);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary ASCII (including control characters): lex must be total and tile.
+    #[test]
+    fn lexer_tiles_arbitrary_ascii(bytes in prop::collection::vec(0u8..127, 0..300)) {
+        let src: String = bytes.iter().map(|&b| b as char).collect();
+        assert_tiles(&src)?;
+    }
+
+    /// Sequences over the tricky alphabet: unterminated literals, nested comment
+    /// openers and raw-string hash runs must still tile to end of input.
+    #[test]
+    fn lexer_tiles_tricky_sequences(picks in prop::collection::vec(0usize..28, 0..300)) {
+        let src: String = picks
+            .iter()
+            .map(|&i| TRICKY[i.min(TRICKY.len() - 1)] as char)
+            .collect();
+        assert_tiles(&src)?;
+    }
+}

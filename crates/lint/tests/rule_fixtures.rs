@@ -1,0 +1,118 @@
+//! Fixture-based rule tests: each fixture under `tests/fixtures/rules/` is a small
+//! source file linted under a representative workspace path, asserting exactly which
+//! rules fire (and, for the no-fire fixtures, that none do).  These complement the
+//! unit tests in `rules.rs` by exercising whole files through the public API.
+
+use tailbench_lint::{lint_source, Rule};
+
+/// A hot-path module (panic rule applies, wallclock does not).
+const HOT: &str = "crates/core/src/queue.rs";
+/// A simulation module that is *not* also hot (wallclock rule in isolation).
+const SIM: &str = "crates/queueing/src/lib.rs";
+/// A report-emitting module (unordered-iteration rule applies).
+const REPORT: &str = "crates/experiment/src/output.rs";
+/// An ordinary module: only the everywhere-on RNG rule applies.
+const PLAIN: &str = "crates/workloads/src/lib.rs";
+
+fn fired(path: &str, src: &str) -> Vec<Rule> {
+    lint_source(path, src).into_iter().map(|f| f.rule).collect()
+}
+
+#[test]
+fn wallclock_fixture_fires_per_construct() {
+    let src = include_str!("fixtures/rules/fire_wallclock.rs");
+    let rules = fired(SIM, src);
+    assert_eq!(
+        rules,
+        vec![
+            Rule::NoWallclockInSim, // Instant::now
+            Rule::NoWallclockInSim, // SystemTime::now
+            Rule::NoWallclockInSim, // unix_time
+        ]
+    );
+    assert_eq!(fired(PLAIN, src), vec![], "wallclock rule is sim-scoped");
+}
+
+#[test]
+fn panic_fixture_fires_per_construct_with_lines() {
+    let src = include_str!("fixtures/rules/fire_panic.rs");
+    let findings = lint_source(HOT, src);
+    let got: Vec<(usize, Rule)> = findings.iter().map(|f| (f.line, f.rule)).collect();
+    assert_eq!(
+        got,
+        vec![
+            (2, Rule::NoPanicHotpath), // .unwrap()
+            (3, Rule::NoPanicHotpath), // .expect(
+            (5, Rule::NoPanicHotpath), // panic!
+            (7, Rule::NoPanicHotpath), // values[i]
+        ]
+    );
+    assert_eq!(fired(PLAIN, src), vec![], "panic rule is hot-path-scoped");
+}
+
+#[test]
+fn rng_fixture_fires_everywhere_but_stubs() {
+    let src = include_str!("fixtures/rules/fire_rng.rs");
+    assert_eq!(
+        fired(PLAIN, src),
+        vec![Rule::NoUnseededRng, Rule::NoUnseededRng],
+        "thread_rng and time-seeded seeded_rng both fire"
+    );
+    assert_eq!(fired("stubs/rand/src/lib.rs", src), vec![]);
+}
+
+#[test]
+fn report_fixture_fires_on_unordered_containers() {
+    let src = include_str!("fixtures/rules/fire_report.rs");
+    let rules = fired(REPORT, src);
+    assert!(!rules.is_empty());
+    assert!(rules
+        .iter()
+        .all(|r| *r == Rule::NoUnorderedIterationInReports));
+    assert_eq!(fired(PLAIN, src), vec![], "rule is report-module-scoped");
+}
+
+#[test]
+fn unjustified_allow_fixture_errors_and_does_not_suppress() {
+    let src = include_str!("fixtures/rules/fire_unjustified_allow.rs");
+    let rules = fired(HOT, src);
+    assert!(rules.contains(&Rule::UnjustifiedAllow));
+    assert!(
+        rules.contains(&Rule::NoPanicHotpath),
+        "an unjustified allow must not suppress the underlying finding"
+    );
+}
+
+#[test]
+fn unknown_rule_fixture_errors() {
+    let src = include_str!("fixtures/rules/fire_unknown_rule.rs");
+    assert_eq!(fired(HOT, src), vec![Rule::UnknownAllowRule]);
+}
+
+#[test]
+fn string_and_comment_occurrences_never_fire() {
+    let src = include_str!("fixtures/rules/nofire_strings_and_comments.rs");
+    assert_eq!(fired(HOT, src), vec![]);
+    assert_eq!(fired(SIM, src), vec![]);
+    assert_eq!(fired(REPORT, src), vec![]);
+}
+
+#[test]
+fn cfg_test_fixture_is_exempt() {
+    let src = include_str!("fixtures/rules/nofire_cfg_test.rs");
+    assert_eq!(fired(HOT, src), vec![]);
+}
+
+#[test]
+fn justified_allow_fixture_is_clean() {
+    let src = include_str!("fixtures/rules/nofire_justified_allow.rs");
+    assert_eq!(fired(HOT, src), vec![]);
+}
+
+#[test]
+fn clean_fixture_is_clean_everywhere() {
+    let src = include_str!("fixtures/rules/nofire_clean.rs");
+    for path in [HOT, SIM, REPORT, PLAIN] {
+        assert_eq!(fired(path, src), vec![], "clean fixture fired under {path}");
+    }
+}

@@ -1,0 +1,52 @@
+//! End-to-end test over the seeded `bad_tree` fixture: a miniature workspace whose
+//! files violate every rule.  `lint_workspace` must name each violation by rule,
+//! file and line — the same contract the CI job asserts through the CLI.
+
+use std::path::Path;
+use tailbench_lint::{lint_workspace, Rule};
+
+#[test]
+fn bad_tree_fixture_fires_every_rule_with_file_and_line() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/bad_tree");
+    let report = lint_workspace(&root).expect("fixture tree is readable");
+    assert!(!report.is_clean());
+    assert_eq!(report.files_scanned, 3);
+
+    let got: Vec<(&str, usize, Rule)> = report
+        .findings
+        .iter()
+        .map(|f| (f.path.as_str(), f.line, f.rule))
+        .collect();
+    let want = [
+        (
+            "crates/core/src/collector.rs",
+            3,
+            Rule::NoUnorderedIterationInReports,
+        ),
+        (
+            "crates/core/src/collector.rs",
+            5,
+            Rule::NoUnorderedIterationInReports,
+        ),
+        ("crates/core/src/sim.rs", 5, Rule::NoWallclockInSim),
+        ("crates/core/src/sim.rs", 10, Rule::NoPanicHotpath),
+        ("crates/core/src/sim.rs", 14, Rule::NoPanicHotpath),
+        ("crates/core/src/sim.rs", 17, Rule::UnjustifiedAllow),
+        ("crates/core/src/sim.rs", 19, Rule::NoPanicHotpath),
+        ("crates/workloads/src/lib.rs", 4, Rule::NoUnseededRng),
+    ];
+    assert_eq!(
+        got, want,
+        "findings must be exact and sorted by (path, line, rule)"
+    );
+
+    // The rendered forms carry the same file:line coordinates the CI step greps for.
+    let text = report.render_text();
+    assert!(text.contains("crates/core/src/sim.rs:5: no-wallclock-in-sim"));
+    assert!(text.contains("crates/core/src/sim.rs:10: no-panic-hotpath"));
+    assert!(text.contains("crates/workloads/src/lib.rs:4: no-unseeded-rng"));
+    assert!(text.contains("8 finding(s) across 3 file(s)"));
+    let json = report.to_json_string();
+    assert!(json.contains("\"no-unordered-iteration-in-reports\""));
+    assert!(json.contains("\"clean\": false"));
+}

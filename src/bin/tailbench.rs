@@ -9,6 +9,7 @@
 //! tailbench verify-output <out.json>                      check emitted JSON output
 //! tailbench bench [--suite des|wall|all] [--baseline <f>] [--write <f|auto>]
 //!                 [--check] [--strict]                    perf-trajectory suite
+//! tailbench lint  [--root <dir>] [--check] [--json <out|->]  static analysis
 //! ```
 //!
 //! Global flags: `--scale smoke|quick|full` overrides `TAILBENCH_SCALE`.  Markdown
@@ -34,6 +35,7 @@ USAGE:
     tailbench verify-output <out.json>
     tailbench bench [--suite des|wall|all] [--baseline <file>] [--write <path|auto>]
                     [--check] [--strict]
+    tailbench lint  [--root <dir>] [--check] [--json <path|->]
 
 A spec file is the JSON form of an ExperimentSpec (see `tailbench export fig9`
 for a template).  Presets reproduce the paper figures: fig3, fig6, fig9, fig11,
@@ -44,6 +46,11 @@ DES-deterministic subset).  `--write <path>` (or `auto` for the next free
 BENCH_<n>.json) records the run; `--check` gates it against `--baseline <file>`
 (default: the highest-numbered committed BENCH_<n>.json) and exits 1 on a hard
 regression.  `--strict` promotes advisory wall-clock warnings to failures.
+
+`lint` runs the in-tree static analysis (wall-clock use in DES modules, panics
+on hot paths, unseeded RNG, unordered iteration in report paths) over `--root`
+(default `.`).  Findings print as `path:line: rule: message`; `--check` makes
+any finding exit 1, for CI gating.
 ";
 
 struct Options {
@@ -56,6 +63,7 @@ struct Options {
     write: Option<String>,
     check: bool,
     strict: bool,
+    root: Option<String>,
     positional: Vec<String>,
 }
 
@@ -70,6 +78,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         write: None,
         check: false,
         strict: false,
+        root: None,
         positional: Vec::new(),
     };
     let mut iter = args.iter();
@@ -100,6 +109,9 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             }
             "--check" => options.check = true,
             "--strict" => options.strict = true,
+            "--root" => {
+                options.root = Some(iter.next().ok_or("--root needs a directory")?.clone());
+            }
             flag if flag.starts_with("--") => return Err(format!("unknown flag '{flag}'")),
             positional => options.positional.push(positional.to_string()),
         }
@@ -244,6 +256,34 @@ fn cmd_bench(options: &Options) -> Result<(), CliError> {
     Ok(())
 }
 
+/// `tailbench lint`: run the static-analysis pass, print findings, optionally gate.
+fn cmd_lint(options: &Options) -> Result<(), CliError> {
+    let root = options.root.as_deref().unwrap_or(".");
+    let report = tailbench::lint::lint_workspace(Path::new(root))
+        .map_err(|e| CliError::runtime(format!("cannot lint {root}: {e}")))?;
+    let json_to_stdout = options.json_out.as_deref() == Some("-");
+    if !options.quiet && !json_to_stdout {
+        print!("{}", report.render_text());
+    }
+    if let Some(path) = &options.json_out {
+        let text = report.to_json_string();
+        if path == "-" {
+            print!("{text}");
+        } else {
+            std::fs::write(path, &text).map_err(|e| {
+                CliError::runtime(format!("cannot write JSON report to {path}: {e}"))
+            })?;
+        }
+    }
+    if options.check && !report.is_clean() {
+        return Err(CliError::runtime(format!(
+            "lint failed: {} finding(s)",
+            report.findings.len()
+        )));
+    }
+    Ok(())
+}
+
 fn dispatch(command: &str, options: &Options) -> Result<(), CliError> {
     let arg = options.positional.get(1);
     match command {
@@ -295,6 +335,7 @@ fn dispatch(command: &str, options: &Options) -> Result<(), CliError> {
             Ok(())
         }
         "bench" => cmd_bench(options),
+        "lint" => cmd_lint(options),
         unknown => Err(CliError::usage(format!("unknown command '{unknown}'"))),
     }
 }

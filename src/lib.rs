@@ -52,6 +52,9 @@ pub use tailbench_core as core;
 pub use tailbench_experiment as experiment;
 /// HDR histograms and confidence intervals (re-export of [`tailbench_histogram`]).
 pub use tailbench_histogram as histogram;
+/// The in-tree static-analysis pass behind `tailbench lint` (re-export of
+/// [`tailbench_lint`]).
+pub use tailbench_lint as lint;
 /// The M/G/1 and M/G/k queueing models (re-export of [`tailbench_queueing`]).
 pub use tailbench_queueing as queueing;
 /// The scenario engine: phased load traces, multi-class clients, interference

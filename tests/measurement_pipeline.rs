@@ -98,9 +98,9 @@ fn bounded_queue_overload_is_reported_and_deterministic_in_des() {
         .with_seed(0xD20B)
         .with_admission(AdmissionPolicy::Drop { capacity: 32 });
     let mut factory = || b"shed".to_vec();
-    let a = run_simulated(&app, &mut factory, &config, &model);
+    let a = run_simulated(&app, &mut factory, &config, &model).expect("simulated run");
     let mut factory = || b"shed".to_vec();
-    let b = run_simulated(&app, &mut factory, &config, &model);
+    let b = run_simulated(&app, &mut factory, &config, &model).expect("simulated run");
 
     assert_eq!(a.queue_depth.policy, "drop(32)");
     assert!(a.queue_depth.dropped > 0, "overload must shed");
@@ -130,7 +130,7 @@ fn bounded_queue_overload_is_reported_and_deterministic_in_des() {
         .with_warmup(0)
         .with_seed(0xD20B);
     let mut factory = || b"shed".to_vec();
-    let u = run_simulated(&app, &mut factory, &unbounded_config, &model);
+    let u = run_simulated(&app, &mut factory, &unbounded_config, &model).expect("simulated run");
     assert_eq!(u.queue_depth.policy, "unbounded");
     assert_eq!(u.queue_depth.dropped, 0);
     assert_eq!(u.queue_depth.accepted, 4_000);
