@@ -105,13 +105,11 @@ impl HdrHistogram {
         }
 
         let largest_value_with_single_unit_resolution =
-            2 * 10u64.pow(u32::from(significant_digits));
-        let sub_bucket_count_magnitude = (largest_value_with_single_unit_resolution as f64)
-            .log2()
-            .ceil() as u32;
+            10u64.pow(u32::from(significant_digits)).saturating_mul(2);
+        let sub_bucket_count_magnitude = ceil_log2(largest_value_with_single_unit_resolution);
         let sub_bucket_half_count_magnitude = sub_bucket_count_magnitude.max(1) - 1;
-        let unit_magnitude = (lowest_discernible as f64).log2().floor() as u32;
-        let sub_bucket_count = 1u32 << (sub_bucket_half_count_magnitude + 1);
+        let unit_magnitude = floor_log2(lowest_discernible);
+        let sub_bucket_count = 1u32 << sub_bucket_half_count_magnitude.saturating_add(1);
         let sub_bucket_half_count = sub_bucket_count / 2;
         let sub_bucket_mask = (u64::from(sub_bucket_count) - 1) << unit_magnitude;
 
@@ -120,14 +118,16 @@ impl HdrHistogram {
         let mut bucket_count = 1u32;
         while smallest_untrackable <= highest_trackable {
             if smallest_untrackable > u64::MAX / 2 {
-                bucket_count += 1;
+                bucket_count = bucket_count.saturating_add(1);
                 break;
             }
             smallest_untrackable <<= 1;
-            bucket_count += 1;
+            bucket_count = bucket_count.saturating_add(1);
         }
 
-        let counts_len = ((bucket_count + 1) * sub_bucket_half_count) as usize;
+        let counts_len = (bucket_count
+            .saturating_add(1)
+            .saturating_mul(sub_bucket_half_count)) as usize;
         Ok(HdrHistogram {
             lowest_discernible,
             highest_trackable,
@@ -235,15 +235,17 @@ impl HdrHistogram {
             return;
         }
         let clamped = if value > self.highest_trackable {
-            self.saturated += count;
+            self.saturated = self.saturated.saturating_add(count);
             self.highest_trackable
         } else {
             value
         };
         let idx = self.counts_index_for(clamped);
-        self.counts[idx] += count;
-        self.total += count;
-        self.sum += u128::from(value) * u128::from(count);
+        self.counts[idx] = self.counts[idx].saturating_add(count);
+        self.total = self.total.saturating_add(count);
+        self.sum = self
+            .sum
+            .saturating_add(u128::from(value).saturating_mul(u128::from(count)));
         if value < self.min {
             self.min = value;
         }
@@ -284,7 +286,7 @@ impl HdrHistogram {
             if c == 0 {
                 continue;
             }
-            running += c;
+            running = running.saturating_add(c);
             if running >= target {
                 let v = self.highest_equivalent(self.value_for_index(idx));
                 return v.min(self.max);
@@ -314,11 +316,11 @@ impl HdrHistogram {
             return Err(HistogramError::IncompatibleMerge);
         }
         for (dst, src) in self.counts.iter_mut().zip(other.counts.iter()) {
-            *dst += *src;
+            *dst = dst.saturating_add(*src);
         }
-        self.total += other.total;
-        self.saturated += other.saturated;
-        self.sum += other.sum;
+        self.total = self.total.saturating_add(other.total);
+        self.saturated = self.saturated.saturating_add(other.saturated);
+        self.sum = self.sum.saturating_add(other.sum);
         if other.total > 0 {
             self.min = self.min.min(other.min);
             self.max = self.max.max(other.max);
@@ -361,7 +363,7 @@ impl HdrHistogram {
         }
         let mut running = 0u64;
         for (value, count) in self.iter_recorded() {
-            running += count;
+            running = running.saturating_add(count);
             out.push((value, running as f64 / self.total as f64));
         }
         out
@@ -375,19 +377,24 @@ impl HdrHistogram {
     }
 
     // --- index math -------------------------------------------------------------------
+    //
+    // All width changes go through `u32::try_from` (infallible for in-range histogram
+    // indices) and all additive index math is saturating: an out-of-contract input can
+    // pin to the extreme but can never wrap into a different bucket.
 
     fn bucket_index(&self, value: u64) -> u32 {
         let pow2ceiling = 64 - (value | self.sub_bucket_mask).leading_zeros();
-        pow2ceiling - self.unit_magnitude - (self.sub_bucket_half_count_magnitude + 1)
+        pow2ceiling - self.unit_magnitude - self.sub_bucket_half_count_magnitude.saturating_add(1)
     }
 
     fn sub_bucket_index(&self, value: u64, bucket_index: u32) -> u32 {
-        (value >> (bucket_index + self.unit_magnitude)) as u32
+        let shifted = value >> bucket_index.saturating_add(self.unit_magnitude);
+        u32::try_from(shifted).unwrap_or(u32::MAX)
     }
 
     fn counts_index(&self, bucket_index: u32, sub_bucket_index: u32) -> usize {
-        let bucket_base = (bucket_index + 1) << self.sub_bucket_half_count_magnitude;
-        (bucket_base + sub_bucket_index - self.sub_bucket_half_count) as usize
+        let bucket_base = bucket_index.saturating_add(1) << self.sub_bucket_half_count_magnitude;
+        (bucket_base.saturating_add(sub_bucket_index) - self.sub_bucket_half_count) as usize
     }
 
     fn counts_index_for(&self, value: u64) -> usize {
@@ -397,26 +404,44 @@ impl HdrHistogram {
     }
 
     fn value_for_index(&self, index: usize) -> u64 {
-        let index = index as u32;
-        let mut bucket_index = (index >> self.sub_bucket_half_count_magnitude) as i32 - 1;
-        let mut sub_bucket_index =
-            (index & (self.sub_bucket_half_count - 1)) + self.sub_bucket_half_count;
-        if bucket_index < 0 {
-            sub_bucket_index -= self.sub_bucket_half_count;
-            bucket_index = 0;
-        }
-        u64::from(sub_bucket_index) << (bucket_index as u32 + self.unit_magnitude)
+        let index = index as u64;
+        let half = u64::from(self.sub_bucket_half_count);
+        let shifted = index >> self.sub_bucket_half_count_magnitude;
+        // Indices below `half` describe bucket 0's lower half directly; all others
+        // sit `half` sub-buckets into bucket `shifted - 1`.
+        let bucket_index = shifted.saturating_sub(1);
+        let sub_bucket_index = if shifted == 0 {
+            index & (half - 1)
+        } else {
+            (index & (half - 1)).saturating_add(half)
+        };
+        sub_bucket_index << bucket_index.saturating_add(u64::from(self.unit_magnitude))
     }
 
     fn size_of_equivalent_range(&self, value: u64) -> u64 {
         let bucket_index = self.bucket_index(value);
-        1u64 << (self.unit_magnitude + bucket_index)
+        1u64 << self.unit_magnitude.saturating_add(bucket_index)
     }
 
     fn highest_equivalent(&self, value: u64) -> u64 {
         let range = self.size_of_equivalent_range(value);
         let lowest = value & !(range - 1);
-        lowest + range - 1
+        lowest.saturating_add(range) - 1
+    }
+}
+
+/// `floor(log2(v))` for `v >= 1`, in pure integer math — no float round-trip whose
+/// rounding could shift a magnitude by one.
+fn floor_log2(v: u64) -> u32 {
+    63 - v.max(1).leading_zeros()
+}
+
+/// `ceil(log2(v))` for `v >= 1`, in pure integer math.
+fn ceil_log2(v: u64) -> u32 {
+    if v <= 1 {
+        0
+    } else {
+        64 - (v - 1).leading_zeros()
     }
 }
 
@@ -565,6 +590,28 @@ mod tests {
         // order of a few thousand slots, not millions (paper: ~900 buckets at 100/decade).
         let h = HdrHistogram::new(1_000, 1_000_000_000_000, 2).unwrap();
         assert!(h.bucket_slots() < 8_192, "slots = {}", h.bucket_slots());
+    }
+
+    #[test]
+    fn integer_log2_helpers_match_float_forms() {
+        // The constructor used to derive magnitudes via f64 log2 round-trips; the
+        // integer forms must agree everywhere the configuration space can reach.
+        for d in 1..=5u32 {
+            let v = 2 * 10u64.pow(d);
+            assert_eq!(ceil_log2(v), (v as f64).log2().ceil() as u32, "v={v}");
+        }
+        for v in (1..4096u64).chain([1_000_000, 1 << 40, u64::MAX / 2, u64::MAX]) {
+            assert_eq!(floor_log2(v), 63 - v.leading_zeros(), "v={v}");
+            if v > 1 {
+                assert_eq!(ceil_log2(v), floor_log2(v - 1) + 1, "v={v}");
+            }
+        }
+        assert_eq!(ceil_log2(1), 0);
+        assert_eq!(floor_log2(1), 0);
+        assert_eq!(ceil_log2(1024), 10);
+        assert_eq!(floor_log2(1024), 10);
+        assert_eq!(ceil_log2(1025), 11);
+        assert_eq!(floor_log2(1023), 9);
     }
 
     #[test]

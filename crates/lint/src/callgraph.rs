@@ -1,0 +1,377 @@
+//! A one-level call graph across the workspace, and the global lock-order graph
+//! built on top of it.
+//!
+//! Every function's [`crate::scope::FnScope`] contributes:
+//!
+//! * **intra-function edges** — guard `A` live while guard `B` is acquired;
+//! * **propagated edges** — guard `A` live at a call site whose callee acquires
+//!   `B` (one level deep, no transitive closure);
+//! * **propagated blocking** — guard `A` live at a call site whose callee
+//!   performs a blocking operation directly.
+//!
+//! Call resolution is deliberately conservative (soundness limits documented in
+//! DESIGN.md): `Type::assoc(..)` and direct `self.method(..)` calls resolve
+//! exactly; a bare or method name otherwise resolves only when the workspace
+//! defines exactly one function with that name.  No trait dispatch, no closures.
+//! Lock identities are crate-qualified (`core:shared.state`) so same-named
+//! fields in different crates never alias.
+//!
+//! A cycle in the lock-order graph — including a self-loop, which is a
+//! re-entrant acquisition of a non-reentrant `std::sync::Mutex` — is a deadlock
+//! candidate; the report names every acquisition site along the cycle.
+
+use crate::scope::{FnScope, Site};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// One lock-order edge: `held` was live while `acquired` was taken.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Edge {
+    /// Crate-qualified identity of the held lock.
+    pub held: String,
+    /// File where the held lock was acquired.
+    pub held_path: String,
+    /// Acquisition site of the held lock.
+    pub held_site: Site,
+    /// Crate-qualified identity of the lock acquired under `held`.
+    pub acquired: String,
+    /// File where the nested acquisition happens.
+    pub acquired_path: String,
+    /// Site of the nested acquisition.
+    pub acquired_site: Site,
+    /// For propagated edges: "call to `callee` at path:line:col".
+    pub via: Option<String>,
+}
+
+/// A deadlock candidate: the edges of one cycle in the lock-order graph.
+#[derive(Debug, Clone)]
+pub struct Cycle {
+    /// Edges in cycle order; `edges[i].acquired == edges[i + 1].held` and the
+    /// last edge's `acquired` equals the first edge's `held`.
+    pub edges: Vec<Edge>,
+}
+
+/// A call made while holding a guard, into a function that blocks directly.
+#[derive(Debug, Clone)]
+pub struct BlockedCall {
+    /// File of the call site.
+    pub path: String,
+    /// The call site.
+    pub site: Site,
+    /// Called function name.
+    pub callee: String,
+    /// What the callee blocks on (first blocking op's description).
+    pub what: String,
+    /// Unqualified identity of the held lock.
+    pub lock: String,
+    /// Acquisition site of the held lock.
+    pub lock_site: Site,
+}
+
+/// The workspace-level concurrency analysis result.
+#[derive(Debug, Clone, Default)]
+pub struct Analysis {
+    /// Deadlock-candidate cycles, deterministic order, deduplicated by member
+    /// lock set.
+    pub cycles: Vec<Cycle>,
+    /// Guard-held calls into directly-blocking functions.
+    pub blocked_calls: Vec<BlockedCall>,
+}
+
+/// The crate a workspace-relative path belongs to, for lock qualification.
+fn crate_of(path: &str) -> &str {
+    for prefix in ["crates/", "stubs/"] {
+        if let Some(rest) = path.strip_prefix(prefix) {
+            return rest.split('/').next().unwrap_or(rest);
+        }
+    }
+    "tailbench"
+}
+
+/// Builds the lock-order graph over every function in `files` (path paired with
+/// that file's non-test function scopes) and extracts cycles and blocked calls.
+#[must_use]
+pub fn analyze(files: &[(String, Vec<FnScope>)]) -> Analysis {
+    // --- Function index for call resolution -------------------------------------
+    // Keyed twice: "Type::name" for exact associated-fn hits, bare "name" for the
+    // unique-name fallback.
+    let mut by_qual: BTreeMap<String, Vec<(usize, usize)>> = BTreeMap::new();
+    let mut by_name: BTreeMap<String, Vec<(usize, usize)>> = BTreeMap::new();
+    for (fi, (_, fns)) in files.iter().enumerate() {
+        for (gi, f) in fns.iter().enumerate() {
+            if let Some(t) = &f.type_name {
+                by_qual
+                    .entry(format!("{t}::{}", f.name))
+                    .or_default()
+                    .push((fi, gi));
+            }
+            by_name.entry(f.name.clone()).or_default().push((fi, gi));
+        }
+    }
+    let resolve = |callee: &str,
+                   qualifier: Option<&str>,
+                   self_type: Option<&str>|
+     -> Option<(usize, usize)> {
+        if let Some(q) = qualifier {
+            if let Some(hits) = by_qual.get(&format!("{q}::{callee}")) {
+                if hits.len() == 1 {
+                    return Some(hits[0]);
+                }
+            }
+        }
+        if let Some(t) = self_type {
+            if let Some(hits) = by_qual.get(&format!("{t}::{callee}")) {
+                if hits.len() == 1 {
+                    return Some(hits[0]);
+                }
+            }
+        }
+        match by_name.get(callee) {
+            Some(hits) if hits.len() == 1 => Some(hits[0]),
+            _ => None,
+        }
+    };
+
+    // --- Edges ------------------------------------------------------------------
+    let mut edges: Vec<Edge> = Vec::new();
+    let mut blocked_calls: Vec<BlockedCall> = Vec::new();
+    for (path, fns) in files {
+        let qual = |lock: &str| format!("{}:{lock}", crate_of(path));
+        for f in fns {
+            // Intra-function nesting.
+            for (gi, held_set) in f.held_at_acquire.iter().enumerate() {
+                for &hi in held_set {
+                    let held = &f.guards[hi];
+                    let acq = &f.guards[gi];
+                    edges.push(Edge {
+                        held: qual(&held.lock),
+                        held_path: path.clone(),
+                        held_site: held.site,
+                        acquired: qual(&acq.lock),
+                        acquired_path: path.clone(),
+                        acquired_site: acq.site,
+                        via: None,
+                    });
+                }
+            }
+            // One-level propagation through calls made under a guard.
+            for call in &f.calls {
+                if call.guards_live.is_empty() {
+                    continue;
+                }
+                let self_type = if call.self_receiver {
+                    f.type_name.as_deref()
+                } else {
+                    None
+                };
+                let Some((ci, cg)) = resolve(&call.callee, call.qualifier.as_deref(), self_type)
+                else {
+                    continue;
+                };
+                let (callee_path, callee_fns) = &files[ci];
+                let callee = &callee_fns[cg];
+                let callee_qual = |lock: &str| format!("{}:{lock}", crate_of(callee_path));
+                for &hi in &call.guards_live {
+                    let held = &f.guards[hi];
+                    for acq in &callee.guards {
+                        edges.push(Edge {
+                            held: qual(&held.lock),
+                            held_path: path.clone(),
+                            held_site: held.site,
+                            acquired: callee_qual(&acq.lock),
+                            acquired_path: callee_path.clone(),
+                            acquired_site: acq.site,
+                            via: Some(format!(
+                                "call to `{}` at {}:{}:{}",
+                                call.callee, path, call.site.line, call.site.col
+                            )),
+                        });
+                    }
+                    if let Some(b) = callee.blocking.first() {
+                        blocked_calls.push(BlockedCall {
+                            path: path.clone(),
+                            site: call.site,
+                            callee: call.callee.clone(),
+                            what: b.what.clone(),
+                            lock: held.lock.clone(),
+                            lock_site: held.site,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    edges.dedup();
+
+    // --- Cycle extraction --------------------------------------------------------
+    let mut adj: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    for (i, e) in edges.iter().enumerate() {
+        adj.entry(e.held.as_str()).or_default().push(i);
+    }
+    let mut cycles = Vec::new();
+    let mut seen: BTreeSet<BTreeSet<String>> = BTreeSet::new();
+    for (i, e) in edges.iter().enumerate() {
+        let cycle_edges = if e.held == e.acquired {
+            Some(vec![i])
+        } else {
+            shortest_path(&edges, &adj, &e.acquired, &e.held).map(|path| {
+                let mut v = vec![i];
+                v.extend(path);
+                v
+            })
+        };
+        let Some(cycle_edges) = cycle_edges else {
+            continue;
+        };
+        let members: BTreeSet<String> =
+            cycle_edges.iter().map(|&k| edges[k].held.clone()).collect();
+        if seen.insert(members) {
+            cycles.push(Cycle {
+                edges: cycle_edges.into_iter().map(|k| edges[k].clone()).collect(),
+            });
+        }
+    }
+
+    Analysis {
+        cycles,
+        blocked_calls,
+    }
+}
+
+/// BFS over the edge list: the shortest edge path from lock `from` to lock `to`
+/// (deterministic: adjacency in insertion order).
+fn shortest_path(
+    edges: &[Edge],
+    adj: &BTreeMap<&str, Vec<usize>>,
+    from: &str,
+    to: &str,
+) -> Option<Vec<usize>> {
+    let mut visited: BTreeSet<&str> = BTreeSet::new();
+    let mut queue: VecDeque<(&str, Vec<usize>)> = VecDeque::new();
+    visited.insert(from);
+    queue.push_back((from, Vec::new()));
+    while let Some((node, path)) = queue.pop_front() {
+        if node == to {
+            return Some(path);
+        }
+        if path.len() >= 8 {
+            continue; // cycles longer than 8 locks are outside scope
+        }
+        for &ei in adj.get(node).into_iter().flatten() {
+            let next = edges[ei].acquired.as_str();
+            if visited.insert(next) || next == to {
+                let mut p = path.clone();
+                p.push(ei);
+                queue.push_back((next, p));
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser::{parse, significant};
+    use crate::scope::{analyze_functions, line_starts};
+
+    fn file(path: &str, src: &str) -> (String, Vec<FnScope>) {
+        let sig = significant(&lex(src));
+        let items = parse(src, &sig);
+        let fns = analyze_functions(src, &sig, &items, &line_starts(src));
+        (path.to_string(), fns)
+    }
+
+    #[test]
+    fn intra_function_inversion_is_a_cycle() {
+        let src = "
+            fn ab() { let a = lock_recover(&left); let b = lock_recover(&right); }
+            fn ba() { let b = lock_recover(&right); let a = lock_recover(&left); }
+        ";
+        let analysis = analyze(&[file("crates/core/src/x.rs", src)]);
+        assert_eq!(analysis.cycles.len(), 1);
+        let cycle = &analysis.cycles[0];
+        assert_eq!(cycle.edges.len(), 2);
+        let locks: BTreeSet<&str> = cycle.edges.iter().map(|e| e.held.as_str()).collect();
+        assert_eq!(locks, BTreeSet::from(["core:left", "core:right"]));
+    }
+
+    #[test]
+    fn consistent_order_is_not_a_cycle() {
+        let src = "
+            fn one() { let a = lock_recover(&left); let b = lock_recover(&right); }
+            fn two() { let a = lock_recover(&left); let b = lock_recover(&right); }
+        ";
+        let analysis = analyze(&[file("crates/core/src/x.rs", src)]);
+        assert!(analysis.cycles.is_empty());
+    }
+
+    #[test]
+    fn cross_function_propagation_closes_the_cycle() {
+        let src = "
+            fn outer() { let a = lock_recover(&left); helper(); }
+            fn helper() { let b = lock_recover(&right); }
+            fn other() { let b = lock_recover(&right); let a = lock_recover(&left); }
+        ";
+        let analysis = analyze(&[file("crates/core/src/x.rs", src)]);
+        assert_eq!(analysis.cycles.len(), 1);
+        assert!(analysis.cycles[0]
+            .edges
+            .iter()
+            .any(|e| e.via.as_deref().is_some_and(|v| v.contains("helper"))));
+    }
+
+    #[test]
+    fn same_field_name_in_different_crates_does_not_alias() {
+        let a = file(
+            "crates/core/src/a.rs",
+            "fn fa() { let g = lock_recover(&state); let h = lock_recover(&other); }",
+        );
+        let b = file(
+            "crates/oltp/src/b.rs",
+            "fn fb() { let h = lock_recover(&other); let g = lock_recover(&state); }",
+        );
+        let analysis = analyze(&[a, b]);
+        // `core:state`/`core:other` vs `oltp:other`/`oltp:state`: no shared nodes.
+        assert!(analysis.cycles.is_empty());
+    }
+
+    #[test]
+    fn call_into_blocking_fn_under_guard_is_reported() {
+        let src = "
+            fn caller() { let g = lock_recover(&l); slow(); drop(g); }
+            fn slow() { let v = rx.recv(); }
+        ";
+        let analysis = analyze(&[file("crates/core/src/x.rs", src)]);
+        assert_eq!(analysis.blocked_calls.len(), 1);
+        assert_eq!(analysis.blocked_calls[0].callee, "slow");
+        assert!(analysis.blocked_calls[0].what.contains("channel receive"));
+    }
+
+    #[test]
+    fn ambiguous_names_do_not_propagate() {
+        let src = "
+            fn caller() { let g = lock_recover(&l); dup(); }
+            fn dup() { let v = rx.recv(); }
+        ";
+        let other = "fn dup() {}";
+        let analysis = analyze(&[
+            file("crates/core/src/x.rs", src),
+            file("crates/net/src/y.rs", other),
+        ]);
+        assert!(analysis.blocked_calls.is_empty(), "two `dup`s: unresolved");
+    }
+
+    #[test]
+    fn self_loop_reentry_is_reported() {
+        let src = "
+            fn outer() { let g = lock_recover(&state); inner_step(); }
+            fn inner_step() { let h = lock_recover(&state); }
+        ";
+        let analysis = analyze(&[file("crates/core/src/x.rs", src)]);
+        assert_eq!(analysis.cycles.len(), 1);
+        assert_eq!(analysis.cycles[0].edges.len(), 1);
+        assert_eq!(analysis.cycles[0].edges[0].held, "core:state");
+        assert_eq!(analysis.cycles[0].edges[0].acquired, "core:state");
+    }
+}

@@ -1,0 +1,789 @@
+//! Intraprocedural dataflow: coarse numeric typing for the stats rules.
+//!
+//! The histogram rules must distinguish *integer bucket math* (`counts[idx] +=
+//! n`, `(bucket_count + 1) * half`) from float estimator math (squared
+//! deviations like `(x - mean) * (x - mean)`), and flag only the former.  Full
+//! type inference is out of scope for
+//! an in-tree linter, so this pass computes a coarse approximation — the
+//! points [`Ty::Int`], [`Ty::Float`] and [`Ty::Unknown`] — from the evidence
+//! a token run actually carries:
+//!
+//! * literal suffixes and decimal points (`0u64`, `1.5`),
+//! * `let` annotations and parameter types (`let mut running: u64`, `count: u64`),
+//! * struct field declarations in the same file (`counts: Vec<u64>` — indexing an
+//!   integer sequence yields `Int`),
+//! * cast tails (`x as u32`), int/float method names (`.pow(..)` vs `.sqrt()`),
+//!   and `uN::from(..)` constructors.
+//!
+//! Anything without positive evidence stays `Unknown`, and the rules only fire on
+//! proven-`Int` operands — the approximation can miss, never over-reach.
+
+use crate::lexer::{Token, TokenKind};
+use crate::parser::{functions, structs, Item, ItemKind};
+use std::collections::BTreeMap;
+
+/// Coarse numeric type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Ty {
+    /// A proven integer value.
+    Int,
+    /// A proven float value.
+    Float,
+    /// An integer sequence (`Vec<u64>`, `[u32; N]`) — indexing yields `Int`.
+    IntSeq,
+    /// No evidence either way.
+    Unknown,
+}
+
+/// An unchecked arithmetic site: the token index of the operator and the
+/// operator as written (`+`, `*`, `+=`, `*=`).
+#[derive(Debug, Clone)]
+pub struct ArithSite {
+    /// Significant-token index of the operator.
+    pub at: usize,
+    /// The operator as written.
+    pub op: &'static str,
+}
+
+/// A narrowing-cast site: the token index of the `as` and the target type.
+#[derive(Debug, Clone)]
+pub struct CastSite {
+    /// Significant-token index of the `as` keyword.
+    pub at: usize,
+    /// The narrow target type (`u32`, `f32`, ...).
+    pub target: String,
+}
+
+/// Cast targets the stats rule treats as truncating or precision-losing.
+/// (`usize`/`u64`/`u128`/`f64` are wide enough for every counter in the tree;
+/// the documented assumption is a 64-bit `usize`.)
+const NARROW_TARGETS: [&str; 7] = ["u8", "u16", "u32", "i8", "i16", "i32", "f32"];
+
+const INT_TYPES: [&str; 12] = [
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize",
+];
+const FLOAT_TYPES: [&str; 2] = ["f32", "f64"];
+
+/// Methods that yield a float regardless of further evidence.
+const FLOAT_METHODS: [&str; 12] = [
+    "sqrt",
+    "ceil",
+    "floor",
+    "round",
+    "trunc",
+    "ln",
+    "log2",
+    "log10",
+    "exp",
+    "powf",
+    "powi",
+    "to_radians",
+];
+
+/// Methods that yield an integer when available on the receiver.
+const INT_METHODS: [&str; 13] = [
+    "pow",
+    "leading_zeros",
+    "trailing_zeros",
+    "count_ones",
+    "count_zeros",
+    "len",
+    "saturating_add",
+    "saturating_sub",
+    "saturating_mul",
+    "wrapping_add",
+    "wrapping_sub",
+    "wrapping_mul",
+    "abs_diff",
+];
+
+/// Finds every `as <narrow>` cast in the significant tokens.
+#[must_use]
+pub fn narrow_casts(src: &str, sig: &[Token]) -> Vec<CastSite> {
+    let tx = |i: usize| text(src, sig, i);
+    let mut out = Vec::new();
+    for (i, tok) in sig.iter().enumerate() {
+        if tx(i) == "as" && tok.kind == TokenKind::Ident {
+            let target = tx(i + 1);
+            if NARROW_TARGETS.contains(&target) {
+                out.push(CastSite {
+                    at: i,
+                    target: target.to_string(),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Finds every `+`/`*`/`+=`/`*=` over proven-integer operands inside function
+/// bodies.
+#[must_use]
+pub fn unchecked_int_arith(src: &str, sig: &[Token], items: &[Item]) -> Vec<ArithSite> {
+    let fields = field_table(src, sig, items);
+    let mut out = Vec::new();
+    for (_, item) in functions(items) {
+        let ItemKind::Fn { .. } = &item.kind else {
+            continue;
+        };
+        let Some((open, close)) = item.body else {
+            continue;
+        };
+        let env = fn_env(src, sig, item.first, open, close, &fields);
+        scan_ops(src, sig, open + 1, close, &env, &fields, &mut out);
+    }
+    out.sort_by_key(|s| s.at);
+    out
+}
+
+/// If the token at `mention` sits in a `let` binding, returns the token index of
+/// the first place the bound name is iterated (a `for .. in name` or a
+/// `name.iter()/keys()/values()/into_iter()` chain) before `limit`.  Used to
+/// sharpen the unordered-iteration rule from "a `HashMap` is mentioned" to "this
+/// binding's iteration order reaches the report".
+#[must_use]
+pub fn iteration_of_binding(
+    src: &str,
+    sig: &[Token],
+    mention: usize,
+    limit: usize,
+) -> Option<usize> {
+    let tx = |i: usize| text(src, sig, i);
+    // Statement start: the token after the previous `;`/`{`/`}`.
+    let mut s = mention;
+    while s > 0 && !matches!(tx(s - 1), ";" | "{" | "}") {
+        s -= 1;
+    }
+    if tx(s) != "let" {
+        return None;
+    }
+    let mut n = s + 1;
+    if tx(n) == "mut" {
+        n += 1;
+    }
+    if sig.get(n).map(|t| t.kind) != Some(TokenKind::Ident) || tx(n) == "_" {
+        return None;
+    }
+    let name = tx(n);
+    for i in mention..limit.min(sig.len()) {
+        if tx(i) != name {
+            continue;
+        }
+        if tx(i + 1) == "."
+            && matches!(
+                tx(i + 2),
+                "iter" | "iter_mut" | "into_iter" | "keys" | "values" | "drain"
+            )
+        {
+            return Some(i);
+        }
+        // `for k in name` / `for (k, v) in &name`
+        let mut b = i;
+        while b > 0 && matches!(tx(b - 1), "&" | "mut") {
+            b -= 1;
+        }
+        if b > 0 && tx(b - 1) == "in" {
+            return Some(i);
+        }
+    }
+    None
+}
+
+fn text<'a>(src: &'a str, sig: &[Token], i: usize) -> &'a str {
+    sig.get(i)
+        .and_then(|t| src.get(t.start..t.end))
+        .unwrap_or("")
+}
+
+fn classify_type_name(name: &str) -> Ty {
+    if INT_TYPES.contains(&name) {
+        Ty::Int
+    } else if FLOAT_TYPES.contains(&name) {
+        Ty::Float
+    } else {
+        Ty::Unknown
+    }
+}
+
+/// Classifies an annotation token run (`u64`, `&mut f64`, `Vec<u64>`, `[u8; 4]`).
+fn classify_type_tokens(src: &str, sig: &[Token], from: usize, to: usize) -> Ty {
+    let tx = |i: usize| text(src, sig, i);
+    let mut i = from;
+    while i < to
+        && (matches!(tx(i), "&" | "mut" | "(")
+            || sig.get(i).map(|t| t.kind) == Some(TokenKind::Lifetime))
+    {
+        i += 1;
+    }
+    match tx(i) {
+        "Vec" => {
+            if tx(i + 1) == "<" && classify_type_name(tx(i + 2)) == Ty::Int {
+                Ty::IntSeq
+            } else {
+                Ty::Unknown
+            }
+        }
+        "[" => {
+            if classify_type_name(tx(i + 1)) == Ty::Int {
+                Ty::IntSeq
+            } else {
+                Ty::Unknown
+            }
+        }
+        t => classify_type_name(t),
+    }
+}
+
+/// Field name -> type, from every struct declared in the file.
+fn field_table(src: &str, sig: &[Token], items: &[Item]) -> BTreeMap<String, Ty> {
+    let tx = |i: usize| text(src, sig, i);
+    let mut out = BTreeMap::new();
+    for item in structs(items) {
+        let Some((open, close)) = item.body else {
+            continue;
+        };
+        let mut i = open + 1;
+        let mut depth = 0usize;
+        while i < close {
+            match tx(i) {
+                "(" | "[" | "{" | "<" => depth += 1,
+                ")" | "]" | "}" | ">" => depth = depth.saturating_sub(1),
+                ":" if depth == 0
+                    && sig.get(i.wrapping_sub(1)).map(|t| t.kind) == Some(TokenKind::Ident)
+                    && tx(i + 1) != ":"
+                    && tx(i.wrapping_sub(1)) != "crate" =>
+                {
+                    // `name: Type, ...` — find the end of the type (depth-0 `,`).
+                    let name = tx(i - 1).to_string();
+                    let ty_from = i + 1;
+                    let mut j = ty_from;
+                    let mut d = 0usize;
+                    while j < close {
+                        match tx(j) {
+                            "(" | "[" | "{" | "<" => d += 1,
+                            ")" | "]" | "}" | ">" => d = d.saturating_sub(1),
+                            "," if d == 0 => break,
+                            _ => {}
+                        }
+                        j += 1;
+                    }
+                    let ty = classify_type_tokens(src, sig, ty_from, j);
+                    if ty != Ty::Unknown {
+                        out.insert(name, ty);
+                    }
+                    i = j;
+                    continue;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Locals (params + `let`s) with proven types, built in one forward pass.
+fn fn_env(
+    src: &str,
+    sig: &[Token],
+    sig_start: usize,
+    body_open: usize,
+    body_close: usize,
+    fields: &BTreeMap<String, Ty>,
+) -> BTreeMap<String, Ty> {
+    let tx = |i: usize| text(src, sig, i);
+    let mut env = BTreeMap::new();
+    // Parameters: `name: Type` pairs at depth 1 of the signature parens.  Scan
+    // from the `fn` keyword so attribute parens (`#[allow(..)]`) are not taken
+    // for the parameter list.
+    let mut i = sig_start;
+    while i < body_open && tx(i) != "fn" {
+        i += 1;
+    }
+    while i < body_open && tx(i) != "(" {
+        i += 1;
+    }
+    if i < body_open {
+        let close = match_fwd(src, sig, i, body_open);
+        let mut j = i + 1;
+        while j < close {
+            if tx(j) == ":"
+                && tx(j + 1) != ":"
+                && tx(j.wrapping_sub(1)) != ":"
+                && sig.get(j.wrapping_sub(1)).map(|t| t.kind) == Some(TokenKind::Ident)
+            {
+                let name = tx(j - 1).to_string();
+                let mut k = j + 1;
+                let mut d = 0usize;
+                while k < close {
+                    match tx(k) {
+                        "(" | "[" | "{" | "<" => d += 1,
+                        ")" | "]" | "}" | ">" => d = d.saturating_sub(1),
+                        "," if d == 0 => break,
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                let ty = classify_type_tokens(src, sig, j + 1, k);
+                if ty != Ty::Unknown {
+                    env.insert(name, ty);
+                }
+                j = k;
+                continue;
+            }
+            j += 1;
+        }
+    }
+    // Lets.
+    let mut i = body_open + 1;
+    while i < body_close {
+        if tx(i) == "let" {
+            let mut n = i + 1;
+            if tx(n) == "mut" {
+                n += 1;
+            }
+            if sig.get(n).map(|t| t.kind) == Some(TokenKind::Ident) && tx(n) != "_" {
+                let name = tx(n).to_string();
+                let ty = if tx(n + 1) == ":" {
+                    // Annotated: classify up to the `=` or `;`.
+                    let mut k = n + 2;
+                    let mut d = 0usize;
+                    while k < body_close {
+                        match tx(k) {
+                            "(" | "[" | "{" | "<" => d += 1,
+                            ")" | "]" | "}" | ">" => d = d.saturating_sub(1),
+                            "=" | ";" if d == 0 => break,
+                            _ => {}
+                        }
+                        k += 1;
+                    }
+                    classify_type_tokens(src, sig, n + 2, k)
+                } else if tx(n + 1) == "=" {
+                    // Infer from the first operand chain of the initializer.  Rust
+                    // numeric operators require both sides to share a type, so the
+                    // first chain's type is the expression's.
+                    let end = chain_end(src, sig, n + 2, body_close);
+                    type_of_chain(src, sig, n + 2, end, &env, fields)
+                } else {
+                    Ty::Unknown
+                };
+                if ty != Ty::Unknown {
+                    env.insert(name, ty);
+                }
+                i = n + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    env
+}
+
+fn match_fwd(src: &str, sig: &[Token], open: usize, end: usize) -> usize {
+    let (o, c) = match text(src, sig, open) {
+        "(" => ("(", ")"),
+        "[" => ("[", "]"),
+        "{" => ("{", "}"),
+        _ => return open,
+    };
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < end {
+        let t = text(src, sig, i);
+        if t == o {
+            depth += 1;
+        } else if t == c {
+            depth = depth.saturating_sub(1);
+            if depth == 0 {
+                return i;
+            }
+        }
+        i += 1;
+    }
+    end.saturating_sub(1)
+}
+
+fn match_back(src: &str, sig: &[Token], close: usize, floor: usize) -> usize {
+    let (o, c) = match text(src, sig, close) {
+        ")" => ("(", ")"),
+        "]" => ("[", "]"),
+        "}" => ("{", "}"),
+        _ => return close,
+    };
+    let mut depth = 0usize;
+    let mut i = close;
+    loop {
+        let t = text(src, sig, i);
+        if t == c {
+            depth += 1;
+        } else if t == o {
+            depth = depth.saturating_sub(1);
+            if depth == 0 {
+                return i;
+            }
+        }
+        if i <= floor {
+            return i;
+        }
+        i -= 1;
+    }
+}
+
+fn is_ident(sig: &[Token], i: usize) -> bool {
+    sig.get(i).map(|t| t.kind) == Some(TokenKind::Ident)
+}
+
+fn is_atom(sig: &[Token], i: usize) -> bool {
+    matches!(
+        sig.get(i).map(|t| t.kind),
+        Some(TokenKind::Ident | TokenKind::NumLit)
+    )
+}
+
+/// The start of the postfix chain whose last token is `end_tok` (walks back over
+/// `a.b`, `a::b`, calls and index groups).
+fn chain_start(src: &str, sig: &[Token], end_tok: usize, floor: usize) -> usize {
+    let tx = |i: usize| text(src, sig, i);
+    let mut i = end_tok;
+    loop {
+        let t = tx(i);
+        if matches!(t, ")" | "]") {
+            let opener = match_back(src, sig, i, floor);
+            i = opener;
+            if i > floor && is_atom(sig, i - 1) {
+                i -= 1;
+            } else {
+                return i;
+            }
+        } else if !is_atom(sig, i) {
+            return i;
+        }
+        if i > floor + 1 && tx(i - 1) == "." && is_atom(sig, i - 2) {
+            i -= 2;
+        } else if i > floor + 2 && tx(i - 1) == ":" && tx(i - 2) == ":" && is_ident(sig, i - 3) {
+            i -= 3;
+        } else {
+            return i;
+        }
+    }
+}
+
+/// The inclusive end of the postfix chain starting at `start` (consumes unary
+/// prefixes, one primary, then `.m(..)`, `(..)`, `[..]`, `::p` and `as T` tails).
+fn chain_end(src: &str, sig: &[Token], start: usize, ceil: usize) -> usize {
+    let tx = |i: usize| text(src, sig, i);
+    let mut i = start;
+    while i < ceil && matches!(tx(i), "&" | "*" | "-" | "!" | "mut") {
+        i += 1;
+    }
+    // Primary.
+    let mut j = if matches!(tx(i), "(" | "[") {
+        match_fwd(src, sig, i, ceil)
+    } else {
+        i
+    };
+    // Postfix tail.
+    loop {
+        let n = j + 1;
+        if n >= ceil {
+            return j.min(ceil.saturating_sub(1));
+        }
+        match tx(n) {
+            "." if is_atom(sig, n + 1) => {
+                j = n + 1;
+                if tx(j + 1) == "(" && j + 1 < ceil {
+                    j = match_fwd(src, sig, j + 1, ceil);
+                }
+            }
+            "(" | "[" => j = match_fwd(src, sig, n, ceil),
+            ":" if tx(n + 1) == ":" && is_ident(sig, n + 2) => {
+                j = n + 2;
+            }
+            // Cast tail: the target is a primitive name.
+            "as" if is_ident(sig, n + 1) => j = n + 1,
+            _ => return j,
+        }
+    }
+}
+
+/// Types a postfix chain `sig[from..=to]`.
+fn type_of_chain(
+    src: &str,
+    sig: &[Token],
+    from: usize,
+    to: usize,
+    env: &BTreeMap<String, Ty>,
+    fields: &BTreeMap<String, Ty>,
+) -> Ty {
+    let tx = |i: usize| text(src, sig, i);
+    if to < from || to >= sig.len() {
+        return Ty::Unknown;
+    }
+    let mut from = from;
+    while from < to && matches!(tx(from), "&" | "*" | "-" | "!" | "mut") {
+        from += 1;
+    }
+    // A cast tail decides the type outright (last depth-0 `as` wins).
+    let mut depth = 0usize;
+    let mut cast = None;
+    for i in from..=to {
+        match tx(i) {
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" | "}" => depth = depth.saturating_sub(1),
+            "as" if depth == 0 => cast = Some(i + 1),
+            _ => {}
+        }
+    }
+    if let Some(t) = cast {
+        return classify_type_name(tx(t));
+    }
+    match tx(to) {
+        ")" => {
+            // A call: type by the called name.
+            let opener = match_back(src, sig, to, from);
+            if opener == 0 {
+                return Ty::Unknown;
+            }
+            let name = tx(opener - 1);
+            if FLOAT_METHODS.contains(&name) {
+                return Ty::Float;
+            }
+            if INT_METHODS.contains(&name) {
+                return Ty::Int;
+            }
+            if matches!(name, "min" | "max" | "clamp") && opener >= from + 3 {
+                // Type-preserving: recurse on the receiver (before `.name`).
+                return type_of_chain(src, sig, from, opener - 3, env, fields);
+            }
+            if name == "from" && opener >= 4 && tx(opener - 2) == ":" && tx(opener - 3) == ":" {
+                return classify_type_name(tx(opener - 4));
+            }
+            if opener == from {
+                // A parenthesized group: type its depth-0 atoms.
+                return type_of_group(src, sig, from + 1, to, env, fields);
+            }
+            Ty::Unknown
+        }
+        "]" => {
+            // An index: integer sequences yield Int.
+            let opener = match_back(src, sig, to, from);
+            if opener == 0 || opener == from {
+                return Ty::Unknown;
+            }
+            match type_of_chain(src, sig, from, opener - 1, env, fields) {
+                Ty::IntSeq => Ty::Int,
+                _ => Ty::Unknown,
+            }
+        }
+        _ if sig.get(to).map(|t| t.kind) == Some(TokenKind::NumLit) => {
+            let t = tx(to);
+            if t.ends_with("f32") || t.ends_with("f64") || (t.contains('.') && !t.contains("..")) {
+                Ty::Float
+            } else {
+                Ty::Int
+            }
+        }
+        _ if is_ident(sig, to) => {
+            if from == to {
+                return env.get(tx(to)).copied().unwrap_or(Ty::Unknown);
+            }
+            // A field chain: type the last field name.
+            fields.get(tx(to)).copied().unwrap_or(Ty::Unknown)
+        }
+        _ => Ty::Unknown,
+    }
+}
+
+/// Types a parenthesized group by its depth-0 atoms: any `Float` atom makes the
+/// group float (Rust numeric operators are homogeneous); all-`Int` makes it int;
+/// comparisons make it `Unknown` (a bool).
+fn type_of_group(
+    src: &str,
+    sig: &[Token],
+    from: usize,
+    to: usize,
+    env: &BTreeMap<String, Ty>,
+    fields: &BTreeMap<String, Ty>,
+) -> Ty {
+    let tx = |i: usize| text(src, sig, i);
+    let mut i = from;
+    let mut saw_int = false;
+    while i < to {
+        match tx(i) {
+            "<" | ">" | "=" | "!" | "|" => return Ty::Unknown,
+            "+" | "-" | "*" | "/" | "%" | "&" | "^" | "," => {
+                i += 1;
+            }
+            _ if is_atom(sig, i) || matches!(tx(i), "(" | "[") => {
+                let end = chain_end(src, sig, i, to);
+                match type_of_chain(src, sig, i, end, env, fields) {
+                    Ty::Float => return Ty::Float,
+                    Ty::Int => saw_int = true,
+                    _ => return Ty::Unknown,
+                }
+                i = end + 1;
+            }
+            _ => return Ty::Unknown,
+        }
+    }
+    if saw_int {
+        Ty::Int
+    } else {
+        Ty::Unknown
+    }
+}
+
+/// Scans one body for `+`/`*` (binary, both operands proven `Int`) and
+/// `+=`/`*=` (LHS proven `Int`).
+fn scan_ops(
+    src: &str,
+    sig: &[Token],
+    from: usize,
+    to: usize,
+    env: &BTreeMap<String, Ty>,
+    fields: &BTreeMap<String, Ty>,
+    out: &mut Vec<ArithSite>,
+) {
+    let tx = |i: usize| text(src, sig, i);
+    let mut i = from;
+    while i < to {
+        let t = tx(i);
+        if t != "+" && t != "*" {
+            i += 1;
+            continue;
+        }
+        // `+=` / `*=`: LHS must be a proven-Int place.
+        if tx(i + 1) == "=" {
+            if i > from && (matches!(tx(i - 1), ")" | "]") || is_atom(sig, i - 1)) {
+                let start = chain_start(src, sig, i - 1, from.saturating_sub(1));
+                if type_of_chain(src, sig, start, i - 1, env, fields) == Ty::Int {
+                    out.push(ArithSite {
+                        at: i,
+                        op: if t == "+" { "+=" } else { "*=" },
+                    });
+                }
+            }
+            i += 2;
+            continue;
+        }
+        // Binary `+`/`*`: the previous token must end an operand (else `*` is a
+        // deref / `+` is part of some other token run).
+        let binary = i > from && (matches!(tx(i - 1), ")" | "]") || is_atom(sig, i - 1));
+        if binary {
+            let lstart = chain_start(src, sig, i - 1, from.saturating_sub(1));
+            let rend = chain_end(src, sig, i + 1, to);
+            let lt = type_of_chain(src, sig, lstart, i - 1, env, fields);
+            let rt = type_of_chain(src, sig, i + 1, rend, env, fields);
+            if lt == Ty::Int && rt == Ty::Int {
+                out.push(ArithSite {
+                    at: i,
+                    op: if t == "+" { "+" } else { "*" },
+                });
+            }
+        }
+        i += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser::{parse, significant};
+
+    fn arith(src: &str) -> Vec<&'static str> {
+        let sig = significant(&lex(src));
+        let items = parse(src, &sig);
+        unchecked_int_arith(src, &sig, &items)
+            .into_iter()
+            .map(|s| s.op)
+            .collect()
+    }
+
+    fn casts(src: &str) -> Vec<String> {
+        let sig = significant(&lex(src));
+        narrow_casts(src, &sig)
+            .into_iter()
+            .map(|c| c.target)
+            .collect()
+    }
+
+    #[test]
+    fn literal_and_annotated_int_arith_fires() {
+        assert_eq!(
+            arith("fn f() { let mut running = 0u64; running += 1; }"),
+            vec!["+="]
+        );
+        assert_eq!(arith("fn f(a: u64, b: u64) -> u64 { a * b }"), vec!["*"]);
+        assert_eq!(
+            arith("fn f() { let x: u32 = 1; let y = x + 2; }"),
+            vec!["+"]
+        );
+    }
+
+    #[test]
+    fn float_math_does_not_fire() {
+        assert!(arith("fn f(q: f64, t: f64) -> f64 { q * t }").is_empty());
+        assert!(arith("fn f(x: f64) -> f64 { (x - 1.0) * (x - 1.0) }").is_empty());
+        assert!(arith("fn f() { let m = 2.0; let v = m * m; }").is_empty());
+    }
+
+    #[test]
+    fn unknown_operands_do_not_fire() {
+        assert!(arith("fn f(xs: &[Foo]) { let n = xs.weight() + xs.bias(); }").is_empty());
+        assert!(arith("fn f(s: String, t: &str) -> String { s + t }").is_empty());
+    }
+
+    #[test]
+    fn field_types_resolve_through_self() {
+        let src = "struct H { total: u64, counts: Vec<u64> }\nimpl H { fn rec(&mut self, c: u64, i: usize) { self.total += c; self.counts[i] += c; } }";
+        assert_eq!(arith(src), vec!["+=", "+="]);
+    }
+
+    #[test]
+    fn saturating_forms_are_clean() {
+        assert!(
+            arith("fn f(a: u64, b: u64) -> u64 { a.saturating_add(b).saturating_mul(2) }")
+                .is_empty()
+        );
+    }
+
+    #[test]
+    fn int_method_chains_type_as_int() {
+        assert_eq!(arith("fn f() { let x = 2 * 10u64.pow(3); }"), vec!["*"]);
+    }
+
+    #[test]
+    fn deref_star_is_not_multiplication() {
+        assert!(arith("fn f(p: &u64) { let v = *p; }").is_empty());
+    }
+
+    #[test]
+    fn narrow_casts_are_found_and_wide_ones_ignored() {
+        assert_eq!(
+            casts("fn f(x: u64) { let a = x as u32; let b = x as u64; let c = x as usize; }"),
+            vec!["u32".to_string()]
+        );
+        assert_eq!(
+            casts("fn g(x: f64) -> f32 { x as f32 }"),
+            vec!["f32".to_string()]
+        );
+    }
+
+    #[test]
+    fn iteration_of_binding_finds_for_loops_and_iter_chains() {
+        let src = "fn f() { let m = HashMap::new(); for (k, v) in &m { use_it(k, v); } }";
+        let sig = significant(&lex(src));
+        let mention = (0..sig.len())
+            .find(|&i| src.get(sig[i].start..sig[i].end) == Some("HashMap"))
+            .unwrap();
+        assert!(iteration_of_binding(src, &sig, mention, sig.len()).is_some());
+
+        let src2 = "fn f() { let m = HashMap::new(); m.insert(1, 2); }";
+        let sig2 = significant(&lex(src2));
+        let mention2 = (0..sig2.len())
+            .find(|&i| src2.get(sig2[i].start..sig2[i].end) == Some("HashMap"))
+            .unwrap();
+        assert!(iteration_of_binding(src2, &sig2, mention2, sig2.len()).is_none());
+    }
+}

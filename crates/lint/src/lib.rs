@@ -7,7 +7,10 @@
 //! every random draw must flow from the root seed so sweep rows stay comparable.
 //! This crate makes those invariants machine-checkable with a self-contained pass —
 //! no external dependencies, consistent with the offline build — built on a small
-//! lossless Rust lexer ([`lexer`]) and a token-level rule engine ([`rules`]):
+//! lossless Rust lexer ([`lexer`]), an item-tree parser ([`parser`]), a per-function
+//! scope/guard analysis ([`scope`]), a coarse intraprocedural dataflow
+//! ([`dataflow`]), a one-level workspace call graph ([`callgraph`]) and the rule
+//! engine tying them together ([`rules`]):
 //!
 //! | rule | scope | forbids |
 //! |---|---|---|
@@ -15,6 +18,10 @@
 //! | `no-panic-hotpath` | designated hot-path modules | `.unwrap()`, `.expect(`, `panic!`, `unreachable!`, direct indexing |
 //! | `no-unseeded-rng` | everywhere outside `stubs/` | `thread_rng`, `from_entropy`, seeding from time |
 //! | `no-unordered-iteration-in-reports` | report/JSON-emitting modules | `HashMap`/`HashSet` |
+//! | `lock-order-cycle` | workspace-wide | inconsistent lock acquisition order (deadlock candidates) |
+//! | `guard-across-blocking` | workspace-wide | a live lock guard spanning a blocking operation |
+//! | `no-lossy-cast-in-stats` | histogram + report paths | truncating/precision-losing `as` casts |
+//! | `no-unchecked-arith-in-histogram` | `crates/histogram` | unchecked `+`/`*` integer bucket math |
 //!
 //! Every rule honours a justification-required pragma:
 //!
@@ -23,14 +30,22 @@
 //! ```
 //!
 //! An allow without a non-empty `-- <reason>` is itself a finding
-//! (`unjustified-allow`), so the tree can never silently accumulate blanket waivers.
+//! (`unjustified-allow`), so the tree can never silently accumulate blanket waivers;
+//! `tailbench lint --pragmas` audits the surviving ones against a committed budget.
 //! Findings are also exported machine-readably through the workspace's canonical JSON
 //! codec ([`tailbench_experiment::json`]).
 
+pub mod callgraph;
+pub mod dataflow;
 pub mod lexer;
+pub mod parser;
 pub mod rules;
+pub mod scope;
 
-pub use rules::{classify, lint_source, FileClasses, Finding, Rule, ALL_RULES};
+pub use rules::{
+    analyze_source, classify, finish, lint_source, FileAnalysis, FileClasses, Finding, Pragma,
+    Rule, ALL_RULES,
+};
 
 use std::path::{Path, PathBuf};
 use tailbench_experiment::json::Json;
@@ -38,8 +53,11 @@ use tailbench_experiment::json::Json;
 /// The outcome of linting a file tree.
 #[derive(Debug, Clone)]
 pub struct LintReport {
-    /// All findings, sorted by (path, line, rule).
+    /// All findings, sorted by (path, line, col, rule).
     pub findings: Vec<Finding>,
+    /// Every allow pragma in the tree, sorted by (path, line) — the audit trail
+    /// behind `--pragmas` and the committed pragma budget.
+    pub pragmas: Vec<(String, Pragma)>,
     /// Number of `.rs` files scanned.
     pub files_scanned: usize,
 }
@@ -51,7 +69,7 @@ impl LintReport {
         self.findings.is_empty()
     }
 
-    /// One `path:line: rule: message` line per finding, plus a summary line.
+    /// One `path:line:col: rule: message` line per finding, plus a summary line.
     #[must_use]
     pub fn render_text(&self) -> String {
         let mut out = String::new();
@@ -63,6 +81,27 @@ impl LintReport {
             "tailbench lint: {} finding(s) across {} file(s)\n",
             self.findings.len(),
             self.files_scanned
+        ));
+        out
+    }
+
+    /// The pragma audit: one `path:line: allow(<rules>) -- <reason>` line per
+    /// pragma, plus a count line.  This is what the CI pragma budget diffs.
+    #[must_use]
+    pub fn render_pragmas(&self) -> String {
+        let mut out = String::new();
+        for (path, pragma) in &self.pragmas {
+            let rules: Vec<&str> = pragma.rules.iter().map(|r| r.name()).collect();
+            out.push_str(&format!(
+                "{path}:{}: allow({}) -- {}\n",
+                pragma.line,
+                rules.join(", "),
+                pragma.reason
+            ));
+        }
+        out.push_str(&format!(
+            "tailbench lint: {} pragma(s)\n",
+            self.pragmas.len()
         ));
         out
     }
@@ -83,7 +122,29 @@ impl LintReport {
                                 ("rule", Json::str(f.rule.name())),
                                 ("path", Json::str(&f.path)),
                                 ("line", Json::U64(f.line as u64)),
+                                ("col", Json::U64(f.col as u64)),
                                 ("message", Json::str(&f.message)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "pragmas",
+                Json::Arr(
+                    self.pragmas
+                        .iter()
+                        .map(|(path, p)| {
+                            Json::obj(vec![
+                                ("path", Json::str(path)),
+                                ("line", Json::U64(p.line as u64)),
+                                (
+                                    "rules",
+                                    Json::Arr(
+                                        p.rules.iter().map(|r| Json::str(r.name())).collect(),
+                                    ),
+                                ),
+                                ("reason", Json::str(&p.reason)),
                             ])
                         })
                         .collect(),
@@ -107,7 +168,9 @@ const SKIP_DIRS: [&str; 2] = ["target", ".git"];
 const SKIP_PREFIXES: [&str; 1] = ["crates/lint/tests/fixtures"];
 
 /// Lints every `.rs` file under `root` (the workspace checkout), returning the
-/// aggregate report.  The file list is sorted, so the report is deterministic.
+/// aggregate report.  Per-file passes feed one workspace pass ([`finish`]) that
+/// runs the cross-file lock-order analysis.  The file list is sorted, so the
+/// report is deterministic.
 ///
 /// # Errors
 ///
@@ -116,17 +179,17 @@ pub fn lint_workspace(root: &Path) -> std::io::Result<LintReport> {
     let mut files = Vec::new();
     collect_rust_files(root, root, &mut files)?;
     files.sort();
-    let mut findings = Vec::new();
     let files_scanned = files.len();
+    let mut analyses = Vec::new();
     for rel in files {
         let source = std::fs::read_to_string(root.join(&rel))?;
         let rel_str = rel.to_string_lossy().replace('\\', "/");
-        findings.extend(lint_source(&rel_str, &source));
+        analyses.push(analyze_source(&rel_str, &source));
     }
-    findings
-        .sort_by(|a, b| (a.path.as_str(), a.line, a.rule).cmp(&(b.path.as_str(), b.line, b.rule)));
+    let (findings, pragmas) = finish(analyses);
     Ok(LintReport {
         findings,
+        pragmas,
         files_scanned,
     })
 }
@@ -164,18 +227,21 @@ mod tests {
                 rule: Rule::NoPanicHotpath,
                 path: "crates/core/src/queue.rs".to_string(),
                 line: 7,
+                col: 13,
                 message: "`.unwrap()` on a hot path".to_string(),
             }],
+            pragmas: Vec::new(),
             files_scanned: 3,
         };
         let text = report.render_text();
-        assert!(text.contains("crates/core/src/queue.rs:7: no-panic-hotpath"));
+        assert!(text.contains("crates/core/src/queue.rs:7:13: no-panic-hotpath"));
         assert!(text.contains("1 finding(s) across 3 file(s)"));
         assert!(!report.is_clean());
 
         let json = report.to_json_string();
         assert!(json.contains("\"no-panic-hotpath\""));
         assert!(json.contains("\"clean\": false"));
+        assert!(json.contains("\"col\": 13"));
         let parsed = tailbench_experiment::json::parse(&json).expect("canonical JSON reparses");
         assert_eq!(parsed.get("files_scanned").and_then(Json::as_u64), Some(3));
     }
@@ -184,9 +250,32 @@ mod tests {
     fn clean_report_is_clean() {
         let report = LintReport {
             findings: Vec::new(),
+            pragmas: Vec::new(),
             files_scanned: 1,
         };
         assert!(report.is_clean());
         assert!(report.to_json_string().contains("\"clean\": true"));
+    }
+
+    #[test]
+    fn pragma_audit_renders() {
+        let report = LintReport {
+            findings: Vec::new(),
+            pragmas: vec![(
+                "crates/core/src/pool.rs".to_string(),
+                Pragma {
+                    rules: vec![Rule::NoPanicHotpath],
+                    reason: "bounded by construction".to_string(),
+                    line: 12,
+                    covers: 13,
+                },
+            )],
+            files_scanned: 1,
+        };
+        let text = report.render_pragmas();
+        assert!(text.contains(
+            "crates/core/src/pool.rs:12: allow(no-panic-hotpath) -- bounded by construction"
+        ));
+        assert!(text.contains("1 pragma(s)"));
     }
 }

@@ -1,0 +1,803 @@
+//! A lightweight item-tree parser over the lossless lexer.
+//!
+//! The token-level rules of the first lint generation could not see *structure*:
+//! which `fn` a token belongs to, whether an item is `#[cfg(test)]`-only, where a
+//! block opens and closes.  This parser recovers exactly that much syntax — an item
+//! tree of modules, functions, impls and type declarations with matched braces —
+//! and nothing more.  It is not a Rust parser: expressions stay as flat token runs
+//! for the scope/dataflow passes to walk.
+//!
+//! Guarantees mirrored from the lexer and relied on by `parser_proptest.rs`:
+//!
+//! 1. **Totality** — `parse` never fails and never panics, whatever token stream it
+//!    is fed; unmatched delimiters run to end of input.
+//! 2. **Tiling** — the returned root items tile the significant-token range exactly:
+//!    `items[0].first == 0`, `items[i].last + 1 == items[i + 1].first`, and the last
+//!    item ends at `sig.len() - 1` (when `sig` is non-empty).  Children tile the
+//!    interior of their parent's body.  Because every item's byte span is
+//!    `sig[first].start .. sig[last].end` and the lexer tiles the source,
+//!    [`reconstruct`] rebuilds the input byte-for-byte from the tree — the span
+//!    round-trip property.
+
+use crate::lexer::{Token, TokenKind};
+
+/// What kind of item a node is.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ItemKind {
+    /// `mod name;` or `mod name { ... }`.
+    Mod {
+        /// Module name.
+        name: String,
+        /// `true` for `mod name { ... }` (children parsed), `false` for `mod name;`.
+        inline: bool,
+    },
+    /// A function item (free or associated).
+    Fn {
+        /// Function name as written.
+        name: String,
+    },
+    /// An `impl` block; children are its associated items.
+    Impl {
+        /// Last path segment of the self type (`Foo` in `impl<T> a::Foo<T> { .. }`).
+        type_name: String,
+    },
+    /// A `struct` declaration (kept distinct so the dataflow pass can read fields).
+    Struct {
+        /// Struct name.
+        name: String,
+    },
+    /// Anything else consumed as one item: enums, traits, uses, consts, statics,
+    /// macro invocations, stray tokens on malformed input.
+    Other,
+}
+
+/// One node of the item tree.  `first`/`last` are inclusive indices into the
+/// significant-token slice the tree was parsed from; the byte span of the item is
+/// `sig[first].start .. sig[last].end`.
+#[derive(Debug, Clone)]
+pub struct Item {
+    /// Item class and name.
+    pub kind: ItemKind,
+    /// `true` when one of the item's own attributes is `#[test]` / `#[cfg(test)]`
+    /// (or `cfg(all(test, ..))` etc.; `cfg(not(test))` does *not* count).
+    pub test_only: bool,
+    /// First significant token of the item, including its attributes.
+    pub first: usize,
+    /// Last significant token of the item (inclusive).
+    pub last: usize,
+    /// For brace-bodied items: significant-token indices of the `{` and `}`.
+    pub body: Option<(usize, usize)>,
+    /// Nested items (inline mods and impl blocks only; fn bodies stay flat).
+    pub children: Vec<Item>,
+}
+
+/// Filters a full lex to the significant (non-trivia) tokens the parser consumes.
+#[must_use]
+pub fn significant(tokens: &[Token]) -> Vec<Token> {
+    tokens
+        .iter()
+        .copied()
+        .filter(|t| !t.kind.is_trivia())
+        .collect()
+}
+
+/// Parses a significant-token slice into a tree of root items.  Total: consumes
+/// every token, never panics (see the module docs for the tiling guarantee).
+#[must_use]
+pub fn parse(src: &str, sig: &[Token]) -> Vec<Item> {
+    let mut p = Parser { src, sig, pos: 0 };
+    p.parse_items(sig.len())
+}
+
+/// Rebuilds the source from the root items' byte spans plus the trivia gaps between
+/// them.  Equal to `src` whenever the tiling guarantee holds — the proptest uses
+/// this as the span round-trip check.
+#[must_use]
+pub fn reconstruct(src: &str, sig: &[Token], items: &[Item]) -> String {
+    let mut out = String::new();
+    let mut at = 0usize;
+    for item in items {
+        let (Some(first), Some(last)) = (sig.get(item.first), sig.get(item.last)) else {
+            continue;
+        };
+        out.push_str(src.get(at..first.start).unwrap_or(""));
+        out.push_str(src.get(first.start..last.end).unwrap_or(""));
+        at = last.end;
+    }
+    out.push_str(src.get(at..).unwrap_or(""));
+    out
+}
+
+/// Marks every significant token covered by a test-only item (`#[test]` fns,
+/// `#[cfg(test)]` mods/impls/items), recursively.  Rules consult this mask to skip
+/// test code.
+#[must_use]
+pub fn test_mask(sig_len: usize, items: &[Item]) -> Vec<bool> {
+    let mut mask = vec![false; sig_len];
+    fn walk(items: &[Item], mask: &mut [bool]) {
+        for item in items {
+            if item.test_only {
+                for slot in mask
+                    .iter_mut()
+                    .take(item.last + 1)
+                    .skip(item.first.min(item.last + 1))
+                {
+                    *slot = true;
+                }
+            } else {
+                walk(&item.children, mask);
+            }
+        }
+    }
+    walk(items, &mut mask);
+    mask
+}
+
+/// Flattens the tree into every `Fn` item, paired with the enclosing impl type
+/// name (if any) — `(Some("RequestQueue"), fn push)` — in source order.
+#[must_use]
+pub fn functions(items: &[Item]) -> Vec<(Option<String>, &Item)> {
+    let mut out = Vec::new();
+    fn walk<'a>(
+        items: &'a [Item],
+        enclosing: Option<&str>,
+        out: &mut Vec<(Option<String>, &'a Item)>,
+    ) {
+        for item in items {
+            match &item.kind {
+                ItemKind::Fn { .. } => out.push((enclosing.map(str::to_string), item)),
+                ItemKind::Impl { type_name } => walk(&item.children, Some(type_name), out),
+                ItemKind::Mod { .. } => walk(&item.children, enclosing, out),
+                _ => {}
+            }
+        }
+    }
+    walk(items, None, &mut out);
+    out
+}
+
+/// Flattens the tree into every `Struct` item, in source order.
+#[must_use]
+pub fn structs(items: &[Item]) -> Vec<&Item> {
+    let mut out = Vec::new();
+    fn walk<'a>(items: &'a [Item], out: &mut Vec<&'a Item>) {
+        for item in items {
+            if matches!(item.kind, ItemKind::Struct { .. }) {
+                out.push(item);
+            }
+            walk(&item.children, out);
+        }
+    }
+    walk(items, &mut out);
+    out
+}
+
+struct Parser<'a> {
+    src: &'a str,
+    sig: &'a [Token],
+    pos: usize,
+}
+
+/// Keywords that can prefix `fn` in a signature.
+const FN_QUALIFIERS: [&str; 4] = ["const", "unsafe", "async", "default"];
+
+impl<'a> Parser<'a> {
+    fn text(&self, i: usize) -> &'a str {
+        self.sig
+            .get(i)
+            .and_then(|t| self.src.get(t.start..t.end))
+            .unwrap_or("")
+    }
+
+    fn is_ident(&self, i: usize) -> bool {
+        self.sig.get(i).is_some_and(|t| t.kind == TokenKind::Ident)
+    }
+
+    fn parse_items(&mut self, end: usize) -> Vec<Item> {
+        let mut items = Vec::new();
+        while self.pos < end {
+            items.push(self.parse_item(end));
+        }
+        items
+    }
+
+    /// Parses one item starting at `self.pos`; always consumes at least one token.
+    fn parse_item(&mut self, end: usize) -> Item {
+        let first = self.pos;
+        let test_only = self.parse_attrs(end);
+        // Visibility: `pub`, `pub(crate)`, `pub(in path)`.
+        if self.pos < end && self.text(self.pos) == "pub" {
+            self.pos += 1;
+            if self.pos < end && self.text(self.pos) == "(" {
+                self.skip_balanced(end);
+            }
+        }
+        // `const`/`unsafe`/`async`/`default` (plus `extern "C"`) qualify `fn` —
+        // look ahead without consuming so `const NAME: T = ..;` still parses as a
+        // plain item.
+        let mut probe = self.pos;
+        while probe < end {
+            let t = self.text(probe);
+            if FN_QUALIFIERS.contains(&t) {
+                probe += 1;
+            } else if t == "extern" {
+                probe += 1;
+                if self
+                    .sig
+                    .get(probe)
+                    .is_some_and(|t| matches!(t.kind, TokenKind::StrLit | TokenKind::RawStrLit))
+                {
+                    probe += 1;
+                }
+            } else {
+                break;
+            }
+        }
+        if probe > self.pos && probe < end && self.text(probe) == "fn" {
+            self.pos = probe;
+        }
+
+        let kind = match self.text(self.pos) {
+            "fn" if self.pos < end => return self.finish_fn(first, test_only, end),
+            "mod" if self.pos < end => return self.finish_mod(first, test_only, end),
+            "impl" if self.pos < end => return self.finish_impl(first, test_only, end),
+            "struct" if self.pos < end => return self.finish_struct(first, test_only, end),
+            "enum" | "union" | "trait" if self.pos < end && self.is_ident(self.pos) => {
+                self.pos += 1;
+                self.skip_to_body_or_semi(end);
+                let body = self.consume_body_or_semi(end);
+                return self.finish(first, test_only, ItemKind::Other, body, Vec::new());
+            }
+            "macro_rules" if self.pos < end => {
+                self.pos += 1; // macro_rules
+                if self.text(self.pos) == "!" {
+                    self.pos += 1;
+                }
+                if self.is_ident(self.pos) {
+                    self.pos += 1;
+                }
+                let opener = self.text(self.pos).to_string();
+                self.skip_balanced(end);
+                if opener != "{" && self.text(self.pos) == ";" {
+                    self.pos += 1;
+                }
+                return self.finish(first, test_only, ItemKind::Other, None, Vec::new());
+            }
+            _ => ItemKind::Other,
+        };
+
+        // Everything else (use/type/static/const/extern crate/macro call/garbage):
+        // consume to the first `;` outside any delimiter, or one token if we are
+        // sitting on a closer/garbage so progress is guaranteed.
+        if self.pos < end {
+            let t = self.text(self.pos);
+            if matches!(t, "}" | ")" | "]" | ";") {
+                self.pos += 1;
+                return self.finish(first, test_only, kind, None, Vec::new());
+            }
+        }
+        // Item-level macro invocation (`thread_local! { .. }`, `define! ( .. );`):
+        // a brace-delimited call ends at its `}`, not at a `;`.
+        let mut j = self.pos;
+        while j < end && (self.is_ident(j) || self.text(j) == ":") {
+            j += 1;
+        }
+        if j > self.pos && j < end && self.text(j) == "!" {
+            self.pos = j + 1;
+            let opener = self.text(self.pos).to_string();
+            self.skip_balanced(end);
+            if opener != "{" && self.text(self.pos) == ";" {
+                self.pos += 1;
+            }
+            return self.finish(first, test_only, kind, None, Vec::new());
+        }
+        let mut depth = 0usize;
+        while self.pos < end {
+            match self.text(self.pos) {
+                "(" | "[" | "{" => depth += 1,
+                ")" | "]" | "}" => {
+                    if depth == 0 {
+                        break; // unmatched closer belongs to an enclosing block
+                    }
+                    depth -= 1;
+                }
+                ";" if depth == 0 => {
+                    self.pos += 1;
+                    break;
+                }
+                _ => {}
+            }
+            self.pos += 1;
+        }
+        if self.pos == first {
+            self.pos += 1; // attrs-only tail or empty: force progress
+        }
+        self.finish(first, test_only, kind, None, Vec::new())
+    }
+
+    fn finish_fn(&mut self, first: usize, test_only: bool, end: usize) -> Item {
+        self.pos += 1; // `fn`
+        let name = if self.is_ident(self.pos) {
+            let n = self.text(self.pos).to_string();
+            self.pos += 1;
+            n
+        } else {
+            String::new()
+        };
+        self.skip_to_body_or_semi(end);
+        let body = self.consume_body_or_semi(end);
+        self.finish(first, test_only, ItemKind::Fn { name }, body, Vec::new())
+    }
+
+    fn finish_mod(&mut self, first: usize, test_only: bool, end: usize) -> Item {
+        self.pos += 1; // `mod`
+        let name = if self.is_ident(self.pos) {
+            let n = self.text(self.pos).to_string();
+            self.pos += 1;
+            n
+        } else {
+            String::new()
+        };
+        if self.text(self.pos) == ";" {
+            self.pos += 1;
+            return self.finish(
+                first,
+                test_only,
+                ItemKind::Mod {
+                    name,
+                    inline: false,
+                },
+                None,
+                Vec::new(),
+            );
+        }
+        let (body, children) = self.parse_braced_children(end);
+        self.finish(
+            first,
+            test_only,
+            ItemKind::Mod { name, inline: true },
+            body,
+            children,
+        )
+    }
+
+    fn finish_impl(&mut self, first: usize, test_only: bool, end: usize) -> Item {
+        self.pos += 1; // `impl`
+        let header_start = self.pos;
+        self.skip_to_body_or_semi(end);
+        let type_name = self.impl_type_name(header_start, self.pos);
+        let (body, children) = self.parse_braced_children(end);
+        self.finish(
+            first,
+            test_only,
+            ItemKind::Impl { type_name },
+            body,
+            children,
+        )
+    }
+
+    fn finish_struct(&mut self, first: usize, test_only: bool, end: usize) -> Item {
+        self.pos += 1; // `struct`
+        let name = if self.is_ident(self.pos) {
+            let n = self.text(self.pos).to_string();
+            self.pos += 1;
+            n
+        } else {
+            String::new()
+        };
+        self.skip_to_body_or_semi(end);
+        let body = match self.text(self.pos) {
+            "{" => self.consume_body_or_semi(end),
+            "(" => {
+                // Tuple struct: `struct P(u64, u64);`
+                self.skip_balanced(end);
+                // `where` clauses may follow the tuple; run to the `;`.
+                self.skip_to_body_or_semi(end);
+                if self.text(self.pos) == ";" {
+                    self.pos += 1;
+                }
+                None
+            }
+            _ => {
+                if self.text(self.pos) == ";" {
+                    self.pos += 1;
+                }
+                None
+            }
+        };
+        self.finish(
+            first,
+            test_only,
+            ItemKind::Struct { name },
+            body,
+            Vec::new(),
+        )
+    }
+
+    /// From `self.pos` on a `{`, consumes the brace pair parsing children inside.
+    fn parse_braced_children(&mut self, end: usize) -> (Option<(usize, usize)>, Vec<Item>) {
+        if self.text(self.pos) != "{" {
+            // Malformed (e.g. truncated input): consume one token for progress.
+            if self.pos < end {
+                self.pos += 1;
+            }
+            return (None, Vec::new());
+        }
+        let open = self.pos;
+        let close = self.matching_close(open, end);
+        self.pos = open + 1;
+        let children = self.parse_items(close);
+        self.pos = close.min(end);
+        if self.pos < end {
+            self.pos += 1; // the `}` itself
+        }
+        (Some((open, self.pos.saturating_sub(1))), children)
+    }
+
+    /// Consumes `{ ... }` (flat, no child parsing) or a terminating `;`.
+    fn consume_body_or_semi(&mut self, end: usize) -> Option<(usize, usize)> {
+        match self.text(self.pos) {
+            "{" => {
+                let open = self.pos;
+                let close = self.matching_close(open, end);
+                self.pos = (close + 1).min(end);
+                Some((open, close))
+            }
+            ";" => {
+                self.pos += 1;
+                None
+            }
+            _ => {
+                if self.pos < end {
+                    self.pos += 1; // truncated input: force progress
+                }
+                None
+            }
+        }
+    }
+
+    /// Advances to the next `{` or `;` at paren/bracket depth 0 (signature scan).
+    /// Stops *on* the delimiter without consuming it.
+    fn skip_to_body_or_semi(&mut self, end: usize) {
+        let mut depth = 0usize;
+        while self.pos < end {
+            match self.text(self.pos) {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth = depth.saturating_sub(1),
+                "{" | ";" if depth == 0 => return,
+                "}" if depth == 0 => return, // unmatched closer: enclosing block's
+                _ => {}
+            }
+            self.pos += 1;
+        }
+    }
+
+    /// Index of the `}` matching the `{` at `open` (or `end - 1` if unmatched).
+    fn matching_close(&self, open: usize, end: usize) -> usize {
+        let mut depth = 0usize;
+        let mut i = open;
+        while i < end {
+            match self.text(i) {
+                "{" => depth += 1,
+                "}" => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        return i;
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        end.saturating_sub(1).max(open)
+    }
+
+    /// If `self.pos` is an opening delimiter, skips past its matched closer.
+    fn skip_balanced(&mut self, end: usize) {
+        let open = self.text(self.pos);
+        let close = match open {
+            "(" => ")",
+            "[" => "]",
+            "{" => "}",
+            _ => {
+                if self.pos < end {
+                    self.pos += 1;
+                }
+                return;
+            }
+        };
+        let mut depth = 0usize;
+        while self.pos < end {
+            let t = self.text(self.pos);
+            if t == open {
+                depth += 1;
+            } else if t == close {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    self.pos += 1;
+                    return;
+                }
+            }
+            self.pos += 1;
+        }
+    }
+
+    /// Consumes leading `#[...]` / `#![...]` attributes; returns whether any of
+    /// them marks the item test-only.
+    fn parse_attrs(&mut self, end: usize) -> bool {
+        let mut test_only = false;
+        while self.pos < end && self.text(self.pos) == "#" {
+            let mut j = self.pos + 1;
+            if self.text(j) == "!" {
+                j += 1;
+            }
+            if self.text(j) != "[" {
+                break; // `#` not starting an attribute: leave for the item body
+            }
+            let attr_open = j;
+            // Find the matching `]`.
+            let mut depth = 0usize;
+            let mut close = attr_open;
+            while close < end {
+                match self.text(close) {
+                    "[" => depth += 1,
+                    "]" => {
+                        depth = depth.saturating_sub(1);
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                close += 1;
+            }
+            if attr_is_test_only(self.src, self.sig, attr_open + 1, close.min(end)) {
+                test_only = true;
+            }
+            self.pos = (close + 1).min(end);
+        }
+        test_only
+    }
+
+    /// Extracts the self-type name from an impl header token range: the last path
+    /// segment outside generics, after `for` if a trait impl, before `where`.
+    fn impl_type_name(&self, start: usize, end: usize) -> String {
+        let mut angle = 0usize;
+        let mut after_for = None;
+        let mut header_end = end;
+        for i in start..end {
+            match self.text(i) {
+                "<" => angle += 1,
+                ">" => angle = angle.saturating_sub(1),
+                "for" if angle == 0 => after_for = Some(i + 1),
+                "where" if angle == 0 => {
+                    header_end = i;
+                    break;
+                }
+                _ => {}
+            }
+        }
+        let from = after_for.unwrap_or(start);
+        let mut name = String::new();
+        let mut angle = 0usize;
+        for i in from..header_end {
+            match self.text(i) {
+                "<" => angle += 1,
+                ">" => angle = angle.saturating_sub(1),
+                t if angle == 0 && self.is_ident(i) && t != "dyn" && t != "mut" => {
+                    name = t.to_string();
+                }
+                _ => {}
+            }
+        }
+        name
+    }
+
+    fn finish(
+        &mut self,
+        first: usize,
+        test_only: bool,
+        kind: ItemKind,
+        body: Option<(usize, usize)>,
+        children: Vec<Item>,
+    ) -> Item {
+        let last = self.pos.saturating_sub(1).max(first);
+        Item {
+            kind,
+            test_only,
+            first,
+            last,
+            body,
+            children,
+        }
+    }
+}
+
+/// Whether the attribute tokens in `sig[start..end]` (inside the brackets) mark an
+/// item as test-only: `test`, `cfg(test)`, `cfg(all(test, ..))` — but not
+/// `cfg(not(test))` and not `cfg_attr(test, ..)`.
+fn attr_is_test_only(src: &str, sig: &[Token], start: usize, end: usize) -> bool {
+    let text = |i: usize| {
+        sig.get(i)
+            .and_then(|t| src.get(t.start..t.end))
+            .unwrap_or("")
+    };
+    let head = text(start);
+    if head == "test" {
+        return true;
+    }
+    if head != "cfg" {
+        return false;
+    }
+    // Track the enclosing call idents so `not(test)` is recognised at any depth.
+    let mut call_stack: Vec<&str> = Vec::new();
+    let mut prev_ident = "";
+    for i in start..end {
+        match text(i) {
+            "(" => {
+                call_stack.push(prev_ident);
+                prev_ident = "";
+            }
+            ")" => {
+                call_stack.pop();
+            }
+            "test" => {
+                if !call_stack.contains(&"not") {
+                    return true;
+                }
+            }
+            t if sig.get(i).is_some_and(|t| t.kind == TokenKind::Ident) => {
+                let _ = t;
+                prev_ident = text(i);
+            }
+            _ => prev_ident = "",
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn tree(src: &str) -> (Vec<Token>, Vec<Item>) {
+        let sig = significant(&lex(src));
+        let items = parse(src, &sig);
+        (sig, items)
+    }
+
+    fn assert_tiling(sig_len: usize, items: &[Item]) {
+        if items.is_empty() {
+            assert_eq!(sig_len, 0);
+            return;
+        }
+        assert_eq!(items[0].first, 0);
+        for w in items.windows(2) {
+            assert_eq!(w[0].last + 1, w[1].first, "root items must tile");
+        }
+        assert_eq!(items.last().map(|i| i.last), Some(sig_len - 1));
+    }
+
+    #[test]
+    fn parses_fns_mods_impls() {
+        let src = r"
+            pub fn free(x: u64) -> u64 { x + 1 }
+            mod inner {
+                fn nested() {}
+            }
+            struct P { a: u64 }
+            impl P {
+                pub(crate) fn get(&self) -> u64 { self.a }
+            }
+        ";
+        let (sig, items) = tree(src);
+        assert_tiling(sig.len(), &items);
+        assert!(matches!(&items[0].kind, ItemKind::Fn { name } if name == "free"));
+        assert!(matches!(&items[1].kind, ItemKind::Mod { name, inline: true } if name == "inner"));
+        assert!(matches!(&items[1].children[0].kind, ItemKind::Fn { name } if name == "nested"));
+        assert!(matches!(&items[2].kind, ItemKind::Struct { name } if name == "P"));
+        assert!(matches!(&items[3].kind, ItemKind::Impl { type_name } if type_name == "P"));
+        let fns = functions(&items);
+        assert_eq!(fns.len(), 3);
+        assert_eq!(fns[2].0.as_deref(), Some("P"));
+    }
+
+    #[test]
+    fn reconstruct_round_trips() {
+        let src = "const X: [u8; 2] = [1, 2];\nfn f() { let v = vec![X { y: 1 }]; }\n";
+        let (sig, items) = tree(src);
+        assert_eq!(reconstruct(src, &sig, &items), src);
+    }
+
+    #[test]
+    fn const_item_with_struct_literal_is_one_item() {
+        let src = "const A: Foo = Foo { a: 1 };\nfn later() {}\n";
+        let (sig, items) = tree(src);
+        assert_tiling(sig.len(), &items);
+        assert_eq!(items.len(), 2);
+        assert!(matches!(&items[1].kind, ItemKind::Fn { name } if name == "later"));
+    }
+
+    #[test]
+    fn const_fn_is_a_fn() {
+        let (_, items) = tree("const fn two() -> u64 { 2 }");
+        assert!(matches!(&items[0].kind, ItemKind::Fn { name } if name == "two"));
+    }
+
+    #[test]
+    fn trait_impl_names_the_self_type() {
+        let (_, items) = tree("impl<T: Clone> Iterator for Wrapper<T> where T: Send { fn next(&mut self) -> Option<T> { None } }");
+        assert!(matches!(&items[0].kind, ItemKind::Impl { type_name } if type_name == "Wrapper"));
+        let fns = functions(&items);
+        assert_eq!(fns.len(), 1);
+        assert_eq!(fns[0].0.as_deref(), Some("Wrapper"));
+    }
+
+    #[test]
+    fn test_attrs_mark_items() {
+        let src = r"
+            #[test]
+            fn unit() { assert!(true); }
+            #[cfg(test)]
+            mod tests {
+                fn helper() {}
+            }
+            #[cfg(all(test, feature = \x22x\x22))]
+            fn gated() {}
+            #[cfg(not(test))]
+            fn shipping() {}
+            fn plain() {}
+        ";
+        let src = &src.replace("\\x22", "\"");
+        let (sig, items) = tree(src);
+        assert!(items[0].test_only, "#[test] fn");
+        assert!(items[1].test_only, "#[cfg(test)] mod");
+        assert!(items[2].test_only, "cfg(all(test, ..))");
+        assert!(!items[3].test_only, "cfg(not(test)) is NOT test-only");
+        assert!(!items[4].test_only);
+        let mask = test_mask(sig.len(), &items);
+        assert!(mask[items[0].first] && mask[items[1].last]);
+        assert!(!mask[items[4].first]);
+    }
+
+    #[test]
+    fn unbalanced_input_is_total() {
+        for src in [
+            "fn f() { {",
+            "impl X { fn g(",
+            "}}}",
+            "mod m { fn",
+            "#[cfg(test)",
+            "pub pub fn",
+            "struct S(",
+        ] {
+            let sig = significant(&lex(src));
+            let items = parse(src, &sig);
+            assert_tiling(sig.len(), &items);
+            assert_eq!(reconstruct(src, &sig, &items), src);
+        }
+    }
+
+    #[test]
+    fn fn_signatures_with_braces_in_generics_do_not_confuse_bodies() {
+        let src = "fn f(xs: [u8; 3]) -> u8 { xs.len() as u8 }";
+        let (_, items) = tree(src);
+        let ItemKind::Fn { name } = &items[0].kind else {
+            panic!("expected fn")
+        };
+        assert_eq!(name, "f");
+        assert!(items[0].body.is_some());
+    }
+
+    #[test]
+    fn macro_rules_and_macro_calls_parse_as_other() {
+        let src =
+            "macro_rules! m { () => {}; }\nthread_local! { static X: u8 = 0; }\nfn after() {}\n";
+        let (sig, items) = tree(src);
+        assert_tiling(sig.len(), &items);
+        assert!(
+            matches!(&items.last().map(|i| &i.kind), Some(ItemKind::Fn { name }) if name == "after")
+        );
+    }
+}

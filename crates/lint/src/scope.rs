@@ -1,0 +1,717 @@
+//! Per-function symbol and scope analysis: lock-guard bindings with live ranges,
+//! call sites, and blocking operations.
+//!
+//! This pass walks one function body (a flat significant-token run from the
+//! [`crate::parser`] item tree) and recovers just enough binding structure for the
+//! concurrency rules:
+//!
+//! * **Guards** — `let g = lock_recover(&x)`, `let g = m.lock()` (also `.read()` /
+//!   `.write()` with empty argument lists), and guard-consuming condvar waits
+//!   (`g = wait_recover(&cv, g)`).  A guard's live range runs from its acquisition
+//!   to the first `drop(g)`, a shadowing `let g =`, the close of its enclosing
+//!   block, or — for unnamed temporaries — the end of its statement.
+//! * **Call sites** — free calls, `Path::assoc` calls and `.method()` calls, each
+//!   with the set of guards live at the call.
+//! * **Blocking operations** — channel send/recv, `JoinHandle::join`, condvar
+//!   waits, sleeps and blocking socket I/O, again with the live guard set (minus
+//!   any guard the operation itself consumes, so the bounded queue's
+//!   `state = wait_recover(&not_full, state)` protocol is not a false positive,
+//!   and minus the guard the operation is invoked *on* — `Mutex<File>`-style
+//!   serialization where blocking through the guard is the lock's purpose).
+//!
+//! Lock identities are canonicalised receiver chains with `self`/`&`/`*` stripped:
+//! `lock_recover(&self.shared.state)` and `lock_recover(&shared.state)` both name
+//! the lock `shared.state`.  Identities are later crate-qualified by the call-graph
+//! pass so same-named fields in different crates stay distinct.
+
+use crate::lexer::{Token, TokenKind};
+use crate::parser::{Item, ItemKind};
+
+/// A site in the file: 1-based line and column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Site {
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column (byte offset within the line, 1-based).
+    pub col: usize,
+}
+
+/// One lock guard observed in a function body.
+#[derive(Debug, Clone)]
+pub struct Guard {
+    /// The binding name (`None` for `_` patterns and temporaries).
+    pub var: Option<String>,
+    /// Canonical lock identity (receiver chain, `self`/`&`/`*` stripped).
+    pub lock: String,
+    /// Where the guard is acquired.
+    pub site: Site,
+    /// Significant-token index of the acquisition.
+    pub from: usize,
+    /// Last significant-token index at which the guard is live (inclusive).
+    pub to: usize,
+}
+
+/// One call site in a function body.
+#[derive(Debug, Clone)]
+pub struct Call {
+    /// The called name (`push` in `q.push(x)`, `parse` in `json::parse(s)`).
+    pub callee: String,
+    /// Path qualifier immediately before `::` (`json` in `json::parse`).
+    pub qualifier: Option<String>,
+    /// `true` for `.method()` calls.
+    pub method: bool,
+    /// `true` for direct `self.method()` calls.
+    pub self_receiver: bool,
+    /// Where the call happens.
+    pub site: Site,
+    /// Indices into `guards` of every guard live at the call.
+    pub guards_live: Vec<usize>,
+}
+
+/// One potentially blocking operation in a function body.
+#[derive(Debug, Clone)]
+pub struct Blocking {
+    /// Human description, e.g. "`.recv()` (channel receive)".
+    pub what: String,
+    /// Where it happens.
+    pub site: Site,
+    /// Indices into `guards` of guards live across the operation (a guard the
+    /// operation itself consumes — condvar wait protocols — is excluded).
+    pub guards_live: Vec<usize>,
+}
+
+/// Everything the concurrency rules need to know about one function.
+#[derive(Debug, Clone)]
+pub struct FnScope {
+    /// Function name as written.
+    pub name: String,
+    /// Enclosing impl type, if any.
+    pub type_name: Option<String>,
+    /// Significant-token indices of the body braces (for test-mask filtering).
+    pub body: (usize, usize),
+    /// Guards in acquisition order.
+    pub guards: Vec<Guard>,
+    /// For each guard (by index), the guard indices already live when it was
+    /// acquired — the intra-function lock-order edges.
+    pub held_at_acquire: Vec<Vec<usize>>,
+    /// Call sites in source order.
+    pub calls: Vec<Call>,
+    /// Blocking operations in source order.
+    pub blocking: Vec<Blocking>,
+}
+
+/// Method names that acquire a guard when called with no arguments.
+const GUARD_METHODS: [&str; 3] = ["lock", "read", "write"];
+
+/// Keywords that look like calls but are not (`if (..)`, `while (..)` etc.).
+const CALL_KEYWORDS: [&str; 14] = [
+    "if", "else", "while", "for", "loop", "match", "return", "break", "continue", "let", "in",
+    "move", "as", "where",
+];
+
+/// `(ident, description)` table of blocking operations recognised by name.
+/// `recv`/`send` are channel endpoints, `join` a thread join, the `wait` family
+/// condvar waits, the rest sleeps and blocking socket I/O.
+const BLOCKING_METHODS: [(&str, &str); 16] = [
+    ("send", "channel send"),
+    ("recv", "channel receive"),
+    ("recv_timeout", "channel receive"),
+    ("recv_deadline", "channel receive"),
+    ("join", "thread join"),
+    ("wait", "condvar wait"),
+    ("wait_timeout", "condvar wait"),
+    ("wait_while", "condvar wait"),
+    ("sleep", "sleep"),
+    ("sleep_until_ns", "sleep"),
+    ("park", "thread park"),
+    ("accept", "blocking socket accept"),
+    ("connect", "blocking socket connect"),
+    ("read_exact", "blocking socket read"),
+    ("read_to_end", "blocking socket read"),
+    ("write_all", "blocking socket write"),
+];
+
+/// Free functions that block (the in-tree condvar helper consumes its guard).
+const BLOCKING_FREE_FNS: [(&str, &str); 3] = [
+    ("wait_recover", "condvar wait"),
+    ("sleep_until_ns", "sleep"),
+    ("sleep", "sleep"),
+];
+
+/// Analyzes every function item in `items`, resolving sites through
+/// `line_starts` (byte offsets of line beginnings).
+#[must_use]
+pub fn analyze_functions(
+    src: &str,
+    sig: &[Token],
+    items: &[Item],
+    line_starts: &[usize],
+) -> Vec<FnScope> {
+    crate::parser::functions(items)
+        .into_iter()
+        .filter_map(|(type_name, item)| {
+            let ItemKind::Fn { name } = &item.kind else {
+                return None;
+            };
+            let (open, close) = item.body?;
+            Some(analyze_body(
+                src,
+                sig,
+                name.clone(),
+                type_name,
+                open,
+                close,
+                line_starts,
+            ))
+        })
+        .collect()
+}
+
+fn text<'a>(src: &'a str, sig: &[Token], i: usize) -> &'a str {
+    sig.get(i)
+        .and_then(|t| src.get(t.start..t.end))
+        .unwrap_or("")
+}
+
+fn site_of(sig: &[Token], i: usize, line_starts: &[usize]) -> Site {
+    let offset = sig.get(i).map_or(0, |t| t.start);
+    let line = match line_starts.binary_search(&offset) {
+        Ok(l) => l,
+        Err(l) => l.saturating_sub(1),
+    };
+    Site {
+        line: line + 1,
+        col: offset - line_starts.get(line).copied().unwrap_or(0) + 1,
+    }
+}
+
+#[allow(clippy::too_many_lines)]
+fn analyze_body(
+    src: &str,
+    sig: &[Token],
+    name: String,
+    type_name: Option<String>,
+    open: usize,
+    close: usize,
+    line_starts: &[usize],
+) -> FnScope {
+    let tx = |i: usize| text(src, sig, i);
+    let is_ident = |i: usize| sig.get(i).is_some_and(|t| t.kind == TokenKind::Ident);
+    let mut guards: Vec<Guard> = Vec::new();
+    let mut held_at_acquire: Vec<Vec<usize>> = Vec::new();
+    let mut calls: Vec<Call> = Vec::new();
+    let mut blocking: Vec<Blocking> = Vec::new();
+
+    let live_at = |guards: &[Guard], p: usize| -> Vec<usize> {
+        guards
+            .iter()
+            .enumerate()
+            .filter(|(_, g)| g.from < p && p <= g.to)
+            .map(|(i, _)| i)
+            .collect()
+    };
+
+    let mut i = open + 1;
+    while i < close {
+        if !is_ident(i) {
+            i += 1;
+            continue;
+        }
+        let t = tx(i);
+        let prev = if i > 0 { tx(i - 1) } else { "" };
+        let next = tx(i + 1);
+
+        // --- Guard acquisitions -------------------------------------------------
+        if t == "lock_recover" && next == "(" {
+            let arg_close = match_forward(src, sig, i + 1, close);
+            let lock = normalize_chain(src, sig, i + 2, arg_close);
+            let held = live_at(&guards, i);
+            // A call chained onto the guard (`lock_recover(&x).get(..)`) means the
+            // binding holds the chain's result, not the guard: the guard itself is
+            // a temporary dropped at the end of the statement.
+            let (var, to) = if tx(arg_close + 1) == "." {
+                (None, statement_end(src, sig, i, close))
+            } else {
+                binding_of(src, sig, i, open, close)
+            };
+            guards.push(Guard {
+                var,
+                lock,
+                site: site_of(sig, i, line_starts),
+                from: i,
+                to,
+            });
+            held_at_acquire.push(held);
+            i += 1;
+            continue;
+        }
+        if GUARD_METHODS.contains(&t) && prev == "." && next == "(" && tx(i + 2) == ")" {
+            let lock = receiver_chain(src, sig, i - 2, open);
+            if !lock.is_empty() {
+                let held = live_at(&guards, i);
+                // Same chaining rule: `map.read().get(..)` binds the lookup result,
+                // so the read guard is a statement-scoped temporary.
+                let (var, to) = if tx(i + 3) == "." {
+                    (None, statement_end(src, sig, i, close))
+                } else {
+                    binding_of(src, sig, i, open, close)
+                };
+                guards.push(Guard {
+                    var,
+                    lock,
+                    site: site_of(sig, i, line_starts),
+                    from: i,
+                    to,
+                });
+                held_at_acquire.push(held);
+            }
+            i += 1;
+            continue;
+        }
+
+        // --- Blocking operations ------------------------------------------------
+        let blocked = if prev == "." {
+            BLOCKING_METHODS.iter().find(|(n, _)| *n == t).copied()
+        } else {
+            BLOCKING_FREE_FNS.iter().find(|(n, _)| *n == t).copied()
+        };
+        if let Some((op, desc)) = blocked {
+            if next == "(" {
+                // `join`/`recv`/`wait` only block with the right arity: exclude
+                // `Vec::join(sep)`-style string joins (args present) for `join`,
+                // and a condvar wait's own guard argument.
+                let arg_close = match_forward(src, sig, i + 1, close);
+                let arity_ok = match op {
+                    "join" | "recv" => tx(i + 2) == ")",
+                    _ => true,
+                };
+                if arity_ok {
+                    let consumed = wait_consumed_guard(src, sig, op, i + 2, arg_close);
+                    // A blocking call invoked *on the guard itself* (`file.write_all(..)`
+                    // where `file` is the guard over a `Mutex<File>`) is the lock's
+                    // purpose — serializing that resource — and cannot drop the guard
+                    // first.  Exempt that guard; any *other* guard held across it
+                    // still fires.
+                    let own_receiver = if prev == "." {
+                        receiver_chain(src, sig, i - 2, open)
+                            .split('.')
+                            .next()
+                            .map(str::to_string)
+                    } else {
+                        None
+                    };
+                    let live: Vec<usize> = live_at(&guards, i)
+                        .into_iter()
+                        .filter(|&g| {
+                            let spared = |name: &Option<String>| match (&guards[g].var, name) {
+                                (Some(v), Some(c)) => v == c,
+                                _ => false,
+                            };
+                            !spared(&consumed) && !spared(&own_receiver)
+                        })
+                        .collect();
+                    blocking.push(Blocking {
+                        what: format!("`{op}` ({desc})"),
+                        site: site_of(sig, i, line_starts),
+                        guards_live: live,
+                    });
+                }
+            }
+            i += 1;
+            continue;
+        }
+
+        // --- Call sites ---------------------------------------------------------
+        if next == "(" && !CALL_KEYWORDS.contains(&t) && prev != "fn" && prev != "!" {
+            let method = prev == ".";
+            let qualifier = if prev == ":" && tx(i.saturating_sub(2)) == ":" {
+                let q = tx(i.saturating_sub(3));
+                if q.is_empty() {
+                    None
+                } else {
+                    Some(q.to_string())
+                }
+            } else {
+                None
+            };
+            let self_receiver =
+                method && tx(i.saturating_sub(2)) == "self" && tx(i.saturating_sub(3)) != ".";
+            calls.push(Call {
+                callee: t.to_string(),
+                qualifier,
+                method,
+                self_receiver,
+                site: site_of(sig, i, line_starts),
+                guards_live: live_at(&guards, i),
+            });
+        }
+        i += 1;
+    }
+
+    FnScope {
+        name,
+        type_name,
+        body: (open, close),
+        guards,
+        held_at_acquire,
+        calls,
+        blocking,
+    }
+}
+
+/// For the condvar wait family, the guard variable the call consumes (its last
+/// argument / sole argument): `wait_recover(&cv, state)` -> `state`,
+/// `cv.wait(state)` -> `state`.
+fn wait_consumed_guard(
+    src: &str,
+    sig: &[Token],
+    op: &str,
+    args_from: usize,
+    args_to: usize,
+) -> Option<String> {
+    if !matches!(op, "wait" | "wait_timeout" | "wait_while" | "wait_recover") {
+        return None;
+    }
+    // Last bare identifier at depth 0 inside the argument list.
+    let mut depth = 0usize;
+    let mut last = None;
+    for i in args_from..args_to {
+        match text(src, sig, i) {
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" | "}" => depth = depth.saturating_sub(1),
+            t if depth == 0 && sig.get(i).is_some_and(|t| t.kind == TokenKind::Ident) => {
+                let _ = t;
+                last = Some(text(src, sig, i).to_string());
+            }
+            _ => {}
+        }
+    }
+    last
+}
+
+/// Index of the token matching the opener at `open` (`(`/`[`/`{`), capped at `end`.
+fn match_forward(src: &str, sig: &[Token], open: usize, end: usize) -> usize {
+    let (o, c) = match text(src, sig, open) {
+        "(" => ("(", ")"),
+        "[" => ("[", "]"),
+        "{" => ("{", "}"),
+        _ => return open,
+    };
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < end {
+        let t = text(src, sig, i);
+        if t == o {
+            depth += 1;
+        } else if t == c {
+            depth = depth.saturating_sub(1);
+            if depth == 0 {
+                return i;
+            }
+        }
+        i += 1;
+    }
+    end.saturating_sub(1)
+}
+
+/// Canonical lock identity from an argument expression: identifiers and `.`/`::`
+/// separators, with `&`, `*`, parens and a leading `self.` stripped.
+fn normalize_chain(src: &str, sig: &[Token], from: usize, to: usize) -> String {
+    let mut parts: Vec<&str> = Vec::new();
+    for i in from..to {
+        let t = text(src, sig, i);
+        if sig.get(i).is_some_and(|tok| tok.kind == TokenKind::Ident) {
+            parts.push(t);
+        } else if !matches!(t, "&" | "*" | "(" | ")" | "." | ":" | "mut") {
+            break;
+        }
+    }
+    if parts.first() == Some(&"self") {
+        parts.remove(0);
+    }
+    parts.join(".")
+}
+
+/// Canonical receiver chain ending at `last` (the token before `.method`):
+/// walks back over `ident . ident`/`::` chains, then strips like
+/// [`normalize_chain`].
+fn receiver_chain(src: &str, sig: &[Token], last: usize, floor: usize) -> String {
+    let mut first = last;
+    while first > floor {
+        let t = text(src, sig, first - 1);
+        let is_link = matches!(t, "." | ":")
+            || sig
+                .get(first - 1)
+                .is_some_and(|tok| tok.kind == TokenKind::Ident);
+        if is_link {
+            first -= 1;
+        } else {
+            break;
+        }
+    }
+    normalize_chain(src, sig, first, last + 1)
+}
+
+/// If the acquisition at `at` sits in a `let [mut] name [: ty] =` statement,
+/// returns the binding name and its live-range end; otherwise the temporary's
+/// statement end.
+fn binding_of(
+    src: &str,
+    sig: &[Token],
+    at: usize,
+    body_open: usize,
+    body_close: usize,
+) -> (Option<String>, usize) {
+    // Walk back to the statement start: the token after the previous `;`, `{` or
+    // `}` at this nesting level.  A conservative scan backwards is enough — any
+    // of those tokens terminates the previous statement.
+    let mut s = at;
+    while s > body_open + 1 {
+        let t = text(src, sig, s - 1);
+        if matches!(t, ";" | "{" | "}") {
+            break;
+        }
+        s -= 1;
+    }
+    let stmt_end = statement_end(src, sig, at, body_close);
+    // `let [mut] name ... =` with the acquisition on the right of the `=`.
+    if text(src, sig, s) == "let" {
+        let mut n = s + 1;
+        if text(src, sig, n) == "mut" {
+            n += 1;
+        }
+        let name = text(src, sig, n);
+        let named = sig.get(n).is_some_and(|t| t.kind == TokenKind::Ident) && name != "_";
+        if named {
+            let end = live_end(src, sig, name, stmt_end, at, body_close);
+            return (Some(name.to_string()), end);
+        }
+    }
+    // `name = wait_recover(..)` re-binding of an existing named guard.
+    if sig.get(s).is_some_and(|t| t.kind == TokenKind::Ident) && text(src, sig, s + 1) == "=" {
+        let name = text(src, sig, s);
+        let end = live_end(src, sig, name, stmt_end, at, body_close);
+        return (Some(name.to_string()), end);
+    }
+    (None, stmt_end)
+}
+
+/// The index of the `;` ending the statement containing `at` (or the enclosing
+/// block close, whichever comes first).
+fn statement_end(src: &str, sig: &[Token], at: usize, body_close: usize) -> usize {
+    let mut depth = 0usize;
+    let mut i = at;
+    while i < body_close {
+        match text(src, sig, i) {
+            "(" | "[" | "{" => depth += 1,
+            ")" | "]" => depth = depth.saturating_sub(1),
+            "}" => {
+                if depth == 0 {
+                    return i;
+                }
+                depth -= 1;
+            }
+            ";" if depth == 0 => return i,
+            _ => {}
+        }
+        i += 1;
+    }
+    body_close
+}
+
+/// The live-range end of a named guard bound at statement ending `stmt_end`:
+/// the first `drop(name)`, a shadowing `let name`, or the close of the
+/// enclosing block.
+fn live_end(
+    src: &str,
+    sig: &[Token],
+    name: &str,
+    stmt_end: usize,
+    at: usize,
+    body_close: usize,
+) -> usize {
+    let block_close = enclosing_block_close(src, sig, at, body_close);
+    let mut i = stmt_end;
+    while i < block_close {
+        let t = text(src, sig, i);
+        if t == "drop" && text(src, sig, i + 1) == "(" && text(src, sig, i + 2) == name {
+            return i + 3; // through `drop(name)`'s closing paren
+        }
+        if t == "let" {
+            let mut n = i + 1;
+            if text(src, sig, n) == "mut" {
+                n += 1;
+            }
+            if text(src, sig, n) == name {
+                return i;
+            }
+        }
+        i += 1;
+    }
+    block_close
+}
+
+/// The index of the `}` closing the innermost block containing `at`.
+fn enclosing_block_close(src: &str, sig: &[Token], at: usize, body_close: usize) -> usize {
+    let mut depth = 0usize;
+    let mut i = at;
+    while i < body_close {
+        match text(src, sig, i) {
+            "{" => depth += 1,
+            "}" => {
+                if depth == 0 {
+                    return i;
+                }
+                depth -= 1;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    body_close
+}
+
+/// Byte offsets at which each line starts (line 0 at offset 0).
+#[must_use]
+pub fn line_starts(src: &str) -> Vec<usize> {
+    let mut starts = vec![0usize];
+    for (i, b) in src.bytes().enumerate() {
+        if b == b'\n' {
+            starts.push(i + 1);
+        }
+    }
+    starts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::parser::{parse, significant};
+
+    fn scopes(src: &str) -> Vec<FnScope> {
+        let sig = significant(&lex(src));
+        let items = parse(src, &sig);
+        analyze_functions(src, &sig, &items, &line_starts(src))
+    }
+
+    #[test]
+    fn lock_recover_binding_and_drop_narrow_the_range() {
+        let src = "fn f() {\n    let state = lock_recover(&shared.state);\n    state.push(1);\n    drop(state);\n    other();\n}\n";
+        let fns = scopes(src);
+        assert_eq!(fns.len(), 1);
+        let g = &fns[0].guards[0];
+        assert_eq!(g.var.as_deref(), Some("state"));
+        assert_eq!(g.lock, "shared.state");
+        assert_eq!(g.site.line, 2);
+        // `other()` is called after the drop: no guards live there.
+        let other = fns[0].calls.iter().find(|c| c.callee == "other").unwrap();
+        assert!(other.guards_live.is_empty());
+        // `push` happens under the guard.
+        let push = fns[0].calls.iter().find(|c| c.callee == "push").unwrap();
+        assert_eq!(push.guards_live, vec![0]);
+    }
+
+    #[test]
+    fn self_prefix_is_stripped_from_lock_identity() {
+        let src = "impl P { fn take(&self) { let b = lock_recover(&self.free); b.pop(); } }";
+        let fns = scopes(src);
+        assert_eq!(fns[0].guards[0].lock, "free");
+    }
+
+    #[test]
+    fn raw_mutex_guard_via_lock_method() {
+        let src = "fn f(m: &Mutex<u8>) { let g = m.lock(); use_it(&g); }";
+        let fns = scopes(src);
+        assert_eq!(fns[0].guards[0].lock, "m");
+        assert_eq!(fns[0].guards[0].var.as_deref(), Some("g"));
+    }
+
+    #[test]
+    fn nested_acquisition_records_held_guard() {
+        let src = "fn f() { let a = lock_recover(&left); let b = lock_recover(&right); }";
+        let fns = scopes(src);
+        assert_eq!(fns[0].guards.len(), 2);
+        assert_eq!(fns[0].held_at_acquire[0], Vec::<usize>::new());
+        assert_eq!(fns[0].held_at_acquire[1], vec![0]);
+    }
+
+    #[test]
+    fn block_scoping_ends_the_guard() {
+        let src = "fn f() { { let g = lock_recover(&l); g.touch(); } after(); }";
+        let fns = scopes(src);
+        let after = fns[0].calls.iter().find(|c| c.callee == "after").unwrap();
+        assert!(after.guards_live.is_empty());
+    }
+
+    #[test]
+    fn wait_recover_consumes_its_own_guard() {
+        let src = "fn f() { let mut state = lock_recover(&shared.state); while full() { state = wait_recover(&shared.not_full, state); } state.go(); }";
+        let fns = scopes(src);
+        // The wait consumes (and re-establishes) `state`: not a guard-across-
+        // blocking violation.
+        let wait = &fns[0].blocking[0];
+        assert!(wait.what.contains("condvar wait"));
+        assert!(wait.guards_live.is_empty(), "own guard is consumed");
+    }
+
+    #[test]
+    fn recv_under_live_guard_is_flagged_live() {
+        let src = "fn f() { let g = lock_recover(&l); let v = rx.recv(); use_it(g, v); }";
+        let fns = scopes(src);
+        let recv = &fns[0].blocking[0];
+        assert!(recv.what.contains("channel receive"));
+        assert_eq!(recv.guards_live, vec![0]);
+    }
+
+    #[test]
+    fn join_with_separator_argument_is_not_blocking() {
+        let src = "fn f() { let s = parts.join(\", \"); let h = handle.join(); }";
+        let fns = scopes(src);
+        assert_eq!(fns[0].blocking.len(), 1, "only the empty-arg join blocks");
+    }
+
+    #[test]
+    fn temporary_guard_is_live_only_for_its_statement() {
+        let src = "fn f() { lock_recover(&self.free).push(buf); rx.recv(); }";
+        let fns = scopes(src);
+        let recv = &fns[0].blocking[0];
+        assert!(recv.guards_live.is_empty());
+    }
+
+    #[test]
+    fn chained_guard_method_binds_the_result_not_the_guard() {
+        // `let slot = map.read().get(&k).copied();` binds an Option, not the read
+        // guard: the guard is a statement temporary, so the later write acquisition
+        // does not see it held.
+        let src = "fn f() { let slot = self.map.read().get(&k).copied(); self.map.write().insert(k, v); }";
+        let fns = scopes(src);
+        assert_eq!(fns[0].guards.len(), 2);
+        assert_eq!(fns[0].guards[0].var, None);
+        assert_eq!(fns[0].held_at_acquire[1], Vec::<usize>::new());
+    }
+
+    #[test]
+    fn blocking_on_own_guard_is_exempt_but_other_guards_fire() {
+        // `Mutex<File>`: the write serializes through its own guard (sanctioned) …
+        let own = "fn f() { let mut file = self.file.lock(); file.write_all(&buf); }";
+        let fns = scopes(own);
+        assert!(fns[0].blocking[0].guards_live.is_empty());
+        // … but an unrelated guard held across the same write still counts.
+        let both =
+            "fn f() { let g = lock_recover(&l); let mut file = self.file.lock(); file.write_all(&buf); drop(g); }";
+        let fns = scopes(both);
+        assert_eq!(fns[0].blocking[0].guards_live, vec![0]);
+    }
+
+    #[test]
+    fn call_qualifiers_and_self_receivers_are_recorded() {
+        let src = "impl Q { fn f(&self) { self.step(); json::parse(s); helper(); x.method(); } }";
+        let fns = scopes(src);
+        let call = |n: &str| fns[0].calls.iter().find(|c| c.callee == n).unwrap().clone();
+        assert!(call("step").self_receiver);
+        assert_eq!(call("parse").qualifier.as_deref(), Some("json"));
+        assert!(!call("helper").method);
+        assert!(call("method").method && !call("method").self_receiver);
+    }
+}

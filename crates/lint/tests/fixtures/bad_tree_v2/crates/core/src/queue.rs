@@ -1,0 +1,26 @@
+//! Fixture: an inverted lock order across two functions, and a guard held across
+//! a blocking channel receive.  Each seeded violation is pinned by the
+//! workspace_fixture test and the CI static-analysis job.
+
+fn enqueue() {
+    let s = lock_recover(&shared.state);
+    let p = lock_recover(&pool.free);
+    touch(&s, &p);
+    drop(p);
+    drop(s);
+}
+
+fn drain() {
+    let p = lock_recover(&pool.free);
+    let s = lock_recover(&shared.state);
+    touch(&s, &p);
+    drop(s);
+    drop(p);
+}
+
+fn wait_for_result() {
+    let s = lock_recover(&shared.state);
+    let v = rx.recv();
+    drop(s);
+    consume(v);
+}

@@ -1,0 +1,12 @@
+//! Fixture: a truncating cast and unchecked integer bucket arithmetic in
+//! histogram index math.
+
+fn bucket_base(index: u64) -> u32 {
+    index as u32
+}
+
+fn bump(count: u64) -> u64 {
+    let mut total = 0u64;
+    total += count;
+    total
+}

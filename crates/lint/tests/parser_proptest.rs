@@ -1,0 +1,126 @@
+//! Property tests for the parser's load-bearing guarantees (see `parser` docs):
+//! totality (never panics, whatever token stream arrives — including unbalanced
+//! delimiters) and span soundness (item spans index real significant tokens, and
+//! reconstructing the source from the spans loses nothing: lex → parse →
+//! reconstruct is the identity).
+
+use proptest::prelude::*;
+use tailbench_lint::lexer::lex;
+use tailbench_lint::parser::{parse, reconstruct, significant, test_mask};
+
+/// Characters chosen to stress the tricky parser states: item keywords come from
+/// the word fragments, the rest supplies delimiters (balanced and not), attribute
+/// punctuation, semicolons and macro bangs.
+const TRICKY: &[&str] = &[
+    "fn",
+    "mod",
+    "impl",
+    "struct",
+    "enum",
+    "const",
+    "unsafe",
+    "async",
+    "pub",
+    "use",
+    "macro_rules",
+    "test",
+    "cfg",
+    "not",
+    "a",
+    "B",
+    "0",
+    "{",
+    "}",
+    "(",
+    ")",
+    "[",
+    "]",
+    "<",
+    ">",
+    ";",
+    ",",
+    ":",
+    "!",
+    "#",
+    "=",
+    "->",
+    "\"s\"",
+    "'x'",
+    " ",
+    "\n",
+    "//c\n",
+    "/*b*/",
+];
+
+fn assert_parses_losslessly(src: &str) -> Result<(), String> {
+    let tokens = lex(src);
+    let sig = significant(&tokens);
+    let items = parse(src, &sig);
+
+    // Every span indexes real significant tokens, body inside the item.
+    fn check(items: &[tailbench_lint::parser::Item], len: usize) -> Result<(), String> {
+        for item in items {
+            prop_assert!(item.first <= item.last, "inverted span");
+            prop_assert!(item.last < len, "span beyond stream");
+            if let Some((open, close)) = item.body {
+                prop_assert!(item.first <= open && open <= close && close <= item.last);
+            }
+            check(&item.children, len)?;
+        }
+        Ok(())
+    }
+    check(&items, sig.len())?;
+
+    // The test mask is total over the significant stream.
+    prop_assert_eq!(test_mask(sig.len(), &items).len(), sig.len());
+
+    // Span round-trip: reassembling the source from the item tree (plus the
+    // trivia between spans) reproduces the input byte-for-byte.
+    let rebuilt = reconstruct(src, &sig, &items);
+    prop_assert_eq!(rebuilt.as_str(), src);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary ASCII (including control characters): parse must be total and
+    /// the span round-trip lossless.
+    #[test]
+    fn parser_round_trips_arbitrary_ascii(bytes in prop::collection::vec(0u8..127, 0..300)) {
+        let src: String = bytes.iter().map(|&b| b as char).collect();
+        assert_parses_losslessly(&src)?;
+    }
+
+    /// Sequences over the tricky alphabet: item keywords against unbalanced
+    /// delimiters, stray attributes and macro bangs must still parse totally.
+    #[test]
+    fn parser_round_trips_tricky_sequences(picks in prop::collection::vec(0usize..38, 0..120)) {
+        let src: String = picks
+            .iter()
+            .map(|&i| TRICKY[i.min(TRICKY.len() - 1)])
+            .collect::<Vec<_>>()
+            .join(" ");
+        assert_parses_losslessly(&src)?;
+    }
+
+    /// Well-formed item skeletons: nested mods with fns and test attributes must
+    /// round-trip and keep the mask length in sync.
+    #[test]
+    fn parser_round_trips_nested_items(depth in 0usize..5, fns in 0usize..4, test_attr in any::<bool>()) {
+        let mut src = String::new();
+        for d in 0..depth {
+            if test_attr && d == depth / 2 {
+                src.push_str("#[cfg(test)] ");
+            }
+            src.push_str(&format!("mod m{d} {{ "));
+        }
+        for f in 0..fns {
+            src.push_str(&format!("fn f{f}(x: u64) -> u64 {{ x + {f} }} "));
+        }
+        for _ in 0..depth {
+            src.push_str("} ");
+        }
+        assert_parses_losslessly(&src)?;
+    }
+}

@@ -1,0 +1,26 @@
+//! Keeps the README rule table honest: every row must reproduce the rule's
+//! own `name`/`scope_desc`/`summary` strings verbatim, so the docs cannot
+//! drift from the code without this test failing.
+
+use tailbench_lint::ALL_RULES;
+
+#[test]
+fn readme_rule_table_matches_rule_definitions() {
+    let readme_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../README.md");
+    let readme = std::fs::read_to_string(readme_path).expect("README.md at the workspace root");
+
+    for rule in ALL_RULES {
+        let row = format!(
+            "| `{}` | {} | {} |",
+            rule.name(),
+            rule.scope_desc(),
+            rule.summary()
+        );
+        assert!(
+            readme.contains(&row),
+            "README rule table is stale for `{}` — expected the row:\n{row}\n\
+             (regenerate from `Rule::{{name,scope_desc,summary}}`)",
+            rule.name()
+        );
+    }
+}

@@ -1,6 +1,6 @@
-//! End-to-end test over the seeded `bad_tree` fixture: a miniature workspace whose
-//! files violate every rule.  `lint_workspace` must name each violation by rule,
-//! file and line — the same contract the CI job asserts through the CLI.
+//! End-to-end tests over the seeded fixture workspaces: miniature trees whose
+//! files violate the rules.  `lint_workspace` must name each violation by rule,
+//! file, line and column — the same contract the CI job asserts through the CLI.
 
 use std::path::Path;
 use tailbench_lint::{lint_workspace, Rule};
@@ -12,41 +12,105 @@ fn bad_tree_fixture_fires_every_rule_with_file_and_line() {
     assert!(!report.is_clean());
     assert_eq!(report.files_scanned, 3);
 
-    let got: Vec<(&str, usize, Rule)> = report
+    let got: Vec<(&str, usize, usize, Rule)> = report
         .findings
         .iter()
-        .map(|f| (f.path.as_str(), f.line, f.rule))
+        .map(|f| (f.path.as_str(), f.line, f.col, f.rule))
         .collect();
     let want = [
         (
             "crates/core/src/collector.rs",
             3,
+            23,
             Rule::NoUnorderedIterationInReports,
         ),
         (
             "crates/core/src/collector.rs",
             5,
+            29,
             Rule::NoUnorderedIterationInReports,
         ),
-        ("crates/core/src/sim.rs", 5, Rule::NoWallclockInSim),
-        ("crates/core/src/sim.rs", 10, Rule::NoPanicHotpath),
-        ("crates/core/src/sim.rs", 14, Rule::NoPanicHotpath),
-        ("crates/core/src/sim.rs", 17, Rule::UnjustifiedAllow),
-        ("crates/core/src/sim.rs", 19, Rule::NoPanicHotpath),
-        ("crates/workloads/src/lib.rs", 4, Rule::NoUnseededRng),
+        ("crates/core/src/sim.rs", 5, 28, Rule::NoWallclockInSim),
+        ("crates/core/src/sim.rs", 10, 29, Rule::NoPanicHotpath),
+        ("crates/core/src/sim.rs", 14, 11, Rule::NoPanicHotpath),
+        ("crates/core/src/sim.rs", 17, 1, Rule::UnjustifiedAllow),
+        ("crates/core/src/sim.rs", 19, 11, Rule::NoPanicHotpath),
+        ("crates/workloads/src/lib.rs", 4, 19, Rule::NoUnseededRng),
     ];
     assert_eq!(
         got, want,
-        "findings must be exact and sorted by (path, line, rule)"
+        "findings must be exact and sorted by (path, line, col, rule)"
     );
 
-    // The rendered forms carry the same file:line coordinates the CI step greps for.
+    // The rendered forms carry the same file:line:col coordinates the CI step greps
+    // for — both text and JSON columns are 1-based.
     let text = report.render_text();
-    assert!(text.contains("crates/core/src/sim.rs:5: no-wallclock-in-sim"));
-    assert!(text.contains("crates/core/src/sim.rs:10: no-panic-hotpath"));
-    assert!(text.contains("crates/workloads/src/lib.rs:4: no-unseeded-rng"));
+    assert!(text.contains("crates/core/src/sim.rs:5:28: no-wallclock-in-sim"));
+    assert!(text.contains("crates/core/src/sim.rs:10:29: no-panic-hotpath"));
+    assert!(text.contains("crates/workloads/src/lib.rs:4:19: no-unseeded-rng"));
     assert!(text.contains("8 finding(s) across 3 file(s)"));
     let json = report.to_json_string();
     assert!(json.contains("\"no-unordered-iteration-in-reports\""));
     assert!(json.contains("\"clean\": false"));
+    assert!(json.contains("\"col\": 28"));
+}
+
+#[test]
+fn bad_tree_v2_fixture_fires_every_new_rule_with_exact_findings() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/bad_tree_v2");
+    let report = lint_workspace(&root).expect("fixture tree is readable");
+    assert!(!report.is_clean());
+    assert_eq!(report.files_scanned, 2);
+
+    let got: Vec<(&str, usize, usize, Rule)> = report
+        .findings
+        .iter()
+        .map(|f| (f.path.as_str(), f.line, f.col, f.rule))
+        .collect();
+    let want = [
+        ("crates/core/src/queue.rs", 7, 13, Rule::LockOrderCycle),
+        (
+            "crates/core/src/queue.rs",
+            23,
+            16,
+            Rule::GuardAcrossBlocking,
+        ),
+        (
+            "crates/histogram/src/hdr.rs",
+            5,
+            11,
+            Rule::NoLossyCastInStats,
+        ),
+        (
+            "crates/histogram/src/hdr.rs",
+            10,
+            11,
+            Rule::NoUncheckedArithInHistogram,
+        ),
+    ];
+    assert_eq!(
+        got, want,
+        "each new rule fires exactly once at its seeded site"
+    );
+
+    // The lock-order cycle names BOTH acquisition sites, with coordinates.
+    let cycle = report
+        .findings
+        .iter()
+        .find(|f| f.rule == Rule::LockOrderCycle)
+        .expect("cycle finding present");
+    assert!(cycle.message.contains("`shared.state`"));
+    assert!(cycle.message.contains("`pool.free`"));
+    assert!(cycle.message.contains("crates/core/src/queue.rs:7:13"));
+    assert!(cycle.message.contains("crates/core/src/queue.rs:15:13"));
+
+    // The guard finding names the lock and its acquisition line.
+    let guard = report
+        .findings
+        .iter()
+        .find(|f| f.rule == Rule::GuardAcrossBlocking)
+        .expect("guard finding present");
+    assert!(guard.message.contains("`shared.state`"));
+    assert!(guard.message.contains("line 22"));
+    assert!(guard.message.contains("channel receive"));
 }

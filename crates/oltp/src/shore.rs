@@ -38,14 +38,24 @@ struct Frame {
 }
 
 /// The page store: data file plus bounded in-memory buffer pool.
+///
+/// The file and the frame map live under one mutex: every file access needs the
+/// frame map consistent with it (evictions write the frame being removed, faults
+/// fill the frame being inserted), so a separate file lock would only ever be
+/// taken while the map lock is already held — nesting without concurrency.
 #[derive(Debug)]
 struct BufferPool {
-    file: Mutex<File>,
-    frames: Mutex<HashMap<u64, Frame>>,
+    inner: Mutex<PoolInner>,
     capacity: usize,
     clock: AtomicU64,
     misses: AtomicU64,
     allocated_pages: AtomicU64,
+}
+
+#[derive(Debug)]
+struct PoolInner {
+    file: File,
+    frames: HashMap<u64, Frame>,
 }
 
 impl BufferPool {
@@ -57,8 +67,10 @@ impl BufferPool {
             .truncate(true)
             .open(path)?;
         Ok(BufferPool {
-            file: Mutex::new(file),
-            frames: Mutex::new(HashMap::new()),
+            inner: Mutex::new(PoolInner {
+                file,
+                frames: HashMap::new(),
+            }),
             capacity: capacity.max(8),
             clock: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -82,36 +94,37 @@ impl BufferPool {
         mark_dirty: bool,
         f: impl FnOnce(&mut [u8]) -> R,
     ) -> std::io::Result<R> {
-        let mut frames = self.frames.lock();
+        let mut inner = self.inner.lock();
         let tick = self.clock.fetch_add(1, Ordering::Relaxed);
-        if !frames.contains_key(&page) {
+        if !inner.frames.contains_key(&page) {
             self.misses.fetch_add(1, Ordering::Relaxed);
             // Evict the least recently used frame if the pool is full.
-            if frames.len() >= self.capacity {
-                if let Some((&victim, _)) = frames.iter().min_by_key(|(_, f)| f.last_used) {
-                    let frame = frames.remove(&victim).expect("victim present");
-                    if frame.dirty {
-                        let mut file = self.file.lock();
-                        file.seek(SeekFrom::Start(victim * PAGE_SIZE as u64))?;
-                        file.write_all(&frame.data)?;
+            if inner.frames.len() >= self.capacity {
+                if let Some((&victim, _)) = inner.frames.iter().min_by_key(|(_, f)| f.last_used) {
+                    if let Some(frame) = inner.frames.remove(&victim) {
+                        if frame.dirty {
+                            inner
+                                .file
+                                .seek(SeekFrom::Start(victim * PAGE_SIZE as u64))?;
+                            inner.file.write_all(&frame.data)?;
+                        }
                     }
                 }
             }
             // Fault the page in from disk (or zero-fill a fresh page).
             let mut data = vec![0u8; PAGE_SIZE];
-            {
-                let mut file = self.file.lock();
-                let file_len = file.metadata()?.len();
-                if (page + 1) * PAGE_SIZE as u64 <= file_len {
-                    file.seek(SeekFrom::Start(page * PAGE_SIZE as u64))?;
-                    file.read_exact(&mut data)?;
-                } else {
-                    // Extend the file so eviction writes always succeed.
-                    file.seek(SeekFrom::Start((page + 1) * PAGE_SIZE as u64 - 1))?;
-                    file.write_all(&[0u8])?;
-                }
+            let file_len = inner.file.metadata()?.len();
+            if (page + 1) * PAGE_SIZE as u64 <= file_len {
+                inner.file.seek(SeekFrom::Start(page * PAGE_SIZE as u64))?;
+                inner.file.read_exact(&mut data)?;
+            } else {
+                // Extend the file so eviction writes always succeed.
+                inner
+                    .file
+                    .seek(SeekFrom::Start((page + 1) * PAGE_SIZE as u64 - 1))?;
+                inner.file.write_all(&[0u8])?;
             }
-            frames.insert(
+            inner.frames.insert(
                 page,
                 Frame {
                     data,
@@ -120,7 +133,7 @@ impl BufferPool {
                 },
             );
         }
-        let frame = frames.get_mut(&page).expect("inserted above");
+        let frame = inner.frames.get_mut(&page).expect("inserted above");
         frame.last_used = tick;
         if mark_dirty {
             frame.dirty = true;

@@ -287,9 +287,12 @@ impl RequestFactory for ClassMux {
             .get(self.next)
             .copied()
             .unwrap_or(0)
-            .min((self.factories.len() - 1) as u16);
+            .min(self.factories.len().saturating_sub(1) as u16);
         self.next += 1;
-        self.factories[class as usize].next_request()
+        match self.factories.get_mut(class as usize) {
+            Some(factory) => factory.next_request(),
+            None => Vec::new(),
+        }
     }
 }
 

@@ -9,7 +9,8 @@
 //! tailbench verify-output <out.json>                      check emitted JSON output
 //! tailbench bench [--suite des|wall|all] [--baseline <f>] [--write <f|auto>]
 //!                 [--check] [--strict]                    perf-trajectory suite
-//! tailbench lint  [--root <dir>] [--check] [--json <out|->]  static analysis
+//! tailbench lint  [--root <dir>] [--check] [--json <out|->]
+//!                 [--pragmas] [--explain <rule|all>]        static analysis
 //! ```
 //!
 //! Global flags: `--scale smoke|quick|full` overrides `TAILBENCH_SCALE`.  Markdown
@@ -35,7 +36,8 @@ USAGE:
     tailbench verify-output <out.json>
     tailbench bench [--suite des|wall|all] [--baseline <file>] [--write <path|auto>]
                     [--check] [--strict]
-    tailbench lint  [--root <dir>] [--check] [--json <path|->]
+    tailbench lint  [--root <dir>] [--check] [--json <path|->] [--pragmas]
+                    [--explain <rule|all>]
 
 A spec file is the JSON form of an ExperimentSpec (see `tailbench export fig9`
 for a template).  Presets reproduce the paper figures: fig3, fig6, fig9, fig11,
@@ -48,9 +50,13 @@ BENCH_<n>.json) records the run; `--check` gates it against `--baseline <file>`
 regression.  `--strict` promotes advisory wall-clock warnings to failures.
 
 `lint` runs the in-tree static analysis (wall-clock use in DES modules, panics
-on hot paths, unseeded RNG, unordered iteration in report paths) over `--root`
-(default `.`).  Findings print as `path:line: rule: message`; `--check` makes
-any finding exit 1, for CI gating.
+on hot paths, unseeded RNG, unordered iteration in report paths, lock-order
+cycles, guards held across blocking operations, lossy casts and unchecked
+arithmetic in stats paths) over `--root` (default `.`).  Findings print as
+`path:line:col: rule: message`; `--check` makes any finding exit 1, for CI
+gating.  `--pragmas` prints the allow-pragma audit trail instead of findings
+(the committed pragma budget diffs this).  `--explain <rule>` prints one rule's
+full rationale; `--explain all` walks every rule.
 ";
 
 struct Options {
@@ -64,6 +70,8 @@ struct Options {
     check: bool,
     strict: bool,
     root: Option<String>,
+    pragmas: bool,
+    explain: Option<String>,
     positional: Vec<String>,
 }
 
@@ -79,6 +87,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         check: false,
         strict: false,
         root: None,
+        pragmas: false,
+        explain: None,
         positional: Vec::new(),
     };
     let mut iter = args.iter();
@@ -111,6 +121,14 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--strict" => options.strict = true,
             "--root" => {
                 options.root = Some(iter.next().ok_or("--root needs a directory")?.clone());
+            }
+            "--pragmas" => options.pragmas = true,
+            "--explain" => {
+                options.explain = Some(
+                    iter.next()
+                        .ok_or("--explain needs a rule name or 'all'")?
+                        .clone(),
+                );
             }
             flag if flag.starts_with("--") => return Err(format!("unknown flag '{flag}'")),
             positional => options.positional.push(positional.to_string()),
@@ -256,11 +274,43 @@ fn cmd_bench(options: &Options) -> Result<(), CliError> {
     Ok(())
 }
 
+/// One rule's `--explain` entry: the header line plus the full rationale.
+fn explain_rule(rule: tailbench::lint::Rule) -> String {
+    format!(
+        "{} — {}\nscope: {}\n\n{}\n",
+        rule.name(),
+        rule.summary(),
+        rule.scope_desc(),
+        rule.explain()
+    )
+}
+
 /// `tailbench lint`: run the static-analysis pass, print findings, optionally gate.
 fn cmd_lint(options: &Options) -> Result<(), CliError> {
+    if let Some(which) = &options.explain {
+        if which == "all" {
+            let texts: Vec<String> = tailbench::lint::ALL_RULES
+                .into_iter()
+                .map(explain_rule)
+                .collect();
+            print!("{}", texts.join("\n"));
+            return Ok(());
+        }
+        let rule = tailbench::lint::Rule::from_name(which).ok_or_else(|| {
+            CliError::usage(format!(
+                "unknown rule '{which}' (try `tailbench lint --explain all`)"
+            ))
+        })?;
+        print!("{}", explain_rule(rule));
+        return Ok(());
+    }
     let root = options.root.as_deref().unwrap_or(".");
     let report = tailbench::lint::lint_workspace(Path::new(root))
         .map_err(|e| CliError::runtime(format!("cannot lint {root}: {e}")))?;
+    if options.pragmas {
+        print!("{}", report.render_pragmas());
+        return Ok(());
+    }
     let json_to_stdout = options.json_out.as_deref() == Some("-");
     if !options.quiet && !json_to_stdout {
         print!("{}", report.render_text());
